@@ -1,0 +1,62 @@
+//! Messages shared by the baseline architectures.
+
+use mind_types::node::SimTime;
+use mind_types::{HyperRect, NodeId, Record, WireSize};
+
+/// The (deliberately simple) baseline protocol.
+#[derive(Debug, Clone)]
+pub enum BaselineMsg {
+    /// Ship a record (centralized architecture only).
+    Insert {
+        /// The record.
+        record: Record,
+        /// When it left the monitor.
+        sent_at: SimTime,
+    },
+    /// Evaluate a range query and reply to `origin`.
+    QueryReq {
+        /// Query id, unique per origin.
+        query_id: u64,
+        /// The scan rectangle.
+        rect: HyperRect,
+        /// Who to answer.
+        origin: NodeId,
+    },
+    /// A node's (possibly empty) answer.
+    QueryResp {
+        /// Echo of the query id.
+        query_id: u64,
+        /// The responding node.
+        responder: NodeId,
+        /// Matching records.
+        records: Vec<Record>,
+    },
+}
+
+impl WireSize for BaselineMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            BaselineMsg::Insert { record, .. } => 24 + record.wire_size(),
+            BaselineMsg::QueryReq { rect, .. } => 24 + rect.dims() * 16,
+            BaselineMsg::QueryResp { records, .. } => {
+                24 + records.iter().map(Record::wire_size).sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_scale() {
+        let resp = BaselineMsg::QueryResp {
+            query_id: 1,
+            responder: NodeId(0),
+            records: (0..10).map(|i| Record::new(vec![i, i])).collect(),
+        };
+        let empty = BaselineMsg::QueryResp { query_id: 1, responder: NodeId(0), records: vec![] };
+        assert!(resp.wire_size() > empty.wire_size());
+    }
+}

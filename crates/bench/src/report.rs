@@ -1,0 +1,73 @@
+//! Output formatting for the experiment binaries.
+//!
+//! Each binary prints, for its figure: the experiment header, the paper's
+//! reported shape, and the measured series — aligned so a reader can
+//! compare shapes at a glance (matching `EXPERIMENTS.md`).
+
+use mind_types::node::SimTime;
+
+/// Prints the standard experiment banner.
+pub fn print_header(figure: &str, title: &str, paper_claim: &str) {
+    println!("================================================================");
+    println!("{figure}: {title}");
+    println!("paper: {paper_claim}");
+    println!("================================================================");
+}
+
+/// Prints one aligned key/value line.
+pub fn print_kv(key: &str, value: impl std::fmt::Display) {
+    println!("  {key:<44} {value}");
+}
+
+/// Formats microseconds as seconds with millisecond precision.
+pub fn fmt_us(us: SimTime) -> String {
+    format!("{:.3}s", us as f64 / 1e6)
+}
+
+/// CDF sample points of a latency (or any) distribution: `(value,
+/// cumulative fraction)` at the given percentiles.
+pub fn cdf_points(samples: &[SimTime], percentiles: &[f64]) -> Vec<(f64, SimTime)> {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    percentiles
+        .iter()
+        .map(|&p| (p, mind_core::percentile(&sorted, p)))
+        .collect()
+}
+
+/// Fraction of samples at or below `threshold`.
+pub fn fraction_leq(samples: &[u64], threshold: u64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|&&s| s <= threshold).count() as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_points_monotone() {
+        let samples: Vec<u64> = (1..=1000).collect();
+        let pts = cdf_points(&samples, &[10.0, 50.0, 90.0, 99.0]);
+        assert_eq!(pts.len(), 4);
+        for w in pts.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(pts[1].1, 500);
+    }
+
+    #[test]
+    fn fraction_leq_counts() {
+        let s = vec![1, 2, 3, 4, 5];
+        assert_eq!(fraction_leq(&s, 3), 0.6);
+        assert_eq!(fraction_leq(&s, 0), 0.0);
+        assert_eq!(fraction_leq(&[], 10), 0.0);
+    }
+
+    #[test]
+    fn fmt_us_seconds() {
+        assert_eq!(fmt_us(1_500_000), "1.500s");
+    }
+}

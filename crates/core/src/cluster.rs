@@ -1,0 +1,297 @@
+//! The experiment harness: a full MIND deployment on the simulated
+//! wide-area testbed.
+//!
+//! [`MindCluster`] is the programmatic equivalent of the paper's PlanetLab
+//! deployments: it instantiates `n` [`MindNode`]s on a statically
+//! constructed balanced hypercube (the way the paper "carefully
+//! constructed" its 34-node overlay), places them at geographic
+//! [`Site`]s, and exposes the MIND interface plus the metric collection
+//! every figure of the evaluation needs.
+
+use crate::messages::{CarriedFilter, Replication};
+use crate::node::{MindConfig, MindNode};
+use crate::query::QueryOutcome;
+use mind_histogram::CutTree;
+use mind_netsim::{SimConfig, Site, World};
+use mind_overlay::{OverlayConfig, StaticTopology};
+use mind_types::node::SimTime;
+use mind_types::{HyperRect, IndexSchema, MindError, NodeId, Record};
+
+/// Everything needed to stand up a cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Network simulation parameters.
+    pub sim: SimConfig,
+    /// Overlay protocol parameters.
+    pub overlay: OverlayConfig,
+    /// Per-node MIND parameters.
+    pub mind: MindConfig,
+    /// Deployment sites; the cluster size is `sites.len()`.
+    pub sites: Vec<Site>,
+}
+
+impl ClusterConfig {
+    /// The paper's baseline deployment: 34 nodes at the Abilene + GÉANT
+    /// router cities.
+    pub fn baseline(seed: u64) -> Self {
+        ClusterConfig {
+            sim: SimConfig { seed, ..SimConfig::default() },
+            overlay: OverlayConfig::default(),
+            mind: MindConfig::default(),
+            sites: mind_netsim::topology::baseline_sites(),
+        }
+    }
+
+    /// The large-scale deployment: `n` PlanetLab-like sites.
+    pub fn planetlab(n: usize, seed: u64) -> Self {
+        ClusterConfig {
+            sim: SimConfig { seed, ..SimConfig::default() },
+            overlay: OverlayConfig::default(),
+            mind: MindConfig::default(),
+            sites: mind_netsim::planetlab_sites(n, seed),
+        }
+    }
+}
+
+/// A running MIND deployment over the discrete-event simulator.
+pub struct MindCluster {
+    world: World<MindNode>,
+    topology: StaticTopology,
+}
+
+impl MindCluster {
+    /// Builds the cluster: a balanced static overlay, one node per site.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let n = cfg.sites.len();
+        assert!(n >= 1, "a cluster needs at least one site");
+        let topology = StaticTopology::balanced(n);
+        let mut world = World::new(cfg.sim);
+        for (k, site) in cfg.sites.into_iter().enumerate() {
+            let node = MindNode::new_static(
+                NodeId(k as u32),
+                topology.code(k),
+                topology.neighbor_entries(k),
+                cfg.overlay,
+                cfg.mind,
+            );
+            world.add_node(node, site);
+        }
+        MindCluster { world, topology }
+    }
+
+    /// Number of nodes (alive or dead).
+    pub fn len(&self) -> usize {
+        self.world.len()
+    }
+
+    /// `true` when the cluster has no nodes (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.world.is_empty()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// The static code assignment (for test oracles).
+    pub fn topology(&self) -> &StaticTopology {
+        &self.topology
+    }
+
+    /// The underlying simulation world (failure injection, stats).
+    pub fn world(&self) -> &World<MindNode> {
+        &self.world
+    }
+
+    /// Mutable access to the world (outage scheduling, tracing).
+    pub fn world_mut(&mut self) -> &mut World<MindNode> {
+        &mut self.world
+    }
+
+    /// Advances simulated time by `d`.
+    pub fn run_for(&mut self, d: SimTime) {
+        let t = self.world.now() + d;
+        self.world.run_until(t);
+    }
+
+    /// Runs until simulated time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.world.run_until(t);
+    }
+
+    /// Creates an index from node `at` (floods to all nodes).
+    pub fn create_index(
+        &mut self,
+        at: NodeId,
+        schema: IndexSchema,
+        cuts: CutTree,
+        replication: Replication,
+    ) -> Result<(), MindError> {
+        self.world.with_node(at, |n, _now, out| n.create_index(schema, cuts, replication, out))
+    }
+
+    /// Inserts a record into `index` from node `at`.
+    pub fn insert(&mut self, at: NodeId, index: &str, record: Record) -> Result<(), MindError> {
+        self.world.with_node(at, |n, now, out| n.insert(now, index, record, out))
+    }
+
+    /// Issues a query from node `at`; returns the query id.
+    pub fn query(
+        &mut self,
+        at: NodeId,
+        index: &str,
+        rect: HyperRect,
+        filters: Vec<CarriedFilter>,
+    ) -> Result<u64, MindError> {
+        self.world.with_node(at, |n, now, out| n.query(now, index, rect, filters, out))
+    }
+
+    /// The outcome of a query issued from `at`, once finished.
+    pub fn query_outcome(&self, at: NodeId, query_id: u64) -> Option<QueryOutcome> {
+        self.world.node(at).query_outcome(query_id)
+    }
+
+    /// Issues a query and runs the simulation until it finishes (or the
+    /// deadline passes). Convenience for experiments.
+    pub fn query_and_wait(
+        &mut self,
+        at: NodeId,
+        index: &str,
+        rect: HyperRect,
+        filters: Vec<CarriedFilter>,
+    ) -> Result<QueryOutcome, MindError> {
+        let qid = self.query(at, index, rect, filters)?;
+        let deadline = self.world.now() + 120 * mind_types::node::SECONDS;
+        while self.world.now() < deadline {
+            if let Some(o) = self.query_outcome(at, qid) {
+                return Ok(o);
+            }
+            let next = self.world.now() + 50 * mind_types::node::MILLIS;
+            self.world.run_until(next);
+        }
+        Ok(self
+            .query_outcome(at, qid)
+            .unwrap_or_else(|| QueryOutcome { complete: false, latency: None, records: vec![], cost_nodes: 0 }))
+    }
+
+    /// Installs a standing query from node `at`; returns the trigger id.
+    pub fn create_trigger(
+        &mut self,
+        at: NodeId,
+        index: &str,
+        rect: HyperRect,
+        filters: Vec<CarriedFilter>,
+    ) -> Result<u64, MindError> {
+        self.world.with_node(at, |n, _now, out| n.create_trigger(index, rect, filters, out))
+    }
+
+    /// Removes a standing query from node `at`.
+    pub fn drop_trigger(&mut self, at: NodeId, trigger_id: u64) {
+        self.world.with_node(at, |n, _now, out| n.drop_trigger(trigger_id, out));
+    }
+
+    /// Notifications node `at` has received for its triggers.
+    pub fn trigger_log(&self, at: NodeId) -> &[(u64, NodeId, mind_types::Record)] {
+        &self.world.node(at).trigger_log
+    }
+
+    /// Garbage-collects aged index versions on every live node; returns
+    /// the total number of version stores dropped.
+    pub fn gc_versions(&mut self, index: &str, before_ts: u64) -> usize {
+        let mut total = 0;
+        for k in 0..self.world.len() {
+            let id = NodeId(k as u32);
+            if self.world.is_alive(id) {
+                total += self
+                    .world
+                    .with_node(id, |n, _now, _out| n.gc_versions(index, before_ts).unwrap_or(0));
+            }
+        }
+        total
+    }
+
+    /// Ships day histograms from every live node (day-boundary tick).
+    pub fn report_day_histograms(&mut self, index: &str, day: u64) {
+        for k in 0..self.world.len() {
+            let id = NodeId(k as u32);
+            if self.world.is_alive(id) {
+                let _ = self
+                    .world
+                    .with_node(id, |n, now, out| n.report_day_histogram(now, index, day, out));
+            }
+        }
+    }
+
+    /// Crashes a node (messages to it are dropped until revived).
+    pub fn crash(&mut self, id: NodeId) {
+        self.world.crash_node(id);
+    }
+
+    /// Revives a crashed node.
+    pub fn revive(&mut self, id: NodeId) {
+        self.world.revive_node(id);
+    }
+
+    /// All insertion latency samples across nodes (µs).
+    pub fn insert_latency_samples(&self) -> Vec<SimTime> {
+        let mut v = Vec::new();
+        for k in 0..self.world.len() {
+            v.extend(
+                self.world
+                    .node(NodeId(k as u32))
+                    .metrics
+                    .insert_latencies
+                    .iter()
+                    .map(|&(_, lat)| lat),
+            );
+        }
+        v
+    }
+
+    /// All insertion hop counts across nodes.
+    pub fn insert_hops(&self) -> Vec<u32> {
+        let mut v = Vec::new();
+        for k in 0..self.world.len() {
+            v.extend(self.world.node(NodeId(k as u32)).metrics.insert_hops.iter().copied());
+        }
+        v
+    }
+
+    /// Primary rows per node for one index (Figure 13's series).
+    pub fn storage_distribution(&self, index: &str) -> Vec<u64> {
+        (0..self.world.len())
+            .map(|k| {
+                self.world
+                    .node(NodeId(k as u32))
+                    .index_state(index)
+                    .map(|s| s.primary_rows())
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Total records stored (primary only) for sanity checks.
+    pub fn total_primary_rows(&self, index: &str) -> u64 {
+        self.storage_distribution(index).iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_config_has_34_sites() {
+        let cfg = ClusterConfig::baseline(1);
+        assert_eq!(cfg.sites.len(), 34);
+        let cluster = MindCluster::new(cfg);
+        assert_eq!(cluster.len(), 34);
+    }
+
+    #[test]
+    fn planetlab_config_sizes() {
+        let cfg = ClusterConfig::planetlab(102, 2);
+        assert_eq!(MindCluster::new(cfg).len(), 102);
+    }
+}

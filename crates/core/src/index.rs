@@ -1,0 +1,276 @@
+//! Per-node index state: schema, versions, cuts, stores.
+
+use crate::messages::Replication;
+use mind_histogram::{CutTree, GridHistogram};
+use mind_store::MemStore;
+use mind_types::{IndexSchema, MindError, Record};
+
+/// One version of an index: its cuts and the local share of its data.
+///
+/// Versions implement the paper's daily re-balancing without data motion
+/// (Section 3.7): each day's records are embedded with cuts computed from
+/// the previous day's distribution, and queries consult the version(s)
+/// their time range overlaps.
+#[derive(Debug)]
+pub struct IndexVersion {
+    /// First record timestamp governed by this version.
+    pub from_ts: u64,
+    /// The data-space cuts of this version.
+    pub cuts: CutTree,
+    /// Rows this node owns as the region's primary.
+    pub primary: MemStore,
+    /// Replica copies pushed by prefix neighbors. Kept separate from the
+    /// primaries so that (a) join-time handoff scans return only the
+    /// acceptor's own historical data (never echoes of rows the joiner
+    /// already holds) and (b) storage metrics stay exact. Normal
+    /// sub-queries scan both stores; region clipping keeps replica rows
+    /// from double-counting because they only match sub-queries for
+    /// regions this node has taken over.
+    pub replicas: MemStore,
+    /// Primary rows stored (for storage-balance metrics).
+    pub primary_rows: u64,
+    /// Replica rows stored.
+    pub replica_rows: u64,
+}
+
+/// All local state for one index.
+#[derive(Debug)]
+pub struct IndexState {
+    /// The index schema.
+    pub schema: IndexSchema,
+    /// Replication level for inserts.
+    pub replication: Replication,
+    /// Versions ordered by `from_ts` (version number = position).
+    pub versions: Vec<IndexVersion>,
+    /// This node's observed data distribution for the current day,
+    /// shipped to the collector at each day boundary.
+    pub day_histogram: GridHistogram,
+}
+
+impl IndexState {
+    /// Creates the index with its version-0 cuts (effective from t = 0).
+    pub fn new(schema: IndexSchema, cuts: CutTree, replication: Replication, hist_granularity: u32) -> Self {
+        let dims = schema.indexed_dims;
+        let bounds = schema.bounds();
+        IndexState {
+            schema,
+            replication,
+            versions: vec![IndexVersion {
+                from_ts: 0,
+                cuts,
+                primary: MemStore::new(dims),
+                replicas: MemStore::new(dims),
+                primary_rows: 0,
+                replica_rows: 0,
+            }],
+            day_histogram: GridHistogram::new(bounds, hist_granularity),
+        }
+    }
+
+    /// Installs a new version. Versions must arrive in order with
+    /// increasing `from_ts`; duplicates (flood re-delivery across
+    /// restarts) are ignored.
+    pub fn install_version(&mut self, version: u32, from_ts: u64, cuts: CutTree) {
+        if (version as usize) < self.versions.len() {
+            return; // already installed
+        }
+        assert_eq!(
+            version as usize,
+            self.versions.len(),
+            "index {}: version {} arrived out of order",
+            self.schema.tag,
+            version
+        );
+        assert!(
+            from_ts >= self.versions.last().map(|v| v.from_ts).unwrap_or(0),
+            "index {}: version {} from_ts regresses",
+            self.schema.tag,
+            version
+        );
+        self.versions.push(IndexVersion {
+            from_ts,
+            cuts,
+            primary: MemStore::new(self.schema.indexed_dims),
+            replicas: MemStore::new(self.schema.indexed_dims),
+            primary_rows: 0,
+            replica_rows: 0,
+        });
+    }
+
+    /// The version governing a record with timestamp `ts` (the last
+    /// version whose `from_ts` is ≤ `ts`). Records with no timestamp
+    /// attribute always use the latest version.
+    pub fn version_for_ts(&self, ts: Option<u64>) -> u32 {
+        match ts {
+            None => (self.versions.len() - 1) as u32,
+            Some(t) => {
+                let mut v = 0;
+                for (i, ver) in self.versions.iter().enumerate() {
+                    if ver.from_ts <= t {
+                        v = i;
+                    } else {
+                        break;
+                    }
+                }
+                v as u32
+            }
+        }
+    }
+
+    /// The versions a query time range `[t1, t2]` overlaps (all versions
+    /// when the schema has no timestamp dimension).
+    pub fn versions_for_range(&self, range: Option<(u64, u64)>) -> Vec<u32> {
+        match range {
+            None => (0..self.versions.len() as u32).collect(),
+            Some((t1, t2)) => {
+                let mut out = Vec::new();
+                for (i, ver) in self.versions.iter().enumerate() {
+                    let end = self
+                        .versions
+                        .get(i + 1)
+                        .map(|n| n.from_ts.saturating_sub(1))
+                        .unwrap_or(u64::MAX);
+                    if ver.from_ts <= t2 && t1 <= end {
+                        out.push(i as u32);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The timestamp of a record under this schema, if the schema has a
+    /// timestamp dimension.
+    pub fn record_ts(&self, record: &Record) -> Option<u64> {
+        self.schema.time_dim().map(|d| record.value(d))
+    }
+
+    /// Validates and clamps a record for this index.
+    pub fn conform(&self, record: Record) -> Result<Record, MindError> {
+        record.conform(&self.schema)
+    }
+
+    /// A version by number.
+    pub fn version(&self, v: u32) -> Option<&IndexVersion> {
+        self.versions.get(v as usize)
+    }
+
+    /// A version by number, mutably.
+    pub fn version_mut(&mut self, v: u32) -> Option<&mut IndexVersion> {
+        self.versions.get_mut(v as usize)
+    }
+
+    /// Total primary rows across versions.
+    pub fn primary_rows(&self) -> u64 {
+        self.versions.iter().map(|v| v.primary_rows).sum()
+    }
+
+    /// Garbage-collects versions whose governed time range ends before
+    /// `before_ts`, dropping their stores wholesale (the paper's aging
+    /// model: whole versions expire, individual records never delete).
+    /// The version numbering of the survivors is preserved by replacing
+    /// collected stores with empty tombstones rather than renumbering.
+    pub fn gc_before(&mut self, before_ts: u64) -> usize {
+        let dims = self.schema.indexed_dims;
+        let mut collected = 0;
+        let n = self.versions.len();
+        for i in 0..n {
+            let end = self
+                .versions
+                .get(i + 1)
+                .map(|nx| nx.from_ts.saturating_sub(1))
+                .unwrap_or(u64::MAX);
+            let v = &mut self.versions[i];
+            if end < before_ts
+                && (v.primary_rows > 0 || v.replica_rows > 0 || v.primary.len() > 0 || v.replicas.len() > 0)
+            {
+                v.primary = MemStore::new(dims);
+                v.replicas = MemStore::new(dims);
+                v.primary_rows = 0;
+                v.replica_rows = 0;
+                collected += 1;
+            }
+        }
+        collected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mind_types::{AttrDef, AttrKind, HyperRect};
+
+    fn schema() -> IndexSchema {
+        IndexSchema::new(
+            "t",
+            vec![
+                AttrDef::new("x", AttrKind::Generic, 0, 1023),
+                AttrDef::new("timestamp", AttrKind::Timestamp, 0, 86_400 * 3),
+                AttrDef::new("y", AttrKind::Generic, 0, 1023),
+            ],
+            3,
+        )
+    }
+
+    fn state() -> IndexState {
+        let s = schema();
+        let cuts = CutTree::even(s.bounds(), 4);
+        IndexState::new(s, cuts, Replication::Level(1), 16)
+    }
+
+    #[test]
+    fn version_zero_covers_everything() {
+        let st = state();
+        assert_eq!(st.version_for_ts(Some(0)), 0);
+        assert_eq!(st.version_for_ts(Some(1_000_000)), 0);
+        assert_eq!(st.versions_for_range(Some((0, 100))), vec![0]);
+    }
+
+    #[test]
+    fn versions_partition_time() {
+        let mut st = state();
+        let cuts = CutTree::even(st.schema.bounds(), 4);
+        st.install_version(1, 86_400, cuts.clone());
+        st.install_version(2, 2 * 86_400, cuts);
+        assert_eq!(st.version_for_ts(Some(10)), 0);
+        assert_eq!(st.version_for_ts(Some(86_400)), 1);
+        assert_eq!(st.version_for_ts(Some(86_399)), 0);
+        assert_eq!(st.version_for_ts(Some(3 * 86_400)), 2);
+        assert_eq!(st.versions_for_range(Some((0, 86_399))), vec![0]);
+        assert_eq!(st.versions_for_range(Some((80_000, 90_000))), vec![0, 1]);
+        assert_eq!(st.versions_for_range(Some((86_400, 86_400))), vec![1]);
+        assert_eq!(st.versions_for_range(None), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicate_version_ignored() {
+        let mut st = state();
+        let cuts = CutTree::even(st.schema.bounds(), 4);
+        st.install_version(1, 86_400, cuts.clone());
+        st.install_version(1, 86_400, cuts);
+        assert_eq!(st.versions.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn version_gap_panics() {
+        let mut st = state();
+        let cuts = CutTree::even(st.schema.bounds(), 4);
+        st.install_version(5, 86_400, cuts);
+    }
+
+    #[test]
+    fn record_ts_reads_time_dim() {
+        let st = state();
+        assert_eq!(st.record_ts(&Record::new(vec![1, 777, 3])), Some(777));
+    }
+
+    #[test]
+    fn conform_clamps() {
+        let st = state();
+        let r = st.conform(Record::new(vec![5000, 10, 20])).unwrap();
+        assert_eq!(r.value(0), 1023);
+        let bounds: HyperRect = st.schema.bounds();
+        assert!(bounds.contains_point(r.point(3)));
+    }
+}

@@ -1,0 +1,313 @@
+//! Application-level payloads carried by the overlay.
+
+use mind_histogram::{CutTree, GridHistogram};
+use mind_types::node::SimTime;
+use mind_types::{BitCode, HyperRect, IndexSchema, NodeId, Record, WireSize};
+use serde::{Deserialize, Serialize};
+
+/// How many copies of each record an index keeps (Section 3.8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Replication {
+    /// Primary copy only.
+    None,
+    /// Primary plus replicas at the `m` prefix neighbors that would take
+    /// over on failure. `Level(1)` survives any 1 failure per sibling
+    /// pair; the paper's Figure 16 shows it tolerating 15 % random node
+    /// loss with no recall loss.
+    Level(u8),
+    /// Primary plus a replica at every overlay neighbor (the paper's
+    /// "full replication": survives > 50 % random loss).
+    Full,
+}
+
+/// A post-filter on any record attribute (indexed or carried), applied at
+/// the responding node. This supports Index-3-style predicates on carried
+/// attributes such as `dst_port` (Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CarriedFilter {
+    /// Attribute position in schema order.
+    pub attr: usize,
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+}
+
+impl CarriedFilter {
+    /// `true` if the record passes the filter.
+    pub fn accepts(&self, r: &Record) -> bool {
+        let v = r.value(self.attr);
+        self.lo <= v && v <= self.hi
+    }
+}
+
+/// A complete index definition, shipped to fresh joiners.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndexDef {
+    /// The index schema.
+    pub schema: IndexSchema,
+    /// Replication level.
+    pub replication: Replication,
+    /// Every version: `(from_ts, cuts)`, in version order.
+    pub versions: Vec<(u64, CutTree)>,
+}
+
+/// The MIND application protocol (carried opaquely by `OverlayMsg`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum MindPayload {
+    /// Flooded: instantiate an index on every node with its version-0 cuts.
+    CreateIndex {
+        /// The index schema.
+        schema: IndexSchema,
+        /// Data-space cuts for version 0.
+        cuts: CutTree,
+        /// Replication level for all inserts into this index.
+        replication: Replication,
+    },
+    /// Flooded: install a new index version whose cuts govern records with
+    /// timestamps at or after `from_ts` (Section 3.7 daily re-balancing).
+    NewVersion {
+        /// Index tag.
+        index: String,
+        /// Version number (monotonically increasing).
+        version: u32,
+        /// First timestamp governed by this version.
+        from_ts: u64,
+        /// The balanced cuts computed from the previous day's histogram.
+        cuts: CutTree,
+    },
+    /// Flooded: drop all state for an index on every node.
+    DropIndex {
+        /// Index tag.
+        index: String,
+    },
+    /// Routed to the record's region owner: store one record.
+    Insert {
+        /// Index tag.
+        index: String,
+        /// Version whose cuts mapped the record.
+        version: u32,
+        /// The (already schema-conformed) record.
+        record: Record,
+        /// The inserting node (for the per-monitor metrics of Figure 12).
+        origin: NodeId,
+        /// When the insert left the origin (for insertion latency).
+        sent_at: SimTime,
+    },
+    /// Direct to a prefix neighbor: store a replica copy.
+    Replica {
+        /// Index tag.
+        index: String,
+        /// Version the record belongs to.
+        version: u32,
+        /// The record.
+        record: Record,
+    },
+    /// Routed to the owner of the query's covering prefix: split me.
+    RootQuery {
+        /// Query id (unique per origin).
+        query_id: u64,
+        /// Index tag.
+        index: String,
+        /// Version to consult.
+        version: u32,
+        /// The query hyper-rectangle over the indexed dimensions.
+        rect: HyperRect,
+        /// Post-filters on carried attributes.
+        filters: Vec<CarriedFilter>,
+        /// The originating node (receives plan and responses directly).
+        origin: NodeId,
+    },
+    /// Routed to the owner of one covering region: answer for it.
+    SubQuery {
+        /// Query id.
+        query_id: u64,
+        /// Index tag.
+        index: String,
+        /// Version to consult.
+        version: u32,
+        /// The covering region this sub-query is responsible for.
+        code: BitCode,
+        /// The full query rectangle (responders clip to their region).
+        rect: HyperRect,
+        /// Post-filters on carried attributes.
+        filters: Vec<CarriedFilter>,
+        /// The originating node.
+        origin: NodeId,
+    },
+    /// Direct to the originator: the covering codes the query was split
+    /// into, so the originator can detect completion (Section 3.6).
+    ///
+    /// On an unbalanced overlay a sub-query region can span several nodes;
+    /// the node that receives such a sub-query *refines* it — splits the
+    /// region code one level and announces the replacement atomically via
+    /// `replaces` (the replaced code counts as answered, its children as
+    /// newly expected), so the originator's completion accounting stays
+    /// exact.
+    QueryPlan {
+        /// Query id.
+        query_id: u64,
+        /// Version this plan covers.
+        version: u32,
+        /// The sub-query region codes.
+        codes: Vec<BitCode>,
+        /// For refinements: the coarser code these codes replace.
+        replaces: Option<BitCode>,
+    },
+    /// Direct to the originator: one region's (possibly empty — negative)
+    /// answer.
+    QueryResponse {
+        /// Query id.
+        query_id: u64,
+        /// Version answered.
+        version: u32,
+        /// Region code answered.
+        code: BitCode,
+        /// The responding node.
+        responder: NodeId,
+        /// Matching records (empty = negative response).
+        records: Vec<Record>,
+    },
+    /// Flooded: install a standing query on every node; any node that
+    /// stores a matching primary record notifies the trigger's origin
+    /// directly (footnote 1 / on-line detection).
+    CreateTrigger {
+        /// The trigger definition.
+        trigger: crate::trigger::Trigger,
+    },
+    /// Flooded: remove a standing query everywhere.
+    DropTrigger {
+        /// The trigger to remove.
+        trigger_id: u64,
+    },
+    /// Direct to the trigger's origin: a record just matched.
+    TriggerFired {
+        /// The trigger that matched.
+        trigger_id: u64,
+        /// The node that stored the record.
+        at: NodeId,
+        /// The matching record.
+        record: Record,
+    },
+    /// Direct from a fresh joiner to its acceptor: send me the current
+    /// set of defined indices and standing queries (Section 3.4: "when
+    /// nodes join the overlay, they obtain the current set of defined
+    /// indices from the neighbor to which they attach").
+    CatalogRequest,
+    /// Direct reply to a [`MindPayload::CatalogRequest`].
+    CatalogResponse {
+        /// Every index: schema, replication, and all versions' cuts.
+        indexes: Vec<IndexDef>,
+        /// Every installed standing query.
+        triggers: Vec<crate::trigger::Trigger>,
+    },
+    /// Direct from a fresh joiner to its acceptor: answer this sub-query
+    /// from the historical data you retained for my region (Section 3.4:
+    /// "data already stored in existing indices are not moved from the
+    /// sibling to the joiner. Rather, the joiner maintains a pointer to
+    /// the sibling and forwards queries to it").
+    HandoffScan {
+        /// Correlates the reply with the joiner's pending sub-query.
+        handoff_id: u64,
+        /// Index tag.
+        index: String,
+        /// Version to consult.
+        version: u32,
+        /// The region being answered.
+        code: BitCode,
+        /// The query rectangle.
+        rect: HyperRect,
+        /// Carried-attribute filters.
+        filters: Vec<CarriedFilter>,
+    },
+    /// Direct reply to a [`MindPayload::HandoffScan`].
+    HandoffRecords {
+        /// Echo of the handoff id.
+        handoff_id: u64,
+        /// The sibling's matching historical records.
+        records: Vec<Record>,
+    },
+    /// Routed to the designated collector (owner of the all-zeros code):
+    /// one node's local data distribution for the day (Section 3.7).
+    HistReport {
+        /// Index tag.
+        index: String,
+        /// Day number.
+        day: u64,
+        /// The reporting node.
+        reporter: NodeId,
+        /// Its local histogram.
+        hist: GridHistogram,
+    },
+}
+
+impl WireSize for MindPayload {
+    fn wire_size(&self) -> usize {
+        match self {
+            MindPayload::CreateIndex { schema, .. } => 512 + schema.arity() * 32,
+            MindPayload::NewVersion { .. } => 1024, // serialized cut tree
+            MindPayload::DropIndex { .. } => 48,
+            MindPayload::Insert { record, .. } => 48 + record.wire_size(),
+            MindPayload::Replica { record, .. } => 40 + record.wire_size(),
+            MindPayload::RootQuery { rect, filters, .. } => {
+                48 + rect.dims() * 16 + filters.len() * 20
+            }
+            MindPayload::SubQuery { rect, filters, .. } => {
+                56 + rect.dims() * 16 + filters.len() * 20
+            }
+            MindPayload::QueryPlan { codes, .. } => 24 + codes.len() * 9,
+            MindPayload::QueryResponse { records, .. } => {
+                32 + records.iter().map(Record::wire_size).sum::<usize>()
+            }
+            MindPayload::CreateTrigger { trigger } => {
+                64 + trigger.rect.dims() * 16 + trigger.filters.len() * 20
+            }
+            MindPayload::DropTrigger { .. } => 16,
+            MindPayload::TriggerFired { record, .. } => 24 + record.wire_size(),
+            MindPayload::CatalogRequest => 8,
+            MindPayload::CatalogResponse { indexes, .. } => {
+                64 + indexes.len() * 1200 // schemas + serialized cut trees
+            }
+            MindPayload::HandoffScan { rect, filters, .. } => {
+                56 + rect.dims() * 16 + filters.len() * 20
+            }
+            MindPayload::HandoffRecords { records, .. } => {
+                16 + records.iter().map(Record::wire_size).sum::<usize>()
+            }
+            MindPayload::HistReport { hist, .. } => 64 + hist.occupied_bins() * 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carried_filter_bounds_inclusive() {
+        let f = CarriedFilter { attr: 1, lo: 10, hi: 20 };
+        assert!(f.accepts(&Record::new(vec![0, 10])));
+        assert!(f.accepts(&Record::new(vec![0, 20])));
+        assert!(!f.accepts(&Record::new(vec![0, 9])));
+        assert!(!f.accepts(&Record::new(vec![0, 21])));
+    }
+
+    #[test]
+    fn response_size_scales_with_records() {
+        let empty = MindPayload::QueryResponse {
+            query_id: 1,
+            version: 0,
+            code: BitCode::ROOT,
+            responder: NodeId(0),
+            records: vec![],
+        };
+        let full = MindPayload::QueryResponse {
+            query_id: 1,
+            version: 0,
+            code: BitCode::ROOT,
+            responder: NodeId(0),
+            records: (0..100).map(|i| Record::new(vec![i, i, i])).collect(),
+        };
+        assert!(full.wire_size() > empty.wire_size() + 2000);
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-node metrics and summary statistics for the evaluation figures.
+
+use mind_types::node::SimTime;
+
+/// Counters and samples one node accumulates while running.
+#[derive(Debug, Default, Clone)]
+pub struct NodeMetrics {
+    /// `(completed_at, latency)` for every primary insert this node (as
+    /// region owner) finished durably storing — the Figure 7/14 series.
+    pub insert_latencies: Vec<(SimTime, SimTime)>,
+    /// Overlay hops of every insert that arrived here.
+    pub insert_hops: Vec<u32>,
+    /// Routed messages that gave up (TTL/recovery exhaustion).
+    pub undeliverable: u64,
+    /// Target codes of the given-up messages (diagnostics).
+    pub undeliverable_targets: Vec<mind_types::BitCode>,
+    /// Inserts this node originated (per-monitor volume, Figure 12).
+    pub inserts_originated: u64,
+    /// Sub-queries this node answered.
+    pub subqueries_answered: u64,
+}
+
+/// Percentile of a *sorted* slice using nearest-rank (the convention the
+/// paper's box plots use). `p` in `[0, 100]`.
+pub fn percentile(sorted: &[SimTime], p: f64) -> SimTime {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if sorted.is_empty() {
+        return 0;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// The latency summary every latency figure reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Sample count.
+    pub count: usize,
+    /// Median (50th percentile).
+    pub median: SimTime,
+    /// Arithmetic mean.
+    pub mean: SimTime,
+    /// 90th percentile.
+    pub p90: SimTime,
+    /// 99th percentile.
+    pub p99: SimTime,
+    /// Maximum.
+    pub max: SimTime,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of latency samples (order irrelevant).
+    pub fn from_samples(mut samples: Vec<SimTime>) -> Self {
+        samples.sort_unstable();
+        if samples.is_empty() {
+            return LatencySummary { count: 0, median: 0, mean: 0, p90: 0, p99: 0, max: 0 };
+        }
+        let sum: u128 = samples.iter().map(|&s| s as u128).sum();
+        LatencySummary {
+            count: samples.len(),
+            median: percentile(&samples, 50.0),
+            mean: (sum / samples.len() as u128) as SimTime,
+            p90: percentile(&samples, 90.0),
+            p99: percentile(&samples, 99.0),
+            max: *samples.last().unwrap(),
+        }
+    }
+
+    /// Renders microsecond fields as seconds for experiment output.
+    pub fn format_seconds(&self) -> String {
+        format!(
+            "n={} median={:.3}s mean={:.3}s p90={:.3}s p99={:.3}s max={:.3}s",
+            self.count,
+            self.median as f64 / 1e6,
+            self.mean as f64 / 1e6,
+            self.p90 as f64 / 1e6,
+            self.p99 as f64 / 1e6,
+            self.max as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<SimTime> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 90.0), 90);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&v, 0.0), 1);
+    }
+
+    #[test]
+    fn percentile_empty_and_single() {
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = LatencySummary::from_samples(vec![4, 1, 3, 2, 100]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.median, 3);
+        assert_eq!(s.mean, 22);
+        assert_eq!(s.max, 100);
+        assert!(s.p90 >= s.median);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = LatencySummary::from_samples(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.median, 0);
+    }
+
+    #[test]
+    fn format_is_humane() {
+        let s = LatencySummary::from_samples(vec![1_500_000]);
+        let txt = s.format_seconds();
+        assert!(txt.contains("median=1.500s"), "{txt}");
+    }
+}

@@ -1,0 +1,1065 @@
+//! The MIND node: overlay + index management + DAC storage queue.
+//!
+//! A [`MindNode`] is the complete per-host system of Figure 6: the overlay
+//! communication component on one side, the index/data management stack on
+//! the other, glued by an event-driven dispatcher. It implements the MIND
+//! interface of Section 3.2 — `create_index`, `drop_index`,
+//! `insert_record`, `query_index` — callable on any node.
+
+use crate::index::IndexState;
+use crate::messages::{CarriedFilter, IndexDef, MindPayload, Replication};
+use crate::metrics::NodeMetrics;
+use crate::query::QueryTracker;
+use crate::trigger::{Trigger, TriggerSet};
+use mind_histogram::{CutTree, GridHistogram};
+use mind_overlay::{Overlay, OverlayConfig, OverlayEvent, OverlayMsg};
+use mind_store::DacCostModel;
+use mind_types::node::{NodeLogic, Outbox, SimTime, SECONDS};
+use mind_types::{BitCode, HyperRect, MindError, NodeId, Record};
+use std::collections::{HashMap, VecDeque};
+
+/// Timer-token tag for MIND-level timers (the overlay uses `0xA5`).
+const TOKEN_TAG: u64 = 0xB6 << 56;
+const KIND_DAC_TICK: u64 = 0;
+const KIND_BATCH: u64 = 1;
+const KIND_QUERY_DEADLINE: u64 = 2;
+const KIND_COLLECT: u64 = 3;
+
+fn token(kind: u64, arg: u64) -> u64 {
+    TOKEN_TAG | (kind << 48) | (arg & 0xFFFF_FFFF_FFFF)
+}
+
+/// The region code all histogram reports route to: the node owning the
+/// all-zeros corner of the code space acts as the designated collector of
+/// Section 3.7.
+fn collector_code() -> BitCode {
+    BitCode::from_raw(0, 16)
+}
+
+/// MIND node configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MindConfig {
+    /// Storage processing costs (models the prototype's MySQL + JDBC).
+    pub dac_cost: DacCostModel,
+    /// Requests processed per DAC batch.
+    pub dac_batch_size: usize,
+    /// Queries time out (and count as failed) after this long.
+    pub query_deadline: SimTime,
+    /// Granularity of the per-day histograms shipped to the collector.
+    pub hist_granularity: u32,
+    /// Depth of balanced cut trees computed from collected histograms.
+    pub cut_depth: u8,
+    /// Length of a "day" in record-timestamp seconds (for versioning).
+    pub day_len: u64,
+    /// Whether the designated collector computes and floods new versions.
+    pub auto_versioning: bool,
+    /// How long the collector waits for stragglers after the first report.
+    pub collect_grace: SimTime,
+    /// How long a fresh joiner keeps forwarding sub-queries to its
+    /// acceptor for the historical data it did not migrate (the paper's
+    /// "pointer ... dropped once the data have aged", Section 3.4).
+    pub handoff_ttl: SimTime,
+}
+
+impl Default for MindConfig {
+    fn default() -> Self {
+        MindConfig {
+            dac_cost: DacCostModel::default(),
+            dac_batch_size: 64,
+            query_deadline: 60 * SECONDS,
+            hist_granularity: 64,
+            cut_depth: 10,
+            day_len: 86_400,
+            auto_versioning: true,
+            collect_grace: 10 * SECONDS,
+            handoff_ttl: 3600 * SECONDS,
+        }
+    }
+}
+
+/// One buffered storage request (the prototype's DAC queue entry).
+#[derive(Debug)]
+enum DacJob {
+    Insert {
+        index: String,
+        version: u32,
+        record: Record,
+        sent_at: SimTime,
+        is_replica: bool,
+    },
+    Scan {
+        query_id: u64,
+        index: String,
+        version: u32,
+        code: BitCode,
+        rect: HyperRect,
+        filters: Vec<CarriedFilter>,
+        origin: NodeId,
+    },
+}
+
+/// Effects of a processed batch, released when its cost has elapsed.
+#[derive(Debug, Default)]
+struct BatchResult {
+    sends: Vec<(NodeId, MindPayload)>,
+    /// `sent_at` of each primary insert in the batch (latency recorded at
+    /// release time).
+    insert_sent_ats: Vec<SimTime>,
+}
+
+/// A sub-query waiting for the acceptor's historical records.
+#[derive(Debug)]
+struct PendingHandoff {
+    query_id: u64,
+    version: u32,
+    code: BitCode,
+    origin: NodeId,
+    local: Vec<Record>,
+}
+
+/// A complete MIND node.
+pub struct MindNode {
+    id: NodeId,
+    cfg: MindConfig,
+    overlay: Overlay<MindPayload>,
+    indexes: HashMap<String, IndexState>,
+    // DAC
+    dac_queue: VecDeque<DacJob>,
+    dac_busy: bool,
+    batch_seq: u64,
+    pending_batches: HashMap<u64, BatchResult>,
+    // queries
+    query_seq: u64,
+    /// In-flight and finished query trackers, by query id.
+    pub queries: HashMap<u64, QueryTracker>,
+    // join-time data handoff (Section 3.4)
+    handoff: Option<(NodeId, SimTime)>,
+    handoff_seq: u64,
+    pending_handoffs: HashMap<u64, PendingHandoff>,
+    // standing queries
+    triggers: TriggerSet,
+    trigger_seq: u64,
+    /// Notifications received for triggers this node subscribed:
+    /// `(trigger_id, storing node, record)`.
+    pub trigger_log: Vec<(u64, NodeId, Record)>,
+    // histogram collection (collector role)
+    collect_seq: u64,
+    collecting: HashMap<u64, (String, u64, GridHistogram, usize)>,
+    collect_keys: HashMap<(String, u64), u64>,
+    /// Metrics this node accumulated.
+    pub metrics: NodeMetrics,
+}
+
+impl MindNode {
+    /// A node on a statically constructed overlay.
+    pub fn new_static(
+        id: NodeId,
+        code: BitCode,
+        entries: Vec<mind_overlay::NeighborEntry>,
+        overlay_cfg: OverlayConfig,
+        cfg: MindConfig,
+    ) -> Self {
+        Self::with_overlay(id, Overlay::new_static(id, code, entries, overlay_cfg), cfg)
+    }
+
+    /// The first node of a dynamically grown overlay.
+    pub fn new_root(id: NodeId, overlay_cfg: OverlayConfig, cfg: MindConfig) -> Self {
+        Self::with_overlay(id, Overlay::new_root(id, overlay_cfg), cfg)
+    }
+
+    /// A node that joins through `bootstrap` at startup.
+    pub fn new_joiner(id: NodeId, bootstrap: NodeId, overlay_cfg: OverlayConfig, cfg: MindConfig) -> Self {
+        Self::with_overlay(id, Overlay::new_joiner(id, bootstrap, overlay_cfg), cfg)
+    }
+
+    fn with_overlay(id: NodeId, overlay: Overlay<MindPayload>, cfg: MindConfig) -> Self {
+        MindNode {
+            id,
+            cfg,
+            overlay,
+            indexes: HashMap::new(),
+            dac_queue: VecDeque::new(),
+            dac_busy: false,
+            batch_seq: 0,
+            pending_batches: HashMap::new(),
+            query_seq: 0,
+            queries: HashMap::new(),
+            handoff: None,
+            handoff_seq: 0,
+            pending_handoffs: HashMap::new(),
+            triggers: TriggerSet::new(),
+            trigger_seq: 0,
+            trigger_log: Vec::new(),
+            collect_seq: 0,
+            collecting: HashMap::new(),
+            collect_keys: HashMap::new(),
+            metrics: NodeMetrics::default(),
+        }
+    }
+
+    /// This node's transport address.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The overlay component (read-only; for inspection).
+    pub fn overlay(&self) -> &Overlay<MindPayload> {
+        &self.overlay
+    }
+
+    /// Local state of an index, if created.
+    pub fn index_state(&self, tag: &str) -> Option<&IndexState> {
+        self.indexes.get(tag)
+    }
+
+    /// Tags of all indices known to this node.
+    pub fn index_tags(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.indexes.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    // ---- the MIND interface (Section 3.2) ----
+
+    /// `create_index`: instantiates `schema` on every overlay node with
+    /// version-0 cuts and the given replication level.
+    pub fn create_index(
+        &mut self,
+        schema: mind_types::IndexSchema,
+        cuts: CutTree,
+        replication: Replication,
+        out: &mut Outbox<OverlayMsg<MindPayload>>,
+    ) -> Result<(), MindError> {
+        if self.indexes.contains_key(&schema.tag) {
+            return Err(MindError::IndexExists(schema.tag));
+        }
+        let events = self
+            .overlay
+            .flood(MindPayload::CreateIndex { schema, cuts, replication }, out);
+        self.process_events(0, events, out);
+        Ok(())
+    }
+
+    /// `drop_index`: removes the index from every node.
+    pub fn drop_index(&mut self, tag: &str, out: &mut Outbox<OverlayMsg<MindPayload>>) -> Result<(), MindError> {
+        if !self.indexes.contains_key(tag) {
+            return Err(MindError::UnknownIndex(tag.to_string()));
+        }
+        let events = self.overlay.flood(MindPayload::DropIndex { index: tag.to_string() }, out);
+        self.process_events(0, events, out);
+        Ok(())
+    }
+
+    /// `insert_record`: validates the record, embeds it through the
+    /// governing version's cuts, and routes it to its region owner.
+    pub fn insert(
+        &mut self,
+        now: SimTime,
+        index: &str,
+        record: Record,
+        out: &mut Outbox<OverlayMsg<MindPayload>>,
+    ) -> Result<(), MindError> {
+        let state = self
+            .indexes
+            .get(index)
+            .ok_or_else(|| MindError::UnknownIndex(index.to_string()))?;
+        let record = state.conform(record)?;
+        let ts = state.record_ts(&record);
+        let version = state.version_for_ts(ts);
+        let cuts = &state.version(version).expect("version exists").cuts;
+        let code = cuts.code_for_point(record.point(state.schema.indexed_dims));
+        self.metrics.inserts_originated += 1;
+        let payload = MindPayload::Insert {
+            index: index.to_string(),
+            version,
+            record,
+            origin: self.id,
+            sent_at: now,
+        };
+        let events = self.overlay.route(now, code, payload, out);
+        self.process_events(now, events, out);
+        Ok(())
+    }
+
+    /// `query_index`: issues a multi-dimensional range query with optional
+    /// carried-attribute filters; returns the query id to poll.
+    pub fn query(
+        &mut self,
+        now: SimTime,
+        index: &str,
+        rect: HyperRect,
+        filters: Vec<CarriedFilter>,
+        out: &mut Outbox<OverlayMsg<MindPayload>>,
+    ) -> Result<u64, MindError> {
+        let state = self
+            .indexes
+            .get(index)
+            .ok_or_else(|| MindError::UnknownIndex(index.to_string()))?;
+        if rect.dims() != state.schema.indexed_dims {
+            return Err(MindError::SchemaMismatch {
+                index: index.to_string(),
+                reason: format!(
+                    "query has {} dims, index has {}",
+                    rect.dims(),
+                    state.schema.indexed_dims
+                ),
+            });
+        }
+        let time_range = state.schema.time_dim().map(|d| (rect.lo(d), rect.hi(d)));
+        let versions = state.versions_for_range(time_range);
+        let query_id = ((self.id.0 as u64) << 20) | (self.query_seq & 0xF_FFFF);
+        self.query_seq += 1;
+        let mut tracker = QueryTracker::new(index.to_string(), now, &versions);
+        // Route one root query per overlapping version.
+        let mut routed = Vec::new();
+        for v in versions {
+            match state.version(v).unwrap().cuts.query_prefix(&rect) {
+                None => tracker.on_plan(now, v, vec![], None), // misses the domain
+                Some(prefix) => routed.push((v, prefix)),
+            }
+        }
+        self.queries.insert(query_id, tracker);
+        for (v, prefix) in routed {
+            let payload = MindPayload::RootQuery {
+                query_id,
+                index: index.to_string(),
+                version: v,
+                rect: rect.clone(),
+                filters: filters.clone(),
+                origin: self.id,
+            };
+            let events = self.overlay.route(now, prefix, payload, out);
+            self.process_events(now, events, out);
+        }
+        out.set_timer(self.cfg.query_deadline, token(KIND_QUERY_DEADLINE, query_id));
+        Ok(query_id)
+    }
+
+    /// The outcome of a query, once [`QueryTracker::done`].
+    pub fn query_outcome(&self, query_id: u64) -> Option<crate::query::QueryOutcome> {
+        self.queries.get(&query_id).filter(|t| t.done()).map(|t| t.outcome())
+    }
+
+    /// Ships the current day's histogram for `index` to the designated
+    /// collector and resets the local accumulator (called at each day
+    /// boundary — by the harness in experiments, mirroring how the
+    /// paper's operators would schedule it).
+    pub fn report_day_histogram(
+        &mut self,
+        now: SimTime,
+        index: &str,
+        day: u64,
+        out: &mut Outbox<OverlayMsg<MindPayload>>,
+    ) -> Result<(), MindError> {
+        let state = self
+            .indexes
+            .get_mut(index)
+            .ok_or_else(|| MindError::UnknownIndex(index.to_string()))?;
+        let bounds = state.schema.bounds();
+        let hist = std::mem::replace(
+            &mut state.day_histogram,
+            GridHistogram::new(bounds, self.cfg.hist_granularity),
+        );
+        let payload = MindPayload::HistReport {
+            index: index.to_string(),
+            day,
+            reporter: self.id,
+            hist,
+        };
+        let events = self.overlay.route(now, collector_code(), payload, out);
+        self.process_events(now, events, out);
+        Ok(())
+    }
+
+    /// Installs a standing query: any node that stores a matching primary
+    /// record will notify this node directly (see [`crate::trigger`]).
+    /// Returns the trigger id.
+    pub fn create_trigger(
+        &mut self,
+        index: &str,
+        rect: HyperRect,
+        filters: Vec<CarriedFilter>,
+        out: &mut Outbox<OverlayMsg<MindPayload>>,
+    ) -> Result<u64, MindError> {
+        let state = self
+            .indexes
+            .get(index)
+            .ok_or_else(|| MindError::UnknownIndex(index.to_string()))?;
+        if rect.dims() != state.schema.indexed_dims {
+            return Err(MindError::SchemaMismatch {
+                index: index.to_string(),
+                reason: format!(
+                    "trigger has {} dims, index has {}",
+                    rect.dims(),
+                    state.schema.indexed_dims
+                ),
+            });
+        }
+        let trigger_id = ((self.id.0 as u64) << 20) | (self.trigger_seq & 0xF_FFFF);
+        self.trigger_seq += 1;
+        let trigger = Trigger {
+            trigger_id,
+            index: index.to_string(),
+            rect,
+            filters,
+            origin: self.id,
+        };
+        let events = self.overlay.flood(MindPayload::CreateTrigger { trigger }, out);
+        self.process_events(0, events, out);
+        Ok(trigger_id)
+    }
+
+    /// Removes a standing query everywhere.
+    pub fn drop_trigger(&mut self, trigger_id: u64, out: &mut Outbox<OverlayMsg<MindPayload>>) {
+        let events = self.overlay.flood(MindPayload::DropTrigger { trigger_id }, out);
+        self.process_events(0, events, out);
+    }
+
+    /// Drops every index version whose governed time range ends before
+    /// `before_ts` — the version aging the paper defers ("the pointer
+    /// will be dropped once the data have aged", Section 3.4/3.7).
+    /// Returns the number of versions garbage-collected locally.
+    pub fn gc_versions(&mut self, index: &str, before_ts: u64) -> Result<usize, MindError> {
+        let state = self
+            .indexes
+            .get_mut(index)
+            .ok_or_else(|| MindError::UnknownIndex(index.to_string()))?;
+        Ok(state.gc_before(before_ts))
+    }
+
+    // ---- event plumbing ----
+
+    fn process_events(
+        &mut self,
+        now: SimTime,
+        events: Vec<OverlayEvent<MindPayload>>,
+        out: &mut Outbox<OverlayMsg<MindPayload>>,
+    ) {
+        for ev in events {
+            match ev {
+                OverlayEvent::Delivered { target: _, hops, payload } => {
+                    self.on_routed(now, hops, payload, out)
+                }
+                OverlayEvent::DirectDelivered { from, payload } => self.on_direct(now, from, payload, out),
+                OverlayEvent::FloodDelivered { payload } => self.on_flood(payload),
+                OverlayEvent::Undeliverable { target, .. } => {
+                    self.metrics.undeliverable += 1;
+                    if self.metrics.undeliverable_targets.len() < 64 {
+                        self.metrics.undeliverable_targets.push(target);
+                    }
+                }
+                OverlayEvent::Joined { acceptor, .. } => {
+                    // Section 3.4: fetch the index catalog from the node
+                    // we attached to, and keep a pointer to it for the
+                    // region's historical data until it ages.
+                    self.handoff = Some((acceptor, now));
+                    out.send(acceptor, OverlayMsg::Direct { payload: MindPayload::CatalogRequest });
+                }
+                OverlayEvent::CodeChanged { .. }
+                | OverlayEvent::TookOver { .. }
+                | OverlayEvent::NeighborFailed { .. } => {}
+            }
+        }
+    }
+
+    fn on_flood(&mut self, payload: MindPayload) {
+        match payload {
+            MindPayload::CreateIndex { schema, cuts, replication } => {
+                let tag = schema.tag.clone();
+                self.indexes
+                    .entry(tag)
+                    .or_insert_with(|| IndexState::new(schema, cuts, replication, self.cfg.hist_granularity));
+            }
+            MindPayload::NewVersion { index, version, from_ts, cuts } => {
+                if let Some(state) = self.indexes.get_mut(&index) {
+                    state.install_version(version, from_ts, cuts);
+                }
+            }
+            MindPayload::DropIndex { index } => {
+                self.indexes.remove(&index);
+                self.triggers.remove_index(&index);
+            }
+            MindPayload::CreateTrigger { trigger } => {
+                self.triggers.install(trigger);
+            }
+            MindPayload::DropTrigger { trigger_id } => {
+                self.triggers.remove(trigger_id);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_routed(
+        &mut self,
+        now: SimTime,
+        hops: u32,
+        payload: MindPayload,
+        out: &mut Outbox<OverlayMsg<MindPayload>>,
+    ) {
+        match payload {
+            MindPayload::Insert { index, version, record, origin: _, sent_at } => {
+                self.metrics.insert_hops.push(hops);
+                self.enqueue(
+                    now,
+                    DacJob::Insert { index, version, record, sent_at, is_replica: false },
+                    out,
+                );
+            }
+            MindPayload::RootQuery { query_id, index, version, rect, filters, origin } => {
+                self.split_root_query(now, query_id, &index, version, rect, filters, origin, out);
+            }
+            MindPayload::SubQuery { query_id, index, version, code, rect, filters, origin } => {
+                self.on_subquery(now, query_id, index, version, code, rect, filters, origin, out);
+            }
+            MindPayload::HistReport { index, day, reporter: _, hist } => {
+                self.on_hist_report(now, index, day, hist, out);
+            }
+            other => {
+                debug_assert!(false, "unexpected routed payload: {other:?}");
+            }
+        }
+    }
+
+    fn on_direct(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        payload: MindPayload,
+        out: &mut Outbox<OverlayMsg<MindPayload>>,
+    ) {
+        match payload {
+            MindPayload::Replica { index, version, record } => {
+                // Replica writes skip latency metrics and histogram
+                // accounting but share the DAC (they cost real work).
+                self.enqueue(
+                    now,
+                    DacJob::Insert { index, version, record, sent_at: now, is_replica: true },
+                    out,
+                );
+            }
+            MindPayload::TriggerFired { trigger_id, at, record } => {
+                self.trigger_log.push((trigger_id, at, record));
+            }
+            MindPayload::CatalogRequest => {
+                let indexes: Vec<IndexDef> = self
+                    .indexes
+                    .values()
+                    .map(|st| IndexDef {
+                        schema: st.schema.clone(),
+                        replication: st.replication,
+                        versions: st.versions.iter().map(|v| (v.from_ts, v.cuts.clone())).collect(),
+                    })
+                    .collect();
+                out.send(
+                    from,
+                    OverlayMsg::Direct {
+                        payload: MindPayload::CatalogResponse {
+                            indexes,
+                            triggers: self.triggers.all(),
+                        },
+                    },
+                );
+            }
+            MindPayload::CatalogResponse { indexes, triggers } => {
+                for def in indexes {
+                    let tag = def.schema.tag.clone();
+                    let state = self.indexes.entry(tag).or_insert_with(|| {
+                        let mut it = def.versions.iter();
+                        let (_, first_cuts) = it.next().expect("at least version 0").clone();
+                        IndexState::new(
+                            def.schema.clone(),
+                            first_cuts,
+                            def.replication,
+                            self.cfg.hist_granularity,
+                        )
+                    });
+                    for (v, (from_ts, cuts)) in def.versions.into_iter().enumerate() {
+                        state.install_version(v as u32, from_ts, cuts);
+                    }
+                }
+                for t in triggers {
+                    self.triggers.install(t);
+                }
+            }
+            MindPayload::HandoffScan { handoff_id, index, version, code, rect, filters } => {
+                // Scan our retained historical rows for the joiner's
+                // region — primaries only: replica copies there are echoes
+                // of rows whose primaries already answer elsewhere (e.g.
+                // the joiner's own post-join inserts replicated back to
+                // us, its sibling).
+                let records = self.run_scan(&index, version, &code, &rect, &filters, true);
+                out.send(
+                    from,
+                    OverlayMsg::Direct { payload: MindPayload::HandoffRecords { handoff_id, records } },
+                );
+            }
+            MindPayload::HandoffRecords { handoff_id, mut records } => {
+                if let Some(p) = self.pending_handoffs.remove(&handoff_id) {
+                    let mut merged = p.local;
+                    merged.append(&mut records);
+                    out.send(
+                        p.origin,
+                        OverlayMsg::Direct {
+                            payload: MindPayload::QueryResponse {
+                                query_id: p.query_id,
+                                version: p.version,
+                                code: p.code,
+                                responder: self.id,
+                                records: merged,
+                            },
+                        },
+                    );
+                }
+            }
+            MindPayload::QueryPlan { query_id, version, codes, replaces } => {
+                if let Some(t) = self.queries.get_mut(&query_id) {
+                    t.on_plan(now, version, codes, replaces);
+                }
+            }
+            MindPayload::QueryResponse { query_id, version, code, responder, records } => {
+                if std::env::var_os("MIND_TRACE").is_some() && !records.is_empty() {
+                    eprintln!(
+                        "[resp] q{query_id} v{version} code={code} from {responder}: {} records",
+                        records.len()
+                    );
+                }
+                if let Some(t) = self.queries.get_mut(&query_id) {
+                    t.on_response(now, version, code, responder, records);
+                }
+            }
+            other => {
+                debug_assert!(false, "unexpected direct payload: {other:?}");
+            }
+        }
+    }
+
+    /// Section 3.6: the first node whose region abuts the query splits it
+    /// into per-region sub-queries, announces the plan to the originator,
+    /// answers its own regions, and routes the rest.
+    #[allow(clippy::too_many_arguments)]
+    fn split_root_query(
+        &mut self,
+        now: SimTime,
+        query_id: u64,
+        index: &str,
+        version: u32,
+        rect: HyperRect,
+        filters: Vec<CarriedFilter>,
+        origin: NodeId,
+        out: &mut Outbox<OverlayMsg<MindPayload>>,
+    ) {
+        let Some(state) = self.indexes.get(index) else {
+            // Index unknown here (flood race): report an empty plan so the
+            // originator is not left hanging.
+            out.send(
+                origin,
+                OverlayMsg::Direct {
+                    payload: MindPayload::QueryPlan { query_id, version, codes: vec![], replaces: None },
+                },
+            );
+            return;
+        };
+        let Some(ver) = state.version(version) else {
+            out.send(
+                origin,
+                OverlayMsg::Direct {
+                    payload: MindPayload::QueryPlan { query_id, version, codes: vec![], replaces: None },
+                },
+            );
+            return;
+        };
+        // Split down to at least this node's code length so that, on a
+        // balanced overlay, every sub-query maps to one node. Deeper nodes
+        // refine further on arrival (see `on_subquery`).
+        let min_len = self.overlay.code().map(|c| c.len()).unwrap_or(0);
+        let codes = ver.cuts.covering_codes_at_least(&rect, min_len);
+        out.send(
+            origin,
+            OverlayMsg::Direct {
+                payload: MindPayload::QueryPlan { query_id, version, codes: codes.clone(), replaces: None },
+            },
+        );
+        for code in codes {
+            self.dispatch_subquery(
+                now,
+                query_id,
+                index.to_string(),
+                version,
+                code,
+                rect.clone(),
+                filters.clone(),
+                origin,
+                out,
+            );
+        }
+    }
+
+    /// Routes a sub-query to its region owner, or processes it here when
+    /// this node is responsible.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_subquery(
+        &mut self,
+        now: SimTime,
+        query_id: u64,
+        index: String,
+        version: u32,
+        code: BitCode,
+        rect: HyperRect,
+        filters: Vec<CarriedFilter>,
+        origin: NodeId,
+        out: &mut Outbox<OverlayMsg<MindPayload>>,
+    ) {
+        if self.overlay.should_answer(&code) {
+            self.on_subquery(now, query_id, index, version, code, rect, filters, origin, out);
+        } else {
+            let payload = MindPayload::SubQuery {
+                query_id,
+                index,
+                version,
+                code,
+                rect,
+                filters,
+                origin,
+            };
+            let events = self.overlay.route(now, code, payload, out);
+            self.process_events(now, events, out);
+        }
+    }
+
+    /// Handles a sub-query arriving at (or dispatched to) this node.
+    ///
+    /// If this node's code strictly extends the region code, the region
+    /// spans several nodes (unbalanced overlay): split it one level,
+    /// announce the refinement atomically to the originator, and dispatch
+    /// the halves. Otherwise answer it from the local store.
+    #[allow(clippy::too_many_arguments)]
+    fn on_subquery(
+        &mut self,
+        now: SimTime,
+        query_id: u64,
+        index: String,
+        version: u32,
+        code: BitCode,
+        rect: HyperRect,
+        filters: Vec<CarriedFilter>,
+        origin: NodeId,
+        out: &mut Outbox<OverlayMsg<MindPayload>>,
+    ) {
+        let my_code = self.overlay.code();
+        let must_refine = match my_code {
+            Some(mine) => code.is_prefix_of(&mine) && code.len() < mine.len(),
+            None => false,
+        };
+        // Refinement requires the cut tree to be deeper than the region
+        // code; a leaf region is answered whole (the tree depth is always
+        // configured above the overlay depth, see MindConfig::cut_depth).
+        let can_refine = self
+            .indexes
+            .get(&index)
+            .and_then(|s| s.version(version))
+            .map(|v| v.cuts.depth() > code.len())
+            .unwrap_or(false);
+        if must_refine && can_refine {
+            let children = vec![code.child(false), code.child(true)];
+            out.send(
+                origin,
+                OverlayMsg::Direct {
+                    payload: MindPayload::QueryPlan {
+                        query_id,
+                        version,
+                        codes: children.clone(),
+                        replaces: Some(code),
+                    },
+                },
+            );
+            for child in children {
+                self.dispatch_subquery(
+                    now,
+                    query_id,
+                    index.clone(),
+                    version,
+                    child,
+                    rect.clone(),
+                    filters.clone(),
+                    origin,
+                    out,
+                );
+            }
+            return;
+        }
+        self.enqueue(
+            now,
+            DacJob::Scan { query_id, index, version, code, rect, filters, origin },
+            out,
+        );
+    }
+
+    fn on_hist_report(
+        &mut self,
+        _now: SimTime,
+        index: String,
+        day: u64,
+        hist: GridHistogram,
+        out: &mut Outbox<OverlayMsg<MindPayload>>,
+    ) {
+        if !self.cfg.auto_versioning {
+            return;
+        }
+        let key = (index.clone(), day);
+        let seq = *self.collect_keys.entry(key).or_insert_with(|| {
+            let s = self.collect_seq;
+            self.collect_seq += 1;
+            s
+        });
+        match self.collecting.get_mut(&seq) {
+            Some((_, _, acc, n)) => {
+                acc.merge(&hist);
+                *n += 1;
+            }
+            None => {
+                // First report for this (index, day): arm the grace timer.
+                out.set_timer(self.cfg.collect_grace, token(KIND_COLLECT, seq));
+                self.collecting.insert(seq, (index, day, hist, 1));
+            }
+        }
+    }
+
+    fn finish_collection(&mut self, seq: u64, out: &mut Outbox<OverlayMsg<MindPayload>>) {
+        let Some((index, day, hist, _reports)) = self.collecting.remove(&seq) else {
+            return;
+        };
+        self.collect_keys.remove(&(index.clone(), day));
+        let Some(state) = self.indexes.get(&index) else { return };
+        let bounds = state.schema.bounds();
+        let cuts = CutTree::balanced_from_histogram(bounds, self.cfg.cut_depth, &hist);
+        let version = state.versions.len() as u32;
+        let from_ts = (day + 1) * self.cfg.day_len;
+        let events = self
+            .overlay
+            .flood(MindPayload::NewVersion { index, version, from_ts, cuts }, out);
+        self.process_events(0, events, out);
+    }
+
+    // ---- the DAC (Section 3.9) ----
+
+    fn enqueue(&mut self, _now: SimTime, job: DacJob, out: &mut Outbox<OverlayMsg<MindPayload>>) {
+        self.dac_queue.push_back(job);
+        if !self.dac_busy {
+            self.dac_busy = true;
+            out.set_timer(1, token(KIND_DAC_TICK, 0));
+        }
+    }
+
+    fn dac_tick(&mut self, now: SimTime, out: &mut Outbox<OverlayMsg<MindPayload>>) {
+        if self.dac_queue.is_empty() {
+            self.dac_busy = false;
+            return;
+        }
+        let cost_model = self.cfg.dac_cost;
+        let mut cost: SimTime = cost_model.batch_overhead;
+        let mut result = BatchResult::default();
+        for _ in 0..self.cfg.dac_batch_size {
+            let Some(job) = self.dac_queue.pop_front() else { break };
+            match job {
+                DacJob::Insert { index, version, record, sent_at, is_replica } => {
+                    cost += cost_model.per_insert;
+                    self.apply_insert(&index, version, record, is_replica, &mut result);
+                    if !is_replica {
+                        result.insert_sent_ats.push(sent_at);
+                    }
+                }
+                DacJob::Scan { query_id, index, version, code, rect, filters, origin } => {
+                    let records = self.run_scan(&index, version, &code, &rect, &filters, false);
+                    cost += cost_model.per_query + cost_model.per_result * records.len() as SimTime;
+                    self.metrics.subqueries_answered += 1;
+                    // Fresh joiner: the region's historical rows still live
+                    // at the acceptor (Section 3.4). Merge its answer with
+                    // ours before responding.
+                    if let Some((sibling, joined_at)) = self.handoff {
+                        if now.saturating_sub(joined_at) < self.cfg.handoff_ttl {
+                            let handoff_id = self.handoff_seq;
+                            self.handoff_seq += 1;
+                            self.pending_handoffs.insert(
+                                handoff_id,
+                                PendingHandoff { query_id, version, code, origin, local: records },
+                            );
+                            result.sends.push((
+                                sibling,
+                                MindPayload::HandoffScan {
+                                    handoff_id,
+                                    index,
+                                    version,
+                                    code,
+                                    rect,
+                                    filters,
+                                },
+                            ));
+                            continue;
+                        }
+                        self.handoff = None; // aged out
+                    }
+                    result.sends.push((
+                        origin,
+                        MindPayload::QueryResponse { query_id, version, code, responder: self.id, records },
+                    ));
+                }
+            }
+        }
+        let batch_id = self.batch_seq;
+        self.batch_seq += 1;
+        self.pending_batches.insert(batch_id, result);
+        // Results (and the next batch) are released when this batch's
+        // processing time has elapsed — storage work is not interleaved
+        // with network transmission, exactly as in the prototype.
+        let _ = now;
+        out.set_timer(cost.max(1), token(KIND_BATCH, batch_id));
+    }
+
+    fn apply_insert(
+        &mut self,
+        index: &str,
+        version: u32,
+        record: Record,
+        is_replica: bool,
+        result: &mut BatchResult,
+    ) {
+        let Some(state) = self.indexes.get_mut(index) else { return };
+        let dims = state.schema.indexed_dims;
+        if !is_replica {
+            state.day_histogram.add(record.point(dims));
+            // Standing queries fire the moment the primary copy lands.
+            for (trigger_id, origin) in self.triggers.fired(index, &record, dims) {
+                result.sends.push((
+                    origin,
+                    MindPayload::TriggerFired { trigger_id, at: self.id, record: record.clone() },
+                ));
+            }
+        }
+        let replication = state.replication;
+        let Some(ver) = state.version_mut(version) else { return };
+        if is_replica {
+            ver.replica_rows += 1;
+            ver.replicas.insert(record);
+            return;
+        }
+        ver.primary_rows += 1;
+        ver.primary.insert(record.clone());
+        // Push replicas to the prefix neighbors that would take over.
+        let targets = match replication {
+            Replication::None => Vec::new(),
+            Replication::Level(m) => self.overlay.replica_targets(m as usize),
+            Replication::Full => self.overlay.all_neighbor_targets(),
+        };
+        for t in targets {
+            result.sends.push((
+                t,
+                MindPayload::Replica { index: index.to_string(), version, record: record.clone() },
+            ));
+        }
+    }
+
+    fn run_scan(
+        &mut self,
+        index: &str,
+        version: u32,
+        code: &BitCode,
+        rect: &HyperRect,
+        filters: &[CarriedFilter],
+        primary_only: bool,
+    ) -> Vec<Record> {
+        let Some(state) = self.indexes.get_mut(index) else { return Vec::new() };
+        let Some(ver) = state.version_mut(version) else { return Vec::new() };
+        // Clip to the sub-query's region so that (a) covering regions
+        // never overlap and (b) replica rows are only returned by the node
+        // that took the region over.
+        let region = ver.cuts.rect_for_code(code);
+        let Some(clip) = region.intersection(rect) else { return Vec::new() };
+        let accept = |r: &Record| filters.iter().all(|f| f.accepts(r));
+        let mut out: Vec<Record> = ver.primary.range_records(&clip).into_iter().filter(accept).collect();
+        if !primary_only {
+            out.extend(ver.replicas.range_records(&clip).into_iter().filter(accept));
+        }
+        out
+    }
+
+    fn release_batch(&mut self, now: SimTime, batch_id: u64, out: &mut Outbox<OverlayMsg<MindPayload>>) {
+        if let Some(result) = self.pending_batches.remove(&batch_id) {
+            for sent_at in result.insert_sent_ats {
+                self.metrics.insert_latencies.push((now, now.saturating_sub(sent_at)));
+            }
+            for (dest, payload) in result.sends {
+                if dest == self.id {
+                    // Loopback shortcut (e.g. responding to our own query).
+                    self.on_direct(now, self.id, payload, out);
+                } else {
+                    out.send(dest, OverlayMsg::Direct { payload });
+                }
+            }
+        }
+        if self.dac_queue.is_empty() {
+            self.dac_busy = false;
+        } else {
+            out.set_timer(1, token(KIND_DAC_TICK, 0));
+        }
+    }
+
+    /// Pending (unprocessed) DAC requests — the Figure 11 hotspot signal.
+    pub fn dac_pending(&self) -> usize {
+        self.dac_queue.len()
+    }
+
+}
+
+impl NodeLogic for MindNode {
+    type Msg = OverlayMsg<MindPayload>;
+
+    fn on_start(&mut self, now: SimTime, out: &mut Outbox<Self::Msg>) {
+        self.overlay.on_start(now, out);
+    }
+
+    fn on_message(&mut self, now: SimTime, from: NodeId, msg: Self::Msg, out: &mut Outbox<Self::Msg>) {
+        let events = self.overlay.handle(now, from, msg, out);
+        self.process_events(now, events, out);
+    }
+
+    fn on_timer(&mut self, now: SimTime, tok: u64, out: &mut Outbox<Self::Msg>) {
+        if let Some(events) = self.overlay.on_timer(now, tok, out) {
+            self.process_events(now, events, out);
+            return;
+        }
+        if tok & (0xFF << 56) != TOKEN_TAG {
+            return;
+        }
+        let kind = (tok >> 48) & 0xFF;
+        let arg = tok & 0xFFFF_FFFF_FFFF;
+        match kind {
+            KIND_DAC_TICK => self.dac_tick(now, out),
+            KIND_BATCH => self.release_batch(now, arg, out),
+            KIND_QUERY_DEADLINE => {
+                if let Some(t) = self.queries.get_mut(&arg) {
+                    t.on_deadline();
+                }
+            }
+            KIND_COLLECT => self.finish_collection(arg, out),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_scheme_disjoint_from_overlay() {
+        // Overlay tokens are tagged 0xA5; ours 0xB6.
+        let t = token(KIND_DAC_TICK, 0);
+        assert_eq!(t >> 56, 0xB6);
+    }
+
+    #[test]
+    fn collector_code_is_all_zeros() {
+        let c = collector_code();
+        assert!(c.iter_bits().all(|b| !b));
+    }
+}

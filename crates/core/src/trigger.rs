@@ -1,0 +1,165 @@
+//! Standing queries (triggers).
+//!
+//! Footnote 1 of the paper: *"triggers can just as easily be supported in
+//! our system, with minor mechanistic modifications"* — and the
+//! conclusion envisions MIND as a component of an **on-line** anomaly
+//! detection system. This module supplies that modification: a trigger is
+//! a registered hyper-rectangle (plus optional carried-attribute filters);
+//! every node checks newly stored primary records against its installed
+//! triggers and notifies the subscribing node directly the moment one
+//! matches.
+//!
+//! Triggers are installed by flooding (like index creation), so they stay
+//! correct as regions move between nodes during failures and takeovers —
+//! whichever node ends up storing a matching record fires the trigger.
+
+use crate::messages::CarriedFilter;
+use mind_types::{HyperRect, NodeId, Record};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One standing query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trigger {
+    /// Unique id (origin node + sequence).
+    pub trigger_id: u64,
+    /// Index the trigger watches.
+    pub index: String,
+    /// Fires for records whose indexed point falls in this rectangle.
+    pub rect: HyperRect,
+    /// Additional carried-attribute filters.
+    pub filters: Vec<CarriedFilter>,
+    /// Where notifications are sent.
+    pub origin: NodeId,
+}
+
+impl Trigger {
+    /// `true` if a (conformed) record fires this trigger.
+    pub fn matches(&self, record: &Record, indexed_dims: usize) -> bool {
+        self.rect.contains_point(record.point(indexed_dims))
+            && self.filters.iter().all(|f| f.accepts(record))
+    }
+}
+
+/// The per-node registry of installed triggers.
+#[derive(Debug, Default)]
+pub struct TriggerSet {
+    by_index: HashMap<String, Vec<Trigger>>,
+}
+
+impl TriggerSet {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or re-installs, idempotently) a trigger.
+    pub fn install(&mut self, t: Trigger) {
+        let list = self.by_index.entry(t.index.clone()).or_default();
+        if !list.iter().any(|x| x.trigger_id == t.trigger_id) {
+            list.push(t);
+        }
+    }
+
+    /// Removes a trigger everywhere it appears.
+    pub fn remove(&mut self, trigger_id: u64) {
+        for list in self.by_index.values_mut() {
+            list.retain(|t| t.trigger_id != trigger_id);
+        }
+    }
+
+    /// Drops all triggers of an index (the index was dropped).
+    pub fn remove_index(&mut self, index: &str) {
+        self.by_index.remove(index);
+    }
+
+    /// The triggers fired by a newly stored record; returns
+    /// `(trigger_id, origin)` pairs.
+    pub fn fired(&self, index: &str, record: &Record, indexed_dims: usize) -> Vec<(u64, NodeId)> {
+        self.by_index
+            .get(index)
+            .map(|list| {
+                list.iter()
+                    .filter(|t| t.matches(record, indexed_dims))
+                    .map(|t| (t.trigger_id, t.origin))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// All installed triggers (catalog transfer to fresh joiners).
+    pub fn all(&self) -> Vec<Trigger> {
+        self.by_index.values().flatten().cloned().collect()
+    }
+
+    /// Number of installed triggers.
+    pub fn len(&self) -> usize {
+        self.by_index.values().map(Vec::len).sum()
+    }
+
+    /// `true` when no triggers are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trig(id: u64, lo: u64, hi: u64) -> Trigger {
+        Trigger {
+            trigger_id: id,
+            index: "i".into(),
+            rect: HyperRect::new(vec![lo, 0], vec![hi, 100]),
+            filters: vec![],
+            origin: NodeId(7),
+        }
+    }
+
+    #[test]
+    fn fires_only_in_rect() {
+        let mut s = TriggerSet::new();
+        s.install(trig(1, 10, 20));
+        assert_eq!(s.fired("i", &Record::new(vec![15, 5, 99]), 2), vec![(1, NodeId(7))]);
+        assert!(s.fired("i", &Record::new(vec![25, 5, 99]), 2).is_empty());
+        assert!(s.fired("other", &Record::new(vec![15, 5, 99]), 2).is_empty());
+    }
+
+    #[test]
+    fn filters_apply() {
+        let mut s = TriggerSet::new();
+        let mut t = trig(2, 0, 100);
+        t.filters.push(CarriedFilter { attr: 2, lo: 50, hi: 60 });
+        s.install(t);
+        assert!(s.fired("i", &Record::new(vec![5, 5, 10]), 2).is_empty(), "filter must reject");
+        assert_eq!(s.fired("i", &Record::new(vec![5, 5, 55]), 2).len(), 1);
+    }
+
+    #[test]
+    fn install_idempotent_remove_works() {
+        let mut s = TriggerSet::new();
+        s.install(trig(3, 0, 100));
+        s.install(trig(3, 0, 100)); // re-flooded
+        assert_eq!(s.len(), 1);
+        s.remove(3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn multiple_triggers_can_fire_for_one_record() {
+        let mut s = TriggerSet::new();
+        s.install(trig(1, 0, 50));
+        s.install(trig(2, 40, 100));
+        let fired = s.fired("i", &Record::new(vec![45, 0, 0]), 2);
+        assert_eq!(fired.len(), 2);
+    }
+
+    #[test]
+    fn remove_index_clears() {
+        let mut s = TriggerSet::new();
+        s.install(trig(1, 0, 50));
+        s.remove_index("i");
+        assert!(s.is_empty());
+    }
+}

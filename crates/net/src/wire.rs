@@ -1,0 +1,661 @@
+//! A compact, non-self-describing binary format for serde types.
+//!
+//! Layout rules (all integers little-endian):
+//!
+//! * fixed-width primitives as-is; `bool` as one byte,
+//! * `str` / `bytes`: `u32` length + raw bytes,
+//! * `Option`: 1-byte tag (0 = None, 1 = Some),
+//! * sequences and maps: `u32` length + elements,
+//! * structs and tuples: fields in declaration order, no framing,
+//! * enums: `u32` variant index + variant content.
+//!
+//! Both ends must agree on the Rust types (like bincode); the frame layer
+//! guarantees message boundaries.
+
+use bytes::{Buf, BufMut};
+use serde::de::{DeserializeOwned, EnumAccess, IntoDeserializer, MapAccess, SeqAccess, VariantAccess, Visitor};
+use serde::ser::{
+    SerializeMap, SerializeSeq, SerializeStruct, SerializeStructVariant, SerializeTuple,
+    SerializeTupleStruct, SerializeTupleVariant,
+};
+use serde::Serialize;
+use std::fmt;
+
+/// Encoding/decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl serde::ser::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        WireError(msg.to_string())
+    }
+}
+
+impl serde::de::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        WireError(msg.to_string())
+    }
+}
+
+/// Serializes `v` into a fresh buffer.
+pub fn to_bytes<T: Serialize>(v: &T) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::with_capacity(128);
+    v.serialize(&mut Ser { out: &mut out })?;
+    Ok(out)
+}
+
+/// Deserializes a value of type `T` from `buf` (must consume it exactly).
+pub fn from_bytes<T: DeserializeOwned>(buf: &[u8]) -> Result<T, WireError> {
+    let mut de = De { buf };
+    let v = T::deserialize(&mut de)?;
+    if !de.buf.is_empty() {
+        return Err(WireError(format!("{} trailing bytes", de.buf.len())));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------- encoder
+
+struct Ser<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+impl<'a, 'b> serde::Serializer for &'b mut Ser<'a> {
+    type Ok = ();
+    type Error = WireError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), WireError> {
+        self.out.put_u8(v as u8);
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), WireError> {
+        self.out.put_i8(v);
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), WireError> {
+        self.out.put_i16_le(v);
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), WireError> {
+        self.out.put_i32_le(v);
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), WireError> {
+        self.out.put_i64_le(v);
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), WireError> {
+        self.out.put_u8(v);
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), WireError> {
+        self.out.put_u16_le(v);
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), WireError> {
+        self.out.put_u32_le(v);
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), WireError> {
+        self.out.put_u64_le(v);
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), WireError> {
+        self.out.put_f32_le(v);
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), WireError> {
+        self.out.put_f64_le(v);
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), WireError> {
+        self.out.put_u32_le(v as u32);
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), WireError> {
+        self.serialize_bytes(v.as_bytes())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), WireError> {
+        let len = u32::try_from(v.len()).map_err(|_| WireError("bytes too long".into()))?;
+        self.out.put_u32_le(len);
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), WireError> {
+        self.out.put_u8(0);
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), WireError> {
+        self.out.put_u8(1);
+        v.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), WireError> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), WireError> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), WireError> {
+        self.out.put_u32_le(variant_index);
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        v: &T,
+    ) -> Result<(), WireError> {
+        v.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        v: &T,
+    ) -> Result<(), WireError> {
+        self.out.put_u32_le(variant_index);
+        v.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, WireError> {
+        let len = len.ok_or_else(|| WireError("sequences must know their length".into()))?;
+        let len = u32::try_from(len).map_err(|_| WireError("sequence too long".into()))?;
+        self.out.put_u32_le(len);
+        Ok(self)
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self, WireError> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, WireError> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, WireError> {
+        self.out.put_u32_le(variant_index);
+        Ok(self)
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, WireError> {
+        let len = len.ok_or_else(|| WireError("maps must know their length".into()))?;
+        let len = u32::try_from(len).map_err(|_| WireError("map too long".into()))?;
+        self.out.put_u32_le(len);
+        Ok(self)
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, WireError> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, WireError> {
+        self.out.put_u32_le(variant_index);
+        Ok(self)
+    }
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+macro_rules! forward_compound {
+    ($trait_:ident, $method:ident) => {
+        impl<'a, 'b> $trait_ for &'b mut Ser<'a> {
+            type Ok = ();
+            type Error = WireError;
+            fn $method<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), WireError> {
+                v.serialize(&mut **self)
+            }
+            fn end(self) -> Result<(), WireError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+forward_compound!(SerializeSeq, serialize_element);
+forward_compound!(SerializeTuple, serialize_element);
+forward_compound!(SerializeTupleStruct, serialize_field);
+forward_compound!(SerializeTupleVariant, serialize_field);
+
+impl<'a, 'b> SerializeMap for &'b mut Ser<'a> {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), WireError> {
+        key.serialize(&mut **self)
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> SerializeStruct for &'b mut Ser<'a> {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        v: &T,
+    ) -> Result<(), WireError> {
+        v.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> SerializeStructVariant for &'b mut Ser<'a> {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        v: &T,
+    ) -> Result<(), WireError> {
+        v.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- decoder
+
+struct De<'de> {
+    buf: &'de [u8],
+}
+
+impl<'de> De<'de> {
+    fn need(&self, n: usize) -> Result<(), WireError> {
+        if self.buf.remaining() < n {
+            Err(WireError(format!("need {n} bytes, have {}", self.buf.remaining())))
+        } else {
+            Ok(())
+        }
+    }
+    fn take_len(&mut self) -> Result<usize, WireError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le() as usize)
+    }
+    fn take_slice(&mut self, n: usize) -> Result<&'de [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError(format!("need {n} bytes, have {}", self.buf.len())));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+}
+
+macro_rules! de_num {
+    ($method:ident, $visit:ident, $get:ident, $n:expr) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+            self.need($n)?;
+            let v = self.buf.$get();
+            visitor.$visit(v)
+        }
+    };
+}
+
+impl<'de, 'a> serde::Deserializer<'de> for &'a mut De<'de> {
+    type Error = WireError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
+        Err(WireError("format is not self-describing".into()))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        self.need(1)?;
+        match self.buf.get_u8() {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            b => Err(WireError(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    de_num!(deserialize_i8, visit_i8, get_i8, 1);
+    de_num!(deserialize_i16, visit_i16, get_i16_le, 2);
+    de_num!(deserialize_i32, visit_i32, get_i32_le, 4);
+    de_num!(deserialize_i64, visit_i64, get_i64_le, 8);
+    de_num!(deserialize_u8, visit_u8, get_u8, 1);
+    de_num!(deserialize_u16, visit_u16, get_u16_le, 2);
+    de_num!(deserialize_u32, visit_u32, get_u32_le, 4);
+    de_num!(deserialize_u64, visit_u64, get_u64_le, 8);
+    de_num!(deserialize_f32, visit_f32, get_f32_le, 4);
+    de_num!(deserialize_f64, visit_f64, get_f64_le, 8);
+
+    fn deserialize_i128<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
+        Err(WireError("i128 unsupported".into()))
+    }
+    fn deserialize_u128<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
+        Err(WireError("u128 unsupported".into()))
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        self.need(4)?;
+        let c = char::from_u32(self.buf.get_u32_le())
+            .ok_or_else(|| WireError("invalid char".into()))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let n = self.take_len()?;
+        let s = std::str::from_utf8(self.take_slice(n)?)
+            .map_err(|e| WireError(format!("invalid utf8: {e}")))?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let n = self.take_len()?;
+        visitor.visit_borrowed_bytes(self.take_slice(n)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        self.need(1)?;
+        match self.buf.get_u8() {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            b => Err(WireError(format!("invalid option tag {b}"))),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let n = self.take_len()?;
+        visitor.visit_seq(Counted { de: self, left: n })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, WireError> {
+        visitor.visit_seq(Counted { de: self, left: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_seq(Counted { de: self, left: len })
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let n = self.take_len()?;
+        visitor.visit_map(Counted { de: self, left: n })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_seq(Counted { de: self, left: fields.len() })
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_enum(Enum { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
+        Err(WireError("identifiers are positional".into()))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
+        Err(WireError("cannot skip unknown fields".into()))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct Counted<'a, 'de> {
+    de: &'a mut De<'de>,
+    left: usize,
+}
+
+impl<'a, 'de> SeqAccess<'de> for Counted<'a, 'de> {
+    type Error = WireError;
+    fn next_element_seed<T: serde::de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, WireError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+impl<'a, 'de> MapAccess<'de> for Counted<'a, 'de> {
+    type Error = WireError;
+    fn next_key_seed<K: serde::de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, WireError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn next_value_seed<V: serde::de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, WireError> {
+        seed.deserialize(&mut *self.de)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+struct Enum<'a, 'de> {
+    de: &'a mut De<'de>,
+}
+
+impl<'a, 'de> EnumAccess<'de> for Enum<'a, 'de> {
+    type Error = WireError;
+    type Variant = Self;
+    fn variant_seed<V: serde::de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self), WireError> {
+        self.de.need(4)?;
+        let idx = self.de.buf.get_u32_le();
+        let v = seed.deserialize(idx.into_deserializer())?;
+        Ok((v, self))
+    }
+}
+
+impl<'a, 'de> VariantAccess<'de> for Enum<'a, 'de> {
+    type Error = WireError;
+    fn unit_variant(self) -> Result<(), WireError> {
+        Ok(())
+    }
+    fn newtype_variant_seed<T: serde::de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, WireError> {
+        seed.deserialize(self.de)
+    }
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, WireError> {
+        visitor.visit_seq(Counted { de: self.de, left: len })
+    }
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_seq(Counted { de: self.de, left: fields.len() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+    use std::collections::HashMap;
+
+    fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v).expect("serialize");
+        let back: T = from_bytes(&bytes).expect("deserialize");
+        assert_eq!(back, v);
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Sample {
+        Unit,
+        New(u64),
+        Tuple(u8, String),
+        Struct { a: Vec<u32>, b: Option<bool>, c: HashMap<u64, u64> },
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(-5i64);
+        roundtrip(u64::MAX);
+        roundtrip(3.5f64);
+        roundtrip(true);
+        roundtrip("héllo".to_string());
+        roundtrip(Option::<u32>::None);
+        roundtrip(Some(42u32));
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip((1u8, "x".to_string(), vec![9u64]));
+    }
+
+    #[test]
+    fn enums_roundtrip() {
+        roundtrip(Sample::Unit);
+        roundtrip(Sample::New(77));
+        roundtrip(Sample::Tuple(3, "abc".into()));
+        let mut m = HashMap::new();
+        m.insert(5u64, 6u64);
+        roundtrip(Sample::Struct { a: vec![1, 2], b: Some(false), c: m });
+    }
+
+    #[test]
+    fn mind_messages_roundtrip() {
+        use mind_core::MindPayload;
+        use mind_overlay::OverlayMsg;
+        use mind_types::{BitCode, NodeId, Record};
+
+        let msg: OverlayMsg<MindPayload> = OverlayMsg::Route {
+            target: BitCode::parse("010110").unwrap(),
+            hops: 3,
+            payload: MindPayload::Insert {
+                index: "index-1".into(),
+                version: 2,
+                record: Record::new(vec![1, 2, 3, 4, 5]),
+                origin: NodeId(7),
+                sent_at: 123_456,
+            },
+        };
+        let bytes = to_bytes(&msg).unwrap();
+        let back: OverlayMsg<MindPayload> = from_bytes(&bytes).unwrap();
+        match back {
+            OverlayMsg::Route { target, hops, payload: MindPayload::Insert { index, version, record, origin, sent_at } } => {
+                assert_eq!(target.to_string(), "010110");
+                assert_eq!(hops, 3);
+                assert_eq!(index, "index-1");
+                assert_eq!(version, 2);
+                assert_eq!(record.values(), &[1, 2, 3, 4, 5]);
+                assert_eq!(origin, NodeId(7));
+                assert_eq!(sent_at, 123_456);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cut_tree_roundtrips() {
+        use mind_histogram::CutTree;
+        use mind_types::HyperRect;
+        let bounds = HyperRect::new(vec![0, 0], vec![1023, 1023]);
+        let pts: Vec<Vec<u64>> = (0..50).map(|i| vec![i * 7 % 1024, i * 13 % 1024]).collect();
+        let refs: Vec<&[u64]> = pts.iter().map(|p| p.as_slice()).collect();
+        let tree = CutTree::balanced_from_points(bounds, 6, &refs);
+        let bytes = to_bytes(&tree).unwrap();
+        let back: CutTree = from_bytes(&bytes).unwrap();
+        assert_eq!(back, tree);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = to_bytes(&"hello".to_string()).unwrap();
+        let r: Result<String, _> = from_bytes(&bytes[..3]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&7u32).unwrap();
+        bytes.push(0);
+        let r: Result<u32, _> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! A complete MIND deployment over real TCP on localhost: the same
+//! `MindNode` logic that runs on the simulator, driven by `TcpHost` —
+//! create an index, insert from several nodes, query with full recall.
+
+use mind_core::{MindConfig, MindNode, Replication};
+use mind_histogram::CutTree;
+use mind_net::TcpHost;
+use mind_overlay::{OverlayConfig, StaticTopology};
+use mind_types::node::MILLIS;
+use mind_types::{AttrDef, AttrKind, HyperRect, IndexSchema, NodeId, Record};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+fn schema() -> IndexSchema {
+    IndexSchema::new(
+        "tcp-flows",
+        vec![
+            AttrDef::new("x", AttrKind::Generic, 0, 1023),
+            AttrDef::new("timestamp", AttrKind::Timestamp, 0, 86_400),
+            AttrDef::new("size", AttrKind::Octets, 0, 1 << 20),
+        ],
+        3,
+    )
+}
+
+#[test]
+fn mind_cluster_over_real_tcp() {
+    const N: usize = 6;
+    let topo = StaticTopology::balanced(N);
+    // Bind all listeners first so the peer map is complete before spawn.
+    let listeners: Vec<TcpListener> =
+        (0..N).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+    let peers: HashMap<NodeId, SocketAddr> = listeners
+        .iter()
+        .enumerate()
+        .map(|(k, l)| (NodeId(k as u32), l.local_addr().unwrap()))
+        .collect();
+
+    // Faster heartbeats so the test settles quickly on the wall clock.
+    let overlay_cfg = OverlayConfig {
+        hb_interval: 200 * MILLIS,
+        ..OverlayConfig::default()
+    };
+    let mind_cfg = MindConfig { query_deadline: 20_000_000, ..MindConfig::default() };
+
+    let hosts: Vec<TcpHost<MindNode>> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(k, l)| {
+            let node = MindNode::new_static(
+                NodeId(k as u32),
+                topo.code(k),
+                topo.neighbor_entries(k),
+                overlay_cfg,
+                mind_cfg,
+            );
+            TcpHost::spawn(NodeId(k as u32), l, peers.clone(), node).unwrap()
+        })
+        .collect();
+
+    // Create the index from node 0 and wait for the flood to land.
+    let s = schema();
+    let cuts = CutTree::even(s.bounds(), 8);
+    hosts[0].invoke(move |n, _now, out| n.create_index(s, cuts, Replication::None, out).unwrap());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let all = hosts.iter().all(|h| h.invoke(|n, _t, _o| !n.index_tags().is_empty()));
+        if all {
+            break;
+        }
+        assert!(Instant::now() < deadline, "create_index flood never settled");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Insert 60 records, round-robin across nodes.
+    for i in 0..60u64 {
+        let rec = Record::new(vec![(i * 17) % 1024, 100 + i, (i * 31) % (1 << 20)]);
+        hosts[(i % N as u64) as usize]
+            .invoke(move |n, now, out| n.insert(now, "tcp-flows", rec, out).unwrap());
+    }
+
+    // Wait until all 60 are durably stored somewhere.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let total: u64 = hosts
+            .iter()
+            .map(|h| {
+                h.invoke(|n, _t, _o| {
+                    n.index_state("tcp-flows").map(|s| s.primary_rows()).unwrap_or(0)
+                })
+            })
+            .sum();
+        if total == 60 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "only {total}/60 records stored");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Query the full domain from node 3 and expect perfect recall.
+    let rect = HyperRect::new(vec![0, 0, 0], vec![1023, 86_400, 1 << 20]);
+    let qid = hosts[3].invoke(move |n, now, out| n.query(now, "tcp-flows", rect, vec![], out).unwrap());
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let outcome = loop {
+        if let Some(o) = hosts[3].invoke(move |n, _t, _o| n.query_outcome(qid)) {
+            break o;
+        }
+        assert!(Instant::now() < deadline, "query never completed");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(outcome.complete, "query must complete over TCP");
+    assert_eq!(outcome.records.len(), 60, "perfect recall over TCP");
+    assert!(outcome.cost_nodes >= 2, "data must be distributed");
+
+    for h in hosts {
+        h.shutdown();
+    }
+}

@@ -1,0 +1,99 @@
+//! Geographic propagation-delay model.
+
+use mind_types::node::{SimTime, MILLIS};
+
+/// A point on the globe, in degrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from `(latitude, longitude)` in degrees.
+    pub const fn new(lat: f64, lon: f64) -> Self {
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine).
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        const R: f64 = 6371.0;
+        let (la1, lo1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (la2, lo2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dla = la2 - la1;
+        let dlo = lo2 - lo1;
+        let a = (dla / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlo / 2.0).sin().powi(2);
+        2.0 * R * a.sqrt().atan2((1.0 - a).sqrt())
+    }
+}
+
+/// Converts geography into one-way propagation delays.
+///
+/// Internet paths are longer than great circles (peering detours) and slower
+/// than c (fibre refraction, store-and-forward routers); the standard
+/// first-order model is `distance × inflation / (2/3 c)` plus a fixed
+/// last-mile/stack cost. The defaults land transatlantic one-way delays
+/// around 45–60 ms and intra-US hops around 5–30 ms — consistent with what
+/// the paper's 2004-era PlanetLab deployment saw.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Path-length inflation over the great circle.
+    pub inflation: f64,
+    /// Signal speed in km per second (≈ 2/3 of c in fibre).
+    pub km_per_sec: f64,
+    /// Fixed per-message overhead (kernel, NIC, last mile).
+    pub fixed: SimTime,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel { inflation: 1.6, km_per_sec: 200_000.0, fixed: 2 * MILLIS }
+    }
+}
+
+impl LatencyModel {
+    /// One-way propagation delay between two sites (without jitter or
+    /// queuing, which the world adds per message).
+    pub fn propagation(&self, a: &GeoPoint, b: &GeoPoint) -> SimTime {
+        let km = a.distance_km(b) * self.inflation;
+        let secs = km / self.km_per_sec;
+        self.fixed + (secs * 1_000_000.0) as SimTime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NYC: GeoPoint = GeoPoint::new(40.71, -74.01);
+    const LA: GeoPoint = GeoPoint::new(34.05, -118.24);
+    const LONDON: GeoPoint = GeoPoint::new(51.51, -0.13);
+
+    #[test]
+    fn haversine_known_distances() {
+        let d = NYC.distance_km(&LA);
+        assert!((d - 3940.0).abs() < 60.0, "NYC-LA ≈ 3940 km, got {d}");
+        let d = NYC.distance_km(&LONDON);
+        assert!((d - 5570.0).abs() < 80.0, "NYC-London ≈ 5570 km, got {d}");
+        assert_eq!(NYC.distance_km(&NYC), 0.0);
+    }
+
+    #[test]
+    fn distance_symmetric() {
+        assert!((NYC.distance_km(&LA) - LA.distance_km(&NYC)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn propagation_in_realistic_range() {
+        let m = LatencyModel::default();
+        let us = m.propagation(&NYC, &LA);
+        // One-way coast-to-coast should be ~20-40 ms.
+        assert!(us > 20 * MILLIS && us < 45 * MILLIS, "NYC-LA one-way {us} µs");
+        let ta = m.propagation(&NYC, &LONDON);
+        assert!(ta > 30 * MILLIS && ta < 70 * MILLIS, "transatlantic one-way {ta} µs");
+        // Same-site messages still pay the fixed cost.
+        assert_eq!(m.propagation(&NYC, &NYC), m.fixed);
+    }
+}

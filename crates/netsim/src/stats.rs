@@ -1,0 +1,125 @@
+//! Simulation counters and per-link traces.
+
+use mind_types::node::SimTime;
+use mind_types::NodeId;
+use std::collections::{HashMap, HashSet};
+
+/// Per-directed-link counters.
+#[derive(Debug, Clone, Default)]
+pub struct LinkStats {
+    /// Messages carried.
+    pub messages: u64,
+    /// Payload bytes carried.
+    pub bytes: u64,
+    /// Messages larger than the control-plane envelope (64 bytes) —
+    /// effectively the data tuples/queries on the link, separating the
+    /// Figure 12 tuple counts from heartbeat chatter.
+    pub data_messages: u64,
+    /// Total time messages waited for the link to free up.
+    pub total_queue_delay: SimTime,
+    /// Worst single queuing delay observed.
+    pub max_queue_delay: SimTime,
+}
+
+/// Aggregate simulation statistics.
+///
+/// The per-link message counters regenerate Figure 12 (tuples per overlay
+/// link); the optional per-link delay traces regenerate Figure 8 (the
+/// transmission-delay time series of the slowest link).
+#[derive(Debug, Default)]
+pub struct SimStats {
+    /// Messages handed to `on_message`.
+    pub delivered: u64,
+    /// Messages dropped because the destination was dead on arrival.
+    pub dropped_dead: u64,
+    /// Timer callbacks fired.
+    pub timers_fired: u64,
+    /// Counters per directed link `(from, to)`.
+    pub per_link: HashMap<(NodeId, NodeId), LinkStats>,
+    /// Links for which full delay traces are recorded.
+    pub traced_links: HashSet<(NodeId, NodeId)>,
+    /// `(send time, total delay)` samples for traced links.
+    pub traces: HashMap<(NodeId, NodeId), Vec<(SimTime, SimTime)>>,
+}
+
+impl SimStats {
+    /// Enables delay tracing on the directed link `from → to`.
+    pub fn trace_link(&mut self, from: NodeId, to: NodeId) {
+        self.traced_links.insert((from, to));
+    }
+
+    /// Records one message on a link.
+    pub(crate) fn record_link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        queue_delay: SimTime,
+        total_delay: SimTime,
+        sent_at: SimTime,
+    ) {
+        let s = self.per_link.entry((from, to)).or_default();
+        s.messages += 1;
+        if bytes > 64 {
+            s.data_messages += 1;
+        }
+        s.bytes += bytes as u64;
+        s.total_queue_delay += queue_delay;
+        s.max_queue_delay = s.max_queue_delay.max(queue_delay);
+        if self.traced_links.contains(&(from, to)) {
+            self.traces.entry((from, to)).or_default().push((sent_at, total_delay));
+        }
+    }
+
+    /// The directed link that carried the most messages.
+    pub fn busiest_link(&self) -> Option<((NodeId, NodeId), &LinkStats)> {
+        self.per_link.iter().max_by_key(|(_, s)| s.messages).map(|(&k, v)| (k, v))
+    }
+
+    /// The directed link with the worst single queuing delay — the paper's
+    /// "slowest link" of Figure 8.
+    pub fn slowest_link(&self) -> Option<((NodeId, NodeId), &LinkStats)> {
+        self.per_link
+            .iter()
+            .max_by_key(|(_, s)| s.max_queue_delay)
+            .map(|(&k, v)| (k, v))
+    }
+
+    /// Message counts per directed link, descending (Figure 12's series).
+    pub fn link_message_series(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.per_link.values().map(|s| s.messages).collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_rank_links() {
+        let mut s = SimStats::default();
+        let (a, b, c) = (NodeId(0), NodeId(1), NodeId(2));
+        s.record_link(a, b, 100, 0, 10, 0);
+        s.record_link(a, b, 32, 50, 60, 5);
+        s.record_link(b, c, 100, 500, 510, 7);
+        assert_eq!(s.busiest_link().unwrap().0, (a, b));
+        assert_eq!(s.slowest_link().unwrap().0, (b, c));
+        assert_eq!(s.link_message_series(), vec![2, 1]);
+        assert_eq!(s.per_link[&(a, b)].bytes, 132);
+        assert_eq!(s.per_link[&(a, b)].data_messages, 1, "32-byte control msg not counted");
+        assert_eq!(s.per_link[&(a, b)].max_queue_delay, 50);
+    }
+
+    #[test]
+    fn tracing_only_requested_links() {
+        let mut s = SimStats::default();
+        let (a, b) = (NodeId(0), NodeId(1));
+        s.trace_link(a, b);
+        s.record_link(a, b, 10, 1, 11, 100);
+        s.record_link(b, a, 10, 2, 12, 101);
+        assert_eq!(s.traces[&(a, b)], vec![(100, 11)]);
+        assert!(!s.traces.contains_key(&(b, a)));
+    }
+}

@@ -1,0 +1,546 @@
+//! The discrete-event simulation world.
+
+use crate::latency::LatencyModel;
+use crate::stats::SimStats;
+use crate::topology::Site;
+use mind_types::node::{NodeLogic, Outbox, SimTime, MILLIS};
+use mind_types::{NodeId, WireSize};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Global simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Seed for all simulator randomness (jitter). Same seed + same
+    /// schedule = identical event trace.
+    pub seed: u64,
+    /// Propagation-delay model.
+    pub latency: LatencyModel,
+    /// Multiplicative latency jitter: each message's propagation is scaled
+    /// by a uniform factor in `[1, 1 + jitter_frac]`.
+    pub jitter_frac: f64,
+    /// Serialization rate of each overlay link in bytes/second. PlanetLab
+    /// slices were bandwidth-capped, so this is deliberately modest.
+    pub link_bytes_per_sec: u64,
+    /// Base per-message handling time on a healthy node; multiplied by the
+    /// site's load factor.
+    pub node_service: SimTime,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            latency: LatencyModel::default(),
+            jitter_frac: 0.25,
+            link_bytes_per_sec: 1_500_000,
+            node_service: 300, // 0.3 ms
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver { from: NodeId, msg: M, bytes: usize },
+    Timer { token: u64, incarnation: u32 },
+    Crash,
+    Revive,
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    node: NodeId,
+    kind: EventKind<M>,
+}
+
+// Manual ord on (time, seq) so the heap never compares messages.
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Link {
+    /// The link is unusable during `[outage.0, outage.1)`.
+    outage: Option<(SimTime, SimTime)>,
+    /// When the link's transmitter is next idle (single-server queue).
+    next_free: SimTime,
+}
+
+struct Host<L> {
+    logic: L,
+    site: Site,
+    alive: bool,
+    /// Bumped on every revive; stale timers are dropped by comparing this.
+    incarnation: u32,
+    /// The host CPU is busy until this instant (deliveries requeue).
+    busy_until: SimTime,
+}
+
+/// The deterministic discrete-event simulator driving a set of
+/// [`NodeLogic`] state machines over a modeled wide-area network.
+pub struct World<L: NodeLogic> {
+    cfg: SimConfig,
+    hosts: Vec<Host<L>>,
+    links: HashMap<(NodeId, NodeId), Link>,
+    queue: BinaryHeap<Reverse<Event<L::Msg>>>,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    /// Counters and traces; public for harness inspection.
+    pub stats: SimStats,
+}
+
+impl<L: NodeLogic> World<L>
+where
+    L::Msg: WireSize,
+{
+    /// Creates an empty world.
+    pub fn new(cfg: SimConfig) -> Self {
+        World {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            hosts: Vec::new(),
+            links: HashMap::new(),
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of hosts (alive or dead).
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// `true` when the world has no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Adds a node at `site` and schedules its `on_start` for the current
+    /// time. Returns its transport address.
+    pub fn add_node(&mut self, logic: L, site: Site) -> NodeId {
+        let id = NodeId(self.hosts.len() as u32);
+        self.hosts.push(Host { logic, site, alive: true, incarnation: 0, busy_until: self.now });
+        let mut out = Outbox::new();
+        self.hosts[id.0 as usize].logic.on_start(self.now, &mut out);
+        self.flush_outbox(id, self.now, out);
+        id
+    }
+
+    /// The site a node runs at.
+    pub fn site(&self, id: NodeId) -> &Site {
+        &self.hosts[id.0 as usize].site
+    }
+
+    /// `true` if the node is currently alive.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.hosts[id.0 as usize].alive
+    }
+
+    /// Read access to a node's logic (inspection only).
+    pub fn node(&self, id: NodeId) -> &L {
+        &self.hosts[id.0 as usize].logic
+    }
+
+    /// Runs `f` against a node's logic *at the current simulated time*,
+    /// routing any emitted effects through the network. This is how an
+    /// application invokes the MIND interface on its local node
+    /// (`insert_record`, `query_index`, ...).
+    pub fn with_node<R>(&mut self, id: NodeId, f: impl FnOnce(&mut L, SimTime, &mut Outbox<L::Msg>) -> R) -> R {
+        let mut out = Outbox::new();
+        let now = self.now;
+        let r = f(&mut self.hosts[id.0 as usize].logic, now, &mut out);
+        self.flush_outbox(id, now, out);
+        r
+    }
+
+    /// Crashes a node immediately: undelivered and future messages to it
+    /// are dropped, its timers are cancelled.
+    pub fn crash_node(&mut self, id: NodeId) {
+        self.hosts[id.0 as usize].alive = false;
+    }
+
+    /// Schedules a crash.
+    pub fn schedule_crash(&mut self, id: NodeId, at: SimTime) {
+        self.push_event(at, id, EventKind::Crash);
+    }
+
+    /// Revives a dead node: bumps its incarnation and replays `on_start`.
+    pub fn revive_node(&mut self, id: NodeId) {
+        let host = &mut self.hosts[id.0 as usize];
+        if host.alive {
+            return;
+        }
+        host.alive = true;
+        host.incarnation += 1;
+        host.busy_until = self.now;
+        let mut out = Outbox::new();
+        host.logic.on_start(self.now, &mut out);
+        self.flush_outbox(id, self.now, out);
+    }
+
+    /// Schedules a revive.
+    pub fn schedule_revive(&mut self, id: NodeId, at: SimTime) {
+        self.push_event(at, id, EventKind::Revive);
+    }
+
+    /// Makes the (bidirectional) link between `a` and `b` unusable during
+    /// `[at, at + duration)` — messages sent in the window queue until it
+    /// ends, modeling TCP retransmission through a transient outage.
+    pub fn schedule_link_outage(&mut self, a: NodeId, b: NodeId, at: SimTime, duration: SimTime) {
+        for key in [(a, b), (b, a)] {
+            self.links.entry(key).or_default().outage = Some((at, at + duration));
+        }
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        let idx = ev.node.0 as usize;
+        match ev.kind {
+            EventKind::Crash => self.hosts[idx].alive = false,
+            EventKind::Revive => {
+                // Inline revive (can't call &mut self method while ev moved).
+                if !self.hosts[idx].alive {
+                    self.hosts[idx].alive = true;
+                    self.hosts[idx].incarnation += 1;
+                    self.hosts[idx].busy_until = self.now;
+                    let mut out = Outbox::new();
+                    self.hosts[idx].logic.on_start(self.now, &mut out);
+                    self.flush_outbox(ev.node, self.now, out);
+                }
+            }
+            EventKind::Deliver { from, msg, bytes } => {
+                if !self.hosts[idx].alive {
+                    self.stats.dropped_dead += 1;
+                    return true;
+                }
+                // Busy host: requeue the delivery for when the CPU frees up.
+                if self.hosts[idx].busy_until > self.now {
+                    let at = self.hosts[idx].busy_until;
+                    self.push_event(at, ev.node, EventKind::Deliver { from, msg, bytes });
+                    return true;
+                }
+                let service =
+                    (self.cfg.node_service as f64 * self.hosts[idx].site.load_factor) as SimTime;
+                self.hosts[idx].busy_until = self.now + service;
+                self.stats.delivered += 1;
+                let mut out = Outbox::new();
+                self.hosts[idx].logic.on_message(self.now, from, msg, &mut out);
+                // Effects leave the host once the CPU is done with the message.
+                self.flush_outbox(ev.node, self.now + service, out);
+            }
+            EventKind::Timer { token, incarnation } => {
+                if !self.hosts[idx].alive || self.hosts[idx].incarnation != incarnation {
+                    return true;
+                }
+                if self.hosts[idx].busy_until > self.now {
+                    let at = self.hosts[idx].busy_until;
+                    self.push_event(at, ev.node, EventKind::Timer { token, incarnation });
+                    return true;
+                }
+                self.stats.timers_fired += 1;
+                let mut out = Outbox::new();
+                self.hosts[idx].logic.on_timer(self.now, token, &mut out);
+                self.flush_outbox(ev.node, self.now, out);
+            }
+        }
+        true
+    }
+
+    /// Runs until simulated time reaches `t` (or the queue drains).
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.time > t {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs until no events remain or `limit` is reached.
+    pub fn run_until_idle(&mut self, limit: SimTime) {
+        while self.now <= limit && self.step() {}
+    }
+
+    /// Number of pending events (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn push_event(&mut self, time: SimTime, node: NodeId, kind: EventKind<L::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { time, seq, node, kind }));
+    }
+
+    /// Routes an outbox's effects into the event queue: sends traverse the
+    /// modeled network (queuing + serialization + jittered propagation);
+    /// timers attach to the emitting node's current incarnation.
+    fn flush_outbox(&mut self, from: NodeId, t_emit: SimTime, mut out: Outbox<L::Msg>) {
+        let (sends, timers) = out.drain();
+        for (to, msg) in sends {
+            if to.0 as usize >= self.hosts.len() {
+                // Unknown endpoint: the connection attempt fails (counted
+                // with deliveries to dead hosts).
+                self.stats.dropped_dead += 1;
+                continue;
+            }
+            let bytes = msg.wire_size();
+            let arrival = if to == from {
+                // Loopback: negligible network cost.
+                t_emit + 10
+            } else {
+                let link = self.links.entry((from, to)).or_default();
+                let mut start = t_emit.max(link.next_free);
+                if let Some((o_start, o_end)) = link.outage {
+                    if start >= o_start && start < o_end {
+                        start = o_end;
+                    }
+                }
+                let serialize =
+                    (bytes as u128 * 1_000_000 / self.cfg.link_bytes_per_sec as u128) as SimTime;
+                link.next_free = start + serialize;
+                let queue_delay = start - t_emit;
+                let prop = self.cfg.latency.propagation(
+                    &self.hosts[from.0 as usize].site.geo,
+                    &self.hosts[to.0 as usize].site.geo,
+                );
+                let jitter = 1.0 + self.rng.random_range(0.0..self.cfg.jitter_frac.max(1e-9));
+                let prop = (prop as f64 * jitter) as SimTime;
+                let arrival = start + serialize + prop;
+                self.stats
+                    .record_link(from, to, bytes, queue_delay, arrival - t_emit, t_emit);
+                arrival
+            };
+            self.push_event(arrival, to, EventKind::Deliver { from, msg, bytes });
+        }
+        let incarnation = self.hosts[from.0 as usize].incarnation;
+        for (delay, token) in timers {
+            self.push_event(t_emit + delay.max(1), from, EventKind::Timer { token, incarnation });
+        }
+    }
+}
+
+/// A convenient default for tests: 1 ms everywhere, no jitter.
+pub fn lan_config(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        latency: LatencyModel { inflation: 1.0, km_per_sec: 200_000.0, fixed: MILLIS },
+        jitter_frac: 0.0,
+        link_bytes_per_sec: 100_000_000,
+        node_service: 10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mind_types::node::SECONDS;
+
+    /// Ping-pong logic: counts messages; replies until a hop budget runs out.
+    struct PingPong {
+        peer: Option<NodeId>,
+        hops_left: u32,
+        received: Vec<(SimTime, u32)>,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Ping(u32);
+    impl WireSize for Ping {
+        fn wire_size(&self) -> usize {
+            100
+        }
+    }
+
+    impl NodeLogic for PingPong {
+        type Msg = Ping;
+        fn on_start(&mut self, _now: SimTime, out: &mut Outbox<Ping>) {
+            if let Some(peer) = self.peer {
+                if self.hops_left > 0 {
+                    out.send(peer, Ping(self.hops_left));
+                }
+            }
+        }
+        fn on_message(&mut self, now: SimTime, from: NodeId, msg: Ping, out: &mut Outbox<Ping>) {
+            self.received.push((now, msg.0));
+            if msg.0 > 1 {
+                out.send(from, Ping(msg.0 - 1));
+            }
+        }
+        fn on_timer(&mut self, _now: SimTime, _token: u64, _out: &mut Outbox<Ping>) {}
+    }
+
+    /// Builds a sink node `b` (id 0) first, then a pinger `a` (id 1) whose
+    /// `on_start` fires the first ping — so the destination always exists.
+    fn two_node_world(hops: u32) -> (World<PingPong>, NodeId, NodeId) {
+        let mut w = World::new(lan_config(1));
+        let b = w.add_node(PingPong { peer: None, hops_left: 0, received: vec![] }, Site::new("b", 0.0, 1.0));
+        let a = w.add_node(PingPong { peer: Some(b), hops_left: hops, received: vec![] }, Site::new("a", 0.0, 0.0));
+        (w, a, b)
+    }
+
+    #[test]
+    fn messages_flow_and_time_advances() {
+        let (mut w, a, b) = two_node_world(4);
+        w.run_until_idle(10 * SECONDS);
+        // 4 hops: b gets 4 and 2, a gets 3 and 1.
+        assert_eq!(w.node(b).received.iter().map(|&(_, h)| h).collect::<Vec<_>>(), vec![4, 2]);
+        assert_eq!(w.node(a).received.iter().map(|&(_, h)| h).collect::<Vec<_>>(), vec![3, 1]);
+        assert!(w.now() > 4 * MILLIS, "four 1ms+ hops, now = {}", w.now());
+        assert_eq!(w.stats.delivered, 4);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = || {
+            let (mut w, _a, b) = two_node_world(6);
+            w.run_until_idle(10 * SECONDS);
+            w.node(b).received.clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dead_node_drops_messages() {
+        let (mut w, _a, b) = two_node_world(4);
+        w.crash_node(b);
+        w.run_until_idle(10 * SECONDS);
+        assert!(w.node(b).received.is_empty());
+        assert_eq!(w.stats.dropped_dead, 1);
+    }
+
+    #[test]
+    fn revive_replays_on_start() {
+        let (mut w, a, _b) = two_node_world(2);
+        w.run_until_idle(SECONDS);
+        let before = w.node(a).received.len();
+        w.crash_node(a);
+        w.revive_node(a); // on_start sends another ping
+        w.run_until_idle(10 * SECONDS);
+        assert!(w.node(a).received.len() > before);
+    }
+
+    #[test]
+    fn link_outage_delays_delivery() {
+        let (mut w, a, b) = two_node_world(0); // no initial traffic
+        // Outage covers the send window; message waits out the outage.
+        w.schedule_link_outage(a, b, 0, 5 * SECONDS);
+        w.with_node(a, |_logic, _now, out| out.send(b, Ping(1)));
+        w.run_until_idle(30 * SECONDS);
+        let (t, _) = w.node(b).received[0];
+        assert!(t >= 5 * SECONDS, "delivery at {t} should wait for outage end");
+    }
+
+    #[test]
+    fn with_node_routes_effects() {
+        let (mut w, a, b) = two_node_world(0); // no initial traffic
+        w.with_node(a, |_logic, _now, out| out.send(b, Ping(1)));
+        w.run_until_idle(SECONDS);
+        assert_eq!(w.node(b).received.len(), 1);
+    }
+
+    #[test]
+    fn loaded_node_serializes_deliveries() {
+        let mut cfg = lan_config(2);
+        cfg.node_service = 100_000; // 100 ms per message
+        let mut w: World<PingPong> = World::new(cfg);
+        let sink = NodeId(1);
+        let a = w.add_node(
+            PingPong { peer: None, hops_left: 0, received: vec![] },
+            Site::new("src", 0.0, 0.0),
+        );
+        let mut slow = Site::new("sink", 0.0, 0.1);
+        slow.load_factor = 5.0; // 500 ms per message
+        let _b = w.add_node(PingPong { peer: None, hops_left: 0, received: vec![] }, slow);
+        // Blast 5 messages at once (Ping(1) elicits no reply traffic).
+        w.with_node(a, |_l, _n, out| {
+            for _ in 0..5 {
+                out.send(sink, Ping(1));
+            }
+        });
+        w.run_until_idle(60 * SECONDS);
+        let times: Vec<SimTime> = w.node(sink).received.iter().map(|&(t, _)| t).collect();
+        assert_eq!(times.len(), 5);
+        // Handlers run at least 500 ms apart on the overloaded host.
+        for pair in times.windows(2) {
+            assert!(pair[1] - pair[0] >= 500_000, "deliveries {pair:?} too close");
+        }
+    }
+
+    #[test]
+    fn timers_cancelled_across_incarnations() {
+        struct TimerNode {
+            fired: u32,
+        }
+        #[derive(Debug)]
+        struct NoMsg;
+        impl WireSize for NoMsg {}
+        impl NodeLogic for TimerNode {
+            type Msg = NoMsg;
+            fn on_start(&mut self, _now: SimTime, out: &mut Outbox<NoMsg>) {
+                out.set_timer(1 * SECONDS, 1);
+            }
+            fn on_message(&mut self, _n: SimTime, _f: NodeId, _m: NoMsg, _o: &mut Outbox<NoMsg>) {}
+            fn on_timer(&mut self, _now: SimTime, _token: u64, _out: &mut Outbox<NoMsg>) {
+                self.fired += 1;
+            }
+        }
+        let mut w: World<TimerNode> = World::new(lan_config(3));
+        let a = w.add_node(TimerNode { fired: 0 }, Site::new("a", 0.0, 0.0));
+        // Crash + revive before the original timer fires: the stale timer
+        // must not fire, but the revive's new timer must.
+        w.crash_node(a);
+        w.revive_node(a);
+        w.run_until_idle(10 * SECONDS);
+        assert_eq!(w.node(a).fired, 1);
+    }
+
+    #[test]
+    fn queue_delay_recorded_under_burst() {
+        let mut cfg = lan_config(4);
+        cfg.link_bytes_per_sec = 1000; // 100-byte message = 100 ms serialization
+        let mut w: World<PingPong> = World::new(cfg);
+        let b_id = NodeId(1);
+        let a = w.add_node(PingPong { peer: None, hops_left: 0, received: vec![] }, Site::new("a", 0.0, 0.0));
+        let _b = w.add_node(PingPong { peer: None, hops_left: 0, received: vec![] }, Site::new("b", 0.0, 1.0));
+        w.with_node(a, |_l, _n, out| {
+            for i in 0..3 {
+                out.send(b_id, Ping(i));
+            }
+        });
+        w.run_until_idle(60 * SECONDS);
+        let stats = &w.stats.per_link[&(a, b_id)];
+        assert_eq!(stats.messages, 3);
+        // Third message waits for two 100 ms serializations.
+        assert!(stats.max_queue_delay >= 200 * MILLIS);
+    }
+}

@@ -1,0 +1,187 @@
+//! Static overlay construction.
+//!
+//! The paper's baseline experiment "carefully constructed a MIND overlay
+//! containing 34 nodes" matching the backbone topology; this module builds
+//! such overlays directly: a balanced, complete, prefix-free code set for
+//! `n` nodes and the corresponding neighbor tables, without running the
+//! join protocol (which remains available for dynamic churn).
+
+use crate::table::NeighborEntry;
+use mind_types::{BitCode, NodeId};
+
+/// A balanced, complete, prefix-free set of `n` codes, in code order.
+///
+/// With `L = ⌊log2 n⌋`, the first `n − 2^L` leaves of the depth-`L` tree
+/// are split once, giving codes of length `L` and `L + 1` only — the
+/// minimum possible maximum code length, i.e. a balanced hypercube.
+pub fn balanced_codes(n: usize) -> Vec<BitCode> {
+    assert!(n >= 1, "at least one node");
+    if n == 1 {
+        return vec![BitCode::ROOT];
+    }
+    let l = (usize::BITS - 1 - n.leading_zeros()) as u8; // floor(log2 n)
+    let extra = n - (1usize << l);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..(1usize << l) {
+        let base = BitCode::from_index(i as u64, l);
+        if i < extra {
+            out.push(base.child(false));
+            out.push(base.child(true));
+        } else {
+            out.push(base);
+        }
+    }
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+/// A fully materialized static overlay: code assignments plus per-node
+/// neighbor tables, ready to instantiate [`crate::Overlay`]s with.
+#[derive(Debug, Clone)]
+pub struct StaticTopology {
+    /// `codes[k]` is the code of node `NodeId(k)`.
+    pub codes: Vec<BitCode>,
+}
+
+impl StaticTopology {
+    /// Builds a balanced topology for `n` nodes (node `k` ↦ `k`-th code).
+    pub fn balanced(n: usize) -> Self {
+        StaticTopology { codes: balanced_codes(n) }
+    }
+
+    /// Builds a topology from explicit codes (must be prefix-free and
+    /// complete; verified in debug builds via the neighbor search).
+    pub fn from_codes(codes: Vec<BitCode>) -> Self {
+        StaticTopology { codes }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// `true` for an empty topology.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The code of node `k`.
+    pub fn code(&self, k: usize) -> BitCode {
+        self.codes[k]
+    }
+
+    /// The node owning codes compatible with `target` (for test oracles).
+    pub fn owner(&self, target: &BitCode) -> Option<NodeId> {
+        self.codes
+            .iter()
+            .position(|c| c.compatible(target))
+            .map(|k| NodeId(k as u32))
+    }
+
+    /// The neighbor table of node `k`: for each dimension `i` of its code,
+    /// the *matching* node inside the flip subtree `code.flip_prefix(i)` —
+    /// the one whose code best matches the node's own code with bit `i`
+    /// inverted (the classic hypercube neighbor).
+    ///
+    /// Matching neighbors give each node a *different* contact into every
+    /// subtree, so a dimension's cross edges form `N/2` disjoint links
+    /// rather than a star through one representative — the difference
+    /// between an overlay that survives random failures and one that
+    /// partitions when a single hub dies.
+    pub fn neighbor_entries(&self, k: usize) -> Vec<NeighborEntry> {
+        let my = self.codes[k];
+        let mut entries = Vec::with_capacity(my.len() as usize);
+        for i in 0..my.len() {
+            let subtree = my.flip_prefix(i);
+            let ideal = my.flip(i);
+            let rep = self
+                .codes
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| subtree.compatible(c))
+                .max_by_key(|(j, c)| (c.common_prefix_len(&ideal), usize::MAX - j))
+                .unwrap_or_else(|| panic!("incomplete code set: no node in subtree {subtree}"));
+            entries.push(NeighborEntry::new(*rep.1, NodeId(rep.0 as u32), 0));
+        }
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn power_of_two_sizes_are_uniform() {
+        for n in [1usize, 2, 4, 8, 64] {
+            let codes = balanced_codes(n);
+            assert_eq!(codes.len(), n);
+            let lens: Vec<u8> = codes.iter().map(|c| c.len()).collect();
+            assert!(lens.iter().all(|&l| l == lens[0]), "n={n}: {lens:?}");
+        }
+    }
+
+    #[test]
+    fn thirty_four_nodes_have_two_code_lengths() {
+        let codes = balanced_codes(34);
+        assert_eq!(codes.len(), 34);
+        let min = codes.iter().map(|c| c.len()).min().unwrap();
+        let max = codes.iter().map(|c| c.len()).max().unwrap();
+        assert_eq!((min, max), (5, 6));
+    }
+
+    #[test]
+    fn neighbor_tables_have_log_n_entries() {
+        let t = StaticTopology::balanced(34);
+        for k in 0..34 {
+            let entries = t.neighbor_entries(k);
+            assert_eq!(entries.len() as u8, t.code(k).len());
+            assert!(entries.len() >= 5 && entries.len() <= 6);
+            // Each entry's code lies in the right subtree.
+            for (i, e) in entries.iter().enumerate() {
+                assert!(t.code(k).flip_prefix(i as u8).compatible(&e.code));
+            }
+        }
+    }
+
+    #[test]
+    fn owner_resolves_extended_codes() {
+        let t = StaticTopology::balanced(8);
+        let target = BitCode::parse("0101110").unwrap();
+        let owner = t.owner(&target).unwrap();
+        assert!(t.code(owner.0 as usize).is_prefix_of(&target));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_codes_prefix_free_and_complete(n in 1usize..200) {
+            let codes = balanced_codes(n);
+            prop_assert_eq!(codes.len(), n);
+            // Prefix-free.
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        prop_assert!(!codes[i].is_prefix_of(&codes[j]),
+                            "{} prefixes {}", codes[i], codes[j]);
+                    }
+                }
+            }
+            // Complete: total measure sums to 1 (leaf at depth d has
+            // measure 2^-d; use 2^32 scale).
+            let total: u64 = codes.iter().map(|c| 1u64 << (32 - c.len() as u32)).sum();
+            prop_assert_eq!(total, 1u64 << 32);
+            // Balanced: at most two distinct lengths, differing by 1.
+            let min = codes.iter().map(|c| c.len()).min().unwrap();
+            let max = codes.iter().map(|c| c.len()).max().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+
+        #[test]
+        fn prop_every_target_has_owner(n in 1usize..100, bits in any::<u64>()) {
+            let t = StaticTopology::balanced(n);
+            let target = BitCode::from_raw(bits, 20);
+            prop_assert!(t.owner(&target).is_some());
+        }
+    }
+}

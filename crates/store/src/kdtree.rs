@@ -1,0 +1,228 @@
+//! A k-d tree over `u64` attribute points.
+//!
+//! MIND nodes answer every sub-query with a multi-dimensional range scan
+//! over their local share of the index. The prototype delegated those scans
+//! to MySQL; this tree serves them natively. It uses the classic implicit
+//! median layout: the point array is recursively partitioned in place, the
+//! median of each slice is the node, and the tree structure is implied by
+//! slice boundaries — no per-node allocation, good cache behaviour.
+
+use mind_types::{HyperRect, RecordId, Value};
+
+/// An immutable k-d tree built over `(point, record id)` pairs.
+///
+/// Mutation is handled one level up: [`crate::MemStore`] accumulates new
+/// points in a buffer and rebuilds the tree when the buffer grows past a
+/// fraction of the indexed size (insert-heavy monitoring workloads amortize
+/// this to O(log n) per insert).
+#[derive(Debug, Clone, Default)]
+pub struct KdTree {
+    dims: usize,
+    /// Median-layout point array: for any slice, the midpoint element is
+    /// the splitting node at that level.
+    pts: Vec<(Vec<Value>, RecordId)>,
+}
+
+impl KdTree {
+    /// Builds a tree over the given points.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0` or any point has a different dimensionality.
+    pub fn build(dims: usize, mut pts: Vec<(Vec<Value>, RecordId)>) -> Self {
+        assert!(dims > 0, "zero-dimensional tree");
+        for (p, _) in &pts {
+            assert_eq!(p.len(), dims, "point dimensionality mismatch");
+        }
+        if !pts.is_empty() {
+            let len = pts.len();
+            layout(&mut pts, 0, len, 0, dims);
+        }
+        KdTree { dims, pts }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// `true` when the tree indexes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    /// Dimensionality of the indexed points.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Collects the ids of every point inside `rect` (inclusive bounds).
+    pub fn range(&self, rect: &HyperRect, out: &mut Vec<RecordId>) {
+        assert_eq!(rect.dims(), self.dims, "query dimensionality mismatch");
+        if !self.pts.is_empty() {
+            self.range_rec(rect, 0, self.pts.len(), 0, out);
+        }
+    }
+
+    /// Convenience wrapper over [`Self::range`] returning a fresh vec.
+    pub fn range_vec(&self, rect: &HyperRect) -> Vec<RecordId> {
+        let mut out = Vec::new();
+        self.range(rect, &mut out);
+        out
+    }
+
+    /// Counts points inside `rect` without materializing ids.
+    pub fn count_range(&self, rect: &HyperRect) -> usize {
+        // The traversal dominates; reuse range() with a scratch vec.
+        self.range_vec(rect).len()
+    }
+
+    fn range_rec(&self, rect: &HyperRect, lo: usize, hi: usize, depth: usize, out: &mut Vec<RecordId>) {
+        if lo >= hi {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (point, id) = &self.pts[mid];
+        if rect.contains_point(point) {
+            out.push(*id);
+        }
+        let axis = depth % self.dims;
+        let coord = point[axis];
+        // Left subtree holds coords <= node coord on this axis, right holds
+        // coords >= (duplicates may go either way, so both bounds are
+        // inclusive comparisons against the query rectangle).
+        if rect.lo(axis) <= coord {
+            self.range_rec(rect, lo, mid, depth + 1, out);
+        }
+        if rect.hi(axis) >= coord {
+            self.range_rec(rect, mid + 1, hi, depth + 1, out);
+        }
+    }
+
+    /// Consumes the tree, returning the raw points (used on rebuild).
+    pub fn into_points(self) -> Vec<(Vec<Value>, RecordId)> {
+        self.pts
+    }
+}
+
+/// Recursively arranges `pts[lo..hi]` into median layout.
+fn layout(pts: &mut [(Vec<Value>, RecordId)], lo: usize, hi: usize, depth: usize, dims: usize) {
+    if hi - lo <= 1 {
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let axis = depth % dims;
+    pts[lo..hi].select_nth_unstable_by(mid - lo, |a, b| a.0[axis].cmp(&b.0[axis]));
+    layout(pts, lo, mid, depth + 1, dims);
+    layout(pts, mid + 1, hi, depth + 1, dims);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn brute(points: &[(Vec<Value>, RecordId)], rect: &HyperRect) -> Vec<RecordId> {
+        let mut v: Vec<RecordId> = points
+            .iter()
+            .filter(|(p, _)| rect.contains_point(p))
+            .map(|(_, id)| *id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::build(3, vec![]);
+        assert!(t.is_empty());
+        assert!(t.range_vec(&HyperRect::full(3)).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let t = KdTree::build(2, vec![(vec![5, 5], RecordId(1))]);
+        assert_eq!(t.range_vec(&HyperRect::new(vec![0, 0], vec![10, 10])), vec![RecordId(1)]);
+        assert!(t.range_vec(&HyperRect::new(vec![6, 0], vec![10, 10])).is_empty());
+    }
+
+    #[test]
+    fn duplicate_coordinates_all_found() {
+        let pts: Vec<_> = (0..20).map(|i| (vec![7u64, 7], RecordId(i))).collect();
+        let t = KdTree::build(2, pts);
+        let hits = t.range_vec(&HyperRect::new(vec![7, 7], vec![7, 7]));
+        assert_eq!(hits.len(), 20);
+    }
+
+    #[test]
+    fn boundary_inclusive() {
+        let t = KdTree::build(1, vec![(vec![10], RecordId(0)), (vec![20], RecordId(1))]);
+        assert_eq!(t.range_vec(&HyperRect::new(vec![10], vec![20])).len(), 2);
+        assert_eq!(t.range_vec(&HyperRect::new(vec![11], vec![19])).len(), 0);
+    }
+
+    #[test]
+    fn random_queries_match_brute_force() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let points: Vec<(Vec<Value>, RecordId)> = (0..2000)
+            .map(|i| {
+                (
+                    vec![
+                        rng.random_range(0..1000u64),
+                        rng.random_range(0..1000u64),
+                        rng.random_range(0..100u64),
+                    ],
+                    RecordId(i),
+                )
+            })
+            .collect();
+        let tree = KdTree::build(3, points.clone());
+        for _ in 0..100 {
+            let lo: Vec<u64> = vec![
+                rng.random_range(0..1000),
+                rng.random_range(0..1000),
+                rng.random_range(0..100),
+            ];
+            let hi: Vec<u64> = lo
+                .iter()
+                .map(|&l| l + rng.random_range(0..500u64))
+                .collect();
+            let rect = HyperRect::new(lo, hi);
+            let mut got = tree.range_vec(&rect);
+            got.sort();
+            assert_eq!(got, brute(&points, &rect));
+        }
+    }
+
+    #[test]
+    fn into_points_preserves_everything() {
+        let points: Vec<_> = (0..50).map(|i| (vec![i as u64, 2 * i as u64], RecordId(i))).collect();
+        let tree = KdTree::build(2, points.clone());
+        let mut back = tree.into_points();
+        back.sort_by_key(|(_, id)| *id);
+        assert_eq!(back, points);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_range_matches_brute_force(
+            raw in prop::collection::vec(prop::collection::vec(0u64..100, 2), 0..300),
+            qlo in prop::collection::vec(0u64..100, 2),
+            span in prop::collection::vec(0u64..100, 2),
+        ) {
+            let points: Vec<(Vec<Value>, RecordId)> = raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| (p, RecordId(i as u64)))
+                .collect();
+            let tree = KdTree::build(2, points.clone());
+            let rect = HyperRect::new(
+                qlo.clone(),
+                qlo.iter().zip(&span).map(|(&l, &s)| l + s).collect(),
+            );
+            let mut got = tree.range_vec(&rect);
+            got.sort();
+            prop_assert_eq!(got, brute(&points, &rect));
+        }
+    }
+}

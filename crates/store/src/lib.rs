@@ -1,0 +1,28 @@
+//! Local per-node storage engine for MIND.
+//!
+//! The paper's prototype stored each node's share of every index in a MySQL
+//! database reached over JDBC, fronted by a *database access control* (DAC)
+//! module that queues requests and batches insertions (Section 3.9,
+//! Figure 6). This crate replaces that stack with a native engine:
+//!
+//! * [`KdTree`] — a k-d tree over the indexed attribute values, answering
+//!   the multi-dimensional range scans that MySQL's B-trees served in the
+//!   prototype,
+//! * [`MemStore`] — the per-(index, version) record store: append-only
+//!   record heap plus a k-d index with an insert buffer and periodic
+//!   rebuild (versions are dropped wholesale when they age out, so there is
+//!   no per-record delete path),
+//! * [`Dac`] — the request queue with batched processing and an explicit
+//!   cost model, which is what gives the simulator realistic per-node
+//!   processing delays (the paper attributes its latency tails partly to
+//!   DAC queuing).
+
+#![warn(missing_docs)]
+
+pub mod dac;
+pub mod kdtree;
+pub mod mem;
+
+pub use dac::{Dac, DacCostModel, DacRequest, DacResponse};
+pub use kdtree::KdTree;
+pub use mem::MemStore;

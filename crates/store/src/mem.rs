@@ -1,0 +1,205 @@
+//! The per-(index, version) record store.
+
+use crate::kdtree::KdTree;
+use mind_types::{HyperRect, Record, RecordId, Value};
+
+/// When the unindexed insert buffer exceeds this fraction of the k-d tree
+/// size (and a floor), the tree is rebuilt. Insert-heavy monitoring
+/// workloads amortize the rebuilds to O(log n) per insert.
+const REBUILD_FRACTION: usize = 4; // rebuild when buffer > len/4
+const REBUILD_FLOOR: usize = 256;
+
+/// An in-memory record store answering multi-dimensional range queries —
+/// MIND's replacement for the prototype's per-node MySQL backend.
+///
+/// Records are append-only: the paper never deletes individual records;
+/// whole index *versions* age out and their stores are dropped wholesale
+/// (Section 3.7).
+#[derive(Debug, Clone)]
+pub struct MemStore {
+    dims: usize,
+    records: Vec<Record>,
+    tree: KdTree,
+    buffer: Vec<(Vec<Value>, RecordId)>,
+}
+
+impl MemStore {
+    /// Creates an empty store whose records have `dims` indexed dimensions.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "zero-dimensional store");
+        MemStore { dims, records: Vec::new(), tree: KdTree::build(dims, vec![]), buffer: Vec::new() }
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Indexed dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Appends a record and indexes its first `dims` values.
+    ///
+    /// # Panics
+    /// Panics if the record has fewer values than the store's
+    /// dimensionality (the caller — `mind-core` — validates records against
+    /// the schema before they reach storage).
+    pub fn insert(&mut self, record: Record) -> RecordId {
+        assert!(
+            record.values().len() >= self.dims,
+            "record arity {} below store dimensionality {}",
+            record.values().len(),
+            self.dims
+        );
+        let id = RecordId(self.records.len() as u64);
+        self.buffer.push((record.point(self.dims).to_vec(), id));
+        self.records.push(record);
+        if self.buffer.len() > REBUILD_FLOOR.max(self.tree.len() / REBUILD_FRACTION) {
+            self.rebuild();
+        }
+        id
+    }
+
+    /// Folds the insert buffer into the k-d tree.
+    pub fn rebuild(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let mut pts = std::mem::take(&mut self.tree).into_points();
+        pts.append(&mut self.buffer);
+        self.tree = KdTree::build(self.dims, pts);
+    }
+
+    /// Ids of all records whose indexed point lies inside `rect`.
+    pub fn range_ids(&self, rect: &HyperRect) -> Vec<RecordId> {
+        let mut out = self.tree.range_vec(rect);
+        for (p, id) in &self.buffer {
+            if rect.contains_point(p) {
+                out.push(*id);
+            }
+        }
+        out
+    }
+
+    /// Records matching `rect`, cloned for the response message.
+    pub fn range_records(&self, rect: &HyperRect) -> Vec<Record> {
+        self.range_ids(rect)
+            .into_iter()
+            .map(|id| self.records[id.0 as usize].clone())
+            .collect()
+    }
+
+    /// Counts records inside `rect`.
+    pub fn count_range(&self, rect: &HyperRect) -> usize {
+        self.tree.count_range(rect)
+            + self.buffer.iter().filter(|(p, _)| rect.contains_point(p)).count()
+    }
+
+    /// Fetches a record by id.
+    pub fn get(&self, id: RecordId) -> Option<&Record> {
+        self.records.get(id.0 as usize)
+    }
+
+    /// Iterates over all records (used for histogram collection).
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.records.iter()
+    }
+
+    /// Approximate heap footprint in bytes (storage-balance metrics).
+    pub fn approx_bytes(&self) -> usize {
+        self.records
+            .iter()
+            .map(|r| r.values().len() * 8 + 24)
+            .sum::<usize>()
+            + (self.tree.len() + self.buffer.len()) * (self.dims * 8 + 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rec(vals: &[u64]) -> Record {
+        Record::new(vals.to_vec())
+    }
+
+    #[test]
+    fn insert_and_range() {
+        let mut s = MemStore::new(2);
+        s.insert(rec(&[1, 1, 99]));
+        s.insert(rec(&[5, 5, 98]));
+        s.insert(rec(&[9, 9, 97]));
+        let hits = s.range_records(&HyperRect::new(vec![0, 0], vec![5, 5]));
+        assert_eq!(hits.len(), 2);
+        // Carried attributes come back with the record.
+        assert!(hits.iter().any(|r| r.value(2) == 99));
+        assert!(hits.iter().any(|r| r.value(2) == 98));
+    }
+
+    #[test]
+    fn range_sees_buffered_and_rebuilt_records() {
+        let mut s = MemStore::new(1);
+        for i in 0..2000u64 {
+            s.insert(rec(&[i]));
+        }
+        // Some records are in the tree, some still in the buffer.
+        assert_eq!(s.count_range(&HyperRect::new(vec![0], vec![1999])), 2000);
+        assert_eq!(s.count_range(&HyperRect::new(vec![500], vec![599])), 100);
+        s.rebuild();
+        assert_eq!(s.count_range(&HyperRect::new(vec![500], vec![599])), 100);
+    }
+
+    #[test]
+    fn get_by_id() {
+        let mut s = MemStore::new(1);
+        let id = s.insert(rec(&[7, 42]));
+        assert_eq!(s.get(id).unwrap().value(1), 42);
+        assert!(s.get(RecordId(99)).is_none());
+    }
+
+    #[test]
+    fn extra_values_are_carried_not_indexed() {
+        let mut s = MemStore::new(1);
+        s.insert(rec(&[5, 1_000_000]));
+        // Indexing is on dim 0 only; a rect over [0,10] finds it.
+        assert_eq!(s.range_ids(&HyperRect::new(vec![0], vec![10])).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "below store dimensionality")]
+    fn short_record_rejected() {
+        MemStore::new(3).insert(rec(&[1, 2]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_range_complete_under_interleaving(
+            vals in prop::collection::vec((0u64..50, 0u64..50), 1..500),
+            qlo in (0u64..50, 0u64..50),
+            qspan in (0u64..50, 0u64..50),
+        ) {
+            let mut s = MemStore::new(2);
+            for &(x, y) in &vals {
+                s.insert(rec(&[x, y]));
+            }
+            let rect = HyperRect::new(
+                vec![qlo.0, qlo.1],
+                vec![qlo.0 + qspan.0, qlo.1 + qspan.1],
+            );
+            let expected = vals
+                .iter()
+                .filter(|&&(x, y)| rect.contains_point(&[x, y]))
+                .count();
+            prop_assert_eq!(s.range_ids(&rect).len(), expected);
+            prop_assert_eq!(s.count_range(&rect), expected);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Anomaly injection with exact ground truth (the Section 5 experiment).
+//!
+//! The paper validated MIND against anomalies found by Lakhina et al.'s
+//! off-line PCA analysis of Abilene traces: alpha flows, DoS attacks and
+//! port scans. We cannot redistribute those traces, so anomalies are
+//! *injected* into the synthetic traffic with known parameters; the
+//! Figure 17 experiment then measures (a) whether the circumscribing MIND
+//! query returns a superset of the anomaly's records, (b) how tight that
+//! superset is, and (c) the response time — with recall computable exactly
+//! because the ground truth is known by construction.
+
+use crate::flow::RawFlow;
+use mind_types::HyperRect;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three anomaly classes of the Section 5 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// An unusually large point-to-point transfer (detected on Index-2 via
+    /// an octets threshold).
+    AlphaFlow {
+        /// Total bytes transferred during the anomaly.
+        octets: u64,
+    },
+    /// Many sources flooding one destination (detected on Index-1 via the
+    /// fanout threshold).
+    Dos {
+        /// Number of attacking hosts.
+        sources: u32,
+        /// Connections each attacker opens per window.
+        conns_per_source: u32,
+    },
+    /// One source probing many hosts/ports in a destination prefix
+    /// (detected on Index-1 via the fanout threshold).
+    PortScan {
+        /// Number of probed `(host, port)` targets per window.
+        targets: u32,
+    },
+}
+
+/// One injected anomaly.
+#[derive(Debug, Clone)]
+pub struct Anomaly {
+    /// The anomaly class and magnitude.
+    pub kind: AnomalyKind,
+    /// Start time (seconds since trace epoch).
+    pub start: u64,
+    /// Duration in seconds.
+    pub duration: u64,
+    /// Source /16 prefix of the attacker(s).
+    pub src_prefix: u32,
+    /// Destination /16 prefix of the victim(s).
+    pub dst_prefix: u32,
+    /// The backbone routers on the anomaly's path — each observes the
+    /// flows, so MIND's answer identifies the path (the paper's DoS
+    /// back-tracking result).
+    pub routers: Vec<u16>,
+}
+
+impl Anomaly {
+    /// The raw flows this anomaly adds at router `router` in the window
+    /// starting at `window_start` (empty when outside the anomaly's time
+    /// span or off its path).
+    pub fn window_flows(&self, seed: u64, window_start: u64, window_len: u64, router: u16) -> Vec<RawFlow> {
+        if !self.routers.contains(&router) {
+            return Vec::new();
+        }
+        let end = self.start + self.duration;
+        if window_start + window_len <= self.start || window_start >= end {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ (window_start.wrapping_mul(0xD134_2543_DE82_EF95)) ^ router as u64,
+        );
+        let mut flows = Vec::new();
+        let t = |rng: &mut StdRng| window_start + rng.random_range(0..window_len);
+        match self.kind {
+            AnomalyKind::AlphaFlow { octets } => {
+                // A handful of very large flows between two fixed hosts.
+                let src = self.src_prefix | 77;
+                let dst = self.dst_prefix | 7;
+                let windows = (self.duration / window_len).max(1);
+                let per_window = octets / windows;
+                for i in 0..4u64 {
+                    flows.push(RawFlow {
+                        src_ip: src,
+                        dst_ip: dst,
+                        src_port: 33_000 + i as u16,
+                        dst_port: 80,
+                        bytes: per_window / 4,
+                        packets: (per_window / 4 / 1400).max(1) as u32,
+                        start: t(&mut rng),
+                        router,
+                    });
+                }
+            }
+            AnomalyKind::Dos { sources, conns_per_source } => {
+                let dst = self.dst_prefix | 1;
+                for s in 0..sources {
+                    let src = self.src_prefix | (s + 2);
+                    for c in 0..conns_per_source {
+                        flows.push(RawFlow {
+                            src_ip: src,
+                            dst_ip: dst,
+                            src_port: (10_000 + s * 13 + c) as u16,
+                            dst_port: 80,
+                            bytes: 60,
+                            packets: 1,
+                            start: t(&mut rng),
+                            router,
+                        });
+                    }
+                }
+            }
+            AnomalyKind::PortScan { targets } => {
+                let src = self.src_prefix | 99;
+                for i in 0..targets {
+                    flows.push(RawFlow {
+                        src_ip: src,
+                        dst_ip: self.dst_prefix | (i % 65_536),
+                        src_port: 55_555,
+                        dst_port: (1 + (i % 1024)) as u16,
+                        bytes: 40,
+                        packets: 1,
+                        start: t(&mut rng),
+                        router,
+                    });
+                }
+            }
+        }
+        flows
+    }
+
+    /// The aggregate fanout this anomaly contributes per window — what an
+    /// Index-1 threshold query must exceed to catch it.
+    pub fn expected_fanout(&self) -> u64 {
+        match self.kind {
+            AnomalyKind::AlphaFlow { .. } => 4,
+            AnomalyKind::Dos { sources, conns_per_source } => (sources * conns_per_source) as u64,
+            AnomalyKind::PortScan { targets } => targets as u64,
+        }
+    }
+
+    /// The circumscribing Index-1 query of Section 5: *all records with
+    /// fanout greater than `threshold` within a 5-minute interval around
+    /// the anomaly* (destination and source wildcarded).
+    pub fn index1_query(&self, fanout_threshold: u64, fanout_bound: u64) -> HyperRect {
+        let t0 = self.start.saturating_sub(30);
+        HyperRect::new(
+            vec![0, t0, fanout_threshold],
+            vec![u32::MAX as u64, t0 + 300, fanout_bound],
+        )
+    }
+
+    /// The circumscribing Index-2 query of Section 5: *all records with
+    /// octets greater than `threshold` within a 5-minute interval*.
+    pub fn index2_query(&self, octet_threshold: u64, octet_bound: u64) -> HyperRect {
+        let t0 = self.start.saturating_sub(30);
+        HyperRect::new(
+            vec![0, t0, octet_threshold],
+            vec![u32::MAX as u64, t0 + 300, octet_bound],
+        )
+    }
+
+    /// `true` if an aggregate record (as `(dst_prefix, src_prefix)` with
+    /// this anomaly's time span) was produced by this anomaly — the ground
+    /// truth predicate for recall accounting.
+    pub fn matches(&self, dst_prefix: u32, src_prefix: u32, window_start: u64) -> bool {
+        dst_prefix == self.dst_prefix
+            && src_prefix == self.src_prefix
+            && window_start + 30 > self.start
+            && window_start < self.start + self.duration
+    }
+}
+
+/// The Section 5 anomaly set: the same mix the paper searched for on its
+/// December 18, 2003 Abilene trace — three alpha flows, two DoS attacks
+/// and a port scan, with router paths through the Abilene backbone.
+pub fn section5_anomalies() -> Vec<Anomaly> {
+    vec![
+        Anomaly {
+            kind: AnomalyKind::AlphaFlow { octets: 64 << 20 },
+            start: 300,
+            duration: 120,
+            src_prefix: 0x0A64_0000,
+            dst_prefix: 0xC0A8_0000,
+            routers: vec![1, 3, 4], // SNVA, DNVR, KSCY
+        },
+        Anomaly {
+            kind: AnomalyKind::AlphaFlow { octets: 48 << 20 },
+            start: 600,
+            duration: 90,
+            src_prefix: 0x0A65_0000,
+            dst_prefix: 0xC0A9_0000,
+            routers: vec![0, 6], // STTL, CHIN
+        },
+        Anomaly {
+            kind: AnomalyKind::AlphaFlow { octets: 96 << 20 },
+            start: 900,
+            duration: 150,
+            src_prefix: 0x0A66_0000,
+            dst_prefix: 0xC0AA_0000,
+            routers: vec![2, 5], // LOSA, HSTN
+        },
+        Anomaly {
+            kind: AnomalyKind::Dos { sources: 400, conns_per_source: 5 },
+            start: 450,
+            duration: 120,
+            src_prefix: 0x0B00_0000,
+            dst_prefix: 0xC0AB_0000,
+            routers: vec![6, 3, 7, 4, 2, 1], // CHIN DNVR IPLS KSCY LOSA SNVA
+        },
+        Anomaly {
+            kind: AnomalyKind::Dos { sources: 600, conns_per_source: 4 },
+            start: 1100,
+            duration: 100,
+            src_prefix: 0x0B01_0000,
+            dst_prefix: 0xC0AC_0000,
+            routers: vec![6, 7], // CHIN IPLS
+        },
+        Anomaly {
+            kind: AnomalyKind::PortScan { targets: 2000 },
+            start: 800,
+            duration: 180,
+            src_prefix: 0x0B02_0000,
+            dst_prefix: 0xC0AD_0000,
+            routers: vec![8, 9], // ATLA WASH
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::aggregate_window;
+    use crate::schemas::{index1_record, FANOUT_THRESHOLD};
+
+    #[test]
+    fn dos_flows_have_large_fanout_after_aggregation() {
+        let a = Anomaly {
+            kind: AnomalyKind::Dos { sources: 400, conns_per_source: 5 },
+            start: 0,
+            duration: 60,
+            src_prefix: 0x0B00_0000,
+            dst_prefix: 0xC0AB_0000,
+            routers: vec![0],
+        };
+        let flows = a.window_flows(1, 0, 30, 0);
+        assert_eq!(flows.len(), 2000);
+        let aggs = aggregate_window(&flows, 0, 30);
+        assert_eq!(aggs.len(), 1);
+        assert_eq!(aggs[0].fanout, 2000);
+        assert!(aggs[0].fanout >= a.expected_fanout());
+        // The record passes the Index-1 filter easily.
+        assert!(index1_record(&aggs[0]).is_some());
+        assert!(aggs[0].fanout >= FANOUT_THRESHOLD);
+    }
+
+    #[test]
+    fn off_path_and_off_time_windows_empty() {
+        let a = Anomaly {
+            kind: AnomalyKind::PortScan { targets: 100 },
+            start: 300,
+            duration: 60,
+            src_prefix: 1 << 16,
+            dst_prefix: 2 << 16,
+            routers: vec![5],
+        };
+        assert!(a.window_flows(1, 300, 30, 4).is_empty(), "wrong router");
+        assert!(a.window_flows(1, 0, 30, 5).is_empty(), "before start");
+        assert!(a.window_flows(1, 360, 30, 5).is_empty(), "after end");
+        assert!(!a.window_flows(1, 330, 30, 5).is_empty(), "in-window");
+    }
+
+    #[test]
+    fn alpha_flow_octets_dominate() {
+        let a = Anomaly {
+            kind: AnomalyKind::AlphaFlow { octets: 64 << 20 },
+            start: 0,
+            duration: 120,
+            src_prefix: 3 << 16,
+            dst_prefix: 4 << 16,
+            routers: vec![0],
+        };
+        let flows = a.window_flows(1, 0, 30, 0);
+        let total: u64 = flows.iter().map(|f| f.bytes).sum();
+        assert!(total >= (64 << 20) / 4 - 16, "window carries its share, got {total}");
+    }
+
+    #[test]
+    fn query_rect_covers_anomaly_records() {
+        let a = &section5_anomalies()[3]; // first DoS
+        let q = a.index1_query(1500, 5024);
+        // An aggregate from the anomaly: fanout 2000, ts at start.
+        assert!(q.contains_point(&[a.dst_prefix as u64, a.start, 2000]));
+        // Normal traffic with small fanout is excluded.
+        assert!(!q.contains_point(&[a.dst_prefix as u64, a.start, 40]));
+    }
+
+    #[test]
+    fn ground_truth_predicate() {
+        let a = &section5_anomalies()[5]; // port scan, start 800 dur 180
+        assert!(a.matches(a.dst_prefix, a.src_prefix, 810));
+        assert!(a.matches(a.dst_prefix, a.src_prefix, 780), "window overlapping start");
+        assert!(!a.matches(a.dst_prefix, a.src_prefix, 980));
+        assert!(!a.matches(a.dst_prefix + 1, a.src_prefix, 810));
+    }
+
+    #[test]
+    fn section5_set_matches_paper_mix() {
+        let all = section5_anomalies();
+        let alphas = all.iter().filter(|a| matches!(a.kind, AnomalyKind::AlphaFlow { .. })).count();
+        let dos = all.iter().filter(|a| matches!(a.kind, AnomalyKind::Dos { .. })).count();
+        let scans = all.iter().filter(|a| matches!(a.kind, AnomalyKind::PortScan { .. })).count();
+        assert_eq!((alphas, dos, scans), (3, 2, 1));
+        // Every DoS/scan clears the paper's 1500-fanout query threshold.
+        for a in &all {
+            if !matches!(a.kind, AnomalyKind::AlphaFlow { .. }) {
+                assert!(a.expected_fanout() > 1500);
+            }
+        }
+    }
+}

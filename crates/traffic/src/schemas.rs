@@ -1,0 +1,174 @@
+//! The paper's three evaluation indices (Section 4.1).
+//!
+//! Each index is built on the first three attributes of an aggregated flow
+//! record; the remaining attributes are carried along and returned by
+//! queries but not indexed. Attribute upper bounds follow the paper: 5024
+//! for fanout, 2 MB for octets, 128 KB for flow size — chosen so fewer
+//! than 0.1 % of tuples exceed them (those are clamped into the largest
+//! range on insert).
+
+use crate::aggregate::AggRecord;
+use mind_types::{AttrDef, AttrKind, IndexSchema, Record};
+
+/// Fanout cap for Index-1 histograms/cuts (the paper's 5024).
+pub const FANOUT_BOUND: u64 = 5024;
+/// Octets cap for Index-2 (the paper's 2 MB).
+pub const OCTETS_BOUND: u64 = 2 << 20;
+/// Flow-size cap for Index-3 (the paper's 128 KB).
+pub const FLOW_SIZE_BOUND: u64 = 128 << 10;
+
+/// Insert threshold for Index-1: aggregates with fanout below 16 are not
+/// interesting for scan/DoS detection.
+pub const FANOUT_THRESHOLD: u64 = 16;
+/// Insert threshold for Index-2: 80 KB (conservative given 1/100 packet
+/// sampling understates true sizes).
+pub const OCTETS_THRESHOLD: u64 = 80 << 10;
+/// Insert threshold for Index-3: 1.5 KB average flow size.
+pub const FLOW_SIZE_THRESHOLD: u64 = 1536;
+
+/// Index-1: `(dst_prefix, timestamp, fanout | src_prefix, node)` — port
+/// scan and DoS detection.
+pub fn index1_schema(ts_bound: u64) -> IndexSchema {
+    IndexSchema::new(
+        "index-1",
+        vec![
+            AttrDef::new("dst_prefix", AttrKind::IpPrefix, 0, u32::MAX as u64),
+            AttrDef::new("timestamp", AttrKind::Timestamp, 0, ts_bound),
+            AttrDef::new("fanout", AttrKind::Count, 0, FANOUT_BOUND),
+            AttrDef::new("src_prefix", AttrKind::IpPrefix, 0, u32::MAX as u64),
+            AttrDef::new("node", AttrKind::Generic, 0, 1024),
+        ],
+        3,
+    )
+}
+
+/// Index-2: `(dst_prefix, timestamp, octets | src_prefix, node)` — alpha
+/// flow detection.
+pub fn index2_schema(ts_bound: u64) -> IndexSchema {
+    IndexSchema::new(
+        "index-2",
+        vec![
+            AttrDef::new("dst_prefix", AttrKind::IpPrefix, 0, u32::MAX as u64),
+            AttrDef::new("timestamp", AttrKind::Timestamp, 0, ts_bound),
+            AttrDef::new("octets", AttrKind::Octets, 0, OCTETS_BOUND),
+            AttrDef::new("src_prefix", AttrKind::IpPrefix, 0, u32::MAX as u64),
+            AttrDef::new("node", AttrKind::Generic, 0, 1024),
+        ],
+        3,
+    )
+}
+
+/// Index-3: `(dst_prefix, timestamp, flow_size | src_prefix, dst_port,
+/// node)` — detecting tunneling and port-abusing applications.
+pub fn index3_schema(ts_bound: u64) -> IndexSchema {
+    IndexSchema::new(
+        "index-3",
+        vec![
+            AttrDef::new("dst_prefix", AttrKind::IpPrefix, 0, u32::MAX as u64),
+            AttrDef::new("timestamp", AttrKind::Timestamp, 0, ts_bound),
+            AttrDef::new("flow_size", AttrKind::Octets, 0, FLOW_SIZE_BOUND),
+            AttrDef::new("src_prefix", AttrKind::IpPrefix, 0, u32::MAX as u64),
+            AttrDef::new("dst_port", AttrKind::Port, 0, u16::MAX as u64),
+            AttrDef::new("node", AttrKind::Generic, 0, 1024),
+        ],
+        3,
+    )
+}
+
+/// Converts an aggregate into an Index-1 record, applying the fanout
+/// filter. `None` means "too small to index".
+pub fn index1_record(a: &AggRecord) -> Option<Record> {
+    (a.fanout >= FANOUT_THRESHOLD).then(|| {
+        Record::new(vec![
+            a.dst_prefix as u64,
+            a.window_start,
+            a.fanout,
+            a.src_prefix as u64,
+            a.router as u64,
+        ])
+    })
+}
+
+/// Converts an aggregate into an Index-2 record, applying the octet filter.
+pub fn index2_record(a: &AggRecord) -> Option<Record> {
+    (a.octets >= OCTETS_THRESHOLD).then(|| {
+        Record::new(vec![
+            a.dst_prefix as u64,
+            a.window_start,
+            a.octets,
+            a.src_prefix as u64,
+            a.router as u64,
+        ])
+    })
+}
+
+/// Converts an aggregate into an Index-3 record, applying the flow-size
+/// filter.
+pub fn index3_record(a: &AggRecord) -> Option<Record> {
+    (a.avg_flow_size >= FLOW_SIZE_THRESHOLD).then(|| {
+        Record::new(vec![
+            a.dst_prefix as u64,
+            a.window_start,
+            a.avg_flow_size,
+            a.src_prefix as u64,
+            a.dst_port as u64,
+            a.router as u64,
+        ])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agg(octets: u64, fanout: u64) -> AggRecord {
+        AggRecord {
+            dst_prefix: 0xC0A8_0000,
+            src_prefix: 0x0A00_0000,
+            window_start: 120,
+            octets,
+            fanout,
+            avg_flow_size: octets / fanout.max(1),
+            dst_port: 80,
+            router: 5,
+        }
+    }
+
+    #[test]
+    fn schemas_are_three_dimensional() {
+        for s in [index1_schema(86_400), index2_schema(86_400), index3_schema(86_400)] {
+            assert_eq!(s.indexed_dims, 3);
+            assert_eq!(s.time_dim(), Some(1));
+        }
+        assert_eq!(index3_schema(1).arity(), 6);
+    }
+
+    #[test]
+    fn filters_apply() {
+        assert!(index1_record(&agg(1000, 15)).is_none());
+        assert!(index1_record(&agg(1000, 16)).is_some());
+        assert!(index2_record(&agg((80 << 10) - 1, 20)).is_none());
+        assert!(index2_record(&agg(80 << 10, 20)).is_some());
+        assert!(index3_record(&agg(1535, 1)).is_none());
+        assert!(index3_record(&agg(200_000, 2)).is_some());
+    }
+
+    #[test]
+    fn record_layout_matches_schema() {
+        let r = index1_record(&agg(1000, 99)).unwrap();
+        let s = index1_schema(86_400);
+        let r = r.conform(&s).unwrap();
+        assert_eq!(r.value(0), 0xC0A8_0000);
+        assert_eq!(r.value(1), 120);
+        assert_eq!(r.value(2), 99);
+        assert_eq!(r.value(3), 0x0A00_0000);
+        assert_eq!(r.value(4), 5);
+    }
+
+    #[test]
+    fn conform_clamps_oversized_fanout() {
+        let r = index1_record(&agg(10, 50_000)).unwrap();
+        let r = r.conform(&index1_schema(86_400)).unwrap();
+        assert_eq!(r.value(2), FANOUT_BOUND, "out-of-bound fanout clamps to the largest range");
+    }
+}

@@ -1,0 +1,411 @@
+//! Variable-length bit codes.
+//!
+//! A [`BitCode`] names both a vertex of the (possibly unbalanced) hypercube
+//! overlay and a hyper-rectangle of a data-space cut tree. The set of node
+//! codes in a MIND overlay is always *prefix-free and complete*: it is the
+//! leaf set of a binary tree, so every infinite bit string has exactly one
+//! node code as a prefix. Data items are mapped to (usually longer) codes by
+//! the cut tree and stored at the node whose code *maximally matches* the
+//! item's code — which, by completeness, is exactly the node whose code is a
+//! prefix of the item's code.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum supported code length in bits.
+///
+/// 64 bits allows 2^64 overlay nodes and cut trees of depth 64 — far beyond
+/// anything the paper (or any deployment) needs, while keeping the code a
+/// two-word `Copy` value on the hot routing path.
+pub const MAX_CODE_LEN: u8 = 64;
+
+/// A bit string of length `0..=64`, ordered most-significant-bit first.
+///
+/// The empty code (length 0) is the root: it is the address of the sole node
+/// of a 1-node overlay and the code of the whole data space.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitCode {
+    /// Bit `i` of the code is stored at machine-bit `63 - i`; all machine
+    /// bits at positions `>= len` (logical) are zero.
+    bits: u64,
+    len: u8,
+}
+
+impl BitCode {
+    /// The empty (root) code.
+    pub const ROOT: BitCode = BitCode { bits: 0, len: 0 };
+
+    /// Creates a code from its `len` leading bits packed MSB-first in `bits`.
+    ///
+    /// Trailing machine bits beyond `len` are masked off.
+    ///
+    /// # Panics
+    /// Panics if `len > 64`.
+    pub fn from_raw(bits: u64, len: u8) -> Self {
+        assert!(len <= MAX_CODE_LEN, "code length {len} exceeds {MAX_CODE_LEN}");
+        let mask = if len == 0 { 0 } else { u64::MAX << (64 - len as u32) };
+        BitCode { bits: bits & mask, len }
+    }
+
+    /// Parses a code from a string of `'0'`/`'1'` characters, e.g. `"0101"`.
+    ///
+    /// Returns `None` on any other character or on length > 64.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.len() > MAX_CODE_LEN as usize {
+            return None;
+        }
+        let mut c = BitCode::ROOT;
+        for ch in s.chars() {
+            match ch {
+                '0' => c = c.child(false),
+                '1' => c = c.child(true),
+                _ => return None,
+            }
+        }
+        Some(c)
+    }
+
+    /// Number of bits in the code.
+    #[inline]
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// `true` for the empty (root) code.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i` (0-based from the start of the code).
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn bit(&self, i: u8) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for code of length {}", self.len);
+        (self.bits >> (63 - i as u32)) & 1 == 1
+    }
+
+    /// The code extended by one bit: `c.child(b)` is `cb`.
+    ///
+    /// In the overlay, a node with code `c` that accepts a joiner splits into
+    /// `c0` (itself) and `c1` (the joiner). In the cut tree, the two halves
+    /// of a cut hyper-rectangle get codes `c0` and `c1`.
+    ///
+    /// # Panics
+    /// Panics if the code is already [`MAX_CODE_LEN`] bits long.
+    #[inline]
+    pub fn child(&self, bit: bool) -> Self {
+        assert!(self.len < MAX_CODE_LEN, "cannot extend a {MAX_CODE_LEN}-bit code");
+        let mut bits = self.bits;
+        if bit {
+            bits |= 1 << (63 - self.len as u32);
+        }
+        BitCode { bits, len: self.len + 1 }
+    }
+
+    /// The code with its last bit removed (its parent in the virtual binary
+    /// tree). Returns [`BitCode::ROOT`] unchanged when already empty.
+    #[inline]
+    pub fn parent(&self) -> Self {
+        if self.len == 0 {
+            *self
+        } else {
+            self.prefix(self.len - 1)
+        }
+    }
+
+    /// The first `n` bits of the code.
+    ///
+    /// # Panics
+    /// Panics if `n > self.len()`.
+    #[inline]
+    pub fn prefix(&self, n: u8) -> Self {
+        assert!(n <= self.len, "prefix length {n} exceeds code length {}", self.len);
+        let mask = if n == 0 { 0 } else { u64::MAX << (64 - n as u32) };
+        BitCode { bits: self.bits & mask, len: n }
+    }
+
+    /// The sibling code: same length, last bit flipped.
+    ///
+    /// Siblings take over each other's hyper-rectangle on failure
+    /// (Section 3.8 of the paper).
+    ///
+    /// # Panics
+    /// Panics on the root code, which has no sibling.
+    #[inline]
+    pub fn sibling(&self) -> Self {
+        assert!(self.len > 0, "the root code has no sibling");
+        BitCode {
+            bits: self.bits ^ (1 << (63 - (self.len - 1) as u32)),
+            len: self.len,
+        }
+    }
+
+    /// The code with bit `i` inverted (same length).
+    ///
+    /// On a balanced hypercube this is the classic dimension-`i` neighbor
+    /// address; static construction uses it to pick *matching* neighbors
+    /// (each node a different cross-subtree contact) rather than funneling
+    /// every node to one representative.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn flip(&self, i: u8) -> Self {
+        assert!(i < self.len, "flip index {i} out of range for code of length {}", self.len);
+        BitCode { bits: self.bits ^ (1 << (63 - i as u32)), len: self.len }
+    }
+
+    /// The *flip prefix* at position `i`: the first `i + 1` bits with bit `i`
+    /// inverted.
+    ///
+    /// Dimension-`i` hypercube neighbors of a node with code `c` are exactly
+    /// the nodes whose codes are compatible with (prefix of, or extending)
+    /// `c.flip_prefix(i)`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn flip_prefix(&self, i: u8) -> Self {
+        assert!(i < self.len, "flip index {i} out of range for code of length {}", self.len);
+        self.prefix(i + 1).sibling()
+    }
+
+    /// Length of the longest common prefix with `other`, in bits.
+    #[inline]
+    pub fn common_prefix_len(&self, other: &Self) -> u8 {
+        let diff = self.bits ^ other.bits;
+        let agree = if diff == 0 { 64 } else { diff.leading_zeros() as u8 };
+        agree.min(self.len).min(other.len)
+    }
+
+    /// `true` if `self` is a (non-strict) prefix of `other`.
+    #[inline]
+    pub fn is_prefix_of(&self, other: &Self) -> bool {
+        self.len <= other.len && self.common_prefix_len(other) == self.len
+    }
+
+    /// `true` if one of the two codes is a prefix of the other.
+    ///
+    /// In a complete prefix-free code set, exactly the compatible codes can
+    /// refer to the same region of the code space.
+    #[inline]
+    pub fn compatible(&self, other: &Self) -> bool {
+        self.is_prefix_of(other) || other.is_prefix_of(self)
+    }
+
+    /// Iterates over the bits of the code, first to last.
+    pub fn iter_bits(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.bit(i))
+    }
+
+    /// Interprets the code as an integer index in `0..2^len` (MSB first).
+    ///
+    /// Useful for dense per-leaf arrays when all codes share one length.
+    #[inline]
+    pub fn as_index(&self) -> u64 {
+        if self.len == 0 {
+            0
+        } else {
+            self.bits >> (64 - self.len as u32)
+        }
+    }
+
+    /// Builds the length-`len` code whose [`Self::as_index`] equals `index`.
+    ///
+    /// # Panics
+    /// Panics if `len > 64` or `index >= 2^len`.
+    pub fn from_index(index: u64, len: u8) -> Self {
+        assert!(len <= MAX_CODE_LEN);
+        if len < 64 {
+            assert!(index < (1u64 << len), "index {index} out of range for length {len}");
+        }
+        let bits = if len == 0 { 0 } else { index << (64 - len as u32) };
+        BitCode { bits, len }
+    }
+}
+
+impl fmt::Display for BitCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len == 0 {
+            return write!(f, "ε");
+        }
+        for b in self.iter_bits() {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BitCode {
+    /// Codes read better as bit strings, so `Debug` forwards to `Display`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl Ord for BitCode {
+    /// Lexicographic order on bit strings, shorter-prefix-first.
+    ///
+    /// This is the in-order traversal of the virtual binary tree, so sorting
+    /// node codes yields the left-to-right order of the hypercube leaves.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.bits.cmp(&other.bits).then(self.len.cmp(&other.len))
+    }
+}
+
+impl PartialOrd for BitCode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn root_properties() {
+        let r = BitCode::ROOT;
+        assert_eq!(r.len(), 0);
+        assert!(r.is_empty());
+        assert_eq!(r.to_string(), "ε");
+        assert!(r.is_prefix_of(&BitCode::parse("0101").unwrap()));
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["0", "1", "01", "10", "0101100", "1111111111"] {
+            let c = BitCode::parse(s).unwrap();
+            assert_eq!(c.to_string(), s);
+            assert_eq!(c.len() as usize, s.len());
+        }
+        assert!(BitCode::parse("01x").is_none());
+        assert!(BitCode::parse(&"0".repeat(65)).is_none());
+    }
+
+    #[test]
+    fn child_and_parent() {
+        let c = BitCode::parse("010").unwrap();
+        assert_eq!(c.child(true).to_string(), "0101");
+        assert_eq!(c.child(false).to_string(), "0100");
+        assert_eq!(c.child(true).parent(), c);
+        assert_eq!(BitCode::ROOT.parent(), BitCode::ROOT);
+    }
+
+    #[test]
+    fn sibling_flips_last_bit() {
+        assert_eq!(BitCode::parse("000000").unwrap().sibling().to_string(), "000001");
+        assert_eq!(BitCode::parse("1").unwrap().sibling().to_string(), "0");
+    }
+
+    #[test]
+    #[should_panic(expected = "no sibling")]
+    fn root_sibling_panics() {
+        let _ = BitCode::ROOT.sibling();
+    }
+
+    #[test]
+    fn flip_prefix_matches_paper_example() {
+        // Paper Section 3.8: node 000000 with m = 3 replicates at the
+        // neighbors whose codes share prefixes of length 5, 4, 3 — i.e. the
+        // subtrees 000001, 00001, 00010... wait, the paper lists 000001,
+        // 000010, 000100 (each a 6-bit code in a balanced hypercube). The
+        // flip prefixes identifying those neighbor subtrees are:
+        let c = BitCode::parse("000000").unwrap();
+        assert_eq!(c.flip_prefix(5).to_string(), "000001");
+        assert_eq!(c.flip_prefix(4).to_string(), "00001");
+        assert_eq!(c.flip_prefix(3).to_string(), "0001");
+        // In a balanced 6-cube those subtrees are single nodes 000001,
+        // 000010 and 000100 — consistent with the paper.
+        assert!(c.flip_prefix(4).is_prefix_of(&BitCode::parse("000010").unwrap()));
+        assert!(c.flip_prefix(3).is_prefix_of(&BitCode::parse("000100").unwrap()));
+    }
+
+    #[test]
+    fn flip_inverts_one_bit() {
+        let c = BitCode::parse("0101").unwrap();
+        assert_eq!(c.flip(0).to_string(), "1101");
+        assert_eq!(c.flip(3).to_string(), "0100");
+        assert_eq!(c.flip(2).flip(2), c);
+        assert_eq!(c.flip(1).len(), c.len());
+    }
+
+    #[test]
+    fn common_prefix() {
+        let a = BitCode::parse("0101").unwrap();
+        let b = BitCode::parse("0111").unwrap();
+        assert_eq!(a.common_prefix_len(&b), 2);
+        assert_eq!(a.common_prefix_len(&a), 4);
+        assert_eq!(BitCode::ROOT.common_prefix_len(&a), 0);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let c = BitCode::parse("0110").unwrap();
+        assert_eq!(c.as_index(), 0b0110);
+        assert_eq!(BitCode::from_index(0b0110, 4), c);
+        assert_eq!(BitCode::from_index(0, 0), BitCode::ROOT);
+    }
+
+    #[test]
+    fn ordering_is_tree_in_order() {
+        let mut codes: Vec<_> = ["1", "00", "011", "010"]
+            .iter()
+            .map(|s| BitCode::parse(s).unwrap())
+            .collect();
+        codes.sort();
+        let strings: Vec<_> = codes.iter().map(|c| c.to_string()).collect();
+        assert_eq!(strings, vec!["00", "010", "011", "1"]);
+    }
+
+    fn arb_code() -> impl Strategy<Value = BitCode> {
+        (any::<u64>(), 0u8..=64).prop_map(|(bits, len)| BitCode::from_raw(bits, len))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_parse_display_roundtrip(c in arb_code()) {
+            if !c.is_empty() {
+                prop_assert_eq!(BitCode::parse(&c.to_string()).unwrap(), c);
+            }
+        }
+
+        #[test]
+        fn prop_prefix_is_prefix(c in arb_code(), n in 0u8..=64) {
+            let n = n.min(c.len());
+            prop_assert!(c.prefix(n).is_prefix_of(&c));
+        }
+
+        #[test]
+        fn prop_common_prefix_symmetric(a in arb_code(), b in arb_code()) {
+            prop_assert_eq!(a.common_prefix_len(&b), b.common_prefix_len(&a));
+        }
+
+        #[test]
+        fn prop_sibling_involution(c in arb_code()) {
+            if !c.is_empty() {
+                prop_assert_eq!(c.sibling().sibling(), c);
+                prop_assert_eq!(c.common_prefix_len(&c.sibling()), c.len() - 1);
+            }
+        }
+
+        #[test]
+        fn prop_index_roundtrip(c in arb_code()) {
+            prop_assert_eq!(BitCode::from_index(c.as_index(), c.len()), c);
+        }
+
+        #[test]
+        fn prop_child_extends(c in arb_code(), b: bool) {
+            if c.len() < MAX_CODE_LEN {
+                let ch = c.child(b);
+                prop_assert!(c.is_prefix_of(&ch));
+                prop_assert_eq!(ch.len(), c.len() + 1);
+                prop_assert_eq!(ch.bit(c.len()), b);
+            }
+        }
+    }
+}

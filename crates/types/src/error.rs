@@ -1,0 +1,81 @@
+//! Error types shared across the MIND crates.
+
+use std::fmt;
+
+/// Errors surfaced by the MIND public API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MindError {
+    /// An index with the given tag already exists on this node.
+    IndexExists(String),
+    /// No index with the given tag is known to this node.
+    UnknownIndex(String),
+    /// A record or query does not match the index schema (wrong arity,
+    /// out-of-bounds value for a bounded attribute, inverted range, ...).
+    SchemaMismatch {
+        /// Index tag the operation targeted.
+        index: String,
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// The overlay could not route a message (no live route after recovery).
+    RoutingFailed {
+        /// Target code the routing attempted to reach.
+        target: String,
+        /// Why routing gave up.
+        reason: String,
+    },
+    /// A query did not complete within its deadline.
+    QueryTimeout {
+        /// Query identifier.
+        query: u64,
+    },
+    /// The node is not joined to an overlay yet.
+    NotJoined,
+    /// Transport-level failure (only produced by `mind-net`).
+    Transport(String),
+    /// Codec-level failure while decoding a wire frame.
+    Codec(String),
+}
+
+impl fmt::Display for MindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MindError::IndexExists(tag) => write!(f, "index {tag:?} already exists"),
+            MindError::UnknownIndex(tag) => write!(f, "unknown index {tag:?}"),
+            MindError::SchemaMismatch { index, reason } => {
+                write!(f, "schema mismatch on index {index:?}: {reason}")
+            }
+            MindError::RoutingFailed { target, reason } => {
+                write!(f, "routing to {target} failed: {reason}")
+            }
+            MindError::QueryTimeout { query } => write!(f, "query {query} timed out"),
+            MindError::NotJoined => write!(f, "node has not joined an overlay"),
+            MindError::Transport(msg) => write!(f, "transport error: {msg}"),
+            MindError::Codec(msg) => write!(f, "codec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MindError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MindError::SchemaMismatch {
+            index: "idx1".into(),
+            reason: "expected 3 values, got 2".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("idx1"));
+        assert!(s.contains("expected 3 values"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(MindError::NotJoined);
+        assert_eq!(e.to_string(), "node has not joined an overlay");
+    }
+}

@@ -1,0 +1,150 @@
+//! Transport-agnostic, event-driven node abstraction.
+//!
+//! A MIND node (overlay logic + index management + local store) is a pure
+//! state machine: it reacts to *messages* from peers and to *timers* it set
+//! for itself, and emits messages and new timers. The paper's prototype ran
+//! this state machine behind a Java TCP dispatcher on PlanetLab; here the
+//! same Rust state machine is driven by either
+//!
+//! * `mind-netsim`'s deterministic discrete-event simulator — our PlanetLab
+//!   substitute, with modeled propagation, queuing and failures — or
+//! * `mind-net`'s real `std::net` TCP transport.
+//!
+//! Keeping the logic synchronous and transport-free is what makes the whole
+//! distributed system unit-testable and the experiments reproducible.
+
+/// Identifier of a transport endpoint (a simulator host or a TCP peer).
+///
+/// NodeIds are *transport* addresses; hypercube [`crate::BitCode`]s are
+/// *overlay* addresses. The overlay maps codes to NodeIds via its neighbor
+/// tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Simulated or wall-clock time in **microseconds**.
+pub type SimTime = u64;
+
+/// One microsecond expressed in [`SimTime`] units.
+pub const MICROS: SimTime = 1;
+/// One millisecond expressed in [`SimTime`] units.
+pub const MILLIS: SimTime = 1_000;
+/// One second expressed in [`SimTime`] units.
+pub const SECONDS: SimTime = 1_000_000;
+
+/// Sizing hook for the simulator's bandwidth/serialization model.
+pub trait WireSize {
+    /// Approximate encoded size of the message in bytes.
+    fn wire_size(&self) -> usize {
+        64
+    }
+}
+
+/// The effects a node emits while handling one event.
+///
+/// Collected rather than performed so that the driver (simulator or
+/// transport) stays in control of delivery, latency and failure modeling.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    /// Messages to deliver: `(destination, message)`.
+    pub sends: Vec<(NodeId, M)>,
+    /// Timers to arm: `(delay, token)`. The driver calls
+    /// [`NodeLogic::on_timer`] with `token` after `delay`.
+    pub timers: Vec<(SimTime, u64)>,
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox { sends: Vec::new(), timers: Vec::new() }
+    }
+}
+
+impl<M> Outbox<M> {
+    /// A fresh, empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues `msg` for delivery to `to`.
+    #[inline]
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Arms a timer that fires after `delay` with the given `token`.
+    #[inline]
+    pub fn set_timer(&mut self, delay: SimTime, token: u64) {
+        self.timers.push((delay, token));
+    }
+
+    /// `true` when no effects were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.timers.is_empty()
+    }
+
+    /// Moves all effects out, leaving the outbox empty.
+    pub fn drain(&mut self) -> (Vec<(NodeId, M)>, Vec<(SimTime, u64)>) {
+        (std::mem::take(&mut self.sends), std::mem::take(&mut self.timers))
+    }
+}
+
+/// The event-driven node state machine.
+pub trait NodeLogic {
+    /// The peer-to-peer message type.
+    type Msg;
+
+    /// Called once when the node comes up (or restarts after a crash).
+    fn on_start(&mut self, now: SimTime, out: &mut Outbox<Self::Msg>);
+
+    /// Called for every delivered message.
+    fn on_message(&mut self, now: SimTime, from: NodeId, msg: Self::Msg, out: &mut Outbox<Self::Msg>);
+
+    /// Called when a timer armed via [`Outbox::set_timer`] fires.
+    fn on_timer(&mut self, now: SimTime, token: u64, out: &mut Outbox<Self::Msg>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        seen: Vec<(NodeId, u32)>,
+    }
+
+    impl NodeLogic for Echo {
+        type Msg = u32;
+        fn on_start(&mut self, _now: SimTime, out: &mut Outbox<u32>) {
+            out.set_timer(5 * SECONDS, 1);
+        }
+        fn on_message(&mut self, _now: SimTime, from: NodeId, msg: u32, out: &mut Outbox<u32>) {
+            self.seen.push((from, msg));
+            out.send(from, msg + 1);
+        }
+        fn on_timer(&mut self, _now: SimTime, _token: u64, _out: &mut Outbox<u32>) {}
+    }
+
+    #[test]
+    fn outbox_collects_effects() {
+        let mut n = Echo { seen: vec![] };
+        let mut out = Outbox::new();
+        n.on_start(0, &mut out);
+        assert_eq!(out.timers, vec![(5 * SECONDS, 1)]);
+        n.on_message(10, NodeId(3), 7, &mut out);
+        assert_eq!(out.sends, vec![(NodeId(3), 8)]);
+        assert_eq!(n.seen, vec![(NodeId(3), 7)]);
+        let (sends, timers) = out.drain();
+        assert_eq!(sends.len(), 1);
+        assert_eq!(timers.len(), 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(42).to_string(), "n42");
+    }
+}

@@ -1,0 +1,279 @@
+//! Axis-aligned hyper-rectangles over the attribute space.
+//!
+//! A [`HyperRect`] plays two roles in MIND:
+//!
+//! * the *data-space cuts* (Section 3.4 of the paper) recursively split the
+//!   index's bounding rectangle into per-node hyper-rectangles, and
+//! * every *query* (Section 3.6) is a hyper-rectangle: a range (possibly a
+//!   wildcard, i.e. the full domain) for each indexed attribute.
+
+use crate::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned hyper-rectangle with **inclusive** bounds on every axis.
+///
+/// Inclusive bounds match the integer attribute domains: a rectangle can be
+/// split exactly into two disjoint rectangles at any interior threshold, and
+/// a single point is representable as `lo == hi`.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HyperRect {
+    lo: Vec<Value>,
+    hi: Vec<Value>,
+}
+
+impl HyperRect {
+    /// Creates a rectangle from inclusive per-axis bounds.
+    ///
+    /// # Panics
+    /// Panics if the vectors differ in length, are empty, or `lo[d] > hi[d]`
+    /// for some axis `d`.
+    pub fn new(lo: Vec<Value>, hi: Vec<Value>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "lo/hi dimensionality mismatch");
+        assert!(!lo.is_empty(), "zero-dimensional rectangle");
+        for d in 0..lo.len() {
+            assert!(lo[d] <= hi[d], "inverted bounds on axis {d}: {} > {}", lo[d], hi[d]);
+        }
+        HyperRect { lo, hi }
+    }
+
+    /// The full domain `[0, u64::MAX]^dims`.
+    pub fn full(dims: usize) -> Self {
+        HyperRect::new(vec![0; dims], vec![Value::MAX; dims])
+    }
+
+    /// Number of axes.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Inclusive lower bound on axis `d`.
+    #[inline]
+    pub fn lo(&self, d: usize) -> Value {
+        self.lo[d]
+    }
+
+    /// Inclusive upper bound on axis `d`.
+    #[inline]
+    pub fn hi(&self, d: usize) -> Value {
+        self.hi[d]
+    }
+
+    /// All lower bounds.
+    pub fn los(&self) -> &[Value] {
+        &self.lo
+    }
+
+    /// All upper bounds.
+    pub fn his(&self) -> &[Value] {
+        &self.hi
+    }
+
+    /// `true` if `point` lies inside the rectangle (inclusive on all axes).
+    ///
+    /// # Panics
+    /// Panics if `point.len() != self.dims()`.
+    #[inline]
+    pub fn contains_point(&self, point: &[Value]) -> bool {
+        assert_eq!(point.len(), self.dims(), "point dimensionality mismatch");
+        point
+            .iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .all(|(&p, (&l, &h))| l <= p && p <= h)
+    }
+
+    /// `true` if `other` is fully inside `self`.
+    pub fn contains_rect(&self, other: &HyperRect) -> bool {
+        assert_eq!(other.dims(), self.dims());
+        (0..self.dims()).all(|d| self.lo[d] <= other.lo[d] && other.hi[d] <= self.hi[d])
+    }
+
+    /// `true` if the two rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &HyperRect) -> bool {
+        assert_eq!(other.dims(), self.dims());
+        (0..self.dims()).all(|d| self.lo[d] <= other.hi[d] && other.lo[d] <= self.hi[d])
+    }
+
+    /// The intersection, or `None` when disjoint.
+    pub fn intersection(&self, other: &HyperRect) -> Option<HyperRect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        let lo = (0..self.dims()).map(|d| self.lo[d].max(other.lo[d])).collect();
+        let hi = (0..self.dims()).map(|d| self.hi[d].min(other.hi[d])).collect();
+        Some(HyperRect { lo, hi })
+    }
+
+    /// Splits the rectangle on axis `d` at threshold `t` into
+    /// `(low = [lo, t], high = [t+1, hi])`.
+    ///
+    /// This is the elementary *cut* of Section 3.4: the low half gets code
+    /// bit 0, the high half code bit 1.
+    ///
+    /// # Panics
+    /// Panics unless `lo[d] <= t < hi[d]` (both halves must be non-empty).
+    pub fn split_at(&self, d: usize, t: Value) -> (HyperRect, HyperRect) {
+        assert!(
+            self.lo[d] <= t && t < self.hi[d],
+            "split threshold {t} outside interior of axis {d} range [{}, {}]",
+            self.lo[d],
+            self.hi[d]
+        );
+        let mut low = self.clone();
+        let mut high = self.clone();
+        low.hi[d] = t;
+        high.lo[d] = t + 1;
+        (low, high)
+    }
+
+    /// `true` if axis `d` can be split (spans more than one value).
+    #[inline]
+    pub fn splittable(&self, d: usize) -> bool {
+        self.lo[d] < self.hi[d]
+    }
+
+    /// The midpoint threshold for an *even* cut of axis `d`
+    /// (`split_at(d, midpoint)` halves the axis up to integer rounding).
+    #[inline]
+    pub fn midpoint(&self, d: usize) -> Value {
+        // Average without overflow; floors toward lo so that the invariant
+        // lo <= t < hi holds whenever the axis is splittable.
+        self.lo[d] + (self.hi[d] - self.lo[d]) / 2
+    }
+
+    /// Per-axis widths as `u128` (a full axis spans 2^64 values).
+    pub fn width(&self, d: usize) -> u128 {
+        (self.hi[d] - self.lo[d]) as u128 + 1
+    }
+
+    /// Clamps a point onto the rectangle, axis by axis.
+    ///
+    /// The paper assigns out-of-bound attribute values (less than 0.1 % of
+    /// tuples) to the largest range; clamping implements exactly that.
+    pub fn clamp_point(&self, point: &mut [Value]) {
+        assert_eq!(point.len(), self.dims());
+        for d in 0..point.len() {
+            point[d] = point[d].clamp(self.lo[d], self.hi[d]);
+        }
+    }
+}
+
+impl fmt::Debug for HyperRect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rect{{")?;
+        for d in 0..self.dims() {
+            if d > 0 {
+                write!(f, " × ")?;
+            }
+            write!(f, "[{}, {}]", self.lo[d], self.hi[d])?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn contains_and_intersects() {
+        let r = HyperRect::new(vec![0, 10], vec![100, 20]);
+        assert!(r.contains_point(&[0, 10]));
+        assert!(r.contains_point(&[100, 20]));
+        assert!(!r.contains_point(&[101, 15]));
+        let s = HyperRect::new(vec![100, 20], vec![200, 30]);
+        assert!(r.intersects(&s));
+        assert_eq!(
+            r.intersection(&s).unwrap(),
+            HyperRect::new(vec![100, 20], vec![100, 20])
+        );
+        let t = HyperRect::new(vec![101, 21], vec![200, 30]);
+        assert!(!r.intersects(&t));
+        assert!(r.intersection(&t).is_none());
+    }
+
+    #[test]
+    fn split_partitions() {
+        let r = HyperRect::new(vec![0, 0], vec![9, 9]);
+        let (a, b) = r.split_at(0, 4);
+        assert_eq!(a, HyperRect::new(vec![0, 0], vec![4, 9]));
+        assert_eq!(b, HyperRect::new(vec![5, 0], vec![9, 9]));
+        assert!(!a.intersects(&b));
+        for p in [[0, 0], [4, 9], [5, 0], [9, 9], [3, 7]] {
+            assert_eq!(
+                r.contains_point(&p),
+                a.contains_point(&p) || b.contains_point(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn midpoint_is_interior() {
+        let r = HyperRect::new(vec![0], vec![1]);
+        assert_eq!(r.midpoint(0), 0);
+        let full = HyperRect::full(3);
+        assert!(full.midpoint(1) < full.hi(1));
+        assert_eq!(full.width(0), 1u128 << 64);
+    }
+
+    #[test]
+    fn clamp_assigns_largest_range() {
+        let r = HyperRect::new(vec![0, 0], vec![100, 100]);
+        let mut p = [5000, 50];
+        r.clamp_point(&mut p);
+        assert_eq!(p, [100, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted bounds")]
+    fn inverted_bounds_panic() {
+        let _ = HyperRect::new(vec![5], vec![4]);
+    }
+
+    fn arb_rect(dims: usize) -> impl Strategy<Value = HyperRect> {
+        proptest::collection::vec((0u64..1000, 0u64..1000), dims).prop_map(|ranges| {
+            let lo = ranges.iter().map(|&(a, b)| a.min(b)).collect();
+            let hi = ranges.iter().map(|&(a, b)| a.max(b)).collect();
+            HyperRect::new(lo, hi)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersection_commutative(a in arb_rect(3), b in arb_rect(3)) {
+            prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        }
+
+        #[test]
+        fn prop_intersection_contained(a in arb_rect(3), b in arb_rect(3)) {
+            if let Some(i) = a.intersection(&b) {
+                prop_assert!(a.contains_rect(&i));
+                prop_assert!(b.contains_rect(&i));
+            }
+        }
+
+        #[test]
+        fn prop_split_partition(r in arb_rect(2), d in 0usize..2, p in any::<proptest::sample::Index>()) {
+            if r.splittable(d) {
+                let span = r.hi(d) - r.lo(d); // >= 1
+                let t = r.lo(d) + (p.index(span as usize)) as u64;
+                let (a, b) = r.split_at(d, t);
+                prop_assert!(!a.intersects(&b));
+                prop_assert!(r.contains_rect(&a));
+                prop_assert!(r.contains_rect(&b));
+                prop_assert_eq!(a.width(d) + b.width(d), r.width(d));
+            }
+        }
+
+        #[test]
+        fn prop_midpoint_splittable(r in arb_rect(3), d in 0usize..3) {
+            if r.splittable(d) {
+                let m = r.midpoint(d);
+                prop_assert!(r.lo(d) <= m && m < r.hi(d));
+            }
+        }
+    }
+}

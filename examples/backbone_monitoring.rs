@@ -1,0 +1,83 @@
+//! Backbone monitoring: the paper's baseline deployment end-to-end.
+//!
+//! 34 MIND nodes at the Abilene + GÉANT router cities index a continuous
+//! feed of aggregated flow records (Index-2: large flows). The example
+//! shows the operational loop: balanced cuts computed from yesterday's
+//! distribution, continuous insertion at the 30-second cadence, standing
+//! five-minute monitoring queries, and the storage/traffic balance a
+//! network operator would watch.
+//!
+//! ```sh
+//! cargo run --release --example backbone_monitoring
+//! ```
+
+use mind::core::Replication;
+use mind::types::node::SECONDS;
+use mind::types::NodeId;
+use mind_bench::harness::{
+    balanced_cuts, baseline_cluster, install_index, monitoring_query, ExperimentScale, IndexKind,
+    TrafficDriver,
+};
+use mind_core::LatencySummary;
+
+fn main() {
+    let scale = ExperimentScale { volume: 1.0, hours: 1 };
+    let kind = IndexKind::Octets;
+    let ts_bound = 86_400;
+    let t0 = 11 * 3600; // late morning
+    let span = 600; // ten minutes of trace
+
+    // 1. Deploy and create the index with cuts balanced on a sample of
+    //    the same period (the operator's off-line database design step).
+    let driver = TrafficDriver::abilene_geant(99, scale);
+    let mut cluster = baseline_cluster(99);
+    let cuts = balanced_cuts(kind, &driver, ts_bound, 10, t0, t0 + span);
+    install_index(&mut cluster, kind, cuts, ts_bound, Replication::Level(1));
+    println!("34-node Abilene+GÉANT deployment ready");
+
+    // 2. Stream the feed and interleave standing monitoring queries.
+    let mut total = 0u64;
+    let mut latencies = Vec::new();
+    for minute in 0..(span / 60) {
+        let w0 = t0 + minute * 60;
+        total += driver.drive(&mut cluster, &[kind], 0, w0, w0 + 60, ts_bound, None);
+        if minute >= 5 {
+            // "Anything over 1 MB to anywhere in the last five minutes?"
+            let q = monitoring_query(kind, w0 + 60);
+            let outcome = cluster
+                .query_and_wait(NodeId((minute % 34) as u32), kind.tag(), q, vec![])
+                .unwrap();
+            println!(
+                "minute {:>2}: {:>6} records indexed | monitoring query: {} hits, {} nodes, {:.2}s",
+                minute + 1,
+                total,
+                outcome.records.len(),
+                outcome.cost_nodes,
+                outcome.latency.unwrap_or(0) as f64 / 1e6,
+            );
+            if let Some(l) = outcome.latency {
+                latencies.push(l);
+            }
+        }
+    }
+    cluster.run_for(30 * SECONDS);
+
+    // 3. The operator's dashboard numbers.
+    let insert_lat = LatencySummary::from_samples(cluster.insert_latency_samples());
+    let query_lat = LatencySummary::from_samples(latencies);
+    let dist = cluster.storage_distribution(kind.tag());
+    let max = dist.iter().max().copied().unwrap_or(0);
+    let busiest = cluster.world().stats.busiest_link();
+    println!("\n== dashboard ==");
+    println!("records indexed:    {total}");
+    println!("insert latency:     {}", insert_lat.format_seconds());
+    println!("query latency:      {}", query_lat.format_seconds());
+    println!(
+        "storage balance:    max node {max} of {} total ({} nodes hold data)",
+        dist.iter().sum::<u64>(),
+        dist.iter().filter(|&&c| c > 0).count(),
+    );
+    if let Some(((a, b), stats)) = busiest {
+        println!("busiest link:       {a} -> {b} ({} msgs, {} tuples)", stats.messages, stats.data_messages);
+    }
+}

@@ -1,0 +1,146 @@
+//! Failure, churn and recovery integration tests across the whole stack:
+//! crashes mid-stream, recursive takeover, revivals, and query health on a
+//! degraded overlay.
+
+use mind::core::{ClusterConfig, MindCluster, Replication};
+use mind::histogram::CutTree;
+use mind::types::node::SECONDS;
+use mind::types::{AttrDef, AttrKind, HyperRect, IndexSchema, NodeId, Record};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn schema() -> IndexSchema {
+    IndexSchema::new(
+        "t",
+        vec![
+            AttrDef::new("x", AttrKind::Generic, 0, 1 << 20),
+            AttrDef::new("timestamp", AttrKind::Timestamp, 0, 86_400),
+            AttrDef::new("y", AttrKind::Generic, 0, 1 << 20),
+        ],
+        3,
+    )
+}
+
+fn build(n: usize, seed: u64, replication: Replication) -> MindCluster {
+    let mut cluster = MindCluster::new(ClusterConfig::planetlab(n, seed));
+    let s = schema();
+    let cuts = CutTree::even(s.bounds(), 10);
+    cluster.create_index(NodeId(0), s, cuts, replication).unwrap();
+    cluster.run_for(20 * SECONDS);
+    cluster
+}
+
+fn spray(cluster: &mut MindCluster, rng: &mut StdRng, n: usize, count: usize) -> Vec<Record> {
+    let mut recs = Vec::new();
+    for i in 0..count {
+        let r = Record::new(vec![
+            rng.random_range(0..1u64 << 20),
+            rng.random_range(0..86_400u64),
+            rng.random_range(0..1u64 << 20),
+        ]);
+        recs.push(r.clone());
+        cluster.insert(NodeId((i % n) as u32), "t", r).unwrap();
+        if i % 25 == 0 {
+            cluster.run_for(SECONDS);
+        }
+    }
+    cluster.run_for(60 * SECONDS);
+    recs
+}
+
+#[test]
+fn inserts_continue_through_crashes() {
+    let n = 24;
+    let mut cluster = build(n, 31, Replication::Level(1));
+    let mut rng = StdRng::seed_from_u64(31);
+    spray(&mut cluster, &mut rng, n, 150);
+    // Kill three nodes, keep inserting from survivors.
+    for k in [3u32, 11, 17] {
+        cluster.crash(NodeId(k));
+    }
+    cluster.run_for(40 * SECONDS);
+    let mut late = Vec::new();
+    for i in 0..60 {
+        let origin = NodeId([0u32, 1, 5, 7, 9, 20][i % 6]);
+        let r = Record::new(vec![
+            rng.random_range(0..1u64 << 20),
+            rng.random_range(0..86_400u64),
+            rng.random_range(0..1u64 << 20),
+        ]);
+        late.push(r.clone());
+        cluster.insert(origin, "t", r).unwrap();
+        cluster.run_for(SECONDS);
+    }
+    cluster.run_for(60 * SECONDS);
+    // All post-crash inserts must be queryable.
+    let q = HyperRect::new(vec![0, 0, 0], vec![1 << 20, 86_400, 1 << 20]);
+    let outcome = cluster.query_and_wait(NodeId(0), "t", q, vec![]).unwrap();
+    assert!(outcome.complete, "query incomplete after crashes");
+    for r in &late {
+        let conformed = r.clone();
+        assert!(
+            outcome.records.iter().any(|got| got == &conformed),
+            "post-crash insert lost: {conformed:?}"
+        );
+    }
+}
+
+#[test]
+fn double_failure_of_sibling_pair_is_survivable_with_full_replication() {
+    let n = 16;
+    let mut cluster = build(n, 32, Replication::Full);
+    let mut rng = StdRng::seed_from_u64(32);
+    let recs = spray(&mut cluster, &mut rng, n, 120);
+    // Kill an exact sibling pair (codes 0000 and 0001 in a 16-node cube).
+    cluster.crash(NodeId(0));
+    cluster.crash(NodeId(1));
+    cluster.run_for(90 * SECONDS);
+    let q = HyperRect::new(vec![0, 0, 0], vec![1 << 20, 86_400, 1 << 20]);
+    let outcome = cluster.query_and_wait(NodeId(9), "t", q, vec![]).unwrap();
+    assert!(outcome.complete, "query incomplete after sibling-pair failure");
+    assert_eq!(
+        outcome.records.len(),
+        recs.len(),
+        "full replication must preserve recall across a sibling-pair failure"
+    );
+}
+
+#[test]
+fn revived_node_rejoins_service() {
+    let n = 12;
+    let mut cluster = build(n, 33, Replication::Level(1));
+    let mut rng = StdRng::seed_from_u64(33);
+    spray(&mut cluster, &mut rng, n, 80);
+    cluster.crash(NodeId(4));
+    cluster.run_for(60 * SECONDS);
+    cluster.revive(NodeId(4));
+    cluster.run_for(30 * SECONDS);
+    // The revived node can originate inserts and queries again.
+    let r = Record::new(vec![123, 456, 789]);
+    cluster.insert(NodeId(4), "t", r.clone()).unwrap();
+    cluster.run_for(30 * SECONDS);
+    let q = HyperRect::new(vec![123, 456, 789], vec![123, 456, 789]);
+    let outcome = cluster.query_and_wait(NodeId(4), "t", q, vec![]).unwrap();
+    assert!(outcome.complete);
+    assert_eq!(outcome.records.len(), 1);
+}
+
+#[test]
+fn query_from_every_survivor_completes_on_degraded_overlay() {
+    let n = 32;
+    let mut cluster = build(n, 34, Replication::Level(1));
+    let mut rng = StdRng::seed_from_u64(34);
+    spray(&mut cluster, &mut rng, n, 150);
+    for k in [2u32, 6, 13, 21, 28] {
+        cluster.crash(NodeId(k));
+    }
+    cluster.run_for(90 * SECONDS);
+    let q = HyperRect::new(vec![1 << 18, 0, 1 << 18], vec![1 << 19, 86_400, 1 << 19]);
+    for k in 0..n as u32 {
+        if !cluster.world().is_alive(NodeId(k)) {
+            continue;
+        }
+        let outcome = cluster.query_and_wait(NodeId(k), "t", q.clone(), vec![]).unwrap();
+        assert!(outcome.complete, "query from survivor {k} incomplete");
+    }
+}

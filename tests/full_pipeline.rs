@@ -1,0 +1,168 @@
+//! Whole-system integration: synthetic backbone traffic → aggregation →
+//! filtering → distributed indexing → multi-dimensional queries, checked
+//! against a centralized oracle.
+
+use mind::core::{ClusterConfig, MindCluster, Replication};
+use mind::histogram::CutTree;
+use mind::traffic::schemas::{index2_record, index2_schema};
+use mind::traffic::{aggregate_window, TrafficConfig, TrafficGenerator};
+use mind::types::node::SECONDS;
+use mind::types::{HyperRect, NodeId, Record};
+
+#[test]
+fn traffic_to_queries_with_perfect_recall() {
+    let routers = 8usize;
+    let generator = TrafficGenerator::new(TrafficConfig {
+        seed: 11,
+        routers,
+        flows_per_sec: 30.0,
+        ..TrafficConfig::default()
+    });
+    let schema = index2_schema(3600);
+    let mut cluster = MindCluster::new(ClusterConfig::planetlab(routers, 11));
+    let cuts = CutTree::even(schema.bounds(), 9);
+    cluster.create_index(NodeId(0), schema.clone(), cuts, Replication::None).unwrap();
+    cluster.run_for(20 * SECONDS);
+
+    // Ten minutes of traffic through the real pipeline.
+    let mut oracle: Vec<Record> = Vec::new();
+    for w in (0..600u64).step_by(30) {
+        for r in 0..routers as u16 {
+            let flows = generator.window_flows(0, w, 30, r);
+            for agg in aggregate_window(&flows, w, 30) {
+                if let Some(rec) = index2_record(&agg) {
+                    oracle.push(rec.clone().conform(&schema).unwrap());
+                    cluster.insert(NodeId(r as u32), "index-2", rec).unwrap();
+                }
+            }
+        }
+        cluster.run_for(5 * SECONDS);
+    }
+    cluster.run_for(60 * SECONDS);
+    assert!(!oracle.is_empty(), "the feed must produce index-2 records");
+    assert_eq!(cluster.total_primary_rows("index-2") as usize, oracle.len());
+
+    // A batch of realistic monitoring queries, each checked for recall.
+    for (i, (lo, hi)) in [
+        ((0u64, 0u64, 0u64), (u32::MAX as u64, 3600, 2 << 20)), // everything
+        ((0, 120, 100 << 10), (u32::MAX as u64, 420, 2 << 20)), // large flows, 5 min
+        ((0x2000_0000, 0, 0), (0x5FFF_FFFF, 3600, 2 << 20)),    // prefix slice
+    ]
+    .iter()
+    .enumerate()
+    {
+        let rect = HyperRect::new(vec![lo.0, lo.1, lo.2], vec![hi.0, hi.1, hi.2]);
+        let want: Vec<&Record> =
+            oracle.iter().filter(|r| rect.contains_point(r.point(3))).collect();
+        let outcome = cluster
+            .query_and_wait(NodeId((i % 8) as u32), "index-2", rect, vec![])
+            .unwrap();
+        assert!(outcome.complete, "query {i} incomplete");
+        assert_eq!(outcome.records.len(), want.len(), "query {i} recall mismatch");
+    }
+}
+
+#[test]
+fn three_indices_coexist_on_one_overlay() {
+    use mind::traffic::schemas::{
+        index1_record, index1_schema, index3_record, index3_schema,
+    };
+    let routers = 6usize;
+    let generator = TrafficGenerator::new(TrafficConfig {
+        seed: 12,
+        routers,
+        flows_per_sec: 60.0,
+        ..TrafficConfig::default()
+    });
+    let mut cluster = MindCluster::new(ClusterConfig::planetlab(routers, 12));
+    for schema in [index1_schema(3600), index2_schema(3600), index3_schema(3600)] {
+        let cuts = CutTree::even(schema.bounds(), 8);
+        cluster.create_index(NodeId(0), schema, cuts, Replication::None).unwrap();
+        cluster.run_for(10 * SECONDS);
+    }
+    let mut counts = [0u64; 3];
+    for w in (0..300u64).step_by(30) {
+        for r in 0..routers as u16 {
+            let flows = generator.window_flows(0, w, 30, r);
+            for agg in aggregate_window(&flows, w, 30) {
+                for (i, rec) in [index1_record(&agg), index2_record(&agg), index3_record(&agg)]
+                    .into_iter()
+                    .enumerate()
+                {
+                    if let Some(rec) = rec {
+                        counts[i] += 1;
+                        cluster
+                            .insert(NodeId(r as u32), ["index-1", "index-2", "index-3"][i], rec)
+                            .unwrap();
+                    }
+                }
+            }
+        }
+        cluster.run_for(5 * SECONDS);
+    }
+    cluster.run_for(60 * SECONDS);
+    for (i, tag) in ["index-1", "index-2", "index-3"].iter().enumerate() {
+        assert_eq!(
+            cluster.total_primary_rows(tag),
+            counts[i],
+            "{tag} lost records"
+        );
+    }
+    // Dropping one index leaves the others intact.
+    cluster
+        .world_mut()
+        .with_node(NodeId(1), |n, _t, out| n.drop_index("index-2", out))
+        .unwrap();
+    cluster.run_for(20 * SECONDS);
+    for k in 0..routers {
+        let tags = cluster.world().node(NodeId(k as u32)).index_tags();
+        assert_eq!(tags, vec!["index-1".to_string(), "index-3".to_string()]);
+    }
+}
+
+#[test]
+fn carried_attribute_filters_match_oracle() {
+    use mind::core::CarriedFilter;
+    use mind::traffic::schemas::{index3_record, index3_schema};
+    let routers = 4usize;
+    let generator = TrafficGenerator::new(TrafficConfig {
+        seed: 13,
+        routers,
+        flows_per_sec: 80.0,
+        ..TrafficConfig::default()
+    });
+    let schema = index3_schema(3600);
+    let mut cluster = MindCluster::new(ClusterConfig::planetlab(routers, 13));
+    let cuts = CutTree::even(schema.bounds(), 8);
+    cluster.create_index(NodeId(0), schema.clone(), cuts, Replication::None).unwrap();
+    cluster.run_for(15 * SECONDS);
+    let mut oracle: Vec<Record> = Vec::new();
+    for w in (0..300u64).step_by(30) {
+        for r in 0..routers as u16 {
+            let flows = generator.window_flows(0, w, 30, r);
+            for agg in aggregate_window(&flows, w, 30) {
+                if let Some(rec) = index3_record(&agg) {
+                    oracle.push(rec.clone().conform(&schema).unwrap());
+                    cluster.insert(NodeId(r as u32), "index-3", rec).unwrap();
+                }
+            }
+        }
+        cluster.run_for(5 * SECONDS);
+    }
+    cluster.run_for(60 * SECONDS);
+    // "Web-port flows with suspicious sizes" — dst_port (attr 4) is a
+    // carried attribute filtered at responders.
+    let rect = HyperRect::new(vec![0, 0, 0], vec![u32::MAX as u64, 3600, 128 << 10]);
+    let filter = CarriedFilter { attr: 4, lo: 80, hi: 80 };
+    let want = oracle
+        .iter()
+        .filter(|r| rect.contains_point(r.point(3)) && r.value(4) == 80)
+        .count();
+    assert!(want > 0, "need port-80 records for the test to be meaningful");
+    let outcome = cluster
+        .query_and_wait(NodeId(2), "index-3", rect, vec![filter])
+        .unwrap();
+    assert!(outcome.complete);
+    assert_eq!(outcome.records.len(), want);
+    assert!(outcome.records.iter().all(|r| r.value(4) == 80));
+}
