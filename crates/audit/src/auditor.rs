@@ -1,0 +1,982 @@
+//! Deterministic verification of a [`Snapshot`] against MIND's distributed
+//! invariants.
+//!
+//! Every check reports a precise [`Violation`] naming the node, index,
+//! version, code or rectangle at fault. Checks come in two strictness
+//! classes:
+//!
+//! * **structural** — invariants that must hold at *every* instant, even
+//!   mid-churn: live codes are prefix-free, neighbor tables are
+//!   dimension-consistent, every cut tree partitions the attribute space,
+//!   version timestamps are monotone and agree across nodes.
+//! * **settled** — invariants that are only guaranteed once joins, failure
+//!   detection and takeover floods have quiesced: the live codes (plus
+//!   claimed regions) tile the hypercube exactly, neighbor links are
+//!   symmetric, claims never shadow a live owner, and replicas sit at live
+//!   prefix neighbors.
+//!
+//! [`Auditor::structural`] runs only the first class; [`Auditor::settled`]
+//! runs both.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mind_types::{BitCode, HyperRect, NodeId};
+
+use crate::snapshot::{NodeSnapshot, ReplicationSnapshot, Snapshot, VersionSnapshot};
+
+/// Codes near the representation limit cannot be split further; the gap
+/// search stops descending there (real overlay codes are far shorter).
+const MAX_GAP_DEPTH: u8 = 62;
+
+/// Which strictness class(es) to verify. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditConfig {
+    /// Require live codes plus claimed regions to tile the hypercube.
+    pub require_total_coverage: bool,
+    /// Require neighbor links to be reciprocated.
+    pub require_symmetry: bool,
+    /// Forbid claimed regions that shadow a live member's code.
+    pub require_fresh_claims: bool,
+    /// Require replica targets to be alive and correctly prefix-placed.
+    pub require_replica_placement: bool,
+}
+
+impl AuditConfig {
+    /// Only the invariants that hold at every instant, even mid-churn.
+    pub fn structural() -> Self {
+        AuditConfig {
+            require_total_coverage: false,
+            require_symmetry: false,
+            require_fresh_claims: false,
+            require_replica_placement: false,
+        }
+    }
+
+    /// Every invariant, for quiescent (post-stabilization) states.
+    pub fn settled() -> Self {
+        AuditConfig {
+            require_total_coverage: true,
+            require_symmetry: true,
+            require_fresh_claims: true,
+            require_replica_placement: true,
+        }
+    }
+}
+
+/// One detected invariant violation, with enough context to act on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two live members own overlapping regions (one code prefixes the
+    /// other): the zone space is no longer a partition.
+    CodeOverlap {
+        a: NodeId,
+        a_code: BitCode,
+        b: NodeId,
+        b_code: BitCode,
+    },
+    /// No live code or claimed region covers `region`: data and queries
+    /// routed there have no owner.
+    CoverageGap { region: BitCode },
+    /// `node` still claims `claim` although live member `owner` covers it.
+    StaleClaim {
+        node: NodeId,
+        claim: BitCode,
+        owner: NodeId,
+        owner_code: BitCode,
+    },
+    /// A member's neighbor table does not have one entry per code bit, or
+    /// entries are out of dimension order.
+    TableShape {
+        node: NodeId,
+        code_len: u8,
+        detail: String,
+    },
+    /// Entry `dim`'s recorded code lies outside the `subtree` it must
+    /// represent.
+    NeighborDimMismatch {
+        node: NodeId,
+        dim: u8,
+        subtree: BitCode,
+        entry_code: BitCode,
+        entry_node: NodeId,
+    },
+    /// An entry still marked alive points at a node that is globally dead
+    /// or no longer a member.
+    NeighborTargetDead {
+        node: NodeId,
+        dim: u8,
+        target: NodeId,
+    },
+    /// The target's *actual* current code has left the subtree the entry
+    /// represents.
+    NeighborSubtreeEscape {
+        node: NodeId,
+        dim: u8,
+        target: NodeId,
+        subtree: BitCode,
+        actual: BitCode,
+    },
+    /// `from` lists `to` as a live neighbor but `to` does not know `from`.
+    NeighborAsymmetry { from: NodeId, to: NodeId, dim: u8 },
+    /// Two leaves of one cut tree overlap in code space.
+    CutLeafOverlap {
+        node: NodeId,
+        index: String,
+        version: u32,
+        a: BitCode,
+        b: BitCode,
+    },
+    /// A cut tree's leaves miss part of code space.
+    CutCoverageGap {
+        node: NodeId,
+        index: String,
+        version: u32,
+        region: BitCode,
+    },
+    /// Leaf rectangles do not reassemble into the version bounds by sibling
+    /// merges: some cut boundary is skewed.
+    CutGeometryMismatch {
+        node: NodeId,
+        index: String,
+        version: u32,
+        region: BitCode,
+        detail: String,
+    },
+    /// The recorded replica targets differ from what the neighbor table
+    /// dictates for the index's replication level.
+    ReplicaTargetMismatch {
+        node: NodeId,
+        index: String,
+        expected: Vec<NodeId>,
+        recorded: Vec<NodeId>,
+    },
+    /// A replica sits on a node whose code does not share exactly the
+    /// required prefix length with the primary.
+    ReplicaPrefixMismatch {
+        node: NodeId,
+        index: String,
+        target: NodeId,
+        dim: u8,
+        common_prefix: u8,
+    },
+    /// A node's version timestamps go backwards.
+    VersionRegression {
+        node: NodeId,
+        index: String,
+        version: u32,
+        prev_from_ts: u64,
+        from_ts: u64,
+    },
+    /// Two live nodes disagree on a version's timestamp or cut tree.
+    VersionDisagreement {
+        index: String,
+        version: u32,
+        a: NodeId,
+        b: NodeId,
+        detail: String,
+    },
+    /// Two sub-query codes of one split overlap.
+    QuerySplitOverlap { a: BitCode, b: BitCode },
+    /// Part of the query rectangle is covered by no sub-query.
+    QuerySplitGap { region: BitCode },
+    /// A sub-query whose region misses the query rectangle entirely.
+    QuerySplitExcess { code: BitCode },
+}
+
+/// Field-less discriminant of [`Violation`], for asserting *which* invariant
+/// tripped without matching every payload field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    CodeOverlap,
+    CoverageGap,
+    StaleClaim,
+    TableShape,
+    NeighborDimMismatch,
+    NeighborTargetDead,
+    NeighborSubtreeEscape,
+    NeighborAsymmetry,
+    CutLeafOverlap,
+    CutCoverageGap,
+    CutGeometryMismatch,
+    ReplicaTargetMismatch,
+    ReplicaPrefixMismatch,
+    VersionRegression,
+    VersionDisagreement,
+    QuerySplitOverlap,
+    QuerySplitGap,
+    QuerySplitExcess,
+}
+
+impl Violation {
+    /// The violated invariant, without payload.
+    pub fn kind(&self) -> ViolationKind {
+        match self {
+            Violation::CodeOverlap { .. } => ViolationKind::CodeOverlap,
+            Violation::CoverageGap { .. } => ViolationKind::CoverageGap,
+            Violation::StaleClaim { .. } => ViolationKind::StaleClaim,
+            Violation::TableShape { .. } => ViolationKind::TableShape,
+            Violation::NeighborDimMismatch { .. } => ViolationKind::NeighborDimMismatch,
+            Violation::NeighborTargetDead { .. } => ViolationKind::NeighborTargetDead,
+            Violation::NeighborSubtreeEscape { .. } => ViolationKind::NeighborSubtreeEscape,
+            Violation::NeighborAsymmetry { .. } => ViolationKind::NeighborAsymmetry,
+            Violation::CutLeafOverlap { .. } => ViolationKind::CutLeafOverlap,
+            Violation::CutCoverageGap { .. } => ViolationKind::CutCoverageGap,
+            Violation::CutGeometryMismatch { .. } => ViolationKind::CutGeometryMismatch,
+            Violation::ReplicaTargetMismatch { .. } => ViolationKind::ReplicaTargetMismatch,
+            Violation::ReplicaPrefixMismatch { .. } => ViolationKind::ReplicaPrefixMismatch,
+            Violation::VersionRegression { .. } => ViolationKind::VersionRegression,
+            Violation::VersionDisagreement { .. } => ViolationKind::VersionDisagreement,
+            Violation::QuerySplitOverlap { .. } => ViolationKind::QuerySplitOverlap,
+            Violation::QuerySplitGap { .. } => ViolationKind::QuerySplitGap,
+            Violation::QuerySplitExcess { .. } => ViolationKind::QuerySplitExcess,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::CodeOverlap {
+                a,
+                a_code,
+                b,
+                b_code,
+            } => {
+                write!(
+                    f,
+                    "code overlap: {a} owns [{a_code}] and {b} owns [{b_code}]"
+                )
+            }
+            Violation::CoverageGap { region } => {
+                write!(f, "coverage gap: no live code or claim covers [{region}]")
+            }
+            Violation::StaleClaim {
+                node,
+                claim,
+                owner,
+                owner_code,
+            } => {
+                write!(
+                    f,
+                    "stale claim: {node} claims [{claim}] but live {owner} owns [{owner_code}]"
+                )
+            }
+            Violation::TableShape {
+                node,
+                code_len,
+                detail,
+            } => {
+                write!(f, "table shape: {node} (code length {code_len}): {detail}")
+            }
+            Violation::NeighborDimMismatch {
+                node,
+                dim,
+                subtree,
+                entry_code,
+                entry_node,
+            } => {
+                write!(
+                    f,
+                    "neighbor dim mismatch: {node} dim {dim} must represent [{subtree}] \
+                     but records {entry_node} at [{entry_code}]"
+                )
+            }
+            Violation::NeighborTargetDead { node, dim, target } => {
+                write!(
+                    f,
+                    "dead neighbor: {node} dim {dim} still lists {target} as alive"
+                )
+            }
+            Violation::NeighborSubtreeEscape {
+                node,
+                dim,
+                target,
+                subtree,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "neighbor escaped subtree: {node} dim {dim} represents [{subtree}] \
+                     but {target} now owns [{actual}]"
+                )
+            }
+            Violation::NeighborAsymmetry { from, to, dim } => {
+                write!(
+                    f,
+                    "asymmetric link: {from} lists {to} (dim {dim}) but {to} does not know {from}"
+                )
+            }
+            Violation::CutLeafOverlap {
+                node,
+                index,
+                version,
+                a,
+                b,
+            } => {
+                write!(
+                    f,
+                    "cut leaf overlap: {node} {index} v{version}: [{a}] overlaps [{b}]"
+                )
+            }
+            Violation::CutCoverageGap {
+                node,
+                index,
+                version,
+                region,
+            } => {
+                write!(
+                    f,
+                    "cut coverage gap: {node} {index} v{version}: no leaf covers [{region}]"
+                )
+            }
+            Violation::CutGeometryMismatch {
+                node,
+                index,
+                version,
+                region,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "cut geometry mismatch: {node} {index} v{version} at [{region}]: {detail}"
+                )
+            }
+            Violation::ReplicaTargetMismatch {
+                node,
+                index,
+                expected,
+                recorded,
+            } => {
+                write!(
+                    f,
+                    "replica target mismatch: {node} {index}: table dictates {expected:?}, \
+                     recorded {recorded:?}"
+                )
+            }
+            Violation::ReplicaPrefixMismatch {
+                node,
+                index,
+                target,
+                dim,
+                common_prefix,
+            } => {
+                write!(
+                    f,
+                    "replica prefix mismatch: {node} {index}: replica on {target} shares \
+                     prefix {common_prefix}, placement dim requires {dim}"
+                )
+            }
+            Violation::VersionRegression {
+                node,
+                index,
+                version,
+                prev_from_ts,
+                from_ts,
+            } => {
+                write!(
+                    f,
+                    "version regression: {node} {index} v{version} starts at {from_ts} \
+                     before v{} at {prev_from_ts}",
+                    version - 1
+                )
+            }
+            Violation::VersionDisagreement {
+                index,
+                version,
+                a,
+                b,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "version disagreement: {index} v{version}: {a} vs {b}: {detail}"
+                )
+            }
+            Violation::QuerySplitOverlap { a, b } => {
+                write!(
+                    f,
+                    "query split overlap: sub-queries [{a}] and [{b}] overlap"
+                )
+            }
+            Violation::QuerySplitGap { region } => {
+                write!(
+                    f,
+                    "query split gap: query region [{region}] has no sub-query"
+                )
+            }
+            Violation::QuerySplitExcess { code } => {
+                write!(
+                    f,
+                    "query split excess: sub-query [{code}] misses the query rectangle"
+                )
+            }
+        }
+    }
+}
+
+/// The outcome of one audit pass.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// All detected violations, in check order.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// `true` when no invariant tripped.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with the formatted violation list when the audit failed.
+    ///
+    /// `context` names the audit point (e.g. `"after takeover"`).
+    pub fn assert_clean(&self, context: &str) {
+        assert!(
+            self.is_clean(),
+            "audit failed {context}: {} violation(s)\n{}",
+            self.violations.len(),
+            self.violations
+                .iter()
+                .map(|v| format!("  - {v}"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+        );
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "audit clean");
+        }
+        writeln!(f, "{} violation(s):", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Verifies [`Snapshot`]s against the invariant catalog.
+#[derive(Debug, Clone, Copy)]
+pub struct Auditor {
+    config: AuditConfig,
+}
+
+impl Auditor {
+    /// An auditor for quiescent states: runs every check.
+    pub fn settled() -> Self {
+        Auditor {
+            config: AuditConfig::settled(),
+        }
+    }
+
+    /// An auditor safe to run mid-churn: structural checks only.
+    pub fn structural() -> Self {
+        Auditor {
+            config: AuditConfig::structural(),
+        }
+    }
+
+    /// An auditor with an explicit configuration.
+    pub fn with_config(config: AuditConfig) -> Self {
+        Auditor { config }
+    }
+
+    /// Runs every enabled check over `snap`.
+    pub fn audit(&self, snap: &Snapshot) -> AuditReport {
+        let mut out = Vec::new();
+        self.check_overlay(snap, &mut out);
+        self.check_tables(snap, &mut out);
+        self.check_cut_trees(snap, &mut out);
+        self.check_replication(snap, &mut out);
+        self.check_versions(snap, &mut out);
+        AuditReport { violations: out }
+    }
+
+    /// Prefix-freeness of live codes, total coverage (codes plus claims),
+    /// and staleness of claimed regions.
+    fn check_overlay(&self, snap: &Snapshot, out: &mut Vec<Violation>) {
+        let live = snap.live_codes();
+        for (i, (a, a_code)) in live.iter().enumerate() {
+            for (b, b_code) in live.iter().skip(i + 1) {
+                if a_code.compatible(b_code) {
+                    out.push(Violation::CodeOverlap {
+                        a: *a,
+                        a_code: *a_code,
+                        b: *b,
+                        b_code: *b_code,
+                    });
+                }
+            }
+        }
+
+        if self.config.require_fresh_claims {
+            for node in snap.nodes.iter().filter(|n| n.alive) {
+                for claim in &node.claimed {
+                    if let Some((owner, owner_code)) = live
+                        .iter()
+                        .find(|(id, c)| *id != node.id && c.compatible(claim))
+                    {
+                        out.push(Violation::StaleClaim {
+                            node: node.id,
+                            claim: *claim,
+                            owner: *owner,
+                            owner_code: *owner_code,
+                        });
+                    }
+                }
+            }
+        }
+
+        if self.config.require_total_coverage {
+            let mut cover: Vec<BitCode> = live.iter().map(|(_, c)| *c).collect();
+            for node in snap.nodes.iter().filter(|n| n.alive) {
+                cover.extend(node.claimed.iter().copied());
+            }
+            if let Some(region) = find_gap(BitCode::ROOT, &cover) {
+                out.push(Violation::CoverageGap { region });
+            }
+        }
+    }
+
+    /// Neighbor-table shape, dimension consistency, liveness and symmetry.
+    fn check_tables(&self, snap: &Snapshot, out: &mut Vec<Violation>) {
+        for node in snap.nodes.iter().filter(|n| n.alive && n.member) {
+            let Some(code) = node.code else { continue };
+            if node.neighbors.len() != usize::from(code.len()) {
+                out.push(Violation::TableShape {
+                    node: node.id,
+                    code_len: code.len(),
+                    detail: format!(
+                        "{} entries for a {}-bit code",
+                        node.neighbors.len(),
+                        code.len()
+                    ),
+                });
+            }
+            for (pos, entry) in node.neighbors.iter().enumerate() {
+                if usize::from(entry.dim) != pos {
+                    out.push(Violation::TableShape {
+                        node: node.id,
+                        code_len: code.len(),
+                        detail: format!("entry at position {pos} labeled dim {}", entry.dim),
+                    });
+                    continue;
+                }
+                if entry.dim >= code.len() {
+                    continue; // already reported as a shape violation above
+                }
+                let subtree = code.flip_prefix(entry.dim);
+                if !subtree.compatible(&entry.code) {
+                    out.push(Violation::NeighborDimMismatch {
+                        node: node.id,
+                        dim: entry.dim,
+                        subtree,
+                        entry_code: entry.code,
+                        entry_node: entry.node,
+                    });
+                }
+                if !entry.alive {
+                    continue;
+                }
+                let target = snap.node(entry.node);
+                let target_live = target.map(|t| t.alive && t.member).unwrap_or(false);
+                if self.config.require_replica_placement || self.config.require_symmetry {
+                    if !target_live {
+                        out.push(Violation::NeighborTargetDead {
+                            node: node.id,
+                            dim: entry.dim,
+                            target: entry.node,
+                        });
+                        continue;
+                    }
+                    if let Some(actual) = target.and_then(|t| t.code) {
+                        if !subtree.compatible(&actual) {
+                            out.push(Violation::NeighborSubtreeEscape {
+                                node: node.id,
+                                dim: entry.dim,
+                                target: entry.node,
+                                subtree,
+                                actual,
+                            });
+                        }
+                    }
+                }
+                if self.config.require_symmetry && target_live {
+                    let knows_back = target.is_some_and(|t| {
+                        t.neighbors.iter().any(|e| e.node == node.id) || t.extras.contains(&node.id)
+                    });
+                    if !knows_back {
+                        out.push(Violation::NeighborAsymmetry {
+                            from: node.id,
+                            to: entry.node,
+                            dim: entry.dim,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-version cut trees: leaf codes partition code space and leaf
+    /// rectangles reassemble into the bounds.
+    fn check_cut_trees(&self, snap: &Snapshot, out: &mut Vec<Violation>) {
+        for node in &snap.nodes {
+            for (tag, index) in &node.indexes {
+                for (v, ver) in index.versions.iter().enumerate() {
+                    let version = v as u32;
+                    let codes: Vec<BitCode> = ver.leaves.iter().map(|(c, _)| *c).collect();
+                    let mut overlapping = false;
+                    for (i, a) in codes.iter().enumerate() {
+                        for b in codes.iter().skip(i + 1) {
+                            if a.compatible(b) {
+                                overlapping = true;
+                                out.push(Violation::CutLeafOverlap {
+                                    node: node.id,
+                                    index: tag.clone(),
+                                    version,
+                                    a: *a,
+                                    b: *b,
+                                });
+                            }
+                        }
+                    }
+                    if let Some(region) = find_gap(BitCode::ROOT, &codes) {
+                        out.push(Violation::CutCoverageGap {
+                            node: node.id,
+                            index: tag.clone(),
+                            version,
+                            region,
+                        });
+                        continue; // merge needs a complete leaf set
+                    }
+                    if overlapping {
+                        continue;
+                    }
+                    if let Err((region, detail)) = merge_to_bounds(&ver.leaves, &ver.bounds) {
+                        out.push(Violation::CutGeometryMismatch {
+                            node: node.id,
+                            index: tag.clone(),
+                            version,
+                            region,
+                            detail,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replica targets match what the table dictates and sit at the right
+    /// prefix distance.
+    fn check_replication(&self, snap: &Snapshot, out: &mut Vec<Violation>) {
+        if !self.config.require_replica_placement {
+            return;
+        }
+        for node in snap.nodes.iter().filter(|n| n.alive && n.member) {
+            let Some(code) = node.code else { continue };
+            let k = code.len();
+            for (tag, index) in &node.indexes {
+                let mut expected: Vec<(u8, NodeId)> = Vec::new();
+                match index.replication {
+                    ReplicationSnapshot::None => {}
+                    ReplicationSnapshot::Level(m) => {
+                        for i in 1..=m.min(k) {
+                            let dim = k - i;
+                            if let Some(e) = node.neighbors.get(usize::from(dim)) {
+                                if e.alive && e.node != node.id {
+                                    expected.push((dim, e.node));
+                                }
+                            }
+                        }
+                    }
+                    ReplicationSnapshot::Full => {
+                        for e in &node.neighbors {
+                            if e.alive && e.node != node.id {
+                                expected.push((e.dim, e.node));
+                            }
+                        }
+                        for x in &node.extras {
+                            if *x != node.id {
+                                expected.push((0, *x));
+                            }
+                        }
+                    }
+                }
+
+                let mut want: Vec<NodeId> = expected.iter().map(|(_, n)| *n).collect();
+                want.sort();
+                want.dedup();
+                let mut got = index.replica_targets.clone();
+                got.sort();
+                got.dedup();
+                if want != got {
+                    out.push(Violation::ReplicaTargetMismatch {
+                        node: node.id,
+                        index: tag.clone(),
+                        expected: want,
+                        recorded: got,
+                    });
+                    continue;
+                }
+
+                // Prefix placement only constrains leveled replication: a
+                // replica at dim d must share exactly d code bits with the
+                // primary (the node that takes the region over on failure).
+                if let ReplicationSnapshot::Level(_) = index.replication {
+                    for (dim, target) in &expected {
+                        let Some(actual) = snap.node(*target).and_then(|t| t.code) else {
+                            continue; // liveness reported by check_tables
+                        };
+                        let cpl = code.common_prefix_len(&actual);
+                        if cpl != *dim {
+                            out.push(Violation::ReplicaPrefixMismatch {
+                                node: node.id,
+                                index: tag.clone(),
+                                target: *target,
+                                dim: *dim,
+                                common_prefix: cpl,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Version timestamps are monotone per node and agree across live nodes.
+    fn check_versions(&self, snap: &Snapshot, out: &mut Vec<Violation>) {
+        for node in &snap.nodes {
+            for (tag, index) in &node.indexes {
+                for (v, pair) in index.versions.windows(2).enumerate() {
+                    if pair[1].from_ts < pair[0].from_ts {
+                        out.push(Violation::VersionRegression {
+                            node: node.id,
+                            index: tag.clone(),
+                            version: (v + 1) as u32,
+                            prev_from_ts: pair[0].from_ts,
+                            from_ts: pair[1].from_ts,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Cross-node agreement per (index, version) among live nodes: the
+        // version flood installs the same cuts everywhere, so any live pair
+        // holding the same version number must agree on its timestamp,
+        // bounds and leaf codes/rectangles.
+        for tag in snap.index_tags() {
+            let holders: Vec<&NodeSnapshot> = snap
+                .nodes
+                .iter()
+                .filter(|n| n.alive && n.indexes.contains_key(&tag))
+                .collect();
+            for (i, a) in holders.iter().enumerate() {
+                for b in holders.iter().skip(i + 1) {
+                    let (Some(ia), Some(ib)) = (a.indexes.get(&tag), b.indexes.get(&tag)) else {
+                        continue;
+                    };
+                    for (v, (va, vb)) in ia.versions.iter().zip(&ib.versions).enumerate() {
+                        let detail = if va.from_ts != vb.from_ts {
+                            Some(format!("from_ts {} vs {}", va.from_ts, vb.from_ts))
+                        } else if va.bounds != vb.bounds {
+                            Some("bounds differ".to_owned())
+                        } else if va.leaves != vb.leaves {
+                            Some("cut trees differ".to_owned())
+                        } else {
+                            None
+                        };
+                        if let Some(detail) = detail {
+                            out.push(Violation::VersionDisagreement {
+                                index: tag.clone(),
+                                version: v as u32,
+                                a: a.id,
+                                b: b.id,
+                                detail,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Verifies that a query split covers `query ∩ bounds` exactly once.
+///
+/// `version` supplies the cut-tree geometry; `codes` are the sub-query
+/// regions the split produced. Checks that the codes are pairwise
+/// prefix-free, that every cut leaf intersecting the query is covered by
+/// exactly one code (or tiled completely by finer codes, as a refinement
+/// plan produces), and that no code misses the query entirely.
+pub fn check_query_split(
+    version: &VersionSnapshot,
+    query: &HyperRect,
+    codes: &[BitCode],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, a) in codes.iter().enumerate() {
+        for b in codes.iter().skip(i + 1) {
+            if a.compatible(b) {
+                out.push(Violation::QuerySplitOverlap { a: *a, b: *b });
+            }
+        }
+    }
+
+    let Some(clipped) = version.bounds.intersection(query) else {
+        for c in codes {
+            out.push(Violation::QuerySplitExcess { code: *c });
+        }
+        return out;
+    };
+
+    for (leaf_code, leaf_rect) in &version.leaves {
+        if !leaf_rect.intersects(&clipped) {
+            continue;
+        }
+        let ancestors: Vec<BitCode> = codes
+            .iter()
+            .filter(|c| c.is_prefix_of(leaf_code))
+            .copied()
+            .collect();
+        let finer: Vec<BitCode> = codes
+            .iter()
+            .filter(|c| leaf_code.is_prefix_of(c) && c.len() > leaf_code.len())
+            .copied()
+            .collect();
+        match (ancestors.len(), finer.is_empty()) {
+            (1, true) => {}
+            (0, false) => {
+                // A refinement plan may tile a leaf with finer codes; they
+                // must then cover the whole leaf between them.
+                if let Some(region) = find_gap(*leaf_code, &finer) {
+                    out.push(Violation::QuerySplitGap { region });
+                }
+            }
+            (0, true) => out.push(Violation::QuerySplitGap { region: *leaf_code }),
+            // Multiple/mixed covers are compatible pairs, already reported
+            // as QuerySplitOverlap above.
+            _ => {}
+        }
+    }
+
+    for code in codes {
+        let touches = version
+            .leaves
+            .iter()
+            .any(|(lc, lr)| lc.compatible(code) && lr.intersects(&clipped));
+        if !touches {
+            out.push(Violation::QuerySplitExcess { code: *code });
+        }
+    }
+    out
+}
+
+/// Depth-first search for a region under `prefix` that no item covers.
+///
+/// Returns `None` when `items` cover all of `prefix`'s subtree; otherwise a
+/// witness region (some uncovered code). Items above `prefix` (prefixes of
+/// it) cover it outright.
+fn find_gap(prefix: BitCode, items: &[BitCode]) -> Option<BitCode> {
+    if items.iter().any(|c| c.is_prefix_of(&prefix)) {
+        return None;
+    }
+    if !items.iter().any(|c| prefix.is_prefix_of(c)) {
+        return Some(prefix);
+    }
+    if prefix.len() >= MAX_GAP_DEPTH {
+        return Some(prefix);
+    }
+    find_gap(prefix.child(false), items).or_else(|| find_gap(prefix.child(true), items))
+}
+
+/// Merges sibling leaves bottom-up and checks the final rectangle equals
+/// `bounds`. Requires a complete, prefix-free leaf set (checked by the
+/// caller). On failure returns the parent region and a human-readable
+/// reason.
+fn merge_to_bounds(
+    leaves: &[(BitCode, HyperRect)],
+    bounds: &HyperRect,
+) -> Result<(), (BitCode, String)> {
+    let mut map: BTreeMap<BitCode, HyperRect> = leaves.iter().cloned().collect();
+    if map.is_empty() {
+        return Err((BitCode::ROOT, "no leaves".to_owned()));
+    }
+    while map.len() > 1 {
+        let Some(deepest) = map.keys().max_by_key(|c| c.len()).copied() else {
+            break;
+        };
+        if deepest.is_empty() {
+            break;
+        }
+        let sibling = deepest.sibling();
+        let parent = deepest.parent();
+        let (low_code, high_code) = if deepest.bit(deepest.len() - 1) {
+            (sibling, deepest)
+        } else {
+            (deepest, sibling)
+        };
+        let (Some(low), Some(high)) = (map.remove(&low_code), map.remove(&high_code)) else {
+            return Err((parent, format!("sibling of [{deepest}] missing")));
+        };
+        match join_rects(&low, &high) {
+            Some(joined) => {
+                map.insert(parent, joined);
+            }
+            None => {
+                return Err((
+                    parent,
+                    format!("children [{low_code}] and [{high_code}] do not reassemble"),
+                ));
+            }
+        }
+    }
+    match map.into_iter().next() {
+        Some((code, rect)) if code == BitCode::ROOT && rect == *bounds => Ok(()),
+        Some((code, rect)) => Err((
+            code,
+            format!("merged region is {rect:?}, version bounds are {bounds:?}"),
+        )),
+        None => Err((BitCode::ROOT, "no leaves".to_owned())),
+    }
+}
+
+/// Joins two rectangles that abut on exactly one axis (the inverse of
+/// `HyperRect::split_at`). Returns `None` when they do not reassemble.
+fn join_rects(low: &HyperRect, high: &HyperRect) -> Option<HyperRect> {
+    if low.dims() != high.dims() {
+        return None;
+    }
+    let mut split_axis = None;
+    for d in 0..low.dims() {
+        if low.lo(d) == high.lo(d) && low.hi(d) == high.hi(d) {
+            continue;
+        }
+        if split_axis.is_some() {
+            return None; // differs on two axes
+        }
+        let abuts = low.lo(d) <= low.hi(d)
+            && low.hi(d).checked_add(1) == Some(high.lo(d))
+            && high.lo(d) <= high.hi(d);
+        if !abuts {
+            return None;
+        }
+        split_axis = Some(d);
+    }
+    let d = split_axis?;
+    let mut lo = Vec::with_capacity(low.dims());
+    let mut hi = Vec::with_capacity(low.dims());
+    for axis in 0..low.dims() {
+        if axis == d {
+            lo.push(low.lo(axis));
+            hi.push(high.hi(axis));
+        } else {
+            lo.push(low.lo(axis));
+            hi.push(low.hi(axis));
+        }
+    }
+    Some(HyperRect::new(lo, hi))
+}

@@ -1,0 +1,382 @@
+//! Static lint wall: scans the workspace sources for forbidden patterns and
+//! exits non-zero with `file:line` diagnostics.
+//!
+//! Run with `cargo run -p mind-audit --bin lint`. The rules complement the
+//! clippy set in `[workspace.lints]` with project-specific bans clippy
+//! cannot express:
+//!
+//! * `unwrap` — `.unwrap()` / `.expect(...)` outside test code. Production
+//!   code must propagate or handle errors; a panic in one node must never be
+//!   one typo away. Figure-generation binaries (`crates/bench/src/bin/`) are
+//!   exempt: dying loudly on a bad run is their error handling.
+//! * `rng` — `thread_rng` and other entropy-seeded RNG constructors.
+//!   Every RNG in the workspace must be seeded from the experiment
+//!   configuration so runs are reproducible.
+//! * `wallclock` — `SystemTime::now` / `Instant::now` in simulator-driven
+//!   code. Simulated components must take time from the discrete-event
+//!   clock; `crates/net` (the real-TCP host driver) and its
+//!   `realtime_tcp` example are exempt.
+//! * `stdmutex` — `std::sync::Mutex` / `std::sync::RwLock`; the workspace
+//!   mandates `parking_lot` locks.
+//!
+//! Test code is exempt from `unwrap`: files under `tests/`, `benches/` or
+//! `examples/`, and `#[cfg(test)]` modules (tracked by brace depth).
+//! A deliberate exception is waived with a `lint:allow(<rule>)` comment on
+//! the offending line (or the line just above it), together with a short
+//! justification.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// A lint rule: an identifier, the substrings that trip it, and scoping.
+struct Rule {
+    /// Short name used in diagnostics and `lint:allow(...)` waivers.
+    name: &'static str,
+    /// Substrings that trip the rule.
+    needles: &'static [&'static str],
+    /// Human-readable rationale shown with each hit.
+    why: &'static str,
+    /// `true` if the rule also applies inside test code.
+    applies_in_tests: bool,
+    /// Path prefixes (relative to the workspace root, `/`-separated) the
+    /// rule does not apply to.
+    exempt_prefixes: &'static [&'static str],
+}
+
+/// The rule table. Needles are split with `concat!` so this file does not
+/// trip its own patterns when scanned.
+fn rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            name: "unwrap",
+            needles: &[concat!(".unwr", "ap()"), concat!(".exp", "ect(")],
+            why: "propagate or handle errors in production code",
+            applies_in_tests: false,
+            // Figure-generation binaries: panic-on-error IS their error
+            // handling — a bad experiment run must die loudly, not limp on.
+            exempt_prefixes: &["crates/bench/src/bin/"],
+        },
+        Rule {
+            name: "rng",
+            needles: &[
+                concat!("thread", "_rng"),
+                concat!("from_", "entropy"),
+                concat!("from_os", "_rng"),
+                concat!("rand::ran", "dom"),
+            ],
+            why: "all randomness must be seeded from the experiment config",
+            applies_in_tests: true,
+            exempt_prefixes: &[],
+        },
+        Rule {
+            name: "wallclock",
+            needles: &[concat!("SystemTime::", "now"), concat!("Instant::", "now")],
+            why: "simulator-driven code must take time from the event clock",
+            applies_in_tests: true,
+            // The real-TCP host driver and its demo run on actual wall time.
+            exempt_prefixes: &["crates/net/", "examples/realtime_tcp"],
+        },
+        Rule {
+            name: "stdmutex",
+            needles: &[
+                concat!("std::sync::", "Mutex"),
+                concat!("std::sync::", "RwLock"),
+                concat!("sync::", "Mutex<"),
+            ],
+            why: "the workspace mandates parking_lot locks",
+            applies_in_tests: true,
+            exempt_prefixes: &[],
+        },
+    ]
+}
+
+/// One diagnostic.
+struct Hit {
+    path: PathBuf,
+    line: usize,
+    rule: &'static str,
+    why: &'static str,
+    text: String,
+}
+
+impl fmt::Display for Hit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} — {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.text.trim(),
+            self.why
+        )
+    }
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        collect_rs_files(&root.join(top), &mut files);
+    }
+    files.sort();
+
+    let rules = rules();
+    let mut hits = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let Ok(source) = std::fs::read_to_string(path) else {
+            eprintln!("lint: cannot read {}", path.display());
+            return ExitCode::FAILURE;
+        };
+        scanned += 1;
+        let rel = relative_slash_path(path, &root);
+        let in_test_file = rel.starts_with("tests/")
+            || rel.starts_with("examples/")
+            || rel.contains("/tests/")
+            || rel.contains("/benches/")
+            || rel.contains("/examples/");
+        scan_file(
+            &source,
+            &rel,
+            in_test_file,
+            &rules,
+            |line_no, rule, text| {
+                hits.push(Hit {
+                    path: path.clone(),
+                    line: line_no,
+                    rule: rule.name,
+                    why: rule.why,
+                    text: text.to_owned(),
+                });
+            },
+        );
+    }
+
+    if hits.is_empty() {
+        println!("lint: {scanned} files clean");
+        ExitCode::SUCCESS
+    } else {
+        for hit in &hits {
+            println!("{hit}");
+        }
+        println!("lint: {} violation(s) in {scanned} files", hits.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Scans one file, invoking `report(line_number, rule, line_text)` per hit.
+///
+/// Exposed (rather than inlined in `main`) so the unit tests below can drive
+/// it with synthetic sources.
+fn scan_file(
+    source: &str,
+    rel_path: &str,
+    in_test_file: bool,
+    rules: &[Rule],
+    mut report: impl FnMut(usize, &Rule, &str),
+) {
+    // Track `#[cfg(test)] mod ... { ... }` regions by brace depth. The
+    // counter is line-based and ignores braces in strings — accurate enough
+    // for rustfmt-formatted code, and errs on the side of scanning.
+    let mut pending_cfg_test = false;
+    let mut test_depth: i64 = 0;
+    let mut in_test_mod = false;
+    let mut prev_line = "";
+
+    for (idx, line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+
+        if trimmed.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        } else if pending_cfg_test && trimmed.starts_with("mod ") {
+            in_test_mod = true;
+            test_depth = 0;
+            pending_cfg_test = false;
+        } else if pending_cfg_test && !trimmed.is_empty() && !trimmed.starts_with("#[") {
+            pending_cfg_test = false;
+        }
+
+        let in_test = in_test_file || in_test_mod;
+        if in_test_mod {
+            let opens = line.matches('{').count() as i64;
+            let closes = line.matches('}').count() as i64;
+            test_depth += opens - closes;
+            if test_depth <= 0 && opens + closes > 0 {
+                in_test_mod = false;
+            }
+        }
+
+        // Only the code before a line comment counts; a needle inside a
+        // comment (e.g. documentation discussing the rule) is not a use.
+        let code = match line.find("//") {
+            Some(pos) => &line[..pos],
+            None => line,
+        };
+
+        for rule in rules {
+            if in_test && !rule.applies_in_tests {
+                continue;
+            }
+            if rule.exempt_prefixes.iter().any(|p| rel_path.starts_with(p)) {
+                continue;
+            }
+            if !rule.needles.iter().any(|n| code.contains(n)) {
+                continue;
+            }
+            // A waiver counts on the offending line or the line just above
+            // it (rustfmt relocates long trailing comments).
+            let waiver = format!("lint:allow({})", rule.name);
+            if line.contains(&waiver) || prev_line.contains(&waiver) {
+                continue;
+            }
+            report(line_no, rule, line);
+        }
+        prev_line = line;
+    }
+}
+
+/// The workspace root, two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or_else(|| manifest.to_path_buf(), Path::to_path_buf)
+}
+
+/// Recursively collects `.rs` files, skipping build output and VCS dirs.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// `path` relative to `root`, `/`-separated.
+fn relative_slash_path(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hits_in(source: &str, rel: &str, test_file: bool) -> Vec<(usize, &'static str)> {
+        let rules = rules();
+        let mut out = Vec::new();
+        scan_file(source, rel, test_file, &rules, |line, rule, _| {
+            out.push((line, rule.name))
+        });
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_in_production_code() {
+        let src = "fn f() {\n    let x = g().unwrap();\n}\n";
+        assert_eq!(
+            hits_in(src, "crates/core/src/a.rs", false),
+            vec![(2, "unwrap")]
+        );
+    }
+
+    #[test]
+    fn ignores_unwrap_in_test_files_and_test_mods() {
+        let src = "fn f() { g().unwrap(); }\n";
+        assert!(hits_in(src, "crates/core/tests/a.rs", true).is_empty());
+
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { g().unwrap(); }\n}\n";
+        assert!(hits_in(src, "crates/core/src/a.rs", false).is_empty());
+    }
+
+    #[test]
+    fn production_code_after_test_mod_is_scanned() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { g().unwrap(); }\n}\nfn f() { g().unwrap(); }\n";
+        assert_eq!(
+            hits_in(src, "crates/core/src/a.rs", false),
+            vec![(5, "unwrap")]
+        );
+    }
+
+    #[test]
+    fn waiver_comment_suppresses_the_named_rule_only() {
+        let src = "fn f() { g().unwrap(); } // lint:allow(unwrap) invariant: set above\n";
+        assert!(hits_in(src, "crates/core/src/a.rs", false).is_empty());
+
+        let src = "fn f() { g().unwrap(); } // lint:allow(rng) wrong waiver\n";
+        assert_eq!(
+            hits_in(src, "crates/core/src/a.rs", false),
+            vec![(1, "unwrap")]
+        );
+    }
+
+    #[test]
+    fn waiver_on_the_preceding_line_also_counts() {
+        let src = "// lint:allow(unwrap) invariant: set above\nfn f() { g().unwrap(); }\n";
+        assert!(hits_in(src, "crates/core/src/a.rs", false).is_empty());
+
+        // Two lines above is too far.
+        let src = "// lint:allow(unwrap)\n\nfn f() { g().unwrap(); }\n";
+        assert_eq!(
+            hits_in(src, "crates/core/src/a.rs", false),
+            vec![(3, "unwrap")]
+        );
+    }
+
+    // Fixture needles are concat!-split for the same reason the rule table's
+    // are: the lint scans its own source.
+    #[test]
+    fn wallclock_banned_everywhere_except_net() {
+        let src = concat!("fn f() { let t = Inst", "ant::now(); }\n");
+        assert_eq!(
+            hits_in(src, "crates/netsim/src/world.rs", false),
+            vec![(1, "wallclock")]
+        );
+        assert!(hits_in(src, "crates/net/src/host.rs", false).is_empty());
+    }
+
+    #[test]
+    fn wallclock_and_rng_apply_inside_tests_too() {
+        let src = concat!(
+            "#[cfg(test)]\nmod tests {\n    fn t() { let r = thr",
+            "ead_rng(); }\n}\n"
+        );
+        assert_eq!(
+            hits_in(src, "crates/core/src/a.rs", false),
+            vec![(3, "rng")]
+        );
+    }
+
+    #[test]
+    fn comments_do_not_trip_rules() {
+        let src = "// never call .unwrap() in production\nfn f() {}\n";
+        assert!(hits_in(src, "crates/core/src/a.rs", false).is_empty());
+    }
+
+    #[test]
+    fn std_mutex_is_flagged() {
+        let src = concat!("use std::sy", "nc::Mutex;\n");
+        assert_eq!(
+            hits_in(src, "crates/store/src/mem.rs", false),
+            vec![(1, "stdmutex")]
+        );
+    }
+}

@@ -61,7 +61,13 @@ impl CentralizedNode {
             self.store.insert(record);
             self.hub_stored += 1;
         } else {
-            out.send(self.hub, BaselineMsg::Insert { record, sent_at: now });
+            out.send(
+                self.hub,
+                BaselineMsg::Insert {
+                    record,
+                    sent_at: now,
+                },
+            );
         }
     }
 
@@ -69,16 +75,25 @@ impl CentralizedNode {
     pub fn query(&mut self, now: SimTime, rect: HyperRect, out: &mut Outbox<BaselineMsg>) -> u64 {
         let query_id = ((self.id.0 as u64) << 32) | self.query_seq;
         self.query_seq += 1;
-        self.queries
-            .insert(query_id, CentralQuery { issued_at: now, records: vec![], completed_at: None });
+        let mut q = CentralQuery {
+            issued_at: now,
+            records: vec![],
+            completed_at: None,
+        };
         if self.is_hub() {
-            let records = self.store.range_records(&rect);
-            let q = self.queries.get_mut(&query_id).unwrap();
-            q.records = records;
+            q.records = self.store.range_records(&rect);
             q.completed_at = Some(now);
         } else {
-            out.send(self.hub, BaselineMsg::QueryReq { query_id, rect, origin: self.id });
+            out.send(
+                self.hub,
+                BaselineMsg::QueryReq {
+                    query_id,
+                    rect,
+                    origin: self.id,
+                },
+            );
         }
+        self.queries.insert(query_id, q);
         query_id
     }
 
@@ -99,7 +114,13 @@ impl NodeLogic for CentralizedNode {
 
     fn on_start(&mut self, _now: SimTime, _out: &mut Outbox<BaselineMsg>) {}
 
-    fn on_message(&mut self, now: SimTime, _from: NodeId, msg: BaselineMsg, out: &mut Outbox<BaselineMsg>) {
+    fn on_message(
+        &mut self,
+        now: SimTime,
+        _from: NodeId,
+        msg: BaselineMsg,
+        out: &mut Outbox<BaselineMsg>,
+    ) {
         match msg {
             BaselineMsg::Insert { record, sent_at } => {
                 debug_assert!(self.is_hub(), "only the hub receives inserts");
@@ -107,12 +128,27 @@ impl NodeLogic for CentralizedNode {
                 self.hub_stored += 1;
                 self.hub_latency_sum += (now - sent_at) as u128;
             }
-            BaselineMsg::QueryReq { query_id, rect, origin } => {
+            BaselineMsg::QueryReq {
+                query_id,
+                rect,
+                origin,
+            } => {
                 debug_assert!(self.is_hub(), "only the hub receives queries");
                 let records = self.store.range_records(&rect);
-                out.send(origin, BaselineMsg::QueryResp { query_id, responder: self.id, records });
+                out.send(
+                    origin,
+                    BaselineMsg::QueryResp {
+                        query_id,
+                        responder: self.id,
+                        records,
+                    },
+                );
             }
-            BaselineMsg::QueryResp { query_id, responder: _, records } => {
+            BaselineMsg::QueryResp {
+                query_id,
+                responder: _,
+                records,
+            } => {
                 if let Some(q) = self.queries.get_mut(&query_id) {
                     q.records = records;
                     q.completed_at = Some(now);

@@ -59,12 +59,7 @@ impl FloodingNode {
     }
 
     /// Floods a query to every peer; returns the query id.
-    pub fn query(
-        &mut self,
-        now: SimTime,
-        rect: HyperRect,
-        out: &mut Outbox<BaselineMsg>,
-    ) -> u64 {
+    pub fn query(&mut self, now: SimTime, rect: HyperRect, out: &mut Outbox<BaselineMsg>) -> u64 {
         let query_id = ((self.id.0 as u64) << 32) | self.query_seq;
         self.query_seq += 1;
         let mut awaiting: HashSet<NodeId> = self.peers.iter().copied().collect();
@@ -72,14 +67,26 @@ impl FloodingNode {
         // Answer the local share immediately.
         let local = self.store.range_records(&rect);
         self.evaluations += 1;
-        let mut q = FloodQuery { issued_at: now, awaiting, records: local, completed_at: None };
+        let mut q = FloodQuery {
+            issued_at: now,
+            awaiting,
+            records: local,
+            completed_at: None,
+        };
         if q.awaiting.is_empty() {
             q.completed_at = Some(now);
         }
         self.queries.insert(query_id, q);
         for &p in &self.peers {
             if p != self.id {
-                out.send(p, BaselineMsg::QueryReq { query_id, rect: rect.clone(), origin: self.id });
+                out.send(
+                    p,
+                    BaselineMsg::QueryReq {
+                        query_id,
+                        rect: rect.clone(),
+                        origin: self.id,
+                    },
+                );
             }
         }
         query_id
@@ -97,15 +104,36 @@ impl NodeLogic for FloodingNode {
 
     fn on_start(&mut self, _now: SimTime, _out: &mut Outbox<BaselineMsg>) {}
 
-    fn on_message(&mut self, now: SimTime, from: NodeId, msg: BaselineMsg, out: &mut Outbox<BaselineMsg>) {
+    fn on_message(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        msg: BaselineMsg,
+        out: &mut Outbox<BaselineMsg>,
+    ) {
         match msg {
-            BaselineMsg::QueryReq { query_id, rect, origin } => {
+            BaselineMsg::QueryReq {
+                query_id,
+                rect,
+                origin,
+            } => {
                 self.evaluations += 1;
                 let records = self.store.range_records(&rect);
-                out.send(origin, BaselineMsg::QueryResp { query_id, responder: self.id, records });
+                out.send(
+                    origin,
+                    BaselineMsg::QueryResp {
+                        query_id,
+                        responder: self.id,
+                        records,
+                    },
+                );
                 let _ = from;
             }
-            BaselineMsg::QueryResp { query_id, responder, mut records } => {
+            BaselineMsg::QueryResp {
+                query_id,
+                responder,
+                mut records,
+            } => {
                 if let Some(q) = self.queries.get_mut(&query_id) {
                     if q.awaiting.remove(&responder) {
                         q.records.append(&mut records);
@@ -160,7 +188,7 @@ mod tests {
         let q = &n0.queries[&qid];
         assert!(q.completed_at.is_some());
         assert_eq!(q.records.len(), 4); // x ∈ {2,3,4,5}
-        // Every node evaluated the query — the flooding cost.
+                                        // Every node evaluated the query — the flooding cost.
         for k in 0..8u32 {
             assert_eq!(w.node(NodeId(k)).evaluations, 1, "node {k}");
         }

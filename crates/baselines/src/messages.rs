@@ -56,7 +56,11 @@ mod tests {
             responder: NodeId(0),
             records: (0..10).map(|i| Record::new(vec![i, i])).collect(),
         };
-        let empty = BaselineMsg::QueryResp { query_id: 1, responder: NodeId(0), records: vec![] };
+        let empty = BaselineMsg::QueryResp {
+            query_id: 1,
+            responder: NodeId(0),
+            records: vec![],
+        };
         assert!(resp.wire_size() > empty.wire_size());
     }
 }

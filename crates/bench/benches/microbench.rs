@@ -77,16 +77,20 @@ fn bench_routing(c: &mut Criterion) {
 
 fn bench_store(c: &mut Criterion) {
     let pts = sample_points(50_000, 2);
-    let entries: Vec<(Vec<u64>, RecordId)> =
-        pts.iter().enumerate().map(|(i, p)| (p.clone(), RecordId(i as u64))).collect();
+    let entries: Vec<(Vec<u64>, RecordId)> = pts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), RecordId(i as u64)))
+        .collect();
     let tree = KdTree::build(3, entries.clone());
-    let query = HyperRect::new(
-        vec![1 << 30, 40_000, 1000],
-        vec![3 << 30, 41_000, 1 << 20],
-    );
+    let query = HyperRect::new(vec![1 << 30, 40_000, 1000], vec![3 << 30, 41_000, 1 << 20]);
 
     c.bench_function("kdtree/build_50k", |b| {
-        b.iter_batched(|| entries.clone(), |e| KdTree::build(3, e), BatchSize::LargeInput)
+        b.iter_batched(
+            || entries.clone(),
+            |e| KdTree::build(3, e),
+            BatchSize::LargeInput,
+        )
     });
     c.bench_function("kdtree/range_query_50k", |b| {
         b.iter(|| black_box(tree.range_vec(&query)))

@@ -89,7 +89,10 @@ fn main() {
         let (ratio, plan, cost) = run(depth);
         plans.push(plan);
         balances.push(ratio);
-        println!("  {:<8} {:>15.1}x {:>16.1} {:>16.1}", depth, ratio, plan, cost);
+        println!(
+            "  {:<8} {:>15.1}x {:>16.1} {:>16.1}",
+            depth, ratio, plan, cost
+        );
     }
     println!();
     let balance_invariant = balances.iter().all(|&b| (b - balances[0]).abs() < 0.5);
@@ -102,7 +105,11 @@ fn main() {
             plans[0],
             plans[3],
             plans[3] > plans[0],
-            if balance_invariant && plans[3] > plans[0] { "reproduced" } else { "NOT reproduced" }
+            if balance_invariant && plans[3] > plans[0] {
+                "reproduced"
+            } else {
+                "NOT reproduced"
+            }
         ),
     );
 }

@@ -48,7 +48,10 @@ fn main() {
         (max, max as f64 / ideal.max(1.0))
     };
 
-    println!("\n  {:<26} {:>12} {:>16}", "cuts", "max leaf", "max / ideal");
+    println!(
+        "\n  {:<26} {:>12} {:>16}",
+        "cuts", "max leaf", "max / ideal"
+    );
     let even = CutTree::even(bounds.clone(), depth);
     let (m, r) = imbalance(&even);
     println!("  {:<26} {:>12} {:>15.1}x", "even (no information)", m, r);
@@ -62,7 +65,12 @@ fn main() {
         }
         let tree = CutTree::balanced_from_histogram(bounds.clone(), depth, &hist);
         let (m, r) = imbalance(&tree);
-        println!("  {:<26} {:>12} {:>15.1}x", format!("histogram granularity {gran}"), m, r);
+        println!(
+            "  {:<26} {:>12} {:>15.1}x",
+            format!("histogram granularity {gran}"),
+            m,
+            r
+        );
         if gran >= 8 && r > prev_ratio * 1.5 {
             monotone = false; // allow noise but catch gross inversions
         }
@@ -71,14 +79,21 @@ fn main() {
     let refs: Vec<&[u64]> = pts.iter().map(|p| p.as_slice()).collect();
     let exact = CutTree::balanced_from_points(bounds, depth, &refs);
     let (m, exact_r) = imbalance(&exact);
-    println!("  {:<26} {:>12} {:>15.1}x", "exact points (ideal)", m, exact_r);
+    println!(
+        "  {:<26} {:>12} {:>15.1}x",
+        "exact points (ideal)", m, exact_r
+    );
 
     println!();
     print_kv(
         "shape check (finer histograms approach the ideal)",
         format!(
             "gran-128 ratio {prev_ratio:.1}x vs exact {exact_r:.1}x {}",
-            if monotone && prev_ratio < 4.0 * exact_r.max(1.0) { "— reproduced" } else { "— NOT reproduced" }
+            if monotone && prev_ratio < 4.0 * exact_r.max(1.0) {
+                "— reproduced"
+            } else {
+                "— NOT reproduced"
+            }
         ),
     );
 }

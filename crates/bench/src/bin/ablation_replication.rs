@@ -23,19 +23,37 @@ fn run(replication: Replication) -> (u64, u64, u64, LatencySummary) {
     let cuts = balanced_cuts(kind, &driver, ts_bound, 10, 0, 86_400);
     install_index(&mut cluster, kind, cuts, ts_bound, replication);
     let t0 = 11 * 3600;
-    driver.drive(&mut cluster, &[kind], 0, t0, t0 + 600 * scale.hours, ts_bound, None);
+    driver.drive(
+        &mut cluster,
+        &[kind],
+        0,
+        t0,
+        t0 + 600 * scale.hours,
+        ts_bound,
+        None,
+    );
     cluster.run_for(60 * SECONDS);
     let mut primary = 0u64;
     let mut replicas = 0u64;
     for k in 0..cluster.len() {
-        if let Some(st) = cluster.world().node(NodeId(k as u32)).index_state(kind.tag()) {
+        if let Some(st) = cluster
+            .world()
+            .node(NodeId(k as u32))
+            .index_state(kind.tag())
+        {
             for v in &st.versions {
                 primary += v.primary_rows;
                 replicas += v.replica_rows;
             }
         }
     }
-    let bytes: u64 = cluster.world().stats.per_link.values().map(|s| s.bytes).sum();
+    let bytes: u64 = cluster
+        .world()
+        .stats
+        .per_link
+        .values()
+        .map(|s| s.bytes)
+        .sum();
     let lat = LatencySummary::from_samples(cluster.insert_latency_samples());
     (primary, replicas, bytes, lat)
 }

@@ -58,25 +58,41 @@ fn main() {
             random_query(kind, &mut rng, t_now)
         })
         .collect();
-    print_kv("workload", format!("{} inserts, {} queries", inserts.len(), queries.len()));
+    print_kv(
+        "workload",
+        format!("{} inserts, {} queries", inserts.len(), queries.len()),
+    );
 
     // ---- MIND ----
     let mut cluster = baseline_cluster(21);
     let cuts = balanced_cuts(kind, &driver, ts_bound, 10, t0, t0 + span);
     install_index(&mut cluster, kind, cuts, ts_bound, Replication::Level(1));
     for (i, (r, rec)) in inserts.iter().enumerate() {
-        cluster.insert(NodeId(*r as u32), kind.tag(), rec.clone()).unwrap();
+        cluster
+            .insert(NodeId(*r as u32), kind.tag(), rec.clone())
+            .unwrap();
         if i % 50 == 0 {
             cluster.run_for(SECONDS);
         }
     }
     cluster.run_for(60 * SECONDS);
-    let mind_insert_msgs: u64 = cluster.world().stats.per_link.values().map(|s| s.data_messages).sum();
+    let mind_insert_msgs: u64 = cluster
+        .world()
+        .stats
+        .per_link
+        .values()
+        .map(|s| s.data_messages)
+        .sum();
     let mut mind_qlat = Vec::new();
     let mut mind_cost = 0usize;
     for q in &queries {
         let o = cluster
-            .query_and_wait(NodeId(rng.random_range(0..34u32)), kind.tag(), q.clone(), vec![])
+            .query_and_wait(
+                NodeId(rng.random_range(0..34u32)),
+                kind.tag(),
+                q.clone(),
+                vec![],
+            )
             .unwrap();
         mind_qlat.push(o.latency.unwrap_or(0));
         mind_cost += o.cost_nodes;
@@ -91,7 +107,12 @@ fn main() {
         .unwrap_or(0);
 
     // ---- flooding ----
-    let sim = SimConfig { seed: 21, node_service: 18_000, link_bytes_per_sec: 1_000_000, ..SimConfig::default() };
+    let sim = SimConfig {
+        seed: 21,
+        node_service: 18_000,
+        link_bytes_per_sec: 1_000_000,
+        ..SimConfig::default()
+    };
     let mut flood: World<FloodingNode> = World::new(sim);
     let peers: Vec<NodeId> = (0..34u32).map(NodeId).collect();
     for (k, site) in baseline_sites().into_iter().enumerate() {
@@ -113,7 +134,12 @@ fn main() {
     let flood_evals: u64 = (0..34u32).map(|k| flood.node(NodeId(k)).evaluations).sum();
 
     // ---- centralized ----
-    let sim = SimConfig { seed: 22, node_service: 18_000, link_bytes_per_sec: 1_000_000, ..SimConfig::default() };
+    let sim = SimConfig {
+        seed: 22,
+        node_service: 18_000,
+        link_bytes_per_sec: 1_000_000,
+        ..SimConfig::default()
+    };
     let mut central: World<CentralizedNode> = World::new(sim);
     for (k, site) in baseline_sites().into_iter().enumerate() {
         central.add_node(CentralizedNode::new(NodeId(k as u32), NodeId(0), 3), site);
@@ -135,7 +161,12 @@ fn main() {
         let qid = central.with_node(origin, move |n, t, o| n.query(t, q, o));
         let t = central.now() + 60 * SECONDS;
         central.run_until(t);
-        central_qlat.push(central.node(origin).query_latency(qid).unwrap_or(60_000_000));
+        central_qlat.push(
+            central
+                .node(origin)
+                .query_latency(qid)
+                .unwrap_or(60_000_000),
+        );
     }
     let hub_inbound: u64 = central
         .stats
@@ -149,10 +180,16 @@ fn main() {
         v.sort_unstable();
         v.get(v.len() / 2).copied().unwrap_or(0) as f64 / 1e6
     };
-    println!("\n  {:<28} {:>10} {:>10} {:>12}", "metric", "MIND", "flooding", "centralized");
+    println!(
+        "\n  {:<28} {:>10} {:>10} {:>12}",
+        "metric", "MIND", "flooding", "centralized"
+    );
     println!(
         "  {:<28} {:>10} {:>10} {:>12}",
-        "insert msgs on network", mind_insert_msgs, 0, inserts.len()
+        "insert msgs on network",
+        mind_insert_msgs,
+        0,
+        inserts.len()
     );
     println!(
         "  {:<28} {:>10} {:>10} {:>12}",

@@ -41,19 +41,32 @@ fn main() {
     print_kv("raw sampled flow records", raw_total);
     print_kv(
         "aggregated (30 s windows)",
-        format!("{agg_total}  ({:.1}x reduction)", raw_total as f64 / agg_total.max(1) as f64),
+        format!(
+            "{agg_total}  ({:.1}x reduction)",
+            raw_total as f64 / agg_total.max(1) as f64
+        ),
     );
     for (i, &th) in thresholds.iter().enumerate() {
         let f = filt_totals[i];
         print_kv(
             &format!("aggregated + filtered (>= {} KB)", th >> 10),
-            format!("{f}  ({:.1}x reduction)", raw_total as f64 / f.max(1) as f64),
+            format!(
+                "{f}  ({:.1}x reduction)",
+                raw_total as f64 / f.max(1) as f64
+            ),
         );
     }
     let reduction_50k = raw_total as f64 / filt_totals[1].max(1) as f64;
     println!();
     print_kv(
         "shape check (paper: ~100x at 30 s / 50 KB)",
-        format!("{reduction_50k:.0}x {}", if reduction_50k >= 20.0 { "— reproduced" } else { "— NOT reproduced" }),
+        format!(
+            "{reduction_50k:.0}x {}",
+            if reduction_50k >= 20.0 {
+                "— reproduced"
+            } else {
+                "— NOT reproduced"
+            }
+        ),
     );
 }

@@ -39,15 +39,30 @@ fn main() {
         let max = occ.first().copied().unwrap_or(0);
         let median = occ.get(occ.len() / 2).copied().unwrap_or(0);
         let min = occ.last().copied().unwrap_or(0);
-        println!("\n  {} ({} records in {} of 64 bins):", kind.tag(), hist.total(), occ.len());
-        print_kv("    occupancy (desc, top 8)", format!("{:?}", &occ[..occ.len().min(8)]));
-        print_kv("    max / median / min bin", format!("{max} / {median} / {min}"));
+        println!(
+            "\n  {} ({} records in {} of 64 bins):",
+            kind.tag(),
+            hist.total(),
+            occ.len()
+        );
+        print_kv(
+            "    occupancy (desc, top 8)",
+            format!("{:?}", &occ[..occ.len().min(8)]),
+        );
+        print_kv(
+            "    max / median / min bin",
+            format!("{max} / {median} / {min}"),
+        );
         print_kv(
             "    max:min ratio (paper: >= 10x)",
             format!(
                 "{:.0}x {}",
                 max as f64 / min.max(1) as f64,
-                if max >= 10 * min.max(1) { "— reproduced" } else { "— NOT reproduced" }
+                if max >= 10 * min.max(1) {
+                    "— reproduced"
+                } else {
+                    "— NOT reproduced"
+                }
             ),
         );
     }

@@ -53,7 +53,10 @@ fn main() {
     let schema = index2_schema(86_400);
     let bounds = schema.bounds();
 
-    println!("\n  {:<12} {:>16} {:>16}", "granularity", "day-over-day", "hour-over-hour");
+    println!(
+        "\n  {:<12} {:>16} {:>16}",
+        "granularity", "day-over-day", "hour-over-hour"
+    );
     let mut hour_at_64 = 0.0;
     let mut day_at_64 = 0.0;
     let mut hour_at_4 = 0.0;

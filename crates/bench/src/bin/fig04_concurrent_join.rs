@@ -22,7 +22,13 @@ impl NodeLogic for Bare {
     fn on_start(&mut self, now: SimTime, out: &mut Outbox<Self::Msg>) {
         self.0.on_start(now, out);
     }
-    fn on_message(&mut self, now: SimTime, from: NodeId, msg: Self::Msg, out: &mut Outbox<Self::Msg>) {
+    fn on_message(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        msg: Self::Msg,
+        out: &mut Outbox<Self::Msg>,
+    ) {
         let _ = self.0.handle(now, from, msg, out);
     }
     fn on_timer(&mut self, now: SimTime, token: u64, out: &mut Outbox<Self::Msg>) {
@@ -38,7 +44,11 @@ fn race(joiners: usize, seed: u64) -> (bool, Vec<String>) {
     );
     for k in 1..=joiners {
         world.add_node(
-            Bare(Overlay::new_joiner(NodeId(k as u32), NodeId(0), OverlayConfig::default())),
+            Bare(Overlay::new_joiner(
+                NodeId(k as u32),
+                NodeId(0),
+                OverlayConfig::default(),
+            )),
             Site::new(format!("j{k}"), 0.0, 0.1 * k as f64),
         );
         // No delay between joiners: maximum contention.
@@ -88,7 +98,11 @@ fn main() {
             &format!("{joiners} simultaneous joiners (5 seeds)"),
             format!(
                 "{} — final codes e.g. [{}]",
-                if all_ok { "consistent prefix-free code space" } else { "FAILED" },
+                if all_ok {
+                    "consistent prefix-free code space"
+                } else {
+                    "FAILED"
+                },
                 example.join(", ")
             ),
         );

@@ -52,10 +52,16 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(5);
     let mut pts: Vec<Vec<u64>> = Vec::new();
     for _ in 0..8500 {
-        pts.push(vec![rng.random_range(0..140u64), rng.random_range(0..110u64)]);
+        pts.push(vec![
+            rng.random_range(0..140u64),
+            rng.random_range(0..110u64),
+        ]);
     }
     for _ in 0..1500 {
-        pts.push(vec![rng.random_range(0..1024u64), rng.random_range(0..1024u64)]);
+        pts.push(vec![
+            rng.random_range(0..1024u64),
+            rng.random_range(0..1024u64),
+        ]);
     }
     let refs: Vec<&[u64]> = pts.iter().map(|p| p.as_slice()).collect();
 
@@ -73,16 +79,31 @@ fn main() {
             println!("{line}");
         }
         print_kv("    max / min region occupancy", format!("{max} / {min}"));
-        print_kv("    max / ideal ratio", format!("{:.1}x", max as f64 / ideal as f64));
+        print_kv(
+            "    max / ideal ratio",
+            format!("{:.1}x", max as f64 / ideal as f64),
+        );
     }
-    let even_max = *even.leaf_occupancy(pts.iter().cloned()).iter().max().unwrap();
-    let bal_max = *balanced.leaf_occupancy(pts.iter().cloned()).iter().max().unwrap();
+    let even_max = *even
+        .leaf_occupancy(pts.iter().cloned())
+        .iter()
+        .max()
+        .unwrap();
+    let bal_max = *balanced
+        .leaf_occupancy(pts.iter().cloned())
+        .iter()
+        .max()
+        .unwrap();
     println!();
     print_kv(
         "shape check (balanced max << even max)",
         format!(
             "even {even_max} vs balanced {bal_max} {}",
-            if bal_max * 2 < even_max { "— reproduced" } else { "— NOT reproduced" }
+            if bal_max * 2 < even_max {
+                "— reproduced"
+            } else {
+                "— NOT reproduced"
+            }
         ),
     );
 }

@@ -45,7 +45,15 @@ fn main() {
             // paper observed these continuously on PlanetLab.
             inject_random_outages(&mut cluster, day * 100 + hour, 3, window_secs * SECONDS);
             let before: usize = all_latencies(&cluster).len();
-            driver.drive(&mut cluster, &[kind], day, start, start + window_secs, ts_bound, None);
+            driver.drive(
+                &mut cluster,
+                &[kind],
+                day,
+                start,
+                start + window_secs,
+                ts_bound,
+                None,
+            );
             cluster.run_for(30 * SECONDS); // drain in-flight inserts
             let lats: Vec<u64> = all_latencies(&cluster)[before..].to_vec();
             let s = LatencySummary::from_samples(lats);
@@ -67,7 +75,11 @@ fn main() {
         "\n  shape check (paper: medians 1-2 s): {:.2}-{:.2} s {}",
         med_lo,
         med_hi,
-        if med_lo > 0.2 && med_hi < 6.0 { "— same order, sub-5s band" } else { "— out of band" }
+        if med_lo > 0.2 && med_hi < 6.0 {
+            "— same order, sub-5s band"
+        } else {
+            "— out of band"
+        }
     );
 }
 

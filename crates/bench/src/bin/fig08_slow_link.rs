@@ -13,7 +13,10 @@ use mind_bench::report::{fmt_us, print_header, print_kv};
 use mind_core::Replication;
 use mind_types::node::SECONDS;
 
-fn run(trace: bool, traced: Option<(mind_types::NodeId, mind_types::NodeId)>) -> mind_core::MindCluster {
+fn run(
+    trace: bool,
+    traced: Option<(mind_types::NodeId, mind_types::NodeId)>,
+) -> mind_core::MindCluster {
     let scale = ExperimentScale::from_env(1);
     let kind = IndexKind::Octets;
     let ts_bound = 86_400;
@@ -24,10 +27,25 @@ fn run(trace: bool, traced: Option<(mind_types::NodeId, mind_types::NodeId)>) ->
             cluster.world_mut().stats.trace_link(a, b);
         }
     }
-    let cuts = balanced_cuts(kind, &driver, ts_bound, 10, 11 * 3600, 11 * 3600 + 600 * scale.hours);
+    let cuts = balanced_cuts(
+        kind,
+        &driver,
+        ts_bound,
+        10,
+        11 * 3600,
+        11 * 3600 + 600 * scale.hours,
+    );
     install_index(&mut cluster, kind, cuts, ts_bound, Replication::Level(1));
     inject_random_outages(&mut cluster, 8, 6, 600 * scale.hours * SECONDS);
-    driver.drive(&mut cluster, &[kind], 0, 11 * 3600, 11 * 3600 + 600 * scale.hours, ts_bound, None);
+    driver.drive(
+        &mut cluster,
+        &[kind],
+        0,
+        11 * 3600,
+        11 * 3600 + 600 * scale.hours,
+        ts_bound,
+        None,
+    );
     cluster.run_for(60 * SECONDS);
     cluster
 }
@@ -73,6 +91,10 @@ fn main() {
     print_kv("max delay on traced link", fmt_us(max));
     print_kv(
         "shape check (spiky tail >= 10x median)",
-        if max > med * 10 { "reproduced" } else { "NOT reproduced (no spike this run)" },
+        if max > med * 10 {
+            "reproduced"
+        } else {
+            "NOT reproduced (no spike this run)"
+        },
     );
 }

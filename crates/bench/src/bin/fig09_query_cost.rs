@@ -46,7 +46,9 @@ fn main() {
         let origin = NodeId(rng.random_range(0..cluster.len() as u32));
         let t_now = rng.random_range(t0 + 300..t0 + span);
         let rect = random_query(kind, &mut rng, t_now);
-        let outcome = cluster.query_and_wait(origin, kind.tag(), rect, vec![]).unwrap();
+        let outcome = cluster
+            .query_and_wait(origin, kind.tag(), rect, vec![])
+            .unwrap();
         if outcome.complete {
             costs.push(outcome.cost_nodes as u64);
         } else {
@@ -65,6 +67,14 @@ fn main() {
     println!();
     print_kv(
         "shape check (paper: >=90% within 4 nodes)",
-        format!("{:.1}% {}", f4 * 100.0, if f4 >= 0.80 { "— reproduced" } else { "— NOT reproduced" }),
+        format!(
+            "{:.1}% {}",
+            f4 * 100.0,
+            if f4 >= 0.80 {
+                "— reproduced"
+            } else {
+                "— NOT reproduced"
+            }
+        ),
     );
 }

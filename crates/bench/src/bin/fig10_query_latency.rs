@@ -46,7 +46,9 @@ fn main() {
         let origin = NodeId(rng.random_range(0..cluster.len() as u32));
         let t_now = rng.random_range(t0 + 300..t0 + span);
         let rect = random_query(kind, &mut rng, t_now);
-        let outcome = cluster.query_and_wait(origin, kind.tag(), rect, vec![]).unwrap();
+        let outcome = cluster
+            .query_and_wait(origin, kind.tag(), rect, vec![])
+            .unwrap();
         match outcome.latency {
             Some(l) => lats.push(l),
             None => incomplete += 1,
@@ -65,7 +67,11 @@ fn main() {
         format!(
             "median={med_s:.2}s p90/median={:.1}x {}",
             s.p90 as f64 / s.median.max(1) as f64,
-            if (0.1..2.5).contains(&med_s) && skewed { "— reproduced" } else { "— check" }
+            if (0.1..2.5).contains(&med_s) && skewed {
+                "— reproduced"
+            } else {
+                "— check"
+            }
         ),
     );
 }

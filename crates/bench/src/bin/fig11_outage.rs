@@ -26,7 +26,14 @@ fn main() {
     let ts_bound = 86_400;
     let driver = TrafficDriver::abilene_geant(11, scale);
     let mut cluster = baseline_cluster(11);
-    let cuts = balanced_cuts(kind, &driver, ts_bound, 10, 11 * 3600, 11 * 3600 + 600 * scale.hours);
+    let cuts = balanced_cuts(
+        kind,
+        &driver,
+        ts_bound,
+        10,
+        11 * 3600,
+        11 * 3600 + 600 * scale.hours,
+    );
     install_index(&mut cluster, kind, cuts, ts_bound, Replication::Level(1));
     let t0 = 23 * 3600;
     let span = 600 * scale.hours;
@@ -41,12 +48,20 @@ fn main() {
     let dist = cluster.storage_distribution(kind.tag());
     let hotspot = NodeId(dist.iter().enumerate().max_by_key(|&(_, &c)| c).unwrap().0 as u32);
     print_kv("originator", origin);
-    print_kv("hotspot responder", format!("{hotspot} ({} rows)", dist[hotspot.0 as usize]));
+    print_kv(
+        "hotspot responder",
+        format!("{hotspot} ({} rows)", dist[hotspot.0 as usize]),
+    );
 
     let outage_at = cluster.now() + 120 * SECONDS;
-    cluster.world_mut().schedule_link_outage(hotspot, origin, outage_at, 45 * SECONDS);
+    cluster
+        .world_mut()
+        .schedule_link_outage(hotspot, origin, outage_at, 45 * SECONDS);
 
-    println!("\n  {:>8} {:>12}  (one monitoring query every ~10 s)", "t (s)", "delay (s)");
+    println!(
+        "\n  {:>8} {:>12}  (one monitoring query every ~10 s)",
+        "t (s)", "delay (s)"
+    );
     let base = cluster.now();
     let mut max_delay = 0u64;
     let mut baseline_sum = 0u64;
@@ -57,10 +72,16 @@ fn main() {
         let t_now = t0 + 300 + (i * span.saturating_sub(400) / 30);
         let rect = monitoring_query(kind, t_now);
         let issued = cluster.now();
-        let outcome = cluster.query_and_wait(origin, kind.tag(), rect, vec![]).unwrap();
+        let outcome = cluster
+            .query_and_wait(origin, kind.tag(), rect, vec![])
+            .unwrap();
         let delay = outcome.latency.unwrap_or(60_000_000);
         let rel = (issued - base) as f64 / 1e6;
-        let marker = if delay > 10_000_000 { "  <-- outage spike" } else { "" };
+        let marker = if delay > 10_000_000 {
+            "  <-- outage spike"
+        } else {
+            ""
+        };
         println!("  {rel:>8.1} {:>12.3}{marker}", delay as f64 / 1e6);
         if delay > max_delay {
             max_delay = delay;
@@ -73,13 +94,23 @@ fn main() {
         cluster.run_until(next);
     }
     println!();
-    print_kv("max response delay", format!("{:.1}s", max_delay as f64 / 1e6));
+    print_kv(
+        "max response delay",
+        format!("{:.1}s", max_delay as f64 / 1e6),
+    );
     print_kv(
         "baseline mean",
-        format!("{:.2}s", baseline_sum as f64 / baseline_n.max(1) as f64 / 1e6),
+        format!(
+            "{:.2}s",
+            baseline_sum as f64 / baseline_n.max(1) as f64 / 1e6
+        ),
     );
     print_kv(
         "shape check (spike ~45 s over ~1 s baseline)",
-        if max_delay > 30_000_000 { "reproduced" } else { "NOT reproduced" },
+        if max_delay > 30_000_000 {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        },
     );
 }

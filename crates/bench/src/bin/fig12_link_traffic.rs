@@ -24,7 +24,14 @@ fn main() {
     let ts_bound = 86_400;
     let driver = TrafficDriver::abilene_geant(12, scale);
     let mut cluster = baseline_cluster(12);
-    let cuts = balanced_cuts(kind, &driver, ts_bound, 10, 11 * 3600, 11 * 3600 + 600 * scale.hours);
+    let cuts = balanced_cuts(
+        kind,
+        &driver,
+        ts_bound,
+        10,
+        11 * 3600,
+        11 * 3600 + 600 * scale.hours,
+    );
     install_index(&mut cluster, kind, cuts, ts_bound, Replication::Level(1));
     let t0 = 11 * 3600;
     let span = 600 * scale.hours;
@@ -66,7 +73,11 @@ fn main() {
         format!(
             "{:.1}% of hub load {}",
             100.0 * max as f64 / inserted.max(1) as f64,
-            if (max as f64) < 0.5 * inserted as f64 { "— reproduced" } else { "— NOT reproduced" }
+            if (max as f64) < 0.5 * inserted as f64 {
+                "— reproduced"
+            } else {
+                "— NOT reproduced"
+            }
         ),
     );
 }

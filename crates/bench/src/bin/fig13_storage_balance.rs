@@ -55,7 +55,17 @@ fn main() {
     let driver = TrafficDriver::abilene_geant(13, scale);
     let schema = kind.schema(ts_bound);
 
-    let bal = run(balanced_cuts(kind, &driver, ts_bound, 10, 11 * 3600, 11 * 3600 + 600 * scale.hours), 13);
+    let bal = run(
+        balanced_cuts(
+            kind,
+            &driver,
+            ts_bound,
+            10,
+            11 * 3600,
+            11 * 3600 + 600 * scale.hours,
+        ),
+        13,
+    );
     let even = run(CutTree::even(schema.bounds(), 10), 13);
 
     for (name, dist) in [("balanced cuts", &bal), ("even cuts", &even)] {
@@ -68,8 +78,14 @@ fn main() {
             print!(" {c}");
         }
         println!();
-        print_kv("    nodes holding data", format!("{nonzero}/{}", dist.len()));
-        print_kv("    max node / fair share", format!("{max} / {}", total / dist.len() as u64));
+        print_kv(
+            "    nodes holding data",
+            format!("{nonzero}/{}", dist.len()),
+        );
+        print_kv(
+            "    max node / fair share",
+            format!("{max} / {}", total / dist.len() as u64),
+        );
         print_kv("    Gini coefficient", format!("{:.3}", gini(dist)));
     }
     println!();
@@ -79,7 +95,11 @@ fn main() {
         "shape check (balanced much more even)",
         format!(
             "Gini even={g_even:.2} vs balanced={g_bal:.2} {}",
-            if g_bal < g_even - 0.1 { "— reproduced" } else { "— NOT reproduced" }
+            if g_bal < g_even - 0.1 {
+                "— reproduced"
+            } else {
+                "— NOT reproduced"
+            }
         ),
     );
 }

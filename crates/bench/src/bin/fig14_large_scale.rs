@@ -37,9 +37,7 @@ fn main() {
     // the paper streamed pre-aggregated records; generate equivalent
     // records directly (Zipf dst prefixes, 5-min-old timestamps).
     let mut rng = StdRng::seed_from_u64(14);
-    let sample: Vec<Vec<u64>> = (0..4000)
-        .map(|_| synth_point(&mut rng, 0))
-        .collect();
+    let sample: Vec<Vec<u64>> = (0..4000).map(|_| synth_point(&mut rng, 0)).collect();
     let refs: Vec<&[u64]> = sample.iter().map(|p| p.as_slice()).collect();
     let cuts = CutTree::balanced_from_points(schema.bounds(), 12, &refs);
     cluster
@@ -59,7 +57,13 @@ fn main() {
         for k in 0..n as u32 {
             if cluster.world().is_alive(NodeId(k)) {
                 let p = synth_point(&mut rng, sec);
-                let rec = Record::new(vec![p[0], p[1], p[2], rng.random_range(0..1u64 << 32), k as u64]);
+                let rec = Record::new(vec![
+                    p[0],
+                    p[1],
+                    p[2],
+                    rng.random_range(0..1u64 << 32),
+                    k as u64,
+                ]);
                 let _ = cluster.insert(NodeId(k), kind.tag(), rec);
             }
         }
@@ -104,7 +108,12 @@ fn main() {
         .collect();
 
     print_kv("records durably stored", lats.len());
-    print_kv("final live nodes", (0..n).filter(|&k| cluster.world().is_alive(NodeId(k as u32))).count());
+    print_kv(
+        "final live nodes",
+        (0..n)
+            .filter(|&k| cluster.world().is_alive(NodeId(k as u32)))
+            .count(),
+    );
     println!("\n  insertion latency CDF:");
     println!("  {:>8} {:>12}", "pct", "latency");
     for (p, v) in cdf_points(&lats, &[10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9]) {
@@ -123,7 +132,11 @@ fn main() {
             "median={:.2}s hops<=5: {:.0}% {}",
             median as f64 / 1e6,
             f5 * 100.0,
-            if median < 2_000_000 && f5 >= 0.85 { "— reproduced" } else { "— NOT reproduced" }
+            if median < 2_000_000 && f5 >= 0.85 {
+                "— reproduced"
+            } else {
+                "— NOT reproduced"
+            }
         ),
     );
 }

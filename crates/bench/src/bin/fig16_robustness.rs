@@ -12,7 +12,9 @@
 //! Success here is strict: the query completes before its deadline AND
 //! returns exactly the ground-truth record multiset.
 
-use mind_bench::harness::{answers_match, oracle_answer, paper_mind_config, ExperimentScale, IndexKind};
+use mind_bench::harness::{
+    answers_match, oracle_answer, paper_mind_config, ExperimentScale, IndexKind,
+};
 use mind_bench::report::print_header;
 use mind_core::{ClusterConfig, MindCluster, Replication};
 use mind_histogram::CutTree;
@@ -37,7 +39,10 @@ fn run_point(replication: Replication, kill: usize, seed: u64, scale: &Experimen
     for s in &mut cfg.sites {
         s.load_factor = 1.0;
     }
-    cfg.sim = SimConfig { seed, ..SimConfig::default() };
+    cfg.sim = SimConfig {
+        seed,
+        ..SimConfig::default()
+    };
     cfg.sim.latency.fixed = MILLIS;
     cfg.mind = paper_mind_config();
     cfg.mind.query_deadline = 30 * SECONDS;
@@ -61,13 +66,17 @@ fn run_point(replication: Replication, kill: usize, seed: u64, scale: &Experimen
     let pts: Vec<Vec<u64>> = records.iter().map(|r| r.point(3).to_vec()).collect();
     let refs: Vec<&[u64]> = pts.iter().map(|p| p.as_slice()).collect();
     let cuts = CutTree::balanced_from_points(schema.bounds(), 12, &refs);
-    cluster.create_index(NodeId(0), schema.clone(), cuts, replication).unwrap();
+    cluster
+        .create_index(NodeId(0), schema.clone(), cuts, replication)
+        .unwrap();
     cluster.run_for(20 * SECONDS);
 
     let mut oracle = Vec::new();
     for (i, rec) in records.iter().enumerate() {
         oracle.push((kind, rec.clone().conform(&schema).unwrap()));
-        cluster.insert(NodeId((i % N) as u32), kind.tag(), rec.clone()).unwrap();
+        cluster
+            .insert(NodeId((i % N) as u32), kind.tag(), rec.clone())
+            .unwrap();
         if i % 40 == 0 {
             cluster.run_for(SECONDS);
         }
@@ -97,11 +106,17 @@ fn run_point(replication: Replication, kill: usize, seed: u64, scale: &Experimen
         let (_, target) = oracle.as_slice().choose(&mut rng).unwrap();
         let p = target.point(3);
         let rect = mind_types::HyperRect::new(
-            vec![p[0].saturating_sub(1 << 20), p[1].saturating_sub(60), p[2].saturating_sub(50)],
+            vec![
+                p[0].saturating_sub(1 << 20),
+                p[1].saturating_sub(60),
+                p[2].saturating_sub(50),
+            ],
             vec![p[0] + (1 << 20), p[1] + 60, (p[2] + 50).min(5024)],
         );
         let want = oracle_answer(&oracle, kind, &rect);
-        let outcome = cluster.query_and_wait(origin, kind.tag(), rect, vec![]).unwrap();
+        let outcome = cluster
+            .query_and_wait(origin, kind.tag(), rect, vec![])
+            .unwrap();
         if outcome.complete && answers_match(outcome.records, want) {
             good += 1;
         }

@@ -58,7 +58,9 @@ fn main() {
         }
         let refs: Vec<&[u64]> = pts.iter().map(|p| p.as_slice()).collect();
         let cuts = CutTree::balanced_from_points(schema.bounds(), 9, &refs);
-        cluster.create_index(NodeId(0), schema, cuts, Replication::Level(1)).unwrap();
+        cluster
+            .create_index(NodeId(0), schema, cuts, Replication::Level(1))
+            .unwrap();
         cluster.run_for(10 * SECONDS);
     }
 
@@ -84,9 +86,10 @@ fn main() {
     let mut response_times = Vec::new();
     for a in &driver.anomalies.clone() {
         let (kind, rect) = match a.kind {
-            AnomalyKind::AlphaFlow { .. } => {
-                (IndexKind::Octets, a.index2_query(OCTETS_BOUND / 2, OCTETS_BOUND))
-            }
+            AnomalyKind::AlphaFlow { .. } => (
+                IndexKind::Octets,
+                a.index2_query(OCTETS_BOUND / 2, OCTETS_BOUND),
+            ),
             _ => (IndexKind::Fanout, a.index1_query(1500, FANOUT_BOUND)),
         };
         // Issue the circumscribing query from every node; average the
@@ -159,8 +162,16 @@ fn main() {
         "shape check (perfect recall, ~seconds responses)",
         format!(
             "recall={} worst avg resp={worst:.2}s {}",
-            if all_recalled { "perfect" } else { "INCOMPLETE" },
-            if all_recalled && worst < 10.0 { "— reproduced" } else { "— NOT reproduced" }
+            if all_recalled {
+                "perfect"
+            } else {
+                "INCOMPLETE"
+            },
+            if all_recalled && worst < 10.0 {
+                "— reproduced"
+            } else {
+                "— NOT reproduced"
+            }
         ),
     );
 }

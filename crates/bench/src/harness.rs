@@ -3,6 +3,7 @@
 use mind_core::{ClusterConfig, MindCluster, Replication};
 use mind_histogram::CutTree;
 use mind_netsim::topology::{abilene_sites, baseline_sites};
+use mind_store::DacCostModel;
 use mind_traffic::aggregate::aggregate_window;
 use mind_traffic::anomaly::Anomaly;
 use mind_traffic::generator::{TrafficConfig, TrafficGenerator};
@@ -12,7 +13,6 @@ use mind_types::node::{SimTime, SECONDS};
 use mind_types::{HyperRect, IndexSchema, NodeId, Record};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use mind_store::DacCostModel;
 
 /// The paper's aggregation window (seconds).
 pub const WINDOW: u64 = 30;
@@ -92,7 +92,11 @@ impl IndexKind {
             IndexKind::Octets => a.octets,
             IndexKind::FlowSize => a.avg_flow_size,
         };
-        [a.dst_prefix as u64, a.window_start, v.min(self.value_bound())]
+        [
+            a.dst_prefix as u64,
+            a.window_start,
+            v.min(self.value_bound()),
+        ]
     }
 
     /// Upper bound of the third (value) dimension.
@@ -121,7 +125,11 @@ impl TrafficDriver {
     pub fn abilene_geant(seed: u64, scale: ExperimentScale) -> Self {
         let mut cfg = TrafficConfig::abilene_geant(seed);
         cfg.flows_per_sec *= scale.volume;
-        TrafficDriver { generator: TrafficGenerator::new(cfg), anomalies: vec![], anomaly_seed: seed }
+        TrafficDriver {
+            generator: TrafficGenerator::new(cfg),
+            anomalies: vec![],
+            anomaly_seed: seed,
+        }
     }
 
     /// The 11-router Abilene-only feed of the Section 5 experiment.
@@ -132,7 +140,11 @@ impl TrafficDriver {
             flows_per_sec: 40.0 * scale.volume,
             ..TrafficConfig::default()
         };
-        TrafficDriver { generator: TrafficGenerator::new(cfg), anomalies: vec![], anomaly_seed: seed }
+        TrafficDriver {
+            generator: TrafficGenerator::new(cfg),
+            anomalies: vec![],
+            anomaly_seed: seed,
+        }
     }
 
     /// Number of routers feeding the cluster.
@@ -143,7 +155,9 @@ impl TrafficDriver {
     /// Aggregated records for one `(day, window, router)` cell, including
     /// any anomaly flows on that router/time.
     pub fn window_aggregates(&self, day: u64, window_start: u64, router: u16) -> Vec<AggRecord> {
-        let mut flows = self.generator.window_flows(day, window_start, WINDOW, router);
+        let mut flows = self
+            .generator
+            .window_flows(day, window_start, WINDOW, router);
         for a in &self.anomalies {
             flows.extend(a.window_flows(self.anomaly_seed, window_start, WINDOW, router));
         }
@@ -157,6 +171,7 @@ impl TrafficDriver {
     /// When `oracle` is provided, every inserted (conformed) record is
     /// also appended there — the centralized ground truth used for recall
     /// accounting.
+    #[allow(clippy::too_many_arguments)] // the drive window is inherently wide
     pub fn drive(
         &self,
         cluster: &mut MindCluster,
@@ -182,11 +197,12 @@ impl TrafficDriver {
                                 let schema = kind.schema(ts_bound);
                                 // Store the conformed (clamped) form — the
                                 // same bytes the cluster will store.
+                                // lint:allow(unwrap) trace records conform by construction
                                 oracle.push((kind, rec.clone().conform(&schema).unwrap()));
                             }
                             cluster
                                 .insert(NodeId(r as u32), kind.tag(), rec)
-                                .expect("insert");
+                                .expect("insert"); // lint:allow(unwrap) harness: a bad run must die loudly
                             inserted += 1;
                         }
                     }
@@ -207,8 +223,8 @@ pub fn paper_dac_costs() -> DacCostModel {
     DacCostModel {
         batch_overhead: 120_000, // 120 ms: JDBC round trips + commit on a
         // CPU-starved PlanetLab slice
-        per_insert: 6_000,  // 6 ms per row insert
-        per_query: 30_000,  // 30 ms: SQL build + plan + scan start
+        per_insert: 6_000, // 6 ms per row insert
+        per_query: 30_000, // 30 ms: SQL build + plan + scan start
         per_result: 150,
     }
 }
@@ -279,7 +295,7 @@ pub fn inject_random_outages(cluster: &mut MindCluster, seed: u64, count: usize,
             continue;
         }
         let at = base + rng.random_range(0..span.max(1));
-        let duration = rng.random_range(5..60) * SECONDS;
+        let duration = rng.random_range(5u64..60) * SECONDS;
         cluster.world_mut().schedule_link_outage(a, b, at, duration);
     }
 }
@@ -303,7 +319,7 @@ pub fn balanced_cuts(
         for r in 0..driver.routers() as u16 {
             for agg in driver.window_aggregates(0, w, r) {
                 if let Some(rec) = kind.record(&agg) {
-                    let rec = rec.conform(&schema).unwrap();
+                    let rec = rec.conform(&schema).unwrap(); // lint:allow(unwrap) trace records conform by construction
                     pts.push(rec.point(schema.indexed_dims).to_vec());
                 }
             }
@@ -334,7 +350,7 @@ pub fn install_index(
 ) {
     cluster
         .create_index(NodeId(0), kind.schema(ts_bound), cuts, replication)
-        .expect("create index");
+        .expect("create index"); // lint:allow(unwrap) harness: a bad run must die loudly
     cluster.run_for(20 * SECONDS);
 }
 
@@ -387,9 +403,18 @@ mod tests {
 
     #[test]
     fn driver_produces_windows() {
-        let d = TrafficDriver::abilene_geant(1, ExperimentScale { volume: 0.5, hours: 1 });
+        let d = TrafficDriver::abilene_geant(
+            1,
+            ExperimentScale {
+                volume: 0.5,
+                hours: 1,
+            },
+        );
         let aggs = d.window_aggregates(0, 43_200, 0);
-        assert!(!aggs.is_empty(), "midday Abilene window should have traffic");
+        assert!(
+            !aggs.is_empty(),
+            "midday Abilene window should have traffic"
+        );
         // Abilene router 0 sees much more than GÉANT router 20.
         let geant = d.window_aggregates(0, 43_200, 20);
         assert!(aggs.len() >= geant.len());
@@ -421,15 +446,35 @@ mod tests {
 
     #[test]
     fn end_to_end_drive_small() {
-        let scale = ExperimentScale { volume: 0.2, hours: 1 };
+        let scale = ExperimentScale {
+            volume: 0.2,
+            hours: 1,
+        };
         let driver = TrafficDriver::abilene_geant(3, scale);
         let mut cluster = baseline_cluster(3);
         let cuts = balanced_cuts(IndexKind::Octets, &driver, 86_400, 10, 43_200, 43_500);
-        install_index(&mut cluster, IndexKind::Octets, cuts, 86_400, Replication::None);
+        install_index(
+            &mut cluster,
+            IndexKind::Octets,
+            cuts,
+            86_400,
+            Replication::None,
+        );
         let mut oracle = Vec::new();
-        let n = driver.drive(&mut cluster, &[IndexKind::Octets], 0, 43_200, 43_200 + 300, 86_400, Some(&mut oracle));
+        let n = driver.drive(
+            &mut cluster,
+            &[IndexKind::Octets],
+            0,
+            43_200,
+            43_200 + 300,
+            86_400,
+            Some(&mut oracle),
+        );
         cluster.run_for(60 * SECONDS);
-        assert!(n > 0, "five minutes of traffic should produce index-2 records");
+        assert!(
+            n > 0,
+            "five minutes of traffic should produce index-2 records"
+        );
         assert_eq!(oracle.len() as u64, n);
         assert_eq!(cluster.total_primary_rows("index-2"), n);
     }

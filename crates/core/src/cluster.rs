@@ -35,7 +35,10 @@ impl ClusterConfig {
     /// router cities.
     pub fn baseline(seed: u64) -> Self {
         ClusterConfig {
-            sim: SimConfig { seed, ..SimConfig::default() },
+            sim: SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
             overlay: OverlayConfig::default(),
             mind: MindConfig::default(),
             sites: mind_netsim::topology::baseline_sites(),
@@ -45,7 +48,10 @@ impl ClusterConfig {
     /// The large-scale deployment: `n` PlanetLab-like sites.
     pub fn planetlab(n: usize, seed: u64) -> Self {
         ClusterConfig {
-            sim: SimConfig { seed, ..SimConfig::default() },
+            sim: SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
             overlay: OverlayConfig::default(),
             mind: MindConfig::default(),
             sites: mind_netsim::planetlab_sites(n, seed),
@@ -113,11 +119,15 @@ impl MindCluster {
     pub fn run_for(&mut self, d: SimTime) {
         let t = self.world.now() + d;
         self.world.run_until(t);
+        #[cfg(feature = "audit")]
+        self.audit_point("after run_for (joins/failures/takeovers settled here)");
     }
 
     /// Runs until simulated time `t`.
     pub fn run_until(&mut self, t: SimTime) {
         self.world.run_until(t);
+        #[cfg(feature = "audit")]
+        self.audit_point("after run_until");
     }
 
     /// Creates an index from node `at` (floods to all nodes).
@@ -128,12 +138,18 @@ impl MindCluster {
         cuts: CutTree,
         replication: Replication,
     ) -> Result<(), MindError> {
-        self.world.with_node(at, |n, _now, out| n.create_index(schema, cuts, replication, out))
+        let r = self.world.with_node(at, |n, _now, out| {
+            n.create_index(schema, cuts, replication, out)
+        });
+        #[cfg(feature = "audit")]
+        self.audit_point("after create_index");
+        r
     }
 
     /// Inserts a record into `index` from node `at`.
     pub fn insert(&mut self, at: NodeId, index: &str, record: Record) -> Result<(), MindError> {
-        self.world.with_node(at, |n, now, out| n.insert(now, index, record, out))
+        self.world
+            .with_node(at, |n, now, out| n.insert(now, index, record, out))
     }
 
     /// Issues a query from node `at`; returns the query id.
@@ -144,7 +160,8 @@ impl MindCluster {
         rect: HyperRect,
         filters: Vec<CarriedFilter>,
     ) -> Result<u64, MindError> {
-        self.world.with_node(at, |n, now, out| n.query(now, index, rect, filters, out))
+        self.world
+            .with_node(at, |n, now, out| n.query(now, index, rect, filters, out))
     }
 
     /// The outcome of a query issued from `at`, once finished.
@@ -170,9 +187,12 @@ impl MindCluster {
             let next = self.world.now() + 50 * mind_types::node::MILLIS;
             self.world.run_until(next);
         }
-        Ok(self
-            .query_outcome(at, qid)
-            .unwrap_or_else(|| QueryOutcome { complete: false, latency: None, records: vec![], cost_nodes: 0 }))
+        Ok(self.query_outcome(at, qid).unwrap_or_else(|| QueryOutcome {
+            complete: false,
+            latency: None,
+            records: vec![],
+            cost_nodes: 0,
+        }))
     }
 
     /// Installs a standing query from node `at`; returns the trigger id.
@@ -183,12 +203,15 @@ impl MindCluster {
         rect: HyperRect,
         filters: Vec<CarriedFilter>,
     ) -> Result<u64, MindError> {
-        self.world.with_node(at, |n, _now, out| n.create_trigger(index, rect, filters, out))
+        self.world.with_node(at, |n, _now, out| {
+            n.create_trigger(index, rect, filters, out)
+        })
     }
 
     /// Removes a standing query from node `at`.
     pub fn drop_trigger(&mut self, at: NodeId, trigger_id: u64) {
-        self.world.with_node(at, |n, _now, out| n.drop_trigger(trigger_id, out));
+        self.world
+            .with_node(at, |n, _now, out| n.drop_trigger(trigger_id, out));
     }
 
     /// Notifications node `at` has received for its triggers.
@@ -203,11 +226,13 @@ impl MindCluster {
         for k in 0..self.world.len() {
             let id = NodeId(k as u32);
             if self.world.is_alive(id) {
-                total += self
-                    .world
-                    .with_node(id, |n, _now, _out| n.gc_versions(index, before_ts).unwrap_or(0));
+                total += self.world.with_node(id, |n, _now, _out| {
+                    n.gc_versions(index, before_ts).unwrap_or(0)
+                });
             }
         }
+        #[cfg(feature = "audit")]
+        self.audit_point("after gc_versions (version rollover/GC)");
         total
     }
 
@@ -216,9 +241,9 @@ impl MindCluster {
         for k in 0..self.world.len() {
             let id = NodeId(k as u32);
             if self.world.is_alive(id) {
-                let _ = self
-                    .world
-                    .with_node(id, |n, now, out| n.report_day_histogram(now, index, day, out));
+                let _ = self.world.with_node(id, |n, now, out| {
+                    n.report_day_histogram(now, index, day, out)
+                });
             }
         }
     }
@@ -226,11 +251,15 @@ impl MindCluster {
     /// Crashes a node (messages to it are dropped until revived).
     pub fn crash(&mut self, id: NodeId) {
         self.world.crash_node(id);
+        #[cfg(feature = "audit")]
+        self.audit_point("after crash (failure injected)");
     }
 
     /// Revives a crashed node.
     pub fn revive(&mut self, id: NodeId) {
         self.world.revive_node(id);
+        #[cfg(feature = "audit")]
+        self.audit_point("after revive (rejoin begins)");
     }
 
     /// All insertion latency samples across nodes (µs).
@@ -253,7 +282,14 @@ impl MindCluster {
     pub fn insert_hops(&self) -> Vec<u32> {
         let mut v = Vec::new();
         for k in 0..self.world.len() {
-            v.extend(self.world.node(NodeId(k as u32)).metrics.insert_hops.iter().copied());
+            v.extend(
+                self.world
+                    .node(NodeId(k as u32))
+                    .metrics
+                    .insert_hops
+                    .iter()
+                    .copied(),
+            );
         }
         v
     }

@@ -49,7 +49,12 @@ pub struct IndexState {
 
 impl IndexState {
     /// Creates the index with its version-0 cuts (effective from t = 0).
-    pub fn new(schema: IndexSchema, cuts: CutTree, replication: Replication, hist_granularity: u32) -> Self {
+    pub fn new(
+        schema: IndexSchema,
+        cuts: CutTree,
+        replication: Replication,
+        hist_granularity: u32,
+    ) -> Self {
         let dims = schema.indexed_dims;
         let bounds = schema.bounds();
         IndexState {
@@ -165,6 +170,19 @@ impl IndexState {
         self.versions.iter().map(|v| v.primary_rows).sum()
     }
 
+    /// Drops every version's stored rows (crash-lost in-memory state)
+    /// while keeping the catalog — schema, cut trees, version numbering —
+    /// intact. Used when a node restarts after a crash.
+    pub fn reset_stores(&mut self) {
+        let dims = self.schema.indexed_dims;
+        for v in &mut self.versions {
+            v.primary = MemStore::new(dims);
+            v.replicas = MemStore::new(dims);
+            v.primary_rows = 0;
+            v.replica_rows = 0;
+        }
+    }
+
     /// Garbage-collects versions whose governed time range ends before
     /// `before_ts`, dropping their stores wholesale (the paper's aging
     /// model: whole versions expire, individual records never delete).
@@ -182,7 +200,10 @@ impl IndexState {
                 .unwrap_or(u64::MAX);
             let v = &mut self.versions[i];
             if end < before_ts
-                && (v.primary_rows > 0 || v.replica_rows > 0 || v.primary.len() > 0 || v.replicas.len() > 0)
+                && (v.primary_rows > 0
+                    || v.replica_rows > 0
+                    || !v.primary.is_empty()
+                    || !v.replicas.is_empty())
             {
                 v.primary = MemStore::new(dims);
                 v.replicas = MemStore::new(dims);

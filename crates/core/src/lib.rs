@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod cluster;
 pub mod index;
 pub mod messages;

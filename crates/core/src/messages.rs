@@ -285,7 +285,11 @@ mod tests {
 
     #[test]
     fn carried_filter_bounds_inclusive() {
-        let f = CarriedFilter { attr: 1, lo: 10, hi: 20 };
+        let f = CarriedFilter {
+            attr: 1,
+            lo: 10,
+            hi: 20,
+        };
         assert!(f.accepts(&Record::new(vec![0, 10])));
         assert!(f.accepts(&Record::new(vec![0, 20])));
         assert!(!f.accepts(&Record::new(vec![0, 9])));

@@ -54,7 +54,14 @@ impl LatencySummary {
     pub fn from_samples(mut samples: Vec<SimTime>) -> Self {
         samples.sort_unstable();
         if samples.is_empty() {
-            return LatencySummary { count: 0, median: 0, mean: 0, p90: 0, p99: 0, max: 0 };
+            return LatencySummary {
+                count: 0,
+                median: 0,
+                mean: 0,
+                p90: 0,
+                p99: 0,
+                max: 0,
+            };
         }
         let sum: u128 = samples.iter().map(|&s| s as u128).sum();
         LatencySummary {
@@ -63,7 +70,7 @@ impl LatencySummary {
             mean: (sum / samples.len() as u128) as SimTime,
             p90: percentile(&samples, 90.0),
             p99: percentile(&samples, 99.0),
-            max: *samples.last().unwrap(),
+            max: samples.last().copied().unwrap_or(0),
         }
     }
 

@@ -168,7 +168,12 @@ impl MindNode {
     }
 
     /// A node that joins through `bootstrap` at startup.
-    pub fn new_joiner(id: NodeId, bootstrap: NodeId, overlay_cfg: OverlayConfig, cfg: MindConfig) -> Self {
+    pub fn new_joiner(
+        id: NodeId,
+        bootstrap: NodeId,
+        overlay_cfg: OverlayConfig,
+        cfg: MindConfig,
+    ) -> Self {
         Self::with_overlay(id, Overlay::new_joiner(id, bootstrap, overlay_cfg), cfg)
     }
 
@@ -194,6 +199,26 @@ impl MindNode {
             collecting: HashMap::new(),
             collect_keys: HashMap::new(),
             metrics: NodeMetrics::default(),
+        }
+    }
+
+    /// Discards state that cannot survive a crash: in-flight DAC jobs,
+    /// query trackers (their deadline timers died with the old
+    /// incarnation), handoff and collection protocols, and every in-memory
+    /// row store. The index *catalog* (schemas, cut trees, version
+    /// numbering) is kept — it is re-validated against the acceptor's
+    /// catalog when the rejoin completes.
+    fn reset_after_restart(&mut self) {
+        self.dac_queue.clear();
+        self.dac_busy = false;
+        self.pending_batches.clear();
+        self.queries.clear();
+        self.handoff = None;
+        self.pending_handoffs.clear();
+        self.collecting.clear();
+        self.collect_keys.clear();
+        for state in self.indexes.values_mut() {
+            state.reset_stores();
         }
     }
 
@@ -233,19 +258,33 @@ impl MindNode {
         if self.indexes.contains_key(&schema.tag) {
             return Err(MindError::IndexExists(schema.tag));
         }
-        let events = self
-            .overlay
-            .flood(MindPayload::CreateIndex { schema, cuts, replication }, out);
+        let events = self.overlay.flood(
+            MindPayload::CreateIndex {
+                schema,
+                cuts,
+                replication,
+            },
+            out,
+        );
         self.process_events(0, events, out);
         Ok(())
     }
 
     /// `drop_index`: removes the index from every node.
-    pub fn drop_index(&mut self, tag: &str, out: &mut Outbox<OverlayMsg<MindPayload>>) -> Result<(), MindError> {
+    pub fn drop_index(
+        &mut self,
+        tag: &str,
+        out: &mut Outbox<OverlayMsg<MindPayload>>,
+    ) -> Result<(), MindError> {
         if !self.indexes.contains_key(tag) {
             return Err(MindError::UnknownIndex(tag.to_string()));
         }
-        let events = self.overlay.flood(MindPayload::DropIndex { index: tag.to_string() }, out);
+        let events = self.overlay.flood(
+            MindPayload::DropIndex {
+                index: tag.to_string(),
+            },
+            out,
+        );
         self.process_events(0, events, out);
         Ok(())
     }
@@ -266,7 +305,7 @@ impl MindNode {
         let record = state.conform(record)?;
         let ts = state.record_ts(&record);
         let version = state.version_for_ts(ts);
-        let cuts = &state.version(version).expect("version exists").cuts;
+        let cuts = &state.version(version).expect("version exists").cuts; // lint:allow(unwrap) version_for_ts returns an installed version
         let code = cuts.code_for_point(record.point(state.schema.indexed_dims));
         self.metrics.inserts_originated += 1;
         let payload = MindPayload::Insert {
@@ -313,6 +352,7 @@ impl MindNode {
         // Route one root query per overlapping version.
         let mut routed = Vec::new();
         for v in versions {
+            // lint:allow(unwrap) versions_for_range returns installed versions
             match state.version(v).unwrap().cuts.query_prefix(&rect) {
                 None => tracker.on_plan(now, v, vec![], None), // misses the domain
                 Some(prefix) => routed.push((v, prefix)),
@@ -331,13 +371,19 @@ impl MindNode {
             let events = self.overlay.route(now, prefix, payload, out);
             self.process_events(now, events, out);
         }
-        out.set_timer(self.cfg.query_deadline, token(KIND_QUERY_DEADLINE, query_id));
+        out.set_timer(
+            self.cfg.query_deadline,
+            token(KIND_QUERY_DEADLINE, query_id),
+        );
         Ok(query_id)
     }
 
     /// The outcome of a query, once [`QueryTracker::done`].
     pub fn query_outcome(&self, query_id: u64) -> Option<crate::query::QueryOutcome> {
-        self.queries.get(&query_id).filter(|t| t.done()).map(|t| t.outcome())
+        self.queries
+            .get(&query_id)
+            .filter(|t| t.done())
+            .map(|t| t.outcome())
     }
 
     /// Ships the current day's histogram for `index` to the designated
@@ -404,14 +450,18 @@ impl MindNode {
             filters,
             origin: self.id,
         };
-        let events = self.overlay.flood(MindPayload::CreateTrigger { trigger }, out);
+        let events = self
+            .overlay
+            .flood(MindPayload::CreateTrigger { trigger }, out);
         self.process_events(0, events, out);
         Ok(trigger_id)
     }
 
     /// Removes a standing query everywhere.
     pub fn drop_trigger(&mut self, trigger_id: u64, out: &mut Outbox<OverlayMsg<MindPayload>>) {
-        let events = self.overlay.flood(MindPayload::DropTrigger { trigger_id }, out);
+        let events = self
+            .overlay
+            .flood(MindPayload::DropTrigger { trigger_id }, out);
         self.process_events(0, events, out);
     }
 
@@ -437,10 +487,16 @@ impl MindNode {
     ) {
         for ev in events {
             match ev {
-                OverlayEvent::Delivered { target: _, hops, payload } => {
-                    self.on_routed(now, hops, payload, out)
+                OverlayEvent::Delivered {
+                    target: _,
+                    hops,
+                    payload,
+                } => {
+                    self.on_routed(now, hops, payload, out);
                 }
-                OverlayEvent::DirectDelivered { from, payload } => self.on_direct(now, from, payload, out),
+                OverlayEvent::DirectDelivered { from, payload } => {
+                    self.on_direct(now, from, payload, out);
+                }
                 OverlayEvent::FloodDelivered { payload } => self.on_flood(payload),
                 OverlayEvent::Undeliverable { target, .. } => {
                     self.metrics.undeliverable += 1;
@@ -453,7 +509,12 @@ impl MindNode {
                     // we attached to, and keep a pointer to it for the
                     // region's historical data until it ages.
                     self.handoff = Some((acceptor, now));
-                    out.send(acceptor, OverlayMsg::Direct { payload: MindPayload::CatalogRequest });
+                    out.send(
+                        acceptor,
+                        OverlayMsg::Direct {
+                            payload: MindPayload::CatalogRequest,
+                        },
+                    );
                 }
                 OverlayEvent::CodeChanged { .. }
                 | OverlayEvent::TookOver { .. }
@@ -464,13 +525,22 @@ impl MindNode {
 
     fn on_flood(&mut self, payload: MindPayload) {
         match payload {
-            MindPayload::CreateIndex { schema, cuts, replication } => {
+            MindPayload::CreateIndex {
+                schema,
+                cuts,
+                replication,
+            } => {
                 let tag = schema.tag.clone();
-                self.indexes
-                    .entry(tag)
-                    .or_insert_with(|| IndexState::new(schema, cuts, replication, self.cfg.hist_granularity));
+                self.indexes.entry(tag).or_insert_with(|| {
+                    IndexState::new(schema, cuts, replication, self.cfg.hist_granularity)
+                });
             }
-            MindPayload::NewVersion { index, version, from_ts, cuts } => {
+            MindPayload::NewVersion {
+                index,
+                version,
+                from_ts,
+                cuts,
+            } => {
                 if let Some(state) = self.indexes.get_mut(&index) {
                     state.install_version(version, from_ts, cuts);
                 }
@@ -497,21 +567,55 @@ impl MindNode {
         out: &mut Outbox<OverlayMsg<MindPayload>>,
     ) {
         match payload {
-            MindPayload::Insert { index, version, record, origin: _, sent_at } => {
+            MindPayload::Insert {
+                index,
+                version,
+                record,
+                origin: _,
+                sent_at,
+            } => {
                 self.metrics.insert_hops.push(hops);
                 self.enqueue(
                     now,
-                    DacJob::Insert { index, version, record, sent_at, is_replica: false },
+                    DacJob::Insert {
+                        index,
+                        version,
+                        record,
+                        sent_at,
+                        is_replica: false,
+                    },
                     out,
                 );
             }
-            MindPayload::RootQuery { query_id, index, version, rect, filters, origin } => {
+            MindPayload::RootQuery {
+                query_id,
+                index,
+                version,
+                rect,
+                filters,
+                origin,
+            } => {
                 self.split_root_query(now, query_id, &index, version, rect, filters, origin, out);
             }
-            MindPayload::SubQuery { query_id, index, version, code, rect, filters, origin } => {
-                self.on_subquery(now, query_id, index, version, code, rect, filters, origin, out);
+            MindPayload::SubQuery {
+                query_id,
+                index,
+                version,
+                code,
+                rect,
+                filters,
+                origin,
+            } => {
+                self.on_subquery(
+                    now, query_id, index, version, code, rect, filters, origin, out,
+                );
             }
-            MindPayload::HistReport { index, day, reporter: _, hist } => {
+            MindPayload::HistReport {
+                index,
+                day,
+                reporter: _,
+                hist,
+            } => {
                 self.on_hist_report(now, index, day, hist, out);
             }
             other => {
@@ -528,16 +632,30 @@ impl MindNode {
         out: &mut Outbox<OverlayMsg<MindPayload>>,
     ) {
         match payload {
-            MindPayload::Replica { index, version, record } => {
+            MindPayload::Replica {
+                index,
+                version,
+                record,
+            } => {
                 // Replica writes skip latency metrics and histogram
                 // accounting but share the DAC (they cost real work).
                 self.enqueue(
                     now,
-                    DacJob::Insert { index, version, record, sent_at: now, is_replica: true },
+                    DacJob::Insert {
+                        index,
+                        version,
+                        record,
+                        sent_at: now,
+                        is_replica: true,
+                    },
                     out,
                 );
             }
-            MindPayload::TriggerFired { trigger_id, at, record } => {
+            MindPayload::TriggerFired {
+                trigger_id,
+                at,
+                record,
+            } => {
                 self.trigger_log.push((trigger_id, at, record));
             }
             MindPayload::CatalogRequest => {
@@ -547,7 +665,11 @@ impl MindNode {
                     .map(|st| IndexDef {
                         schema: st.schema.clone(),
                         replication: st.replication,
-                        versions: st.versions.iter().map(|v| (v.from_ts, v.cuts.clone())).collect(),
+                        versions: st
+                            .versions
+                            .iter()
+                            .map(|v| (v.from_ts, v.cuts.clone()))
+                            .collect(),
                     })
                     .collect();
                 out.send(
@@ -565,7 +687,7 @@ impl MindNode {
                     let tag = def.schema.tag.clone();
                     let state = self.indexes.entry(tag).or_insert_with(|| {
                         let mut it = def.versions.iter();
-                        let (_, first_cuts) = it.next().expect("at least version 0").clone();
+                        let (_, first_cuts) = it.next().expect("at least version 0").clone(); // lint:allow(unwrap) catalog entries always carry version 0
                         IndexState::new(
                             def.schema.clone(),
                             first_cuts,
@@ -581,7 +703,14 @@ impl MindNode {
                     self.triggers.install(t);
                 }
             }
-            MindPayload::HandoffScan { handoff_id, index, version, code, rect, filters } => {
+            MindPayload::HandoffScan {
+                handoff_id,
+                index,
+                version,
+                code,
+                rect,
+                filters,
+            } => {
                 // Scan our retained historical rows for the joiner's
                 // region — primaries only: replica copies there are echoes
                 // of rows whose primaries already answer elsewhere (e.g.
@@ -590,10 +719,18 @@ impl MindNode {
                 let records = self.run_scan(&index, version, &code, &rect, &filters, true);
                 out.send(
                     from,
-                    OverlayMsg::Direct { payload: MindPayload::HandoffRecords { handoff_id, records } },
+                    OverlayMsg::Direct {
+                        payload: MindPayload::HandoffRecords {
+                            handoff_id,
+                            records,
+                        },
+                    },
                 );
             }
-            MindPayload::HandoffRecords { handoff_id, mut records } => {
+            MindPayload::HandoffRecords {
+                handoff_id,
+                mut records,
+            } => {
                 if let Some(p) = self.pending_handoffs.remove(&handoff_id) {
                     let mut merged = p.local;
                     merged.append(&mut records);
@@ -611,12 +748,23 @@ impl MindNode {
                     );
                 }
             }
-            MindPayload::QueryPlan { query_id, version, codes, replaces } => {
+            MindPayload::QueryPlan {
+                query_id,
+                version,
+                codes,
+                replaces,
+            } => {
                 if let Some(t) = self.queries.get_mut(&query_id) {
                     t.on_plan(now, version, codes, replaces);
                 }
             }
-            MindPayload::QueryResponse { query_id, version, code, responder, records } => {
+            MindPayload::QueryResponse {
+                query_id,
+                version,
+                code,
+                responder,
+                records,
+            } => {
                 if std::env::var_os("MIND_TRACE").is_some() && !records.is_empty() {
                     eprintln!(
                         "[resp] q{query_id} v{version} code={code} from {responder}: {} records",
@@ -654,7 +802,12 @@ impl MindNode {
             out.send(
                 origin,
                 OverlayMsg::Direct {
-                    payload: MindPayload::QueryPlan { query_id, version, codes: vec![], replaces: None },
+                    payload: MindPayload::QueryPlan {
+                        query_id,
+                        version,
+                        codes: vec![],
+                        replaces: None,
+                    },
                 },
             );
             return;
@@ -663,7 +816,12 @@ impl MindNode {
             out.send(
                 origin,
                 OverlayMsg::Direct {
-                    payload: MindPayload::QueryPlan { query_id, version, codes: vec![], replaces: None },
+                    payload: MindPayload::QueryPlan {
+                        query_id,
+                        version,
+                        codes: vec![],
+                        replaces: None,
+                    },
                 },
             );
             return;
@@ -676,7 +834,12 @@ impl MindNode {
         out.send(
             origin,
             OverlayMsg::Direct {
-                payload: MindPayload::QueryPlan { query_id, version, codes: codes.clone(), replaces: None },
+                payload: MindPayload::QueryPlan {
+                    query_id,
+                    version,
+                    codes: codes.clone(),
+                    replaces: None,
+                },
             },
         );
         for code in codes {
@@ -710,7 +873,9 @@ impl MindNode {
         out: &mut Outbox<OverlayMsg<MindPayload>>,
     ) {
         if self.overlay.should_answer(&code) {
-            self.on_subquery(now, query_id, index, version, code, rect, filters, origin, out);
+            self.on_subquery(
+                now, query_id, index, version, code, rect, filters, origin, out,
+            );
         } else {
             let payload = MindPayload::SubQuery {
                 query_id,
@@ -789,7 +954,15 @@ impl MindNode {
         }
         self.enqueue(
             now,
-            DacJob::Scan { query_id, index, version, code, rect, filters, origin },
+            DacJob::Scan {
+                query_id,
+                index,
+                version,
+                code,
+                rect,
+                filters,
+                origin,
+            },
             out,
         );
     }
@@ -829,14 +1002,22 @@ impl MindNode {
             return;
         };
         self.collect_keys.remove(&(index.clone(), day));
-        let Some(state) = self.indexes.get(&index) else { return };
+        let Some(state) = self.indexes.get(&index) else {
+            return;
+        };
         let bounds = state.schema.bounds();
         let cuts = CutTree::balanced_from_histogram(bounds, self.cfg.cut_depth, &hist);
         let version = state.versions.len() as u32;
         let from_ts = (day + 1) * self.cfg.day_len;
-        let events = self
-            .overlay
-            .flood(MindPayload::NewVersion { index, version, from_ts, cuts }, out);
+        let events = self.overlay.flood(
+            MindPayload::NewVersion {
+                index,
+                version,
+                from_ts,
+                cuts,
+            },
+            out,
+        );
         self.process_events(0, events, out);
     }
 
@@ -859,16 +1040,32 @@ impl MindNode {
         let mut cost: SimTime = cost_model.batch_overhead;
         let mut result = BatchResult::default();
         for _ in 0..self.cfg.dac_batch_size {
-            let Some(job) = self.dac_queue.pop_front() else { break };
+            let Some(job) = self.dac_queue.pop_front() else {
+                break;
+            };
             match job {
-                DacJob::Insert { index, version, record, sent_at, is_replica } => {
+                DacJob::Insert {
+                    index,
+                    version,
+                    record,
+                    sent_at,
+                    is_replica,
+                } => {
                     cost += cost_model.per_insert;
                     self.apply_insert(&index, version, record, is_replica, &mut result);
                     if !is_replica {
                         result.insert_sent_ats.push(sent_at);
                     }
                 }
-                DacJob::Scan { query_id, index, version, code, rect, filters, origin } => {
+                DacJob::Scan {
+                    query_id,
+                    index,
+                    version,
+                    code,
+                    rect,
+                    filters,
+                    origin,
+                } => {
                     let records = self.run_scan(&index, version, &code, &rect, &filters, false);
                     cost += cost_model.per_query + cost_model.per_result * records.len() as SimTime;
                     self.metrics.subqueries_answered += 1;
@@ -881,7 +1078,13 @@ impl MindNode {
                             self.handoff_seq += 1;
                             self.pending_handoffs.insert(
                                 handoff_id,
-                                PendingHandoff { query_id, version, code, origin, local: records },
+                                PendingHandoff {
+                                    query_id,
+                                    version,
+                                    code,
+                                    origin,
+                                    local: records,
+                                },
                             );
                             result.sends.push((
                                 sibling,
@@ -900,7 +1103,13 @@ impl MindNode {
                     }
                     result.sends.push((
                         origin,
-                        MindPayload::QueryResponse { query_id, version, code, responder: self.id, records },
+                        MindPayload::QueryResponse {
+                            query_id,
+                            version,
+                            code,
+                            responder: self.id,
+                            records,
+                        },
                     ));
                 }
             }
@@ -923,7 +1132,9 @@ impl MindNode {
         is_replica: bool,
         result: &mut BatchResult,
     ) {
-        let Some(state) = self.indexes.get_mut(index) else { return };
+        let Some(state) = self.indexes.get_mut(index) else {
+            return;
+        };
         let dims = state.schema.indexed_dims;
         if !is_replica {
             state.day_histogram.add(record.point(dims));
@@ -931,12 +1142,18 @@ impl MindNode {
             for (trigger_id, origin) in self.triggers.fired(index, &record, dims) {
                 result.sends.push((
                     origin,
-                    MindPayload::TriggerFired { trigger_id, at: self.id, record: record.clone() },
+                    MindPayload::TriggerFired {
+                        trigger_id,
+                        at: self.id,
+                        record: record.clone(),
+                    },
                 ));
             }
         }
         let replication = state.replication;
-        let Some(ver) = state.version_mut(version) else { return };
+        let Some(ver) = state.version_mut(version) else {
+            return;
+        };
         if is_replica {
             ver.replica_rows += 1;
             ver.replicas.insert(record);
@@ -953,7 +1170,11 @@ impl MindNode {
         for t in targets {
             result.sends.push((
                 t,
-                MindPayload::Replica { index: index.to_string(), version, record: record.clone() },
+                MindPayload::Replica {
+                    index: index.to_string(),
+                    version,
+                    record: record.clone(),
+                },
             ));
         }
     }
@@ -967,25 +1188,43 @@ impl MindNode {
         filters: &[CarriedFilter],
         primary_only: bool,
     ) -> Vec<Record> {
-        let Some(state) = self.indexes.get_mut(index) else { return Vec::new() };
-        let Some(ver) = state.version_mut(version) else { return Vec::new() };
+        let Some(state) = self.indexes.get_mut(index) else {
+            return Vec::new();
+        };
+        let Some(ver) = state.version_mut(version) else {
+            return Vec::new();
+        };
         // Clip to the sub-query's region so that (a) covering regions
         // never overlap and (b) replica rows are only returned by the node
         // that took the region over.
         let region = ver.cuts.rect_for_code(code);
-        let Some(clip) = region.intersection(rect) else { return Vec::new() };
+        let Some(clip) = region.intersection(rect) else {
+            return Vec::new();
+        };
         let accept = |r: &Record| filters.iter().all(|f| f.accepts(r));
-        let mut out: Vec<Record> = ver.primary.range_records(&clip).into_iter().filter(accept).collect();
+        let mut out: Vec<Record> = ver
+            .primary
+            .range_records(&clip)
+            .into_iter()
+            .filter(accept)
+            .collect();
         if !primary_only {
             out.extend(ver.replicas.range_records(&clip).into_iter().filter(accept));
         }
         out
     }
 
-    fn release_batch(&mut self, now: SimTime, batch_id: u64, out: &mut Outbox<OverlayMsg<MindPayload>>) {
+    fn release_batch(
+        &mut self,
+        now: SimTime,
+        batch_id: u64,
+        out: &mut Outbox<OverlayMsg<MindPayload>>,
+    ) {
         if let Some(result) = self.pending_batches.remove(&batch_id) {
             for sent_at in result.insert_sent_ats {
-                self.metrics.insert_latencies.push((now, now.saturating_sub(sent_at)));
+                self.metrics
+                    .insert_latencies
+                    .push((now, now.saturating_sub(sent_at)));
             }
             for (dest, payload) in result.sends {
                 if dest == self.id {
@@ -1007,17 +1246,24 @@ impl MindNode {
     pub fn dac_pending(&self) -> usize {
         self.dac_queue.len()
     }
-
 }
 
 impl NodeLogic for MindNode {
     type Msg = OverlayMsg<MindPayload>;
 
     fn on_start(&mut self, now: SimTime, out: &mut Outbox<Self::Msg>) {
-        self.overlay.on_start(now, out);
+        if self.overlay.on_start(now, out) {
+            self.reset_after_restart();
+        }
     }
 
-    fn on_message(&mut self, now: SimTime, from: NodeId, msg: Self::Msg, out: &mut Outbox<Self::Msg>) {
+    fn on_message(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        msg: Self::Msg,
+        out: &mut Outbox<Self::Msg>,
+    ) {
         let events = self.overlay.handle(now, from, msg, out);
         self.process_events(now, events, out);
     }

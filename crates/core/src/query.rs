@@ -52,7 +52,13 @@ impl QueryTracker {
     /// Absorbs a plan for one version. A refinement plan (`replaces`
     /// set) atomically marks the coarser region answered and expects its
     /// finer pieces instead.
-    pub fn on_plan(&mut self, now: SimTime, version: u32, codes: Vec<BitCode>, replaces: Option<BitCode>) {
+    pub fn on_plan(
+        &mut self,
+        now: SimTime,
+        version: u32,
+        codes: Vec<BitCode>,
+        replaces: Option<BitCode>,
+    ) {
         if self.done() {
             return;
         }
@@ -98,8 +104,7 @@ impl QueryTracker {
     }
 
     fn maybe_complete(&mut self, now: SimTime) {
-        if self.plans_pending.is_empty()
-            && self.expected.iter().all(|k| self.answered.contains(k))
+        if self.plans_pending.is_empty() && self.expected.iter().all(|k| self.answered.contains(k))
         {
             self.completed_at = Some(now);
         }
@@ -184,7 +189,11 @@ mod tests {
         t.on_plan(1, 0, vec![code("0"), code("1")], None);
         t.on_response(2, 0, code("0"), NodeId(1), vec![Record::new(vec![1])]);
         t.on_response(3, 0, code("0"), NodeId(1), vec![Record::new(vec![1])]);
-        assert_eq!(t.records.len(), 1, "duplicate region answer must not double-count");
+        assert_eq!(
+            t.records.len(),
+            1,
+            "duplicate region answer must not double-count"
+        );
         assert!(!t.done());
     }
 

@@ -121,18 +121,30 @@ mod tests {
     fn fires_only_in_rect() {
         let mut s = TriggerSet::new();
         s.install(trig(1, 10, 20));
-        assert_eq!(s.fired("i", &Record::new(vec![15, 5, 99]), 2), vec![(1, NodeId(7))]);
+        assert_eq!(
+            s.fired("i", &Record::new(vec![15, 5, 99]), 2),
+            vec![(1, NodeId(7))]
+        );
         assert!(s.fired("i", &Record::new(vec![25, 5, 99]), 2).is_empty());
-        assert!(s.fired("other", &Record::new(vec![15, 5, 99]), 2).is_empty());
+        assert!(s
+            .fired("other", &Record::new(vec![15, 5, 99]), 2)
+            .is_empty());
     }
 
     #[test]
     fn filters_apply() {
         let mut s = TriggerSet::new();
         let mut t = trig(2, 0, 100);
-        t.filters.push(CarriedFilter { attr: 2, lo: 50, hi: 60 });
+        t.filters.push(CarriedFilter {
+            attr: 2,
+            lo: 50,
+            hi: 60,
+        });
         s.install(t);
-        assert!(s.fired("i", &Record::new(vec![5, 5, 10]), 2).is_empty(), "filter must reject");
+        assert!(
+            s.fired("i", &Record::new(vec![5, 5, 10]), 2).is_empty(),
+            "filter must reject"
+        );
         assert_eq!(s.fired("i", &Record::new(vec![5, 5, 55]), 2).len(), 1);
     }
 

@@ -67,19 +67,31 @@ fn insert_from_every_node_and_query_recall() {
         cluster.run_for(SECONDS / 2);
     }
     cluster.run_for(60 * SECONDS);
-    assert_eq!(cluster.total_primary_rows("flows"), 160, "every record must be stored once");
+    assert_eq!(
+        cluster.total_primary_rows("flows"),
+        160,
+        "every record must be stored once"
+    );
     // Range query over x ∈ [100, 500], full time and size range.
     let q = HyperRect::new(vec![100, 0, 0], vec![500, 86_400 * 7, 1 << 20]);
-    let outcome = cluster.query_and_wait(NodeId(3), "flows", q, vec![]).unwrap();
+    let outcome = cluster
+        .query_and_wait(NodeId(3), "flows", q, vec![])
+        .unwrap();
     assert!(outcome.complete, "query must complete");
-    assert_eq!(outcome.records.len() as u64, expected_in_range, "perfect recall expected");
+    assert_eq!(
+        outcome.records.len() as u64,
+        expected_in_range,
+        "perfect recall expected"
+    );
     assert!(outcome.cost_nodes >= 1);
 }
 
 #[test]
 fn point_query_and_empty_query() {
     let mut cluster = cluster_with_index(8, 3, Replication::None);
-    cluster.insert(NodeId(1), "flows", rec(42, 500, 1000, 7)).unwrap();
+    cluster
+        .insert(NodeId(1), "flows", rec(42, 500, 1000, 7))
+        .unwrap();
     cluster.run_for(30 * SECONDS);
     let hit = cluster
         .query_and_wait(
@@ -108,13 +120,24 @@ fn point_query_and_empty_query() {
 fn carried_filters_apply_at_responders() {
     let mut cluster = cluster_with_index(8, 4, Replication::None);
     for i in 0..40u64 {
-        cluster.insert(NodeId(0), "flows", rec(i * 20, 100, 50, i % 4)).unwrap();
+        cluster
+            .insert(NodeId(0), "flows", rec(i * 20, 100, 50, i % 4))
+            .unwrap();
         cluster.run_for(SECONDS / 4);
     }
     cluster.run_for(30 * SECONDS);
     let q = HyperRect::new(vec![0, 0, 0], vec![1023, 86_400 * 7, 1 << 20]);
     let filtered = cluster
-        .query_and_wait(NodeId(2), "flows", q, vec![CarriedFilter { attr: 3, lo: 2, hi: 2 }])
+        .query_and_wait(
+            NodeId(2),
+            "flows",
+            q,
+            vec![CarriedFilter {
+                attr: 3,
+                lo: 2,
+                hi: 2,
+            }],
+        )
         .unwrap();
     assert!(filtered.complete);
     assert_eq!(filtered.records.len(), 10, "only carried == 2 records pass");
@@ -148,20 +171,28 @@ fn replication_survives_node_failure() {
     let mut cluster = cluster_with_index(16, 7, Replication::Level(1));
     for i in 0..100u64 {
         cluster
-            .insert(NodeId((i % 16) as u32), "flows", rec((i * 41) % 1024, 100 + i, 10, i))
+            .insert(
+                NodeId((i % 16) as u32),
+                "flows",
+                rec((i * 41) % 1024, 100 + i, 10, i),
+            )
             .unwrap();
         cluster.run_for(SECONDS / 2);
     }
     cluster.run_for(60 * SECONDS);
     // Baseline recall before the failure.
     let q = HyperRect::new(vec![0, 0, 0], vec![1023, 86_400 * 7, 1 << 20]);
-    let before = cluster.query_and_wait(NodeId(0), "flows", q.clone(), vec![]).unwrap();
+    let before = cluster
+        .query_and_wait(NodeId(0), "flows", q.clone(), vec![])
+        .unwrap();
     assert!(before.complete);
     assert_eq!(before.records.len(), 100);
     // Kill one non-origin node and let the overlay detect + take over.
     cluster.crash(NodeId(9));
     cluster.run_for(60 * SECONDS);
-    let after = cluster.query_and_wait(NodeId(0), "flows", q, vec![]).unwrap();
+    let after = cluster
+        .query_and_wait(NodeId(0), "flows", q, vec![])
+        .unwrap();
     assert!(after.complete, "query should complete after takeover");
     assert_eq!(
         after.records.len(),
@@ -175,18 +206,29 @@ fn no_replication_loses_data_on_failure() {
     let mut cluster = cluster_with_index(16, 8, Replication::None);
     for i in 0..100u64 {
         cluster
-            .insert(NodeId((i % 16) as u32), "flows", rec((i * 41) % 1024, 100 + i, 10, i))
+            .insert(
+                NodeId((i % 16) as u32),
+                "flows",
+                rec((i * 41) % 1024, 100 + i, 10, i),
+            )
             .unwrap();
         cluster.run_for(SECONDS / 2);
     }
     cluster.run_for(60 * SECONDS);
     let victim = NodeId(9);
-    let lost = cluster.world().node(victim).index_state("flows").unwrap().primary_rows();
+    let lost = cluster
+        .world()
+        .node(victim)
+        .index_state("flows")
+        .unwrap()
+        .primary_rows();
     assert!(lost > 0, "test needs the victim to hold data");
     cluster.crash(victim);
     cluster.run_for(60 * SECONDS);
     let q = HyperRect::new(vec![0, 0, 0], vec![1023, 86_400 * 7, 1 << 20]);
-    let after = cluster.query_and_wait(NodeId(0), "flows", q, vec![]).unwrap();
+    let after = cluster
+        .query_and_wait(NodeId(0), "flows", q, vec![])
+        .unwrap();
     assert_eq!(
         after.records.len() as u64,
         100 - lost,
@@ -198,7 +240,9 @@ fn no_replication_loses_data_on_failure() {
 fn insert_latencies_recorded_with_hops() {
     let mut cluster = cluster_with_index(16, 9, Replication::None);
     for i in 0..50u64 {
-        cluster.insert(NodeId(0), "flows", rec((i * 101) % 1024, i, 10, 0)).unwrap();
+        cluster
+            .insert(NodeId(0), "flows", rec((i * 101) % 1024, i, 10, 0))
+            .unwrap();
         cluster.run_for(SECONDS / 4);
     }
     cluster.run_for(60 * SECONDS);
@@ -217,7 +261,11 @@ fn daily_histogram_collection_installs_new_version() {
     // Day-0 data: skewed cluster near x ∈ [0, 100].
     for i in 0..200u64 {
         cluster
-            .insert(NodeId((i % 8) as u32), "flows", rec(i % 100, i % 86_400, 10, 0))
+            .insert(
+                NodeId((i % 8) as u32),
+                "flows",
+                rec(i % 100, i % 86_400, 10, 0),
+            )
             .unwrap();
         if i % 10 == 0 {
             cluster.run_for(SECONDS);
@@ -228,14 +276,22 @@ fn daily_histogram_collection_installs_new_version() {
     cluster.report_day_histograms("flows", 0);
     cluster.run_for(120 * SECONDS);
     for k in 0..8 {
-        let st = cluster.world().node(NodeId(k)).index_state("flows").unwrap();
+        let st = cluster
+            .world()
+            .node(NodeId(k))
+            .index_state("flows")
+            .unwrap();
         assert_eq!(st.versions.len(), 2, "node {k} missing the new version");
         assert_eq!(st.versions[1].from_ts, 86_400);
     }
     // Day-1 records (ts ≥ 86 400) go to version 1.
     for i in 0..100u64 {
         cluster
-            .insert(NodeId((i % 8) as u32), "flows", rec(i % 100, 86_400 + i, 10, 0))
+            .insert(
+                NodeId((i % 8) as u32),
+                "flows",
+                rec(i % 100, 86_400 + i, 10, 0),
+            )
             .unwrap();
         if i % 10 == 0 {
             cluster.run_for(SECONDS);
@@ -256,7 +312,9 @@ fn daily_histogram_collection_installs_new_version() {
     assert_eq!(v1_rows, 100, "day-1 rows must land in version 1");
     // A query spanning the day boundary consults both versions.
     let q = HyperRect::new(vec![0, 86_000, 0], vec![1023, 87_000, 1 << 20]);
-    let o = cluster.query_and_wait(NodeId(3), "flows", q, vec![]).unwrap();
+    let o = cluster
+        .query_and_wait(NodeId(3), "flows", q, vec![])
+        .unwrap();
     assert!(o.complete);
     let expected = (86_000..86_400).len() as usize; // day-0 records with ts in [86000, 86400): i%86400 in that range for i in 0..200 -> none
     let _ = expected;
@@ -281,11 +339,17 @@ fn balanced_cuts_beat_even_cuts_on_skewed_data() {
 
     let run = |cuts: CutTree| -> Vec<u64> {
         let mut cluster = MindCluster::new(ClusterConfig::planetlab(16, 11));
-        cluster.create_index(NodeId(0), test_schema(), cuts, Replication::None).unwrap();
+        cluster
+            .create_index(NodeId(0), test_schema(), cuts, Replication::None)
+            .unwrap();
         cluster.run_for(30 * SECONDS);
         for (i, p) in mk_points().into_iter().enumerate() {
             cluster
-                .insert(NodeId((i % 16) as u32), "flows", Record::new(vec![p[0], p[1], p[2], 0]))
+                .insert(
+                    NodeId((i % 16) as u32),
+                    "flows",
+                    Record::new(vec![p[0], p[1], p[2], 0]),
+                )
                 .unwrap();
             if i % 20 == 0 {
                 cluster.run_for(SECONDS);

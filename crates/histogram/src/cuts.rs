@@ -116,7 +116,11 @@ impl CutTree {
 
     /// The code of the leaf region containing `point` (clamped to bounds).
     pub fn code_for_point(&self, point: &[Value]) -> BitCode {
-        assert_eq!(point.len(), self.bounds.dims(), "point dimensionality mismatch");
+        assert_eq!(
+            point.len(),
+            self.bounds.dims(),
+            "point dimensionality mismatch"
+        );
         let mut p = point.to_vec();
         self.bounds.clamp_point(&mut p);
         let mut code = BitCode::ROOT;
@@ -124,7 +128,12 @@ impl CutTree {
         loop {
             match node {
                 Node::Leaf => return code,
-                Node::Split { dim, threshold, low, high } => {
+                Node::Split {
+                    dim,
+                    threshold,
+                    low,
+                    high,
+                } => {
                     if p[*dim] <= *threshold {
                         code = code.child(false);
                         node = low;
@@ -147,7 +156,12 @@ impl CutTree {
         for bit in code.iter_bits() {
             match node {
                 Node::Leaf => break,
-                Node::Split { dim, threshold, low, high } => {
+                Node::Split {
+                    dim,
+                    threshold,
+                    low,
+                    high,
+                } => {
                     let (lo_rect, hi_rect) = rect.split_at(*dim, *threshold);
                     if bit {
                         rect = hi_rect;
@@ -185,7 +199,14 @@ impl CutTree {
         let Some(clipped) = self.bounds.intersection(query) else {
             return out;
         };
-        cover(&self.root, &self.bounds, &clipped, BitCode::ROOT, min_len, &mut out);
+        cover(
+            &self.root,
+            &self.bounds,
+            &clipped,
+            BitCode::ROOT,
+            min_len,
+            &mut out,
+        );
         out
     }
 
@@ -201,7 +222,12 @@ impl CutTree {
         loop {
             match node {
                 Node::Leaf => return Some(code),
-                Node::Split { dim, threshold, low, high } => {
+                Node::Split {
+                    dim,
+                    threshold,
+                    low,
+                    high,
+                } => {
                     let (lo_rect, hi_rect) = rect.split_at(*dim, *threshold);
                     let in_lo = lo_rect.intersects(&clipped);
                     let in_hi = hi_rect.intersects(&clipped);
@@ -256,8 +282,11 @@ impl CutTree {
     /// (in leaf order) — the storage-balance measurement behind Figure 13.
     pub fn leaf_occupancy(&self, points: impl Iterator<Item = Vec<Value>>) -> Vec<u64> {
         let leaves = self.leaves();
-        let index: std::collections::HashMap<BitCode, usize> =
-            leaves.iter().enumerate().map(|(i, (c, _))| (*c, i)).collect();
+        let index: std::collections::HashMap<BitCode, usize> = leaves
+            .iter()
+            .enumerate()
+            .map(|(i, (c, _))| (*c, i))
+            .collect();
         let mut counts = vec![0u64; leaves.len()];
         for p in points {
             let code = self.code_for_point(&p);
@@ -293,7 +322,12 @@ fn build_even(rect: &HyperRect, level: u8, depth: u8) -> Node {
     }
 }
 
-fn build_balanced_points(rect: &HyperRect, level: u8, depth: u8, points: &mut Vec<Vec<Value>>) -> Node {
+fn build_balanced_points(
+    rect: &HyperRect,
+    level: u8,
+    depth: u8,
+    points: &mut Vec<Vec<Value>>,
+) -> Node {
     if level >= depth {
         return Node::Leaf;
     }
@@ -307,8 +341,18 @@ fn build_balanced_points(rect: &HyperRect, level: u8, depth: u8, points: &mut Ve
     Node::Split {
         dim,
         threshold,
-        low: Box::new(build_balanced_points(&lo_rect, level + 1, depth, &mut lo_pts)),
-        high: Box::new(build_balanced_points(&hi_rect, level + 1, depth, &mut hi_pts)),
+        low: Box::new(build_balanced_points(
+            &lo_rect,
+            level + 1,
+            depth,
+            &mut lo_pts,
+        )),
+        high: Box::new(build_balanced_points(
+            &hi_rect,
+            level + 1,
+            depth,
+            &mut hi_pts,
+        )),
     }
 }
 
@@ -332,7 +376,11 @@ fn median_threshold(rect: &HyperRect, dim: usize, points: &[Vec<Value>]) -> Opti
         let l = left(t);
         (2 * l).abs_diff(n)
     };
-    let best = if imbalance(alt) < imbalance(med) { alt } else { med };
+    let best = if imbalance(alt) < imbalance(med) {
+        alt
+    } else {
+        med
+    };
     // If every point is on one side, the cut gives no balance: report None
     // so the caller can fall back to a midpoint cut.
     let l = left(best);
@@ -379,8 +427,20 @@ fn build_balanced_hist(
     Node::Split {
         dim,
         threshold,
-        low: Box::new(build_balanced_hist(&lo_rect, level + 1, depth, &lo_bins, hist)),
-        high: Box::new(build_balanced_hist(&hi_rect, level + 1, depth, &hi_bins, hist)),
+        low: Box::new(build_balanced_hist(
+            &lo_rect,
+            level + 1,
+            depth,
+            &lo_bins,
+            hist,
+        )),
+        high: Box::new(build_balanced_hist(
+            &hi_rect,
+            level + 1,
+            depth,
+            &hi_bins,
+            hist,
+        )),
     }
 }
 
@@ -414,7 +474,7 @@ fn histogram_median_boundary(
             break; // a cut at or past the high edge is not interior
         }
         let imbalance = (2 * cum).abs_diff(total);
-        if best.is_none() || imbalance < best.unwrap().0 {
+        if best.is_none_or(|(b, _)| imbalance < b) {
             best = Some((imbalance, end));
         }
         if cum > half {
@@ -438,7 +498,12 @@ fn cover(
     }
     match node {
         Node::Leaf => out.push(code),
-        Node::Split { dim, threshold, low, high } => {
+        Node::Split {
+            dim,
+            threshold,
+            low,
+            high,
+        } => {
             let (lo_rect, hi_rect) = rect.split_at(*dim, *threshold);
             if lo_rect.intersects(query) {
                 cover(low, &lo_rect, query, code.child(false), min_len, out);
@@ -450,10 +515,20 @@ fn cover(
     }
 }
 
-fn collect_leaves(node: &Node, rect: &HyperRect, code: BitCode, out: &mut Vec<(BitCode, HyperRect)>) {
+fn collect_leaves(
+    node: &Node,
+    rect: &HyperRect,
+    code: BitCode,
+    out: &mut Vec<(BitCode, HyperRect)>,
+) {
     match node {
         Node::Leaf => out.push((code, rect.clone())),
-        Node::Split { dim, threshold, low, high } => {
+        Node::Split {
+            dim,
+            threshold,
+            low,
+            high,
+        } => {
             let (lo_rect, hi_rect) = rect.split_at(*dim, *threshold);
             collect_leaves(low, &lo_rect, code.child(false), out);
             collect_leaves(high, &hi_rect, code.child(true), out);
@@ -532,8 +607,16 @@ mod tests {
         let refs: Vec<&[Value]> = pts.iter().map(|p| p.as_slice()).collect();
         let bal = CutTree::balanced_from_points(bounds2(), 3, &refs);
         let even = CutTree::even(bounds2(), 3);
-        let bal_max = *bal.leaf_occupancy(pts.iter().cloned()).iter().max().unwrap();
-        let even_max = *even.leaf_occupancy(pts.iter().cloned()).iter().max().unwrap();
+        let bal_max = *bal
+            .leaf_occupancy(pts.iter().cloned())
+            .iter()
+            .max()
+            .unwrap();
+        let even_max = *even
+            .leaf_occupancy(pts.iter().cloned())
+            .iter()
+            .max()
+            .unwrap();
         assert!(
             bal_max < even_max / 2,
             "balanced max {bal_max} not much better than even max {even_max}"
@@ -612,10 +695,7 @@ mod tests {
     }
 
     fn arb_points() -> impl Strategy<Value = Vec<Vec<Value>>> {
-        prop::collection::vec(
-            prop::collection::vec(0u64..=1023, 2),
-            1..200,
-        )
+        prop::collection::vec(prop::collection::vec(0u64..=1023, 2), 1..200)
     }
 
     proptest! {

@@ -38,12 +38,20 @@ impl GridHistogram {
     /// two, or exceeds 256. Power-of-two granularity keeps bin boundaries
     /// aligned with recursive binary cuts.
     pub fn new(bounds: HyperRect, granularity: u32) -> Self {
-        assert!(bounds.dims() <= MAX_DIMS, "at most {MAX_DIMS} dimensions supported");
         assert!(
-            granularity >= 2 && granularity <= MAX_GRANULARITY && granularity.is_power_of_two(),
+            bounds.dims() <= MAX_DIMS,
+            "at most {MAX_DIMS} dimensions supported"
+        );
+        assert!(
+            (2..=MAX_GRANULARITY).contains(&granularity) && granularity.is_power_of_two(),
             "granularity must be a power of two in 2..=256, got {granularity}"
         );
-        GridHistogram { bounds, granularity, bins: HashMap::new(), total: 0 }
+        GridHistogram {
+            bounds,
+            granularity,
+            bins: HashMap::new(),
+            total: 0,
+        }
     }
 
     /// The domain this histogram covers.
@@ -105,7 +113,11 @@ impl GridHistogram {
 
     /// Records `n` tuples at `point`.
     pub fn add_n(&mut self, point: &[Value], n: u64) {
-        assert_eq!(point.len(), self.bounds.dims(), "point dimensionality mismatch");
+        assert_eq!(
+            point.len(),
+            self.bounds.dims(),
+            "point dimensionality mismatch"
+        );
         let coords: Vec<u64> = (0..point.len()).map(|d| self.coord(d, point[d])).collect();
         let key = self.pack(&coords);
         *self.bins.entry(key).or_insert(0) += n;
@@ -121,7 +133,10 @@ impl GridHistogram {
     /// Panics if bounds or granularity differ.
     pub fn merge(&mut self, other: &GridHistogram) {
         assert_eq!(self.bounds, other.bounds, "histogram bounds mismatch");
-        assert_eq!(self.granularity, other.granularity, "histogram granularity mismatch");
+        assert_eq!(
+            self.granularity, other.granularity,
+            "histogram granularity mismatch"
+        );
         for (&k, &v) in &other.bins {
             *self.bins.entry(k).or_insert(0) += v;
         }

@@ -23,7 +23,11 @@ use std::collections::HashSet;
 /// Panics if the histograms differ in bounds or granularity.
 pub fn mismatch(a: &GridHistogram, b: &GridHistogram) -> u64 {
     assert_eq!(a.bounds(), b.bounds(), "histogram bounds mismatch");
-    assert_eq!(a.granularity(), b.granularity(), "histogram granularity mismatch");
+    assert_eq!(
+        a.granularity(),
+        b.granularity(),
+        "histogram granularity mismatch"
+    );
     let mut keys: HashSet<Vec<u64>> = HashSet::new();
     for (coords, _) in a.iter() {
         keys.insert(coords);
@@ -124,6 +128,9 @@ mod tests {
         let fine = mismatch_fraction(&mk(64, 0), &mk(64, 256));
         assert_eq!(coarse, 0.0, "both clusters share the coarse bin");
         assert!(fine >= coarse);
-        assert!(fine > 0.5, "fine-grained mismatch should be large, got {fine}");
+        assert!(
+            fine > 0.5,
+            "fine-grained mismatch should be large, got {fine}"
+        );
     }
 }

@@ -13,7 +13,10 @@ pub const MAX_FRAME: usize = 64 << 20;
 /// Writes one frame.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     if payload.len() > MAX_FRAME {
-        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame too large",
+        ));
     }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
@@ -30,7 +33,10 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     }
     let len = u32::from_le_bytes(len_buf) as usize;
     if len > MAX_FRAME {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds cap"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds cap",
+        ));
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;

@@ -30,8 +30,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// A closure run on the hosted node by the driver thread.
+type InvokeFn<L> = Box<dyn FnOnce(&mut L, SimTime, &mut Outbox<<L as NodeLogic>::Msg>) + Send>;
+
 enum Cmd<L: NodeLogic> {
-    Invoke(Box<dyn FnOnce(&mut L, SimTime, &mut Outbox<L::Msg>) + Send>),
+    Invoke(InvokeFn<L>),
     Inbound(NodeId, L::Msg),
     Shutdown,
 }
@@ -85,7 +88,8 @@ where
                                         Ok(Some(bytes)) => {
                                             match from_bytes::<(NodeId, L::Msg)>(&bytes) {
                                                 Ok((from, msg)) => {
-                                                    if cmd_tx.send(Cmd::Inbound(from, msg)).is_err() {
+                                                    if cmd_tx.send(Cmd::Inbound(from, msg)).is_err()
+                                                    {
                                                         break;
                                                     }
                                                 }
@@ -96,10 +100,10 @@ where
                                     }
                                 }
                             })
-                            .expect("spawn reader");
+                            .expect("spawn reader"); // lint:allow(unwrap) thread-spawn failure is fatal for the host
                     }
                 })
-                .expect("spawn listener");
+                .expect("spawn listener"); // lint:allow(unwrap) thread-spawn failure is fatal for the host
         }
 
         // Driver thread.
@@ -108,10 +112,16 @@ where
             std::thread::Builder::new()
                 .name(format!("mind-drive-{}", id.0))
                 .spawn(move || driver_loop(id, logic, cmd_rx, peers, stop))
-                .expect("spawn driver")
+                .expect("spawn driver") // lint:allow(unwrap) thread-spawn failure is fatal for the host
         };
 
-        Ok(TcpHost { id, cmd_tx, driver: Some(driver), listen_addr, stop })
+        Ok(TcpHost {
+            id,
+            cmd_tx,
+            driver: Some(driver),
+            listen_addr,
+            stop,
+        })
     }
 
     /// This host's node id.
@@ -136,8 +146,8 @@ where
             .send(Cmd::Invoke(Box::new(move |logic, now, out| {
                 let _ = tx.send(f(logic, now, out));
             })))
-            .expect("driver alive");
-        rx.recv().expect("driver answered")
+            .expect("driver alive"); // lint:allow(unwrap) invoke on a shut-down host is a caller bug
+        rx.recv().expect("driver answered") // lint:allow(unwrap) driver replies unless it panicked
     }
 
     /// Stops the driver and returns the final logic state.
@@ -146,7 +156,10 @@ where
         let _ = self.cmd_tx.send(Cmd::Shutdown);
         // Unblock the accept loop.
         let _ = TcpStream::connect(self.listen_addr);
-        self.driver.take().expect("not yet joined").join().expect("driver panicked")
+        // lint:allow(unwrap) shutdown consumes self; only callable once
+        let driver = self.driver.take().expect("not yet joined");
+        // lint:allow(unwrap) surfacing a driver panic is correct
+        driver.join().expect("driver panicked")
     }
 }
 
@@ -192,12 +205,14 @@ impl Conns {
     fn send(&self, to: NodeId, frame: &[u8]) {
         let mut streams = self.streams.lock();
         for attempt in 0..2 {
-            if !streams.contains_key(&to) {
-                let Some(addr) = self.peers.get(&to) else { return };
+            if let std::collections::hash_map::Entry::Vacant(slot) = streams.entry(to) {
+                let Some(addr) = self.peers.get(&to) else {
+                    return;
+                };
                 match TcpStream::connect_timeout(addr, Duration::from_millis(500)) {
                     Ok(s) => {
                         let _ = s.set_nodelay(true);
-                        streams.insert(to, BufWriter::new(s));
+                        slot.insert(BufWriter::new(s));
                     }
                     Err(_) => return,
                 }
@@ -230,11 +245,17 @@ where
 {
     let epoch = Instant::now();
     let now = || epoch.elapsed().as_micros() as SimTime;
-    let conns = Conns { peers, streams: Mutex::new(HashMap::new()) };
+    let conns = Conns {
+        peers,
+        streams: Mutex::new(HashMap::new()),
+    };
     let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
     let mut timer_seq = 0u64;
 
-    let flush = |out: &mut Outbox<L::Msg>, timers: &mut BinaryHeap<TimerEntry>, timer_seq: &mut u64, t: SimTime| {
+    let flush = |out: &mut Outbox<L::Msg>,
+                 timers: &mut BinaryHeap<TimerEntry>,
+                 timer_seq: &mut u64,
+                 t: SimTime| {
         let (sends, new_timers) = out.drain();
         for (to, msg) in sends {
             if let Ok(frame) = to_bytes(&(id, msg)) {
@@ -242,7 +263,11 @@ where
             }
         }
         for (delay, token) in new_timers {
-            timers.push(TimerEntry { deadline: t + delay, seq: *timer_seq, token });
+            timers.push(TimerEntry {
+                deadline: t + delay,
+                seq: *timer_seq,
+                token,
+            });
             *timer_seq += 1;
         }
     };
@@ -258,8 +283,8 @@ where
         }
         // Fire due timers.
         let t = now();
-        while timers.peek().map(|e| e.deadline <= t).unwrap_or(false) {
-            let e = timers.pop().unwrap();
+        while timers.peek().is_some_and(|e| e.deadline <= t) {
+            let Some(e) = timers.pop() else { break };
             let mut out = Outbox::new();
             logic.on_timer(now(), e.token, &mut out);
             flush(&mut out, &mut timers, &mut timer_seq, now());
@@ -329,8 +354,26 @@ mod tests {
             (NodeId(1), l1.local_addr().unwrap()),
         ]
         .into();
-        let a = TcpHost::spawn(NodeId(0), l0, peers.clone(), Echo { got: vec![], timer_fired: false }).unwrap();
-        let b = TcpHost::spawn(NodeId(1), l1, peers, Echo { got: vec![], timer_fired: false }).unwrap();
+        let a = TcpHost::spawn(
+            NodeId(0),
+            l0,
+            peers.clone(),
+            Echo {
+                got: vec![],
+                timer_fired: false,
+            },
+        )
+        .unwrap();
+        let b = TcpHost::spawn(
+            NodeId(1),
+            l1,
+            peers,
+            Echo {
+                got: vec![],
+                timer_fired: false,
+            },
+        )
+        .unwrap();
         (a, b)
     }
 
@@ -349,7 +392,10 @@ mod tests {
             std::thread::sleep(Duration::from_millis(20));
         }
         let a_logic = a.shutdown();
-        assert_eq!(a_logic.got.iter().map(|&(_, v)| v).collect::<Vec<_>>(), vec![99]);
+        assert_eq!(
+            a_logic.got.iter().map(|&(_, v)| v).collect::<Vec<_>>(),
+            vec![99]
+        );
         assert!(a_logic.timer_fired, "timers must fire on the real clock");
         drop(b);
     }
@@ -361,7 +407,16 @@ mod tests {
         peers.insert(NodeId(0), l0.local_addr().unwrap());
         // Peer 9 does not exist.
         peers.insert(NodeId(9), "127.0.0.1:1".parse().unwrap());
-        let a = TcpHost::spawn(NodeId(0), l0, peers, Echo { got: vec![], timer_fired: false }).unwrap();
+        let a = TcpHost::spawn(
+            NodeId(0),
+            l0,
+            peers,
+            Echo {
+                got: vec![],
+                timer_fired: false,
+            },
+        )
+        .unwrap();
         a.invoke(|_l, _n, out| out.send(NodeId(9), Ping(1)));
         // The driver survives; invoke still works.
         let n = a.invoke(|l, _n, _o| l.got.len());

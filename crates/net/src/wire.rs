@@ -13,7 +13,9 @@
 //! guarantees message boundaries.
 
 use bytes::{Buf, BufMut};
-use serde::de::{DeserializeOwned, EnumAccess, IntoDeserializer, MapAccess, SeqAccess, VariantAccess, Visitor};
+use serde::de::{
+    DeserializeOwned, EnumAccess, IntoDeserializer, MapAccess, SeqAccess, VariantAccess, Visitor,
+};
 use serde::ser::{
     SerializeMap, SerializeSeq, SerializeStruct, SerializeStructVariant, SerializeTuple,
     SerializeTupleStruct, SerializeTupleVariant,
@@ -295,7 +297,10 @@ struct De<'de> {
 impl<'de> De<'de> {
     fn need(&self, n: usize) -> Result<(), WireError> {
         if self.buf.remaining() < n {
-            Err(WireError(format!("need {n} bytes, have {}", self.buf.remaining())))
+            Err(WireError(format!(
+                "need {n} bytes, have {}",
+                self.buf.remaining()
+            )))
         } else {
             Ok(())
         }
@@ -306,7 +311,10 @@ impl<'de> De<'de> {
     }
     fn take_slice(&mut self, n: usize) -> Result<&'de [u8], WireError> {
         if self.buf.len() < n {
-            return Err(WireError(format!("need {n} bytes, have {}", self.buf.len())));
+            return Err(WireError(format!(
+                "need {n} bytes, have {}",
+                self.buf.len()
+            )));
         }
         let (head, tail) = self.buf.split_at(n);
         self.buf = tail;
@@ -324,7 +332,7 @@ macro_rules! de_num {
     };
 }
 
-impl<'de, 'a> serde::Deserializer<'de> for &'a mut De<'de> {
+impl<'de> serde::Deserializer<'de> for &mut De<'de> {
     type Error = WireError;
 
     fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
@@ -419,8 +427,15 @@ impl<'de, 'a> serde::Deserializer<'de> for &'a mut De<'de> {
         visitor.visit_seq(Counted { de: self, left: n })
     }
 
-    fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, WireError> {
-        visitor.visit_seq(Counted { de: self, left: len })
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_seq(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -429,7 +444,10 @@ impl<'de, 'a> serde::Deserializer<'de> for &'a mut De<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, WireError> {
-        visitor.visit_seq(Counted { de: self, left: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
@@ -443,7 +461,10 @@ impl<'de, 'a> serde::Deserializer<'de> for &'a mut De<'de> {
         fields: &'static [&'static str],
         visitor: V,
     ) -> Result<V::Value, WireError> {
-        visitor.visit_seq(Counted { de: self, left: fields.len() })
+        visitor.visit_seq(Counted {
+            de: self,
+            left: fields.len(),
+        })
     }
 
     fn deserialize_enum<V: Visitor<'de>>(
@@ -543,14 +564,20 @@ impl<'a, 'de> VariantAccess<'de> for Enum<'a, 'de> {
         seed.deserialize(self.de)
     }
     fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, WireError> {
-        visitor.visit_seq(Counted { de: self.de, left: len })
+        visitor.visit_seq(Counted {
+            de: self.de,
+            left: len,
+        })
     }
     fn struct_variant<V: Visitor<'de>>(
         self,
         fields: &'static [&'static str],
         visitor: V,
     ) -> Result<V::Value, WireError> {
-        visitor.visit_seq(Counted { de: self.de, left: fields.len() })
+        visitor.visit_seq(Counted {
+            de: self.de,
+            left: fields.len(),
+        })
     }
 }
 
@@ -571,7 +598,11 @@ mod tests {
         Unit,
         New(u64),
         Tuple(u8, String),
-        Struct { a: Vec<u32>, b: Option<bool>, c: HashMap<u64, u64> },
+        Struct {
+            a: Vec<u32>,
+            b: Option<bool>,
+            c: HashMap<u64, u64>,
+        },
     }
 
     #[test]
@@ -595,7 +626,11 @@ mod tests {
         roundtrip(Sample::Tuple(3, "abc".into()));
         let mut m = HashMap::new();
         m.insert(5u64, 6u64);
-        roundtrip(Sample::Struct { a: vec![1, 2], b: Some(false), c: m });
+        roundtrip(Sample::Struct {
+            a: vec![1, 2],
+            b: Some(false),
+            c: m,
+        });
     }
 
     #[test]
@@ -618,7 +653,18 @@ mod tests {
         let bytes = to_bytes(&msg).unwrap();
         let back: OverlayMsg<MindPayload> = from_bytes(&bytes).unwrap();
         match back {
-            OverlayMsg::Route { target, hops, payload: MindPayload::Insert { index, version, record, origin, sent_at } } => {
+            OverlayMsg::Route {
+                target,
+                hops,
+                payload:
+                    MindPayload::Insert {
+                        index,
+                        version,
+                        record,
+                        origin,
+                        sent_at,
+                    },
+            } => {
                 assert_eq!(target.to_string(), "010110");
                 assert_eq!(hops, 3);
                 assert_eq!(index, "index-1");

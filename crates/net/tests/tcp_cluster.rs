@@ -29,8 +29,9 @@ fn mind_cluster_over_real_tcp() {
     const N: usize = 6;
     let topo = StaticTopology::balanced(N);
     // Bind all listeners first so the peer map is complete before spawn.
-    let listeners: Vec<TcpListener> =
-        (0..N).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+    let listeners: Vec<TcpListener> = (0..N)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
     let peers: HashMap<NodeId, SocketAddr> = listeners
         .iter()
         .enumerate()
@@ -42,7 +43,10 @@ fn mind_cluster_over_real_tcp() {
         hb_interval: 200 * MILLIS,
         ..OverlayConfig::default()
     };
-    let mind_cfg = MindConfig { query_deadline: 20_000_000, ..MindConfig::default() };
+    let mind_cfg = MindConfig {
+        query_deadline: 20_000_000,
+        ..MindConfig::default()
+    };
 
     let hosts: Vec<TcpHost<MindNode>> = listeners
         .into_iter()
@@ -65,11 +69,16 @@ fn mind_cluster_over_real_tcp() {
     hosts[0].invoke(move |n, _now, out| n.create_index(s, cuts, Replication::None, out).unwrap());
     let deadline = Instant::now() + Duration::from_secs(10);
     loop {
-        let all = hosts.iter().all(|h| h.invoke(|n, _t, _o| !n.index_tags().is_empty()));
+        let all = hosts
+            .iter()
+            .all(|h| h.invoke(|n, _t, _o| !n.index_tags().is_empty()));
         if all {
             break;
         }
-        assert!(Instant::now() < deadline, "create_index flood never settled");
+        assert!(
+            Instant::now() < deadline,
+            "create_index flood never settled"
+        );
         std::thread::sleep(Duration::from_millis(50));
     }
 
@@ -87,7 +96,9 @@ fn mind_cluster_over_real_tcp() {
             .iter()
             .map(|h| {
                 h.invoke(|n, _t, _o| {
-                    n.index_state("tcp-flows").map(|s| s.primary_rows()).unwrap_or(0)
+                    n.index_state("tcp-flows")
+                        .map(|s| s.primary_rows())
+                        .unwrap_or(0)
                 })
             })
             .sum();
@@ -100,7 +111,8 @@ fn mind_cluster_over_real_tcp() {
 
     // Query the full domain from node 3 and expect perfect recall.
     let rect = HyperRect::new(vec![0, 0, 0], vec![1023, 86_400, 1 << 20]);
-    let qid = hosts[3].invoke(move |n, now, out| n.query(now, "tcp-flows", rect, vec![], out).unwrap());
+    let qid =
+        hosts[3].invoke(move |n, now, out| n.query(now, "tcp-flows", rect, vec![], out).unwrap());
     let deadline = Instant::now() + Duration::from_secs(20);
     let outcome = loop {
         if let Some(o) = hosts[3].invoke(move |n, _t, _o| n.query_outcome(qid)) {

@@ -26,8 +26,11 @@ fn arb_record() -> impl Strategy<Value = Record> {
 
 fn arb_filters() -> impl Strategy<Value = Vec<CarriedFilter>> {
     prop::collection::vec(
-        (0usize..8, any::<u64>(), any::<u64>())
-            .prop_map(|(attr, a, b)| CarriedFilter { attr, lo: a.min(b), hi: a.max(b) }),
+        (0usize..8, any::<u64>(), any::<u64>()).prop_map(|(attr, a, b)| CarriedFilter {
+            attr,
+            lo: a.min(b),
+            hi: a.max(b),
+        }),
         0..3,
     )
 }
@@ -49,13 +52,15 @@ fn arb_payload() -> impl Strategy<Value = MindPayload> {
         any::<u32>(),
         any::<u64>(),
     )
-        .prop_map(|(index, version, record, origin, sent_at)| MindPayload::Insert {
-            index,
-            version,
-            record,
-            origin: NodeId(origin),
-            sent_at,
-        });
+        .prop_map(
+            |(index, version, record, origin, sent_at)| MindPayload::Insert {
+                index,
+                version,
+                record,
+                origin: NodeId(origin),
+                sent_at,
+            },
+        );
     let subquery = (
         any::<u64>(),
         "[a-z]{1,10}",
@@ -83,13 +88,15 @@ fn arb_payload() -> impl Strategy<Value = MindPayload> {
         any::<u32>(),
         prop::collection::vec(arb_record(), 0..6),
     )
-        .prop_map(|(query_id, version, code, responder, records)| MindPayload::QueryResponse {
-            query_id,
-            version,
-            code,
-            responder: NodeId(responder),
-            records,
-        });
+        .prop_map(
+            |(query_id, version, code, responder, records)| MindPayload::QueryResponse {
+                query_id,
+                version,
+                code,
+                responder: NodeId(responder),
+                records,
+            },
+        );
     let create = (arb_schema(), 0u8..4).prop_map(|(schema, r)| {
         let cuts = CutTree::even(schema.bounds(), 6);
         MindPayload::CreateIndex {
@@ -109,32 +116,46 @@ fn arb_payload() -> impl Strategy<Value = MindPayload> {
         prop::collection::vec(arb_code(), 0..8),
         prop::option::of(arb_code()),
     )
-        .prop_map(|(query_id, version, codes, replaces)| MindPayload::QueryPlan {
-            query_id,
-            version,
-            codes,
-            replaces,
-        });
+        .prop_map(
+            |(query_id, version, codes, replaces)| MindPayload::QueryPlan {
+                query_id,
+                version,
+                codes,
+                replaces,
+            },
+        );
     prop_oneof![insert, subquery, response, create, plan]
 }
 
 fn arb_msg() -> impl Strategy<Value = OverlayMsg<MindPayload>> {
     prop_oneof![
-        (arb_code(), any::<u32>(), arb_payload())
-            .prop_map(|(target, hops, payload)| OverlayMsg::Route { target, hops, payload }),
+        (arb_code(), any::<u32>(), arb_payload()).prop_map(|(target, hops, payload)| {
+            OverlayMsg::Route {
+                target,
+                hops,
+                payload,
+            }
+        }),
         (any::<u64>(), arb_payload())
             .prop_map(|(flood_id, payload)| OverlayMsg::Flood { flood_id, payload }),
         arb_payload().prop_map(|payload| OverlayMsg::Direct { payload }),
         arb_code().prop_map(|code| OverlayMsg::Heartbeat { code }),
-        (any::<u64>(), arb_code(), any::<u8>(), any::<u32>(), any::<u8>()).prop_map(
-            |(probe_id, target, need_cpl, origin, ttl)| OverlayMsg::RingProbe {
-                probe_id,
-                target,
-                need_cpl,
-                origin: NodeId(origin),
-                ttl,
-            }
-        ),
+        (
+            any::<u64>(),
+            arb_code(),
+            any::<u8>(),
+            any::<u32>(),
+            any::<u8>()
+        )
+            .prop_map(
+                |(probe_id, target, need_cpl, origin, ttl)| OverlayMsg::RingProbe {
+                    probe_id,
+                    target,
+                    need_cpl,
+                    origin: NodeId(origin),
+                    ttl,
+                }
+            ),
     ]
 }
 

@@ -49,7 +49,11 @@ pub struct LatencyModel {
 
 impl Default for LatencyModel {
     fn default() -> Self {
-        LatencyModel { inflation: 1.6, km_per_sec: 200_000.0, fixed: 2 * MILLIS }
+        LatencyModel {
+            inflation: 1.6,
+            km_per_sec: 200_000.0,
+            fixed: 2 * MILLIS,
+        }
     }
 }
 
@@ -90,9 +94,15 @@ mod tests {
         let m = LatencyModel::default();
         let us = m.propagation(&NYC, &LA);
         // One-way coast-to-coast should be ~20-40 ms.
-        assert!(us > 20 * MILLIS && us < 45 * MILLIS, "NYC-LA one-way {us} µs");
+        assert!(
+            us > 20 * MILLIS && us < 45 * MILLIS,
+            "NYC-LA one-way {us} µs"
+        );
         let ta = m.propagation(&NYC, &LONDON);
-        assert!(ta > 30 * MILLIS && ta < 70 * MILLIS, "transatlantic one-way {ta} µs");
+        assert!(
+            ta > 30 * MILLIS && ta < 70 * MILLIS,
+            "transatlantic one-way {ta} µs"
+        );
         // Same-site messages still pay the fixed cost.
         assert_eq!(m.propagation(&NYC, &NYC), m.fixed);
     }

@@ -67,13 +67,19 @@ impl SimStats {
         s.total_queue_delay += queue_delay;
         s.max_queue_delay = s.max_queue_delay.max(queue_delay);
         if self.traced_links.contains(&(from, to)) {
-            self.traces.entry((from, to)).or_default().push((sent_at, total_delay));
+            self.traces
+                .entry((from, to))
+                .or_default()
+                .push((sent_at, total_delay));
         }
     }
 
     /// The directed link that carried the most messages.
     pub fn busiest_link(&self) -> Option<((NodeId, NodeId), &LinkStats)> {
-        self.per_link.iter().max_by_key(|(_, s)| s.messages).map(|(&k, v)| (k, v))
+        self.per_link
+            .iter()
+            .max_by_key(|(_, s)| s.messages)
+            .map(|(&k, v)| (k, v))
     }
 
     /// The directed link with the worst single queuing delay — the paper's
@@ -108,7 +114,11 @@ mod tests {
         assert_eq!(s.slowest_link().unwrap().0, (b, c));
         assert_eq!(s.link_message_series(), vec![2, 1]);
         assert_eq!(s.per_link[&(a, b)].bytes, 132);
-        assert_eq!(s.per_link[&(a, b)].data_messages, 1, "32-byte control msg not counted");
+        assert_eq!(
+            s.per_link[&(a, b)].data_messages,
+            1,
+            "32-byte control msg not counted"
+        );
         assert_eq!(s.per_link[&(a, b)].max_queue_delay, 50);
     }
 

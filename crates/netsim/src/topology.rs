@@ -25,7 +25,11 @@ pub struct Site {
 impl Site {
     /// A healthy site at the given position.
     pub fn new(name: impl Into<String>, lat: f64, lon: f64) -> Self {
-        Site { name: name.into(), geo: GeoPoint::new(lat, lon), load_factor: 1.0 }
+        Site {
+            name: name.into(),
+            geo: GeoPoint::new(lat, lon),
+            load_factor: 1.0,
+        }
     }
 }
 

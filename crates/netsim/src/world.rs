@@ -143,7 +143,13 @@ where
     /// time. Returns its transport address.
     pub fn add_node(&mut self, logic: L, site: Site) -> NodeId {
         let id = NodeId(self.hosts.len() as u32);
-        self.hosts.push(Host { logic, site, alive: true, incarnation: 0, busy_until: self.now });
+        self.hosts.push(Host {
+            logic,
+            site,
+            alive: true,
+            incarnation: 0,
+            busy_until: self.now,
+        });
         let mut out = Outbox::new();
         self.hosts[id.0 as usize].logic.on_start(self.now, &mut out);
         self.flush_outbox(id, self.now, out);
@@ -169,7 +175,11 @@ where
     /// routing any emitted effects through the network. This is how an
     /// application invokes the MIND interface on its local node
     /// (`insert_record`, `query_index`, ...).
-    pub fn with_node<R>(&mut self, id: NodeId, f: impl FnOnce(&mut L, SimTime, &mut Outbox<L::Msg>) -> R) -> R {
+    pub fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut L, SimTime, &mut Outbox<L::Msg>) -> R,
+    ) -> R {
         let mut out = Outbox::new();
         let now = self.now;
         let r = f(&mut self.hosts[id.0 as usize].logic, now, &mut out);
@@ -222,6 +232,13 @@ where
             return false;
         };
         debug_assert!(ev.time >= self.now, "time went backwards");
+        #[cfg(feature = "audit")]
+        assert!(
+            ev.time >= self.now,
+            "audit: event clock regression: popped t={} while now={}",
+            ev.time,
+            self.now
+        );
         self.now = ev.time;
         let idx = ev.node.0 as usize;
         match ev.kind {
@@ -253,7 +270,9 @@ where
                 self.hosts[idx].busy_until = self.now + service;
                 self.stats.delivered += 1;
                 let mut out = Outbox::new();
-                self.hosts[idx].logic.on_message(self.now, from, msg, &mut out);
+                self.hosts[idx]
+                    .logic
+                    .on_message(self.now, from, msg, &mut out);
                 // Effects leave the host once the CPU is done with the message.
                 self.flush_outbox(ev.node, self.now + service, out);
             }
@@ -297,9 +316,22 @@ where
     }
 
     fn push_event(&mut self, time: SimTime, node: NodeId, kind: EventKind<L::Msg>) {
+        debug_assert!(time >= self.now, "scheduling into the past");
+        #[cfg(feature = "audit")]
+        assert!(
+            time >= self.now,
+            "audit: event scheduled into the past: t={} while now={}",
+            time,
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { time, seq, node, kind }));
+        self.queue.push(Reverse(Event {
+            time,
+            seq,
+            node,
+            kind,
+        }));
     }
 
     /// Routes an outbox's effects into the event queue: sends traverse the
@@ -345,7 +377,11 @@ where
         }
         let incarnation = self.hosts[from.0 as usize].incarnation;
         for (delay, token) in timers {
-            self.push_event(t_emit + delay.max(1), from, EventKind::Timer { token, incarnation });
+            self.push_event(
+                t_emit + delay.max(1),
+                from,
+                EventKind::Timer { token, incarnation },
+            );
         }
     }
 }
@@ -354,7 +390,11 @@ where
 pub fn lan_config(seed: u64) -> SimConfig {
     SimConfig {
         seed,
-        latency: LatencyModel { inflation: 1.0, km_per_sec: 200_000.0, fixed: MILLIS },
+        latency: LatencyModel {
+            inflation: 1.0,
+            km_per_sec: 200_000.0,
+            fixed: MILLIS,
+        },
         jitter_frac: 0.0,
         link_bytes_per_sec: 100_000_000,
         node_service: 10,
@@ -403,8 +443,22 @@ mod tests {
     /// `on_start` fires the first ping — so the destination always exists.
     fn two_node_world(hops: u32) -> (World<PingPong>, NodeId, NodeId) {
         let mut w = World::new(lan_config(1));
-        let b = w.add_node(PingPong { peer: None, hops_left: 0, received: vec![] }, Site::new("b", 0.0, 1.0));
-        let a = w.add_node(PingPong { peer: Some(b), hops_left: hops, received: vec![] }, Site::new("a", 0.0, 0.0));
+        let b = w.add_node(
+            PingPong {
+                peer: None,
+                hops_left: 0,
+                received: vec![],
+            },
+            Site::new("b", 0.0, 1.0),
+        );
+        let a = w.add_node(
+            PingPong {
+                peer: Some(b),
+                hops_left: hops,
+                received: vec![],
+            },
+            Site::new("a", 0.0, 0.0),
+        );
         (w, a, b)
     }
 
@@ -413,8 +467,22 @@ mod tests {
         let (mut w, a, b) = two_node_world(4);
         w.run_until_idle(10 * SECONDS);
         // 4 hops: b gets 4 and 2, a gets 3 and 1.
-        assert_eq!(w.node(b).received.iter().map(|&(_, h)| h).collect::<Vec<_>>(), vec![4, 2]);
-        assert_eq!(w.node(a).received.iter().map(|&(_, h)| h).collect::<Vec<_>>(), vec![3, 1]);
+        assert_eq!(
+            w.node(b)
+                .received
+                .iter()
+                .map(|&(_, h)| h)
+                .collect::<Vec<_>>(),
+            vec![4, 2]
+        );
+        assert_eq!(
+            w.node(a)
+                .received
+                .iter()
+                .map(|&(_, h)| h)
+                .collect::<Vec<_>>(),
+            vec![3, 1]
+        );
         assert!(w.now() > 4 * MILLIS, "four 1ms+ hops, now = {}", w.now());
         assert_eq!(w.stats.delivered, 4);
     }
@@ -452,12 +520,15 @@ mod tests {
     #[test]
     fn link_outage_delays_delivery() {
         let (mut w, a, b) = two_node_world(0); // no initial traffic
-        // Outage covers the send window; message waits out the outage.
+                                               // Outage covers the send window; message waits out the outage.
         w.schedule_link_outage(a, b, 0, 5 * SECONDS);
         w.with_node(a, |_logic, _now, out| out.send(b, Ping(1)));
         w.run_until_idle(30 * SECONDS);
         let (t, _) = w.node(b).received[0];
-        assert!(t >= 5 * SECONDS, "delivery at {t} should wait for outage end");
+        assert!(
+            t >= 5 * SECONDS,
+            "delivery at {t} should wait for outage end"
+        );
     }
 
     #[test]
@@ -475,12 +546,23 @@ mod tests {
         let mut w: World<PingPong> = World::new(cfg);
         let sink = NodeId(1);
         let a = w.add_node(
-            PingPong { peer: None, hops_left: 0, received: vec![] },
+            PingPong {
+                peer: None,
+                hops_left: 0,
+                received: vec![],
+            },
             Site::new("src", 0.0, 0.0),
         );
         let mut slow = Site::new("sink", 0.0, 0.1);
         slow.load_factor = 5.0; // 500 ms per message
-        let _b = w.add_node(PingPong { peer: None, hops_left: 0, received: vec![] }, slow);
+        let _b = w.add_node(
+            PingPong {
+                peer: None,
+                hops_left: 0,
+                received: vec![],
+            },
+            slow,
+        );
         // Blast 5 messages at once (Ping(1) elicits no reply traffic).
         w.with_node(a, |_l, _n, out| {
             for _ in 0..5 {
@@ -492,7 +574,10 @@ mod tests {
         assert_eq!(times.len(), 5);
         // Handlers run at least 500 ms apart on the overloaded host.
         for pair in times.windows(2) {
-            assert!(pair[1] - pair[0] >= 500_000, "deliveries {pair:?} too close");
+            assert!(
+                pair[1] - pair[0] >= 500_000,
+                "deliveries {pair:?} too close"
+            );
         }
     }
 
@@ -530,8 +615,22 @@ mod tests {
         cfg.link_bytes_per_sec = 1000; // 100-byte message = 100 ms serialization
         let mut w: World<PingPong> = World::new(cfg);
         let b_id = NodeId(1);
-        let a = w.add_node(PingPong { peer: None, hops_left: 0, received: vec![] }, Site::new("a", 0.0, 0.0));
-        let _b = w.add_node(PingPong { peer: None, hops_left: 0, received: vec![] }, Site::new("b", 0.0, 1.0));
+        let a = w.add_node(
+            PingPong {
+                peer: None,
+                hops_left: 0,
+                received: vec![],
+            },
+            Site::new("a", 0.0, 0.0),
+        );
+        let _b = w.add_node(
+            PingPong {
+                peer: None,
+                hops_left: 0,
+                received: vec![],
+            },
+            Site::new("b", 0.0, 1.0),
+        );
         w.with_node(a, |_l, _n, out| {
             for i in 0..3 {
                 out.send(b_id, Ping(i));

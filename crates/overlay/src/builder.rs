@@ -46,7 +46,9 @@ pub struct StaticTopology {
 impl StaticTopology {
     /// Builds a balanced topology for `n` nodes (node `k` ↦ `k`-th code).
     pub fn balanced(n: usize) -> Self {
-        StaticTopology { codes: balanced_codes(n) }
+        StaticTopology {
+            codes: balanced_codes(n),
+        }
     }
 
     /// Builds a topology from explicit codes (must be prefix-free and

@@ -248,7 +248,9 @@ mod tests {
             payload: Payload(vec![0; 1000]),
         };
         assert!(big.wire_size() > small.wire_size());
-        let hb: OverlayMsg<Payload> = OverlayMsg::Heartbeat { code: BitCode::ROOT };
+        let hb: OverlayMsg<Payload> = OverlayMsg::Heartbeat {
+            code: BitCode::ROOT,
+        };
         assert_eq!(hb.wire_size(), 32);
     }
 }

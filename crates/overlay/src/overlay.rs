@@ -97,6 +97,9 @@ pub struct Overlay<P> {
     claimed: BTreeSet<BitCode>,
     pending_join: Option<PendingJoin>,
     pending_rings: HashMap<u64, PendingRing<P>>,
+    /// `true` once `on_start` has run: a second call is a restart after a
+    /// crash, and stale membership must not be resumed.
+    started: bool,
     seen_probes: HashSet<u64>,
     seen_floods: HashSet<u64>,
     seq: u64,
@@ -107,16 +110,35 @@ pub struct Overlay<P> {
 impl<P: Clone> Overlay<P> {
     /// The first node of a new overlay: it owns the whole code space.
     pub fn new_root(id: NodeId, cfg: OverlayConfig) -> Self {
-        Self::with_parts(id, cfg, Some(BitCode::ROOT), JoinState::Member, None, NeighborTable::new())
+        Self::with_parts(
+            id,
+            cfg,
+            Some(BitCode::ROOT),
+            JoinState::Member,
+            None,
+            NeighborTable::new(),
+        )
     }
 
     /// A node that will join the overlay through `bootstrap`.
     pub fn new_joiner(id: NodeId, bootstrap: NodeId, cfg: OverlayConfig) -> Self {
-        Self::with_parts(id, cfg, None, JoinState::NotJoined, Some(bootstrap), NeighborTable::new())
+        Self::with_parts(
+            id,
+            cfg,
+            None,
+            JoinState::NotJoined,
+            Some(bootstrap),
+            NeighborTable::new(),
+        )
     }
 
     /// A member of a statically constructed overlay (see [`crate::builder`]).
-    pub fn new_static(id: NodeId, code: BitCode, entries: Vec<NeighborEntry>, cfg: OverlayConfig) -> Self {
+    pub fn new_static(
+        id: NodeId,
+        code: BitCode,
+        entries: Vec<NeighborEntry>,
+        cfg: OverlayConfig,
+    ) -> Self {
         let mut table = NeighborTable::new();
         table.set_all(entries);
         Self::with_parts(id, cfg, Some(code), JoinState::Member, None, table)
@@ -140,6 +162,7 @@ impl<P: Clone> Overlay<P> {
             claimed: BTreeSet::new(),
             pending_join: None,
             pending_rings: HashMap::new(),
+            started: false,
             seen_probes: HashSet::new(),
             seen_floods: HashSet::new(),
             seq: 0,
@@ -208,7 +231,9 @@ impl<P: Clone> Overlay<P> {
     /// whose subtrees share code prefixes of length `len−1 … len−m` — the
     /// nodes that would take over this node's region if it failed.
     pub fn replica_targets(&self, m: usize) -> Vec<NodeId> {
-        let Some(code) = self.code else { return Vec::new() };
+        let Some(code) = self.code else {
+            return Vec::new();
+        };
         let len = code.len() as usize;
         let mut out = Vec::new();
         for i in 1..=m.min(len) {
@@ -230,23 +255,63 @@ impl<P: Clone> Overlay<P> {
 
     /// Called when the hosting node starts: arms the heartbeat timer and,
     /// for joiners, begins the join protocol.
-    pub fn on_start(&mut self, now: SimTime, out: &mut Outbox<OverlayMsg<P>>) {
+    ///
+    /// A second call is a restart after a crash. The overlay has moved on
+    /// without us — the failure detector declared us dead and our sibling
+    /// took the region over — so stale membership (code, claims, table)
+    /// must be forgotten and the node rejoins through a last-known contact.
+    /// Returns `true` when such a restart reset happened, so the hosting
+    /// node can discard its own crash-lost state.
+    pub fn on_start(&mut self, now: SimTime, out: &mut Outbox<OverlayMsg<P>>) -> bool {
         out.set_timer(self.cfg.hb_interval, token(KIND_HEARTBEAT, 0));
+        let restarted = self.started && self.reset_for_rejoin();
+        self.started = true;
         if self.state == JoinState::NotJoined {
             self.start_join(now, out);
         }
+        restarted
+    }
+
+    /// Forgets stale membership before a rejoin. Returns `false` (and keeps
+    /// the current state) when no other node is known to rejoin through — a
+    /// single-node overlay has nobody to have moved on without us.
+    fn reset_for_rejoin(&mut self) -> bool {
+        if self.bootstrap.is_none() {
+            self.bootstrap = self
+                .table
+                .iter()
+                .chain(self.table.extras().iter())
+                .map(|e| e.node)
+                .find(|&n| n != self.id);
+        }
+        if self.bootstrap.is_none() {
+            return false;
+        }
+        self.state = JoinState::NotJoined;
+        self.code = None;
+        self.table = NeighborTable::new();
+        self.claimed.clear();
+        self.pending_join = None;
+        self.pending_rings.clear();
+        true
     }
 
     /// (Re)starts the join protocol through the configured bootstrap node.
     pub fn start_join(&mut self, _now: SimTime, out: &mut Outbox<OverlayMsg<P>>) {
-        let Some(bootstrap) = self.bootstrap else { return };
+        let Some(bootstrap) = self.bootstrap else {
+            return;
+        };
         self.state = JoinState::Seeking;
         out.send(
             bootstrap,
-            OverlayMsg::LookupJoinTarget { joiner: self.id, ttl: self.cfg.join_walk_ttl },
+            OverlayMsg::LookupJoinTarget {
+                joiner: self.id,
+                ttl: self.cfg.join_walk_ttl,
+            },
         );
         // Watchdog: if nothing commits, retry from scratch.
-        let backoff = self.cfg.join_retry_backoff * 4 + self.jitter(self.cfg.join_retry_backoff * 4);
+        let backoff =
+            self.cfg.join_retry_backoff * 4 + self.jitter(self.cfg.join_retry_backoff * 4);
         out.set_timer(backoff, token(KIND_JOIN_RETRY, 0));
     }
 
@@ -272,7 +337,13 @@ impl<P: Clone> Overlay<P> {
         self.seq += 1;
         self.seen_floods.insert(flood_id);
         for n in self.table.alive_nodes() {
-            out.send(n, OverlayMsg::Flood { flood_id, payload: payload.clone() });
+            out.send(
+                n,
+                OverlayMsg::Flood {
+                    flood_id,
+                    payload: payload.clone(),
+                },
+            );
         }
         vec![OverlayEvent::FloodDelivered { payload }]
     }
@@ -305,16 +376,26 @@ impl<P: Clone> Overlay<P> {
                 self.on_split_ask(now, from, joiner, old_code, out);
                 Vec::new()
             }
-            OverlayMsg::SplitAck { ok, old_code } => self.on_split_ack(now, from, ok, old_code, out),
-            OverlayMsg::SplitCommit { new_code, joiner: _, joiner_code: _ } => {
-                self.table.observe(&self.code.unwrap_or(BitCode::ROOT), from, new_code, now);
+            OverlayMsg::SplitAck { ok, old_code } => {
+                self.on_split_ack(now, from, ok, old_code, out)
+            }
+            OverlayMsg::SplitCommit {
+                new_code,
+                joiner: _,
+                joiner_code: _,
+            } => {
+                self.table
+                    .observe(&self.code.unwrap_or(BitCode::ROOT), from, new_code, now);
                 Vec::new()
             }
-            OverlayMsg::JoinCommit { code, neighbors } => self.on_join_commit(now, from, code, neighbors, out),
+            OverlayMsg::JoinCommit { code, neighbors } => {
+                self.on_join_commit(now, from, code, neighbors, out)
+            }
             OverlayMsg::JoinReject => {
                 if matches!(self.state, JoinState::Requested(_) | JoinState::Seeking) {
                     self.state = JoinState::NotJoined;
-                    let backoff = self.cfg.join_retry_backoff + self.jitter(self.cfg.join_retry_backoff);
+                    let backoff =
+                        self.cfg.join_retry_backoff + self.jitter(self.cfg.join_retry_backoff);
                     out.set_timer(backoff, token(KIND_JOIN_RETRY, 0));
                 }
                 Vec::new()
@@ -340,7 +421,11 @@ impl<P: Clone> Overlay<P> {
                 }
                 Vec::new()
             }
-            OverlayMsg::TakeoverAnnounce { flood_id, origin, new_code } => {
+            OverlayMsg::TakeoverAnnounce {
+                flood_id,
+                origin,
+                new_code,
+            } => {
                 if !self.seen_floods.insert(flood_id) {
                     return Vec::new();
                 }
@@ -354,13 +439,30 @@ impl<P: Clone> Overlay<P> {
                 }
                 for n in self.table.alive_nodes() {
                     if n != from {
-                        out.send(n, OverlayMsg::TakeoverAnnounce { flood_id, origin, new_code });
+                        out.send(
+                            n,
+                            OverlayMsg::TakeoverAnnounce {
+                                flood_id,
+                                origin,
+                                new_code,
+                            },
+                        );
                     }
                 }
                 Vec::new()
             }
-            OverlayMsg::Route { target, hops, payload } => self.forward_route(now, target, payload, hops, out),
-            OverlayMsg::RingProbe { probe_id, target, need_cpl, origin, ttl } => {
+            OverlayMsg::Route {
+                target,
+                hops,
+                payload,
+            } => self.forward_route(now, target, payload, hops, out),
+            OverlayMsg::RingProbe {
+                probe_id,
+                target,
+                need_cpl,
+                origin,
+                ttl,
+            } => {
                 self.on_ring_probe(from, probe_id, target, need_cpl, origin, ttl, out);
                 Vec::new()
             }
@@ -368,7 +470,11 @@ impl<P: Clone> Overlay<P> {
                 if let Some(p) = self.pending_rings.remove(&probe_id) {
                     out.send(
                         from,
-                        OverlayMsg::Route { target: p.target, hops: p.hops + 1, payload: p.payload },
+                        OverlayMsg::Route {
+                            target: p.target,
+                            hops: p.hops + 1,
+                            payload: p.payload,
+                        },
                     );
                 }
                 Vec::new()
@@ -382,7 +488,13 @@ impl<P: Clone> Overlay<P> {
                 }
                 for n in self.table.alive_nodes() {
                     if n != from {
-                        out.send(n, OverlayMsg::Flood { flood_id, payload: payload.clone() });
+                        out.send(
+                            n,
+                            OverlayMsg::Flood {
+                                flood_id,
+                                payload: payload.clone(),
+                            },
+                        );
                     }
                 }
                 vec![OverlayEvent::FloodDelivered { payload }]
@@ -429,36 +541,57 @@ impl<P: Clone> Overlay<P> {
         if ttl > 0 && !alive.is_empty() {
             // Random-walk step.
             let pick = alive[self.rng.random_range(0..alive.len())].node;
-            out.send(pick, OverlayMsg::LookupJoinTarget { joiner, ttl: ttl - 1 });
+            out.send(
+                pick,
+                OverlayMsg::LookupJoinTarget {
+                    joiner,
+                    ttl: ttl - 1,
+                },
+            );
             return;
         }
         // Walk endpoint: choose the shortest code in the neighborhood
         // (self included) — Adler's rule for balance with high probability.
-        let mut best = (self.code.expect("member has code"), self.id);
+        let mut best = (self.code.expect("member has code"), self.id); // lint:allow(unwrap) walk endpoints are members
         for e in alive {
             if (e.code.len(), e.node.0) < (best.0.len(), best.1 .0) {
                 best = (e.code, e.node);
             }
         }
-        out.send(joiner, OverlayMsg::JoinCandidate { candidate: best.1, code: best.0 });
+        out.send(
+            joiner,
+            OverlayMsg::JoinCandidate {
+                candidate: best.1,
+                code: best.0,
+            },
+        );
     }
 
     fn on_join_request(&mut self, now: SimTime, joiner: NodeId, out: &mut Outbox<OverlayMsg<P>>) {
         let can_accept = self.is_member()
             && self.pending_join.is_none()
-            && self.code.map(|c| c.len() < mind_types::code::MAX_CODE_LEN).unwrap_or(false);
+            && self
+                .code
+                .map(|c| c.len() < mind_types::code::MAX_CODE_LEN)
+                .unwrap_or(false);
         if !can_accept {
             out.send(joiner, OverlayMsg::JoinReject);
             return;
         }
-        let old_code = self.code.unwrap();
+        let old_code = self.code.unwrap(); // lint:allow(unwrap) membership checked above
         let awaiting: BTreeSet<NodeId> = self.table.alive_nodes().into_iter().collect();
-        self.pending_join = Some(PendingJoin { joiner, awaiting: awaiting.clone() });
+        self.pending_join = Some(PendingJoin {
+            joiner,
+            awaiting: awaiting.clone(),
+        });
         if awaiting.is_empty() {
             // Single-node overlay: commit immediately.
             // (Handled via the same path as the last ack.)
             let events = self.commit_join(now, out);
-            debug_assert!(events.is_empty() || !events.is_empty());
+            debug_assert!(
+                self.code == Some(old_code.child(false)) && !events.is_empty(),
+                "immediate commit must split {old_code} and surface the code change"
+            );
         } else {
             for n in awaiting {
                 out.send(n, OverlayMsg::SplitAsk { joiner, old_code });
@@ -482,7 +615,13 @@ impl<P: Clone> Overlay<P> {
             let their_depth = (old_code.len(), acceptor.0);
             if my_depth < their_depth {
                 // I am shallower: reject the deeper concurrent join.
-                out.send(acceptor, OverlayMsg::SplitAck { ok: false, old_code });
+                out.send(
+                    acceptor,
+                    OverlayMsg::SplitAck {
+                        ok: false,
+                        old_code,
+                    },
+                );
                 return;
             }
             // They are shallower: abort my own pending join.
@@ -503,7 +642,9 @@ impl<P: Clone> Overlay<P> {
         if Some(old_code) != self.code {
             return Vec::new(); // stale ack from an aborted attempt
         }
-        let Some(pending) = &mut self.pending_join else { return Vec::new() };
+        let Some(pending) = &mut self.pending_join else {
+            return Vec::new();
+        };
         if !ok {
             let joiner = pending.joiner;
             self.pending_join = None;
@@ -517,24 +658,41 @@ impl<P: Clone> Overlay<P> {
         Vec::new()
     }
 
-    fn commit_join(&mut self, now: SimTime, out: &mut Outbox<OverlayMsg<P>>) -> Vec<OverlayEvent<P>> {
-        let Some(pending) = self.pending_join.take() else { return Vec::new() };
-        let old_code = self.code.expect("acceptor has code");
+    fn commit_join(
+        &mut self,
+        now: SimTime,
+        out: &mut Outbox<OverlayMsg<P>>,
+    ) -> Vec<OverlayEvent<P>> {
+        let Some(pending) = self.pending_join.take() else {
+            return Vec::new();
+        };
+        let old_code = self.code.expect("acceptor has code"); // lint:allow(unwrap) only members accept joins
         let my_new = old_code.child(false);
         let joiner_code = old_code.child(true);
         // Hand the joiner my (pre-split) neighbor entries; its final
         // dimension's representative is me.
         let neighbors: Vec<(BitCode, NodeId)> =
             self.table.iter().map(|e| (e.code, e.node)).collect();
-        out.send(pending.joiner, OverlayMsg::JoinCommit { code: joiner_code, neighbors });
+        out.send(
+            pending.joiner,
+            OverlayMsg::JoinCommit {
+                code: joiner_code,
+                neighbors,
+            },
+        );
         for n in self.table.alive_nodes() {
             out.send(
                 n,
-                OverlayMsg::SplitCommit { new_code: my_new, joiner: pending.joiner, joiner_code },
+                OverlayMsg::SplitCommit {
+                    new_code: my_new,
+                    joiner: pending.joiner,
+                    joiner_code,
+                },
             );
         }
         self.code = Some(my_new);
-        self.table.push(NeighborEntry::new(joiner_code, pending.joiner, now));
+        self.table
+            .push(NeighborEntry::new(joiner_code, pending.joiner, now));
         vec![OverlayEvent::CodeChanged { code: my_new }]
     }
 
@@ -568,8 +726,14 @@ impl<P: Clone> Overlay<P> {
 
     // ---- maintenance & failure handling ----
 
-    fn heartbeat_round(&mut self, now: SimTime, out: &mut Outbox<OverlayMsg<P>>) -> Vec<OverlayEvent<P>> {
-        let Some(my) = self.code else { return Vec::new() };
+    fn heartbeat_round(
+        &mut self,
+        now: SimTime,
+        out: &mut Outbox<OverlayMsg<P>>,
+    ) -> Vec<OverlayEvent<P>> {
+        let Some(my) = self.code else {
+            return Vec::new();
+        };
         self.hb_round += 1;
         let mut events = Vec::new();
         let horizon = self.cfg.hb_interval * self.cfg.hb_miss_threshold as SimTime;
@@ -579,18 +743,31 @@ impl<P: Clone> Overlay<P> {
                 .table
                 .expire(now - horizon, now.saturating_sub(extras_horizon))
             {
-                events.push(OverlayEvent::NeighborFailed { node: dead.node, code: dead.code });
+                events.push(OverlayEvent::NeighborFailed {
+                    node: dead.node,
+                    code: dead.code,
+                });
                 events.extend(self.handle_neighbor_death(dead, out));
             }
         }
         // Representatives every round (the paper's ~log N maintenance
         // traffic); extras on a slower stride, just to stay warm.
         for n in self.table.rep_nodes() {
-            out.send(n, OverlayMsg::Heartbeat { code: self.code.unwrap_or(my) });
+            out.send(
+                n,
+                OverlayMsg::Heartbeat {
+                    code: self.code.unwrap_or(my),
+                },
+            );
         }
-        if self.hb_round % EXTRAS_PING_STRIDE == 0 {
+        if self.hb_round.is_multiple_of(EXTRAS_PING_STRIDE) {
             for n in self.table.extra_nodes() {
-                out.send(n, OverlayMsg::Heartbeat { code: self.code.unwrap_or(my) });
+                out.send(
+                    n,
+                    OverlayMsg::Heartbeat {
+                        code: self.code.unwrap_or(my),
+                    },
+                );
             }
         }
         events
@@ -604,7 +781,9 @@ impl<P: Clone> Overlay<P> {
         dead: NeighborEntry,
         out: &mut Outbox<OverlayMsg<P>>,
     ) -> Vec<OverlayEvent<P>> {
-        let Some(my) = self.code else { return Vec::new() };
+        let Some(my) = self.code else {
+            return Vec::new();
+        };
         let mut events = Vec::new();
         let x = dead.code;
         if x.is_empty() {
@@ -616,7 +795,7 @@ impl<P: Clone> Overlay<P> {
             let new_code = my.parent();
             self.code = Some(new_code);
             self.table.pop(); // the final dimension was the dead sibling
-            // Claims now covered by the shorter code are redundant.
+                              // Claims now covered by the shorter code are redundant.
             self.claimed.retain(|r| !new_code.is_prefix_of(r));
             // Announce the takeover overlay-wide: the failed node's other
             // neighbors (whom we do not know) must learn the new owner,
@@ -626,7 +805,14 @@ impl<P: Clone> Overlay<P> {
             self.seq += 1;
             self.seen_floods.insert(flood_id);
             for n in self.table.alive_nodes() {
-                out.send(n, OverlayMsg::TakeoverAnnounce { flood_id, origin: self.id, new_code });
+                out.send(
+                    n,
+                    OverlayMsg::TakeoverAnnounce {
+                        flood_id,
+                        origin: self.id,
+                        new_code,
+                    },
+                );
             }
             events.push(OverlayEvent::CodeChanged { code: new_code });
             events.push(OverlayEvent::TookOver { region });
@@ -655,7 +841,11 @@ impl<P: Clone> Overlay<P> {
         out: &mut Outbox<OverlayMsg<P>>,
     ) -> Vec<OverlayEvent<P>> {
         if self.should_answer(&target) {
-            return vec![OverlayEvent::Delivered { target, hops, payload }];
+            return vec![OverlayEvent::Delivered {
+                target,
+                hops,
+                payload,
+            }];
         }
         if hops >= self.cfg.route_ttl {
             return vec![OverlayEvent::Undeliverable { target, payload }];
@@ -664,8 +854,25 @@ impl<P: Clone> Overlay<P> {
             return vec![OverlayEvent::Undeliverable { target, payload }];
         };
         if let Some(e) = self.table.next_hop(&my, &target) {
+            // Routing-loop guard: every greedy hop must strictly lengthen
+            // the common prefix with the target, so routes terminate within
+            // `target.len()` hops.
+            debug_assert!(
+                e.code.common_prefix_len(&target) > my.common_prefix_len(&target),
+                "next hop {} at [{}] makes no prefix progress from [{my}] toward [{target}]",
+                e.node,
+                e.code
+            );
+            debug_assert!(e.node != self.id, "routing to self can never make progress");
             let node = e.node;
-            out.send(node, OverlayMsg::Route { target, hops: hops + 1, payload });
+            out.send(
+                node,
+                OverlayMsg::Route {
+                    target,
+                    hops: hops + 1,
+                    payload,
+                },
+            );
             return Vec::new();
         }
         // Greedy dead-end (Section 3.8): expanding-ring scoped broadcast.
@@ -683,18 +890,40 @@ impl<P: Clone> Overlay<P> {
     ) {
         let probe_id = ((self.id.0 as u64) << 24) | (self.seq & 0xFF_FFFF);
         if std::env::var_os("MIND_TRACE").is_some() {
-            eprintln!("[ring] {} starts ring for {target} ttl={ttl} fanout={:?}", self.id, self.table.alive_nodes());
+            eprintln!(
+                "[ring] {} starts ring for {target} ttl={ttl} fanout={:?}",
+                self.id,
+                self.table.alive_nodes()
+            );
         }
         self.seq += 1;
         let my = self.code.unwrap_or(BitCode::ROOT);
         let need_cpl = my.common_prefix_len(&target);
-        self.pending_rings.insert(probe_id, PendingRing { target, payload, hops, ttl });
+        self.pending_rings.insert(
+            probe_id,
+            PendingRing {
+                target,
+                payload,
+                hops,
+                ttl,
+            },
+        );
         for n in self.table.alive_nodes() {
-            out.send(n, OverlayMsg::RingProbe { probe_id, target, need_cpl, origin: self.id, ttl });
+            out.send(
+                n,
+                OverlayMsg::RingProbe {
+                    probe_id,
+                    target,
+                    need_cpl,
+                    origin: self.id,
+                    ttl,
+                },
+            );
         }
         out.set_timer(self.cfg.ring_timeout, token(KIND_RING, probe_id));
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the RingProbe wire fields
     fn on_ring_probe(
         &mut self,
         from: NodeId,
@@ -713,7 +942,10 @@ impl<P: Clone> Overlay<P> {
         let can_resume = self.responsible_for(&target)
             || (my_cpl >= need_cpl && self.table.next_hop(&my, &target).is_some());
         if std::env::var_os("MIND_TRACE").is_some() {
-            eprintln!("[ring] {} got probe {probe_id} for {target} ttl={ttl} resume={can_resume} my={my}", self.id);
+            eprintln!(
+                "[ring] {} got probe {probe_id} for {target} ttl={ttl} resume={can_resume} my={my}",
+                self.id
+            );
         }
         if can_resume {
             out.send(origin, OverlayMsg::RingHit { probe_id, code: my });
@@ -724,7 +956,13 @@ impl<P: Clone> Overlay<P> {
                 if n != from && n != origin {
                     out.send(
                         n,
-                        OverlayMsg::RingProbe { probe_id, target, need_cpl, origin, ttl: ttl - 1 },
+                        OverlayMsg::RingProbe {
+                            probe_id,
+                            target,
+                            need_cpl,
+                            origin,
+                            ttl: ttl - 1,
+                        },
                     );
                 }
             }
@@ -744,7 +982,10 @@ impl<P: Clone> Overlay<P> {
             if std::env::var_os("MIND_TRACE").is_some() {
                 eprintln!("[ring] {} gives up on {}", self.id, p.target);
             }
-            return vec![OverlayEvent::Undeliverable { target: p.target, payload: p.payload }];
+            return vec![OverlayEvent::Undeliverable {
+                target: p.target,
+                payload: p.payload,
+            }];
         }
         // Escalate the scope with a fresh probe id.
         self.start_ring(p.target, p.payload, p.hops, p.ttl + 1, out);
@@ -766,7 +1007,12 @@ mod tests {
 
     fn static_overlay(n: usize, k: usize) -> Overlay<Tag> {
         let topo = StaticTopology::balanced(n);
-        Overlay::new_static(NodeId(k as u32), topo.code(k), topo.neighbor_entries(k), OverlayConfig::default())
+        Overlay::new_static(
+            NodeId(k as u32),
+            topo.code(k),
+            topo.neighbor_entries(k),
+            OverlayConfig::default(),
+        )
     }
 
     #[test]
@@ -824,7 +1070,7 @@ mod tests {
         let ev = o.flood(Tag(9), &mut out);
         assert_eq!(ev.len(), 1);
         assert_eq!(out.sends.len(), 3); // 3 neighbors in a 3-cube
-        // Re-receiving my own flood id is suppressed.
+                                        // Re-receiving my own flood id is suppressed.
         let (_, msg) = out.sends[0].clone();
         let ev2 = o.handle(1, NodeId(1), msg, &mut out);
         assert!(ev2.is_empty());
@@ -837,8 +1083,12 @@ mod tests {
         let dead = NeighborEntry::new(BitCode::parse("001").unwrap(), NodeId(1), 0);
         let ev = o.handle_neighbor_death(dead, &mut out);
         assert_eq!(o.code().unwrap(), BitCode::parse("00").unwrap());
-        assert!(ev.iter().any(|e| matches!(e, OverlayEvent::TookOver { .. })));
-        assert!(ev.iter().any(|e| matches!(e, OverlayEvent::CodeChanged { .. })));
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, OverlayEvent::TookOver { .. })));
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, OverlayEvent::CodeChanged { .. })));
         // Now responsible for the dead sibling's region.
         assert!(o.responsible_for(&BitCode::parse("0011").unwrap()));
         // The takeover is announced overlay-wide.
@@ -857,16 +1107,23 @@ mod tests {
         let mut out: Out = Outbox::new();
         let dead = NeighborEntry::new(BitCode::parse("0001").unwrap(), NodeId(1), 0);
         let ev = o2.handle_neighbor_death(dead.clone(), &mut out);
-        assert!(ev.iter().any(|e| matches!(e, OverlayEvent::TookOver { .. })));
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, OverlayEvent::TookOver { .. })));
         let region = BitCode::parse("0001").unwrap();
         assert!(o2.responsible_for(&region));
         // A live route toward 0001 still exists (via its dim-2 entry
         // covering the 000x subtree) -> defer, do not answer.
-        assert!(!o2.should_answer(&region), "claimant must defer while routes exist");
+        assert!(
+            !o2.should_answer(&region),
+            "claimant must defer while routes exist"
+        );
         // The exact sibling shortens instead of claiming.
         let mut o0 = static_overlay(16, 0);
         let ev = o0.handle_neighbor_death(dead, &mut out);
-        assert!(ev.iter().any(|e| matches!(e, OverlayEvent::CodeChanged { .. })));
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, OverlayEvent::CodeChanged { .. })));
         assert_eq!(o0.code().unwrap(), BitCode::parse("000").unwrap());
         assert!(o0.should_answer(&region), "code owner always answers");
     }
@@ -878,7 +1135,10 @@ mod tests {
         let mut o = static_overlay(16, 2); // code 0010
         let mut out: Out = Outbox::new();
         // Mark every entry covering the 00xx region dead and claim it.
-        o.handle_neighbor_death(NeighborEntry::new(BitCode::parse("0001").unwrap(), NodeId(1), 0), &mut out);
+        o.handle_neighbor_death(
+            NeighborEntry::new(BitCode::parse("0001").unwrap(), NodeId(1), 0),
+            &mut out,
+        );
         if let Some(e) = o.table.find_by_node_mut(NodeId(0)) {
             e.alive = false;
         }
@@ -901,22 +1161,33 @@ mod tests {
         let mut o = static_overlay(16, 0);
         let mut out: Out = Outbox::new();
         // sibling 0001 dies -> code 000
-        o.handle_neighbor_death(NeighborEntry::new(BitCode::parse("0001").unwrap(), NodeId(1), 0), &mut out);
+        o.handle_neighbor_death(
+            NeighborEntry::new(BitCode::parse("0001").unwrap(), NodeId(1), 0),
+            &mut out,
+        );
         assert_eq!(o.code().unwrap(), BitCode::parse("000").unwrap());
         // whole 001 subtree is dead; rep code recorded as 001 after some
         // merging on their side. 001.sibling() = 000 = my code -> shorten.
-        o.handle_neighbor_death(NeighborEntry::new(BitCode::parse("001").unwrap(), NodeId(2), 0), &mut out);
+        o.handle_neighbor_death(
+            NeighborEntry::new(BitCode::parse("001").unwrap(), NodeId(2), 0),
+            &mut out,
+        );
         assert_eq!(o.code().unwrap(), BitCode::parse("00").unwrap());
         // A non-sibling death elsewhere becomes a claim, not a shorten.
         let ev = o.handle_neighbor_death(
             NeighborEntry::new(BitCode::parse("0100").unwrap(), NodeId(4), 0),
             &mut out,
         );
-        assert!(ev.iter().any(|e| matches!(e, OverlayEvent::TookOver { .. })));
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, OverlayEvent::TookOver { .. })));
         assert_eq!(o.code().unwrap(), BitCode::parse("00").unwrap());
         // If instead the rep's code was 01 (fully merged neighbor subtree
         // that then died), its sibling is 00 = my code -> shorten to 0.
-        o.handle_neighbor_death(NeighborEntry::new(BitCode::parse("01").unwrap(), NodeId(4), 0), &mut out);
+        o.handle_neighbor_death(
+            NeighborEntry::new(BitCode::parse("01").unwrap(), NodeId(4), 0),
+            &mut out,
+        );
         assert_eq!(o.code().unwrap(), BitCode::parse("0").unwrap());
     }
 
@@ -936,7 +1207,12 @@ mod tests {
             1,
             &mut out,
         );
-        assert!(out.sends.iter().any(|(n, m)| *n == NodeId(0) && matches!(m, OverlayMsg::RingHit { probe_id: 77, .. })));
+        assert!(
+            out.sends
+                .iter()
+                .any(|(n, m)| *n == NodeId(0)
+                    && matches!(m, OverlayMsg::RingHit { probe_id: 77, .. }))
+        );
     }
 
     #[test]
@@ -959,7 +1235,10 @@ mod tests {
             out.timers.clear();
             for t in timers {
                 if let Some(ev) = o.on_timer(1000, t, &mut out) {
-                    if ev.iter().any(|e| matches!(e, OverlayEvent::Undeliverable { .. })) {
+                    if ev
+                        .iter()
+                        .any(|e| matches!(e, OverlayEvent::Undeliverable { .. }))
+                    {
                         gave_up = true;
                     }
                 }
@@ -1007,7 +1286,12 @@ mod tests {
         ];
         let topo = StaticTopology::from_codes(topo_codes);
         let mk = |k: usize| -> Overlay<Tag> {
-            Overlay::new_static(NodeId(k as u32), topo.code(k), topo.neighbor_entries(k), OverlayConfig::default())
+            Overlay::new_static(
+                NodeId(k as u32),
+                topo.code(k),
+                topo.neighbor_entries(k),
+                OverlayConfig::default(),
+            )
         };
         let mut a = mk(0); // code 00
         let mut b = mk(2); // code 1
@@ -1019,17 +1303,39 @@ mod tests {
         assert!(b.pending_join.is_some());
         out.sends.clear();
         // B receives A's SplitAsk: B (depth 1) is shallower -> reject.
-        b.on_split_ask(0, NodeId(0), NodeId(10), BitCode::parse("00").unwrap(), &mut out);
-        assert!(b.pending_join.is_some(), "shallower acceptor keeps its join");
-        assert!(out.sends.iter().any(|(n, m)| *n == NodeId(0)
-            && matches!(m, OverlayMsg::SplitAck { ok: false, .. })));
+        b.on_split_ask(
+            0,
+            NodeId(0),
+            NodeId(10),
+            BitCode::parse("00").unwrap(),
+            &mut out,
+        );
+        assert!(
+            b.pending_join.is_some(),
+            "shallower acceptor keeps its join"
+        );
+        assert!(out
+            .sends
+            .iter()
+            .any(|(n, m)| *n == NodeId(0) && matches!(m, OverlayMsg::SplitAck { ok: false, .. })));
         out.sends.clear();
         // A receives B's SplitAsk: A (depth 2) is deeper -> abort own, ack B.
-        a.on_split_ask(0, NodeId(2), NodeId(11), BitCode::parse("1").unwrap(), &mut out);
+        a.on_split_ask(
+            0,
+            NodeId(2),
+            NodeId(11),
+            BitCode::parse("1").unwrap(),
+            &mut out,
+        );
         assert!(a.pending_join.is_none(), "deeper acceptor aborts its join");
-        assert!(out.sends.iter().any(|(n, m)| *n == NodeId(10) && matches!(m, OverlayMsg::JoinReject)));
-        assert!(out.sends.iter().any(|(n, m)| *n == NodeId(2)
-            && matches!(m, OverlayMsg::SplitAck { ok: true, .. })));
+        assert!(out
+            .sends
+            .iter()
+            .any(|(n, m)| *n == NodeId(10) && matches!(m, OverlayMsg::JoinReject)));
+        assert!(out
+            .sends
+            .iter()
+            .any(|(n, m)| *n == NodeId(2) && matches!(m, OverlayMsg::SplitAck { ok: true, .. })));
     }
 
     #[test]

@@ -26,7 +26,12 @@ pub struct NeighborEntry {
 impl NeighborEntry {
     /// A fresh, live entry.
     pub fn new(code: BitCode, node: NodeId, now: SimTime) -> Self {
-        NeighborEntry { code, node, alive: true, last_seen: now }
+        NeighborEntry {
+            code,
+            node,
+            alive: true,
+            last_seen: now,
+        }
     }
 }
 
@@ -52,7 +57,10 @@ pub struct NeighborTable {
 impl NeighborTable {
     /// An empty table (a single-node overlay has no neighbors).
     pub fn new() -> Self {
-        NeighborTable { entries: Vec::new(), extras: Vec::new() }
+        NeighborTable {
+            entries: Vec::new(),
+            extras: Vec::new(),
+        }
     }
 
     /// Replaces the whole table (static construction, join commit).
@@ -123,7 +131,12 @@ impl NeighborTable {
 
     /// Live extra contacts.
     pub fn extra_nodes(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.extras.iter().filter(|e| e.alive).map(|e| e.node).collect();
+        let mut v: Vec<NodeId> = self
+            .extras
+            .iter()
+            .filter(|e| e.alive)
+            .map(|e| e.node)
+            .collect();
         v.sort();
         v.dedup();
         v
@@ -315,7 +328,11 @@ mod tests {
         for i in 0..40u32 {
             t.observe(&me, NodeId(100 + i), code("101"), i as SimTime);
         }
-        assert!(t.extras().len() <= 16, "extras bounded, got {}", t.extras().len());
+        assert!(
+            t.extras().len() <= 16,
+            "extras bounded, got {}",
+            t.extras().len()
+        );
         // The most recent stranger survived.
         assert!(t.find_by_node(NodeId(139)).is_some());
     }

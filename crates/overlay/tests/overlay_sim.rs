@@ -24,9 +24,11 @@ impl RawNode {
     fn absorb(&mut self, events: Vec<OverlayEvent<Payload>>) {
         for ev in events {
             match ev {
-                OverlayEvent::Delivered { target, hops, payload } => {
-                    self.delivered.push((target, hops, payload))
-                }
+                OverlayEvent::Delivered {
+                    target,
+                    hops,
+                    payload,
+                } => self.delivered.push((target, hops, payload)),
                 OverlayEvent::FloodDelivered { payload } => self.flooded.push(payload),
                 OverlayEvent::Undeliverable { payload, .. } => self.undeliverable.push(payload),
                 _ => {}
@@ -40,7 +42,13 @@ impl NodeLogic for RawNode {
     fn on_start(&mut self, now: SimTime, out: &mut Outbox<Self::Msg>) {
         self.overlay.on_start(now, out);
     }
-    fn on_message(&mut self, now: SimTime, from: NodeId, msg: Self::Msg, out: &mut Outbox<Self::Msg>) {
+    fn on_message(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        msg: Self::Msg,
+        out: &mut Outbox<Self::Msg>,
+    ) {
         let ev = self.overlay.handle(now, from, msg, out);
         self.absorb(ev);
     }
@@ -62,7 +70,12 @@ fn static_world(n: usize, seed: u64) -> (World<RawNode>, StaticTopology) {
             OverlayConfig::default(),
         );
         world.add_node(
-            RawNode { overlay, delivered: vec![], flooded: vec![], undeliverable: vec![] },
+            RawNode {
+                overlay,
+                delivered: vec![],
+                flooded: vec![],
+                undeliverable: vec![],
+            },
             Site::new(format!("s{k}"), (k % 10) as f64, (k / 10) as f64),
         );
     }
@@ -110,7 +123,10 @@ fn routing_hop_counts_scale_logarithmically() {
     }
     assert!(count >= 64);
     let mean = total_hops as f64 / count as f64;
-    assert!(mean <= 4.0, "mean hops {mean} too high for a balanced 6-cube");
+    assert!(
+        mean <= 4.0,
+        "mean hops {mean} too high for a balanced 6-cube"
+    );
 }
 
 #[test]
@@ -168,7 +184,12 @@ fn sequential_joins_build_working_overlay() {
     for i in 0..n {
         for j in 0..n {
             if i != j {
-                assert!(!codes[i].is_prefix_of(&codes[j]), "{} prefixes {}", codes[i], codes[j]);
+                assert!(
+                    !codes[i].is_prefix_of(&codes[j]),
+                    "{} prefixes {}",
+                    codes[i],
+                    codes[j]
+                );
             }
         }
     }
@@ -176,7 +197,10 @@ fn sequential_joins_build_working_overlay() {
     assert_eq!(total, 1u64 << 32, "codes must partition the space");
     // Adler joins keep the tree near-balanced with high probability.
     let max_len = codes.iter().map(|c| c.len()).max().unwrap();
-    assert!(max_len <= 7, "12-node overlay should not be deeper than 7, got {max_len}");
+    assert!(
+        max_len <= 7,
+        "12-node overlay should not be deeper than 7, got {max_len}"
+    );
     // Routing works end-to-end on the joined overlay.
     let target = codes[7];
     world.with_node(NodeId(3), |node, now, out| {
@@ -184,7 +208,11 @@ fn sequential_joins_build_working_overlay() {
         node.absorb(ev);
     });
     world.run_until(world.now() + 10 * SECONDS);
-    assert!(world.node(NodeId(7)).delivered.iter().any(|(_, _, p)| *p == Payload(99)));
+    assert!(world
+        .node(NodeId(7))
+        .delivered
+        .iter()
+        .any(|(_, _, p)| *p == Payload(99)));
 }
 
 #[test]
@@ -224,12 +252,21 @@ fn concurrent_joins_serialize_without_deadlock() {
     for i in 0..n {
         for j in 0..n {
             if i != j {
-                assert!(!codes[i].is_prefix_of(&codes[j]), "{} prefixes {}", codes[i], codes[j]);
+                assert!(
+                    !codes[i].is_prefix_of(&codes[j]),
+                    "{} prefixes {}",
+                    codes[i],
+                    codes[j]
+                );
             }
         }
     }
     let total: u64 = codes.iter().map(|c| 1u64 << (32 - c.len() as u32)).sum();
-    assert_eq!(total, 1u64 << 32, "concurrent joins corrupted the code space");
+    assert_eq!(
+        total,
+        1u64 << 32,
+        "concurrent joins corrupted the code space"
+    );
 }
 
 #[test]
@@ -255,7 +292,11 @@ fn sibling_takes_over_after_crash_and_routing_heals() {
     });
     world.run_until(world.now() + 30 * SECONDS);
     assert!(
-        world.node(NodeId(4)).delivered.iter().any(|(_, _, p)| *p == Payload(7)),
+        world
+            .node(NodeId(4))
+            .delivered
+            .iter()
+            .any(|(_, _, p)| *p == Payload(7)),
         "survivor must receive traffic for the dead sibling's region"
     );
 }
@@ -276,7 +317,11 @@ fn transient_link_outage_recovers_via_ring_or_retry() {
     // The message is not lost: the outage model queues it until the link
     // heals (TCP semantics), so it must eventually arrive.
     assert!(
-        world.node(NodeId(15)).delivered.iter().any(|(_, _, p)| *p == Payload(13)),
+        world
+            .node(NodeId(15))
+            .delivered
+            .iter()
+            .any(|(_, _, p)| *p == Payload(13)),
         "message lost across transient outage"
     );
 }

@@ -62,10 +62,10 @@ pub struct DacCostModel {
 impl Default for DacCostModel {
     fn default() -> Self {
         DacCostModel {
-            batch_overhead: 2_000,  // 2 ms
-            per_insert: 150,        // 0.15 ms
-            per_query: 8_000,       // 8 ms
-            per_result: 40,         // 0.04 ms
+            batch_overhead: 2_000, // 2 ms
+            per_insert: 150,       // 0.15 ms
+            per_query: 8_000,      // 8 ms
+            per_result: 40,        // 0.04 ms
         }
     }
 }
@@ -84,7 +84,12 @@ impl Dac {
     /// Creates a DAC over a fresh store of the given dimensionality.
     pub fn new(dims: usize, cost: DacCostModel, batch_size: usize) -> Self {
         assert!(batch_size > 0, "zero batch size");
-        Dac { store: MemStore::new(dims), queue: VecDeque::new(), cost, batch_size }
+        Dac {
+            store: MemStore::new(dims),
+            queue: VecDeque::new(),
+            cost,
+            batch_size,
+        }
     }
 
     /// Enqueues a request.
@@ -115,7 +120,9 @@ impl Dac {
         let mut responses = Vec::new();
         let mut elapsed = self.cost.batch_overhead;
         for _ in 0..self.batch_size {
-            let Some(req) = self.queue.pop_front() else { break };
+            let Some(req) = self.queue.pop_front() else {
+                break;
+            };
             match req {
                 DacRequest::Insert(rec) => {
                     self.store.insert(rec);
@@ -123,7 +130,8 @@ impl Dac {
                 }
                 DacRequest::Query { token, rect } => {
                     let records = self.store.range_records(&rect);
-                    elapsed += self.cost.per_query + self.cost.per_result * records.len() as SimTime;
+                    elapsed +=
+                        self.cost.per_query + self.cost.per_result * records.len() as SimTime;
                     responses.push(DacResponse { token, records });
                 }
             }
@@ -157,7 +165,10 @@ mod tests {
         let mut d = dac();
         d.push(DacRequest::Insert(Record::new(vec![1, 1])));
         d.push(DacRequest::Insert(Record::new(vec![2, 2])));
-        d.push(DacRequest::Query { token: 7, rect: HyperRect::new(vec![0, 0], vec![10, 10]) });
+        d.push(DacRequest::Query {
+            token: 7,
+            rect: HyperRect::new(vec![0, 0], vec![10, 10]),
+        });
         assert_eq!(d.pending(), 3);
         let (resp, t) = d.process_all();
         assert_eq!(resp.len(), 1);
@@ -170,10 +181,16 @@ mod tests {
     #[test]
     fn negative_response_for_empty_region() {
         let mut d = dac();
-        d.push(DacRequest::Query { token: 1, rect: HyperRect::new(vec![5, 5], vec![6, 6]) });
+        d.push(DacRequest::Query {
+            token: 1,
+            rect: HyperRect::new(vec![5, 5], vec![6, 6]),
+        });
         let (resp, _) = d.process_all();
         assert_eq!(resp.len(), 1);
-        assert!(resp[0].records.is_empty(), "negative responses still answer");
+        assert!(
+            resp[0].records.is_empty(),
+            "negative responses still answer"
+        );
     }
 
     #[test]
@@ -200,10 +217,16 @@ mod tests {
         for i in 0..5000u64 {
             d.push(DacRequest::Insert(Record::new(vec![i])));
         }
-        d.push(DacRequest::Query { token: 1, rect: HyperRect::new(vec![0], vec![10]) });
+        d.push(DacRequest::Query {
+            token: 1,
+            rect: HyperRect::new(vec![0], vec![10]),
+        });
         let (resp, t) = d.process_all();
         assert_eq!(resp.len(), 1);
-        assert!(t >= cost.per_insert * 5000, "queued inserts dominate, got {t}");
+        assert!(
+            t >= cost.per_insert * 5000,
+            "queued inserts dominate, got {t}"
+        );
     }
 
     #[test]

@@ -76,7 +76,14 @@ impl KdTree {
         self.range_vec(rect).len()
     }
 
-    fn range_rec(&self, rect: &HyperRect, lo: usize, hi: usize, depth: usize, out: &mut Vec<RecordId>) {
+    fn range_rec(
+        &self,
+        rect: &HyperRect,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        out: &mut Vec<RecordId>,
+    ) {
         if lo >= hi {
             return;
         }
@@ -142,8 +149,13 @@ mod tests {
     #[test]
     fn single_point() {
         let t = KdTree::build(2, vec![(vec![5, 5], RecordId(1))]);
-        assert_eq!(t.range_vec(&HyperRect::new(vec![0, 0], vec![10, 10])), vec![RecordId(1)]);
-        assert!(t.range_vec(&HyperRect::new(vec![6, 0], vec![10, 10])).is_empty());
+        assert_eq!(
+            t.range_vec(&HyperRect::new(vec![0, 0], vec![10, 10])),
+            vec![RecordId(1)]
+        );
+        assert!(t
+            .range_vec(&HyperRect::new(vec![6, 0], vec![10, 10]))
+            .is_empty());
     }
 
     #[test]
@@ -196,7 +208,9 @@ mod tests {
 
     #[test]
     fn into_points_preserves_everything() {
-        let points: Vec<_> = (0..50).map(|i| (vec![i as u64, 2 * i as u64], RecordId(i))).collect();
+        let points: Vec<_> = (0..50)
+            .map(|i| (vec![i as u64, 2 * i as u64], RecordId(i)))
+            .collect();
         let tree = KdTree::build(2, points.clone());
         let mut back = tree.into_points();
         back.sort_by_key(|(_, id)| *id);

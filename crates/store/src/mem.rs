@@ -27,7 +27,12 @@ impl MemStore {
     /// Creates an empty store whose records have `dims` indexed dimensions.
     pub fn new(dims: usize) -> Self {
         assert!(dims > 0, "zero-dimensional store");
-        MemStore { dims, records: Vec::new(), tree: KdTree::build(dims, vec![]), buffer: Vec::new() }
+        MemStore {
+            dims,
+            records: Vec::new(),
+            tree: KdTree::build(dims, vec![]),
+            buffer: Vec::new(),
+        }
     }
 
     /// Number of stored records.
@@ -99,7 +104,11 @@ impl MemStore {
     /// Counts records inside `rect`.
     pub fn count_range(&self, rect: &HyperRect) -> usize {
         self.tree.count_range(rect)
-            + self.buffer.iter().filter(|(p, _)| rect.contains_point(p)).count()
+            + self
+                .buffer
+                .iter()
+                .filter(|(p, _)| rect.contains_point(p))
+                .count()
     }
 
     /// Fetches a record by id.

@@ -56,7 +56,8 @@ pub fn aggregate_window(flows: &[RawFlow], window_start: u64, window_len: u64) -
             router: f.router,
         });
         st.octets += f.bytes;
-        st.conns.insert((f.src_ip, f.src_port, f.dst_ip, f.dst_port));
+        st.conns
+            .insert((f.src_ip, f.src_port, f.dst_ip, f.dst_port));
         *st.ports.entry(f.dst_port).or_insert(0) += 1;
     }
     let mut out: Vec<AggRecord> = map
@@ -88,7 +89,12 @@ pub fn aggregate_window(flows: &[RawFlow], window_start: u64, window_len: u64) -
 
 /// Counts raw flows vs aggregates vs filtered aggregates for one window —
 /// the three series of Figure 1.
-pub fn reduction_counts(flows: &[RawFlow], window_start: u64, window_len: u64, octet_threshold: u64) -> (usize, usize, usize) {
+pub fn reduction_counts(
+    flows: &[RawFlow],
+    window_start: u64,
+    window_len: u64,
+    octet_threshold: u64,
+) -> (usize, usize, usize) {
     let aggs = aggregate_window(flows, window_start, window_len);
     let filtered = aggs.iter().filter(|a| a.octets >= octet_threshold).count();
     (flows.len(), aggs.len(), filtered)

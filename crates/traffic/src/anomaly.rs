@@ -62,7 +62,13 @@ impl Anomaly {
     /// The raw flows this anomaly adds at router `router` in the window
     /// starting at `window_start` (empty when outside the anomaly's time
     /// span or off its path).
-    pub fn window_flows(&self, seed: u64, window_start: u64, window_len: u64, router: u16) -> Vec<RawFlow> {
+    pub fn window_flows(
+        &self,
+        seed: u64,
+        window_start: u64,
+        window_len: u64,
+        router: u16,
+    ) -> Vec<RawFlow> {
         if !self.routers.contains(&router) {
             return Vec::new();
         }
@@ -95,7 +101,10 @@ impl Anomaly {
                     });
                 }
             }
-            AnomalyKind::Dos { sources, conns_per_source } => {
+            AnomalyKind::Dos {
+                sources,
+                conns_per_source,
+            } => {
                 let dst = self.dst_prefix | 1;
                 for s in 0..sources {
                     let src = self.src_prefix | (s + 2);
@@ -137,7 +146,10 @@ impl Anomaly {
     pub fn expected_fanout(&self) -> u64 {
         match self.kind {
             AnomalyKind::AlphaFlow { .. } => 4,
-            AnomalyKind::Dos { sources, conns_per_source } => (sources * conns_per_source) as u64,
+            AnomalyKind::Dos {
+                sources,
+                conns_per_source,
+            } => (sources * conns_per_source) as u64,
             AnomalyKind::PortScan { targets } => targets as u64,
         }
     }
@@ -204,7 +216,10 @@ pub fn section5_anomalies() -> Vec<Anomaly> {
             routers: vec![2, 5], // LOSA, HSTN
         },
         Anomaly {
-            kind: AnomalyKind::Dos { sources: 400, conns_per_source: 5 },
+            kind: AnomalyKind::Dos {
+                sources: 400,
+                conns_per_source: 5,
+            },
             start: 450,
             duration: 120,
             src_prefix: 0x0B00_0000,
@@ -212,7 +227,10 @@ pub fn section5_anomalies() -> Vec<Anomaly> {
             routers: vec![6, 3, 7, 4, 2, 1], // CHIN DNVR IPLS KSCY LOSA SNVA
         },
         Anomaly {
-            kind: AnomalyKind::Dos { sources: 600, conns_per_source: 4 },
+            kind: AnomalyKind::Dos {
+                sources: 600,
+                conns_per_source: 4,
+            },
             start: 1100,
             duration: 100,
             src_prefix: 0x0B01_0000,
@@ -239,7 +257,10 @@ mod tests {
     #[test]
     fn dos_flows_have_large_fanout_after_aggregation() {
         let a = Anomaly {
-            kind: AnomalyKind::Dos { sources: 400, conns_per_source: 5 },
+            kind: AnomalyKind::Dos {
+                sources: 400,
+                conns_per_source: 5,
+            },
             start: 0,
             duration: 60,
             src_prefix: 0x0B00_0000,
@@ -285,7 +306,10 @@ mod tests {
         };
         let flows = a.window_flows(1, 0, 30, 0);
         let total: u64 = flows.iter().map(|f| f.bytes).sum();
-        assert!(total >= (64 << 20) / 4 - 16, "window carries its share, got {total}");
+        assert!(
+            total >= (64 << 20) / 4 - 16,
+            "window carries its share, got {total}"
+        );
     }
 
     #[test]
@@ -302,7 +326,10 @@ mod tests {
     fn ground_truth_predicate() {
         let a = &section5_anomalies()[5]; // port scan, start 800 dur 180
         assert!(a.matches(a.dst_prefix, a.src_prefix, 810));
-        assert!(a.matches(a.dst_prefix, a.src_prefix, 780), "window overlapping start");
+        assert!(
+            a.matches(a.dst_prefix, a.src_prefix, 780),
+            "window overlapping start"
+        );
         assert!(!a.matches(a.dst_prefix, a.src_prefix, 980));
         assert!(!a.matches(a.dst_prefix + 1, a.src_prefix, 810));
     }
@@ -310,9 +337,18 @@ mod tests {
     #[test]
     fn section5_set_matches_paper_mix() {
         let all = section5_anomalies();
-        let alphas = all.iter().filter(|a| matches!(a.kind, AnomalyKind::AlphaFlow { .. })).count();
-        let dos = all.iter().filter(|a| matches!(a.kind, AnomalyKind::Dos { .. })).count();
-        let scans = all.iter().filter(|a| matches!(a.kind, AnomalyKind::PortScan { .. })).count();
+        let alphas = all
+            .iter()
+            .filter(|a| matches!(a.kind, AnomalyKind::AlphaFlow { .. }))
+            .count();
+        let dos = all
+            .iter()
+            .filter(|a| matches!(a.kind, AnomalyKind::Dos { .. }))
+            .count();
+        let scans = all
+            .iter()
+            .filter(|a| matches!(a.kind, AnomalyKind::PortScan { .. }))
+            .count();
         assert_eq!((alphas, dos, scans), (3, 2, 1));
         // Every DoS/scan clears the paper's 1500-fanout query threshold.
         for a in &all {

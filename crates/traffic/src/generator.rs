@@ -115,9 +115,11 @@ impl TrafficGenerator {
 
     /// Samples a prefix *rank* from the Zipf popularity law.
     fn sample_rank(&self, rng: &mut StdRng) -> usize {
-        let total = *self.zipf_cum.last().unwrap();
+        let total = self.zipf_cum.last().copied().unwrap_or(1.0);
         let u: f64 = rng.random_range(0.0..total);
-        self.zipf_cum.partition_point(|&c| c < u).min(self.cfg.prefixes - 1)
+        self.zipf_cum
+            .partition_point(|&c| c < u)
+            .min(self.cfg.prefixes - 1)
     }
 
     /// Maps a popularity rank to a concrete prefix for `(day, hour)`.
@@ -155,7 +157,13 @@ impl TrafficGenerator {
     /// Generates the sampled flows router `router` exports during the
     /// `window_len`-second window starting at `window_start` (seconds since
     /// the epoch of `day`).
-    pub fn window_flows(&self, day: u64, window_start: u64, window_len: u64, router: u16) -> Vec<RawFlow> {
+    pub fn window_flows(
+        &self,
+        day: u64,
+        window_start: u64,
+        window_len: u64,
+        router: u16,
+    ) -> Vec<RawFlow> {
         let mut rng = StdRng::seed_from_u64(
             self.cfg
                 .seed
@@ -281,8 +289,12 @@ mod tests {
     #[test]
     fn router_volume_scales_flow_count() {
         let g = TrafficGenerator::new(TrafficConfig::abilene_geant(1));
-        let abilene: usize = (0..20).map(|w| g.window_flows(0, w * 30, 30, 0).len()).sum();
-        let geant: usize = (0..20).map(|w| g.window_flows(0, w * 30, 30, 20).len()).sum();
+        let abilene: usize = (0..20)
+            .map(|w| g.window_flows(0, w * 30, 30, 0).len())
+            .sum();
+        let geant: usize = (0..20)
+            .map(|w| g.window_flows(0, w * 30, 30, 20).len())
+            .sum();
         assert!(
             abilene > geant * 5,
             "Abilene (1/100 sampling) must inject far more: {abilene} vs {geant}"

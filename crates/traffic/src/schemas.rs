@@ -136,7 +136,11 @@ mod tests {
 
     #[test]
     fn schemas_are_three_dimensional() {
-        for s in [index1_schema(86_400), index2_schema(86_400), index3_schema(86_400)] {
+        for s in [
+            index1_schema(86_400),
+            index2_schema(86_400),
+            index3_schema(86_400),
+        ] {
             assert_eq!(s.indexed_dims, 3);
             assert_eq!(s.time_dim(), Some(1));
         }
@@ -169,6 +173,10 @@ mod tests {
     fn conform_clamps_oversized_fanout() {
         let r = index1_record(&agg(10, 50_000)).unwrap();
         let r = r.conform(&index1_schema(86_400)).unwrap();
-        assert_eq!(r.value(2), FANOUT_BOUND, "out-of-bound fanout clamps to the largest range");
+        assert_eq!(
+            r.value(2),
+            FANOUT_BOUND,
+            "out-of-bound fanout clamps to the largest range"
+        );
     }
 }

@@ -42,9 +42,19 @@ impl BitCode {
     /// # Panics
     /// Panics if `len > 64`.
     pub fn from_raw(bits: u64, len: u8) -> Self {
-        assert!(len <= MAX_CODE_LEN, "code length {len} exceeds {MAX_CODE_LEN}");
-        let mask = if len == 0 { 0 } else { u64::MAX << (64 - len as u32) };
-        BitCode { bits: bits & mask, len }
+        assert!(
+            len <= MAX_CODE_LEN,
+            "code length {len} exceeds {MAX_CODE_LEN}"
+        );
+        let mask = if len == 0 {
+            0
+        } else {
+            u64::MAX << (64 - len as u32)
+        };
+        BitCode {
+            bits: bits & mask,
+            len,
+        }
     }
 
     /// Parses a code from a string of `'0'`/`'1'` characters, e.g. `"0101"`.
@@ -83,7 +93,11 @@ impl BitCode {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn bit(&self, i: u8) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for code of length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for code of length {}",
+            self.len
+        );
         (self.bits >> (63 - i as u32)) & 1 == 1
     }
 
@@ -97,12 +111,18 @@ impl BitCode {
     /// Panics if the code is already [`MAX_CODE_LEN`] bits long.
     #[inline]
     pub fn child(&self, bit: bool) -> Self {
-        assert!(self.len < MAX_CODE_LEN, "cannot extend a {MAX_CODE_LEN}-bit code");
+        assert!(
+            self.len < MAX_CODE_LEN,
+            "cannot extend a {MAX_CODE_LEN}-bit code"
+        );
         let mut bits = self.bits;
         if bit {
             bits |= 1 << (63 - self.len as u32);
         }
-        BitCode { bits, len: self.len + 1 }
+        BitCode {
+            bits,
+            len: self.len + 1,
+        }
     }
 
     /// The code with its last bit removed (its parent in the virtual binary
@@ -122,9 +142,20 @@ impl BitCode {
     /// Panics if `n > self.len()`.
     #[inline]
     pub fn prefix(&self, n: u8) -> Self {
-        assert!(n <= self.len, "prefix length {n} exceeds code length {}", self.len);
-        let mask = if n == 0 { 0 } else { u64::MAX << (64 - n as u32) };
-        BitCode { bits: self.bits & mask, len: n }
+        assert!(
+            n <= self.len,
+            "prefix length {n} exceeds code length {}",
+            self.len
+        );
+        let mask = if n == 0 {
+            0
+        } else {
+            u64::MAX << (64 - n as u32)
+        };
+        BitCode {
+            bits: self.bits & mask,
+            len: n,
+        }
     }
 
     /// The sibling code: same length, last bit flipped.
@@ -154,8 +185,15 @@ impl BitCode {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn flip(&self, i: u8) -> Self {
-        assert!(i < self.len, "flip index {i} out of range for code of length {}", self.len);
-        BitCode { bits: self.bits ^ (1 << (63 - i as u32)), len: self.len }
+        assert!(
+            i < self.len,
+            "flip index {i} out of range for code of length {}",
+            self.len
+        );
+        BitCode {
+            bits: self.bits ^ (1 << (63 - i as u32)),
+            len: self.len,
+        }
     }
 
     /// The *flip prefix* at position `i`: the first `i + 1` bits with bit `i`
@@ -169,7 +207,11 @@ impl BitCode {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn flip_prefix(&self, i: u8) -> Self {
-        assert!(i < self.len, "flip index {i} out of range for code of length {}", self.len);
+        assert!(
+            i < self.len,
+            "flip index {i} out of range for code of length {}",
+            self.len
+        );
         self.prefix(i + 1).sibling()
     }
 
@@ -177,7 +219,11 @@ impl BitCode {
     #[inline]
     pub fn common_prefix_len(&self, other: &Self) -> u8 {
         let diff = self.bits ^ other.bits;
-        let agree = if diff == 0 { 64 } else { diff.leading_zeros() as u8 };
+        let agree = if diff == 0 {
+            64
+        } else {
+            diff.leading_zeros() as u8
+        };
         agree.min(self.len).min(other.len)
     }
 
@@ -220,9 +266,16 @@ impl BitCode {
     pub fn from_index(index: u64, len: u8) -> Self {
         assert!(len <= MAX_CODE_LEN);
         if len < 64 {
-            assert!(index < (1u64 << len), "index {index} out of range for length {len}");
+            assert!(
+                index < (1u64 << len),
+                "index {index} out of range for length {len}"
+            );
         }
-        let bits = if len == 0 { 0 } else { index << (64 - len as u32) };
+        let bits = if len == 0 {
+            0
+        } else {
+            index << (64 - len as u32)
+        };
         BitCode { bits, len }
     }
 }
@@ -298,7 +351,10 @@ mod tests {
 
     #[test]
     fn sibling_flips_last_bit() {
-        assert_eq!(BitCode::parse("000000").unwrap().sibling().to_string(), "000001");
+        assert_eq!(
+            BitCode::parse("000000").unwrap().sibling().to_string(),
+            "000001"
+        );
         assert_eq!(BitCode::parse("1").unwrap().sibling().to_string(), "0");
     }
 
@@ -321,8 +377,12 @@ mod tests {
         assert_eq!(c.flip_prefix(3).to_string(), "0001");
         // In a balanced 6-cube those subtrees are single nodes 000001,
         // 000010 and 000100 — consistent with the paper.
-        assert!(c.flip_prefix(4).is_prefix_of(&BitCode::parse("000010").unwrap()));
-        assert!(c.flip_prefix(3).is_prefix_of(&BitCode::parse("000100").unwrap()));
+        assert!(c
+            .flip_prefix(4)
+            .is_prefix_of(&BitCode::parse("000010").unwrap()));
+        assert!(c
+            .flip_prefix(3)
+            .is_prefix_of(&BitCode::parse("000100").unwrap()));
     }
 
     #[test]

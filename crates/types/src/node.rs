@@ -18,7 +18,9 @@
 /// NodeIds are *transport* addresses; hypercube [`crate::BitCode`]s are
 /// *overlay* addresses. The overlay maps codes to NodeIds via its neighbor
 /// tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub u32);
 
 impl std::fmt::Display for NodeId {
@@ -60,7 +62,10 @@ pub struct Outbox<M> {
 
 impl<M> Default for Outbox<M> {
     fn default() -> Self {
-        Outbox { sends: Vec::new(), timers: Vec::new() }
+        Outbox {
+            sends: Vec::new(),
+            timers: Vec::new(),
+        }
     }
 }
 
@@ -88,10 +93,16 @@ impl<M> Outbox<M> {
     }
 
     /// Moves all effects out, leaving the outbox empty.
-    pub fn drain(&mut self) -> (Vec<(NodeId, M)>, Vec<(SimTime, u64)>) {
-        (std::mem::take(&mut self.sends), std::mem::take(&mut self.timers))
+    pub fn drain(&mut self) -> Effects<M> {
+        (
+            std::mem::take(&mut self.sends),
+            std::mem::take(&mut self.timers),
+        )
     }
 }
+
+/// Drained outbox effects: `(to, message)` sends and `(delay, token)` timers.
+pub type Effects<M> = (Vec<(NodeId, M)>, Vec<(SimTime, u64)>);
 
 /// The event-driven node state machine.
 pub trait NodeLogic {
@@ -102,7 +113,13 @@ pub trait NodeLogic {
     fn on_start(&mut self, now: SimTime, out: &mut Outbox<Self::Msg>);
 
     /// Called for every delivered message.
-    fn on_message(&mut self, now: SimTime, from: NodeId, msg: Self::Msg, out: &mut Outbox<Self::Msg>);
+    fn on_message(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        msg: Self::Msg,
+        out: &mut Outbox<Self::Msg>,
+    );
 
     /// Called when a timer armed via [`Outbox::set_timer`] fires.
     fn on_timer(&mut self, now: SimTime, token: u64, out: &mut Outbox<Self::Msg>);

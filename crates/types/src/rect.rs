@@ -32,7 +32,12 @@ impl HyperRect {
         assert_eq!(lo.len(), hi.len(), "lo/hi dimensionality mismatch");
         assert!(!lo.is_empty(), "zero-dimensional rectangle");
         for d in 0..lo.len() {
-            assert!(lo[d] <= hi[d], "inverted bounds on axis {d}: {} > {}", lo[d], hi[d]);
+            assert!(
+                lo[d] <= hi[d],
+                "inverted bounds on axis {d}: {} > {}",
+                lo[d],
+                hi[d]
+            );
         }
         HyperRect { lo, hi }
     }
@@ -101,8 +106,12 @@ impl HyperRect {
         if !self.intersects(other) {
             return None;
         }
-        let lo = (0..self.dims()).map(|d| self.lo[d].max(other.lo[d])).collect();
-        let hi = (0..self.dims()).map(|d| self.hi[d].min(other.hi[d])).collect();
+        let lo = (0..self.dims())
+            .map(|d| self.lo[d].max(other.lo[d]))
+            .collect();
+        let hi = (0..self.dims())
+            .map(|d| self.hi[d].min(other.hi[d]))
+            .collect();
         Some(HyperRect { lo, hi })
     }
 
@@ -154,8 +163,8 @@ impl HyperRect {
     /// tuples) to the largest range; clamping implements exactly that.
     pub fn clamp_point(&self, point: &mut [Value]) {
         assert_eq!(point.len(), self.dims());
-        for d in 0..point.len() {
-            point[d] = point[d].clamp(self.lo[d], self.hi[d]);
+        for (d, p) in point.iter_mut().enumerate() {
+            *p = (*p).clamp(self.lo[d], self.hi[d]);
         }
     }
 }

@@ -58,7 +58,12 @@ impl AttrDef {
     pub fn new(name: impl Into<String>, kind: AttrKind, min: Value, max: Value) -> Self {
         let name = name.into();
         assert!(min <= max, "attribute {name}: min {min} > max {max}");
-        AttrDef { name, kind, min, max }
+        AttrDef {
+            name,
+            kind,
+            min,
+            max,
+        }
     }
 }
 
@@ -81,7 +86,10 @@ impl IndexSchema {
     /// if two attributes share a name.
     pub fn new(tag: impl Into<String>, attrs: Vec<AttrDef>, indexed_dims: usize) -> Self {
         let tag = tag.into();
-        assert!(indexed_dims >= 1, "index {tag}: at least one indexed dimension required");
+        assert!(
+            indexed_dims >= 1,
+            "index {tag}: at least one indexed dimension required"
+        );
         assert!(
             indexed_dims <= attrs.len(),
             "index {tag}: indexed_dims {indexed_dims} exceeds attribute count {}",
@@ -89,10 +97,17 @@ impl IndexSchema {
         );
         for i in 0..attrs.len() {
             for j in (i + 1)..attrs.len() {
-                assert_ne!(attrs[i].name, attrs[j].name, "index {tag}: duplicate attribute name");
+                assert_ne!(
+                    attrs[i].name, attrs[j].name,
+                    "index {tag}: duplicate attribute name"
+                );
             }
         }
-        IndexSchema { tag, attrs, indexed_dims }
+        IndexSchema {
+            tag,
+            attrs,
+            indexed_dims,
+        }
     }
 
     /// Total number of attributes (indexed + carried).
@@ -102,8 +117,14 @@ impl IndexSchema {
 
     /// The bounding hyper-rectangle of the indexed data space.
     pub fn bounds(&self) -> HyperRect {
-        let lo = self.attrs[..self.indexed_dims].iter().map(|a| a.min).collect();
-        let hi = self.attrs[..self.indexed_dims].iter().map(|a| a.max).collect();
+        let lo = self.attrs[..self.indexed_dims]
+            .iter()
+            .map(|a| a.min)
+            .collect();
+        let hi = self.attrs[..self.indexed_dims]
+            .iter()
+            .map(|a| a.max)
+            .collect();
         HyperRect::new(lo, hi)
     }
 

@@ -32,11 +32,16 @@ fn main() {
     // Index-1: (dst_prefix, timestamp, fanout) — the scan/DoS detector.
     let schema = index1_schema(1800);
     let cuts = CutTree::even(schema.bounds(), 9);
-    cluster.create_index(NodeId(0), schema, cuts, Replication::Level(1)).unwrap();
+    cluster
+        .create_index(NodeId(0), schema, cuts, Replication::Level(1))
+        .unwrap();
     cluster.run_for(15 * SECONDS);
 
     // Stream 25 minutes of traffic with hidden attacks.
-    let generator = TrafficGenerator::new(TrafficConfig { routers: 11, ..Default::default() });
+    let generator = TrafficGenerator::new(TrafficConfig {
+        routers: 11,
+        ..Default::default()
+    });
     let anomalies = section5_anomalies();
     let mut inserted = 0u64;
     for w in (0..1500u64).step_by(30) {
@@ -60,7 +65,9 @@ fn main() {
     // Step 1 — the standing monitoring query: "any source fanning out to
     // more than 1500 connections in the last half hour?"
     let broad = HyperRect::new(vec![0, 0, 1500], vec![u32::MAX as u64, 1800, FANOUT_BOUND]);
-    let hits = cluster.query_and_wait(NodeId(6), "index-1", broad, vec![]).unwrap();
+    let hits = cluster
+        .query_and_wait(NodeId(6), "index-1", broad, vec![])
+        .unwrap();
     println!(
         "step 1: broad sweep -> {} suspicious aggregates ({} nodes answered, {:.2}s)",
         hits.records.len(),
@@ -75,7 +82,9 @@ fn main() {
     victims.dedup();
     for v in victims {
         let narrow = HyperRect::new(vec![v, 0, 1500], vec![v, 1800, FANOUT_BOUND]);
-        let focused = cluster.query_and_wait(NodeId(6), "index-1", narrow, vec![]).unwrap();
+        let focused = cluster
+            .query_and_wait(NodeId(6), "index-1", narrow, vec![])
+            .unwrap();
         // The `node` attribute of each record names the observing router:
         // the attack's path through the backbone.
         let mut path: Vec<&str> = focused
@@ -88,7 +97,10 @@ fn main() {
         let windows = {
             let mut w: Vec<u64> = focused.records.iter().map(|r| r.value(1)).collect();
             w.sort_unstable();
-            (w.first().copied().unwrap_or(0), w.last().copied().unwrap_or(0))
+            (
+                w.first().copied().unwrap_or(0),
+                w.last().copied().unwrap_or(0),
+            )
         };
         println!(
             "step 2: victim {:#010x}: {} records, t=[{}..{}], path {}",
@@ -114,7 +126,11 @@ fn main() {
             a.dst_prefix,
             a.start,
             a.start + a.duration,
-            a.routers.iter().map(|&r| ABILENE[r as usize]).collect::<Vec<_>>().join(","),
+            a.routers
+                .iter()
+                .map(|&r| ABILENE[r as usize])
+                .collect::<Vec<_>>()
+                .join(","),
         );
     }
 }

@@ -21,7 +21,10 @@ use mind_bench::harness::{
 use mind_core::LatencySummary;
 
 fn main() {
-    let scale = ExperimentScale { volume: 1.0, hours: 1 };
+    let scale = ExperimentScale {
+        volume: 1.0,
+        hours: 1,
+    };
     let kind = IndexKind::Octets;
     let ts_bound = 86_400;
     let t0 = 11 * 3600; // late morning
@@ -78,6 +81,9 @@ fn main() {
         dist.iter().filter(|&&c| c > 0).count(),
     );
     if let Some(((a, b), stats)) = busiest {
-        println!("busiest link:       {a} -> {b} ({} msgs, {} tuples)", stats.messages, stats.data_messages);
+        println!(
+            "busiest link:       {a} -> {b} ({} msgs, {} tuples)",
+            stats.messages, stats.data_messages
+        );
     }
 }

@@ -32,20 +32,27 @@ fn main() {
     let mut cluster = MindCluster::new(cfg);
     let schema = index1_schema(1800);
     let cuts = CutTree::even(schema.bounds(), 9);
-    cluster.create_index(NodeId(0), schema, cuts, Replication::Level(1)).unwrap();
+    cluster
+        .create_index(NodeId(0), schema, cuts, Replication::Level(1))
+        .unwrap();
     cluster.run_for(15 * SECONDS);
 
     // The NOC (node 6, Chicago) installs one standing query before any
     // traffic flows: "alert me on any aggregate with fanout > 1500".
     let noc = NodeId(6);
     let watch = HyperRect::new(vec![0, 0, 1500], vec![u32::MAX as u64, 1800, FANOUT_BOUND]);
-    let tid = cluster.create_trigger(noc, "index-1", watch, vec![]).unwrap();
+    let tid = cluster
+        .create_trigger(noc, "index-1", watch, vec![])
+        .unwrap();
     cluster.run_for(15 * SECONDS);
     println!("standing query {tid} armed at {} (CHIN)\n", ABILENE[6]);
 
     // Stream 25 minutes of traffic with hidden attacks; after every
     // aggregation window, drain fresh alerts.
-    let generator = TrafficGenerator::new(TrafficConfig { routers: 11, ..Default::default() });
+    let generator = TrafficGenerator::new(TrafficConfig {
+        routers: 11,
+        ..Default::default()
+    });
     let anomalies = section5_anomalies();
     let mut alerts_seen = 0usize;
     let mut first_alert_for: Vec<Option<u64>> = vec![None; anomalies.len()];

@@ -41,10 +41,10 @@ fn main() {
     //    space, so related records co-locate.
     for i in 0..200u64 {
         let record = Record::new(vec![
-            (0xC0A8_0000 + (i % 7) * 0x10000) as u64, // dst prefix
-            100 + i * 30,                             // timestamp
-            (i * 37_000) % (2 << 20),                 // octets
-            0x0A00_0000 + i,                          // src prefix (carried)
+            0xC0A8_0000 + (i % 7) * 0x10000, // dst prefix
+            100 + i * 30,                    // timestamp
+            (i * 37_000) % (2 << 20),        // octets
+            0x0A00_0000 + i,                 // src prefix (carried)
         ]);
         cluster
             .insert(NodeId((i % 16) as u32), "alpha-flows", record)
@@ -52,7 +52,10 @@ fn main() {
         cluster.run_for(SECONDS / 5);
     }
     cluster.run_for(30 * SECONDS);
-    println!("inserted 200 records; stored: {}", cluster.total_primary_rows("alpha-flows"));
+    println!(
+        "inserted 200 records; stored: {}",
+        cluster.total_primary_rows("alpha-flows")
+    );
 
     // 4. Ask the monitoring question: any flow bigger than 1 MB to the
     //    192.168/13 neighborhood in the first two hours?

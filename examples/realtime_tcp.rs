@@ -23,8 +23,9 @@ use std::time::{Duration, Instant};
 fn main() {
     const N: usize = 8;
     // Bind all listeners first so every node knows the full peer map.
-    let listeners: Vec<TcpListener> =
-        (0..N).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+    let listeners: Vec<TcpListener> = (0..N)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
     let peers: HashMap<NodeId, SocketAddr> = listeners
         .iter()
         .enumerate()
@@ -36,7 +37,10 @@ fn main() {
     }
 
     let topo = StaticTopology::balanced(N);
-    let overlay_cfg = OverlayConfig { hb_interval: 250 * MILLIS, ..OverlayConfig::default() };
+    let overlay_cfg = OverlayConfig {
+        hb_interval: 250 * MILLIS,
+        ..OverlayConfig::default()
+    };
     let hosts: Vec<TcpHost<MindNode>> = listeners
         .into_iter()
         .enumerate()
@@ -64,24 +68,37 @@ fn main() {
     );
     let cuts = CutTree::even(schema.bounds(), 8);
     hosts[0].invoke(move |n, _now, out| {
-        n.create_index(schema, cuts, Replication::Level(1), out).unwrap()
+        n.create_index(schema, cuts, Replication::Level(1), out)
+            .unwrap();
     });
     wait_until("index flood", Duration::from_secs(10), || {
-        hosts.iter().all(|h| h.invoke(|n, _t, _o| !n.index_tags().is_empty()))
+        hosts
+            .iter()
+            .all(|h| h.invoke(|n, _t, _o| !n.index_tags().is_empty()))
     });
     println!("index created on all {N} nodes over TCP");
 
     // Every node inserts a burst of records.
     let start = Instant::now();
     for i in 0..120u64 {
-        let rec = Record::new(vec![(i * 0x0200_0000) % (1 << 32), 50 + i, (i * 977) % (2 << 20)]);
+        let rec = Record::new(vec![
+            (i * 0x0200_0000) % (1 << 32),
+            50 + i,
+            (i * 977) % (2 << 20),
+        ]);
         hosts[(i % N as u64) as usize]
             .invoke(move |n, now, out| n.insert(now, "live-flows", rec, out).unwrap());
     }
     wait_until("records stored", Duration::from_secs(15), || {
         let total: u64 = hosts
             .iter()
-            .map(|h| h.invoke(|n, _t, _o| n.index_state("live-flows").map(|s| s.primary_rows()).unwrap_or(0)))
+            .map(|h| {
+                h.invoke(|n, _t, _o| {
+                    n.index_state("live-flows")
+                        .map(|s| s.primary_rows())
+                        .unwrap_or(0)
+                })
+            })
             .sum();
         total == 120
     });
@@ -90,7 +107,8 @@ fn main() {
     // Query from a different node.
     let rect = HyperRect::new(vec![0, 0, 1 << 16], vec![u32::MAX as u64, 86_400, 2 << 20]);
     let t0 = Instant::now();
-    let qid = hosts[5].invoke(move |n, now, out| n.query(now, "live-flows", rect, vec![], out).unwrap());
+    let qid =
+        hosts[5].invoke(move |n, now, out| n.query(now, "live-flows", rect, vec![], out).unwrap());
     let outcome = loop {
         if let Some(o) = hosts[5].invoke(move |n, _t, _o| n.query_outcome(qid)) {
             break o;

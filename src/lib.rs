@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub use mind_audit as audit;
 pub use mind_baselines as baselines;
 pub use mind_core as core;
 pub use mind_histogram as histogram;

@@ -2,6 +2,7 @@
 //! crashes mid-stream, recursive takeover, revivals, and query health on a
 //! degraded overlay.
 
+use mind::audit::{Auditor, ViolationKind};
 use mind::core::{ClusterConfig, MindCluster, Replication};
 use mind::histogram::CutTree;
 use mind::types::node::SECONDS;
@@ -25,8 +26,11 @@ fn build(n: usize, seed: u64, replication: Replication) -> MindCluster {
     let mut cluster = MindCluster::new(ClusterConfig::planetlab(n, seed));
     let s = schema();
     let cuts = CutTree::even(s.bounds(), 10);
-    cluster.create_index(NodeId(0), s, cuts, replication).unwrap();
+    cluster
+        .create_index(NodeId(0), s, cuts, replication)
+        .unwrap();
     cluster.run_for(20 * SECONDS);
+    cluster.audit_settled().assert_clean("after index build");
     cluster
 }
 
@@ -58,7 +62,14 @@ fn inserts_continue_through_crashes() {
     for k in [3u32, 11, 17] {
         cluster.crash(NodeId(k));
     }
+    // Mid-churn, the always-true invariants must still hold.
+    cluster
+        .audit_structural()
+        .assert_clean("right after crashes");
     cluster.run_for(40 * SECONDS);
+    cluster
+        .audit_settled()
+        .assert_clean("after takeover settled");
     let mut late = Vec::new();
     for i in 0..60 {
         let origin = NodeId([0u32, 1, 5, 7, 9, 20][i % 6]);
@@ -95,9 +106,15 @@ fn double_failure_of_sibling_pair_is_survivable_with_full_replication() {
     cluster.crash(NodeId(0));
     cluster.crash(NodeId(1));
     cluster.run_for(90 * SECONDS);
+    cluster
+        .audit_settled()
+        .assert_clean("after sibling-pair takeover");
     let q = HyperRect::new(vec![0, 0, 0], vec![1 << 20, 86_400, 1 << 20]);
     let outcome = cluster.query_and_wait(NodeId(9), "t", q, vec![]).unwrap();
-    assert!(outcome.complete, "query incomplete after sibling-pair failure");
+    assert!(
+        outcome.complete,
+        "query incomplete after sibling-pair failure"
+    );
     assert_eq!(
         outcome.records.len(),
         recs.len(),
@@ -117,12 +134,52 @@ fn revived_node_rejoins_service() {
     cluster.run_for(30 * SECONDS);
     // The revived node can originate inserts and queries again.
     let r = Record::new(vec![123, 456, 789]);
-    cluster.insert(NodeId(4), "t", r.clone()).unwrap();
+    cluster.insert(NodeId(4), "t", r).unwrap();
     cluster.run_for(30 * SECONDS);
     let q = HyperRect::new(vec![123, 456, 789], vec![123, 456, 789]);
     let outcome = cluster.query_and_wait(NodeId(4), "t", q, vec![]).unwrap();
     assert!(outcome.complete);
     assert_eq!(outcome.records.len(), 1);
+    // Regression check: a revived node must REJOIN, not resume its stale
+    // pre-crash membership — resuming left two live nodes owning the same
+    // code and stale claims shadowing live owners.
+    cluster.run_for(60 * SECONDS);
+    assert!(
+        cluster.world().node(NodeId(4)).overlay().is_member(),
+        "revived node rejoined"
+    );
+    cluster.audit_settled().assert_clean("after revive settled");
+}
+
+#[test]
+fn revived_node_does_not_resume_stale_membership() {
+    // Direct regression test for the stale-revive bug the auditor caught:
+    // crash a node, let its sibling take the region over, revive it, and
+    // verify no code is owned twice and no stale claim survives.
+    let n = 24;
+    let mut cluster = build(n, 31, Replication::Level(1));
+    let mut rng = StdRng::seed_from_u64(31);
+    spray(&mut cluster, &mut rng, n, 60);
+    cluster.crash(NodeId(3));
+    cluster.run_for(90 * SECONDS);
+    cluster.revive(NodeId(3));
+    cluster.run_for(120 * SECONDS);
+    let report = Auditor::settled().audit(&cluster.audit_snapshot());
+    let stale: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| {
+            matches!(
+                v.kind(),
+                ViolationKind::CodeOverlap | ViolationKind::StaleClaim
+            )
+        })
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "revive resumed stale membership: {stale:?}"
+    );
+    report.assert_clean("after revive (full invariant catalog)");
 }
 
 #[test]
@@ -135,12 +192,17 @@ fn query_from_every_survivor_completes_on_degraded_overlay() {
         cluster.crash(NodeId(k));
     }
     cluster.run_for(90 * SECONDS);
+    cluster
+        .audit_settled()
+        .assert_clean("after five-node takeover");
     let q = HyperRect::new(vec![1 << 18, 0, 1 << 18], vec![1 << 19, 86_400, 1 << 19]);
     for k in 0..n as u32 {
         if !cluster.world().is_alive(NodeId(k)) {
             continue;
         }
-        let outcome = cluster.query_and_wait(NodeId(k), "t", q.clone(), vec![]).unwrap();
+        let outcome = cluster
+            .query_and_wait(NodeId(k), "t", q.clone(), vec![])
+            .unwrap();
         assert!(outcome.complete, "query from survivor {k} incomplete");
     }
 }

@@ -21,7 +21,9 @@ fn traffic_to_queries_with_perfect_recall() {
     let schema = index2_schema(3600);
     let mut cluster = MindCluster::new(ClusterConfig::planetlab(routers, 11));
     let cuts = CutTree::even(schema.bounds(), 9);
-    cluster.create_index(NodeId(0), schema.clone(), cuts, Replication::None).unwrap();
+    cluster
+        .create_index(NodeId(0), schema.clone(), cuts, Replication::None)
+        .unwrap();
     cluster.run_for(20 * SECONDS);
 
     // Ten minutes of traffic through the real pipeline.
@@ -52,21 +54,25 @@ fn traffic_to_queries_with_perfect_recall() {
     .enumerate()
     {
         let rect = HyperRect::new(vec![lo.0, lo.1, lo.2], vec![hi.0, hi.1, hi.2]);
-        let want: Vec<&Record> =
-            oracle.iter().filter(|r| rect.contains_point(r.point(3))).collect();
+        let want: Vec<&Record> = oracle
+            .iter()
+            .filter(|r| rect.contains_point(r.point(3)))
+            .collect();
         let outcome = cluster
             .query_and_wait(NodeId((i % 8) as u32), "index-2", rect, vec![])
             .unwrap();
         assert!(outcome.complete, "query {i} incomplete");
-        assert_eq!(outcome.records.len(), want.len(), "query {i} recall mismatch");
+        assert_eq!(
+            outcome.records.len(),
+            want.len(),
+            "query {i} recall mismatch"
+        );
     }
 }
 
 #[test]
 fn three_indices_coexist_on_one_overlay() {
-    use mind::traffic::schemas::{
-        index1_record, index1_schema, index3_record, index3_schema,
-    };
+    use mind::traffic::schemas::{index1_record, index1_schema, index3_record, index3_schema};
     let routers = 6usize;
     let generator = TrafficGenerator::new(TrafficConfig {
         seed: 12,
@@ -75,9 +81,15 @@ fn three_indices_coexist_on_one_overlay() {
         ..TrafficConfig::default()
     });
     let mut cluster = MindCluster::new(ClusterConfig::planetlab(routers, 12));
-    for schema in [index1_schema(3600), index2_schema(3600), index3_schema(3600)] {
+    for schema in [
+        index1_schema(3600),
+        index2_schema(3600),
+        index3_schema(3600),
+    ] {
         let cuts = CutTree::even(schema.bounds(), 8);
-        cluster.create_index(NodeId(0), schema, cuts, Replication::None).unwrap();
+        cluster
+            .create_index(NodeId(0), schema, cuts, Replication::None)
+            .unwrap();
         cluster.run_for(10 * SECONDS);
     }
     let mut counts = [0u64; 3];
@@ -85,9 +97,13 @@ fn three_indices_coexist_on_one_overlay() {
         for r in 0..routers as u16 {
             let flows = generator.window_flows(0, w, 30, r);
             for agg in aggregate_window(&flows, w, 30) {
-                for (i, rec) in [index1_record(&agg), index2_record(&agg), index3_record(&agg)]
-                    .into_iter()
-                    .enumerate()
+                for (i, rec) in [
+                    index1_record(&agg),
+                    index2_record(&agg),
+                    index3_record(&agg),
+                ]
+                .into_iter()
+                .enumerate()
                 {
                     if let Some(rec) = rec {
                         counts[i] += 1;
@@ -134,7 +150,9 @@ fn carried_attribute_filters_match_oracle() {
     let schema = index3_schema(3600);
     let mut cluster = MindCluster::new(ClusterConfig::planetlab(routers, 13));
     let cuts = CutTree::even(schema.bounds(), 8);
-    cluster.create_index(NodeId(0), schema.clone(), cuts, Replication::None).unwrap();
+    cluster
+        .create_index(NodeId(0), schema.clone(), cuts, Replication::None)
+        .unwrap();
     cluster.run_for(15 * SECONDS);
     let mut oracle: Vec<Record> = Vec::new();
     for w in (0..300u64).step_by(30) {
@@ -153,12 +171,19 @@ fn carried_attribute_filters_match_oracle() {
     // "Web-port flows with suspicious sizes" — dst_port (attr 4) is a
     // carried attribute filtered at responders.
     let rect = HyperRect::new(vec![0, 0, 0], vec![u32::MAX as u64, 3600, 128 << 10]);
-    let filter = CarriedFilter { attr: 4, lo: 80, hi: 80 };
+    let filter = CarriedFilter {
+        attr: 4,
+        lo: 80,
+        hi: 80,
+    };
     let want = oracle
         .iter()
         .filter(|r| rect.contains_point(r.point(3)) && r.value(4) == 80)
         .count();
-    assert!(want > 0, "need port-80 records for the test to be meaningful");
+    assert!(
+        want > 0,
+        "need port-80 records for the test to be meaningful"
+    );
     let outcome = cluster
         .query_and_wait(NodeId(2), "index-3", rect, vec![filter])
         .unwrap();

@@ -24,8 +24,11 @@ fn build(n: usize, seed: u64) -> MindCluster {
     let mut cluster = MindCluster::new(ClusterConfig::planetlab(n, seed));
     let s = schema();
     let cuts = CutTree::even(s.bounds(), 9);
-    cluster.create_index(NodeId(0), s, cuts, Replication::Level(1)).unwrap();
+    cluster
+        .create_index(NodeId(0), s, cuts, Replication::Level(1))
+        .unwrap();
     cluster.run_for(20 * SECONDS);
+    cluster.audit_settled().assert_clean("after index build");
     cluster
 }
 
@@ -36,18 +39,32 @@ fn trigger_fires_for_matching_inserts_from_any_node() {
     // Node 3 subscribes: "tell me about anything with size >= 1000 in
     // x ∈ [100, 200]".
     let rect = HyperRect::new(vec![100, 0, 1000], vec![200, 86_400 * 7, 1 << 20]);
-    let tid = cluster.create_trigger(NodeId(3), "watched", rect, vec![]).unwrap();
+    let tid = cluster
+        .create_trigger(NodeId(3), "watched", rect, vec![])
+        .unwrap();
     cluster.run_for(20 * SECONDS);
 
     // Matching and non-matching inserts from various nodes.
-    cluster.insert(NodeId(0), "watched", Record::new(vec![150, 10, 5000, 80])).unwrap();
-    cluster.insert(NodeId(5), "watched", Record::new(vec![150, 20, 50, 80])).unwrap(); // size too small
-    cluster.insert(NodeId(9), "watched", Record::new(vec![500, 30, 5000, 80])).unwrap(); // x outside
-    cluster.insert(NodeId(11), "watched", Record::new(vec![199, 40, 2000, 443])).unwrap();
+    cluster
+        .insert(NodeId(0), "watched", Record::new(vec![150, 10, 5000, 80]))
+        .unwrap();
+    cluster
+        .insert(NodeId(5), "watched", Record::new(vec![150, 20, 50, 80]))
+        .unwrap(); // size too small
+    cluster
+        .insert(NodeId(9), "watched", Record::new(vec![500, 30, 5000, 80]))
+        .unwrap(); // x outside
+    cluster
+        .insert(NodeId(11), "watched", Record::new(vec![199, 40, 2000, 443]))
+        .unwrap();
     cluster.run_for(60 * SECONDS);
 
     let log = cluster.trigger_log(NodeId(3));
-    assert_eq!(log.len(), 2, "exactly the two matching inserts fire: {log:?}");
+    assert_eq!(
+        log.len(),
+        2,
+        "exactly the two matching inserts fire: {log:?}"
+    );
     assert!(log.iter().all(|(id, _, _)| *id == tid));
     let mut xs: Vec<u64> = log.iter().map(|(_, _, r)| r.value(0)).collect();
     xs.sort_unstable();
@@ -55,7 +72,10 @@ fn trigger_fires_for_matching_inserts_from_any_node() {
     // No other node received notifications.
     for k in 0..n as u32 {
         if k != 3 {
-            assert!(cluster.trigger_log(NodeId(k)).is_empty(), "node {k} got stray alerts");
+            assert!(
+                cluster.trigger_log(NodeId(k)).is_empty(),
+                "node {k} got stray alerts"
+            );
         }
     }
 }
@@ -66,20 +86,39 @@ fn trigger_carried_filters_and_drop() {
     // Only port-80 traffic is interesting (port is a carried attribute).
     let rect = HyperRect::new(vec![0, 0, 0], vec![10_000, 86_400 * 7, 1 << 20]);
     let tid = cluster
-        .create_trigger(NodeId(1), "watched", rect, vec![CarriedFilter { attr: 3, lo: 80, hi: 80 }])
+        .create_trigger(
+            NodeId(1),
+            "watched",
+            rect,
+            vec![CarriedFilter {
+                attr: 3,
+                lo: 80,
+                hi: 80,
+            }],
+        )
         .unwrap();
     cluster.run_for(20 * SECONDS);
-    cluster.insert(NodeId(0), "watched", Record::new(vec![1, 1, 1, 80])).unwrap();
-    cluster.insert(NodeId(0), "watched", Record::new(vec![2, 2, 2, 443])).unwrap();
+    cluster
+        .insert(NodeId(0), "watched", Record::new(vec![1, 1, 1, 80]))
+        .unwrap();
+    cluster
+        .insert(NodeId(0), "watched", Record::new(vec![2, 2, 2, 443]))
+        .unwrap();
     cluster.run_for(40 * SECONDS);
     assert_eq!(cluster.trigger_log(NodeId(1)).len(), 1);
 
     // After dropping, nothing more fires.
     cluster.drop_trigger(NodeId(1), tid);
     cluster.run_for(20 * SECONDS);
-    cluster.insert(NodeId(0), "watched", Record::new(vec![3, 3, 3, 80])).unwrap();
+    cluster
+        .insert(NodeId(0), "watched", Record::new(vec![3, 3, 3, 80]))
+        .unwrap();
     cluster.run_for(40 * SECONDS);
-    assert_eq!(cluster.trigger_log(NodeId(1)).len(), 1, "dropped trigger must not fire");
+    assert_eq!(
+        cluster.trigger_log(NodeId(1)).len(),
+        1,
+        "dropped trigger must not fire"
+    );
 }
 
 #[test]
@@ -87,7 +126,9 @@ fn trigger_survives_region_takeover() {
     let n = 16;
     let mut cluster = build(n, 53);
     let rect = HyperRect::new(vec![0, 0, 0], vec![10_000, 86_400 * 7, 1 << 20]);
-    let _tid = cluster.create_trigger(NodeId(2), "watched", rect, vec![]).unwrap();
+    let _tid = cluster
+        .create_trigger(NodeId(2), "watched", rect, vec![])
+        .unwrap();
     cluster.run_for(20 * SECONDS);
     // Find the owner of a probe record's region and kill it; after the
     // sibling takes over, a matching insert must still fire the trigger.
@@ -108,9 +149,14 @@ fn trigger_survives_region_takeover() {
     if owner != 2 {
         cluster.crash(NodeId(owner));
         cluster.run_for(60 * SECONDS);
+        cluster.audit_settled().assert_clean("after owner takeover");
         let origin = (0..n as u32).find(|&k| k != owner && k != 2).unwrap();
         cluster
-            .insert(NodeId(origin), "watched", Record::new(vec![4243, 200, 600, 80]))
+            .insert(
+                NodeId(origin),
+                "watched",
+                Record::new(vec![4243, 200, 600, 80]),
+            )
             .unwrap();
         cluster.run_for(60 * SECONDS);
         assert!(
@@ -129,7 +175,11 @@ fn version_gc_drops_aged_data_only() {
     // Day-0 records.
     for i in 0..20u64 {
         cluster
-            .insert(NodeId((i % 10) as u32), "watched", Record::new(vec![i * 13 % 10_000, 100 + i, 10, 80]))
+            .insert(
+                NodeId((i % 10) as u32),
+                "watched",
+                Record::new(vec![i * 13 % 10_000, 100 + i, 10, 80]),
+            )
             .unwrap();
         if i % 5 == 0 {
             cluster.run_for(SECONDS);
@@ -138,9 +188,19 @@ fn version_gc_drops_aged_data_only() {
     cluster.run_for(60 * SECONDS);
     cluster.report_day_histograms("watched", 0);
     cluster.run_for(120 * SECONDS);
+    // Version rollover must keep versions monotone and agreed everywhere.
+    cluster
+        .audit_settled()
+        .assert_clean("after version rollover");
     for k in 0..10u32 {
         assert_eq!(
-            cluster.world().node(NodeId(k)).index_state("watched").unwrap().versions.len(),
+            cluster
+                .world()
+                .node(NodeId(k))
+                .index_state("watched")
+                .unwrap()
+                .versions
+                .len(),
             2,
             "node {k} missing auto-installed version"
         );
@@ -164,6 +224,8 @@ fn version_gc_drops_aged_data_only() {
     // Age out day 0: version 0's range ends at 86_399 < 90_000.
     let collected = cluster.gc_versions("watched", 90_000);
     assert!(collected > 0, "version 0 must be collected somewhere");
+    // GC leaves tombstones: version numbering and monotonicity intact.
+    cluster.audit_settled().assert_clean("after version gc");
     assert_eq!(
         cluster.total_primary_rows("watched"),
         20,
@@ -172,11 +234,15 @@ fn version_gc_drops_aged_data_only() {
     // Queries over the aged range now come back empty (but complete);
     // queries over day 1 are unaffected.
     let old = HyperRect::new(vec![0, 0, 0], vec![10_000, 86_399, 1 << 20]);
-    let o = cluster.query_and_wait(NodeId(4), "watched", old, vec![]).unwrap();
+    let o = cluster
+        .query_and_wait(NodeId(4), "watched", old, vec![])
+        .unwrap();
     assert!(o.complete);
     assert!(o.records.is_empty(), "aged data must be gone");
     let new_q = HyperRect::new(vec![0, 86_400, 0], vec![10_000, 86_500, 1 << 20]);
-    let o = cluster.query_and_wait(NodeId(4), "watched", new_q, vec![]).unwrap();
+    let o = cluster
+        .query_and_wait(NodeId(4), "watched", new_q, vec![])
+        .unwrap();
     assert!(o.complete);
     assert_eq!(o.records.len(), 20);
     // GC is idempotent.

@@ -1,0 +1,131 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Same surface the workspace's benches use — `Criterion::bench_function`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `criterion_group!`,
+//! `criterion_main!`, `black_box` — but measurement is a simple time-boxed
+//! loop reporting mean ns/iter on stdout. No statistics, plots or reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup; only affects batch length here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collects timing for one benchmark's routine.
+pub struct Bencher {
+    /// Total measured time and iteration count for the report line.
+    elapsed: Duration,
+    iters: u64,
+}
+
+/// Measurement budget per benchmark; tiny by design so accidentally
+/// running benches (e.g. `cargo test --benches`) stays fast.
+const TIME_BOX: Duration = Duration::from_millis(20);
+const MAX_ITERS: u64 = 10_000;
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            self.iters += 1;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= TIME_BOX || self.iters >= MAX_ITERS {
+                break;
+            }
+        }
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            if self.elapsed >= TIME_BOX || self.iters >= MAX_ITERS {
+                break;
+            }
+        }
+    }
+
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        loop {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            if self.elapsed >= TIME_BOX || self.iters >= MAX_ITERS {
+                break;
+            }
+        }
+    }
+}
+
+/// Entry point matching criterion's builder type.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            0
+        } else {
+            b.elapsed.as_nanos() / u128::from(b.iters)
+        };
+        println!(
+            "bench {name:<40} {per_iter:>12} ns/iter ({} iters)",
+            b.iters
+        );
+        self
+    }
+}
+
+/// `criterion_group!(name, target...)` — a fn running each target with a
+/// fresh default `Criterion`. The `config = ...` form is not supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,136 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`strategy::Strategy`]
+//! trait with `prop_map`/`boxed`, strategies for integer ranges, tuples,
+//! `&str` character-class regexes, collections, options and samples, the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_oneof!` macros,
+//! and a deterministic [`test_runner::TestRng`] seeded from the test name.
+//! Unlike real proptest there is **no shrinking** and no persisted failure
+//! seeds: a failing case reports its case number and input-generation seed.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(...)` etc. work after a
+    /// glob import of the prelude, as in real proptest.
+    pub mod prop {
+        pub use crate::{collection, option, sample, strategy};
+    }
+}
+
+/// `prop_oneof![a, b, c]` — pick one arm uniformly at random per case.
+/// (The weighted `w => strat` form is not supported.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)` — fail the
+/// current case (returns `Err(TestCaseError)` from the test closure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` / `prop_assert_eq!(a, b, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__lhs, __rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__lhs == *__rhs,
+            "assertion failed: `{:?} == {:?}`",
+            __lhs,
+            __rhs
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__lhs, __rhs) = (&$a, &$b);
+        $crate::prop_assert!(*__lhs == *__rhs, $($fmt)+);
+    }};
+}
+
+/// The `proptest! { ... }` block: wraps each `fn name(x in strat, y: ty)`
+/// into a zero-argument test running `cases` deterministic inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { [$crate::test_runner::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr] $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case! { [$cfg] [$name] [$body] [] [] $($params)* }
+        }
+        $crate::__proptest_items! { [$cfg] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All params consumed: run the cases.
+    ([$cfg:expr] [$name:ident] [$body:block] [$($p:ident)*] [$([$s:expr])*]) => {
+        $crate::test_runner::run_cases(
+            &$cfg,
+            stringify!($name),
+            ($($s,)*),
+            |($($p,)*)| {
+                $body
+                #[allow(unreachable_code)]
+                ::core::result::Result::Ok(())
+            },
+        )
+    };
+    // `x in strategy, <rest>`
+    ([$cfg:expr] [$name:ident] [$body:block] [$($p:ident)*] [$($s:tt)*] $pn:ident in $sn:expr, $($rest:tt)*) => {
+        $crate::__proptest_case! { [$cfg] [$name] [$body] [$($p)* $pn] [$($s)* [$sn]] $($rest)* }
+    };
+    // `x in strategy` (final, no trailing comma)
+    ([$cfg:expr] [$name:ident] [$body:block] [$($p:ident)*] [$($s:tt)*] $pn:ident in $sn:expr) => {
+        $crate::__proptest_case! { [$cfg] [$name] [$body] [$($p)* $pn] [$($s)* [$sn]] }
+    };
+    // `x: Type, <rest>` — shorthand for `x in any::<Type>()`
+    ([$cfg:expr] [$name:ident] [$body:block] [$($p:ident)*] [$($s:tt)*] $pn:ident : $tn:ty, $($rest:tt)*) => {
+        $crate::__proptest_case! { [$cfg] [$name] [$body] [$($p)* $pn] [$($s)* [$crate::arbitrary::any::<$tn>()]] $($rest)* }
+    };
+    // `x: Type` (final)
+    ([$cfg:expr] [$name:ident] [$body:block] [$($p:ident)*] [$($s:tt)*] $pn:ident : $tn:ty) => {
+        $crate::__proptest_case! { [$cfg] [$name] [$body] [$($p)* $pn] [$($s)* [$crate::arbitrary::any::<$tn>()]] }
+    };
+}

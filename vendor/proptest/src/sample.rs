@@ -1,0 +1,45 @@
+//! `sample::Index` (a position into any-length collections) and
+//! `sample::select` (pick one of a fixed set).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An abstract index: a raw u64 mapped onto `[0, len)` on demand, so one
+/// generated value can index collections of any size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        Index { raw }
+    }
+
+    /// Maps this index into `[0, len)`. Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot Index::index into an empty collection");
+        ((u128::from(self.raw) * len as u128) >> 64) as usize
+    }
+}
+
+/// Uniformly selects one of the given values per case.
+pub struct Select<T> {
+    choices: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let k = rng.below(self.choices.len() as u64) as usize;
+        self.choices[k].clone()
+    }
+}
+
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    assert!(
+        !choices.is_empty(),
+        "sample::select needs at least one choice"
+    );
+    Select { choices }
+}

@@ -1,0 +1,112 @@
+//! `&str` as a strategy: a tiny regex subset generating matching strings.
+//!
+//! Supported syntax — enough for patterns like `"[a-z]{1,12}"`:
+//! literal characters, character classes `[a-z0-9_]` (ranges and single
+//! chars), and repetition `{n}` / `{m,n}` on the preceding atom. Anything
+//! else panics at strategy-construction time.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Flattened list of allowed characters.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed `[` in regex strategy {pat:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "inverted range in regex strategy {pat:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in regex strategy {pat:?}");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            c @ ('*' | '+' | '?' | '(' | ')' | '|' | '.' | '^' | '$' | '\\') => {
+                panic!("regex feature {c:?} not supported by the vendored proptest ({pat:?})")
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {n} or {m,n} repetition.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed `{{` in regex strategy {pat:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            let parse = |s: &str| -> usize {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repetition {body:?} in {pat:?}"))
+            };
+            match body.split_once(',') {
+                Some((m, n)) => (parse(m), parse(n)),
+                None => (parse(&body), parse(&body)),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in regex strategy {pat:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Parsing per case keeps the impl allocation-free at rest; these
+        // patterns are a handful of characters, so the cost is noise.
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let n = rng.usize_between(piece.min, piece.max);
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => {
+                        let k = rng.below(set.len() as u64) as usize;
+                        out.push(set[k]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,151 @@
+//! Deterministic case runner: config, RNG, and the failure type that
+//! `prop_assert!` returns from test closures.
+
+use crate::strategy::Strategy;
+
+/// Per-block configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert!`-style failure: aborts the whole test.
+    Fail(String),
+    /// Input rejected (e.g. a filter); the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+/// Deterministic xoshiro256++ generator. Seeded from the test name so every
+/// run of a given test explores the same inputs (there is no shrinking, so
+/// reproducibility is the debugging story).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        if s.iter().all(|&w| w == 0) {
+            s[0] = 0x6A09_E667_F3BC_C908; // never all-zero
+        }
+        TestRng { s }
+    }
+
+    /// Seed derived from the test's name (FNV-1a).
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        Self::from_seed(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "below(0)");
+        // Widening-multiply range reduction; bias is < 2^-64 per draw,
+        // irrelevant for test-input generation.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform usize in `[lo, hi]` (inclusive).
+    pub fn usize_between(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64 + 1;
+        lo + self.below(span) as usize
+    }
+}
+
+/// Drives `cases` deterministic inputs through the test closure; panics on
+/// the first `Fail` so the standard test harness reports it.
+pub fn run_cases<S: Strategy>(
+    cfg: &ProptestConfig,
+    name: &str,
+    strat: S,
+    mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::deterministic(name);
+    let mut rejected = 0u32;
+    for case in 0..cfg.cases {
+        let value = strat.generate(&mut rng);
+        match test(value) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > cfg.cases * 4 {
+                    panic!("proptest `{name}`: too many rejected cases ({rejected})");
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed at case {case}/{} (deterministic seed from test \
+                     name; re-run reproduces it): {msg}",
+                    cfg.cases
+                );
+            }
+        }
+    }
+}

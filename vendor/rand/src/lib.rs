@@ -1,0 +1,417 @@
+//! Offline stand-in for the `rand` crate (0.9 API surface).
+//!
+//! Implements exactly what this workspace uses: deterministic seeded
+//! generators ([`rngs::StdRng`], [`rngs::SmallRng`] — both xoshiro256++),
+//! [`Rng::random_range`] over integer and float ranges, [`Rng::random`],
+//! [`Rng::random_bool`], and the slice helpers in [`seq`]. There is
+//! deliberately **no** entropy-based constructor: every generator must be
+//! seeded, which is also enforced by the workspace lint wall.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// The next 32 uniform bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let raw = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&raw[..rest.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator constructible from a seed. No entropy-based constructors
+/// exist in this stand-in: determinism is the whole point.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator by expanding a 64-bit seed (splitmix64).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for b in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let raw = z.to_le_bytes();
+            b.copy_from_slice(&raw[..b.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types producible uniformly from raw bits (the `StandardUniform`
+/// distribution of real rand).
+pub trait Standard: Sized {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($ty:ty => $method:ident),* $(,)?) => {
+        $(impl Standard for $ty {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$method() as $ty
+            }
+        })*
+    };
+}
+
+standard_int! {
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range argument accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Samples uniformly from the range. Panics when empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! range_uint {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    sample_below(rng, (self.end - self.start) as u64) as $ty + self.start
+                }
+            }
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (lo, hi) = self.into_inner();
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    sample_below(rng, span + 1) as $ty + lo
+                }
+            }
+        )*
+    };
+}
+
+range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! range_int {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    self.start.wrapping_add(sample_below(rng, span) as $ty)
+                }
+            }
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (lo, hi) = self.into_inner();
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    lo.wrapping_add(sample_below(rng, span + 1) as $ty)
+                }
+            }
+        )*
+    };
+}
+
+range_int!(i8, i16, i32, i64, isize);
+
+macro_rules! range_float {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let unit = <$ty as Standard>::sample(rng);
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (lo, hi) = self.into_inner();
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let unit = <$ty as Standard>::sample(rng);
+                    lo + unit * (hi - lo)
+                }
+            }
+        )*
+    };
+}
+
+range_float!(f32, f64);
+
+/// Uniform value in `[0, bound)` via Lemire's widening-multiply method
+/// (bias < 2^-64; `bound = 0` means the full 64-bit range).
+fn sample_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    if bound == 0 {
+        return rng.next_u64();
+    }
+    ((u128::from(rng.next_u64()) * u128::from(bound)) >> 64) as u64
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from its standard distribution
+    /// (full integer range, `[0,1)` for floats, fair coin for `bool`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range`. Panics when the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0,1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        let unit: f64 = self.random();
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Seeded pseudo-random generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ core shared by [`StdRng`] and [`SmallRng`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Xoshiro256 {
+        s: [u64; 4],
+    }
+
+    impl Xoshiro256 {
+        fn from_seed_bytes(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(raw);
+            }
+            // An all-zero state is a fixed point; nudge it.
+            if s == [0, 0, 0, 0] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            Xoshiro256 { s }
+        }
+
+        fn next(&mut self) -> u64 {
+            let s = &mut self.s;
+            let out = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            out
+        }
+    }
+
+    macro_rules! seeded_rng {
+        ($(#[$doc:meta])* $name:ident) => {
+            $(#[$doc])*
+            #[derive(Debug, Clone, PartialEq, Eq)]
+            pub struct $name {
+                core: Xoshiro256,
+            }
+
+            impl RngCore for $name {
+                fn next_u32(&mut self) -> u32 {
+                    (self.core.next() >> 32) as u32
+                }
+                fn next_u64(&mut self) -> u64 {
+                    self.core.next()
+                }
+            }
+
+            impl SeedableRng for $name {
+                type Seed = [u8; 32];
+                fn from_seed(seed: [u8; 32]) -> Self {
+                    $name { core: Xoshiro256::from_seed_bytes(seed) }
+                }
+            }
+        };
+    }
+
+    seeded_rng! {
+        /// The workspace's default seeded generator.
+        StdRng
+    }
+    seeded_rng! {
+        /// A small-state generator; here identical to [`StdRng`].
+        SmallRng
+    }
+}
+
+pub mod seq {
+    //! Random selection and permutation over slices.
+
+    use super::{Rng, RngCore};
+
+    /// Uniform selection from indexable collections.
+    pub trait IndexedRandom {
+        /// The element type.
+        type Output;
+
+        /// Picks one element uniformly; `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.random_range(0..self.len()))
+            }
+        }
+    }
+
+    /// In-place random permutation.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.random_range(0..=i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::seq::{IndexedRandom, SliceRandom};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.random()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(0u8..=64);
+            assert!(w <= 64);
+            let f = rng.random_range(0.0..2.5f64);
+            assert!((0.0..2.5).contains(&f));
+            let s = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Must not overflow or hang.
+        let _: u64 = rng.random_range(0..=u64::MAX);
+        let _: u32 = rng.random_range(0..=u32::MAX);
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        let heads = (0..2000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((800..1200).contains(&heads), "unfair coin: {heads}/2000");
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let items = [1, 2, 3];
+        assert!(items.contains(items.as_slice().choose(&mut rng).unwrap()));
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle left order intact");
+    }
+
+    #[test]
+    fn distribution_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut buckets = [0u32; 10];
+        for _ in 0..10_000 {
+            buckets[rng.random_range(0usize..10)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((700..1300).contains(&b), "bucket {i} skewed: {b}");
+        }
+    }
+}

@@ -1,0 +1,825 @@
+//! Deserialization half of the data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Errors produced by a [`Deserializer`].
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from any message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Drives `deserializer` to build `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A value deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Stateful variant of [`Deserialize`].
+pub trait DeserializeSeed<'de>: Sized {
+    /// The produced type.
+    type Value;
+    /// Drives `deserializer` using the seed's state.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A data format producing the serde data model.
+pub trait Deserializer<'de>: Sized {
+    /// Failure type.
+    type Error: Error;
+
+    /// Self-describing formats dispatch on the input; binary formats error.
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints an `i128`.
+    fn deserialize_i128<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Self::Error> {
+        Err(Error::custom("i128 is not supported"))
+    }
+    /// Hints a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints a `u128`.
+    fn deserialize_u128<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Self::Error> {
+        Err(Error::custom("u128 is not supported"))
+    }
+    /// Hints an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints a borrowed string.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints borrowed bytes.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints an owned byte buffer.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Hints a newtype struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Hints a variable-length sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints a fixed-length tuple.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Hints a tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Hints a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints a struct with named fields.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Hints an enum.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Hints a field or variant identifier.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hints a value to skip.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// `true` when the format is text-based.
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+macro_rules! visit_default {
+    ($($(#[$doc:meta])* fn $name:ident($ty:ty);)*) => {
+        $(
+            $(#[$doc])*
+            fn $name<E: Error>(self, v: $ty) -> Result<Self::Value, E> {
+                let _ = v;
+                Err(Error::custom(ExpectedBy(&self)))
+            }
+        )*
+    };
+}
+
+/// Receives whichever shape the [`Deserializer`] found. Every method has a
+/// rejecting default; implementations override the shapes they accept.
+pub trait Visitor<'de>: Sized {
+    /// The produced type.
+    type Value;
+
+    /// Describes what this visitor accepts, for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    visit_default! {
+        /// Visits a `bool`.
+        fn visit_bool(bool);
+        /// Visits an `i8`.
+        fn visit_i8(i8);
+        /// Visits an `i16`.
+        fn visit_i16(i16);
+        /// Visits an `i32`.
+        fn visit_i32(i32);
+        /// Visits an `i64`.
+        fn visit_i64(i64);
+        /// Visits a `u8`.
+        fn visit_u8(u8);
+        /// Visits a `u16`.
+        fn visit_u16(u16);
+        /// Visits a `u32`.
+        fn visit_u32(u32);
+        /// Visits a `u64`.
+        fn visit_u64(u64);
+        /// Visits an `f32`.
+        fn visit_f32(f32);
+        /// Visits an `f64`.
+        fn visit_f64(f64);
+        /// Visits a `char`.
+        fn visit_char(char);
+    }
+
+    /// Visits a transient string slice.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(ExpectedBy(&self)))
+    }
+
+    /// Visits a string borrowed from the input.
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+
+    /// Visits an owned string.
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    /// Visits transient bytes.
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(ExpectedBy(&self)))
+    }
+
+    /// Visits bytes borrowed from the input.
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+
+    /// Visits an owned byte buffer.
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+
+    /// Visits `Option::None`.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::custom(ExpectedBy(&self)))
+    }
+
+    /// Visits `Option::Some`; the content follows.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::custom(ExpectedBy(&self)))
+    }
+
+    /// Visits `()`.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::custom(ExpectedBy(&self)))
+    }
+
+    /// Visits a newtype struct; the content follows.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::custom(ExpectedBy(&self)))
+    }
+
+    /// Visits a sequence of elements.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(Error::custom(ExpectedBy(&self)))
+    }
+
+    /// Visits a map of entries.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(Error::custom(ExpectedBy(&self)))
+    }
+
+    /// Visits an enum variant.
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let _ = data;
+        Err(Error::custom(ExpectedBy(&self)))
+    }
+}
+
+/// Renders "invalid type: expected <visitor.expecting()>".
+struct ExpectedBy<'a, V>(&'a V);
+
+impl<'de, V: Visitor<'de>> Display for ExpectedBy<'_, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid type: expected ")?;
+        self.0.expecting(f)
+    }
+}
+
+/// Streams the elements of a sequence.
+pub trait SeqAccess<'de> {
+    /// Failure type.
+    type Error: Error;
+
+    /// Produces the next element through `seed`, or `None` at the end.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    /// Produces the next element of a [`Deserialize`] type.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+
+    /// Remaining length, when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Streams the entries of a map.
+pub trait MapAccess<'de> {
+    /// Failure type.
+    type Error: Error;
+
+    /// Produces the next key through `seed`, or `None` at the end.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    /// Produces the value paired with the last key.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Produces the next key of a [`Deserialize`] type.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+
+    /// Produces the next value of a [`Deserialize`] type.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+
+    /// Produces the next entry of [`Deserialize`] types.
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(k) => Ok(Some((k, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    /// Remaining length, when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Entry point for deserializing an enum: identifies the variant.
+pub trait EnumAccess<'de>: Sized {
+    /// Failure type.
+    type Error: Error;
+    /// Accessor for the variant's content.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Reads the variant identifier through `seed`.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    /// Reads the variant identifier as a [`Deserialize`] type.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Accessor for the content of one enum variant.
+pub trait VariantAccess<'de>: Sized {
+    /// Failure type.
+    type Error: Error;
+
+    /// Consumes a dataless variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    /// Consumes a single-field variant through `seed`.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+
+    /// Consumes a single-field variant of a [`Deserialize`] type.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    /// Consumes a tuple variant with `len` fields.
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Consumes a struct variant with the given fields.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Conversion of a plain value into a [`Deserializer`] over it.
+pub trait IntoDeserializer<'de, E: Error = value::Error> {
+    /// The resulting deserializer.
+    type Deserializer: Deserializer<'de, Error = E>;
+    /// Wraps `self`.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+pub mod value {
+    //! Deserializers over plain values already in memory.
+
+    use super::{Deserializer, IntoDeserializer, Visitor};
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// A plain string error for value deserializers.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    impl super::Error for Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    macro_rules! forward_to_any {
+        ($($method:ident,)*) => {
+            $(
+                fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                    self.deserialize_any(visitor)
+                }
+            )*
+        };
+    }
+
+    macro_rules! primitive_deserializer {
+        ($($(#[$doc:meta])* $name:ident($ty:ty) => $visit:ident,)*) => {
+            $(
+                $(#[$doc])*
+                pub struct $name<E> {
+                    value: $ty,
+                    marker: PhantomData<E>,
+                }
+
+                impl<'de, E: super::Error> Deserializer<'de> for $name<E> {
+                    type Error = E;
+
+                    fn deserialize_any<V: Visitor<'de>>(
+                        self,
+                        visitor: V,
+                    ) -> Result<V::Value, E> {
+                        visitor.$visit(self.value)
+                    }
+
+                    forward_to_any! {
+                        deserialize_bool, deserialize_i8, deserialize_i16,
+                        deserialize_i32, deserialize_i64, deserialize_u8,
+                        deserialize_u16, deserialize_u32, deserialize_u64,
+                        deserialize_f32, deserialize_f64, deserialize_char,
+                        deserialize_str, deserialize_string, deserialize_bytes,
+                        deserialize_byte_buf, deserialize_option, deserialize_unit,
+                        deserialize_seq, deserialize_map, deserialize_identifier,
+                        deserialize_ignored_any,
+                    }
+
+                    fn deserialize_unit_struct<V: Visitor<'de>>(
+                        self,
+                        _name: &'static str,
+                        visitor: V,
+                    ) -> Result<V::Value, E> {
+                        self.deserialize_any(visitor)
+                    }
+
+                    fn deserialize_newtype_struct<V: Visitor<'de>>(
+                        self,
+                        _name: &'static str,
+                        visitor: V,
+                    ) -> Result<V::Value, E> {
+                        self.deserialize_any(visitor)
+                    }
+
+                    fn deserialize_tuple<V: Visitor<'de>>(
+                        self,
+                        _len: usize,
+                        visitor: V,
+                    ) -> Result<V::Value, E> {
+                        self.deserialize_any(visitor)
+                    }
+
+                    fn deserialize_tuple_struct<V: Visitor<'de>>(
+                        self,
+                        _name: &'static str,
+                        _len: usize,
+                        visitor: V,
+                    ) -> Result<V::Value, E> {
+                        self.deserialize_any(visitor)
+                    }
+
+                    fn deserialize_struct<V: Visitor<'de>>(
+                        self,
+                        _name: &'static str,
+                        _fields: &'static [&'static str],
+                        visitor: V,
+                    ) -> Result<V::Value, E> {
+                        self.deserialize_any(visitor)
+                    }
+
+                    fn deserialize_enum<V: Visitor<'de>>(
+                        self,
+                        _name: &'static str,
+                        _variants: &'static [&'static str],
+                        visitor: V,
+                    ) -> Result<V::Value, E> {
+                        self.deserialize_any(visitor)
+                    }
+                }
+
+                impl<'de, E: super::Error> IntoDeserializer<'de, E> for $ty {
+                    type Deserializer = $name<E>;
+                    fn into_deserializer(self) -> $name<E> {
+                        $name { value: self, marker: PhantomData }
+                    }
+                }
+            )*
+        };
+    }
+
+    primitive_deserializer! {
+        /// Deserializer over an in-memory `u8`.
+        U8Deserializer(u8) => visit_u8,
+        /// Deserializer over an in-memory `u16`.
+        U16Deserializer(u16) => visit_u16,
+        /// Deserializer over an in-memory `u32`.
+        U32Deserializer(u32) => visit_u32,
+        /// Deserializer over an in-memory `u64`.
+        U64Deserializer(u64) => visit_u64,
+    }
+}
+
+// ------------------------------------------------------------- std impls
+
+macro_rules! deserialize_primitive {
+    ($($ty:ty, $method:ident, $visit:ident, $expect:literal;)*) => {
+        $(impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct PrimitiveVisitor;
+                impl<'de> Visitor<'de> for PrimitiveVisitor {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str($expect)
+                    }
+                    fn $visit<E: Error>(self, v: $ty) -> Result<$ty, E> {
+                        Ok(v)
+                    }
+                }
+                deserializer.$method(PrimitiveVisitor)
+            }
+        })*
+    };
+}
+
+deserialize_primitive! {
+    bool, deserialize_bool, visit_bool, "a bool";
+    i8, deserialize_i8, visit_i8, "an i8";
+    i16, deserialize_i16, visit_i16, "an i16";
+    i32, deserialize_i32, visit_i32, "an i32";
+    i64, deserialize_i64, visit_i64, "an i64";
+    u8, deserialize_u8, visit_u8, "a u8";
+    u16, deserialize_u16, visit_u16, "a u16";
+    u32, deserialize_u32, visit_u32, "a u32";
+    u64, deserialize_u64, visit_u64, "a u64";
+    f32, deserialize_f32, visit_f32, "an f32";
+    f64, deserialize_f64, visit_f64, "an f64";
+    char, deserialize_char, visit_char, "a char";
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UsizeVisitor;
+        impl<'de> Visitor<'de> for UsizeVisitor {
+            type Value = usize;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a usize")
+            }
+            fn visit_u64<E: Error>(self, v: u64) -> Result<usize, E> {
+                usize::try_from(v).map_err(|_| Error::custom("usize overflow"))
+            }
+        }
+        deserializer.deserialize_u64(UsizeVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct IsizeVisitor;
+        impl<'de> Visitor<'de> for IsizeVisitor {
+            type Value = isize;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an isize")
+            }
+            fn visit_i64<E: Error>(self, v: i64) -> Result<isize, E> {
+                isize::try_from(v).map_err(|_| Error::custom("isize overflow"))
+            }
+        }
+        deserializer.deserialize_i64(IsizeVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StringVisitor;
+        impl<'de> Visitor<'de> for StringVisitor {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UnitVisitor;
+        impl<'de> Visitor<'de> for UnitVisitor {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(UnitVisitor)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct OptionVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an option")
+            }
+            fn visit_none<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Option<T>, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(OptionVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct VecVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(VecVisitor(PhantomData))
+    }
+}
+
+macro_rules! deserialize_set {
+    ($($name:ident<$bound:ident $(+ $extra:ident)*>),* $(,)?) => {
+        $(impl<'de, T: Deserialize<'de> + $bound $(+ $extra)*> Deserialize<'de>
+            for std::collections::$name<T>
+        {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct SetVisitor<T>(PhantomData<T>);
+                impl<'de, T: Deserialize<'de> + $bound $(+ $extra)*> Visitor<'de> for SetVisitor<T> {
+                    type Value = std::collections::$name<T>;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str("a sequence")
+                    }
+                    fn visit_seq<A: SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        let mut out = std::collections::$name::new();
+                        while let Some(item) = seq.next_element()? {
+                            out.insert(item);
+                        }
+                        Ok(out)
+                    }
+                }
+                deserializer.deserialize_seq(SetVisitor(PhantomData))
+            }
+        })*
+    };
+}
+
+use std::hash::Hash;
+deserialize_set!(BTreeSet<Ord>, HashSet<Eq + Hash>);
+
+macro_rules! deserialize_map_impl {
+    ($($name:ident<$bound:ident $(+ $extra:ident)*>),* $(,)?) => {
+        $(impl<'de, K: Deserialize<'de> + $bound $(+ $extra)*, V: Deserialize<'de>>
+            Deserialize<'de> for std::collections::$name<K, V>
+        {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct MapVisitor<K, V>(PhantomData<(K, V)>);
+                impl<'de, K: Deserialize<'de> + $bound $(+ $extra)*, V: Deserialize<'de>>
+                    Visitor<'de> for MapVisitor<K, V>
+                {
+                    type Value = std::collections::$name<K, V>;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str("a map")
+                    }
+                    fn visit_map<A: MapAccess<'de>>(
+                        self,
+                        mut map: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        let mut out = std::collections::$name::new();
+                        while let Some((k, v)) = map.next_entry()? {
+                            out.insert(k, v);
+                        }
+                        Ok(out)
+                    }
+                }
+                deserializer.deserialize_map(MapVisitor(PhantomData))
+            }
+        })*
+    };
+}
+
+deserialize_map_impl!(BTreeMap<Ord>, HashMap<Eq + Hash>);
+
+macro_rules! deserialize_tuple_impl {
+    ($(($($name:ident),+))*) => {
+        $(impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                struct TupleVisitor<$($name),+>(PhantomData<($($name,)+)>);
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for TupleVisitor<$($name),+> {
+                    type Value = ($($name,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str("a tuple")
+                    }
+                    #[allow(non_snake_case)]
+                    fn visit_seq<Acc: SeqAccess<'de>>(
+                        self,
+                        mut seq: Acc,
+                    ) -> Result<Self::Value, Acc::Error> {
+                        $(
+                            let $name = match seq.next_element()? {
+                                Some(v) => v,
+                                None => return Err(Error::custom("tuple too short")),
+                            };
+                        )+
+                        Ok(($($name,)+))
+                    }
+                }
+                let len = [$(stringify!($name)),+].len();
+                deserializer.deserialize_tuple(len, TupleVisitor(PhantomData))
+            }
+        })*
+    };
+}
+
+deserialize_tuple_impl! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct ArrayVisitor<T, const N: usize>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>, const N: usize> Visitor<'de> for ArrayVisitor<T, N> {
+            type Value = [T; N];
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "an array of length {N}")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<[T; N], A::Error> {
+                let mut out = Vec::with_capacity(N);
+                for _ in 0..N {
+                    match seq.next_element()? {
+                        Some(v) => out.push(v),
+                        None => return Err(Error::custom("array too short")),
+                    }
+                }
+                out.try_into()
+                    .map_err(|_| Error::custom("array length mismatch"))
+            }
+        }
+        deserializer.deserialize_tuple(N, ArrayVisitor::<T, N>(PhantomData))
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! A faithful subset of serde's data model: the [`Serialize`] /
+//! [`Deserialize`] traits, the 29-method [`Serializer`] and
+//! [`Deserializer`] driver traits, visitors, seeds, and access traits for
+//! sequences, maps and enums — everything `mind-net`'s compact wire codec
+//! and the workspace's `#[derive]`d types exercise. Not supported (and not
+//! used anywhere in this workspace): `#[serde(...)]` attributes, 128-bit
+//! integers, and self-describing formats.
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

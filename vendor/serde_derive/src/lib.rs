@@ -1,0 +1,618 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls for plain structs and enums by
+//! walking the raw [`proc_macro::TokenStream`] — no `syn`/`quote`, so it
+//! builds with nothing but the toolchain. Supported shapes are exactly what
+//! this workspace derives: unit/newtype/tuple/named structs, enums whose
+//! variants are unit/newtype/tuple/named, and simple unbounded type
+//! parameters (e.g. `OverlayMsg<P>`). `#[serde(...)]` attributes are not
+//! supported; fields encode positionally in declaration order, which is
+//! what `mind-net`'s non-self-describing wire format expects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ------------------------------------------------------------- parsing
+
+enum Body {
+    /// `struct Name;`
+    UnitStruct,
+    /// `struct Name(A, B, ...);` — field count.
+    TupleStruct(usize),
+    /// `struct Name { a: A, ... }` — field names in order.
+    NamedStruct(Vec<String>),
+    /// `enum Name { ... }`.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    /// Type parameter names, e.g. `["P"]` for `OverlayMsg<P>`.
+    generics: Vec<String>,
+    body: Body,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(crate)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    // Optional generics: collect the first ident of each `<...>` segment.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            while depth > 0 {
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                        expect_param = true;
+                    }
+                    Some(TokenTree::Ident(id)) if expect_param && depth == 1 => {
+                        generics.push(id.to_string());
+                        expect_param = false;
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                        panic!("lifetime parameters are not supported by the vendored derive")
+                    }
+                    Some(_) => {}
+                    None => panic!("unbalanced generics on `{name}`"),
+                }
+                i += 1;
+            }
+        }
+    }
+
+    let body = if kind == "struct" {
+        match tokens.get(i) {
+            None | Some(TokenTree::Punct(_)) => Body::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            other => panic!("unexpected struct body: {other:?}"),
+        }
+    } else if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        }
+    } else {
+        panic!("can only derive for structs and enums, found `{kind}`");
+    };
+
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+/// Splits `stream` at commas that are outside any `<...>` nesting and
+/// returns the number of non-empty segments.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut segment_nonempty = false;
+    let mut angle_depth = 0usize;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if segment_nonempty {
+                    count += 1;
+                }
+                segment_nonempty = false;
+                continue;
+            }
+            _ => {}
+        }
+        segment_nonempty = true;
+    }
+    if segment_nonempty {
+        count += 1;
+    }
+    count
+}
+
+/// Extracts field names from `a: A, b: B, ...`, skipping attributes,
+/// visibility, and type tokens (angle-bracket aware).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "expected `:` after field `{}`, found {other:?}",
+                fields.last().unwrap()
+            ),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip to past the next comma (covers explicit discriminants).
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------- generation
+
+impl Item {
+    /// `Name` or `Name<P, Q>`.
+    fn self_ty(&self) -> String {
+        if self.generics.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}<{}>", self.name, self.generics.join(", "))
+        }
+    }
+
+    /// Impl generics with the given serde bound, e.g. `<'de, P: Bound>`.
+    fn impl_generics(&self, lifetime: Option<&str>, bound: &str) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(lt) = lifetime {
+            parts.push(lt.to_string());
+        }
+        for g in &self.generics {
+            parts.push(format!("{g}: {bound}"));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", parts.join(", "))
+        }
+    }
+
+    /// Phantom payload keeping visitor structs generic-aware.
+    fn phantom_ty(&self) -> String {
+        if self.generics.is_empty() {
+            "fn()".to_string()
+        } else {
+            format!("fn() -> ({},)", self.generics.join(", "))
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let self_ty = item.self_ty();
+    let impl_generics = item.impl_generics(None, "::serde::Serialize");
+
+    let body = match &item.body {
+        Body::UnitStruct => format!("__serializer.serialize_unit_struct(\"{name}\")"),
+        Body::TupleStruct(1) => {
+            format!("__serializer.serialize_newtype_struct(\"{name}\", &self.0)")
+        }
+        Body::TupleStruct(n) => {
+            let mut s = format!(
+                "let mut __state = ::serde::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {n}usize)?;\n"
+            );
+            for idx in 0..*n {
+                s += &format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{idx})?;\n"
+                );
+            }
+            s += "::serde::ser::SerializeTupleStruct::end(__state)";
+            s
+        }
+        Body::NamedStruct(fields) => {
+            let n = fields.len();
+            let mut s = format!(
+                "let mut __state = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {n}usize)?;\n"
+            );
+            for f in fields {
+                s += &format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{f}\", &self.{f})?;\n"
+                );
+            }
+            s += "::serde::ser::SerializeStruct::end(__state)";
+            s
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms += &format!(
+                            "{name}::{vname} => __serializer.serialize_unit_variant(\"{name}\", {idx}u32, \"{vname}\"),\n"
+                        );
+                    }
+                    VariantShape::Tuple(1) => {
+                        arms += &format!(
+                            "{name}::{vname}(__f0) => __serializer.serialize_newtype_variant(\"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\nlet mut __state = ::serde::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\n",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            arm += &format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __state, {b})?;\n"
+                            );
+                        }
+                        arm += "::serde::ser::SerializeTupleVariant::end(__state)\n},\n";
+                        arms += &arm;
+                    }
+                    VariantShape::Named(fields) => {
+                        let n = fields.len();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut __state = ::serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\n",
+                            fields.join(", ")
+                        );
+                        for f in fields {
+                            arm += &format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __state, \"{f}\", {f})?;\n"
+                            );
+                        }
+                        arm += "::serde::ser::SerializeStructVariant::end(__state)\n},\n";
+                        arms += &arm;
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl{impl_generics} ::serde::Serialize for {self_ty} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Emits positional `visit_seq` statements binding `__f0..__fN`.
+fn gen_seq_bindings(n: usize, what: &str) -> String {
+    let mut s = String::new();
+    for k in 0..n {
+        s += &format!(
+            "let __f{k} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                 Some(__v) => __v,\n\
+                 None => return Err(::serde::de::Error::custom(\"{what} is missing field {k}\")),\n\
+             }};\n"
+        );
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let self_ty = item.self_ty();
+    let impl_generics = item.impl_generics(Some("'de"), "::serde::Deserialize<'de>");
+    let visitor_generics = item.impl_generics(None, "");
+    let visitor_generics = visitor_generics.replace(": ", "").replace(':', "");
+    let visitor_bounds = item.impl_generics(Some("'de"), "::serde::Deserialize<'de>");
+    let phantom = item.phantom_ty();
+
+    // Every visitor struct follows the same skeleton.
+    let visitor = |body: &str| -> String {
+        format!(
+                "struct __Visitor{visitor_generics}(::core::marker::PhantomData<{phantom}>);\n\
+                 impl{visitor_bounds} ::serde::de::Visitor<'de> for __Visitor{visitor_generics} {{\n\
+                     type Value = {self_ty};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                         __f.write_str(\"{name}\")\n\
+                     }}\n\
+                     {body}\n\
+                 }}"
+            )
+    };
+
+    let (visitor_impl, dispatch) = match &item.body {
+        Body::UnitStruct => (
+            visitor(
+                "fn visit_unit<__E: ::serde::de::Error>(self) -> ::core::result::Result<Self::Value, __E> {\n\
+                     Ok(Self::Value::default_unit())\n\
+                 }",
+            )
+            .replace(
+                "Self::Value::default_unit()",
+                &format!("{name}"),
+            ),
+            format!(
+                "::serde::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", __Visitor(::core::marker::PhantomData))"
+            ),
+        ),
+        Body::TupleStruct(1) => (
+            visitor(&format!(
+                "fn visit_newtype_struct<__D: ::serde::Deserializer<'de>>(self, __d: __D)\n\
+                     -> ::core::result::Result<Self::Value, __D::Error> {{\n\
+                     ::serde::Deserialize::deserialize(__d).map({name})\n\
+                 }}"
+            )),
+            format!(
+                "::serde::Deserializer::deserialize_newtype_struct(__deserializer, \"{name}\", __Visitor(::core::marker::PhantomData))"
+            ),
+        ),
+        Body::TupleStruct(n) => {
+            let bindings = gen_seq_bindings(*n, name);
+            let args: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+            (
+                visitor(&format!(
+                    "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         {bindings}\n\
+                         Ok({name}({}))\n\
+                     }}",
+                    args.join(", ")
+                )),
+                format!(
+                    "::serde::Deserializer::deserialize_tuple_struct(__deserializer, \"{name}\", {n}usize, __Visitor(::core::marker::PhantomData))"
+                ),
+            )
+        }
+        Body::NamedStruct(fields) => {
+            let bindings = gen_seq_bindings(fields.len(), name);
+            let ctor: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .map(|(k, f)| format!("{f}: __f{k}"))
+                .collect();
+            let field_names: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+            (
+                visitor(&format!(
+                    "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         {bindings}\n\
+                         Ok({name} {{ {} }})\n\
+                     }}",
+                    ctor.join(", ")
+                )),
+                format!(
+                    "::serde::Deserializer::deserialize_struct(__deserializer, \"{name}\", &[{}], __Visitor(::core::marker::PhantomData))",
+                    field_names.join(", ")
+                ),
+            )
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            let mut inner_visitors = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms += &format!(
+                            "{idx}u32 => {{ ::serde::de::VariantAccess::unit_variant(__variant)?; Ok({name}::{vname}) }},\n"
+                        );
+                    }
+                    VariantShape::Tuple(1) => {
+                        arms += &format!(
+                            "{idx}u32 => ::serde::de::VariantAccess::newtype_variant(__variant).map({name}::{vname}),\n"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let bindings = gen_seq_bindings(*n, vname);
+                        let args: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        inner_visitors += &format!(
+                            "struct __V{idx}{visitor_generics}(::core::marker::PhantomData<{phantom}>);\n\
+                             impl{visitor_bounds} ::serde::de::Visitor<'de> for __V{idx}{visitor_generics} {{\n\
+                                 type Value = {self_ty};\n\
+                                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                                     __f.write_str(\"{name}::{vname}\")\n\
+                                 }}\n\
+                                 fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                                     -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                                     {bindings}\n\
+                                     Ok({name}::{vname}({}))\n\
+                                 }}\n\
+                             }}\n",
+                            args.join(", ")
+                        );
+                        arms += &format!(
+                            "{idx}u32 => ::serde::de::VariantAccess::tuple_variant(__variant, {n}usize, __V{idx}(::core::marker::PhantomData)),\n"
+                        );
+                    }
+                    VariantShape::Named(fields) => {
+                        let bindings = gen_seq_bindings(fields.len(), vname);
+                        let ctor: Vec<String> = fields
+                            .iter()
+                            .enumerate()
+                            .map(|(k, f)| format!("{f}: __f{k}"))
+                            .collect();
+                        let field_names: Vec<String> =
+                            fields.iter().map(|f| format!("\"{f}\"")).collect();
+                        inner_visitors += &format!(
+                            "struct __V{idx}{visitor_generics}(::core::marker::PhantomData<{phantom}>);\n\
+                             impl{visitor_bounds} ::serde::de::Visitor<'de> for __V{idx}{visitor_generics} {{\n\
+                                 type Value = {self_ty};\n\
+                                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                                     __f.write_str(\"{name}::{vname}\")\n\
+                                 }}\n\
+                                 fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                                     -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                                     {bindings}\n\
+                                     Ok({name}::{vname} {{ {} }})\n\
+                                 }}\n\
+                             }}\n",
+                            ctor.join(", ")
+                        );
+                        arms += &format!(
+                            "{idx}u32 => ::serde::de::VariantAccess::struct_variant(__variant, &[{}], __V{idx}(::core::marker::PhantomData)),\n",
+                            field_names.join(", ")
+                        );
+                    }
+                }
+            }
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let body = format!(
+                "fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A)\n\
+                     -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                     {inner_visitors}\n\
+                     let (__idx, __variant): (u32, _) = ::serde::de::EnumAccess::variant(__data)?;\n\
+                     match __idx {{\n\
+                         {arms}\n\
+                         __other => Err(::serde::de::Error::custom(format!(\n\
+                             \"invalid {name} variant index {{__other}}\"))),\n\
+                     }}\n\
+                 }}"
+            );
+            (
+                visitor(&body),
+                format!(
+                    "::serde::Deserializer::deserialize_enum(__deserializer, \"{name}\", &[{}], __Visitor(::core::marker::PhantomData))",
+                    variant_names.join(", ")
+                ),
+            )
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, non_camel_case_types)]\n\
+         impl{impl_generics} ::serde::Deserialize<'de> for {self_ty} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {visitor_impl}\n\
+                 {dispatch}\n\
+             }}\n\
+         }}"
+    )
+}
