@@ -42,6 +42,9 @@ struct Rule {
     /// Path prefixes (relative to the workspace root, `/`-separated) the
     /// rule does not apply to.
     exempt_prefixes: &'static [&'static str],
+    /// When non-empty, the rule *only* applies under these path prefixes
+    /// (relative to the workspace root, `/`-separated).
+    only_prefixes: &'static [&'static str],
 }
 
 /// The rule table. Needles are split with `concat!` so this file does not
@@ -56,6 +59,7 @@ fn rules() -> Vec<Rule> {
             // Figure-generation binaries: panic-on-error IS their error
             // handling — a bad experiment run must die loudly, not limp on.
             exempt_prefixes: &["crates/bench/src/bin/"],
+            only_prefixes: &[],
         },
         Rule {
             name: "rng",
@@ -68,6 +72,7 @@ fn rules() -> Vec<Rule> {
             why: "all randomness must be seeded from the experiment config",
             applies_in_tests: true,
             exempt_prefixes: &[],
+            only_prefixes: &[],
         },
         Rule {
             name: "wallclock",
@@ -76,6 +81,7 @@ fn rules() -> Vec<Rule> {
             applies_in_tests: true,
             // The real-TCP host driver and its demo run on actual wall time.
             exempt_prefixes: &["crates/net/", "examples/realtime_tcp"],
+            only_prefixes: &[],
         },
         Rule {
             name: "stdmutex",
@@ -87,6 +93,23 @@ fn rules() -> Vec<Rule> {
             why: "the workspace mandates parking_lot locks",
             applies_in_tests: true,
             exempt_prefixes: &[],
+            only_prefixes: &[],
+        },
+        Rule {
+            name: "worldrng",
+            needles: &[
+                concat!("seed_", "from_u64"),
+                concat!("from_", "seed("),
+                concat!("StdRng", "::"),
+            ],
+            why: "netsim randomness must derive from the single world seed \
+                  (SimConfig::seed); waive construction sites that do",
+            applies_in_tests: false,
+            exempt_prefixes: &[],
+            // The fault plane's determinism guarantee rests on every draw
+            // coming from the one seeded world RNG: a second RNG inside the
+            // simulator silently breaks same-seed replay.
+            only_prefixes: &["crates/netsim/src/"],
         },
     ]
 }
@@ -221,6 +244,11 @@ fn scan_file(
                 continue;
             }
             if rule.exempt_prefixes.iter().any(|p| rel_path.starts_with(p)) {
+                continue;
+            }
+            if !rule.only_prefixes.is_empty()
+                && !rule.only_prefixes.iter().any(|p| rel_path.starts_with(p))
+            {
                 continue;
             }
             if !rule.needles.iter().any(|n| code.contains(n)) {
@@ -369,6 +397,25 @@ mod tests {
     fn comments_do_not_trip_rules() {
         let src = "// never call .unwrap() in production\nfn f() {}\n";
         assert!(hits_in(src, "crates/core/src/a.rs", false).is_empty());
+    }
+
+    #[test]
+    fn worldrng_scoped_to_netsim_sources() {
+        let src = concat!("let rng = StdRng", "::seed_from_u64(7);\n");
+        // Inside the simulator: a fresh RNG construction must be waived.
+        assert_eq!(
+            hits_in(src, "crates/netsim/src/fault.rs", false),
+            vec![(1, "worldrng")]
+        );
+        // Outside netsim (or in netsim's test files) the rule is silent.
+        assert!(hits_in(src, "crates/core/src/node.rs", false).is_empty());
+        assert!(hits_in(src, "crates/netsim/tests/fault_prop.rs", true).is_empty());
+
+        let src = concat!(
+            "// lint:allow(worldrng) the world RNG itself\nlet rng = StdRng",
+            "::seed_from_u64(cfg.seed);\n"
+        );
+        assert!(hits_in(src, "crates/netsim/src/world.rs", false).is_empty());
     }
 
     #[test]

@@ -159,6 +159,7 @@ fn bench_wire(c: &mut Criterion) {
             record: Record::new(vec![1, 2, 3, 4, 5]),
             origin: NodeId(7),
             sent_at: 1,
+            op_id: 1,
         },
     };
     let bytes = mind_net::to_bytes(&msg).unwrap();

@@ -6,6 +6,11 @@
 //! query responder could not reach the query originator for ~45 s while
 //! the overlay link was re-established, plus one query queued behind the
 //! other in the non-interleaved DAC.
+//!
+//! `--loss <frac>` additionally runs the same scenario with that uniform
+//! message loss rate active during the measurement window (inserts and
+//! queries both exposed; the reliable-delivery layer retries). The
+//! zero-loss series is always printed first and is unaffected.
 
 use mind_bench::harness::{
     balanced_cuts, baseline_cluster, install_index, monitoring_query, ExperimentScale, IndexKind,
@@ -13,18 +18,17 @@ use mind_bench::harness::{
 };
 use mind_bench::report::{print_header, print_kv};
 use mind_core::Replication;
+use mind_netsim::FaultPlan;
 use mind_types::node::SECONDS;
 use mind_types::NodeId;
-fn main() {
-    print_header(
-        "Figure 11",
-        "per-query response delay around a 45 s overlay link outage",
-        "baseline of ~1 s responses with back-to-back spikes near 45 s",
-    );
-    let scale = ExperimentScale::from_env(1);
+
+/// Runs the outage scenario once; `loss` is a uniform message loss
+/// probability switched on after index installation. Returns
+/// `(max_delay_us, baseline_mean_us)`.
+fn run_series(scale: &ExperimentScale, loss: f64) -> (u64, f64) {
     let kind = IndexKind::Octets;
     let ts_bound = 86_400;
-    let driver = TrafficDriver::abilene_geant(11, scale);
+    let driver = TrafficDriver::abilene_geant(11, *scale);
     let mut cluster = baseline_cluster(11);
     let cuts = balanced_cuts(
         kind,
@@ -35,6 +39,11 @@ fn main() {
         11 * 3600 + 600 * scale.hours,
     );
     install_index(&mut cluster, kind, cuts, ts_bound, Replication::Level(1));
+    if loss > 0.0 {
+        // Lossy measurement window: the index is installed, now every
+        // non-loopback send (inserts, queries, heartbeats) faces `loss`.
+        *cluster.world_mut().fault_plan_mut() = FaultPlan::lossy(loss);
+    }
     let t0 = 23 * 3600;
     let span = 600 * scale.hours;
     driver.drive(&mut cluster, &[kind], 2, t0, t0 + span, ts_bound, None);
@@ -94,17 +103,25 @@ fn main() {
         cluster.run_until(next);
     }
     println!();
+    let baseline_mean = baseline_sum as f64 / baseline_n.max(1) as f64;
     print_kv(
         "max response delay",
         format!("{:.1}s", max_delay as f64 / 1e6),
     );
-    print_kv(
-        "baseline mean",
-        format!(
-            "{:.2}s",
-            baseline_sum as f64 / baseline_n.max(1) as f64 / 1e6
-        ),
+    print_kv("baseline mean", format!("{:.2}s", baseline_mean / 1e6));
+    (max_delay, baseline_mean)
+}
+
+fn main() {
+    print_header(
+        "Figure 11",
+        "per-query response delay around a 45 s overlay link outage",
+        "baseline of ~1 s responses with back-to-back spikes near 45 s",
     );
+    let scale = ExperimentScale::from_env(1);
+    let loss = parse_loss();
+
+    let (max_delay, _) = run_series(&scale, 0.0);
     print_kv(
         "shape check (spike ~45 s over ~1 s baseline)",
         if max_delay > 30_000_000 {
@@ -113,4 +130,33 @@ fn main() {
             "NOT reproduced"
         },
     );
+
+    if let Some(loss) = loss {
+        println!("\n  --- additional series: uniform message loss {loss} ---");
+        let (lossy_max, lossy_base) = run_series(&scale, loss);
+        print_kv(
+            &format!("loss-axis check (loss {loss})"),
+            format!(
+                "spike {:.1}s, baseline {:.2}s — retries keep queries completing",
+                lossy_max as f64 / 1e6,
+                lossy_base / 1e6
+            ),
+        );
+    }
+}
+
+/// Parses `--loss <frac>` (or `--loss=<frac>`) from argv.
+fn parse_loss() -> Option<f64> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--loss" {
+            // lint:allow(unwrap) figure binary: bad CLI input may abort
+            return Some(args.next().expect("--loss needs a value").parse().unwrap());
+        }
+        if let Some(v) = a.strip_prefix("--loss=") {
+            // lint:allow(unwrap) figure binary: bad CLI input may abort
+            return Some(v.parse().unwrap());
+        }
+    }
+    None
 }

@@ -28,8 +28,16 @@ use rand::{Rng, SeedableRng};
 const N: usize = 102;
 
 /// Builds a fresh cluster, loads it with records, kills `kill` random
-/// nodes, and returns the fraction of exactly-correct queries.
-fn run_point(replication: Replication, kill: usize, seed: u64, scale: &ExperimentScale) -> f64 {
+/// nodes, and returns the fraction of exactly-correct queries. `loss` is
+/// a uniform message loss rate switched on once the index is installed
+/// (the reliable-delivery layer must absorb it).
+fn run_point(
+    replication: Replication,
+    kill: usize,
+    seed: u64,
+    scale: &ExperimentScale,
+    loss: f64,
+) -> f64 {
     let kind = IndexKind::Fanout;
     let ts_bound = 86_400;
     let schema = kind.schema(ts_bound);
@@ -70,6 +78,9 @@ fn run_point(replication: Replication, kill: usize, seed: u64, scale: &Experimen
         .create_index(NodeId(0), schema.clone(), cuts, replication)
         .unwrap();
     cluster.run_for(20 * SECONDS);
+    if loss > 0.0 {
+        *cluster.world_mut().fault_plan_mut() = mind_netsim::FaultPlan::lossy(loss);
+    }
 
     let mut oracle = Vec::new();
     for (i, rec) in records.iter().enumerate() {
@@ -124,6 +135,22 @@ fn run_point(replication: Replication, kill: usize, seed: u64, scale: &Experimen
     good as f64 / queries as f64
 }
 
+/// Parses `--loss <frac>` (or `--loss=<frac>`) from argv.
+fn parse_loss() -> Option<f64> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--loss" {
+            // lint:allow(unwrap) figure binary: bad CLI input may abort
+            return Some(args.next().expect("--loss needs a value").parse().unwrap());
+        }
+        if let Some(v) = a.strip_prefix("--loss=") {
+            // lint:allow(unwrap) figure binary: bad CLI input may abort
+            return Some(v.parse().unwrap());
+        }
+    }
+    None
+}
+
 fn main() {
     print_header(
         "Figure 16",
@@ -131,6 +158,7 @@ fn main() {
         "r=0 declines ~linearly; r=1 flat to ~15%; full flat past 50%",
     );
     let scale = ExperimentScale::from_env(1);
+    let loss = parse_loss();
     let fractions = [0usize, 5, 10, 15, 20, 30, 40, 50];
     println!(
         "\n  {:>9} {:>14} {:>14} {:>14}",
@@ -143,9 +171,9 @@ fn main() {
     let mut r1_at_50 = 0.0;
     for &pct in &fractions {
         let kill = N * pct / 100;
-        let r0 = run_point(Replication::None, kill, 160 + pct as u64, &scale);
-        let r1 = run_point(Replication::Level(1), kill, 161 + pct as u64, &scale);
-        let rf = run_point(Replication::Full, kill, 162 + pct as u64, &scale);
+        let r0 = run_point(Replication::None, kill, 160 + pct as u64, &scale, 0.0);
+        let r1 = run_point(Replication::Level(1), kill, 161 + pct as u64, &scale, 0.0);
+        let rf = run_point(Replication::Full, kill, 162 + pct as u64, &scale, 0.0);
         println!("  {pct:>8}% {r0:>14.2} {r1:>14.2} {rf:>14.2}");
         if pct == 15 {
             r1_at_15 = r1;
@@ -174,4 +202,23 @@ fn main() {
             "— NOT reproduced"
         }
     );
+
+    if let Some(loss) = loss {
+        // Additional axis: the same failure sweep (reduced grid) with
+        // uniform message loss active from the moment the index is up.
+        // The zero-loss rows above are untouched; the reliable-delivery
+        // layer (acks + retries + dedup) must keep the curves close.
+        println!("\n  --- additional series: uniform message loss {loss} ---");
+        println!(
+            "\n  {:>9} {:>14} {:>14} {:>14}",
+            "failed %", "replication 0", "replication 1", "full"
+        );
+        for &pct in &[0usize, 15, 30, 50] {
+            let kill = N * pct / 100;
+            let r0 = run_point(Replication::None, kill, 160 + pct as u64, &scale, loss);
+            let r1 = run_point(Replication::Level(1), kill, 161 + pct as u64, &scale, loss);
+            let rf = run_point(Replication::Full, kill, 162 + pct as u64, &scale, loss);
+            println!("  {pct:>8}% {r0:>14.2} {r1:>14.2} {rf:>14.2}");
+        }
+    }
 }

@@ -93,6 +93,9 @@ pub enum MindPayload {
         origin: NodeId,
         /// When the insert left the origin (for insertion latency).
         sent_at: SimTime,
+        /// Idempotency key, unique per origin: the storing node dedups
+        /// retried copies on it and acks it back (see DESIGN.md §8).
+        op_id: u64,
     },
     /// Direct to a prefix neighbor: store a replica copy.
     Replica {
@@ -102,6 +105,15 @@ pub enum MindPayload {
         version: u32,
         /// The record.
         record: Record,
+        /// Idempotency key, unique per pushing primary; acked back to it.
+        op_id: u64,
+    },
+    /// Direct to the sender of an `Insert`/`Replica`: the record is
+    /// durably applied (or was already — acks are re-sent for deduped
+    /// retries, since the first ack may itself have been lost).
+    Ack {
+        /// The acknowledged operation.
+        op_id: u64,
     },
     /// Routed to the owner of the query's covering prefix: split me.
     RootQuery {
@@ -247,8 +259,9 @@ impl WireSize for MindPayload {
             MindPayload::CreateIndex { schema, .. } => 512 + schema.arity() * 32,
             MindPayload::NewVersion { .. } => 1024, // serialized cut tree
             MindPayload::DropIndex { .. } => 48,
-            MindPayload::Insert { record, .. } => 48 + record.wire_size(),
-            MindPayload::Replica { record, .. } => 40 + record.wire_size(),
+            MindPayload::Insert { record, .. } => 56 + record.wire_size(),
+            MindPayload::Replica { record, .. } => 48 + record.wire_size(),
+            MindPayload::Ack { .. } => 16,
             MindPayload::RootQuery { rect, filters, .. } => {
                 48 + rect.dims() * 16 + filters.len() * 20
             }

@@ -18,6 +18,16 @@ pub struct NodeMetrics {
     pub inserts_originated: u64,
     /// Sub-queries this node answered.
     pub subqueries_answered: u64,
+    /// Unacked insert/replica operations this node re-sent.
+    pub retries_sent: u64,
+    /// Acks received for this node's insert/replica operations.
+    pub acks_received: u64,
+    /// Duplicate operations (already-applied `op_id`s) ignored here.
+    pub dup_ops_ignored: u64,
+    /// Operations abandoned after exhausting their retry budget.
+    pub retries_exhausted: u64,
+    /// Query plan/sub-query re-dispatch rounds this node issued.
+    pub query_retries: u64,
 }
 
 /// Percentile of a *sorted* slice using nearest-rank (the convention the

@@ -16,7 +16,7 @@ use mind_overlay::{Overlay, OverlayConfig, OverlayEvent, OverlayMsg};
 use mind_store::DacCostModel;
 use mind_types::node::{NodeLogic, Outbox, SimTime, SECONDS};
 use mind_types::{BitCode, HyperRect, MindError, NodeId, Record};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Timer-token tag for MIND-level timers (the overlay uses `0xA5`).
 const TOKEN_TAG: u64 = 0xB6 << 56;
@@ -24,6 +24,9 @@ const KIND_DAC_TICK: u64 = 0;
 const KIND_BATCH: u64 = 1;
 const KIND_QUERY_DEADLINE: u64 = 2;
 const KIND_COLLECT: u64 = 3;
+const KIND_OP_RETRY: u64 = 4;
+const KIND_QUERY_RETRY: u64 = 5;
+const KIND_ANTI_ENTROPY: u64 = 6;
 
 fn token(kind: u64, arg: u64) -> u64 {
     TOKEN_TAG | (kind << 48) | (arg & 0xFFFF_FFFF_FFFF)
@@ -59,6 +62,17 @@ pub struct MindConfig {
     /// acceptor for the historical data it did not migrate (the paper's
     /// "pointer ... dropped once the data have aged", Section 3.4).
     pub handoff_ttl: SimTime,
+    /// Base timeout before an unacked insert/replica is re-sent; doubles
+    /// per attempt. `0` disables the ack/retry machinery entirely.
+    pub retry_timeout: SimTime,
+    /// Retry budget per operation (and per query-retry round sequence).
+    pub max_retries: u32,
+    /// Interval between re-dispatch rounds for a query's unanswered
+    /// plans/sub-queries. `0` disables query retries.
+    pub query_retry_interval: SimTime,
+    /// Interval between anti-entropy catalog exchanges with a round-robin
+    /// neighbor (heals lost index/version/trigger floods). `0` disables.
+    pub anti_entropy_interval: SimTime,
 }
 
 impl Default for MindConfig {
@@ -73,6 +87,10 @@ impl Default for MindConfig {
             auto_versioning: true,
             collect_grace: 10 * SECONDS,
             handoff_ttl: 3600 * SECONDS,
+            retry_timeout: 5 * SECONDS,
+            max_retries: 6,
+            query_retry_interval: 8 * SECONDS,
+            anti_entropy_interval: 45 * SECONDS,
         }
     }
 }
@@ -86,6 +104,11 @@ enum DacJob {
         record: Record,
         sent_at: SimTime,
         is_replica: bool,
+        /// Who to ack once applied (the insert origin, or the pushing
+        /// primary for replica copies).
+        acker: NodeId,
+        /// Idempotency key (0 = legacy/unacked operation).
+        op_id: u64,
     },
     Scan {
         query_id: u64,
@@ -105,6 +128,32 @@ struct BatchResult {
     /// `sent_at` of each primary insert in the batch (latency recorded at
     /// release time).
     insert_sent_ats: Vec<SimTime>,
+}
+
+/// Where an unacked operation goes when re-sent.
+#[derive(Debug, Clone)]
+enum OpTarget {
+    /// Re-route through the overlay toward a region code (inserts).
+    Routed(BitCode),
+    /// Re-send directly to a node (replica pushes).
+    Direct(NodeId),
+}
+
+/// An insert/replica awaiting its ack (DESIGN.md §8).
+#[derive(Debug)]
+struct PendingOp {
+    target: OpTarget,
+    payload: MindPayload,
+    attempts: u32,
+}
+
+/// What a query originator needs to re-dispatch unanswered work.
+#[derive(Debug)]
+struct QueryRetryMeta {
+    index: String,
+    rect: HyperRect,
+    filters: Vec<CarriedFilter>,
+    attempts: u32,
 }
 
 /// A sub-query waiting for the acceptor's historical records.
@@ -128,10 +177,16 @@ pub struct MindNode {
     dac_busy: bool,
     batch_seq: u64,
     pending_batches: HashMap<u64, BatchResult>,
+    // reliable delivery (DESIGN.md §8)
+    op_seq: u64,
+    pending_ops: HashMap<u64, PendingOp>,
+    seen_ops: HashSet<u64>,
+    anti_entropy_rr: u64,
     // queries
     query_seq: u64,
     /// In-flight and finished query trackers, by query id.
     pub queries: HashMap<u64, QueryTracker>,
+    query_meta: HashMap<u64, QueryRetryMeta>,
     // join-time data handoff (Section 3.4)
     handoff: Option<(NodeId, SimTime)>,
     handoff_seq: u64,
@@ -187,8 +242,13 @@ impl MindNode {
             dac_busy: false,
             batch_seq: 0,
             pending_batches: HashMap::new(),
+            op_seq: 0,
+            pending_ops: HashMap::new(),
+            seen_ops: HashSet::new(),
+            anti_entropy_rr: 0,
             query_seq: 0,
             queries: HashMap::new(),
+            query_meta: HashMap::new(),
             handoff: None,
             handoff_seq: 0,
             pending_handoffs: HashMap::new(),
@@ -212,7 +272,12 @@ impl MindNode {
         self.dac_queue.clear();
         self.dac_busy = false;
         self.pending_batches.clear();
+        self.pending_ops.clear();
+        // Forget applied op ids too: the rows died with the stores, so a
+        // retried op must be stored again, not deduped into data loss.
+        self.seen_ops.clear();
         self.queries.clear();
+        self.query_meta.clear();
         self.handoff = None;
         self.pending_handoffs.clear();
         self.collecting.clear();
@@ -308,16 +373,79 @@ impl MindNode {
         let cuts = &state.version(version).expect("version exists").cuts; // lint:allow(unwrap) version_for_ts returns an installed version
         let code = cuts.code_for_point(record.point(state.schema.indexed_dims));
         self.metrics.inserts_originated += 1;
+        let op_id = self.next_op_id();
         let payload = MindPayload::Insert {
             index: index.to_string(),
             version,
             record,
             origin: self.id,
             sent_at: now,
+            op_id,
         };
+        self.track_op(op_id, OpTarget::Routed(code), payload.clone(), out);
         let events = self.overlay.route(now, code, payload, out);
         self.process_events(now, events, out);
         Ok(())
+    }
+
+    /// A fresh idempotency key, unique per origin (node id ∥ counter,
+    /// within the 48-bit timer-argument budget).
+    fn next_op_id(&mut self) -> u64 {
+        // Pre-increment: the id 0 is reserved as the "no tracking" sentinel
+        // (node 0's op 0 would otherwise collide with it and lose dedup).
+        self.op_seq += 1;
+        (((self.id.0 as u64) << 24) | (self.op_seq & 0xFF_FFFF)) & 0xFFFF_FFFF_FFFF
+    }
+
+    /// Registers an operation for ack tracking and arms its retry timer.
+    fn track_op(
+        &mut self,
+        op_id: u64,
+        target: OpTarget,
+        payload: MindPayload,
+        out: &mut Outbox<OverlayMsg<MindPayload>>,
+    ) {
+        if self.cfg.retry_timeout == 0 {
+            return;
+        }
+        self.pending_ops.insert(
+            op_id,
+            PendingOp {
+                target,
+                payload,
+                attempts: 0,
+            },
+        );
+        out.set_timer(self.cfg.retry_timeout, token(KIND_OP_RETRY, op_id));
+    }
+
+    /// Re-sends an unacked operation, with exponential backoff, until the
+    /// retry budget runs out.
+    fn retry_op(&mut self, now: SimTime, op_id: u64, out: &mut Outbox<OverlayMsg<MindPayload>>) {
+        let Some(op) = self.pending_ops.get_mut(&op_id) else {
+            return; // acked in the meantime
+        };
+        if op.attempts >= self.cfg.max_retries {
+            self.pending_ops.remove(&op_id);
+            self.metrics.retries_exhausted += 1;
+            return;
+        }
+        op.attempts += 1;
+        let attempts = op.attempts;
+        let payload = op.payload.clone();
+        let target = op.target.clone();
+        self.metrics.retries_sent += 1;
+        match target {
+            OpTarget::Routed(code) => {
+                let events = self.overlay.route(now, code, payload, out);
+                self.process_events(now, events, out);
+            }
+            OpTarget::Direct(node) => out.send(node, OverlayMsg::Direct { payload }),
+        }
+        out.set_timer(
+            self.cfg.retry_timeout << attempts.min(6),
+            token(KIND_OP_RETRY, op_id),
+        );
     }
 
     /// `query_index`: issues a multi-dimensional range query with optional
@@ -359,6 +487,15 @@ impl MindNode {
             }
         }
         self.queries.insert(query_id, tracker);
+        self.query_meta.insert(
+            query_id,
+            QueryRetryMeta {
+                index: index.to_string(),
+                rect: rect.clone(),
+                filters: filters.clone(),
+                attempts: 0,
+            },
+        );
         for (v, prefix) in routed {
             let payload = MindPayload::RootQuery {
                 query_id,
@@ -371,11 +508,110 @@ impl MindNode {
             let events = self.overlay.route(now, prefix, payload, out);
             self.process_events(now, events, out);
         }
+        if self.cfg.query_retry_interval > 0 {
+            out.set_timer(
+                self.cfg.query_retry_interval,
+                token(KIND_QUERY_RETRY, query_id),
+            );
+        }
         out.set_timer(
             self.cfg.query_deadline,
             token(KIND_QUERY_DEADLINE, query_id),
         );
         Ok(query_id)
+    }
+
+    /// Re-drives a query's unanswered work: re-routes `RootQuery`s for
+    /// versions whose plan never arrived and re-dispatches the expected
+    /// sub-queries still missing answers. The tracker dedups whatever
+    /// duplicate plans/responses this produces.
+    fn retry_query(
+        &mut self,
+        now: SimTime,
+        query_id: u64,
+        out: &mut Outbox<OverlayMsg<MindPayload>>,
+    ) {
+        let Some((pending_versions, missing)) = self.queries.get(&query_id).and_then(|t| {
+            if t.done() {
+                None
+            } else {
+                let pending: Vec<u32> = t.plans_pending.iter().copied().collect();
+                let missing: Vec<(u32, BitCode)> = t
+                    .expected
+                    .iter()
+                    .filter(|k| !t.answered.contains(k))
+                    .cloned()
+                    .collect();
+                Some((pending, missing))
+            }
+        }) else {
+            self.query_meta.remove(&query_id);
+            return;
+        };
+        let Some(meta) = self.query_meta.get_mut(&query_id) else {
+            return;
+        };
+        if meta.attempts >= self.cfg.max_retries {
+            return; // budget spent; the deadline timer will close the query
+        }
+        meta.attempts += 1;
+        let index = meta.index.clone();
+        let rect = meta.rect.clone();
+        let filters = meta.filters.clone();
+        if !pending_versions.is_empty() || !missing.is_empty() {
+            self.metrics.query_retries += 1;
+        }
+        // Versions still missing their plan: re-route the root query.
+        let mut reroutes = Vec::new();
+        if let Some(state) = self.indexes.get(&index) {
+            for v in pending_versions {
+                reroutes.push((
+                    v,
+                    state
+                        .version(v)
+                        .and_then(|ver| ver.cuts.query_prefix(&rect)),
+                ));
+            }
+        }
+        for (v, prefix) in reroutes {
+            match prefix {
+                None => {
+                    if let Some(t) = self.queries.get_mut(&query_id) {
+                        t.on_plan(now, v, vec![], None);
+                    }
+                }
+                Some(prefix) => {
+                    let payload = MindPayload::RootQuery {
+                        query_id,
+                        index: index.clone(),
+                        version: v,
+                        rect: rect.clone(),
+                        filters: filters.clone(),
+                        origin: self.id,
+                    };
+                    let events = self.overlay.route(now, prefix, payload, out);
+                    self.process_events(now, events, out);
+                }
+            }
+        }
+        // Announced but unanswered regions: re-dispatch their sub-queries.
+        for (v, code) in missing {
+            self.dispatch_subquery(
+                now,
+                query_id,
+                index.clone(),
+                v,
+                code,
+                rect.clone(),
+                filters.clone(),
+                self.id,
+                out,
+            );
+        }
+        out.set_timer(
+            self.cfg.query_retry_interval,
+            token(KIND_QUERY_RETRY, query_id),
+        );
     }
 
     /// The outcome of a query, once [`QueryTracker::done`].
@@ -571,9 +807,17 @@ impl MindNode {
                 index,
                 version,
                 record,
-                origin: _,
+                origin,
                 sent_at,
+                op_id,
             } => {
+                // Already applied (this is a retry whose ack was lost, or
+                // a network duplicate): re-ack without touching the DAC.
+                if op_id != 0 && self.seen_ops.contains(&op_id) {
+                    self.metrics.dup_ops_ignored += 1;
+                    self.send_ack(origin, op_id, out);
+                    return;
+                }
                 self.metrics.insert_hops.push(hops);
                 self.enqueue(
                     now,
@@ -583,6 +827,8 @@ impl MindNode {
                         record,
                         sent_at,
                         is_replica: false,
+                        acker: origin,
+                        op_id,
                     },
                     out,
                 );
@@ -636,7 +882,13 @@ impl MindNode {
                 index,
                 version,
                 record,
+                op_id,
             } => {
+                if op_id != 0 && self.seen_ops.contains(&op_id) {
+                    self.metrics.dup_ops_ignored += 1;
+                    self.send_ack(from, op_id, out);
+                    return;
+                }
                 // Replica writes skip latency metrics and histogram
                 // accounting but share the DAC (they cost real work).
                 self.enqueue(
@@ -647,9 +899,16 @@ impl MindNode {
                         record,
                         sent_at: now,
                         is_replica: true,
+                        acker: from,
+                        op_id,
                     },
                     out,
                 );
+            }
+            MindPayload::Ack { op_id } => {
+                if self.pending_ops.remove(&op_id).is_some() {
+                    self.metrics.acks_received += 1;
+                }
             }
             MindPayload::TriggerFired {
                 trigger_id,
@@ -1050,10 +1309,20 @@ impl MindNode {
                     record,
                     sent_at,
                     is_replica,
+                    acker,
+                    op_id,
                 } => {
                     cost += cost_model.per_insert;
-                    self.apply_insert(&index, version, record, is_replica, &mut result);
-                    if !is_replica {
+                    let applied = self.apply_insert(
+                        &index,
+                        version,
+                        record,
+                        is_replica,
+                        acker,
+                        op_id,
+                        &mut result,
+                    );
+                    if applied && !is_replica {
                         result.insert_sent_ats.push(sent_at);
                     }
                 }
@@ -1124,18 +1393,55 @@ impl MindNode {
         out.set_timer(cost.max(1), token(KIND_BATCH, batch_id));
     }
 
+    /// Queues an `Ack` for direct delivery (loopback-safe via
+    /// `release_batch`'s short-circuit when sent through a batch).
+    fn send_ack(&mut self, to: NodeId, op_id: u64, out: &mut Outbox<OverlayMsg<MindPayload>>) {
+        if to == self.id {
+            if self.pending_ops.remove(&op_id).is_some() {
+                self.metrics.acks_received += 1;
+            }
+        } else {
+            out.send(
+                to,
+                OverlayMsg::Direct {
+                    payload: MindPayload::Ack { op_id },
+                },
+            );
+        }
+    }
+
+    /// Applies one insert (primary or replica). Returns `true` when the
+    /// record was actually stored. The ack is emitted *only* on success
+    /// or on a detected duplicate — an insert that cannot be applied yet
+    /// (index/version unknown here, e.g. a lost flood) stays unacked so
+    /// the origin's retry can land once the catalog heals.
+    #[allow(clippy::too_many_arguments)]
     fn apply_insert(
         &mut self,
         index: &str,
         version: u32,
         record: Record,
         is_replica: bool,
+        acker: NodeId,
+        op_id: u64,
         result: &mut BatchResult,
-    ) {
+    ) -> bool {
+        if op_id != 0 && self.seen_ops.contains(&op_id) {
+            // A duplicate that slipped into the queue behind the first
+            // copy (network duplication or an early retry): ack, don't
+            // double-store.
+            self.metrics.dup_ops_ignored += 1;
+            result.sends.push((acker, MindPayload::Ack { op_id }));
+            return false;
+        }
         let Some(state) = self.indexes.get_mut(index) else {
-            return;
+            return false;
         };
         let dims = state.schema.indexed_dims;
+        let replication = state.replication;
+        if state.version_mut(version).is_none() {
+            return false;
+        }
         if !is_replica {
             state.day_histogram.add(record.point(dims));
             // Standing queries fire the moment the primary copy lands.
@@ -1150,14 +1456,16 @@ impl MindNode {
                 ));
             }
         }
-        let replication = state.replication;
-        let Some(ver) = state.version_mut(version) else {
-            return;
-        };
+        if op_id != 0 {
+            self.seen_ops.insert(op_id);
+            result.sends.push((acker, MindPayload::Ack { op_id }));
+        }
+        let state = self.indexes.get_mut(index).expect("checked above"); // lint:allow(unwrap) presence checked above
+        let ver = state.version_mut(version).expect("checked above"); // lint:allow(unwrap) presence checked above
         if is_replica {
             ver.replica_rows += 1;
             ver.replicas.insert(record);
-            return;
+            return true;
         }
         ver.primary_rows += 1;
         ver.primary.insert(record.clone());
@@ -1168,15 +1476,18 @@ impl MindNode {
             Replication::Full => self.overlay.all_neighbor_targets(),
         };
         for t in targets {
+            let rep_op = self.next_op_id();
             result.sends.push((
                 t,
                 MindPayload::Replica {
                     index: index.to_string(),
                     version,
                     record: record.clone(),
+                    op_id: rep_op,
                 },
             ));
         }
+        true
     }
 
     fn run_scan(
@@ -1231,6 +1542,13 @@ impl MindNode {
                     // Loopback shortcut (e.g. responding to our own query).
                     self.on_direct(now, self.id, payload, out);
                 } else {
+                    // Replica pushes leave through here exactly once — arm
+                    // their ack/retry tracking at actual transmission time.
+                    if let MindPayload::Replica { op_id, .. } = &payload {
+                        if *op_id != 0 {
+                            self.track_op(*op_id, OpTarget::Direct(dest), payload.clone(), out);
+                        }
+                    }
                     out.send(dest, OverlayMsg::Direct { payload });
                 }
             }
@@ -1254,6 +1572,9 @@ impl NodeLogic for MindNode {
     fn on_start(&mut self, now: SimTime, out: &mut Outbox<Self::Msg>) {
         if self.overlay.on_start(now, out) {
             self.reset_after_restart();
+        }
+        if self.cfg.anti_entropy_interval > 0 {
+            out.set_timer(self.cfg.anti_entropy_interval, token(KIND_ANTI_ENTROPY, 0));
         }
     }
 
@@ -1282,11 +1603,32 @@ impl NodeLogic for MindNode {
             KIND_DAC_TICK => self.dac_tick(now, out),
             KIND_BATCH => self.release_batch(now, arg, out),
             KIND_QUERY_DEADLINE => {
+                self.query_meta.remove(&arg);
                 if let Some(t) = self.queries.get_mut(&arg) {
                     t.on_deadline();
                 }
             }
             KIND_COLLECT => self.finish_collection(arg, out),
+            KIND_OP_RETRY => self.retry_op(now, arg, out),
+            KIND_QUERY_RETRY => self.retry_query(now, arg, out),
+            KIND_ANTI_ENTROPY => {
+                // Periodically reconcile the index/trigger catalog with one
+                // neighbor (round-robin): heals CreateIndex/NewVersion/
+                // CreateTrigger floods lost to the network, since
+                // CatalogResponse installation is idempotent.
+                let peers = self.overlay.all_neighbor_targets();
+                if !peers.is_empty() {
+                    let pick = peers[(self.anti_entropy_rr as usize) % peers.len()];
+                    self.anti_entropy_rr += 1;
+                    out.send(
+                        pick,
+                        OverlayMsg::Direct {
+                            payload: MindPayload::CatalogRequest,
+                        },
+                    );
+                }
+                out.set_timer(self.cfg.anti_entropy_interval, token(KIND_ANTI_ENTROPY, 0));
+            }
             _ => {}
         }
     }

@@ -648,6 +648,7 @@ mod tests {
                 record: Record::new(vec![1, 2, 3, 4, 5]),
                 origin: NodeId(7),
                 sent_at: 123_456,
+                op_id: 99,
             },
         };
         let bytes = to_bytes(&msg).unwrap();
@@ -663,6 +664,7 @@ mod tests {
                         record,
                         origin,
                         sent_at,
+                        op_id,
                     },
             } => {
                 assert_eq!(target.to_string(), "010110");
@@ -672,6 +674,7 @@ mod tests {
                 assert_eq!(record.values(), &[1, 2, 3, 4, 5]);
                 assert_eq!(origin, NodeId(7));
                 assert_eq!(sent_at, 123_456);
+                assert_eq!(op_id, 99);
             }
             other => panic!("wrong decode: {other:?}"),
         }

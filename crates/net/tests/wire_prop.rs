@@ -51,14 +51,16 @@ fn arb_payload() -> impl Strategy<Value = MindPayload> {
         arb_record(),
         any::<u32>(),
         any::<u64>(),
+        any::<u64>(),
     )
         .prop_map(
-            |(index, version, record, origin, sent_at)| MindPayload::Insert {
+            |(index, version, record, origin, sent_at, op_id)| MindPayload::Insert {
                 index,
                 version,
                 record,
                 origin: NodeId(origin),
                 sent_at,
+                op_id,
             },
         );
     let subquery = (

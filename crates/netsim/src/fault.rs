@@ -1,0 +1,262 @@
+//! The fault plane: seeded, deterministic message-level fault injection.
+//!
+//! A [`FaultPlan`] rides on [`crate::SimConfig`] and perturbs the network
+//! *between live nodes* — something the base simulator never does (it only
+//! drops traffic to dead hosts and delays it through scheduled link
+//! outages). The plan supports:
+//!
+//! - **global and per-link message loss** ([`FaultPlan::loss_prob`],
+//!   [`LinkFault`]),
+//! - **duplication** ([`FaultPlan::dup_prob`]) — the copy takes its own
+//!   trip through the link queue, so it arrives later and out of order,
+//! - **bounded extra-delay spikes** ([`FaultPlan::delay_spike_prob`] /
+//!   [`FaultPlan::delay_spike_max`]),
+//! - **scheduled bidirectional partitions** ([`Partition`]: cut at `t0`,
+//!   heal at `t1`), and
+//! - **crash/restart schedules** ([`CrashEvent`]) applied when the node
+//!   joins the world.
+//!
+//! Every probabilistic decision draws from the single world RNG, and every
+//! draw is gated on its probability being non-zero — a plan whose knobs
+//! are all zero consumes *no* randomness, so fault-free worlds replay the
+//! exact event trace they produced before the fault plane existed.
+//! Partition checks are pure schedule lookups and never touch the RNG.
+//!
+//! Outcomes are counted in [`crate::NetStats`] (`dropped_fault`,
+//! `duplicated`, `partitioned`) so tests can assert on what the plan
+//! actually did.
+
+use mind_types::node::SimTime;
+use mind_types::NodeId;
+
+/// A per-link loss rule, optionally unidirectional and time-windowed.
+///
+/// Unidirectional windowed faults are the surgical tool the overlay tests
+/// need: "lose the `HeartbeatAck`s from B to A for 5 seconds" is
+/// `LinkFault { from: b, to: a, loss_prob: 1.0, bidirectional: false,
+/// active: (t0, t1) }`.
+#[derive(Debug, Clone)]
+pub struct LinkFault {
+    /// Sender side of the affected directed link.
+    pub from: NodeId,
+    /// Receiver side of the affected directed link.
+    pub to: NodeId,
+    /// Extra loss probability on this link, combined independently with
+    /// the global [`FaultPlan::loss_prob`].
+    pub loss_prob: f64,
+    /// When `true` the rule also applies to the reverse direction.
+    pub bidirectional: bool,
+    /// Half-open activity window `[start, end)` in simulated time.
+    pub active: (SimTime, SimTime),
+}
+
+impl LinkFault {
+    /// `true` when this rule covers a message sent `from → to` at `t`.
+    pub fn applies(&self, from: NodeId, to: NodeId, t: SimTime) -> bool {
+        let dir = (self.from == from && self.to == to)
+            || (self.bidirectional && self.from == to && self.to == from);
+        dir && t >= self.active.0 && t < self.active.1
+    }
+}
+
+/// A scheduled bidirectional partition: during `[cut_at, heal_at)` no
+/// message crosses between `island` and the rest of the world, in either
+/// direction. Traffic wholly inside or wholly outside the island is
+/// unaffected. Crossing messages are dropped (not queued): a partition
+/// models a routing blackout, unlike
+/// [`crate::World::schedule_link_outage`] which models TCP riding out a
+/// transient outage.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Nodes on one side of the cut.
+    pub island: Vec<NodeId>,
+    /// Partition start (inclusive).
+    pub cut_at: SimTime,
+    /// Partition end (exclusive) — the heal instant.
+    pub heal_at: SimTime,
+}
+
+impl Partition {
+    /// `true` when a message sent `from → to` at `t` crosses the cut.
+    pub fn severs(&self, from: NodeId, to: NodeId, t: SimTime) -> bool {
+        if t < self.cut_at || t >= self.heal_at {
+            return false;
+        }
+        self.island.contains(&from) != self.island.contains(&to)
+    }
+}
+
+/// A scheduled crash, with an optional restart. Applied by
+/// [`crate::World::add_node`] when the matching [`NodeId`] joins, so plans
+/// can be written before the world is populated.
+#[derive(Debug, Clone)]
+pub struct CrashEvent {
+    /// The node to crash.
+    pub node: NodeId,
+    /// When to crash it.
+    pub crash_at: SimTime,
+    /// When to revive it (`None` = stays dead).
+    pub revive_at: Option<SimTime>,
+}
+
+/// A complete, seeded fault schedule for one simulation run.
+///
+/// The default plan is the identity: nothing is dropped, duplicated,
+/// delayed, partitioned, or crashed, and no RNG is consumed.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Global probability that any live-to-live message is silently lost.
+    pub loss_prob: f64,
+    /// Probability that a delivered message is also duplicated. The copy
+    /// re-enters the link queue, so it arrives strictly later.
+    pub dup_prob: f64,
+    /// Probability that a delivered message suffers an extra delay spike.
+    pub delay_spike_prob: f64,
+    /// Upper bound (inclusive) on the extra delay, drawn uniformly from
+    /// `[1, delay_spike_max]` microseconds.
+    pub delay_spike_max: SimTime,
+    /// Per-link loss rules, combined independently with `loss_prob`.
+    pub link_faults: Vec<LinkFault>,
+    /// Scheduled partitions.
+    pub partitions: Vec<Partition>,
+    /// Scheduled crash/restart events.
+    pub crashes: Vec<CrashEvent>,
+}
+
+impl FaultPlan {
+    /// A plan that only loses messages, globally, with probability `p`.
+    pub fn lossy(p: f64) -> Self {
+        FaultPlan {
+            loss_prob: p,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Sets the duplication probability (builder-style).
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        self.dup_prob = p;
+        self
+    }
+
+    /// Adds delay spikes of up to `max` µs with probability `p`.
+    pub fn with_delay_spikes(mut self, p: f64, max: SimTime) -> Self {
+        self.delay_spike_prob = p;
+        self.delay_spike_max = max;
+        self
+    }
+
+    /// Adds a bidirectional partition isolating `island` during
+    /// `[cut_at, heal_at)`.
+    pub fn with_partition(
+        mut self,
+        island: Vec<NodeId>,
+        cut_at: SimTime,
+        heal_at: SimTime,
+    ) -> Self {
+        self.partitions.push(Partition {
+            island,
+            cut_at,
+            heal_at,
+        });
+        self
+    }
+
+    /// Adds a per-link loss rule.
+    pub fn with_link_fault(mut self, fault: LinkFault) -> Self {
+        self.link_faults.push(fault);
+        self
+    }
+
+    /// Schedules a crash (and optional revival) for `node`.
+    pub fn with_crash(
+        mut self,
+        node: NodeId,
+        crash_at: SimTime,
+        revive_at: Option<SimTime>,
+    ) -> Self {
+        self.crashes.push(CrashEvent {
+            node,
+            crash_at,
+            revive_at,
+        });
+        self
+    }
+
+    /// Effective loss probability for a message sent `from → to` at `t`:
+    /// the global rate and every applicable link rule combined as
+    /// independent loss processes.
+    pub fn loss_for(&self, from: NodeId, to: NodeId, t: SimTime) -> f64 {
+        let mut survive = 1.0 - self.loss_prob.clamp(0.0, 1.0);
+        for lf in &self.link_faults {
+            if lf.applies(from, to, t) {
+                survive *= 1.0 - lf.loss_prob.clamp(0.0, 1.0);
+            }
+        }
+        1.0 - survive
+    }
+
+    /// `true` when any scheduled partition severs `from → to` at `t`.
+    pub fn severed(&self, from: NodeId, to: NodeId, t: SimTime) -> bool {
+        self.partitions.iter().any(|p| p.severs(from, to, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_identity() {
+        let p = FaultPlan::default();
+        assert_eq!(p.loss_for(NodeId(0), NodeId(1), 0), 0.0);
+        assert!(!p.severed(NodeId(0), NodeId(1), 0));
+    }
+
+    #[test]
+    fn link_fault_direction_and_window() {
+        let lf = LinkFault {
+            from: NodeId(1),
+            to: NodeId(2),
+            loss_prob: 1.0,
+            bidirectional: false,
+            active: (100, 200),
+        };
+        assert!(lf.applies(NodeId(1), NodeId(2), 100));
+        assert!(lf.applies(NodeId(1), NodeId(2), 199));
+        assert!(
+            !lf.applies(NodeId(1), NodeId(2), 200),
+            "window is half-open"
+        );
+        assert!(!lf.applies(NodeId(2), NodeId(1), 150), "unidirectional");
+        let bi = LinkFault {
+            bidirectional: true,
+            ..lf
+        };
+        assert!(bi.applies(NodeId(2), NodeId(1), 150));
+    }
+
+    #[test]
+    fn loss_combines_independently() {
+        let plan = FaultPlan::lossy(0.5).with_link_fault(LinkFault {
+            from: NodeId(0),
+            to: NodeId(1),
+            loss_prob: 0.5,
+            bidirectional: false,
+            active: (0, SimTime::MAX),
+        });
+        let p = plan.loss_for(NodeId(0), NodeId(1), 10);
+        assert!((p - 0.75).abs() < 1e-12, "1 - 0.5*0.5, got {p}");
+        assert_eq!(plan.loss_for(NodeId(1), NodeId(0), 10), 0.5);
+    }
+
+    #[test]
+    fn partition_severs_only_crossing_traffic_in_window() {
+        let plan = FaultPlan::default().with_partition(vec![NodeId(0), NodeId(1)], 50, 150);
+        assert!(plan.severed(NodeId(0), NodeId(2), 50));
+        assert!(plan.severed(NodeId(2), NodeId(1), 149));
+        assert!(!plan.severed(NodeId(0), NodeId(1), 100), "intra-island ok");
+        assert!(!plan.severed(NodeId(2), NodeId(3), 100), "outside ok");
+        assert!(!plan.severed(NodeId(0), NodeId(2), 49), "before cut");
+        assert!(!plan.severed(NodeId(0), NodeId(2), 150), "after heal");
+    }
+}

@@ -24,12 +24,14 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod latency;
 pub mod stats;
 pub mod topology;
 pub mod world;
 
+pub use fault::{CrashEvent, FaultPlan, LinkFault, Partition};
 pub use latency::{GeoPoint, LatencyModel};
-pub use stats::{LinkStats, SimStats};
+pub use stats::{LinkStats, NetStats, SimStats};
 pub use topology::{abilene_sites, geant_sites, planetlab_sites, Site};
 pub use world::{SimConfig, World};

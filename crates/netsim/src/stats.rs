@@ -26,12 +26,18 @@ pub struct LinkStats {
 /// The per-link message counters regenerate Figure 12 (tuples per overlay
 /// link); the optional per-link delay traces regenerate Figure 8 (the
 /// transmission-delay time series of the slowest link).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SimStats {
     /// Messages handed to `on_message`.
     pub delivered: u64,
     /// Messages dropped because the destination was dead on arrival.
     pub dropped_dead: u64,
+    /// Messages lost by the fault plan (global or per-link loss draws).
+    pub dropped_fault: u64,
+    /// Extra copies injected by the fault plan's duplication draws.
+    pub duplicated: u64,
+    /// Messages dropped because a scheduled partition severed the link.
+    pub partitioned: u64,
     /// Timer callbacks fired.
     pub timers_fired: u64,
     /// Counters per directed link `(from, to)`.
@@ -42,7 +48,25 @@ pub struct SimStats {
     pub traces: HashMap<(NodeId, NodeId), Vec<(SimTime, SimTime)>>,
 }
 
+/// Network-level statistics including the fault-plane counters — the name
+/// the chaos/fault test suites use for assertions.
+pub type NetStats = SimStats;
+
 impl SimStats {
+    /// The scalar counters as one comparable tuple `(delivered,
+    /// dropped_dead, dropped_fault, duplicated, partitioned,
+    /// timers_fired)` — handy for determinism assertions.
+    pub fn counters(&self) -> (u64, u64, u64, u64, u64, u64) {
+        (
+            self.delivered,
+            self.dropped_dead,
+            self.dropped_fault,
+            self.duplicated,
+            self.partitioned,
+            self.timers_fired,
+        )
+    }
+
     /// Enables delay tracing on the directed link `from → to`.
     pub fn trace_link(&mut self, from: NodeId, to: NodeId) {
         self.traced_links.insert((from, to));

@@ -152,6 +152,7 @@ fn planetlab_pool() -> Vec<Site> {
 /// "experimental nature of the PlanetLab testbed" the paper repeatedly
 /// cites for its latency tails.
 pub fn planetlab_sites(n: usize, seed: u64) -> Vec<Site> {
+    // lint:allow(worldrng) pre-world site generation from the experiment seed
     let mut rng = StdRng::seed_from_u64(seed);
     let pool = planetlab_pool();
     let mut out = Vec::with_capacity(n);

@@ -1,5 +1,6 @@
 //! The discrete-event simulation world.
 
+use crate::fault::FaultPlan;
 use crate::latency::LatencyModel;
 use crate::stats::SimStats;
 use crate::topology::Site;
@@ -11,15 +12,16 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 /// Global simulation parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// Seed for all simulator randomness (jitter). Same seed + same
-    /// schedule = identical event trace.
+    /// Seed for all simulator randomness (jitter, fault draws). Same seed
+    /// + same schedule = identical event trace.
     pub seed: u64,
     /// Propagation-delay model.
     pub latency: LatencyModel,
     /// Multiplicative latency jitter: each message's propagation is scaled
-    /// by a uniform factor in `[1, 1 + jitter_frac]`.
+    /// by a uniform factor in `[1, 1 + jitter_frac]`. Exactly `0.0` means
+    /// no jitter and consumes no randomness.
     pub jitter_frac: f64,
     /// Serialization rate of each overlay link in bytes/second. PlanetLab
     /// slices were bandwidth-capped, so this is deliberately modest.
@@ -27,6 +29,9 @@ pub struct SimConfig {
     /// Base per-message handling time on a healthy node; multiplied by the
     /// site's load factor.
     pub node_service: SimTime,
+    /// Seeded fault schedule (loss, duplication, delay spikes, partitions,
+    /// crashes). The default plan injects nothing and draws no randomness.
+    pub fault: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -37,6 +42,7 @@ impl Default for SimConfig {
             jitter_frac: 0.25,
             link_bytes_per_sec: 1_500_000,
             node_service: 300, // 0.3 ms
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -108,11 +114,12 @@ pub struct World<L: NodeLogic> {
 
 impl<L: NodeLogic> World<L>
 where
-    L::Msg: WireSize,
+    L::Msg: WireSize + Clone,
 {
     /// Creates an empty world.
     pub fn new(cfg: SimConfig) -> Self {
         World {
+            // lint:allow(worldrng) this IS the world RNG: seeded once here
             rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
             hosts: Vec::new(),
@@ -127,6 +134,14 @@ where
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Mutable access to the fault plan. Lets a harness switch faults on
+    /// a running world; edits take effect from the next send. Scheduled
+    /// crashes are armed once at `add_node`, so only probabilistic faults
+    /// and partition/link-fault windows can be changed this way.
+    pub fn fault_plan_mut(&mut self) -> &mut FaultPlan {
+        &mut self.cfg.fault
     }
 
     /// Number of hosts (alive or dead).
@@ -153,6 +168,22 @@ where
         let mut out = Outbox::new();
         self.hosts[id.0 as usize].logic.on_start(self.now, &mut out);
         self.flush_outbox(id, self.now, out);
+        // Apply the fault plan's crash schedule for this node now that it
+        // exists (plans are written before the world is populated).
+        let crashes: Vec<(SimTime, Option<SimTime>)> = self
+            .cfg
+            .fault
+            .crashes
+            .iter()
+            .filter(|c| c.node == id)
+            .map(|c| (c.crash_at, c.revive_at))
+            .collect();
+        for (crash_at, revive_at) in crashes {
+            self.push_event(crash_at.max(self.now), id, EventKind::Crash);
+            if let Some(at) = revive_at {
+                self.push_event(at.max(self.now), id, EventKind::Revive);
+            }
+        }
         id
     }
 
@@ -334,9 +365,51 @@ where
         }));
     }
 
+    /// One trip through the directed link `from → to`: queuing behind the
+    /// link's single-server transmitter, serialization, (possibly
+    /// jittered) propagation, and any fault-plan delay spike. Records link
+    /// stats and returns the arrival time. Every RNG draw is gated on its
+    /// probability being non-zero, so fault-free, jitter-free worlds
+    /// consume no randomness here.
+    fn link_arrival(&mut self, from: NodeId, to: NodeId, t_emit: SimTime, bytes: usize) -> SimTime {
+        let link = self.links.entry((from, to)).or_default();
+        let mut start = t_emit.max(link.next_free);
+        if let Some((o_start, o_end)) = link.outage {
+            if start >= o_start && start < o_end {
+                start = o_end;
+            }
+        }
+        let serialize =
+            (bytes as u128 * 1_000_000 / self.cfg.link_bytes_per_sec as u128) as SimTime;
+        link.next_free = start + serialize;
+        let queue_delay = start - t_emit;
+        let prop = self.cfg.latency.propagation(
+            &self.hosts[from.0 as usize].site.geo,
+            &self.hosts[to.0 as usize].site.geo,
+        );
+        let jitter = if self.cfg.jitter_frac > 0.0 {
+            1.0 + self.rng.random_range(0.0..self.cfg.jitter_frac)
+        } else {
+            1.0
+        };
+        let mut prop = (prop as f64 * jitter) as SimTime;
+        if self.cfg.fault.delay_spike_prob > 0.0
+            && self.rng.random_range(0.0..1.0) < self.cfg.fault.delay_spike_prob
+        {
+            prop += self
+                .rng
+                .random_range(1..=self.cfg.fault.delay_spike_max.max(1));
+        }
+        let arrival = start + serialize + prop;
+        self.stats
+            .record_link(from, to, bytes, queue_delay, arrival - t_emit, t_emit);
+        arrival
+    }
+
     /// Routes an outbox's effects into the event queue: sends traverse the
-    /// modeled network (queuing + serialization + jittered propagation);
-    /// timers attach to the emitting node's current incarnation.
+    /// modeled network (queuing + serialization + jittered propagation)
+    /// and the fault plane; timers attach to the emitting node's current
+    /// incarnation.
     fn flush_outbox(&mut self, from: NodeId, t_emit: SimTime, mut out: Outbox<L::Msg>) {
         let (sends, timers) = out.drain();
         for (to, msg) in sends {
@@ -348,29 +421,40 @@ where
             }
             let bytes = msg.wire_size();
             let arrival = if to == from {
-                // Loopback: negligible network cost.
+                // Loopback: negligible network cost, never faulted.
                 t_emit + 10
             } else {
-                let link = self.links.entry((from, to)).or_default();
-                let mut start = t_emit.max(link.next_free);
-                if let Some((o_start, o_end)) = link.outage {
-                    if start >= o_start && start < o_end {
-                        start = o_end;
-                    }
+                // Fault plane. Partition checks are schedule lookups (no
+                // RNG); loss and duplication draw only when their
+                // probability is non-zero so zero-fault streams replay
+                // unchanged.
+                if self.cfg.fault.severed(from, to, t_emit) {
+                    self.stats.partitioned += 1;
+                    continue;
                 }
-                let serialize =
-                    (bytes as u128 * 1_000_000 / self.cfg.link_bytes_per_sec as u128) as SimTime;
-                link.next_free = start + serialize;
-                let queue_delay = start - t_emit;
-                let prop = self.cfg.latency.propagation(
-                    &self.hosts[from.0 as usize].site.geo,
-                    &self.hosts[to.0 as usize].site.geo,
-                );
-                let jitter = 1.0 + self.rng.random_range(0.0..self.cfg.jitter_frac.max(1e-9));
-                let prop = (prop as f64 * jitter) as SimTime;
-                let arrival = start + serialize + prop;
-                self.stats
-                    .record_link(from, to, bytes, queue_delay, arrival - t_emit, t_emit);
+                let loss = self.cfg.fault.loss_for(from, to, t_emit);
+                if loss > 0.0 && self.rng.random_range(0.0..1.0) < loss {
+                    self.stats.dropped_fault += 1;
+                    continue;
+                }
+                let arrival = self.link_arrival(from, to, t_emit, bytes);
+                if self.cfg.fault.dup_prob > 0.0
+                    && self.rng.random_range(0.0..1.0) < self.cfg.fault.dup_prob
+                {
+                    // The duplicate re-enters the link queue behind the
+                    // original, so it arrives strictly later.
+                    self.stats.duplicated += 1;
+                    let dup_arrival = self.link_arrival(from, to, t_emit, bytes);
+                    self.push_event(
+                        dup_arrival,
+                        to,
+                        EventKind::Deliver {
+                            from,
+                            msg: msg.clone(),
+                            bytes,
+                        },
+                    );
+                }
                 arrival
             };
             self.push_event(arrival, to, EventKind::Deliver { from, msg, bytes });
@@ -398,6 +482,7 @@ pub fn lan_config(seed: u64) -> SimConfig {
         jitter_frac: 0.0,
         link_bytes_per_sec: 100_000_000,
         node_service: 10,
+        fault: FaultPlan::default(),
     }
 }
 
@@ -586,7 +671,7 @@ mod tests {
         struct TimerNode {
             fired: u32,
         }
-        #[derive(Debug)]
+        #[derive(Debug, Clone)]
         struct NoMsg;
         impl WireSize for NoMsg {}
         impl NodeLogic for TimerNode {

@@ -13,6 +13,7 @@ const TOKEN_TAG: u64 = 0xA5 << 56;
 const KIND_HEARTBEAT: u64 = 0;
 const KIND_JOIN_RETRY: u64 = 1;
 const KIND_RING: u64 = 2;
+const KIND_JOIN_ABORT: u64 = 3;
 
 /// Extras are pinged every this many heartbeat rounds (and given a
 /// correspondingly longer expiry horizon).
@@ -71,6 +72,9 @@ enum JoinState {
 struct PendingJoin {
     joiner: NodeId,
     awaiting: BTreeSet<NodeId>,
+    /// Distinguishes this accept from earlier aborted ones so a stale
+    /// abort watchdog cannot kill a newer pending join.
+    epoch: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -104,6 +108,7 @@ pub struct Overlay<P> {
     seen_floods: HashSet<u64>,
     seq: u64,
     hb_round: u64,
+    join_epoch: u64,
     rng: SmallRng,
 }
 
@@ -167,6 +172,7 @@ impl<P: Clone> Overlay<P> {
             seen_floods: HashSet::new(),
             seq: 0,
             hb_round: 0,
+            join_epoch: 0,
             rng: SmallRng::seed_from_u64(0x5EED ^ id.0 as u64),
         }
     }
@@ -356,6 +362,18 @@ impl<P: Clone> Overlay<P> {
         msg: OverlayMsg<P>,
         out: &mut Outbox<OverlayMsg<P>>,
     ) -> Vec<OverlayEvent<P>> {
+        // Any traffic proves the sender is alive: refresh its liveness so
+        // that lost heartbeat/ack messages (or a partition shorter than
+        // the failure horizon) do not misdiagnose a chatty neighbor as
+        // dead. Only entries still considered alive are refreshed — an
+        // entry already declared dead may be stale (the node can have
+        // rejoined under a different code), so resurrection is left to the
+        // heartbeat exchange that carries the authoritative code.
+        if let Some(e) = self.table.find_by_node_mut(from) {
+            if e.alive {
+                e.last_seen = now;
+            }
+        }
         match msg {
             OverlayMsg::LookupJoinTarget { joiner, ttl } => {
                 self.on_lookup(joiner, ttl, out);
@@ -527,6 +545,21 @@ impl<P: Clone> Overlay<P> {
                 Some(Vec::new())
             }
             KIND_RING => Some(self.on_ring_timeout(now, arg, out)),
+            KIND_JOIN_ABORT => {
+                // The split never gathered all its acks (a SplitAck was
+                // lost, or a neighbor died mid-protocol). Abort so the
+                // joiner retries cleanly and this node accepts joins again
+                // — without this watchdog a single lost SplitAck wedges
+                // the acceptor forever.
+                if let Some(p) = &self.pending_join {
+                    if p.epoch == arg {
+                        let joiner = p.joiner;
+                        self.pending_join = None;
+                        out.send(joiner, OverlayMsg::JoinReject);
+                    }
+                }
+                Some(Vec::new())
+            }
             _ => Some(Vec::new()),
         }
     }
@@ -580,10 +613,20 @@ impl<P: Clone> Overlay<P> {
         }
         let old_code = self.code.unwrap(); // lint:allow(unwrap) membership checked above
         let awaiting: BTreeSet<NodeId> = self.table.alive_nodes().into_iter().collect();
+        self.join_epoch += 1;
+        let epoch = self.join_epoch;
         self.pending_join = Some(PendingJoin {
             joiner,
             awaiting: awaiting.clone(),
+            epoch,
         });
+        // Watchdog: abort the split if the acks don't all arrive (lost
+        // SplitAck, neighbor death). Shorter than the joiner's own retry
+        // watchdog so the acceptor is free again before the retry lands.
+        out.set_timer(
+            self.cfg.join_retry_backoff * 2,
+            token(KIND_JOIN_ABORT, epoch),
+        );
         if awaiting.is_empty() {
             // Single-node overlay: commit immediately.
             // (Handled via the same path as the last ack.)

@@ -1,0 +1,277 @@
+//! Seeded chaos suite: the full MIND pipeline (index build → inserts →
+//! range queries → version rollover) driven through the netsim fault
+//! plane — message loss, duplication, delay spikes, partitions, and
+//! scheduled crashes — checked against a fault-free oracle, the
+//! invariant auditor, and exact determinism of the fault injection.
+//!
+//! Every scenario runs over pinned seeds so CI failures reproduce.
+
+use mind::core::{ClusterConfig, MindCluster, Replication};
+use mind::histogram::CutTree;
+use mind::netsim::FaultPlan;
+use mind::types::node::{SimTime, SECONDS};
+use mind::types::{AttrDef, AttrKind, HyperRect, IndexSchema, NodeId, Record};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEEDS: [u64; 3] = [3, 17, 42];
+
+fn schema() -> IndexSchema {
+    IndexSchema::new(
+        "chaos",
+        vec![
+            AttrDef::new("x", AttrKind::Generic, 0, 1 << 20),
+            AttrDef::new("timestamp", AttrKind::Timestamp, 0, 86_400 * 7),
+            AttrDef::new("y", AttrKind::Generic, 0, 1 << 20),
+        ],
+        3,
+    )
+}
+
+/// A cluster with the given fault plan active from t = 0. The heartbeat
+/// miss threshold is raised so a partition shorter than the failure
+/// horizon is ridden out instead of being misdiagnosed as node death.
+fn build(n: usize, seed: u64, fault: FaultPlan, replication: Replication) -> MindCluster {
+    let mut cfg = ClusterConfig::planetlab(n, seed);
+    cfg.sim.fault = fault;
+    cfg.overlay.hb_miss_threshold = 25; // horizon: 25 × 2s = 50s
+    let mut cluster = MindCluster::new(cfg);
+    let s = schema();
+    let cuts = CutTree::even(s.bounds(), 9);
+    cluster
+        .create_index(NodeId(0), s, cuts, replication)
+        .unwrap();
+    // Settle: the CreateIndex flood is itself subject to the fault plan;
+    // flood redundancy plus one anti-entropy round heal any gap.
+    cluster.run_for(50 * SECONDS);
+    cluster
+}
+
+fn random_record(rng: &mut StdRng, day: u64) -> Record {
+    Record::new(vec![
+        rng.random_range(0..1u64 << 20),
+        day * 86_400 + rng.random_range(0..86_400u64),
+        rng.random_range(0..1u64 << 20),
+    ])
+}
+
+fn spray(
+    cluster: &mut MindCluster,
+    rng: &mut StdRng,
+    n: usize,
+    count: usize,
+    day: u64,
+    oracle: &mut Vec<Record>,
+) {
+    for i in 0..count {
+        let r = random_record(rng, day);
+        oracle.push(r.clone());
+        cluster.insert(NodeId((i % n) as u32), "chaos", r).unwrap();
+        if i % 20 == 0 {
+            cluster.run_for(SECONDS);
+        }
+    }
+}
+
+fn sorted_values(records: &[Record]) -> Vec<Vec<u64>> {
+    let mut v: Vec<Vec<u64>> = records.iter().map(|r| r.values().to_vec()).collect();
+    v.sort();
+    v
+}
+
+/// Full-space query whose answer must equal the oracle exactly — no
+/// record lost to a fault, none double-stored by a retry or a network
+/// duplicate.
+fn assert_matches_oracle(cluster: &mut MindCluster, at: NodeId, oracle: &[Record], ctx: &str) {
+    let q = HyperRect::new(vec![0, 0, 0], vec![1 << 20, 86_400 * 7, 1 << 20]);
+    let outcome = cluster.query_and_wait(at, "chaos", q, vec![]).unwrap();
+    assert!(outcome.complete, "{ctx}: query incomplete");
+    assert_eq!(
+        sorted_values(&outcome.records),
+        sorted_values(oracle),
+        "{ctx}: answers diverge from the fault-free oracle"
+    );
+}
+
+/// Sums a retry-layer metric across live nodes.
+fn metric_sum(cluster: &MindCluster, f: impl Fn(&mind::core::NodeMetrics) -> u64) -> u64 {
+    (0..cluster.len() as u32)
+        .filter(|&k| cluster.world().is_alive(NodeId(k)))
+        .map(|k| f(&cluster.world().node(NodeId(k)).metrics))
+        .sum()
+}
+
+#[test]
+fn loss_and_duplication_match_oracle_across_version_rollover() {
+    for seed in SEEDS {
+        let fault = FaultPlan::lossy(0.05)
+            .with_duplication(0.02)
+            .with_delay_spikes(0.01, 200_000); // up to 200ms extra
+        let n = 10;
+        let mut cluster = build(n, seed, fault, Replication::None);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+        let mut oracle = Vec::new();
+
+        // Day-0 records, then the paper's day-boundary version rollover.
+        spray(&mut cluster, &mut rng, n, 150, 0, &mut oracle);
+        cluster.run_for(120 * SECONDS);
+        cluster.report_day_histograms("chaos", 0);
+        // Generous settle: the NewVersion flood and any catalog gaps must
+        // heal (anti-entropy period is 45s) before day-1 traffic arrives.
+        cluster.run_for(120 * SECONDS);
+
+        // Day-1 records land in the auto-installed version 1.
+        spray(&mut cluster, &mut rng, n, 100, 1, &mut oracle);
+        cluster.run_for(180 * SECONDS);
+
+        // (a) Results equal the fault-free oracle, across both versions.
+        assert_matches_oracle(&mut cluster, NodeId(3), &oracle, &format!("seed {seed}"));
+        // (b) The invariant auditor is clean after quiesce.
+        cluster
+            .audit_settled()
+            .assert_clean(&format!("seed {seed} after lossy rollover"));
+        // (c) Retry counters are bounded: nothing ran out of budget, and
+        // the total retry volume stays under ops × budget.
+        let exhausted = metric_sum(&cluster, |m| m.retries_exhausted);
+        assert_eq!(exhausted, 0, "seed {seed}: a retried op ran out of budget");
+        let retries = metric_sum(&cluster, |m| m.retries_sent);
+        let acked_ops = metric_sum(&cluster, |m| m.acks_received);
+        assert!(
+            retries <= acked_ops * 6,
+            "seed {seed}: {retries} retries for {acked_ops} acked ops"
+        );
+        // The plan actually injected faults.
+        let s = cluster.world().stats.clone();
+        assert!(s.dropped_fault > 0, "seed {seed}: loss never injected");
+        assert!(s.duplicated > 0, "seed {seed}: duplication never injected");
+    }
+}
+
+#[test]
+fn partition_heals_without_data_loss_or_false_death() {
+    for seed in SEEDS {
+        let n = 10;
+        // Nodes 0–2 are islanded 70s–85s in; background loss on top.
+        let cut_at: SimTime = 70 * SECONDS;
+        let heal_at: SimTime = 85 * SECONDS;
+        let fault = FaultPlan::lossy(0.01).with_partition(
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            cut_at,
+            heal_at,
+        );
+        let mut cluster = build(n, seed, fault, Replication::None);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA11);
+        let mut oracle = Vec::new();
+        spray(&mut cluster, &mut rng, n, 80, 0, &mut oracle);
+
+        // Keep inserting from both sides of the cut while it is active.
+        cluster.run_until(cut_at + SECONDS);
+        for i in 0..30 {
+            // Alternate between island (0–2) and mainland (3–9) origins.
+            let origin = if i % 2 == 0 { i % 3 } else { 3 + (i % 7) };
+            let r = random_record(&mut rng, 0);
+            oracle.push(r.clone());
+            cluster.insert(NodeId(origin as u32), "chaos", r).unwrap();
+            if i % 10 == 0 {
+                cluster.run_for(SECONDS);
+            }
+        }
+        // Heal, then quiesce long enough for the retry backoff (5s·2^k)
+        // to re-deliver everything stranded by the cut.
+        cluster.run_until(heal_at + 120 * SECONDS);
+
+        assert_matches_oracle(
+            &mut cluster,
+            NodeId(1),
+            &oracle,
+            &format!("seed {seed} post-heal"),
+        );
+        cluster
+            .audit_settled()
+            .assert_clean(&format!("seed {seed} after partition healed"));
+        // The cut must not have been misdiagnosed as node death: every
+        // node is still a member, and no takeover claimed island codes.
+        for k in 0..n as u32 {
+            assert!(
+                cluster.world().node(NodeId(k)).overlay().is_member(),
+                "seed {seed}: node {k} lost membership over a partition"
+            );
+        }
+        let s = cluster.world().stats.clone();
+        assert!(
+            s.partitioned > 0,
+            "seed {seed}: partition never severed a send"
+        );
+        let exhausted = metric_sum(&cluster, |m| m.retries_exhausted);
+        assert_eq!(exhausted, 0, "seed {seed}: op lost across the partition");
+    }
+}
+
+#[test]
+fn scheduled_crash_with_replication_preserves_recall() {
+    for seed in SEEDS {
+        let n = 10;
+        // The plan kills node 6 at t = 170s, after the insert stream has
+        // quiesced; Level-1 replication must cover its region.
+        let fault = FaultPlan::lossy(0.02).with_crash(NodeId(6), 170 * SECONDS, None);
+        let mut cluster = build(n, seed, fault, Replication::Level(1));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+        let mut oracle = Vec::new();
+        spray(&mut cluster, &mut rng, n, 120, 0, &mut oracle);
+        // Quiesce fully (acks + replica pushes) before the crash fires.
+        cluster.run_until(160 * SECONDS);
+        assert!(cluster.world().is_alive(NodeId(6)));
+        cluster.run_until(175 * SECONDS);
+        assert!(
+            !cluster.world().is_alive(NodeId(6)),
+            "seed {seed}: scheduled crash never fired"
+        );
+        // Let the sibling takeover settle, then check recall.
+        cluster.run_for(90 * SECONDS);
+        assert_matches_oracle(
+            &mut cluster,
+            NodeId(2),
+            &oracle,
+            &format!("seed {seed} post-crash"),
+        );
+        cluster
+            .audit_settled()
+            .assert_clean(&format!("seed {seed} after crash takeover"));
+        let s = cluster.world().stats.clone();
+        assert!(s.dropped_fault > 0, "seed {seed}: loss never injected");
+    }
+}
+
+#[test]
+fn same_seed_and_plan_replay_identically() {
+    // Two runs of the same seeded scenario must agree on every fault
+    // counter and every query answer, byte for byte.
+    type Counters = (u64, u64, u64, u64, u64, u64);
+    fn run(seed: u64) -> (Counters, Vec<Vec<u64>>, u64) {
+        let n = 8;
+        let fault = FaultPlan::lossy(0.05).with_duplication(0.02);
+        let mut cluster = build(n, seed, fault, Replication::None);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let mut oracle = Vec::new();
+        spray(&mut cluster, &mut rng, n, 100, 0, &mut oracle);
+        cluster.run_for(120 * SECONDS);
+        let q = HyperRect::new(vec![0, 0, 0], vec![1 << 20, 86_400 * 7, 1 << 20]);
+        let outcome = cluster
+            .query_and_wait(NodeId(4), "chaos", q, vec![])
+            .unwrap();
+        assert!(outcome.complete);
+        let retries = metric_sum(&cluster, |m| m.retries_sent);
+        (
+            cluster.world().stats.counters(),
+            sorted_values(&outcome.records),
+            retries,
+        )
+    }
+    for seed in SEEDS {
+        let a = run(seed);
+        let b = run(seed);
+        assert_eq!(a.0, b.0, "seed {seed}: NetStats counters diverged");
+        assert_eq!(a.1, b.1, "seed {seed}: query answers diverged");
+        assert_eq!(a.2, b.2, "seed {seed}: retry volume diverged");
+    }
+}

@@ -1,0 +1,180 @@
+//! Overlay maintenance under targeted message loss: lost heartbeat
+//! replies below the failure threshold must not trigger a sibling
+//! takeover, and a join whose SplitAsk/SplitAck exchange is severed must
+//! retry cleanly instead of leaving a half-committed split.
+
+use mind::audit::Auditor;
+use mind::core::audit::snapshot_world;
+use mind::core::{ClusterConfig, MindCluster, MindConfig, MindNode, Replication};
+use mind::histogram::CutTree;
+use mind::netsim::world::lan_config;
+use mind::netsim::{FaultPlan, LinkFault, Site, World};
+use mind::overlay::OverlayConfig;
+use mind::types::node::{SimTime, SECONDS};
+use mind::types::{AttrDef, AttrKind, BitCode, HyperRect, IndexSchema, NodeId, Record};
+
+fn schema() -> IndexSchema {
+    IndexSchema::new(
+        "hb",
+        vec![
+            AttrDef::new("x", AttrKind::Generic, 0, 1 << 16),
+            AttrDef::new("timestamp", AttrKind::Timestamp, 0, 86_400),
+            AttrDef::new("y", AttrKind::Generic, 0, 1 << 16),
+        ],
+        3,
+    )
+}
+
+/// Silencing one node's outbound traffic (heartbeats and acks included)
+/// for a window shorter than the failure horizon must be ridden out: no
+/// death verdict, no sibling takeover, no code movement.
+#[test]
+fn heartbeat_loss_below_threshold_causes_no_takeover() {
+    let n = 8;
+    let mute: SimTime = 40 * SECONDS;
+    let unmute: SimTime = 46 * SECONDS; // 6s < horizon
+    let mut cfg = ClusterConfig::planetlab(n, 7);
+    cfg.overlay.hb_miss_threshold = 6; // horizon: 6 × 2s = 12s
+    for k in (0..n as u32).filter(|&k| k != 1) {
+        // Unidirectional: node 1 keeps *receiving* heartbeats, but every
+        // reply it sends is lost — the pure lost-HeartbeatAck scenario.
+        cfg.sim.fault = std::mem::take(&mut cfg.sim.fault).with_link_fault(LinkFault {
+            from: NodeId(1),
+            to: NodeId(k),
+            loss_prob: 1.0,
+            bidirectional: false,
+            active: (mute, unmute),
+        });
+    }
+    let mut cluster = MindCluster::new(cfg);
+    let s = schema();
+    cluster
+        .create_index(
+            NodeId(0),
+            s.clone(),
+            CutTree::even(s.bounds(), 9),
+            Replication::None,
+        )
+        .unwrap();
+    cluster.run_for(30 * SECONDS);
+    cluster
+        .audit_settled()
+        .assert_clean("before the mute window");
+    let codes_before: Vec<Option<BitCode>> = (0..n as u32)
+        .map(|k| cluster.world().node(NodeId(k)).overlay().code())
+        .collect();
+
+    // Ride straight through the mute window, then two more heartbeat
+    // rounds for the books to settle.
+    cluster.run_until(unmute + 10 * SECONDS);
+
+    let codes_after: Vec<Option<BitCode>> = (0..n as u32)
+        .map(|k| cluster.world().node(NodeId(k)).overlay().code())
+        .collect();
+    assert_eq!(
+        codes_before, codes_after,
+        "a sub-threshold heartbeat gap moved region codes (takeover fired)"
+    );
+    for k in 0..n as u32 {
+        assert!(
+            cluster.world().node(NodeId(k)).overlay().is_member(),
+            "node {k} lost membership over a sub-threshold gap"
+        );
+    }
+    cluster
+        .audit_settled()
+        .assert_clean("after sub-threshold heartbeat loss");
+    // The drops really happened.
+    assert!(
+        cluster.world().stats.dropped_fault > 0,
+        "the link fault never dropped anything"
+    );
+
+    // Node 1 still owns its region: an insert routed there is queryable.
+    let r = Record::new(vec![77, 100, 77]);
+    cluster.insert(NodeId(5), "hb", r).unwrap();
+    cluster.run_for(30 * SECONDS);
+    let q = HyperRect::new(vec![0, 0, 0], vec![1 << 16, 86_400, 1 << 16]);
+    let outcome = cluster.query_and_wait(NodeId(1), "hb", q, vec![]).unwrap();
+    assert!(outcome.complete);
+    assert_eq!(outcome.records.len(), 1);
+}
+
+/// A join whose split handshake is severed (SplitAsk or SplitAck lost,
+/// depending on which node accepts) must abort cleanly on the acceptor —
+/// freeing it for other joiners — and retry from the joiner until the
+/// link heals. At no point may the overlay hold a half-committed split.
+#[test]
+fn severed_split_handshake_retries_cleanly() {
+    // Two committed members (0, 1); their mutual link dies exactly when
+    // node 2 starts joining, so every SplitAsk/SplitAck between them is
+    // lost until the window closes.
+    let join_at: SimTime = 60 * SECONDS;
+    let heal_at: SimTime = 75 * SECONDS;
+    let fault = FaultPlan::default().with_link_fault(LinkFault {
+        from: NodeId(0),
+        to: NodeId(1),
+        loss_prob: 1.0,
+        bidirectional: true,
+        active: (join_at, heal_at),
+    });
+    let overlay_cfg = OverlayConfig {
+        // Keep the mutual silence well below the failure horizon so the
+        // members do not declare each other dead meanwhile.
+        hb_miss_threshold: 20,
+        ..OverlayConfig::default()
+    };
+    let sim = mind::netsim::SimConfig {
+        fault,
+        ..lan_config(9)
+    };
+    let mut world: World<MindNode> = World::new(sim);
+    world.add_node(
+        MindNode::new_root(NodeId(0), overlay_cfg, MindConfig::default()),
+        Site::new("root", 0.0, 0.0),
+    );
+    world.add_node(
+        MindNode::new_joiner(NodeId(1), NodeId(0), overlay_cfg, MindConfig::default()),
+        Site::new("j1", 0.0, 0.1),
+    );
+    world.run_until(30 * SECONDS);
+    assert!(
+        world.node(NodeId(1)).overlay().is_member(),
+        "setup join failed"
+    );
+
+    world.run_until(join_at);
+    world.add_node(
+        MindNode::new_joiner(NodeId(2), NodeId(0), overlay_cfg, MindConfig::default()),
+        Site::new("j2", 0.0, 0.2),
+    );
+
+    // While the handshake link is down the join must keep failing, but
+    // never corrupt the overlay: check the invariants mid-retry.
+    world.run_until(join_at + 8 * SECONDS);
+    Auditor::structural()
+        .audit(&snapshot_world(&world))
+        .assert_clean("mid-retry, link still severed");
+    assert!(
+        !world.node(NodeId(2)).overlay().is_member(),
+        "join cannot commit while the split handshake is severed"
+    );
+
+    // Once the link heals, a retry must land.
+    world.run_until(heal_at + 30 * SECONDS);
+    assert!(
+        world.node(NodeId(2)).overlay().is_member(),
+        "joiner never recovered after the link healed"
+    );
+    Auditor::settled()
+        .audit(&snapshot_world(&world))
+        .assert_clean("after healed join");
+    // Exactly one committed split: codes partition the space as 0, 10,
+    // 11 (in some assignment) — the auditor checks the partition; here we
+    // double-check nobody kept a stale pre-split code.
+    let mut lens: Vec<u8> = (0..3u32)
+        .map(|k| world.node(NodeId(k)).overlay().code().unwrap().len())
+        .collect();
+    lens.sort();
+    assert_eq!(lens, vec![1, 2, 2], "split committed exactly once");
+}
