@@ -18,6 +18,12 @@
 //!   `realtime_tcp` example are exempt.
 //! * `stdmutex` — `std::sync::Mutex` / `std::sync::RwLock`; the workspace
 //!   mandates `parking_lot` locks.
+//! * `recclone` — `.clone()` in the store's local scan path
+//!   (`crates/store/src/{mem,dac}.rs`). Query responses share records via
+//!   `Arc` handles; a deep copy there silently reintroduces the per-query
+//!   allocation the columnar refactor removed. Spell shared-handle bumps
+//!   `Arc::clone(&x)` — which the rule's needle deliberately misses — and
+//!   materialize records only at the wire boundary.
 //!
 //! Test code is exempt from `unwrap`: files under `tests/`, `benches/` or
 //! `examples/`, and `#[cfg(test)]` modules (tracked by brace depth).
@@ -94,6 +100,19 @@ fn rules() -> Vec<Rule> {
             applies_in_tests: true,
             exempt_prefixes: &[],
             only_prefixes: &[],
+        },
+        Rule {
+            name: "recclone",
+            needles: &[concat!(".clo", "ne()")],
+            why: "the local scan path hands out Arc<Record> handles; deep \
+                  copies belong only at the wire boundary (core's to_wire)",
+            applies_in_tests: false,
+            exempt_prefixes: &[],
+            // Scoped to the store's scan surface: MemStore::range_records
+            // and DacResponse are what the zero-copy query path rests on.
+            // (kdtree.rs is excluded — it clones its own bounding-box
+            // vectors per query, which has nothing to do with records.)
+            only_prefixes: &["crates/store/src/mem.rs", "crates/store/src/dac.rs"],
         },
         Rule {
             name: "worldrng",
@@ -416,6 +435,25 @@ mod tests {
             "::seed_from_u64(cfg.seed);\n"
         );
         assert!(hits_in(src, "crates/netsim/src/world.rs", false).is_empty());
+    }
+
+    #[test]
+    fn recclone_scoped_to_store_scan_path() {
+        let src = concat!("let r = record.clo", "ne();\n");
+        assert_eq!(
+            hits_in(src, "crates/store/src/mem.rs", false),
+            vec![(1, "recclone")]
+        );
+        assert_eq!(
+            hits_in(src, "crates/store/src/dac.rs", false),
+            vec![(1, "recclone")]
+        );
+        // The tree clones its bounding-box vectors; out of scope.
+        assert!(hits_in(src, "crates/store/src/kdtree.rs", false).is_empty());
+        assert!(hits_in(src, "crates/core/src/node.rs", false).is_empty());
+        // Arc::clone(&x) is the endorsed spelling and does not match.
+        let src = "let r = Arc::clone(&self.records[i]);\n";
+        assert!(hits_in(src, "crates/store/src/mem.rs", false).is_empty());
     }
 
     #[test]

@@ -4,14 +4,16 @@ use crate::messages::BaselineMsg;
 use mind_types::node::{NodeLogic, Outbox, SimTime};
 use mind_types::{HyperRect, NodeId, Record};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Tracks one query at its originator (single expected answer).
 #[derive(Debug)]
 pub struct CentralQuery {
     /// Issue time.
     pub issued_at: SimTime,
-    /// The hub's answer.
-    pub records: Vec<Record>,
+    /// The hub's answer (shared handles: the hub answering its own query
+    /// never copies payloads; wire answers are wrapped on receipt).
+    pub records: Vec<Arc<Record>>,
     /// Set when the hub answered.
     pub completed_at: Option<SimTime>,
 }
@@ -134,7 +136,14 @@ impl NodeLogic for CentralizedNode {
                 origin,
             } => {
                 debug_assert!(self.is_hub(), "only the hub receives queries");
-                let records = self.store.range_records(&rect);
+                // Materialize at the wire boundary: the response leaves the
+                // hub, so the payload copy is unavoidable here.
+                let records = self
+                    .store
+                    .range_records(&rect)
+                    .iter()
+                    .map(|r| (**r).clone())
+                    .collect();
                 out.send(
                     origin,
                     BaselineMsg::QueryResp {
@@ -150,7 +159,7 @@ impl NodeLogic for CentralizedNode {
                 records,
             } => {
                 if let Some(q) = self.queries.get_mut(&query_id) {
-                    q.records = records;
+                    q.records = records.into_iter().map(Arc::new).collect();
                     q.completed_at = Some(now);
                 }
             }

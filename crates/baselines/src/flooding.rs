@@ -4,6 +4,7 @@ use crate::messages::BaselineMsg;
 use mind_types::node::{NodeLogic, Outbox, SimTime};
 use mind_types::{HyperRect, NodeId, Record};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Tracks one flooded query at its originator.
 #[derive(Debug)]
@@ -12,8 +13,9 @@ pub struct FloodQuery {
     pub issued_at: SimTime,
     /// Nodes that have not answered yet.
     pub awaiting: HashSet<NodeId>,
-    /// Accumulated records.
-    pub records: Vec<Record>,
+    /// Accumulated records (shared handles: the local share is answered
+    /// without copying; wire answers are wrapped on receipt).
+    pub records: Vec<Arc<Record>>,
     /// Set when every node has answered.
     pub completed_at: Option<SimTime>,
 }
@@ -118,7 +120,14 @@ impl NodeLogic for FloodingNode {
                 origin,
             } => {
                 self.evaluations += 1;
-                let records = self.store.range_records(&rect);
+                // Materialize at the wire boundary: remote evaluations have
+                // to ship their payloads to the originator.
+                let records = self
+                    .store
+                    .range_records(&rect)
+                    .iter()
+                    .map(|r| (**r).clone())
+                    .collect();
                 out.send(
                     origin,
                     BaselineMsg::QueryResp {
@@ -132,11 +141,11 @@ impl NodeLogic for FloodingNode {
             BaselineMsg::QueryResp {
                 query_id,
                 responder,
-                mut records,
+                records,
             } => {
                 if let Some(q) = self.queries.get_mut(&query_id) {
                     if q.awaiting.remove(&responder) {
-                        q.records.append(&mut records);
+                        q.records.extend(records.into_iter().map(Arc::new));
                         if q.awaiting.is_empty() && q.completed_at.is_none() {
                             q.completed_at = Some(now);
                         }

@@ -9,12 +9,10 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mind_histogram::{mismatch, CutTree, GridHistogram};
 use mind_overlay::StaticTopology;
-use mind_store::KdTree;
+use mind_store::{KdTree, NaiveKdTree};
 use mind_traffic::aggregate::aggregate_window;
 use mind_traffic::generator::{TrafficConfig, TrafficGenerator};
 use mind_types::{BitCode, HyperRect, NodeId, Record, RecordId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn bounds3() -> HyperRect {
@@ -22,16 +20,7 @@ fn bounds3() -> HyperRect {
 }
 
 fn sample_points(n: usize, seed: u64) -> Vec<Vec<u64>> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| {
-            vec![
-                rng.random_range(0..=u32::MAX as u64),
-                rng.random_range(0..86_400),
-                rng.random_range(0..2 << 20),
-            ]
-        })
-        .collect()
+    mind_bench::harness::store_sample_points(n, seed)
 }
 
 fn bench_embedding(c: &mut Criterion) {
@@ -75,25 +64,48 @@ fn bench_routing(c: &mut Criterion) {
     });
 }
 
+/// Before/after store benches: the columnar [`KdTree`] against the
+/// pre-columnar [`NaiveKdTree`] oracle on the same 100k 3-dim workload the
+/// `bench_store` binary gates in CI (see `BENCH_store.json`).
 fn bench_store(c: &mut Criterion) {
-    let pts = sample_points(50_000, 2);
+    let pts = sample_points(100_000, 2);
     let entries: Vec<(Vec<u64>, RecordId)> = pts
         .iter()
         .enumerate()
         .map(|(i, p)| (p.clone(), RecordId(i as u64)))
         .collect();
     let tree = KdTree::build(3, entries.clone());
-    let query = HyperRect::new(vec![1 << 30, 40_000, 1000], vec![3 << 30, 41_000, 1 << 20]);
+    let naive = NaiveKdTree::build(3, entries.clone());
+    // The paper's standing monitoring-query shape: every non-time
+    // attribute wildcarded, a 5-minute time window (same rect as the
+    // `bench_store` gate binary).
+    let query = HyperRect::new(vec![0, 40_000, 0], vec![u32::MAX as u64, 40_300, 2 << 20]);
 
-    c.bench_function("kdtree/build_50k", |b| {
+    c.bench_function("kdtree/build_100k", |b| {
         b.iter_batched(
             || entries.clone(),
             |e| KdTree::build(3, e),
             BatchSize::LargeInput,
         )
     });
-    c.bench_function("kdtree/range_query_50k", |b| {
+    c.bench_function("kdtree_naive/build_100k", |b| {
+        b.iter_batched(
+            || entries.clone(),
+            |e| NaiveKdTree::build(3, e),
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("kdtree/range_query_100k", |b| {
         b.iter(|| black_box(tree.range_vec(&query)))
+    });
+    c.bench_function("kdtree_naive/range_query_100k", |b| {
+        b.iter(|| black_box(naive.range_vec(&query)))
+    });
+    c.bench_function("kdtree/count_range_100k", |b| {
+        b.iter(|| black_box(tree.count_range(&query)))
+    });
+    c.bench_function("kdtree_naive/count_range_100k", |b| {
+        b.iter(|| black_box(naive.count_range(&query)))
     });
     c.bench_function("memstore/insert", |b| {
         let mut store = mind_store::MemStore::new(3);

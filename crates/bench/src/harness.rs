@@ -330,6 +330,23 @@ pub fn balanced_cuts(
     CutTree::balanced_from_points(bounds, depth, &refs)
 }
 
+/// Deterministic 3-dim sample points in the paper's index domain
+/// (prefix × seconds-of-day × value) — the shared workload of the store
+/// microbenches and the `bench_store` gate binary, so the committed
+/// `BENCH_store.json` numbers and `cargo bench` measure the same thing.
+pub fn store_sample_points(n: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            vec![
+                rng.random_range(0..=u32::MAX as u64),
+                rng.random_range(0..86_400),
+                rng.random_range(0..2 << 20),
+            ]
+        })
+        .collect()
+}
+
 /// A full-coverage monitoring query over the last five minutes before
 /// `t_now`: every non-time attribute is wildcarded (the whole range), the
 /// timestamp is the paper's standing 5-minute window.

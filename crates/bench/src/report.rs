@@ -43,6 +43,63 @@ pub fn fraction_leq(samples: &[u64], threshold: u64) -> f64 {
     samples.iter().filter(|&&s| s <= threshold).count() as f64 / samples.len() as f64
 }
 
+// ---- machine-readable benchmark reports ----
+//
+// The perf trajectory files (`BENCH_*.json`) are flat JSON objects mapping
+// metric names to numbers. The workspace deliberately vendors no JSON
+// crate, so the emitter and the (correspondingly restricted) parser live
+// here: one level, string keys, finite numeric values — exactly what a
+// regression gate needs, and trivially diffable in review.
+
+/// Serializes `(key, value)` pairs as a flat, stable-order JSON object.
+/// Keys must not contain `"` or `\` (bench metric names never do).
+pub fn json_numbers(pairs: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        assert!(
+            !k.contains('"') && !k.contains('\\'),
+            "metric name needs no escaping: {k}"
+        );
+        assert!(v.is_finite(), "metric {k} is not finite");
+        out.push_str("  \"");
+        out.push_str(k);
+        out.push_str("\": ");
+        // Integers stay integral so committed baselines diff cleanly.
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            out.push_str(&format!("{}", *v as i64));
+        } else {
+            out.push_str(&format!("{v:.3}"));
+        }
+        out.push_str(if i + 1 == pairs.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses a flat JSON object of numbers (the output of [`json_numbers`]).
+/// Returns `None` on anything structurally unexpected — a gate must fail
+/// loudly on a malformed baseline rather than pass vacuously.
+pub fn parse_json_numbers(s: &str) -> Option<Vec<(String, f64)>> {
+    let body = s.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut out = Vec::new();
+    for entry in body.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry.split_once(':')?;
+        let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+        let value: f64 = value.trim().parse().ok()?;
+        out.push((key.to_string(), value));
+    }
+    Some(out)
+}
+
+/// Looks up one metric in a parsed report.
+pub fn metric(report: &[(String, f64)], key: &str) -> Option<f64> {
+    report.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +126,33 @@ mod tests {
     #[test]
     fn fmt_us_seconds() {
         assert_eq!(fmt_us(1_500_000), "1.500s");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let pairs = vec![
+            ("naive.range_ns".to_string(), 123456.0),
+            ("columnar.range_ns".to_string(), 7890.0),
+            ("range_speedup".to_string(), 15.647),
+        ];
+        let s = json_numbers(&pairs);
+        let back = parse_json_numbers(&s).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(metric(&back, "naive.range_ns"), Some(123456.0));
+        assert_eq!(metric(&back, "range_speedup"), Some(15.647));
+        assert_eq!(metric(&back, "missing"), None);
+    }
+
+    #[test]
+    fn json_integers_stay_integral() {
+        let s = json_numbers(&[("x".to_string(), 42.0)]);
+        assert!(s.contains("\"x\": 42\n"), "{s}");
+    }
+
+    #[test]
+    fn json_parse_rejects_garbage() {
+        assert!(parse_json_numbers("not json").is_none());
+        assert!(parse_json_numbers("{\"a\": }").is_none());
+        assert_eq!(parse_json_numbers("{}").map(|v| v.len()), Some(0));
     }
 }

@@ -311,6 +311,21 @@ impl MindCluster {
     pub fn total_primary_rows(&self, index: &str) -> u64 {
         self.storage_distribution(index).iter().sum()
     }
+
+    /// Approximate stored bytes per node for one index (primary + replica
+    /// stores, all versions). Served from the stores' incremental byte
+    /// counters, so sampling this every simulated minute stays O(nodes).
+    pub fn storage_bytes_distribution(&self, index: &str) -> Vec<u64> {
+        (0..self.world.len())
+            .map(|k| {
+                self.world
+                    .node(NodeId(k as u32))
+                    .index_state(index)
+                    .map(|s| s.approx_bytes() as u64)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

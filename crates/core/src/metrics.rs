@@ -18,6 +18,9 @@ pub struct NodeMetrics {
     pub inserts_originated: u64,
     /// Sub-queries this node answered.
     pub subqueries_answered: u64,
+    /// Records this node's scans returned (zero-copy handles on the local
+    /// path; the counter tracks scan volume regardless of destination).
+    pub records_served: u64,
     /// Unacked insert/replica operations this node re-sent.
     pub retries_sent: u64,
     /// Acks received for this node's insert/replica operations.

@@ -17,6 +17,7 @@ use mind_store::DacCostModel;
 use mind_types::node::{NodeLogic, Outbox, SimTime, SECONDS};
 use mind_types::{BitCode, HyperRect, MindError, NodeId, Record};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Timer-token tag for MIND-level timers (the overlay uses `0xA5`).
 const TOKEN_TAG: u64 = 0xB6 << 56;
@@ -125,9 +126,24 @@ enum DacJob {
 #[derive(Debug, Default)]
 struct BatchResult {
     sends: Vec<(NodeId, MindPayload)>,
+    /// Query responses still carrying shared record handles. Kept out of
+    /// `sends` so the local path (destination == this node) can feed the
+    /// tracker directly; payloads are materialized into wire records only
+    /// when the response actually leaves the node.
+    responses: Vec<(NodeId, LocalResponse)>,
     /// `sent_at` of each primary insert in the batch (latency recorded at
     /// release time).
     insert_sent_ats: Vec<SimTime>,
+}
+
+/// A query response before the wire boundary: records are refcounted
+/// handles into the local store, not copies.
+#[derive(Debug)]
+struct LocalResponse {
+    query_id: u64,
+    version: u32,
+    code: BitCode,
+    records: Vec<Arc<Record>>,
 }
 
 /// Where an unacked operation goes when re-sent.
@@ -163,7 +179,7 @@ struct PendingHandoff {
     version: u32,
     code: BitCode,
     origin: NodeId,
-    local: Vec<Record>,
+    local: Vec<Arc<Record>>,
 }
 
 /// A complete MIND node.
@@ -981,29 +997,28 @@ impl MindNode {
                     OverlayMsg::Direct {
                         payload: MindPayload::HandoffRecords {
                             handoff_id,
-                            records,
+                            records: Self::to_wire(&records),
                         },
                     },
                 );
             }
             MindPayload::HandoffRecords {
                 handoff_id,
-                mut records,
+                records,
             } => {
                 if let Some(p) = self.pending_handoffs.remove(&handoff_id) {
                     let mut merged = p.local;
-                    merged.append(&mut records);
-                    out.send(
+                    merged.extend(records.into_iter().map(Arc::new));
+                    self.deliver_response(
+                        now,
                         p.origin,
-                        OverlayMsg::Direct {
-                            payload: MindPayload::QueryResponse {
-                                query_id: p.query_id,
-                                version: p.version,
-                                code: p.code,
-                                responder: self.id,
-                                records: merged,
-                            },
+                        LocalResponse {
+                            query_id: p.query_id,
+                            version: p.version,
+                            code: p.code,
+                            records: merged,
                         },
+                        out,
                     );
                 }
             }
@@ -1031,7 +1046,14 @@ impl MindNode {
                     );
                 }
                 if let Some(t) = self.queries.get_mut(&query_id) {
-                    t.on_response(now, version, code, responder, records);
+                    // Arriving off the wire: wrap into shared handles once.
+                    t.on_response(
+                        now,
+                        version,
+                        code,
+                        responder,
+                        records.into_iter().map(Arc::new).collect(),
+                    );
                 }
             }
             other => {
@@ -1370,13 +1392,12 @@ impl MindNode {
                         }
                         self.handoff = None; // aged out
                     }
-                    result.sends.push((
+                    result.responses.push((
                         origin,
-                        MindPayload::QueryResponse {
+                        LocalResponse {
                             query_id,
                             version,
                             code,
-                            responder: self.id,
                             records,
                         },
                     ));
@@ -1460,36 +1481,43 @@ impl MindNode {
             self.seen_ops.insert(op_id);
             result.sends.push((acker, MindPayload::Ack { op_id }));
         }
+        // Push replicas to the prefix neighbors that would take over
+        // (cloned per target — these cross the wire), then store the
+        // original record by move: the local insert never copies it.
+        if !is_replica {
+            let targets = match replication {
+                Replication::None => Vec::new(),
+                Replication::Level(m) => self.overlay.replica_targets(m as usize),
+                Replication::Full => self.overlay.all_neighbor_targets(),
+            };
+            for t in targets {
+                let rep_op = self.next_op_id();
+                result.sends.push((
+                    t,
+                    MindPayload::Replica {
+                        index: index.to_string(),
+                        version,
+                        record: record.clone(),
+                        op_id: rep_op,
+                    },
+                ));
+            }
+        }
         let state = self.indexes.get_mut(index).expect("checked above"); // lint:allow(unwrap) presence checked above
         let ver = state.version_mut(version).expect("checked above"); // lint:allow(unwrap) presence checked above
         if is_replica {
             ver.replica_rows += 1;
             ver.replicas.insert(record);
-            return true;
-        }
-        ver.primary_rows += 1;
-        ver.primary.insert(record.clone());
-        // Push replicas to the prefix neighbors that would take over.
-        let targets = match replication {
-            Replication::None => Vec::new(),
-            Replication::Level(m) => self.overlay.replica_targets(m as usize),
-            Replication::Full => self.overlay.all_neighbor_targets(),
-        };
-        for t in targets {
-            let rep_op = self.next_op_id();
-            result.sends.push((
-                t,
-                MindPayload::Replica {
-                    index: index.to_string(),
-                    version,
-                    record: record.clone(),
-                    op_id: rep_op,
-                },
-            ));
+        } else {
+            ver.primary_rows += 1;
+            ver.primary.insert(record);
         }
         true
     }
 
+    /// Answers a sub-query from the local store. Zero-copy: the returned
+    /// records are shared handles into the store's record heap — nothing
+    /// is materialized until (unless) the response crosses the wire.
     fn run_scan(
         &mut self,
         index: &str,
@@ -1498,7 +1526,7 @@ impl MindNode {
         rect: &HyperRect,
         filters: &[CarriedFilter],
         primary_only: bool,
-    ) -> Vec<Record> {
+    ) -> Vec<Arc<Record>> {
         let Some(state) = self.indexes.get_mut(index) else {
             return Vec::new();
         };
@@ -1512,8 +1540,8 @@ impl MindNode {
         let Some(clip) = region.intersection(rect) else {
             return Vec::new();
         };
-        let accept = |r: &Record| filters.iter().all(|f| f.accepts(r));
-        let mut out: Vec<Record> = ver
+        let accept = |r: &Arc<Record>| filters.iter().all(|f| f.accepts(r));
+        let mut out: Vec<Arc<Record>> = ver
             .primary
             .range_records(&clip)
             .into_iter()
@@ -1522,7 +1550,45 @@ impl MindNode {
         if !primary_only {
             out.extend(ver.replicas.range_records(&clip).into_iter().filter(accept));
         }
+        self.metrics.records_served += out.len() as u64;
         out
+    }
+
+    /// Copies shared record handles into owned records — the one place a
+    /// scan result is materialized, and only for payloads leaving the node.
+    fn to_wire(records: &[Arc<Record>]) -> Vec<Record> {
+        records.iter().map(|r| (**r).clone()).collect()
+    }
+
+    /// Routes a scan answer to its originator. When the originator is this
+    /// node (the paper's common single-node query case) the tracker is fed
+    /// the shared handles directly — no payload copy, no message; only a
+    /// remote originator costs a wire materialization.
+    fn deliver_response(
+        &mut self,
+        now: SimTime,
+        dest: NodeId,
+        resp: LocalResponse,
+        out: &mut Outbox<OverlayMsg<MindPayload>>,
+    ) {
+        if dest == self.id {
+            if let Some(t) = self.queries.get_mut(&resp.query_id) {
+                t.on_response(now, resp.version, resp.code, self.id, resp.records);
+            }
+        } else {
+            out.send(
+                dest,
+                OverlayMsg::Direct {
+                    payload: MindPayload::QueryResponse {
+                        query_id: resp.query_id,
+                        version: resp.version,
+                        code: resp.code,
+                        responder: self.id,
+                        records: Self::to_wire(&resp.records),
+                    },
+                },
+            );
+        }
     }
 
     fn release_batch(
@@ -1536,6 +1602,9 @@ impl MindNode {
                 self.metrics
                     .insert_latencies
                     .push((now, now.saturating_sub(sent_at)));
+            }
+            for (dest, resp) in result.responses {
+                self.deliver_response(now, dest, resp, out);
             }
             for (dest, payload) in result.sends {
                 if dest == self.id {

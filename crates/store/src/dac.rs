@@ -16,6 +16,7 @@ use crate::mem::MemStore;
 use mind_types::node::SimTime;
 use mind_types::{HyperRect, Record};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// A buffered storage request.
 #[derive(Debug, Clone)]
@@ -36,10 +37,11 @@ pub enum DacRequest {
 pub struct DacResponse {
     /// Correlation token from the request.
     pub token: u64,
-    /// Matching records (empty means a *negative* response — the node owns
-    /// the region but has no matching data, which the paper still reports
-    /// to the originator).
-    pub records: Vec<Record>,
+    /// Matching records, as shared handles into the store's record heap —
+    /// the DAC's query path never copies payloads (empty means a *negative*
+    /// response — the node owns the region but has no matching data, which
+    /// the paper still reports to the originator).
+    pub records: Vec<Arc<Record>>,
 }
 
 /// Per-operation processing costs used to model node execution time.

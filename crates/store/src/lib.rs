@@ -5,9 +5,11 @@
 //! module that queues requests and batches insertions (Section 3.9,
 //! Figure 6). This crate replaces that stack with a native engine:
 //!
-//! * [`KdTree`] — a k-d tree over the indexed attribute values, answering
+//! * [`KdTree`] — a columnar (structure-of-arrays) k-d tree over the
+//!   indexed attribute values with bounding-box subtree pruning, answering
 //!   the multi-dimensional range scans that MySQL's B-trees served in the
-//!   prototype,
+//!   prototype ([`NaiveKdTree`] is the pre-columnar tree, kept as a
+//!   differential-testing oracle and benchmark baseline),
 //! * [`MemStore`] — the per-(index, version) record store: append-only
 //!   record heap plus a k-d index with an insert buffer and periodic
 //!   rebuild (versions are dropped wholesale when they age out, so there is
@@ -22,7 +24,9 @@
 pub mod dac;
 pub mod kdtree;
 pub mod mem;
+pub mod naive;
 
 pub use dac::{Dac, DacCostModel, DacRequest, DacResponse};
 pub use kdtree::KdTree;
 pub use mem::MemStore;
+pub use naive::NaiveKdTree;

@@ -2,6 +2,7 @@
 
 use crate::kdtree::KdTree;
 use mind_types::{HyperRect, Record, RecordId, Value};
+use std::sync::Arc;
 
 /// When the unindexed insert buffer exceeds this fraction of the k-d tree
 /// size (and a floor), the tree is rebuilt. Insert-heavy monitoring
@@ -15,12 +16,26 @@ const REBUILD_FLOOR: usize = 256;
 /// Records are append-only: the paper never deletes individual records;
 /// whole index *versions* age out and their stores are dropped wholesale
 /// (Section 3.7).
+///
+/// Records live behind [`Arc`], so the local scan path
+/// ([`MemStore::range_records`]) hands out refcount bumps instead of deep
+/// copies — a record is only materialized when it crosses the (simulated)
+/// wire. The insert buffer is columnar (`buf_cols` mirrors the tree's
+/// layout), so an insert appends `dims + 1` scalars and never allocates a
+/// per-point vector; rebuilds drain the buffer straight into
+/// [`KdTree::absorb`] with no transpose.
 #[derive(Debug, Clone)]
 pub struct MemStore {
     dims: usize,
-    records: Vec<Record>,
+    records: Vec<Arc<Record>>,
     tree: KdTree,
-    buffer: Vec<(Vec<Value>, RecordId)>,
+    /// Columnar insert buffer: `buf_cols[d][i]` is coordinate `d` of the
+    /// `i`-th not-yet-indexed point, parallel to `buf_ids`.
+    buf_cols: Vec<Vec<Value>>,
+    buf_ids: Vec<RecordId>,
+    /// Incrementally maintained [`Self::approx_bytes`] value; records are
+    /// append-only, so inserts only ever add to it.
+    bytes: usize,
 }
 
 impl MemStore {
@@ -31,7 +46,9 @@ impl MemStore {
             dims,
             records: Vec::new(),
             tree: KdTree::build(dims, vec![]),
-            buffer: Vec::new(),
+            buf_cols: (0..dims).map(|_| Vec::new()).collect(),
+            buf_ids: Vec::new(),
+            bytes: 0,
         }
     }
 
@@ -64,70 +81,84 @@ impl MemStore {
             self.dims
         );
         let id = RecordId(self.records.len() as u64);
-        self.buffer.push((record.point(self.dims).to_vec(), id));
-        self.records.push(record);
-        if self.buffer.len() > REBUILD_FLOOR.max(self.tree.len() / REBUILD_FRACTION) {
+        let point = record.point(self.dims);
+        for (col, &v) in self.buf_cols.iter_mut().zip(point) {
+            col.push(v);
+        }
+        self.buf_ids.push(id);
+        self.bytes += record.values().len() * 8 + 24 + self.dims * 8 + 32;
+        self.records.push(Arc::new(record));
+        if self.buf_ids.len() > REBUILD_FLOOR.max(self.tree.len() / REBUILD_FRACTION) {
             self.rebuild();
         }
         id
     }
 
-    /// Folds the insert buffer into the k-d tree.
+    /// Folds the insert buffer into the k-d tree (in place — the tree's
+    /// column buffers are reused, see [`KdTree::absorb`]).
     pub fn rebuild(&mut self) {
-        if self.buffer.is_empty() {
+        if self.buf_ids.is_empty() {
             return;
         }
-        let mut pts = std::mem::take(&mut self.tree).into_points();
-        pts.append(&mut self.buffer);
-        self.tree = KdTree::build(self.dims, pts);
+        self.tree.absorb(&mut self.buf_cols, &mut self.buf_ids);
+    }
+
+    /// `true` when buffered point `i` lies inside `rect`.
+    #[inline]
+    fn buffered_in(&self, i: usize, rect: &HyperRect) -> bool {
+        self.buf_cols
+            .iter()
+            .enumerate()
+            .all(|(d, col)| rect.lo(d) <= col[i] && col[i] <= rect.hi(d))
     }
 
     /// Ids of all records whose indexed point lies inside `rect`.
     pub fn range_ids(&self, rect: &HyperRect) -> Vec<RecordId> {
         let mut out = self.tree.range_vec(rect);
-        for (p, id) in &self.buffer {
-            if rect.contains_point(p) {
-                out.push(*id);
+        for i in 0..self.buf_ids.len() {
+            if self.buffered_in(i, rect) {
+                out.push(self.buf_ids[i]);
             }
         }
         out
     }
 
-    /// Records matching `rect`, cloned for the response message.
-    pub fn range_records(&self, rect: &HyperRect) -> Vec<Record> {
+    /// Records matching `rect`, as shared handles — the zero-copy local
+    /// scan path. Callers that put records on the wire materialize them at
+    /// the send boundary; everything staying on-node (the common case for
+    /// the paper's single-node queries) never copies record payloads.
+    pub fn range_records(&self, rect: &HyperRect) -> Vec<Arc<Record>> {
         self.range_ids(rect)
             .into_iter()
-            .map(|id| self.records[id.0 as usize].clone())
+            .map(|id| Arc::clone(&self.records[id.0 as usize]))
             .collect()
     }
 
-    /// Counts records inside `rect`.
+    /// Counts records inside `rect` (allocation-free: counting traversal
+    /// over the tree plus a columnar scan of the insert buffer).
     pub fn count_range(&self, rect: &HyperRect) -> usize {
         self.tree.count_range(rect)
-            + self
-                .buffer
-                .iter()
-                .filter(|(p, _)| rect.contains_point(p))
+            + (0..self.buf_ids.len())
+                .filter(|&i| self.buffered_in(i, rect))
                 .count()
     }
 
     /// Fetches a record by id.
     pub fn get(&self, id: RecordId) -> Option<&Record> {
-        self.records.get(id.0 as usize)
+        self.records.get(id.0 as usize).map(|r| r.as_ref())
     }
 
     /// Iterates over all records (used for histogram collection).
     pub fn iter(&self) -> impl Iterator<Item = &Record> {
-        self.records.iter()
+        self.records.iter().map(|r| r.as_ref())
     }
 
     /// Approximate heap footprint in bytes (storage-balance metrics).
+    ///
+    /// Maintained incrementally on insert — sampling storage balance across
+    /// hundreds of simulated nodes no longer walks every record heap.
     pub fn approx_bytes(&self) -> usize {
-        self.records
-            .iter()
-            .map(|r| r.values().len() * 8 + 24)
-            .sum::<usize>()
-            + (self.tree.len() + self.buffer.len()) * (self.dims * 8 + 32)
+        self.bytes
     }
 }
 
@@ -154,6 +185,17 @@ mod tests {
     }
 
     #[test]
+    fn range_records_shares_not_copies() {
+        let mut s = MemStore::new(1);
+        s.insert(rec(&[3, 77]));
+        let hits = s.range_records(&HyperRect::new(vec![0], vec![10]));
+        assert_eq!(hits.len(), 1);
+        // The handle aliases the stored record: two strong refs, same data.
+        assert_eq!(Arc::strong_count(&hits[0]), 2);
+        assert_eq!(hits[0].value(1), 77);
+    }
+
+    #[test]
     fn range_sees_buffered_and_rebuilt_records() {
         let mut s = MemStore::new(1);
         for i in 0..2000u64 {
@@ -164,6 +206,22 @@ mod tests {
         assert_eq!(s.count_range(&HyperRect::new(vec![500], vec![599])), 100);
         s.rebuild();
         assert_eq!(s.count_range(&HyperRect::new(vec![500], vec![599])), 100);
+    }
+
+    #[test]
+    fn approx_bytes_incremental_matches_recompute() {
+        let mut s = MemStore::new(2);
+        assert_eq!(s.approx_bytes(), 0);
+        for i in 0..1000u64 {
+            s.insert(rec(&[i, i * 2, i * 3]));
+        }
+        // The incremental counter equals the old O(n) recompute, across
+        // buffered and rebuilt states alike.
+        let recomputed = s.iter().map(|r| r.values().len() * 8 + 24).sum::<usize>()
+            + s.len() * (s.dims() * 8 + 32);
+        assert_eq!(s.approx_bytes(), recomputed);
+        s.rebuild();
+        assert_eq!(s.approx_bytes(), recomputed, "rebuild must not drift");
     }
 
     #[test]

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Store perf gate: measure the columnar-vs-naive ratios and diff them
+# against the committed baseline (BENCH_store.json).
+#
+# The gate fails when the range/count speedup drops below the hard 2x
+# floor or regresses more than 20 % against the baseline, or when the
+# columnar build drifts past ~1.2x the naive build. Ratios — not absolute
+# nanoseconds — are compared, so the gate is portable across machines.
+#
+# Refresh the baseline after an intentional perf change with:
+#   cargo run --release -p mind-bench --bin bench_store -- --write BENCH_store.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p mind-bench --bin bench_store
+exec ./target/release/bench_store --check BENCH_store.json

@@ -89,11 +89,35 @@ impl Bencher {
 }
 
 /// Entry point matching criterion's builder type.
-#[derive(Default)]
-pub struct Criterion {}
+///
+/// Like real criterion, positional command-line arguments act as substring
+/// filters: `cargo bench -- kdtree` runs only benchmarks whose name
+/// contains `kdtree`. Arguments starting with `-` (harness flags such as
+/// `--bench`) are ignored; with no filters, everything runs.
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filters: std::env::args()
+                .skip(1)
+                .filter(|a| !a.starts_with('-'))
+                .collect(),
+        }
+    }
+}
 
 impl Criterion {
+    fn selected(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
     pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        if !self.selected(name) {
+            return self;
+        }
         let mut b = Bencher::new();
         f(&mut b);
         let per_iter = if b.iters == 0 {
