@@ -115,6 +115,20 @@ fn rules() -> Vec<Rule> {
             only_prefixes: &["crates/store/src/mem.rs", "crates/store/src/dac.rs"],
         },
         Rule {
+            name: "retrytimer",
+            needles: &[
+                concat!("KIND_OP_", "RETRY"),
+                concat!("KIND_ANTI_", "ENTROPY"),
+            ],
+            why: "reliable-delivery timers are owned by core's reliability \
+                  module; arming or matching them elsewhere bypasses the \
+                  ack/retry state machine and its cancellation invariants",
+            applies_in_tests: true,
+            exempt_prefixes: &["crates/core/src/reliability.rs"],
+            // Scoped to mind-core: other crates have their own token spaces.
+            only_prefixes: &["crates/core/src/"],
+        },
+        Rule {
             name: "worldrng",
             needles: &[
                 concat!("seed_", "from_u64"),
@@ -454,6 +468,31 @@ mod tests {
         // Arc::clone(&x) is the endorsed spelling and does not match.
         let src = "let r = Arc::clone(&self.records[i]);\n";
         assert!(hits_in(src, "crates/store/src/mem.rs", false).is_empty());
+    }
+
+    #[test]
+    fn retry_timer_kinds_confined_to_reliability_module() {
+        let src = concat!("out.set_timer(t, token(KIND_OP_", "RETRY, id));\n");
+        // Anywhere else in mind-core — including its test mods — is a wall
+        // violation…
+        assert_eq!(
+            hits_in(src, "crates/core/src/node.rs", false),
+            vec![(1, "retrytimer")]
+        );
+        assert_eq!(
+            hits_in(src, "crates/core/src/dac_drive.rs", false),
+            vec![(1, "retrytimer")]
+        );
+        // …the owning module is the one legitimate home…
+        assert!(hits_in(src, "crates/core/src/reliability.rs", false).is_empty());
+        // …and other crates' token spaces are out of scope.
+        assert!(hits_in(src, "crates/overlay/src/overlay.rs", false).is_empty());
+
+        let src = concat!("token(KIND_ANTI_", "ENTROPY, 0)\n");
+        assert_eq!(
+            hits_in(src, "crates/core/src/query_track.rs", false),
+            vec![(1, "retrytimer")]
+        );
     }
 
     #[test]

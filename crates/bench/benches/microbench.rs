@@ -172,6 +172,7 @@ fn bench_wire(c: &mut Criterion) {
             origin: NodeId(7),
             sent_at: 1,
             op_id: 1,
+            horizon: 0,
         },
     };
     let bytes = mind_net::to_bytes(&msg).unwrap();

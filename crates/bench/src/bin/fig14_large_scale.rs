@@ -23,21 +23,41 @@ fn main() {
         "median < 1 s, long tail; ~90% of inserts <= 5 hops",
     );
     let scale = ExperimentScale::from_env(1);
-    let n = 102usize;
+    // Smoke mode (CI): a 24-node overlay and a short churn window — the
+    // same code path and shape checks at a few seconds of wall clock.
+    let smoke = std::env::var("MIND_FIG14_SMOKE").is_ok_and(|v| v != "0");
+    let n = if smoke { 24 } else { 102 };
     let kind = IndexKind::Fanout;
     let ts_bound = 86_400;
     let schema = kind.schema(ts_bound);
 
+    let span = if smoke { 120 } else { 600 * scale.hours }; // seconds of experiment
+
     let mut cfg = ClusterConfig::planetlab(n, 14);
     cfg.mind = paper_mind_config();
+    // Retransmission timeout must sit above the ack RTT under load, or
+    // transient queueing triggers spurious resends whose extra traffic
+    // sustains the very congestion that delayed the acks (a classic
+    // retry storm — profiled at 180k+ retries for 61k inserts with the
+    // 5 s default). Anti-entropy still covers genuinely lost ops.
+    cfg.mind.retry_timeout = 30 * SECONDS;
     cfg.sim.node_service = 18_000;
     cfg.sim.link_bytes_per_sec = 1_000_000;
     let mut cluster = MindCluster::new(cfg);
     // Index-1 records from the synthetic feed would do, but at 1/s/node
     // the paper streamed pre-aggregated records; generate equivalent
     // records directly (Zipf dst prefixes, 5-min-old timestamps).
+    // The cut-tree sample must draw timestamps over the whole experiment
+    // span: a constant-timestamp sample degenerates the time cuts, every
+    // live record lands in one time slice, and the handful of nodes
+    // owning that slice saturate while the rest sit idle.
     let mut rng = StdRng::seed_from_u64(14);
-    let sample: Vec<Vec<u64>> = (0..4000).map(|_| synth_point(&mut rng, 0)).collect();
+    let sample: Vec<Vec<u64>> = (0..4000)
+        .map(|_| {
+            let sec = rng.random_range(0..span);
+            synth_point(&mut rng, sec)
+        })
+        .collect();
     let refs: Vec<&[u64]> = sample.iter().map(|p| p.as_slice()).collect();
     let cuts = CutTree::balanced_from_points(schema.bounds(), 12, &refs);
     cluster
@@ -47,14 +67,19 @@ fn main() {
 
     // Churn schedule: nodes crash and revive so the live population
     // wanders between ~70 and 102 (the paper's observed range).
-    let span = 600 * scale.hours; // seconds of experiment
+    let max_dead = if smoke { 6 } else { 32 };
     let mut dead: Vec<NodeId> = Vec::new();
     let base = cluster.now();
+    // Feeds are not synchronized across hosts: spread each node's
+    // 1 record/s tick across the second instead of firing all of them
+    // at the same sim instant (which would slam every owner with a
+    // 102-message burst and inflate transient queues).
+    let stagger = SECONDS / n as u64;
     for sec in 0..span {
         let t = base + sec * SECONDS;
-        cluster.run_until(t);
         // Insert 1 record per live node per second.
         for k in 0..n as u32 {
+            cluster.run_until(t + k as u64 * stagger);
             if cluster.world().is_alive(NodeId(k)) {
                 let p = synth_point(&mut rng, sec);
                 let rec = Record::new(vec![
@@ -69,7 +94,7 @@ fn main() {
         }
         // Churn every ~20 s: maybe kill one, maybe revive one.
         if sec % 20 == 7 {
-            if dead.len() < 32 && rng.random_bool(0.6) {
+            if dead.len() < max_dead && rng.random_bool(0.6) {
                 let victim = NodeId(rng.random_range(1..n as u32));
                 if cluster.world().is_alive(victim) {
                     cluster.crash(victim);
@@ -114,6 +139,10 @@ fn main() {
             .filter(|&k| cluster.world().is_alive(NodeId(k as u32)))
             .count(),
     );
+    print_kv(
+        "pending events (peak)",
+        cluster.world().stats.pending_events_peak,
+    );
     println!("\n  insertion latency CDF:");
     println!("  {:>8} {:>12}", "pct", "latency");
     for (p, v) in cdf_points(&lats, &[10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9]) {
@@ -143,13 +172,25 @@ fn main() {
 
 /// A synthetic Index-1 point: Zipf-block destination prefix, recent
 /// timestamp, light-tailed fanout above the insert threshold.
+///
+/// Records are pre-aggregated over the trailing five minutes, so their
+/// timestamps spread across a 300 s window behind the insertion instant.
+/// Without that spread every record inserted at the same moment carries
+/// the same timestamp, the whole stream lands in one time slice of the
+/// cut tree, and the few nodes owning that slice become a moving
+/// hotspot that saturates while the rest of the overlay idles.
 fn synth_point(rng: &mut StdRng, sec: u64) -> Vec<u64> {
     // Zipf-ish rank via inverse power draw.
     let u: f64 = rng.random_range(0.0f64..1.0).max(1e-9);
     let rank = ((u.powf(-0.8) - 1.0) * 8.0) as u64 % 512;
     let block = (rank / 64) % 8;
     let slot = rank % 64;
-    let prefix = ((block * 8192 + slot * 128 + rank % 128) as u64) << 16;
+    // Host bits below the /16 prefix: without them the Zipf head is a
+    // point mass (~14% of records carry one exact key) that no cut tree
+    // can split, and the single node owning it saturates.
+    let host = rng.random_range(0..1u64 << 16);
+    let prefix = (((block * 8192 + slot * 128 + rank % 128) as u64) << 16) | host;
     let fanout = 16 + (u.powf(-0.5) * 4.0) as u64 % 4000;
-    vec![prefix, sec, fanout]
+    let ts = sec + rng.random_range(0..300u64);
+    vec![prefix, ts, fanout]
 }

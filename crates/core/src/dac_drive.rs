@@ -1,0 +1,439 @@
+//! The Data Access Component (Section 3.9): the batched storage queue
+//! that models the prototype's MySQL + JDBC backend.
+//!
+//! Requests (inserts, replica writes, sub-query scans) are buffered and
+//! processed in batches; a batch's effects — acks, replica pushes, query
+//! responses — are released only when its modeled processing cost has
+//! elapsed, so storage work is never interleaved with network
+//! transmission, exactly as in the prototype.
+
+use crate::messages::{CarriedFilter, MindPayload, Replication};
+use crate::node::{token, MindNode, Out};
+use crate::reliability::OpTarget;
+use mind_overlay::OverlayMsg;
+use mind_types::node::SimTime;
+use mind_types::{BitCode, HyperRect, NodeId, Record};
+use std::sync::Arc;
+
+pub(crate) const KIND_DAC_TICK: u64 = 0;
+pub(crate) const KIND_BATCH: u64 = 1;
+
+/// One buffered storage request (the prototype's DAC queue entry).
+#[derive(Debug)]
+pub(crate) enum DacJob {
+    Insert {
+        index: String,
+        version: u32,
+        record: Record,
+        sent_at: SimTime,
+        is_replica: bool,
+        /// Who to ack once applied (the insert origin, or the pushing
+        /// primary for replica copies).
+        acker: NodeId,
+        /// Idempotency key (0 = legacy/unacked operation).
+        op_id: u64,
+    },
+    Scan {
+        query_id: u64,
+        index: String,
+        version: u32,
+        code: BitCode,
+        rect: HyperRect,
+        filters: Vec<CarriedFilter>,
+        origin: NodeId,
+    },
+}
+
+/// Effects of a processed batch, released when its cost has elapsed.
+#[derive(Debug, Default)]
+pub(crate) struct BatchResult {
+    sends: Vec<(NodeId, MindPayload)>,
+    /// Query responses still carrying shared record handles. Kept out of
+    /// `sends` so the local path (destination == this node) can feed the
+    /// tracker directly; payloads are materialized into wire records only
+    /// when the response actually leaves the node.
+    responses: Vec<(NodeId, LocalResponse)>,
+    /// `sent_at` of each primary insert in the batch (latency recorded at
+    /// release time).
+    insert_sent_ats: Vec<SimTime>,
+}
+
+/// A query response before the wire boundary: records are refcounted
+/// handles into the local store, not copies.
+#[derive(Debug)]
+pub(crate) struct LocalResponse {
+    pub(crate) query_id: u64,
+    pub(crate) version: u32,
+    pub(crate) code: BitCode,
+    pub(crate) records: Vec<Arc<Record>>,
+}
+
+/// A sub-query waiting for the acceptor's historical records.
+#[derive(Debug)]
+pub(crate) struct PendingHandoff {
+    pub(crate) query_id: u64,
+    pub(crate) version: u32,
+    pub(crate) code: BitCode,
+    pub(crate) origin: NodeId,
+    pub(crate) local: Vec<Arc<Record>>,
+}
+
+impl MindNode {
+    pub(crate) fn enqueue(&mut self, _now: SimTime, job: DacJob, out: &mut Out) {
+        self.dac_queue.push_back(job);
+        if !self.dac_busy {
+            self.dac_busy = true;
+            out.set_timer(1, token(KIND_DAC_TICK, 0));
+        }
+    }
+
+    /// Buffers a region scan for the DAC (the query track's entry point
+    /// into the storage queue).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn enqueue_scan(
+        &mut self,
+        now: SimTime,
+        query_id: u64,
+        index: String,
+        version: u32,
+        code: BitCode,
+        rect: HyperRect,
+        filters: Vec<CarriedFilter>,
+        origin: NodeId,
+        out: &mut Out,
+    ) {
+        self.enqueue(
+            now,
+            DacJob::Scan {
+                query_id,
+                index,
+                version,
+                code,
+                rect,
+                filters,
+                origin,
+            },
+            out,
+        );
+    }
+
+    fn dac_tick(&mut self, now: SimTime, out: &mut Out) {
+        if self.dac_queue.is_empty() {
+            self.dac_busy = false;
+            return;
+        }
+        let cost_model = self.cfg.dac_cost;
+        let mut cost: SimTime = cost_model.batch_overhead;
+        let mut result = BatchResult::default();
+        for _ in 0..self.cfg.dac_batch_size {
+            let Some(job) = self.dac_queue.pop_front() else {
+                break;
+            };
+            match job {
+                DacJob::Insert {
+                    index,
+                    version,
+                    record,
+                    sent_at,
+                    is_replica,
+                    acker,
+                    op_id,
+                } => {
+                    cost += cost_model.per_insert;
+                    let applied = self.apply_insert(
+                        &index,
+                        version,
+                        record,
+                        is_replica,
+                        acker,
+                        op_id,
+                        &mut result,
+                    );
+                    if applied && !is_replica {
+                        result.insert_sent_ats.push(sent_at);
+                    }
+                }
+                DacJob::Scan {
+                    query_id,
+                    index,
+                    version,
+                    code,
+                    rect,
+                    filters,
+                    origin,
+                } => {
+                    let records = self.run_scan(&index, version, &code, &rect, &filters, false);
+                    cost += cost_model.per_query + cost_model.per_result * records.len() as SimTime;
+                    self.metrics.subqueries_answered += 1;
+                    // Fresh joiner: the region's historical rows still live
+                    // at the acceptor (Section 3.4). Merge its answer with
+                    // ours before responding.
+                    if let Some((sibling, joined_at)) = self.handoff {
+                        if now.saturating_sub(joined_at) < self.cfg.handoff_ttl {
+                            let handoff_id = self.handoff_seq;
+                            self.handoff_seq += 1;
+                            self.pending_handoffs.insert(
+                                handoff_id,
+                                PendingHandoff {
+                                    query_id,
+                                    version,
+                                    code,
+                                    origin,
+                                    local: records,
+                                },
+                            );
+                            result.sends.push((
+                                sibling,
+                                MindPayload::HandoffScan {
+                                    handoff_id,
+                                    index,
+                                    version,
+                                    code,
+                                    rect,
+                                    filters,
+                                },
+                            ));
+                            continue;
+                        }
+                        self.handoff = None; // aged out
+                    }
+                    result.responses.push((
+                        origin,
+                        LocalResponse {
+                            query_id,
+                            version,
+                            code,
+                            records,
+                        },
+                    ));
+                }
+            }
+        }
+        let batch_id = self.batch_seq;
+        self.batch_seq += 1;
+        self.pending_batches.insert(batch_id, result);
+        // Results (and the next batch) are released when this batch's
+        // processing time has elapsed — storage work is not interleaved
+        // with network transmission, exactly as in the prototype.
+        out.set_timer(cost.max(1), token(KIND_BATCH, batch_id));
+    }
+
+    /// Applies one insert (primary or replica). Returns `true` when the
+    /// record was actually stored. The ack is emitted *only* on success
+    /// or on a detected duplicate — an insert that cannot be applied yet
+    /// (index/version unknown here, e.g. a lost flood) stays unacked so
+    /// the origin's retry can land once the catalog heals.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_insert(
+        &mut self,
+        index: &str,
+        version: u32,
+        record: Record,
+        is_replica: bool,
+        acker: NodeId,
+        op_id: u64,
+        result: &mut BatchResult,
+    ) -> bool {
+        if op_id != 0 && self.seen_ops.contains(op_id) {
+            // A duplicate that slipped into the queue behind the first
+            // copy (network duplication or an early retry): ack, don't
+            // double-store.
+            self.metrics.dup_ops_ignored += 1;
+            result.sends.push((acker, MindPayload::Ack { op_id }));
+            return false;
+        }
+        let Some(state) = self.indexes.get_mut(index) else {
+            return false;
+        };
+        let dims = state.schema.indexed_dims;
+        let replication = state.replication;
+        if state.version_mut(version).is_none() {
+            return false;
+        }
+        if !is_replica {
+            state.day_histogram.add(record.point(dims));
+            // Standing queries fire the moment the primary copy lands.
+            for (trigger_id, origin) in self.triggers.fired(index, &record, dims) {
+                result.sends.push((
+                    origin,
+                    MindPayload::TriggerFired {
+                        trigger_id,
+                        at: self.id(),
+                        record: record.clone(),
+                    },
+                ));
+            }
+        }
+        if op_id != 0 {
+            self.seen_ops.insert(op_id);
+            result.sends.push((acker, MindPayload::Ack { op_id }));
+        }
+        // Push replicas to the prefix neighbors that would take over
+        // (cloned per target — these cross the wire), then store the
+        // original record by move: the local insert never copies it.
+        if !is_replica {
+            let targets = match replication {
+                Replication::None => Vec::new(),
+                Replication::Level(m) => self.overlay.replica_targets(m as usize),
+                Replication::Full => self.overlay.all_neighbor_targets(),
+            };
+            for t in targets {
+                let rep_op = self.next_op_id();
+                let horizon = self.op_horizon();
+                result.sends.push((
+                    t,
+                    MindPayload::Replica {
+                        index: index.to_string(),
+                        version,
+                        record: record.clone(),
+                        op_id: rep_op,
+                        horizon,
+                    },
+                ));
+            }
+        }
+        let state = self.indexes.get_mut(index).expect("checked above"); // lint:allow(unwrap) presence checked above
+        let ver = state.version_mut(version).expect("checked above"); // lint:allow(unwrap) presence checked above
+        if is_replica {
+            ver.replica_rows += 1;
+            ver.replicas.insert(record);
+        } else {
+            ver.primary_rows += 1;
+            ver.primary.insert(record);
+        }
+        true
+    }
+
+    /// Answers a sub-query from the local store. Zero-copy: the returned
+    /// records are shared handles into the store's record heap — nothing
+    /// is materialized until (unless) the response crosses the wire.
+    pub(crate) fn run_scan(
+        &mut self,
+        index: &str,
+        version: u32,
+        code: &BitCode,
+        rect: &HyperRect,
+        filters: &[CarriedFilter],
+        primary_only: bool,
+    ) -> Vec<Arc<Record>> {
+        let Some(state) = self.indexes.get_mut(index) else {
+            return Vec::new();
+        };
+        let Some(ver) = state.version_mut(version) else {
+            return Vec::new();
+        };
+        // Clip to the sub-query's region so that (a) covering regions
+        // never overlap and (b) replica rows are only returned by the node
+        // that took the region over.
+        let region = ver.cuts.rect_for_code(code);
+        let Some(clip) = region.intersection(rect) else {
+            return Vec::new();
+        };
+        let accept = |r: &Arc<Record>| filters.iter().all(|f| f.accepts(r));
+        let mut out: Vec<Arc<Record>> = ver
+            .primary
+            .range_records(&clip)
+            .into_iter()
+            .filter(accept)
+            .collect();
+        if !primary_only {
+            out.extend(ver.replicas.range_records(&clip).into_iter().filter(accept));
+        }
+        self.metrics.records_served += out.len() as u64;
+        out
+    }
+
+    /// Copies shared record handles into owned records — the one place a
+    /// scan result is materialized, and only for payloads leaving the node.
+    pub(crate) fn to_wire(records: &[Arc<Record>]) -> Vec<Record> {
+        records.iter().map(|r| (**r).clone()).collect()
+    }
+
+    /// Routes a scan answer to its originator. When the originator is this
+    /// node (the paper's common single-node query case) the tracker is fed
+    /// the shared handles directly — no payload copy, no message; only a
+    /// remote originator costs a wire materialization.
+    pub(crate) fn deliver_response(
+        &mut self,
+        now: SimTime,
+        dest: NodeId,
+        resp: LocalResponse,
+        out: &mut Out,
+    ) {
+        if dest == self.id() {
+            let query_id = resp.query_id;
+            if let Some(t) = self.queries.get_mut(&query_id) {
+                t.on_response(now, resp.version, resp.code, dest, resp.records);
+            }
+            // A local answer can be the query's last: retire its timers.
+            self.settle_query_timers(query_id, out);
+        } else {
+            out.send(
+                dest,
+                OverlayMsg::Direct {
+                    payload: MindPayload::QueryResponse {
+                        query_id: resp.query_id,
+                        version: resp.version,
+                        code: resp.code,
+                        responder: self.id(),
+                        records: Self::to_wire(&resp.records),
+                    },
+                },
+            );
+        }
+    }
+
+    fn release_batch(&mut self, now: SimTime, batch_id: u64, out: &mut Out) {
+        if let Some(result) = self.pending_batches.remove(&batch_id) {
+            for sent_at in result.insert_sent_ats {
+                self.metrics
+                    .insert_latencies
+                    .push((now, now.saturating_sub(sent_at)));
+            }
+            for (dest, resp) in result.responses {
+                self.deliver_response(now, dest, resp, out);
+            }
+            for (dest, payload) in result.sends {
+                if dest == self.id() {
+                    // Loopback shortcut (e.g. responding to our own query).
+                    self.on_direct(now, dest, payload, out);
+                } else {
+                    // Replica pushes leave through here exactly once — arm
+                    // their ack/retry tracking at actual transmission time.
+                    if let MindPayload::Replica { op_id, .. } = &payload {
+                        if *op_id != 0 {
+                            self.track_op(*op_id, OpTarget::Direct(dest), payload.clone(), out);
+                        }
+                    }
+                    out.send(dest, OverlayMsg::Direct { payload });
+                }
+            }
+        }
+        if self.dac_queue.is_empty() {
+            self.dac_busy = false;
+        } else {
+            out.set_timer(1, token(KIND_DAC_TICK, 0));
+        }
+    }
+
+    /// Pending (unprocessed) DAC requests — the Figure 11 hotspot signal.
+    pub fn dac_pending(&self) -> usize {
+        self.dac_queue.len()
+    }
+
+    /// Handles DAC-class timers; `true` if `kind` was ours.
+    pub(crate) fn handle_dac_timer(
+        &mut self,
+        now: SimTime,
+        kind: u64,
+        arg: u64,
+        out: &mut Out,
+    ) -> bool {
+        match kind {
+            KIND_DAC_TICK => self.dac_tick(now, out),
+            KIND_BATCH => self.release_batch(now, arg, out),
+            _ => return false,
+        }
+        true
+    }
+}

@@ -31,11 +31,15 @@
 
 pub mod audit;
 pub mod cluster;
+mod dac_drive;
 pub mod index;
 pub mod messages;
 pub mod metrics;
 pub mod node;
 pub mod query;
+mod query_track;
+mod reliability;
+mod rollover;
 pub mod trigger;
 
 pub use cluster::{ClusterConfig, MindCluster};

@@ -96,6 +96,11 @@ pub enum MindPayload {
         /// Idempotency key, unique per origin: the storing node dedups
         /// retried copies on it and acks it back (see DESIGN.md §8).
         op_id: u64,
+        /// The origin's settled-op horizon: every op counter of this
+        /// origin at or below `horizon` is acked or abandoned, so
+        /// receivers may garbage-collect their dedup memory of those ops
+        /// (DESIGN.md §10). `0` claims nothing.
+        horizon: u64,
     },
     /// Direct to a prefix neighbor: store a replica copy.
     Replica {
@@ -107,6 +112,9 @@ pub enum MindPayload {
         record: Record,
         /// Idempotency key, unique per pushing primary; acked back to it.
         op_id: u64,
+        /// The pushing primary's settled-op horizon (see
+        /// [`MindPayload::Insert::horizon`]).
+        horizon: u64,
     },
     /// Direct to the sender of an `Insert`/`Replica`: the record is
     /// durably applied (or was already — acks are re-sent for deduped
@@ -259,8 +267,8 @@ impl WireSize for MindPayload {
             MindPayload::CreateIndex { schema, .. } => 512 + schema.arity() * 32,
             MindPayload::NewVersion { .. } => 1024, // serialized cut tree
             MindPayload::DropIndex { .. } => 48,
-            MindPayload::Insert { record, .. } => 56 + record.wire_size(),
-            MindPayload::Replica { record, .. } => 48 + record.wire_size(),
+            MindPayload::Insert { record, .. } => 64 + record.wire_size(),
+            MindPayload::Replica { record, .. } => 56 + record.wire_size(),
             MindPayload::Ack { .. } => 16,
             MindPayload::RootQuery { rect, filters, .. } => {
                 48 + rect.dims() * 16 + filters.len() * 20

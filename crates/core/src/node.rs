@@ -5,39 +5,41 @@
 //! the other, glued by an event-driven dispatcher. It implements the MIND
 //! interface of Section 3.2 — `create_index`, `drop_index`,
 //! `insert_record`, `query_index` — callable on any node.
+//!
+//! The node is decomposed by protocol concern: reliable delivery and
+//! bounded dedup live in [`crate::reliability`], query split/retry/
+//! completion in [`crate::query_track`], day-boundary version rollover in
+//! [`crate::rollover`], and the batched storage queue in
+//! [`crate::dac_drive`]. This module owns the struct, the MIND interface,
+//! and the event dispatcher that fans timers out to those concerns.
 
+use crate::dac_drive::{BatchResult, DacJob, PendingHandoff};
 use crate::index::IndexState;
 use crate::messages::{CarriedFilter, IndexDef, MindPayload, Replication};
 use crate::metrics::NodeMetrics;
 use crate::query::QueryTracker;
+use crate::query_track::QueryRetryMeta;
+use crate::reliability::{PendingOp, SeenOps};
 use crate::trigger::{Trigger, TriggerSet};
 use mind_histogram::{CutTree, GridHistogram};
 use mind_overlay::{Overlay, OverlayConfig, OverlayEvent, OverlayMsg};
 use mind_store::DacCostModel;
 use mind_types::node::{NodeLogic, Outbox, SimTime, SECONDS};
 use mind_types::{BitCode, HyperRect, MindError, NodeId, Record};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
+
+/// The outbox type every MIND handler writes into.
+pub(crate) type Out = Outbox<OverlayMsg<MindPayload>>;
 
 /// Timer-token tag for MIND-level timers (the overlay uses `0xA5`).
 const TOKEN_TAG: u64 = 0xB6 << 56;
-const KIND_DAC_TICK: u64 = 0;
-const KIND_BATCH: u64 = 1;
-const KIND_QUERY_DEADLINE: u64 = 2;
-const KIND_COLLECT: u64 = 3;
-const KIND_OP_RETRY: u64 = 4;
-const KIND_QUERY_RETRY: u64 = 5;
-const KIND_ANTI_ENTROPY: u64 = 6;
 
-fn token(kind: u64, arg: u64) -> u64 {
+/// Packs a MIND timer token: tag ∥ kind ∥ 48-bit argument. The kind
+/// constants live with the modules that own them (`dac_drive`,
+/// `query_track`, `rollover`, `reliability`).
+pub(crate) fn token(kind: u64, arg: u64) -> u64 {
     TOKEN_TAG | (kind << 48) | (arg & 0xFFFF_FFFF_FFFF)
-}
-
-/// The region code all histogram reports route to: the node owning the
-/// all-zeros corner of the code space acts as the designated collector of
-/// Section 3.7.
-fn collector_code() -> BitCode {
-    BitCode::from_raw(0, 16)
 }
 
 /// MIND node configuration.
@@ -96,127 +98,44 @@ impl Default for MindConfig {
     }
 }
 
-/// One buffered storage request (the prototype's DAC queue entry).
-#[derive(Debug)]
-enum DacJob {
-    Insert {
-        index: String,
-        version: u32,
-        record: Record,
-        sent_at: SimTime,
-        is_replica: bool,
-        /// Who to ack once applied (the insert origin, or the pushing
-        /// primary for replica copies).
-        acker: NodeId,
-        /// Idempotency key (0 = legacy/unacked operation).
-        op_id: u64,
-    },
-    Scan {
-        query_id: u64,
-        index: String,
-        version: u32,
-        code: BitCode,
-        rect: HyperRect,
-        filters: Vec<CarriedFilter>,
-        origin: NodeId,
-    },
-}
-
-/// Effects of a processed batch, released when its cost has elapsed.
-#[derive(Debug, Default)]
-struct BatchResult {
-    sends: Vec<(NodeId, MindPayload)>,
-    /// Query responses still carrying shared record handles. Kept out of
-    /// `sends` so the local path (destination == this node) can feed the
-    /// tracker directly; payloads are materialized into wire records only
-    /// when the response actually leaves the node.
-    responses: Vec<(NodeId, LocalResponse)>,
-    /// `sent_at` of each primary insert in the batch (latency recorded at
-    /// release time).
-    insert_sent_ats: Vec<SimTime>,
-}
-
-/// A query response before the wire boundary: records are refcounted
-/// handles into the local store, not copies.
-#[derive(Debug)]
-struct LocalResponse {
-    query_id: u64,
-    version: u32,
-    code: BitCode,
-    records: Vec<Arc<Record>>,
-}
-
-/// Where an unacked operation goes when re-sent.
-#[derive(Debug, Clone)]
-enum OpTarget {
-    /// Re-route through the overlay toward a region code (inserts).
-    Routed(BitCode),
-    /// Re-send directly to a node (replica pushes).
-    Direct(NodeId),
-}
-
-/// An insert/replica awaiting its ack (DESIGN.md §8).
-#[derive(Debug)]
-struct PendingOp {
-    target: OpTarget,
-    payload: MindPayload,
-    attempts: u32,
-}
-
-/// What a query originator needs to re-dispatch unanswered work.
-#[derive(Debug)]
-struct QueryRetryMeta {
-    index: String,
-    rect: HyperRect,
-    filters: Vec<CarriedFilter>,
-    attempts: u32,
-}
-
-/// A sub-query waiting for the acceptor's historical records.
-#[derive(Debug)]
-struct PendingHandoff {
-    query_id: u64,
-    version: u32,
-    code: BitCode,
-    origin: NodeId,
-    local: Vec<Arc<Record>>,
-}
-
 /// A complete MIND node.
 pub struct MindNode {
     id: NodeId,
-    cfg: MindConfig,
-    overlay: Overlay<MindPayload>,
-    indexes: HashMap<String, IndexState>,
-    // DAC
-    dac_queue: VecDeque<DacJob>,
-    dac_busy: bool,
-    batch_seq: u64,
-    pending_batches: HashMap<u64, BatchResult>,
-    // reliable delivery (DESIGN.md §8)
-    op_seq: u64,
-    pending_ops: HashMap<u64, PendingOp>,
-    seen_ops: HashSet<u64>,
-    anti_entropy_rr: u64,
-    // queries
-    query_seq: u64,
+    pub(crate) cfg: MindConfig,
+    pub(crate) overlay: Overlay<MindPayload>,
+    pub(crate) indexes: HashMap<String, IndexState>,
+    // DAC (crate::dac_drive)
+    pub(crate) dac_queue: VecDeque<DacJob>,
+    pub(crate) dac_busy: bool,
+    pub(crate) batch_seq: u64,
+    pub(crate) pending_batches: HashMap<u64, BatchResult>,
+    // reliable delivery + bounded dedup (crate::reliability)
+    pub(crate) op_seq: u64,
+    pub(crate) pending_ops: HashMap<u64, PendingOp>,
+    pub(crate) seen_ops: SeenOps,
+    /// Counters of this node's own unsettled ops; their minimum pins the
+    /// horizon advertised to receivers (DESIGN.md §10).
+    pub(crate) live_op_counters: BTreeSet<u64>,
+    pub(crate) anti_entropy_rr: u64,
+    // queries (crate::query_track)
+    pub(crate) query_seq: u64,
     /// In-flight and finished query trackers, by query id.
     pub queries: HashMap<u64, QueryTracker>,
-    query_meta: HashMap<u64, QueryRetryMeta>,
+    pub(crate) query_meta: HashMap<u64, QueryRetryMeta>,
     // join-time data handoff (Section 3.4)
-    handoff: Option<(NodeId, SimTime)>,
-    handoff_seq: u64,
-    pending_handoffs: HashMap<u64, PendingHandoff>,
+    pub(crate) handoff: Option<(NodeId, SimTime)>,
+    pub(crate) handoff_seq: u64,
+    pub(crate) pending_handoffs: HashMap<u64, PendingHandoff>,
     // standing queries
-    triggers: TriggerSet,
+    pub(crate) triggers: TriggerSet,
     trigger_seq: u64,
     /// Notifications received for triggers this node subscribed:
     /// `(trigger_id, storing node, record)`.
     pub trigger_log: Vec<(u64, NodeId, Record)>,
-    // histogram collection (collector role)
-    collect_seq: u64,
-    collecting: HashMap<u64, (String, u64, GridHistogram, usize)>,
-    collect_keys: HashMap<(String, u64), u64>,
+    // histogram collection (collector role, crate::rollover)
+    pub(crate) collect_seq: u64,
+    pub(crate) collecting: HashMap<u64, (String, u64, GridHistogram, usize)>,
+    pub(crate) collect_keys: HashMap<(String, u64), u64>,
     /// Metrics this node accumulated.
     pub metrics: NodeMetrics,
 }
@@ -260,7 +179,8 @@ impl MindNode {
             pending_batches: HashMap::new(),
             op_seq: 0,
             pending_ops: HashMap::new(),
-            seen_ops: HashSet::new(),
+            seen_ops: SeenOps::default(),
+            live_op_counters: BTreeSet::new(),
             anti_entropy_rr: 0,
             query_seq: 0,
             queries: HashMap::new(),
@@ -289,6 +209,10 @@ impl MindNode {
         self.dac_busy = false;
         self.pending_batches.clear();
         self.pending_ops.clear();
+        // The crash abandoned every in-flight op (their retry timers died
+        // with the old incarnation): settle them all, so the horizon
+        // advertised after restart advances past them.
+        self.live_op_counters.clear();
         // Forget applied op ids too: the rows died with the stores, so a
         // retried op must be stored again, not deduped into data loss.
         self.seen_ops.clear();
@@ -334,7 +258,7 @@ impl MindNode {
         schema: mind_types::IndexSchema,
         cuts: CutTree,
         replication: Replication,
-        out: &mut Outbox<OverlayMsg<MindPayload>>,
+        out: &mut Out,
     ) -> Result<(), MindError> {
         if self.indexes.contains_key(&schema.tag) {
             return Err(MindError::IndexExists(schema.tag));
@@ -352,11 +276,7 @@ impl MindNode {
     }
 
     /// `drop_index`: removes the index from every node.
-    pub fn drop_index(
-        &mut self,
-        tag: &str,
-        out: &mut Outbox<OverlayMsg<MindPayload>>,
-    ) -> Result<(), MindError> {
+    pub fn drop_index(&mut self, tag: &str, out: &mut Out) -> Result<(), MindError> {
         if !self.indexes.contains_key(tag) {
             return Err(MindError::UnknownIndex(tag.to_string()));
         }
@@ -377,7 +297,7 @@ impl MindNode {
         now: SimTime,
         index: &str,
         record: Record,
-        out: &mut Outbox<OverlayMsg<MindPayload>>,
+        out: &mut Out,
     ) -> Result<(), MindError> {
         let state = self
             .indexes
@@ -390,6 +310,9 @@ impl MindNode {
         let code = cuts.code_for_point(record.point(state.schema.indexed_dims));
         self.metrics.inserts_originated += 1;
         let op_id = self.next_op_id();
+        // Horizon read *after* reserving the op's counter, so the payload
+        // never claims its own op as settled.
+        let horizon = self.op_horizon();
         let payload = MindPayload::Insert {
             index: index.to_string(),
             version,
@@ -397,274 +320,15 @@ impl MindNode {
             origin: self.id,
             sent_at: now,
             op_id,
+            horizon,
         };
-        self.track_op(op_id, OpTarget::Routed(code), payload.clone(), out);
-        let events = self.overlay.route(now, code, payload, out);
-        self.process_events(now, events, out);
-        Ok(())
-    }
-
-    /// A fresh idempotency key, unique per origin (node id ∥ counter,
-    /// within the 48-bit timer-argument budget).
-    fn next_op_id(&mut self) -> u64 {
-        // Pre-increment: the id 0 is reserved as the "no tracking" sentinel
-        // (node 0's op 0 would otherwise collide with it and lose dedup).
-        self.op_seq += 1;
-        (((self.id.0 as u64) << 24) | (self.op_seq & 0xFF_FFFF)) & 0xFFFF_FFFF_FFFF
-    }
-
-    /// Registers an operation for ack tracking and arms its retry timer.
-    fn track_op(
-        &mut self,
-        op_id: u64,
-        target: OpTarget,
-        payload: MindPayload,
-        out: &mut Outbox<OverlayMsg<MindPayload>>,
-    ) {
-        if self.cfg.retry_timeout == 0 {
-            return;
-        }
-        self.pending_ops.insert(
+        self.track_op(
             op_id,
-            PendingOp {
-                target,
-                payload,
-                attempts: 0,
-            },
+            crate::reliability::OpTarget::Routed(code),
+            payload.clone(),
+            out,
         );
-        out.set_timer(self.cfg.retry_timeout, token(KIND_OP_RETRY, op_id));
-    }
-
-    /// Re-sends an unacked operation, with exponential backoff, until the
-    /// retry budget runs out.
-    fn retry_op(&mut self, now: SimTime, op_id: u64, out: &mut Outbox<OverlayMsg<MindPayload>>) {
-        let Some(op) = self.pending_ops.get_mut(&op_id) else {
-            return; // acked in the meantime
-        };
-        if op.attempts >= self.cfg.max_retries {
-            self.pending_ops.remove(&op_id);
-            self.metrics.retries_exhausted += 1;
-            return;
-        }
-        op.attempts += 1;
-        let attempts = op.attempts;
-        let payload = op.payload.clone();
-        let target = op.target.clone();
-        self.metrics.retries_sent += 1;
-        match target {
-            OpTarget::Routed(code) => {
-                let events = self.overlay.route(now, code, payload, out);
-                self.process_events(now, events, out);
-            }
-            OpTarget::Direct(node) => out.send(node, OverlayMsg::Direct { payload }),
-        }
-        out.set_timer(
-            self.cfg.retry_timeout << attempts.min(6),
-            token(KIND_OP_RETRY, op_id),
-        );
-    }
-
-    /// `query_index`: issues a multi-dimensional range query with optional
-    /// carried-attribute filters; returns the query id to poll.
-    pub fn query(
-        &mut self,
-        now: SimTime,
-        index: &str,
-        rect: HyperRect,
-        filters: Vec<CarriedFilter>,
-        out: &mut Outbox<OverlayMsg<MindPayload>>,
-    ) -> Result<u64, MindError> {
-        let state = self
-            .indexes
-            .get(index)
-            .ok_or_else(|| MindError::UnknownIndex(index.to_string()))?;
-        if rect.dims() != state.schema.indexed_dims {
-            return Err(MindError::SchemaMismatch {
-                index: index.to_string(),
-                reason: format!(
-                    "query has {} dims, index has {}",
-                    rect.dims(),
-                    state.schema.indexed_dims
-                ),
-            });
-        }
-        let time_range = state.schema.time_dim().map(|d| (rect.lo(d), rect.hi(d)));
-        let versions = state.versions_for_range(time_range);
-        let query_id = ((self.id.0 as u64) << 20) | (self.query_seq & 0xF_FFFF);
-        self.query_seq += 1;
-        let mut tracker = QueryTracker::new(index.to_string(), now, &versions);
-        // Route one root query per overlapping version.
-        let mut routed = Vec::new();
-        for v in versions {
-            // lint:allow(unwrap) versions_for_range returns installed versions
-            match state.version(v).unwrap().cuts.query_prefix(&rect) {
-                None => tracker.on_plan(now, v, vec![], None), // misses the domain
-                Some(prefix) => routed.push((v, prefix)),
-            }
-        }
-        self.queries.insert(query_id, tracker);
-        self.query_meta.insert(
-            query_id,
-            QueryRetryMeta {
-                index: index.to_string(),
-                rect: rect.clone(),
-                filters: filters.clone(),
-                attempts: 0,
-            },
-        );
-        for (v, prefix) in routed {
-            let payload = MindPayload::RootQuery {
-                query_id,
-                index: index.to_string(),
-                version: v,
-                rect: rect.clone(),
-                filters: filters.clone(),
-                origin: self.id,
-            };
-            let events = self.overlay.route(now, prefix, payload, out);
-            self.process_events(now, events, out);
-        }
-        if self.cfg.query_retry_interval > 0 {
-            out.set_timer(
-                self.cfg.query_retry_interval,
-                token(KIND_QUERY_RETRY, query_id),
-            );
-        }
-        out.set_timer(
-            self.cfg.query_deadline,
-            token(KIND_QUERY_DEADLINE, query_id),
-        );
-        Ok(query_id)
-    }
-
-    /// Re-drives a query's unanswered work: re-routes `RootQuery`s for
-    /// versions whose plan never arrived and re-dispatches the expected
-    /// sub-queries still missing answers. The tracker dedups whatever
-    /// duplicate plans/responses this produces.
-    fn retry_query(
-        &mut self,
-        now: SimTime,
-        query_id: u64,
-        out: &mut Outbox<OverlayMsg<MindPayload>>,
-    ) {
-        let Some((pending_versions, missing)) = self.queries.get(&query_id).and_then(|t| {
-            if t.done() {
-                None
-            } else {
-                let pending: Vec<u32> = t.plans_pending.iter().copied().collect();
-                let missing: Vec<(u32, BitCode)> = t
-                    .expected
-                    .iter()
-                    .filter(|k| !t.answered.contains(k))
-                    .cloned()
-                    .collect();
-                Some((pending, missing))
-            }
-        }) else {
-            self.query_meta.remove(&query_id);
-            return;
-        };
-        let Some(meta) = self.query_meta.get_mut(&query_id) else {
-            return;
-        };
-        if meta.attempts >= self.cfg.max_retries {
-            return; // budget spent; the deadline timer will close the query
-        }
-        meta.attempts += 1;
-        let index = meta.index.clone();
-        let rect = meta.rect.clone();
-        let filters = meta.filters.clone();
-        if !pending_versions.is_empty() || !missing.is_empty() {
-            self.metrics.query_retries += 1;
-        }
-        // Versions still missing their plan: re-route the root query.
-        let mut reroutes = Vec::new();
-        if let Some(state) = self.indexes.get(&index) {
-            for v in pending_versions {
-                reroutes.push((
-                    v,
-                    state
-                        .version(v)
-                        .and_then(|ver| ver.cuts.query_prefix(&rect)),
-                ));
-            }
-        }
-        for (v, prefix) in reroutes {
-            match prefix {
-                None => {
-                    if let Some(t) = self.queries.get_mut(&query_id) {
-                        t.on_plan(now, v, vec![], None);
-                    }
-                }
-                Some(prefix) => {
-                    let payload = MindPayload::RootQuery {
-                        query_id,
-                        index: index.clone(),
-                        version: v,
-                        rect: rect.clone(),
-                        filters: filters.clone(),
-                        origin: self.id,
-                    };
-                    let events = self.overlay.route(now, prefix, payload, out);
-                    self.process_events(now, events, out);
-                }
-            }
-        }
-        // Announced but unanswered regions: re-dispatch their sub-queries.
-        for (v, code) in missing {
-            self.dispatch_subquery(
-                now,
-                query_id,
-                index.clone(),
-                v,
-                code,
-                rect.clone(),
-                filters.clone(),
-                self.id,
-                out,
-            );
-        }
-        out.set_timer(
-            self.cfg.query_retry_interval,
-            token(KIND_QUERY_RETRY, query_id),
-        );
-    }
-
-    /// The outcome of a query, once [`QueryTracker::done`].
-    pub fn query_outcome(&self, query_id: u64) -> Option<crate::query::QueryOutcome> {
-        self.queries
-            .get(&query_id)
-            .filter(|t| t.done())
-            .map(|t| t.outcome())
-    }
-
-    /// Ships the current day's histogram for `index` to the designated
-    /// collector and resets the local accumulator (called at each day
-    /// boundary — by the harness in experiments, mirroring how the
-    /// paper's operators would schedule it).
-    pub fn report_day_histogram(
-        &mut self,
-        now: SimTime,
-        index: &str,
-        day: u64,
-        out: &mut Outbox<OverlayMsg<MindPayload>>,
-    ) -> Result<(), MindError> {
-        let state = self
-            .indexes
-            .get_mut(index)
-            .ok_or_else(|| MindError::UnknownIndex(index.to_string()))?;
-        let bounds = state.schema.bounds();
-        let hist = std::mem::replace(
-            &mut state.day_histogram,
-            GridHistogram::new(bounds, self.cfg.hist_granularity),
-        );
-        let payload = MindPayload::HistReport {
-            index: index.to_string(),
-            day,
-            reporter: self.id,
-            hist,
-        };
-        let events = self.overlay.route(now, collector_code(), payload, out);
+        let events = self.overlay.route(now, code, payload, out);
         self.process_events(now, events, out);
         Ok(())
     }
@@ -677,7 +341,7 @@ impl MindNode {
         index: &str,
         rect: HyperRect,
         filters: Vec<CarriedFilter>,
-        out: &mut Outbox<OverlayMsg<MindPayload>>,
+        out: &mut Out,
     ) -> Result<u64, MindError> {
         let state = self
             .indexes
@@ -710,7 +374,7 @@ impl MindNode {
     }
 
     /// Removes a standing query everywhere.
-    pub fn drop_trigger(&mut self, trigger_id: u64, out: &mut Outbox<OverlayMsg<MindPayload>>) {
+    pub fn drop_trigger(&mut self, trigger_id: u64, out: &mut Out) {
         let events = self
             .overlay
             .flood(MindPayload::DropTrigger { trigger_id }, out);
@@ -731,11 +395,11 @@ impl MindNode {
 
     // ---- event plumbing ----
 
-    fn process_events(
+    pub(crate) fn process_events(
         &mut self,
         now: SimTime,
         events: Vec<OverlayEvent<MindPayload>>,
-        out: &mut Outbox<OverlayMsg<MindPayload>>,
+        out: &mut Out,
     ) {
         for ev in events {
             match ev {
@@ -811,13 +475,7 @@ impl MindNode {
         }
     }
 
-    fn on_routed(
-        &mut self,
-        now: SimTime,
-        hops: u32,
-        payload: MindPayload,
-        out: &mut Outbox<OverlayMsg<MindPayload>>,
-    ) {
+    fn on_routed(&mut self, now: SimTime, hops: u32, payload: MindPayload, out: &mut Out) {
         match payload {
             MindPayload::Insert {
                 index,
@@ -826,13 +484,17 @@ impl MindNode {
                 origin,
                 sent_at,
                 op_id,
+                horizon,
             } => {
-                // Already applied (this is a retry whose ack was lost, or
-                // a network duplicate): re-ack without touching the DAC.
-                if op_id != 0 && self.seen_ops.contains(&op_id) {
-                    self.metrics.dup_ops_ignored += 1;
-                    self.send_ack(origin, op_id, out);
-                    return;
+                if op_id != 0 {
+                    self.seen_ops.observe_horizon(op_id, horizon);
+                    // Already applied (this is a retry whose ack was lost,
+                    // or a network duplicate): re-ack, don't touch the DAC.
+                    if self.seen_ops.contains(op_id) {
+                        self.metrics.dup_ops_ignored += 1;
+                        self.send_ack(origin, op_id, out);
+                        return;
+                    }
                 }
                 self.metrics.insert_hops.push(hops);
                 self.enqueue(
@@ -886,12 +548,12 @@ impl MindNode {
         }
     }
 
-    fn on_direct(
+    pub(crate) fn on_direct(
         &mut self,
         now: SimTime,
         from: NodeId,
         payload: MindPayload,
-        out: &mut Outbox<OverlayMsg<MindPayload>>,
+        out: &mut Out,
     ) {
         match payload {
             MindPayload::Replica {
@@ -899,11 +561,15 @@ impl MindNode {
                 version,
                 record,
                 op_id,
+                horizon,
             } => {
-                if op_id != 0 && self.seen_ops.contains(&op_id) {
-                    self.metrics.dup_ops_ignored += 1;
-                    self.send_ack(from, op_id, out);
-                    return;
+                if op_id != 0 {
+                    self.seen_ops.observe_horizon(op_id, horizon);
+                    if self.seen_ops.contains(op_id) {
+                        self.metrics.dup_ops_ignored += 1;
+                        self.send_ack(from, op_id, out);
+                        return;
+                    }
                 }
                 // Replica writes skip latency metrics and histogram
                 // accounting but share the DAC (they cost real work).
@@ -921,11 +587,7 @@ impl MindNode {
                     out,
                 );
             }
-            MindPayload::Ack { op_id } => {
-                if self.pending_ops.remove(&op_id).is_some() {
-                    self.metrics.acks_received += 1;
-                }
-            }
+            MindPayload::Ack { op_id } => self.on_ack(op_id, out),
             MindPayload::TriggerFired {
                 trigger_id,
                 at,
@@ -1012,7 +674,7 @@ impl MindNode {
                     self.deliver_response(
                         now,
                         p.origin,
-                        LocalResponse {
+                        crate::dac_drive::LocalResponse {
                             query_id: p.query_id,
                             version: p.version,
                             code: p.code,
@@ -1031,6 +693,8 @@ impl MindNode {
                 if let Some(t) = self.queries.get_mut(&query_id) {
                     t.on_plan(now, version, codes, replaces);
                 }
+                // An empty or refined plan can complete the query.
+                self.settle_query_timers(query_id, out);
             }
             MindPayload::QueryResponse {
                 query_id,
@@ -1055,583 +719,12 @@ impl MindNode {
                         records.into_iter().map(Arc::new).collect(),
                     );
                 }
+                self.settle_query_timers(query_id, out);
             }
             other => {
                 debug_assert!(false, "unexpected direct payload: {other:?}");
             }
         }
-    }
-
-    /// Section 3.6: the first node whose region abuts the query splits it
-    /// into per-region sub-queries, announces the plan to the originator,
-    /// answers its own regions, and routes the rest.
-    #[allow(clippy::too_many_arguments)]
-    fn split_root_query(
-        &mut self,
-        now: SimTime,
-        query_id: u64,
-        index: &str,
-        version: u32,
-        rect: HyperRect,
-        filters: Vec<CarriedFilter>,
-        origin: NodeId,
-        out: &mut Outbox<OverlayMsg<MindPayload>>,
-    ) {
-        let Some(state) = self.indexes.get(index) else {
-            // Index unknown here (flood race): report an empty plan so the
-            // originator is not left hanging.
-            out.send(
-                origin,
-                OverlayMsg::Direct {
-                    payload: MindPayload::QueryPlan {
-                        query_id,
-                        version,
-                        codes: vec![],
-                        replaces: None,
-                    },
-                },
-            );
-            return;
-        };
-        let Some(ver) = state.version(version) else {
-            out.send(
-                origin,
-                OverlayMsg::Direct {
-                    payload: MindPayload::QueryPlan {
-                        query_id,
-                        version,
-                        codes: vec![],
-                        replaces: None,
-                    },
-                },
-            );
-            return;
-        };
-        // Split down to at least this node's code length so that, on a
-        // balanced overlay, every sub-query maps to one node. Deeper nodes
-        // refine further on arrival (see `on_subquery`).
-        let min_len = self.overlay.code().map(|c| c.len()).unwrap_or(0);
-        let codes = ver.cuts.covering_codes_at_least(&rect, min_len);
-        out.send(
-            origin,
-            OverlayMsg::Direct {
-                payload: MindPayload::QueryPlan {
-                    query_id,
-                    version,
-                    codes: codes.clone(),
-                    replaces: None,
-                },
-            },
-        );
-        for code in codes {
-            self.dispatch_subquery(
-                now,
-                query_id,
-                index.to_string(),
-                version,
-                code,
-                rect.clone(),
-                filters.clone(),
-                origin,
-                out,
-            );
-        }
-    }
-
-    /// Routes a sub-query to its region owner, or processes it here when
-    /// this node is responsible.
-    #[allow(clippy::too_many_arguments)]
-    fn dispatch_subquery(
-        &mut self,
-        now: SimTime,
-        query_id: u64,
-        index: String,
-        version: u32,
-        code: BitCode,
-        rect: HyperRect,
-        filters: Vec<CarriedFilter>,
-        origin: NodeId,
-        out: &mut Outbox<OverlayMsg<MindPayload>>,
-    ) {
-        if self.overlay.should_answer(&code) {
-            self.on_subquery(
-                now, query_id, index, version, code, rect, filters, origin, out,
-            );
-        } else {
-            let payload = MindPayload::SubQuery {
-                query_id,
-                index,
-                version,
-                code,
-                rect,
-                filters,
-                origin,
-            };
-            let events = self.overlay.route(now, code, payload, out);
-            self.process_events(now, events, out);
-        }
-    }
-
-    /// Handles a sub-query arriving at (or dispatched to) this node.
-    ///
-    /// If this node's code strictly extends the region code, the region
-    /// spans several nodes (unbalanced overlay): split it one level,
-    /// announce the refinement atomically to the originator, and dispatch
-    /// the halves. Otherwise answer it from the local store.
-    #[allow(clippy::too_many_arguments)]
-    fn on_subquery(
-        &mut self,
-        now: SimTime,
-        query_id: u64,
-        index: String,
-        version: u32,
-        code: BitCode,
-        rect: HyperRect,
-        filters: Vec<CarriedFilter>,
-        origin: NodeId,
-        out: &mut Outbox<OverlayMsg<MindPayload>>,
-    ) {
-        let my_code = self.overlay.code();
-        let must_refine = match my_code {
-            Some(mine) => code.is_prefix_of(&mine) && code.len() < mine.len(),
-            None => false,
-        };
-        // Refinement requires the cut tree to be deeper than the region
-        // code; a leaf region is answered whole (the tree depth is always
-        // configured above the overlay depth, see MindConfig::cut_depth).
-        let can_refine = self
-            .indexes
-            .get(&index)
-            .and_then(|s| s.version(version))
-            .map(|v| v.cuts.depth() > code.len())
-            .unwrap_or(false);
-        if must_refine && can_refine {
-            let children = vec![code.child(false), code.child(true)];
-            out.send(
-                origin,
-                OverlayMsg::Direct {
-                    payload: MindPayload::QueryPlan {
-                        query_id,
-                        version,
-                        codes: children.clone(),
-                        replaces: Some(code),
-                    },
-                },
-            );
-            for child in children {
-                self.dispatch_subquery(
-                    now,
-                    query_id,
-                    index.clone(),
-                    version,
-                    child,
-                    rect.clone(),
-                    filters.clone(),
-                    origin,
-                    out,
-                );
-            }
-            return;
-        }
-        self.enqueue(
-            now,
-            DacJob::Scan {
-                query_id,
-                index,
-                version,
-                code,
-                rect,
-                filters,
-                origin,
-            },
-            out,
-        );
-    }
-
-    fn on_hist_report(
-        &mut self,
-        _now: SimTime,
-        index: String,
-        day: u64,
-        hist: GridHistogram,
-        out: &mut Outbox<OverlayMsg<MindPayload>>,
-    ) {
-        if !self.cfg.auto_versioning {
-            return;
-        }
-        let key = (index.clone(), day);
-        let seq = *self.collect_keys.entry(key).or_insert_with(|| {
-            let s = self.collect_seq;
-            self.collect_seq += 1;
-            s
-        });
-        match self.collecting.get_mut(&seq) {
-            Some((_, _, acc, n)) => {
-                acc.merge(&hist);
-                *n += 1;
-            }
-            None => {
-                // First report for this (index, day): arm the grace timer.
-                out.set_timer(self.cfg.collect_grace, token(KIND_COLLECT, seq));
-                self.collecting.insert(seq, (index, day, hist, 1));
-            }
-        }
-    }
-
-    fn finish_collection(&mut self, seq: u64, out: &mut Outbox<OverlayMsg<MindPayload>>) {
-        let Some((index, day, hist, _reports)) = self.collecting.remove(&seq) else {
-            return;
-        };
-        self.collect_keys.remove(&(index.clone(), day));
-        let Some(state) = self.indexes.get(&index) else {
-            return;
-        };
-        let bounds = state.schema.bounds();
-        let cuts = CutTree::balanced_from_histogram(bounds, self.cfg.cut_depth, &hist);
-        let version = state.versions.len() as u32;
-        let from_ts = (day + 1) * self.cfg.day_len;
-        let events = self.overlay.flood(
-            MindPayload::NewVersion {
-                index,
-                version,
-                from_ts,
-                cuts,
-            },
-            out,
-        );
-        self.process_events(0, events, out);
-    }
-
-    // ---- the DAC (Section 3.9) ----
-
-    fn enqueue(&mut self, _now: SimTime, job: DacJob, out: &mut Outbox<OverlayMsg<MindPayload>>) {
-        self.dac_queue.push_back(job);
-        if !self.dac_busy {
-            self.dac_busy = true;
-            out.set_timer(1, token(KIND_DAC_TICK, 0));
-        }
-    }
-
-    fn dac_tick(&mut self, now: SimTime, out: &mut Outbox<OverlayMsg<MindPayload>>) {
-        if self.dac_queue.is_empty() {
-            self.dac_busy = false;
-            return;
-        }
-        let cost_model = self.cfg.dac_cost;
-        let mut cost: SimTime = cost_model.batch_overhead;
-        let mut result = BatchResult::default();
-        for _ in 0..self.cfg.dac_batch_size {
-            let Some(job) = self.dac_queue.pop_front() else {
-                break;
-            };
-            match job {
-                DacJob::Insert {
-                    index,
-                    version,
-                    record,
-                    sent_at,
-                    is_replica,
-                    acker,
-                    op_id,
-                } => {
-                    cost += cost_model.per_insert;
-                    let applied = self.apply_insert(
-                        &index,
-                        version,
-                        record,
-                        is_replica,
-                        acker,
-                        op_id,
-                        &mut result,
-                    );
-                    if applied && !is_replica {
-                        result.insert_sent_ats.push(sent_at);
-                    }
-                }
-                DacJob::Scan {
-                    query_id,
-                    index,
-                    version,
-                    code,
-                    rect,
-                    filters,
-                    origin,
-                } => {
-                    let records = self.run_scan(&index, version, &code, &rect, &filters, false);
-                    cost += cost_model.per_query + cost_model.per_result * records.len() as SimTime;
-                    self.metrics.subqueries_answered += 1;
-                    // Fresh joiner: the region's historical rows still live
-                    // at the acceptor (Section 3.4). Merge its answer with
-                    // ours before responding.
-                    if let Some((sibling, joined_at)) = self.handoff {
-                        if now.saturating_sub(joined_at) < self.cfg.handoff_ttl {
-                            let handoff_id = self.handoff_seq;
-                            self.handoff_seq += 1;
-                            self.pending_handoffs.insert(
-                                handoff_id,
-                                PendingHandoff {
-                                    query_id,
-                                    version,
-                                    code,
-                                    origin,
-                                    local: records,
-                                },
-                            );
-                            result.sends.push((
-                                sibling,
-                                MindPayload::HandoffScan {
-                                    handoff_id,
-                                    index,
-                                    version,
-                                    code,
-                                    rect,
-                                    filters,
-                                },
-                            ));
-                            continue;
-                        }
-                        self.handoff = None; // aged out
-                    }
-                    result.responses.push((
-                        origin,
-                        LocalResponse {
-                            query_id,
-                            version,
-                            code,
-                            records,
-                        },
-                    ));
-                }
-            }
-        }
-        let batch_id = self.batch_seq;
-        self.batch_seq += 1;
-        self.pending_batches.insert(batch_id, result);
-        // Results (and the next batch) are released when this batch's
-        // processing time has elapsed — storage work is not interleaved
-        // with network transmission, exactly as in the prototype.
-        let _ = now;
-        out.set_timer(cost.max(1), token(KIND_BATCH, batch_id));
-    }
-
-    /// Queues an `Ack` for direct delivery (loopback-safe via
-    /// `release_batch`'s short-circuit when sent through a batch).
-    fn send_ack(&mut self, to: NodeId, op_id: u64, out: &mut Outbox<OverlayMsg<MindPayload>>) {
-        if to == self.id {
-            if self.pending_ops.remove(&op_id).is_some() {
-                self.metrics.acks_received += 1;
-            }
-        } else {
-            out.send(
-                to,
-                OverlayMsg::Direct {
-                    payload: MindPayload::Ack { op_id },
-                },
-            );
-        }
-    }
-
-    /// Applies one insert (primary or replica). Returns `true` when the
-    /// record was actually stored. The ack is emitted *only* on success
-    /// or on a detected duplicate — an insert that cannot be applied yet
-    /// (index/version unknown here, e.g. a lost flood) stays unacked so
-    /// the origin's retry can land once the catalog heals.
-    #[allow(clippy::too_many_arguments)]
-    fn apply_insert(
-        &mut self,
-        index: &str,
-        version: u32,
-        record: Record,
-        is_replica: bool,
-        acker: NodeId,
-        op_id: u64,
-        result: &mut BatchResult,
-    ) -> bool {
-        if op_id != 0 && self.seen_ops.contains(&op_id) {
-            // A duplicate that slipped into the queue behind the first
-            // copy (network duplication or an early retry): ack, don't
-            // double-store.
-            self.metrics.dup_ops_ignored += 1;
-            result.sends.push((acker, MindPayload::Ack { op_id }));
-            return false;
-        }
-        let Some(state) = self.indexes.get_mut(index) else {
-            return false;
-        };
-        let dims = state.schema.indexed_dims;
-        let replication = state.replication;
-        if state.version_mut(version).is_none() {
-            return false;
-        }
-        if !is_replica {
-            state.day_histogram.add(record.point(dims));
-            // Standing queries fire the moment the primary copy lands.
-            for (trigger_id, origin) in self.triggers.fired(index, &record, dims) {
-                result.sends.push((
-                    origin,
-                    MindPayload::TriggerFired {
-                        trigger_id,
-                        at: self.id,
-                        record: record.clone(),
-                    },
-                ));
-            }
-        }
-        if op_id != 0 {
-            self.seen_ops.insert(op_id);
-            result.sends.push((acker, MindPayload::Ack { op_id }));
-        }
-        // Push replicas to the prefix neighbors that would take over
-        // (cloned per target — these cross the wire), then store the
-        // original record by move: the local insert never copies it.
-        if !is_replica {
-            let targets = match replication {
-                Replication::None => Vec::new(),
-                Replication::Level(m) => self.overlay.replica_targets(m as usize),
-                Replication::Full => self.overlay.all_neighbor_targets(),
-            };
-            for t in targets {
-                let rep_op = self.next_op_id();
-                result.sends.push((
-                    t,
-                    MindPayload::Replica {
-                        index: index.to_string(),
-                        version,
-                        record: record.clone(),
-                        op_id: rep_op,
-                    },
-                ));
-            }
-        }
-        let state = self.indexes.get_mut(index).expect("checked above"); // lint:allow(unwrap) presence checked above
-        let ver = state.version_mut(version).expect("checked above"); // lint:allow(unwrap) presence checked above
-        if is_replica {
-            ver.replica_rows += 1;
-            ver.replicas.insert(record);
-        } else {
-            ver.primary_rows += 1;
-            ver.primary.insert(record);
-        }
-        true
-    }
-
-    /// Answers a sub-query from the local store. Zero-copy: the returned
-    /// records are shared handles into the store's record heap — nothing
-    /// is materialized until (unless) the response crosses the wire.
-    fn run_scan(
-        &mut self,
-        index: &str,
-        version: u32,
-        code: &BitCode,
-        rect: &HyperRect,
-        filters: &[CarriedFilter],
-        primary_only: bool,
-    ) -> Vec<Arc<Record>> {
-        let Some(state) = self.indexes.get_mut(index) else {
-            return Vec::new();
-        };
-        let Some(ver) = state.version_mut(version) else {
-            return Vec::new();
-        };
-        // Clip to the sub-query's region so that (a) covering regions
-        // never overlap and (b) replica rows are only returned by the node
-        // that took the region over.
-        let region = ver.cuts.rect_for_code(code);
-        let Some(clip) = region.intersection(rect) else {
-            return Vec::new();
-        };
-        let accept = |r: &Arc<Record>| filters.iter().all(|f| f.accepts(r));
-        let mut out: Vec<Arc<Record>> = ver
-            .primary
-            .range_records(&clip)
-            .into_iter()
-            .filter(accept)
-            .collect();
-        if !primary_only {
-            out.extend(ver.replicas.range_records(&clip).into_iter().filter(accept));
-        }
-        self.metrics.records_served += out.len() as u64;
-        out
-    }
-
-    /// Copies shared record handles into owned records — the one place a
-    /// scan result is materialized, and only for payloads leaving the node.
-    fn to_wire(records: &[Arc<Record>]) -> Vec<Record> {
-        records.iter().map(|r| (**r).clone()).collect()
-    }
-
-    /// Routes a scan answer to its originator. When the originator is this
-    /// node (the paper's common single-node query case) the tracker is fed
-    /// the shared handles directly — no payload copy, no message; only a
-    /// remote originator costs a wire materialization.
-    fn deliver_response(
-        &mut self,
-        now: SimTime,
-        dest: NodeId,
-        resp: LocalResponse,
-        out: &mut Outbox<OverlayMsg<MindPayload>>,
-    ) {
-        if dest == self.id {
-            if let Some(t) = self.queries.get_mut(&resp.query_id) {
-                t.on_response(now, resp.version, resp.code, self.id, resp.records);
-            }
-        } else {
-            out.send(
-                dest,
-                OverlayMsg::Direct {
-                    payload: MindPayload::QueryResponse {
-                        query_id: resp.query_id,
-                        version: resp.version,
-                        code: resp.code,
-                        responder: self.id,
-                        records: Self::to_wire(&resp.records),
-                    },
-                },
-            );
-        }
-    }
-
-    fn release_batch(
-        &mut self,
-        now: SimTime,
-        batch_id: u64,
-        out: &mut Outbox<OverlayMsg<MindPayload>>,
-    ) {
-        if let Some(result) = self.pending_batches.remove(&batch_id) {
-            for sent_at in result.insert_sent_ats {
-                self.metrics
-                    .insert_latencies
-                    .push((now, now.saturating_sub(sent_at)));
-            }
-            for (dest, resp) in result.responses {
-                self.deliver_response(now, dest, resp, out);
-            }
-            for (dest, payload) in result.sends {
-                if dest == self.id {
-                    // Loopback shortcut (e.g. responding to our own query).
-                    self.on_direct(now, self.id, payload, out);
-                } else {
-                    // Replica pushes leave through here exactly once — arm
-                    // their ack/retry tracking at actual transmission time.
-                    if let MindPayload::Replica { op_id, .. } = &payload {
-                        if *op_id != 0 {
-                            self.track_op(*op_id, OpTarget::Direct(dest), payload.clone(), out);
-                        }
-                    }
-                    out.send(dest, OverlayMsg::Direct { payload });
-                }
-            }
-        }
-        if self.dac_queue.is_empty() {
-            self.dac_busy = false;
-        } else {
-            out.set_timer(1, token(KIND_DAC_TICK, 0));
-        }
-    }
-
-    /// Pending (unprocessed) DAC requests — the Figure 11 hotspot signal.
-    pub fn dac_pending(&self) -> usize {
-        self.dac_queue.len()
     }
 }
 
@@ -1642,9 +735,7 @@ impl NodeLogic for MindNode {
         if self.overlay.on_start(now, out) {
             self.reset_after_restart();
         }
-        if self.cfg.anti_entropy_interval > 0 {
-            out.set_timer(self.cfg.anti_entropy_interval, token(KIND_ANTI_ENTROPY, 0));
-        }
+        self.arm_anti_entropy(out);
     }
 
     fn on_message(
@@ -1668,38 +759,12 @@ impl NodeLogic for MindNode {
         }
         let kind = (tok >> 48) & 0xFF;
         let arg = tok & 0xFFFF_FFFF_FFFF;
-        match kind {
-            KIND_DAC_TICK => self.dac_tick(now, out),
-            KIND_BATCH => self.release_batch(now, arg, out),
-            KIND_QUERY_DEADLINE => {
-                self.query_meta.remove(&arg);
-                if let Some(t) = self.queries.get_mut(&arg) {
-                    t.on_deadline();
-                }
-            }
-            KIND_COLLECT => self.finish_collection(arg, out),
-            KIND_OP_RETRY => self.retry_op(now, arg, out),
-            KIND_QUERY_RETRY => self.retry_query(now, arg, out),
-            KIND_ANTI_ENTROPY => {
-                // Periodically reconcile the index/trigger catalog with one
-                // neighbor (round-robin): heals CreateIndex/NewVersion/
-                // CreateTrigger floods lost to the network, since
-                // CatalogResponse installation is idempotent.
-                let peers = self.overlay.all_neighbor_targets();
-                if !peers.is_empty() {
-                    let pick = peers[(self.anti_entropy_rr as usize) % peers.len()];
-                    self.anti_entropy_rr += 1;
-                    out.send(
-                        pick,
-                        OverlayMsg::Direct {
-                            payload: MindPayload::CatalogRequest,
-                        },
-                    );
-                }
-                out.set_timer(self.cfg.anti_entropy_interval, token(KIND_ANTI_ENTROPY, 0));
-            }
-            _ => {}
-        }
+        // Each protocol concern claims its own timer kinds; the chain
+        // stops at the first taker.
+        let _ = self.handle_dac_timer(now, kind, arg, out)
+            || self.handle_query_timer(now, kind, arg, out)
+            || self.handle_rollover_timer(kind, arg, out)
+            || self.handle_reliability_timer(now, kind, arg, out);
     }
 }
 
@@ -1710,13 +775,25 @@ mod tests {
     #[test]
     fn token_scheme_disjoint_from_overlay() {
         // Overlay tokens are tagged 0xA5; ours 0xB6.
-        let t = token(KIND_DAC_TICK, 0);
+        let t = token(crate::dac_drive::KIND_DAC_TICK, 0);
         assert_eq!(t >> 56, 0xB6);
     }
 
     #[test]
-    fn collector_code_is_all_zeros() {
-        let c = collector_code();
-        assert!(c.iter_bits().all(|b| !b));
+    fn timer_kinds_are_disjoint_across_modules() {
+        let kinds = [
+            crate::dac_drive::KIND_DAC_TICK,
+            crate::dac_drive::KIND_BATCH,
+            crate::query_track::KIND_QUERY_DEADLINE,
+            crate::query_track::KIND_QUERY_RETRY,
+            crate::rollover::KIND_COLLECT,
+            crate::reliability::KIND_OP_RETRY, // lint:allow(retrytimer) disjointness check, not a use
+            crate::reliability::KIND_ANTI_ENTROPY, // lint:allow(retrytimer) disjointness check, not a use
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in kinds.iter().skip(i + 1) {
+                assert_ne!(a, b, "timer kinds collide");
+            }
+        }
     }
 }

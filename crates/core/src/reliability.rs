@@ -1,0 +1,342 @@
+//! Reliable delivery (DESIGN.md §8) and bounded dedup state (§10).
+//!
+//! Every tracked `Insert`/`Replica` carries an *op id* (origin node ∥
+//! 24-bit counter) and is retried with exponential backoff until acked or
+//! the retry budget runs out. Receivers remember applied op ids so a
+//! retried copy is re-acked instead of double-stored.
+//!
+//! The remembered set is **bounded** by a horizon protocol: every outgoing
+//! op also carries the origin's *settled horizon* — the counter below
+//! which all of its ops are acked or abandoned. A receiver keeps, per
+//! origin, only the horizon and the applied counters above it, so its
+//! dedup memory is O(origin's in-flight ops), not O(ops ever applied).
+//!
+//! This module owns the retry-class timers: `set_timer` with
+//! `KIND_OP_RETRY` must not appear anywhere else in `mind-core` (enforced
+//! by the workspace lint wall).
+
+use crate::messages::MindPayload;
+use crate::node::{token, MindNode, Out};
+use mind_overlay::OverlayMsg;
+use mind_types::node::{SimTime, TimerId};
+use mind_types::{BitCode, NodeId};
+use std::collections::{HashMap, HashSet};
+
+pub(crate) const KIND_OP_RETRY: u64 = 4;
+pub(crate) const KIND_ANTI_ENTROPY: u64 = 6;
+
+/// Op-id counters occupy the low 24 bits; the origin node id sits above.
+const OP_COUNTER_MASK: u64 = 0xFF_FFFF;
+
+fn op_origin(op_id: u64) -> u64 {
+    op_id >> 24
+}
+
+fn op_counter(op_id: u64) -> u64 {
+    op_id & OP_COUNTER_MASK
+}
+
+/// Where an unacked operation goes when re-sent.
+#[derive(Debug, Clone)]
+pub(crate) enum OpTarget {
+    /// Re-route through the overlay toward a region code (inserts).
+    Routed(BitCode),
+    /// Re-send directly to a node (replica pushes).
+    Direct(NodeId),
+}
+
+/// An insert/replica awaiting its ack.
+#[derive(Debug)]
+pub(crate) struct PendingOp {
+    target: OpTarget,
+    payload: MindPayload,
+    attempts: u32,
+    /// The armed retry timer; cancelled when the ack lands.
+    timer: TimerId,
+}
+
+/// Applied-op memory of one origin: a settled horizon plus the applied
+/// counters above it.
+#[derive(Debug, Default)]
+struct OriginSeen {
+    horizon: u64,
+    recent: HashSet<u64>,
+}
+
+/// The receiver side of op dedup, bounded via the horizon protocol.
+#[derive(Debug, Default)]
+pub(crate) struct SeenOps {
+    by_origin: HashMap<u64, OriginSeen>,
+}
+
+impl SeenOps {
+    /// Advances an origin's settled horizon (monotonic) and drops the
+    /// applied counters it now covers.
+    pub(crate) fn observe_horizon(&mut self, op_id: u64, horizon: u64) {
+        let o = self.by_origin.entry(op_origin(op_id)).or_default();
+        if horizon > o.horizon {
+            o.horizon = horizon;
+            o.recent.retain(|&c| c > horizon);
+        }
+    }
+
+    /// `true` if this op was already applied here — either remembered
+    /// directly, or settled at its origin (at or below the horizon: its
+    /// origin stopped retrying it, so a fresh copy can only be a stale
+    /// duplicate still in flight).
+    pub(crate) fn contains(&self, op_id: u64) -> bool {
+        self.by_origin.get(&op_origin(op_id)).is_some_and(|o| {
+            op_counter(op_id) <= o.horizon || o.recent.contains(&op_counter(op_id))
+        })
+    }
+
+    /// Records an applied op.
+    pub(crate) fn insert(&mut self, op_id: u64) {
+        let o = self.by_origin.entry(op_origin(op_id)).or_default();
+        if op_counter(op_id) > o.horizon {
+            o.recent.insert(op_counter(op_id));
+        }
+    }
+
+    /// Number of individually remembered op counters (the bounded part).
+    pub(crate) fn len(&self) -> usize {
+        self.by_origin.values().map(|o| o.recent.len()).sum()
+    }
+
+    /// Forgets everything (crash recovery: the rows died with the stores).
+    pub(crate) fn clear(&mut self) {
+        self.by_origin.clear();
+    }
+}
+
+impl MindNode {
+    /// A fresh idempotency key, unique per origin (node id ∥ counter,
+    /// within the 48-bit timer-argument budget). When the ack/retry
+    /// machinery is on, the counter is reserved as live until the op
+    /// settles, pinning the horizon below it.
+    pub(crate) fn next_op_id(&mut self) -> u64 {
+        // Pre-increment: the id 0 is reserved as the "no tracking" sentinel
+        // (node 0's op 0 would otherwise collide with it and lose dedup).
+        self.op_seq += 1;
+        let id =
+            (((self.id().0 as u64) << 24) | (self.op_seq & OP_COUNTER_MASK)) & 0xFFFF_FFFF_FFFF;
+        if self.cfg.retry_timeout > 0 {
+            self.live_op_counters.insert(op_counter(id));
+        }
+        id
+    }
+
+    /// This node's settled-op horizon, stamped into outgoing ops: every
+    /// counter at or below it is acked or abandoned. With retries off no
+    /// op ever settles, so nothing is claimed.
+    pub(crate) fn op_horizon(&self) -> u64 {
+        if self.cfg.retry_timeout == 0 {
+            return 0;
+        }
+        match self.live_op_counters.first() {
+            Some(&min) => min - 1,
+            None => self.op_seq & OP_COUNTER_MASK,
+        }
+    }
+
+    /// Re-stamps the horizon carried by an op about to be (re)sent.
+    pub(crate) fn stamp_horizon(payload: &mut MindPayload, horizon: u64) {
+        if let MindPayload::Insert { horizon: h, .. } | MindPayload::Replica { horizon: h, .. } =
+            payload
+        {
+            *h = horizon;
+        }
+    }
+
+    /// Marks an op settled (acked or abandoned), letting the horizon
+    /// advance past it.
+    fn settle_op(&mut self, op_id: u64) {
+        self.live_op_counters.remove(&op_counter(op_id));
+    }
+
+    /// Registers an operation for ack tracking and arms its retry timer.
+    pub(crate) fn track_op(
+        &mut self,
+        op_id: u64,
+        target: OpTarget,
+        payload: MindPayload,
+        out: &mut Out,
+    ) {
+        if self.cfg.retry_timeout == 0 {
+            return;
+        }
+        let timer = out.set_timer(self.cfg.retry_timeout, token(KIND_OP_RETRY, op_id));
+        self.pending_ops.insert(
+            op_id,
+            PendingOp {
+                target,
+                payload,
+                attempts: 0,
+                timer,
+            },
+        );
+    }
+
+    /// Re-sends an unacked operation, with exponential backoff, until the
+    /// retry budget runs out (then the op is abandoned and settles).
+    fn retry_op(&mut self, now: SimTime, op_id: u64, out: &mut Out) {
+        let horizon = self.op_horizon();
+        let max_retries = self.cfg.max_retries;
+        let retry_timeout = self.cfg.retry_timeout;
+        let Some(op) = self.pending_ops.get_mut(&op_id) else {
+            return; // acked in the meantime
+        };
+        if op.attempts >= max_retries {
+            self.pending_ops.remove(&op_id);
+            self.settle_op(op_id);
+            self.metrics.retries_exhausted += 1;
+            return;
+        }
+        op.attempts += 1;
+        let attempts = op.attempts;
+        // Re-arm before re-sending, so a synchronous local ack on the
+        // resend path cancels the *new* timer.
+        op.timer = out.set_timer(
+            retry_timeout << attempts.min(6),
+            token(KIND_OP_RETRY, op_id),
+        );
+        let mut payload = op.payload.clone();
+        Self::stamp_horizon(&mut payload, horizon);
+        let target = op.target.clone();
+        self.metrics.retries_sent += 1;
+        match target {
+            OpTarget::Routed(code) => {
+                let events = self.overlay.route(now, code, payload, out);
+                self.process_events(now, events, out);
+            }
+            OpTarget::Direct(node) => out.send(node, OverlayMsg::Direct { payload }),
+        }
+    }
+
+    /// Handles a received (or loopback) ack: settles the op and cancels
+    /// its pending retry timer.
+    pub(crate) fn on_ack(&mut self, op_id: u64, out: &mut Out) {
+        if let Some(op) = self.pending_ops.remove(&op_id) {
+            self.settle_op(op_id);
+            self.metrics.acks_received += 1;
+            out.cancel_timer(op.timer);
+        }
+    }
+
+    /// Queues an `Ack` for direct delivery (loopback-safe).
+    pub(crate) fn send_ack(&mut self, to: NodeId, op_id: u64, out: &mut Out) {
+        if to == self.id() {
+            self.on_ack(op_id, out);
+        } else {
+            out.send(
+                to,
+                OverlayMsg::Direct {
+                    payload: MindPayload::Ack { op_id },
+                },
+            );
+        }
+    }
+
+    /// Arms the recurring anti-entropy timer (called from `on_start`).
+    pub(crate) fn arm_anti_entropy(&mut self, out: &mut Out) {
+        if self.cfg.anti_entropy_interval > 0 {
+            out.set_timer(self.cfg.anti_entropy_interval, token(KIND_ANTI_ENTROPY, 0));
+        }
+    }
+
+    /// Periodically reconciles the index/trigger catalog with one neighbor
+    /// (round-robin): heals CreateIndex/NewVersion/CreateTrigger floods
+    /// lost to the network, since CatalogResponse installation is
+    /// idempotent.
+    fn anti_entropy_tick(&mut self, out: &mut Out) {
+        let peers = self.overlay.all_neighbor_targets();
+        if !peers.is_empty() {
+            let pick = peers[(self.anti_entropy_rr as usize) % peers.len()];
+            self.anti_entropy_rr += 1;
+            out.send(
+                pick,
+                OverlayMsg::Direct {
+                    payload: MindPayload::CatalogRequest,
+                },
+            );
+        }
+        self.arm_anti_entropy(out);
+    }
+
+    /// Dedup state size: individually remembered applied-op counters
+    /// across all origins. Bounded by the senders' in-flight ops — the
+    /// chaos suite asserts this stays flat under churn.
+    pub fn seen_ops_len(&self) -> usize {
+        self.seen_ops.len()
+    }
+
+    /// Operations awaiting their ack.
+    pub fn pending_ops_len(&self) -> usize {
+        self.pending_ops.len()
+    }
+
+    /// Handles reliability-class timers; `true` if `kind` was ours.
+    pub(crate) fn handle_reliability_timer(
+        &mut self,
+        now: SimTime,
+        kind: u64,
+        arg: u64,
+        out: &mut Out,
+    ) -> bool {
+        match kind {
+            KIND_OP_RETRY => self.retry_op(now, arg, out),
+            KIND_ANTI_ENTROPY => self.anti_entropy_tick(out),
+            _ => return false,
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(origin: u64, counter: u64) -> u64 {
+        (origin << 24) | counter
+    }
+
+    #[test]
+    fn seen_ops_dedups_and_bounds() {
+        let mut s = SeenOps::default();
+        s.observe_horizon(id(7, 3), 0);
+        assert!(!s.contains(id(7, 3)));
+        s.insert(id(7, 3));
+        s.insert(id(7, 4));
+        assert!(s.contains(id(7, 3)));
+        assert_eq!(s.len(), 2);
+        // Horizon 4 settles both; the memory is reclaimed but the ops
+        // still read as seen.
+        s.observe_horizon(id(7, 5), 4);
+        assert_eq!(s.len(), 0);
+        assert!(s.contains(id(7, 3)));
+        assert!(s.contains(id(7, 4)));
+        assert!(!s.contains(id(7, 5)));
+    }
+
+    #[test]
+    fn horizons_are_per_origin_and_monotonic() {
+        let mut s = SeenOps::default();
+        s.observe_horizon(id(1, 9), 8);
+        s.observe_horizon(id(2, 1), 0);
+        assert!(s.contains(id(1, 5)));
+        assert!(!s.contains(id(2, 5)));
+        // A stale (lower) horizon never regresses.
+        s.observe_horizon(id(1, 9), 3);
+        assert!(s.contains(id(1, 8)));
+        // Counters above the horizon are only seen if remembered.
+        s.insert(id(1, 12));
+        assert!(s.contains(id(1, 12)));
+        assert!(!s.contains(id(1, 11)));
+    }
+
+    #[test]
+    fn unknown_origin_is_never_seen() {
+        let s = SeenOps::default();
+        assert!(!s.contains(id(42, 1)));
+    }
+}

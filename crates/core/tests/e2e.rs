@@ -316,7 +316,7 @@ fn daily_histogram_collection_installs_new_version() {
         .query_and_wait(NodeId(3), "flows", q, vec![])
         .unwrap();
     assert!(o.complete);
-    let expected = (86_000..86_400).len() as usize; // day-0 records with ts in [86000, 86400): i%86400 in that range for i in 0..200 -> none
+    let expected = (86_000..86_400).len(); // day-0 records with ts in [86000, 86400): i%86400 in that range for i in 0..200 -> none
     let _ = expected;
     // All 100 day-1 records have ts in [86400, 86500) ⊂ [86000, 87000].
     assert_eq!(o.records.len(), 100);

@@ -22,7 +22,7 @@ use mind_types::NodeId;
 use parking_lot::Mutex;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -177,14 +177,16 @@ impl<L: NodeLogic> Drop for TcpHost<L> {
 #[derive(PartialEq, Eq)]
 struct TimerEntry {
     deadline: SimTime,
-    seq: u64,
+    /// Raw [`mind_types::TimerId`]; monotonic per host, so it doubles as
+    /// the FIFO tie-breaker for equal deadlines.
+    id: u64,
     token: u64,
 }
 
 impl Ord for TimerEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap via reversed compare.
-        (other.deadline, other.seq).cmp(&(self.deadline, self.seq))
+        (other.deadline, other.id).cmp(&(self.deadline, self.id))
     }
 }
 impl PartialOrd for TimerEntry {
@@ -250,44 +252,57 @@ where
         streams: Mutex::new(HashMap::new()),
     };
     let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
-    let mut timer_seq = 0u64;
+    // Pending (un-cancelled) timer ids. Cancellation removes the id here;
+    // the heap entry is discarded lazily when its deadline comes up.
+    let mut live: HashSet<u64> = HashSet::new();
+    // Timer-id counter, threaded through every outbox so ids stay unique
+    // for the lifetime of the host.
+    let mut timer_seq = 1u64;
 
     let flush = |out: &mut Outbox<L::Msg>,
                  timers: &mut BinaryHeap<TimerEntry>,
+                 live: &mut HashSet<u64>,
                  timer_seq: &mut u64,
                  t: SimTime| {
-        let (sends, new_timers) = out.drain();
-        for (to, msg) in sends {
+        let fx = out.drain();
+        *timer_seq = fx.next_timer_id;
+        for (to, msg) in fx.sends {
             if let Ok(frame) = to_bytes(&(id, msg)) {
                 conns.send(to, &frame);
             }
         }
-        for (delay, token) in new_timers {
+        for (delay, token, tid) in fx.timers {
+            live.insert(tid.0);
             timers.push(TimerEntry {
                 deadline: t + delay,
-                seq: *timer_seq,
+                id: tid.0,
                 token,
             });
-            *timer_seq += 1;
+        }
+        for tid in fx.cancels {
+            live.remove(&tid.0);
         }
     };
 
-    let mut out = Outbox::new();
+    let mut out = Outbox::with_timer_seq(timer_seq);
     let t0 = now();
     logic.on_start(t0, &mut out);
-    flush(&mut out, &mut timers, &mut timer_seq, t0);
+    flush(&mut out, &mut timers, &mut live, &mut timer_seq, t0);
 
     loop {
         if stop.load(Ordering::Relaxed) {
             break;
         }
-        // Fire due timers.
+        // Fire due timers, skipping cancelled ones.
         let t = now();
         while timers.peek().is_some_and(|e| e.deadline <= t) {
             let Some(e) = timers.pop() else { break };
-            let mut out = Outbox::new();
+            if !live.remove(&e.id) {
+                continue; // cancelled while pending
+            }
+            let mut out = Outbox::with_timer_seq(timer_seq);
             logic.on_timer(now(), e.token, &mut out);
-            flush(&mut out, &mut timers, &mut timer_seq, now());
+            flush(&mut out, &mut timers, &mut live, &mut timer_seq, now());
         }
         // Wait for the next command or timer deadline.
         let wait = timers
@@ -296,14 +311,14 @@ where
             .unwrap_or(Duration::from_millis(100));
         match cmd_rx.recv_timeout(wait.min(Duration::from_millis(250))) {
             Ok(Cmd::Inbound(from, msg)) => {
-                let mut out = Outbox::new();
+                let mut out = Outbox::with_timer_seq(timer_seq);
                 logic.on_message(now(), from, msg, &mut out);
-                flush(&mut out, &mut timers, &mut timer_seq, now());
+                flush(&mut out, &mut timers, &mut live, &mut timer_seq, now());
             }
             Ok(Cmd::Invoke(f)) => {
-                let mut out = Outbox::new();
+                let mut out = Outbox::with_timer_seq(timer_seq);
                 f(&mut logic, now(), &mut out);
-                flush(&mut out, &mut timers, &mut timer_seq, now());
+                flush(&mut out, &mut timers, &mut live, &mut timer_seq, now());
             }
             Ok(Cmd::Shutdown) => break,
             Err(RecvTimeoutError::Timeout) => {}

@@ -649,6 +649,7 @@ mod tests {
                 origin: NodeId(7),
                 sent_at: 123_456,
                 op_id: 99,
+                horizon: 42,
             },
         };
         let bytes = to_bytes(&msg).unwrap();
@@ -665,6 +666,7 @@ mod tests {
                         origin,
                         sent_at,
                         op_id,
+                        horizon,
                     },
             } => {
                 assert_eq!(target.to_string(), "010110");
@@ -675,6 +677,7 @@ mod tests {
                 assert_eq!(origin, NodeId(7));
                 assert_eq!(sent_at, 123_456);
                 assert_eq!(op_id, 99);
+                assert_eq!(horizon, 42);
             }
             other => panic!("wrong decode: {other:?}"),
         }

@@ -52,15 +52,17 @@ fn arb_payload() -> impl Strategy<Value = MindPayload> {
         any::<u32>(),
         any::<u64>(),
         any::<u64>(),
+        any::<u64>(),
     )
         .prop_map(
-            |(index, version, record, origin, sent_at, op_id)| MindPayload::Insert {
+            |(index, version, record, origin, sent_at, op_id, horizon)| MindPayload::Insert {
                 index,
                 version,
                 record,
                 origin: NodeId(origin),
                 sent_at,
                 op_id,
+                horizon,
             },
         );
     let subquery = (

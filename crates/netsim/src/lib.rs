@@ -26,6 +26,7 @@
 
 pub mod fault;
 pub mod latency;
+mod scheduler;
 pub mod stats;
 pub mod topology;
 pub mod world;

@@ -32,6 +32,9 @@ pub struct SimStats {
     pub delivered: u64,
     /// Messages dropped because the destination was dead on arrival.
     pub dropped_dead: u64,
+    /// Messages addressed to a [`NodeId`] outside the world — a failed
+    /// connection attempt, not a dead-host drop.
+    pub dropped_unknown: u64,
     /// Messages lost by the fault plan (global or per-link loss draws).
     pub dropped_fault: u64,
     /// Extra copies injected by the fault plan's duplication draws.
@@ -40,6 +43,14 @@ pub struct SimStats {
     pub partitioned: u64,
     /// Timer callbacks fired.
     pub timers_fired: u64,
+    /// Timers retired via `cancel_timer` before they could fire.
+    pub timers_cancelled: u64,
+    /// Events that arrived at a busy host and were parked in its backlog
+    /// (each parked event is counted exactly once).
+    pub requeued_busy: u64,
+    /// High-water mark of pending events (scheduled + parked in busy-host
+    /// backlogs) — bounded-memory evidence for long chaos runs.
+    pub pending_events_peak: u64,
     /// Counters per directed link `(from, to)`.
     pub per_link: HashMap<(NodeId, NodeId), LinkStats>,
     /// Links for which full delay traces are recorded.
@@ -54,16 +65,22 @@ pub type NetStats = SimStats;
 
 impl SimStats {
     /// The scalar counters as one comparable tuple `(delivered,
-    /// dropped_dead, dropped_fault, duplicated, partitioned,
-    /// timers_fired)` — handy for determinism assertions.
-    pub fn counters(&self) -> (u64, u64, u64, u64, u64, u64) {
+    /// dropped_dead, dropped_unknown, dropped_fault, duplicated,
+    /// partitioned, timers_fired, timers_cancelled, requeued_busy,
+    /// pending_events_peak)` — handy for determinism assertions.
+    #[allow(clippy::type_complexity)]
+    pub fn counters(&self) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, u64) {
         (
             self.delivered,
             self.dropped_dead,
+            self.dropped_unknown,
             self.dropped_fault,
             self.duplicated,
             self.partitioned,
             self.timers_fired,
+            self.timers_cancelled,
+            self.requeued_busy,
+            self.pending_events_peak,
         )
     }
 

@@ -2,14 +2,15 @@
 
 use crate::fault::FaultPlan;
 use crate::latency::LatencyModel;
+use crate::scheduler::{EventRef, Scheduler};
 use crate::stats::SimStats;
 use crate::topology::Site;
-use mind_types::node::{NodeLogic, Outbox, SimTime, MILLIS};
+use mind_types::node::{NodeLogic, Outbox, SimTime, TimerId, MILLIS};
 use mind_types::{NodeId, WireSize};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
 
 /// Global simulation parameters.
 #[derive(Debug, Clone)]
@@ -47,55 +48,67 @@ impl Default for SimConfig {
     }
 }
 
+/// A scheduled occurrence at one node. Message payloads are owned by the
+/// scheduler's event arena, behind an `Rc` so the fault plane's duplicate
+/// deliveries share one allocation instead of deep-cloning the message.
 #[derive(Debug)]
 enum EventKind<M> {
-    Deliver { from: NodeId, msg: M, bytes: usize },
-    Timer { token: u64, incarnation: u32 },
+    Deliver {
+        from: NodeId,
+        msg: Rc<M>,
+    },
+    Timer {
+        token: u64,
+        id: TimerId,
+        incarnation: u32,
+    },
     Crash,
     Revive,
+    /// Internal: the host CPU frees up — drain its busy backlog.
+    Resume,
 }
 
-struct Event<M> {
-    time: SimTime,
-    seq: u64,
-    node: NodeId,
-    kind: EventKind<M>,
+/// An event that reached a busy host and is waiting for its CPU. Kept in
+/// a per-host FIFO instead of being re-pushed into the global queue once
+/// per service completion (the old scheme was O(backlog²) heap churn).
+#[derive(Debug)]
+enum Waiting<M> {
+    Deliver {
+        from: NodeId,
+        msg: Rc<M>,
+    },
+    Timer {
+        token: u64,
+        id: TimerId,
+        incarnation: u32,
+    },
 }
 
-// Manual ord on (time, seq) so the heap never compares messages.
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct Link {
-    /// The link is unusable during `[outage.0, outage.1)`.
-    outage: Option<(SimTime, SimTime)>,
+    /// The link is unusable during any `[start, end)` window in the list.
+    outages: Vec<(SimTime, SimTime)>,
     /// When the link's transmitter is next idle (single-server queue).
     next_free: SimTime,
 }
 
-struct Host<L> {
+struct Host<L: NodeLogic> {
     logic: L,
     site: Site,
     alive: bool,
-    /// Bumped on every revive; stale timers are dropped by comparing this.
+    /// Bumped on every revive; a stale incarnation's timers never fire.
     incarnation: u32,
-    /// The host CPU is busy until this instant (deliveries requeue).
+    /// The host CPU is busy until this instant (arrivals join `backlog`).
     busy_until: SimTime,
+    /// Next [`TimerId`] this node's outboxes will hand out.
+    timer_seq: u64,
+    /// Pending timers by raw [`TimerId`]: the cancellation slot map.
+    /// Entries are removed on fire, on cancel, and wholesale on crash.
+    timers: HashMap<u64, EventRef>,
+    /// Events that arrived while the CPU was busy, in arrival order.
+    backlog: VecDeque<Waiting<L::Msg>>,
+    /// Whether a `Resume` event is already scheduled for this host.
+    resume_armed: bool,
 }
 
 /// The deterministic discrete-event simulator driving a set of
@@ -104,9 +117,9 @@ pub struct World<L: NodeLogic> {
     cfg: SimConfig,
     hosts: Vec<Host<L>>,
     links: HashMap<(NodeId, NodeId), Link>,
-    queue: BinaryHeap<Reverse<Event<L::Msg>>>,
+    queue: Scheduler<(NodeId, EventKind<L::Msg>)>,
+    backlog_total: usize,
     now: SimTime,
-    seq: u64,
     rng: StdRng,
     /// Counters and traces; public for harness inspection.
     pub stats: SimStats,
@@ -124,9 +137,9 @@ where
             cfg,
             hosts: Vec::new(),
             links: HashMap::new(),
-            queue: BinaryHeap::new(),
+            queue: Scheduler::new(),
+            backlog_total: 0,
             now: 0,
-            seq: 0,
             stats: SimStats::default(),
         }
     }
@@ -164,8 +177,12 @@ where
             alive: true,
             incarnation: 0,
             busy_until: self.now,
+            timer_seq: 1,
+            timers: HashMap::new(),
+            backlog: VecDeque::new(),
+            resume_armed: false,
         });
-        let mut out = Outbox::new();
+        let mut out = self.outbox_for(id);
         self.hosts[id.0 as usize].logic.on_start(self.now, &mut out);
         self.flush_outbox(id, self.now, out);
         // Apply the fault plan's crash schedule for this node now that it
@@ -211,7 +228,7 @@ where
         id: NodeId,
         f: impl FnOnce(&mut L, SimTime, &mut Outbox<L::Msg>) -> R,
     ) -> R {
-        let mut out = Outbox::new();
+        let mut out = self.outbox_for(id);
         let now = self.now;
         let r = f(&mut self.hosts[id.0 as usize].logic, now, &mut out);
         self.flush_outbox(id, now, out);
@@ -219,9 +236,10 @@ where
     }
 
     /// Crashes a node immediately: undelivered and future messages to it
-    /// are dropped, its timers are cancelled.
+    /// are dropped, its pending timers are cancelled and freed, and its
+    /// busy backlog is discarded.
     pub fn crash_node(&mut self, id: NodeId) {
-        self.hosts[id.0 as usize].alive = false;
+        self.crash_now(id);
     }
 
     /// Schedules a crash.
@@ -231,16 +249,7 @@ where
 
     /// Revives a dead node: bumps its incarnation and replays `on_start`.
     pub fn revive_node(&mut self, id: NodeId) {
-        let host = &mut self.hosts[id.0 as usize];
-        if host.alive {
-            return;
-        }
-        host.alive = true;
-        host.incarnation += 1;
-        host.busy_until = self.now;
-        let mut out = Outbox::new();
-        host.logic.on_start(self.now, &mut out);
-        self.flush_outbox(id, self.now, out);
+        self.revive_now(id);
     }
 
     /// Schedules a revive.
@@ -251,75 +260,80 @@ where
     /// Makes the (bidirectional) link between `a` and `b` unusable during
     /// `[at, at + duration)` — messages sent in the window queue until it
     /// ends, modeling TCP retransmission through a transient outage.
+    /// Windows accumulate: scheduling a second outage on the same link
+    /// does not clobber the first.
     pub fn schedule_link_outage(&mut self, a: NodeId, b: NodeId, at: SimTime, duration: SimTime) {
         for key in [(a, b), (b, a)] {
-            self.links.entry(key).or_default().outage = Some((at, at + duration));
+            self.links
+                .entry(key)
+                .or_default()
+                .outages
+                .push((at, at + duration));
         }
     }
 
     /// Processes a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some((time, _seq, (node, kind))) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.time >= self.now, "time went backwards");
+        debug_assert!(time >= self.now, "time went backwards");
         #[cfg(feature = "audit")]
         assert!(
-            ev.time >= self.now,
+            time >= self.now,
             "audit: event clock regression: popped t={} while now={}",
-            ev.time,
+            time,
             self.now
         );
-        self.now = ev.time;
-        let idx = ev.node.0 as usize;
-        match ev.kind {
-            EventKind::Crash => self.hosts[idx].alive = false,
-            EventKind::Revive => {
-                // Inline revive (can't call &mut self method while ev moved).
-                if !self.hosts[idx].alive {
-                    self.hosts[idx].alive = true;
-                    self.hosts[idx].incarnation += 1;
-                    self.hosts[idx].busy_until = self.now;
-                    let mut out = Outbox::new();
-                    self.hosts[idx].logic.on_start(self.now, &mut out);
-                    self.flush_outbox(ev.node, self.now, out);
-                }
+        self.now = time;
+        let idx = node.0 as usize;
+        match kind {
+            EventKind::Crash => self.crash_now(node),
+            EventKind::Revive => self.revive_now(node),
+            EventKind::Resume => {
+                self.hosts[idx].resume_armed = false;
+                self.drain_backlog(node);
             }
-            EventKind::Deliver { from, msg, bytes } => {
+            EventKind::Deliver { from, msg } => {
                 if !self.hosts[idx].alive {
                     self.stats.dropped_dead += 1;
-                    return true;
+                } else if self.hosts[idx].busy_until > self.now {
+                    // Busy host: park the delivery in the host's FIFO until
+                    // the CPU frees up.
+                    self.stats.requeued_busy += 1;
+                    self.hosts[idx]
+                        .backlog
+                        .push_back(Waiting::Deliver { from, msg });
+                    self.backlog_total += 1;
+                    self.note_pending();
+                    self.arm_resume(node);
+                } else {
+                    self.service_message(node, from, msg);
                 }
-                // Busy host: requeue the delivery for when the CPU frees up.
-                if self.hosts[idx].busy_until > self.now {
-                    let at = self.hosts[idx].busy_until;
-                    self.push_event(at, ev.node, EventKind::Deliver { from, msg, bytes });
-                    return true;
-                }
-                let service =
-                    (self.cfg.node_service as f64 * self.hosts[idx].site.load_factor) as SimTime;
-                self.hosts[idx].busy_until = self.now + service;
-                self.stats.delivered += 1;
-                let mut out = Outbox::new();
-                self.hosts[idx]
-                    .logic
-                    .on_message(self.now, from, msg, &mut out);
-                // Effects leave the host once the CPU is done with the message.
-                self.flush_outbox(ev.node, self.now + service, out);
             }
-            EventKind::Timer { token, incarnation } => {
+            EventKind::Timer {
+                token,
+                id,
+                incarnation,
+            } => {
                 if !self.hosts[idx].alive || self.hosts[idx].incarnation != incarnation {
-                    return true;
+                    // Armed by a dead host or a previous incarnation: drop,
+                    // and retire any slot-map entry it left behind.
+                    self.hosts[idx].timers.remove(&id.0);
+                } else if self.hosts[idx].busy_until > self.now {
+                    self.stats.requeued_busy += 1;
+                    self.hosts[idx].backlog.push_back(Waiting::Timer {
+                        token,
+                        id,
+                        incarnation,
+                    });
+                    self.backlog_total += 1;
+                    self.note_pending();
+                    self.arm_resume(node);
+                } else {
+                    self.hosts[idx].timers.remove(&id.0);
+                    self.fire_timer(node, token);
                 }
-                if self.hosts[idx].busy_until > self.now {
-                    let at = self.hosts[idx].busy_until;
-                    self.push_event(at, ev.node, EventKind::Timer { token, incarnation });
-                    return true;
-                }
-                self.stats.timers_fired += 1;
-                let mut out = Outbox::new();
-                self.hosts[idx].logic.on_timer(self.now, token, &mut out);
-                self.flush_outbox(ev.node, self.now, out);
             }
         }
         true
@@ -327,8 +341,8 @@ where
 
     /// Runs until simulated time reaches `t` (or the queue drains).
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.time > t {
+        while let Some(next) = self.queue.peek_time() {
+            if next > t {
                 break;
             }
             self.step();
@@ -341,12 +355,32 @@ where
         while self.now <= limit && self.step() {}
     }
 
-    /// Number of pending events (diagnostics).
+    /// Number of pending events — scheduled plus parked in busy-host
+    /// backlogs (diagnostics).
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.backlog_total
     }
 
-    fn push_event(&mut self, time: SimTime, node: NodeId, kind: EventKind<L::Msg>) {
+    /// Events parked in busy-host backlogs alone (diagnostics): the
+    /// `pending_events` share that is CPU contention rather than
+    /// scheduled future work.
+    pub fn backlog_len(&self) -> usize {
+        self.backlog_total
+    }
+
+    /// An outbox whose timer ids continue this node's sequence.
+    fn outbox_for(&self, id: NodeId) -> Outbox<L::Msg> {
+        Outbox::with_timer_seq(self.hosts[id.0 as usize].timer_seq)
+    }
+
+    fn note_pending(&mut self) {
+        let p = (self.queue.len() + self.backlog_total) as u64;
+        if p > self.stats.pending_events_peak {
+            self.stats.pending_events_peak = p;
+        }
+    }
+
+    fn push_event(&mut self, time: SimTime, node: NodeId, kind: EventKind<L::Msg>) -> EventRef {
         debug_assert!(time >= self.now, "scheduling into the past");
         #[cfg(feature = "audit")]
         assert!(
@@ -355,14 +389,132 @@ where
             time,
             self.now
         );
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Event {
-            time,
-            seq,
-            node,
-            kind,
-        }));
+        let r = self.queue.insert(time, (node, kind));
+        self.note_pending();
+        r
+    }
+
+    /// Immediate crash: mark dead, free every pending timer (their arena
+    /// slots are reclaimed on the spot), and discard the busy backlog —
+    /// parked deliveries count as dropped-dead, parked timers die silently.
+    fn crash_now(&mut self, id: NodeId) {
+        let idx = id.0 as usize;
+        self.hosts[idx].alive = false;
+        let timers = std::mem::take(&mut self.hosts[idx].timers);
+        for (_, r) in timers {
+            let _ = self.queue.cancel(r);
+        }
+        let backlog = std::mem::take(&mut self.hosts[idx].backlog);
+        self.backlog_total -= backlog.len();
+        for item in backlog {
+            if matches!(item, Waiting::Deliver { .. }) {
+                self.stats.dropped_dead += 1;
+            }
+        }
+    }
+
+    /// Immediate revive (no-op on a live host).
+    fn revive_now(&mut self, id: NodeId) {
+        let idx = id.0 as usize;
+        if self.hosts[idx].alive {
+            return;
+        }
+        self.hosts[idx].alive = true;
+        self.hosts[idx].incarnation += 1;
+        self.hosts[idx].busy_until = self.now;
+        let mut out = self.outbox_for(id);
+        self.hosts[idx].logic.on_start(self.now, &mut out);
+        self.flush_outbox(id, self.now, out);
+    }
+
+    /// Ensures a `Resume` event is scheduled for when the host frees up.
+    fn arm_resume(&mut self, id: NodeId) {
+        let idx = id.0 as usize;
+        if self.hosts[idx].resume_armed {
+            return;
+        }
+        self.hosts[idx].resume_armed = true;
+        let at = self.hosts[idx].busy_until.max(self.now);
+        self.push_event(at, id, EventKind::Resume);
+    }
+
+    /// Services parked events in arrival order until the backlog empties
+    /// or a delivery occupies the CPU again (then re-arms `Resume`).
+    fn drain_backlog(&mut self, id: NodeId) {
+        let idx = id.0 as usize;
+        if !self.hosts[idx].alive {
+            // Crash already drained it; nothing can have accrued since.
+            return;
+        }
+        loop {
+            if self.hosts[idx].busy_until > self.now {
+                if !self.hosts[idx].backlog.is_empty() {
+                    self.arm_resume(id);
+                }
+                return;
+            }
+            let Some(item) = self.hosts[idx].backlog.pop_front() else {
+                return;
+            };
+            self.backlog_total -= 1;
+            match item {
+                Waiting::Deliver { from, msg } => self.service_message(id, from, msg),
+                Waiting::Timer {
+                    token,
+                    id: timer_id,
+                    incarnation,
+                } => {
+                    // A missing slot-map entry means the timer was
+                    // cancelled while it waited for the CPU.
+                    if self.hosts[idx].incarnation == incarnation
+                        && self.hosts[idx].timers.remove(&timer_id.0).is_some()
+                    {
+                        self.fire_timer(id, token);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delivers one message to a free host, occupying its CPU for the
+    /// service time.
+    fn service_message(&mut self, id: NodeId, from: NodeId, msg: Rc<L::Msg>) {
+        let idx = id.0 as usize;
+        let service = (self.cfg.node_service as f64 * self.hosts[idx].site.load_factor) as SimTime;
+        self.hosts[idx].busy_until = self.now + service;
+        self.stats.delivered += 1;
+        // Sole-owner deliveries (the common case) move the payload out of
+        // the arena without copying; only a still-pending duplicate forces
+        // a clone.
+        let msg = match Rc::try_unwrap(msg) {
+            Ok(m) => m,
+            Err(rc) => (*rc).clone(),
+        };
+        let mut out = self.outbox_for(id);
+        self.hosts[idx]
+            .logic
+            .on_message(self.now, from, msg, &mut out);
+        // Effects leave the host once the CPU is done with the message.
+        self.flush_outbox(id, self.now + service, out);
+    }
+
+    fn fire_timer(&mut self, id: NodeId, token: u64) {
+        self.stats.timers_fired += 1;
+        let mut out = self.outbox_for(id);
+        self.hosts[id.0 as usize]
+            .logic
+            .on_timer(self.now, token, &mut out);
+        self.flush_outbox(id, self.now, out);
+    }
+
+    /// Retires one pending timer of `node`: O(1) via the slot map. If the
+    /// timer is parked in the busy backlog rather than the scheduler,
+    /// removing its map entry is what cancels it there.
+    fn cancel_node_timer(&mut self, node: NodeId, id: TimerId) {
+        if let Some(r) = self.hosts[node.0 as usize].timers.remove(&id.0) {
+            let _ = self.queue.cancel(r);
+            self.stats.timers_cancelled += 1;
+        }
     }
 
     /// One trip through the directed link `from → to`: queuing behind the
@@ -374,9 +526,18 @@ where
     fn link_arrival(&mut self, from: NodeId, to: NodeId, t_emit: SimTime, bytes: usize) -> SimTime {
         let link = self.links.entry((from, to)).or_default();
         let mut start = t_emit.max(link.next_free);
-        if let Some((o_start, o_end)) = link.outage {
-            if start >= o_start && start < o_end {
-                start = o_end;
+        // Skip forward over outage windows until none covers `start`
+        // (leaving one window can land inside another).
+        loop {
+            let mut moved = false;
+            for &(o_start, o_end) in &link.outages {
+                if start >= o_start && start < o_end {
+                    start = o_end;
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
             }
         }
         let serialize =
@@ -409,63 +570,78 @@ where
     /// Routes an outbox's effects into the event queue: sends traverse the
     /// modeled network (queuing + serialization + jittered propagation)
     /// and the fault plane; timers attach to the emitting node's current
-    /// incarnation.
+    /// incarnation; cancellations retire pending timers in O(1).
     fn flush_outbox(&mut self, from: NodeId, t_emit: SimTime, mut out: Outbox<L::Msg>) {
-        let (sends, timers) = out.drain();
-        for (to, msg) in sends {
+        let fx = out.drain();
+        self.hosts[from.0 as usize].timer_seq = fx.next_timer_id;
+        for (to, msg) in fx.sends {
             if to.0 as usize >= self.hosts.len() {
-                // Unknown endpoint: the connection attempt fails (counted
-                // with deliveries to dead hosts).
-                self.stats.dropped_dead += 1;
+                // Unknown endpoint: the connection attempt fails.
+                self.stats.dropped_unknown += 1;
                 continue;
             }
             let bytes = msg.wire_size();
-            let arrival = if to == from {
+            if to == from {
                 // Loopback: negligible network cost, never faulted.
-                t_emit + 10
-            } else {
-                // Fault plane. Partition checks are schedule lookups (no
-                // RNG); loss and duplication draw only when their
-                // probability is non-zero so zero-fault streams replay
-                // unchanged.
-                if self.cfg.fault.severed(from, to, t_emit) {
-                    self.stats.partitioned += 1;
-                    continue;
-                }
-                let loss = self.cfg.fault.loss_for(from, to, t_emit);
-                if loss > 0.0 && self.rng.random_range(0.0..1.0) < loss {
-                    self.stats.dropped_fault += 1;
-                    continue;
-                }
-                let arrival = self.link_arrival(from, to, t_emit, bytes);
-                if self.cfg.fault.dup_prob > 0.0
-                    && self.rng.random_range(0.0..1.0) < self.cfg.fault.dup_prob
-                {
-                    // The duplicate re-enters the link queue behind the
-                    // original, so it arrives strictly later.
-                    self.stats.duplicated += 1;
-                    let dup_arrival = self.link_arrival(from, to, t_emit, bytes);
-                    self.push_event(
-                        dup_arrival,
-                        to,
-                        EventKind::Deliver {
-                            from,
-                            msg: msg.clone(),
-                            bytes,
-                        },
-                    );
-                }
-                arrival
-            };
-            self.push_event(arrival, to, EventKind::Deliver { from, msg, bytes });
+                self.push_event(
+                    t_emit + 10,
+                    to,
+                    EventKind::Deliver {
+                        from,
+                        msg: Rc::new(msg),
+                    },
+                );
+                continue;
+            }
+            // Fault plane. Partition checks are schedule lookups (no
+            // RNG); loss and duplication draw only when their
+            // probability is non-zero so zero-fault streams replay
+            // unchanged.
+            if self.cfg.fault.severed(from, to, t_emit) {
+                self.stats.partitioned += 1;
+                continue;
+            }
+            let loss = self.cfg.fault.loss_for(from, to, t_emit);
+            if loss > 0.0 && self.rng.random_range(0.0..1.0) < loss {
+                self.stats.dropped_fault += 1;
+                continue;
+            }
+            let arrival = self.link_arrival(from, to, t_emit, bytes);
+            let msg = Rc::new(msg);
+            if self.cfg.fault.dup_prob > 0.0
+                && self.rng.random_range(0.0..1.0) < self.cfg.fault.dup_prob
+            {
+                // The duplicate re-enters the link queue behind the
+                // original, so it arrives strictly later. It shares the
+                // original's arena payload instead of cloning it.
+                self.stats.duplicated += 1;
+                let dup_arrival = self.link_arrival(from, to, t_emit, bytes);
+                self.push_event(
+                    dup_arrival,
+                    to,
+                    EventKind::Deliver {
+                        from,
+                        msg: Rc::clone(&msg),
+                    },
+                );
+            }
+            self.push_event(arrival, to, EventKind::Deliver { from, msg });
         }
         let incarnation = self.hosts[from.0 as usize].incarnation;
-        for (delay, token) in timers {
-            self.push_event(
+        for (delay, token, id) in fx.timers {
+            let r = self.push_event(
                 t_emit + delay.max(1),
                 from,
-                EventKind::Timer { token, incarnation },
+                EventKind::Timer {
+                    token,
+                    id,
+                    incarnation,
+                },
             );
+            self.hosts[from.0 as usize].timers.insert(id.0, r);
+        }
+        for id in fx.cancels {
+            self.cancel_node_timer(from, id);
         }
     }
 }
@@ -617,6 +793,35 @@ mod tests {
     }
 
     #[test]
+    fn stacked_link_outages_do_not_clobber() {
+        // Regression: a second outage on the same link used to overwrite
+        // the first. Two back-to-back windows must both be honored — a
+        // message sent during the first window waits out both.
+        let (mut w, a, b) = two_node_world(0);
+        w.schedule_link_outage(a, b, 0, 5 * SECONDS);
+        w.schedule_link_outage(a, b, 5 * SECONDS, 5 * SECONDS);
+        w.with_node(a, |_logic, _now, out| out.send(b, Ping(1)));
+        w.run_until_idle(30 * SECONDS);
+        let (t, _) = w.node(b).received[0];
+        assert!(
+            t >= 10 * SECONDS,
+            "delivery at {t} should wait out both outage windows"
+        );
+    }
+
+    #[test]
+    fn unknown_destination_counts_dropped_unknown() {
+        let (mut w, a, _b) = two_node_world(0);
+        w.with_node(a, |_logic, _now, out| out.send(NodeId(99), Ping(1)));
+        w.run_until_idle(SECONDS);
+        assert_eq!(w.stats.dropped_unknown, 1);
+        assert_eq!(
+            w.stats.dropped_dead, 0,
+            "out-of-range sends must not masquerade as dead-host drops"
+        );
+    }
+
+    #[test]
     fn with_node_routes_effects() {
         let (mut w, a, b) = two_node_world(0); // no initial traffic
         w.with_node(a, |_logic, _now, out| out.send(b, Ping(1)));
@@ -664,6 +869,11 @@ mod tests {
                 "deliveries {pair:?} too close"
             );
         }
+        // Each parked message entered the backlog exactly once (the old
+        // requeue scheme re-pushed the whole backlog per completion).
+        assert_eq!(w.stats.requeued_busy, 4);
+        assert_eq!(w.pending_events(), 0, "backlog fully drained");
+        assert!(w.stats.pending_events_peak >= 5);
     }
 
     #[test]
@@ -677,7 +887,7 @@ mod tests {
         impl NodeLogic for TimerNode {
             type Msg = NoMsg;
             fn on_start(&mut self, _now: SimTime, out: &mut Outbox<NoMsg>) {
-                out.set_timer(1 * SECONDS, 1);
+                out.set_timer(SECONDS, 1);
             }
             fn on_message(&mut self, _n: SimTime, _f: NodeId, _m: NoMsg, _o: &mut Outbox<NoMsg>) {}
             fn on_timer(&mut self, _now: SimTime, _token: u64, _out: &mut Outbox<NoMsg>) {
@@ -692,6 +902,38 @@ mod tests {
         w.revive_node(a);
         w.run_until_idle(10 * SECONDS);
         assert_eq!(w.node(a).fired, 1);
+    }
+
+    #[test]
+    fn explicit_cancel_prevents_fire() {
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        #[derive(Debug, Clone)]
+        struct NoMsg;
+        impl WireSize for NoMsg {}
+        impl NodeLogic for TimerNode {
+            type Msg = NoMsg;
+            fn on_start(&mut self, _now: SimTime, _out: &mut Outbox<NoMsg>) {}
+            fn on_message(&mut self, _n: SimTime, _f: NodeId, _m: NoMsg, _o: &mut Outbox<NoMsg>) {}
+            fn on_timer(&mut self, _now: SimTime, token: u64, _out: &mut Outbox<NoMsg>) {
+                self.fired.push(token);
+            }
+        }
+        let mut w: World<TimerNode> = World::new(lan_config(5));
+        let a = w.add_node(TimerNode { fired: vec![] }, Site::new("a", 0.0, 0.0));
+        let (keep, kill) = w.with_node(a, |_l, _n, out| {
+            (out.set_timer(SECONDS, 1), out.set_timer(SECONDS, 2))
+        });
+        // Cancel from a later event's outbox, as protocol code would.
+        w.with_node(a, |_l, _n, out| out.cancel_timer(kill));
+        w.run_until_idle(10 * SECONDS);
+        assert_eq!(w.node(a).fired, vec![1]);
+        assert_eq!(w.stats.timers_cancelled, 1);
+        assert_eq!(w.stats.timers_fired, 1);
+        // Cancelling an already-fired timer is a counted-free no-op.
+        w.with_node(a, |_l, _n, out| out.cancel_timer(keep));
+        assert_eq!(w.stats.timers_cancelled, 1);
     }
 
     #[test]

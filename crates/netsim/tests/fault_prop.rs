@@ -58,8 +58,8 @@ struct Send {
 
 /// One delivery observed at a node: (where, when, from, tag).
 type Delivery = (NodeId, SimTime, NodeId, u64);
-/// The six NetStats counters.
-type Counters = (u64, u64, u64, u64, u64, u64);
+/// The scalar NetStats counters, as returned by `SimStats::counters`.
+type Counters = (u64, u64, u64, u64, u64, u64, u64, u64, u64, u64);
 
 /// Drives a scripted send schedule through a world and returns the
 /// combined delivery log plus the stats counters.
@@ -154,7 +154,7 @@ proptest! {
         // Conservation: each send is severed, lost, or becomes a delivery
         // attempt (plus at most one duplicate); attempts reach a live host
         // or count against a dead one. Nothing vanishes unaccounted.
-        let (delivered, dropped_dead, dropped_fault, duplicated, partitioned, _timers) = stats;
+        let (delivered, dropped_dead, _unknown, dropped_fault, duplicated, partitioned, ..) = stats;
         prop_assert_eq!(
             delivered + dropped_dead,
             script.len() as u64 - partitioned - dropped_fault + duplicated,
@@ -208,7 +208,7 @@ proptest! {
     ) {
         let script = make_script(n, raw_script);
         if script.is_empty() { return Ok(()); }
-        let (log, (delivered, dropped_dead, dropped_fault, duplicated, partitioned, _), _) =
+        let (log, (delivered, dropped_dead, _unknown, dropped_fault, duplicated, partitioned, ..), _) =
             run_script(n, seed, &FaultPlan::default(), &script);
         prop_assert_eq!(delivered as usize, script.len());
         prop_assert_eq!(log.len(), script.len());

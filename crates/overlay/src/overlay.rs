@@ -2,7 +2,7 @@
 
 use crate::messages::{OverlayEvent, OverlayMsg};
 use crate::table::{NeighborEntry, NeighborTable};
-use mind_types::node::{Outbox, SimTime, MILLIS, SECONDS};
+use mind_types::node::{Outbox, SimTime, TimerId, MILLIS, SECONDS};
 use mind_types::{BitCode, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -75,6 +75,9 @@ struct PendingJoin {
     /// Distinguishes this accept from earlier aborted ones so a stale
     /// abort watchdog cannot kill a newer pending join.
     epoch: u64,
+    /// The abort watchdog, cancelled when the split commits or aborts
+    /// through another path.
+    abort_timer: TimerId,
 }
 
 #[derive(Debug, Clone)]
@@ -83,6 +86,8 @@ struct PendingRing<P> {
     payload: P,
     hops: u32,
     ttl: u8,
+    /// The escalation timer, cancelled when a `RingHit` resolves the probe.
+    timer: TimerId,
 }
 
 /// One node's view of the hypercube overlay.
@@ -101,6 +106,8 @@ pub struct Overlay<P> {
     claimed: BTreeSet<BitCode>,
     pending_join: Option<PendingJoin>,
     pending_rings: HashMap<u64, PendingRing<P>>,
+    /// The pending join-retry watchdog, cancelled once membership commits.
+    join_retry_timer: Option<TimerId>,
     /// `true` once `on_start` has run: a second call is a restart after a
     /// crash, and stale membership must not be resumed.
     started: bool,
@@ -167,6 +174,7 @@ impl<P: Clone> Overlay<P> {
             claimed: BTreeSet::new(),
             pending_join: None,
             pending_rings: HashMap::new(),
+            join_retry_timer: None,
             started: false,
             seen_probes: HashSet::new(),
             seen_floods: HashSet::new(),
@@ -299,6 +307,9 @@ impl<P: Clone> Overlay<P> {
         self.claimed.clear();
         self.pending_join = None;
         self.pending_rings.clear();
+        // Timer handles from before the crash belong to the previous
+        // incarnation (the host already discarded them) — just forget them.
+        self.join_retry_timer = None;
         true
     }
 
@@ -315,10 +326,19 @@ impl<P: Clone> Overlay<P> {
                 ttl: self.cfg.join_walk_ttl,
             },
         );
-        // Watchdog: if nothing commits, retry from scratch.
+        // Watchdog: if nothing commits, retry from scratch. At most one is
+        // ever pending — re-arming replaces (cancels) the previous one.
         let backoff =
             self.cfg.join_retry_backoff * 4 + self.jitter(self.cfg.join_retry_backoff * 4);
-        out.set_timer(backoff, token(KIND_JOIN_RETRY, 0));
+        self.arm_join_retry(backoff, out);
+    }
+
+    /// Arms (or re-arms) the single join-retry watchdog.
+    fn arm_join_retry(&mut self, backoff: SimTime, out: &mut Outbox<OverlayMsg<P>>) {
+        if let Some(t) = self.join_retry_timer.take() {
+            out.cancel_timer(t);
+        }
+        self.join_retry_timer = Some(out.set_timer(backoff, token(KIND_JOIN_RETRY, 0)));
     }
 
     fn jitter(&mut self, range: SimTime) -> SimTime {
@@ -414,7 +434,7 @@ impl<P: Clone> Overlay<P> {
                     self.state = JoinState::NotJoined;
                     let backoff =
                         self.cfg.join_retry_backoff + self.jitter(self.cfg.join_retry_backoff);
-                    out.set_timer(backoff, token(KIND_JOIN_RETRY, 0));
+                    self.arm_join_retry(backoff, out);
                 }
                 Vec::new()
             }
@@ -486,6 +506,8 @@ impl<P: Clone> Overlay<P> {
             }
             OverlayMsg::RingHit { probe_id, code: _ } => {
                 if let Some(p) = self.pending_rings.remove(&probe_id) {
+                    // Resolved: the escalation timeout must never fire.
+                    out.cancel_timer(p.timer);
                     out.send(
                         from,
                         OverlayMsg::Route {
@@ -539,6 +561,7 @@ impl<P: Clone> Overlay<P> {
                 Some(events)
             }
             KIND_JOIN_RETRY => {
+                self.join_retry_timer = None; // this firing consumed it
                 if self.state != JoinState::Member {
                     self.start_join(now, out);
                 }
@@ -615,18 +638,19 @@ impl<P: Clone> Overlay<P> {
         let awaiting: BTreeSet<NodeId> = self.table.alive_nodes().into_iter().collect();
         self.join_epoch += 1;
         let epoch = self.join_epoch;
+        // Watchdog: abort the split if the acks don't all arrive (lost
+        // SplitAck, neighbor death). Shorter than the joiner's own retry
+        // watchdog so the acceptor is free again before the retry lands.
+        let abort_timer = out.set_timer(
+            self.cfg.join_retry_backoff * 2,
+            token(KIND_JOIN_ABORT, epoch),
+        );
         self.pending_join = Some(PendingJoin {
             joiner,
             awaiting: awaiting.clone(),
             epoch,
+            abort_timer,
         });
-        // Watchdog: abort the split if the acks don't all arrive (lost
-        // SplitAck, neighbor death). Shorter than the joiner's own retry
-        // watchdog so the acceptor is free again before the retry lands.
-        out.set_timer(
-            self.cfg.join_retry_backoff * 2,
-            token(KIND_JOIN_ABORT, epoch),
-        );
         if awaiting.is_empty() {
             // Single-node overlay: commit immediately.
             // (Handled via the same path as the last ack.)
@@ -669,6 +693,7 @@ impl<P: Clone> Overlay<P> {
             }
             // They are shallower: abort my own pending join.
             out.send(pending.joiner, OverlayMsg::JoinReject);
+            out.cancel_timer(pending.abort_timer);
             self.pending_join = None;
         }
         out.send(acceptor, OverlayMsg::SplitAck { ok: true, old_code });
@@ -690,6 +715,7 @@ impl<P: Clone> Overlay<P> {
         };
         if !ok {
             let joiner = pending.joiner;
+            out.cancel_timer(pending.abort_timer);
             self.pending_join = None;
             out.send(joiner, OverlayMsg::JoinReject);
             return Vec::new();
@@ -709,6 +735,8 @@ impl<P: Clone> Overlay<P> {
         let Some(pending) = self.pending_join.take() else {
             return Vec::new();
         };
+        // The split is committing: the abort watchdog can never be right.
+        out.cancel_timer(pending.abort_timer);
         let old_code = self.code.expect("acceptor has code"); // lint:allow(unwrap) only members accept joins
         let my_new = old_code.child(false);
         let joiner_code = old_code.child(true);
@@ -745,12 +773,17 @@ impl<P: Clone> Overlay<P> {
         acceptor: NodeId,
         code: BitCode,
         neighbors: Vec<(BitCode, NodeId)>,
-        _out: &mut Outbox<OverlayMsg<P>>,
+        out: &mut Outbox<OverlayMsg<P>>,
     ) -> Vec<OverlayEvent<P>> {
         if self.state == JoinState::Member {
             return Vec::new(); // duplicate
         }
         self.state = JoinState::Member;
+        // Joined: the retry watchdog is obsolete — retire it instead of
+        // letting a dead one-shot sit in the host's timer queue.
+        if let Some(t) = self.join_retry_timer.take() {
+            out.cancel_timer(t);
+        }
         self.code = Some(code);
         // The acceptor hands over its pre-split contact list; it may know
         // *us* already (an earlier aborted join attempt left us in its
@@ -942,6 +975,7 @@ impl<P: Clone> Overlay<P> {
         self.seq += 1;
         let my = self.code.unwrap_or(BitCode::ROOT);
         let need_cpl = my.common_prefix_len(&target);
+        let timer = out.set_timer(self.cfg.ring_timeout, token(KIND_RING, probe_id));
         self.pending_rings.insert(
             probe_id,
             PendingRing {
@@ -949,6 +983,7 @@ impl<P: Clone> Overlay<P> {
                 payload,
                 hops,
                 ttl,
+                timer,
             },
         );
         for n in self.table.alive_nodes() {
@@ -963,7 +998,6 @@ impl<P: Clone> Overlay<P> {
                 },
             );
         }
-        out.set_timer(self.cfg.ring_timeout, token(KIND_RING, probe_id));
     }
 
     #[allow(clippy::too_many_arguments)] // mirrors the RingProbe wire fields
@@ -1274,7 +1308,7 @@ mod tests {
         // With no live neighbors the probes go nowhere; fire timeouts.
         let mut gave_up = false;
         for _ in 0..10 {
-            let timers: Vec<u64> = out.timers.iter().map(|&(_, t)| t).collect();
+            let timers: Vec<u64> = out.timers.iter().map(|&(_, t, _)| t).collect();
             out.timers.clear();
             for t in timers {
                 if let Some(ev) = o.on_timer(1000, t, &mut out) {

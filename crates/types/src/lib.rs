@@ -27,7 +27,7 @@ pub mod schema;
 
 pub use code::BitCode;
 pub use error::MindError;
-pub use node::{NodeId, NodeLogic, Outbox, SimTime, WireSize};
+pub use node::{NodeId, NodeLogic, Outbox, SimTime, TimerId, WireSize};
 pub use record::{Record, RecordId};
 pub use rect::HyperRect;
 pub use schema::{AttrDef, AttrKind, IndexSchema};
