@@ -24,6 +24,10 @@
 //!   allocation the columnar refactor removed. Spell shared-handle bumps
 //!   `Arc::clone(&x)` — which the rule's needle deliberately misses — and
 //!   materialize records only at the wire boundary.
+//! * `routealloc` — `Vec::new` / `.to_vec()` / `.clone()` in the flat cut
+//!   tree (`crates/histogram/src/flat.rs`). Descent, covering-code and
+//!   rect lookups there are allocation-free by design; pre-sized
+//!   `with_capacity` buffers in the builders are the endorsed spelling.
 //!
 //! Test code is exempt from `unwrap`: files under `tests/`, `benches/` or
 //! `examples/`, and `#[cfg(test)]` modules (tracked by brace depth).
@@ -113,6 +117,25 @@ fn rules() -> Vec<Rule> {
             // (kdtree.rs is excluded — it clones its own bounding-box
             // vectors per query, which has nothing to do with records.)
             only_prefixes: &["crates/store/src/mem.rs", "crates/store/src/dac.rs"],
+        },
+        Rule {
+            name: "routealloc",
+            needles: &[
+                concat!("Vec::", "new"),
+                concat!(".to_", "vec("),
+                concat!(".clo", "ne()"),
+            ],
+            why: "the flat cut tree's descent paths are allocation-free by \
+                  construction (fixed stacks, reused buffers, the leaf-rect \
+                  memo); an allocation here silently re-grows the per-hop \
+                  routing cost the arena rewrite removed",
+            applies_in_tests: false,
+            exempt_prefixes: &[],
+            // Scoped to the flat arena module: the boxed NaiveCutTree in
+            // cuts.rs is the deliberately-simple oracle and allocates
+            // freely; builders and (de)serialization in flat.rs size their
+            // buffers up front with with_capacity, which the needles miss.
+            only_prefixes: &["crates/histogram/src/flat.rs"],
         },
         Rule {
             name: "retrytimer",
@@ -468,6 +491,29 @@ mod tests {
         // Arc::clone(&x) is the endorsed spelling and does not match.
         let src = "let r = Arc::clone(&self.records[i]);\n";
         assert!(hits_in(src, "crates/store/src/mem.rs", false).is_empty());
+    }
+
+    #[test]
+    fn routealloc_scoped_to_the_flat_tree_module() {
+        let src = concat!("let codes = child.to_", "vec();\n");
+        assert_eq!(
+            hits_in(src, "crates/histogram/src/flat.rs", false),
+            vec![(1, "routealloc")]
+        );
+        // The boxed oracle allocates freely; out of scope.
+        assert!(hits_in(src, "crates/histogram/src/cuts.rs", false).is_empty());
+        assert!(hits_in(src, "crates/core/src/query_track.rs", false).is_empty());
+        // Test code in the module (and the proptest suite) is exempt.
+        assert!(hits_in(src, "crates/histogram/tests/flat_prop.rs", true).is_empty());
+
+        let src = concat!("let mut stack = Vec::", "new();\n");
+        assert_eq!(
+            hits_in(src, "crates/histogram/src/flat.rs", false),
+            vec![(1, "routealloc")]
+        );
+        // Pre-sized buffers are the endorsed spelling and do not match.
+        let src = "let mut stack = Vec::with_capacity(n);\n";
+        assert!(hits_in(src, "crates/histogram/src/flat.rs", false).is_empty());
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! `bench_route`: the machine-readable route perf gate.
+//!
+//! Measures the flat-arena [`CutTree`] against the boxed [`NaiveCutTree`]
+//! on the shared 100k-point workload (see `harness::store_sample_points`)
+//! and emits the flat-JSON report committed as `BENCH_route.json`.
+//!
+//! Modes:
+//!
+//! * no args — measure and print the JSON report to stdout;
+//! * `--write <path>` — measure and (over)write the baseline file;
+//! * `--check <path>` — measure, compare against the committed baseline,
+//!   and exit non-zero if the flat-tree speedups fall below the hard floor
+//!   (2x on `code_for_point` and covering codes) or regress more than
+//!   20 % against the baseline, or if flattening a built tree drifts past
+//!   a fraction of the naive build it is derived from.
+//!
+//! Like `bench_store`, the gate compares *ratios* (naive time / flat
+//! time), not absolute nanoseconds: absolute timings vary across machines
+//! and CI runners, but the relative advantage of the arena layout on
+//! identical input is stable. Run under `--release`; a debug-build gate
+//! measures the optimizer, not the data structure.
+
+use mind_bench::harness::store_sample_points;
+use mind_bench::report::{json_numbers, metric, parse_json_numbers};
+use mind_histogram::{CutTree, NaiveCutTree};
+use mind_types::HyperRect;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Workload size: matches `bench_store` (acceptance is "at 100k ops").
+const POINTS: usize = 100_000;
+/// Seed shared with `bench_store` so both gates measure one point set.
+const SEED: u64 = 2;
+/// Cut depth: the 4096-leaf tree the experiment binaries route against.
+const DEPTH: u8 = 12;
+/// Number of random range queries in the covering/prefix workloads.
+const QUERIES: usize = 256;
+/// Repetitions for the build/flatten benches.
+const BUILD_REPS: usize = 7;
+/// Repetitions for the routing benches (cheap, so take more samples).
+const ROUTE_REPS: usize = 31;
+/// Rounds of the query-prefix workload per timed repetition: a single
+/// pass over the queries is ~2 µs on the flat tree, well inside
+/// scheduler noise, so each sample times this many passes instead.
+const PREFIX_ROUNDS: usize = 64;
+
+/// Hard floor on the flat code/cover speedup (acceptance criterion).
+const SPEEDUP_FLOOR: f64 = 2.0;
+/// Fractional regression tolerated against the committed baseline.
+const TOLERANCE: f64 = 0.20;
+/// Flattening an already-built tree may cost at most this fraction of
+/// building the boxed tree it mirrors.
+const FLATTEN_RATIO_CEILING: f64 = 0.5;
+
+/// Median wall time of `run(setup())` over `reps` repetitions, in
+/// nanoseconds. `setup` runs outside the timed region; `run` returns a
+/// value that is black-boxed so the work cannot be elided.
+fn median_ns<T>(reps: usize, mut setup: impl FnMut() -> T, mut run: impl FnMut(T) -> u64) -> f64 {
+    // One warmup pass to fault in code and data.
+    std::hint::black_box(run(setup()));
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let input = setup();
+            let t = Instant::now(); // lint:allow(wallclock) measuring real time is this binary's purpose
+            let sink = run(input);
+            let ns = t.elapsed().as_nanos() as f64;
+            std::hint::black_box(sink);
+            ns
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The index domain `store_sample_points` draws from.
+fn domain() -> HyperRect {
+    HyperRect::new(vec![0, 0, 0], vec![u32::MAX as u64, 86_399, (2 << 20) - 1])
+}
+
+/// A mix of monitoring-shaped queries: a tight window on one random axis,
+/// the others either wildcarded or halved — the shapes `split_root_query`
+/// actually covers.
+fn route_queries(bounds: &HyperRect) -> Vec<HyperRect> {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xC0FFEE);
+    (0..QUERIES)
+        .map(|_| {
+            let tight = rng.random_range(0..bounds.dims());
+            let (lo, hi): (Vec<u64>, Vec<u64>) = (0..bounds.dims())
+                .map(|d| {
+                    let width = bounds.hi(d) - bounds.lo(d);
+                    if d == tight {
+                        let start = bounds.lo(d) + rng.random_range(0..=width - width / 64);
+                        (start, start + width / 64)
+                    } else if rng.random_bool(0.5) {
+                        (bounds.lo(d), bounds.hi(d))
+                    } else {
+                        let start = bounds.lo(d) + rng.random_range(0..=width / 2);
+                        (start, start + width / 2)
+                    }
+                })
+                .unzip();
+            HyperRect::new(lo, hi)
+        })
+        .collect()
+}
+
+/// Runs the full before/after measurement and derives the gate ratios.
+fn measure() -> Vec<(String, f64)> {
+    let pts = store_sample_points(POINTS, SEED);
+    let refs: Vec<&[u64]> = pts.iter().map(|p| p.as_slice()).collect();
+    let bounds = domain();
+    let naive = NaiveCutTree::balanced_from_points(bounds.clone(), DEPTH, &refs);
+    let flat = CutTree::from_naive(&naive);
+    let queries = route_queries(&bounds);
+
+    // The gate only means anything if both trees route identically.
+    for p in &refs {
+        assert_eq!(
+            flat.code_for_point(p),
+            naive.code_for_point(p),
+            "trees disagree on a point code"
+        );
+    }
+    let mut covered = 0u64;
+    for q in &queries {
+        let want = naive.covering_codes_at_least(q, 6);
+        assert_eq!(
+            flat.covering_codes_at_least(q, 6),
+            want,
+            "trees disagree on a covering"
+        );
+        covered += want.len() as u64;
+    }
+    let leaves: Vec<_> = flat.leaves().iter().map(|(c, _)| *c).collect();
+
+    eprintln!(
+        "bench_route: {POINTS} points, {} leaves, {} queries covering {covered} codes",
+        leaves.len(),
+        queries.len()
+    );
+
+    let naive_code = median_ns(
+        ROUTE_REPS,
+        || (),
+        |()| {
+            let mut sink = 0u64;
+            for p in &refs {
+                sink += naive.code_for_point(p).len() as u64;
+            }
+            sink
+        },
+    );
+    let flat_code = median_ns(
+        ROUTE_REPS,
+        || (),
+        |()| {
+            let mut sink = 0u64;
+            for p in &refs {
+                sink += flat.code_for_point(p).len() as u64;
+            }
+            sink
+        },
+    );
+
+    let naive_cover = median_ns(
+        ROUTE_REPS,
+        || (),
+        |()| {
+            let mut sink = 0u64;
+            for q in &queries {
+                sink += naive.covering_codes_at_least(q, 6).len() as u64;
+            }
+            sink
+        },
+    );
+    let flat_cover = median_ns(ROUTE_REPS, Vec::new, |mut buf: Vec<mind_types::BitCode>| {
+        let mut sink = 0u64;
+        for q in &queries {
+            flat.covering_codes_into(q, 6, &mut buf);
+            sink += buf.len() as u64;
+        }
+        sink
+    });
+
+    let naive_rect = median_ns(
+        ROUTE_REPS,
+        || (),
+        |()| {
+            let mut sink = 0u64;
+            for c in &leaves {
+                sink += naive.rect_for_code(c).lo(0);
+            }
+            sink
+        },
+    );
+    let flat_rect = median_ns(
+        ROUTE_REPS,
+        || (),
+        |()| {
+            let mut sink = 0u64;
+            for c in &leaves {
+                sink += flat.rect_for_code(c).lo(0);
+            }
+            sink
+        },
+    );
+
+    let naive_prefix = median_ns(
+        ROUTE_REPS,
+        || (),
+        |()| {
+            let mut sink = 0u64;
+            for _ in 0..PREFIX_ROUNDS {
+                sink += queries
+                    .iter()
+                    .filter(|q| naive.query_prefix(q).is_some())
+                    .count() as u64;
+            }
+            sink
+        },
+    );
+    let flat_prefix = median_ns(
+        ROUTE_REPS,
+        || (),
+        |()| {
+            let mut sink = 0u64;
+            for _ in 0..PREFIX_ROUNDS {
+                sink += queries
+                    .iter()
+                    .filter(|q| flat.query_prefix(q).is_some())
+                    .count() as u64;
+            }
+            sink
+        },
+    );
+
+    let naive_build = median_ns(
+        BUILD_REPS,
+        || (),
+        |()| NaiveCutTree::balanced_from_points(bounds.clone(), DEPTH, &refs).leaf_count() as u64,
+    );
+    let flatten = median_ns(
+        BUILD_REPS,
+        || (),
+        |()| CutTree::from_naive(&naive).leaf_count() as u64,
+    );
+
+    vec![
+        ("points".into(), POINTS as f64),
+        ("queries".into(), QUERIES as f64),
+        ("leaves".into(), leaves.len() as f64),
+        ("covered_codes".into(), covered as f64),
+        ("naive.code_ns".into(), naive_code),
+        ("flat.code_ns".into(), flat_code),
+        ("naive.cover_ns".into(), naive_cover),
+        ("flat.cover_ns".into(), flat_cover),
+        ("naive.rect_ns".into(), naive_rect),
+        ("flat.rect_ns".into(), flat_rect),
+        ("naive.prefix_ns".into(), naive_prefix),
+        ("flat.prefix_ns".into(), flat_prefix),
+        ("naive.build_ns".into(), naive_build),
+        ("flatten_ns".into(), flatten),
+        ("code_speedup".into(), naive_code / flat_code),
+        ("cover_speedup".into(), naive_cover / flat_cover),
+        ("rect_speedup".into(), naive_rect / flat_rect),
+        ("prefix_speedup".into(), naive_prefix / flat_prefix),
+        ("flatten_ratio".into(), flatten / naive_build),
+    ]
+}
+
+/// Gate check: code/cover speedups must clear both the absolute floor and
+/// 80 % of the committed baseline; rect/prefix speedups are gated against
+/// the baseline only (no absolute floor — they start ahead but are not an
+/// acceptance criterion); the flatten ratio must stay under the ceiling.
+/// Returns the number of violations.
+fn check(current: &[(String, f64)], baseline: &[(String, f64)]) -> usize {
+    let mut violations = 0;
+    for (key, abs_floor) in [
+        ("code_speedup", SPEEDUP_FLOOR),
+        ("cover_speedup", SPEEDUP_FLOOR),
+        ("rect_speedup", 0.0),
+        ("prefix_speedup", 0.0),
+    ] {
+        let base = metric(baseline, key).unwrap_or_else(|| panic!("baseline missing {key}"));
+        let cur = metric(current, key).unwrap_or_else(|| panic!("measurement missing {key}"));
+        let floor = abs_floor.max(base * (1.0 - TOLERANCE));
+        if cur < floor {
+            println!("FAIL {key}: {cur:.2}x < floor {floor:.2}x (baseline {base:.2}x)");
+            violations += 1;
+        } else {
+            println!("ok   {key}: {cur:.2}x (floor {floor:.2}x, baseline {base:.2}x)");
+        }
+    }
+    let base = metric(baseline, "flatten_ratio")
+        .unwrap_or_else(|| panic!("baseline missing flatten_ratio"));
+    let cur = metric(current, "flatten_ratio")
+        .unwrap_or_else(|| panic!("measurement missing flatten_ratio"));
+    let ceiling = FLATTEN_RATIO_CEILING.max(base * (1.0 + TOLERANCE));
+    if cur > ceiling {
+        println!("FAIL flatten_ratio: {cur:.2} > ceiling {ceiling:.2} (baseline {base:.2})");
+        violations += 1;
+    } else {
+        println!("ok   flatten_ratio: {cur:.2} (ceiling {ceiling:.2}, baseline {base:.2})");
+    }
+    violations
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => {
+            print!("{}", json_numbers(&measure()));
+            ExitCode::SUCCESS
+        }
+        [flag, path] if flag == "--write" => {
+            let report = json_numbers(&measure());
+            std::fs::write(path, &report).unwrap();
+            print!("{report}");
+            eprintln!("bench_route: wrote {path}");
+            ExitCode::SUCCESS
+        }
+        [flag, path] if flag == "--check" => {
+            let raw = std::fs::read_to_string(path).unwrap();
+            let baseline =
+                parse_json_numbers(&raw).unwrap_or_else(|| panic!("malformed baseline {path}"));
+            let current = measure();
+            let violations = check(&current, &baseline);
+            if violations == 0 {
+                println!("bench_route: gate passed against {path}");
+                ExitCode::SUCCESS
+            } else {
+                println!("bench_route: {violations} gate violation(s) against {path}");
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: bench_route [--write <path> | --check <path>]");
+            ExitCode::FAILURE
+        }
+    }
+}

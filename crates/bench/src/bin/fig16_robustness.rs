@@ -13,7 +13,7 @@
 //! returns exactly the ground-truth record multiset.
 
 use mind_bench::harness::{
-    answers_match, oracle_answer, paper_mind_config, ExperimentScale, IndexKind,
+    answers_match, oracle_answer, paper_mind_config, run_seeds_parallel, ExperimentScale, IndexKind,
 };
 use mind_bench::report::print_header;
 use mind_core::{ClusterConfig, MindCluster, Replication};
@@ -169,11 +169,25 @@ fn main() {
     let mut r0_at_30 = 0.0;
     let mut r0_at_50 = 0.0;
     let mut r1_at_50 = 0.0;
-    for &pct in &fractions {
-        let kill = N * pct / 100;
-        let r0 = run_point(Replication::None, kill, 160 + pct as u64, &scale, 0.0);
-        let r1 = run_point(Replication::Level(1), kill, 161 + pct as u64, &scale, 0.0);
-        let rf = run_point(Replication::Full, kill, 162 + pct as u64, &scale, 0.0);
+    // Every grid point is an independent world with its own pinned seed,
+    // so the sweep fans out across cores; results come back in row order
+    // and the printed table is byte-identical to a sequential run.
+    let grid: Vec<(Replication, usize, u64)> = fractions
+        .iter()
+        .flat_map(|&pct| {
+            let kill = N * pct / 100;
+            [
+                (Replication::None, kill, 160 + pct as u64),
+                (Replication::Level(1), kill, 161 + pct as u64),
+                (Replication::Full, kill, 162 + pct as u64),
+            ]
+        })
+        .collect();
+    let rows = run_seeds_parallel(&grid, |&(repl, kill, seed)| {
+        run_point(repl, kill, seed, &scale, 0.0)
+    });
+    for (i, &pct) in fractions.iter().enumerate() {
+        let (r0, r1, rf) = (rows[3 * i], rows[3 * i + 1], rows[3 * i + 2]);
         println!("  {pct:>8}% {r0:>14.2} {r1:>14.2} {rf:>14.2}");
         if pct == 15 {
             r1_at_15 = r1;
@@ -213,11 +227,27 @@ fn main() {
             "\n  {:>9} {:>14} {:>14} {:>14}",
             "failed %", "replication 0", "replication 1", "full"
         );
-        for &pct in &[0usize, 15, 30, 50] {
-            let kill = N * pct / 100;
-            let r0 = run_point(Replication::None, kill, 160 + pct as u64, &scale, loss);
-            let r1 = run_point(Replication::Level(1), kill, 161 + pct as u64, &scale, loss);
-            let rf = run_point(Replication::Full, kill, 162 + pct as u64, &scale, loss);
+        let lossy_fractions = [0usize, 15, 30, 50];
+        let lossy_grid: Vec<(Replication, usize, u64)> = lossy_fractions
+            .iter()
+            .flat_map(|&pct| {
+                let kill = N * pct / 100;
+                [
+                    (Replication::None, kill, 160 + pct as u64),
+                    (Replication::Level(1), kill, 161 + pct as u64),
+                    (Replication::Full, kill, 162 + pct as u64),
+                ]
+            })
+            .collect();
+        let lossy_rows = run_seeds_parallel(&lossy_grid, |&(repl, kill, seed)| {
+            run_point(repl, kill, seed, &scale, loss)
+        });
+        for (i, &pct) in lossy_fractions.iter().enumerate() {
+            let (r0, r1, rf) = (
+                lossy_rows[3 * i],
+                lossy_rows[3 * i + 1],
+                lossy_rows[3 * i + 2],
+            );
             println!("  {pct:>8}% {r0:>14.2} {r1:>14.2} {rf:>14.2}");
         }
     }

@@ -31,16 +31,35 @@ pub struct ExperimentScale {
 impl ExperimentScale {
     /// Reads `MIND_SCALE` (volume multiplier) and `MIND_HOURS` from the
     /// environment, with the given defaults.
+    ///
+    /// A set-but-malformed variable falls back to the default *with a
+    /// warning on stderr*: silently ignoring a typo like `MIND_SCALE=0,5`
+    /// makes a "scaled" run measure the default workload.
     pub fn from_env(default_hours: u64) -> Self {
-        let volume = std::env::var("MIND_SCALE")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(1.0);
-        let hours = std::env::var("MIND_HOURS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(default_hours);
-        ExperimentScale { volume, hours }
+        Self::from_lookup(default_hours, |name| std::env::var(name).ok())
+    }
+
+    /// [`Self::from_env`] with an injectable variable lookup, so the
+    /// malformed-input paths are testable without mutating the process
+    /// environment (env vars are global state across test threads).
+    fn from_lookup(default_hours: u64, lookup: impl Fn(&str) -> Option<String>) -> Self {
+        fn parse_or<T: std::str::FromStr + Copy + std::fmt::Display>(
+            name: &str,
+            raw: Option<String>,
+            default: T,
+        ) -> T {
+            match raw {
+                None => default,
+                Some(s) => s.parse().unwrap_or_else(|_| {
+                    eprintln!("warning: ignoring malformed {name}={s:?}; using {default}");
+                    default
+                }),
+            }
+        }
+        ExperimentScale {
+            volume: parse_or("MIND_SCALE", lookup("MIND_SCALE"), 1.0),
+            hours: parse_or("MIND_HOURS", lookup("MIND_HOURS"), default_hours),
+        }
     }
 }
 
@@ -414,9 +433,89 @@ pub fn us_to_s(us: SimTime) -> f64 {
     us as f64 / 1e6
 }
 
+/// Runs one independent world per input on `std::thread` scoped threads
+/// and returns the outputs in input order.
+///
+/// Every simulated world is deterministic in isolation (seeded RNGs,
+/// virtual clock), so figure binaries sweeping `(series, seed)` grids can
+/// fan the worlds out across cores without changing a single output row.
+/// The inputs are split into contiguous chunks, one per worker, and the
+/// per-chunk results concatenated in chunk order — no locks, and the
+/// result order cannot depend on thread scheduling.
+pub fn run_seeds_parallel<I, O, F>(inputs: &[I], job: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, inputs.len());
+    let chunk = inputs.len().div_ceil(workers);
+    let job = &job;
+    let mut out = Vec::with_capacity(inputs.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = inputs
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(job).collect::<Vec<O>>()))
+            .collect();
+        for h in handles {
+            // lint:allow(unwrap) a panicking world must abort the figure run
+            out.extend(h.join().expect("a parallel world panicked"));
+        }
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_worlds_match_sequential_rows() {
+        // The figure binaries rely on this: fanning worlds out across
+        // threads must leave every output row byte-identical to a
+        // sequential run over the same inputs.
+        let inputs: Vec<u64> = (0..23).collect();
+        let par: Vec<String> = run_seeds_parallel(&inputs, |&i| format!("row {i}: {}", i * i));
+        let seq: Vec<String> = inputs
+            .iter()
+            .map(|&i| format!("row {i}: {}", i * i))
+            .collect();
+        assert_eq!(par, seq);
+        assert!(run_seeds_parallel(&Vec::<u64>::new(), |_| 0u8).is_empty());
+    }
+
+    #[test]
+    fn scale_from_lookup_parses_warns_and_defaults() {
+        // Unset: defaults straight through.
+        let s = ExperimentScale::from_lookup(3, |_| None);
+        assert_eq!(s.volume, 1.0);
+        assert_eq!(s.hours, 3);
+
+        // Well-formed values are honored.
+        let s = ExperimentScale::from_lookup(3, |name| match name {
+            "MIND_SCALE" => Some("0.25".into()),
+            "MIND_HOURS" => Some("12".into()),
+            _ => None,
+        });
+        assert_eq!(s.volume, 0.25);
+        assert_eq!(s.hours, 12);
+
+        // Malformed values fall back to the defaults (with a stderr
+        // warning) instead of being silently swallowed.
+        let s = ExperimentScale::from_lookup(3, |name| match name {
+            "MIND_SCALE" => Some("0,5".into()),
+            "MIND_HOURS" => Some("two".into()),
+            _ => None,
+        });
+        assert_eq!(s.volume, 1.0);
+        assert_eq!(s.hours, 3);
+    }
 
     #[test]
     fn driver_produces_windows() {

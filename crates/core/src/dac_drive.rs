@@ -324,8 +324,17 @@ impl MindNode {
         };
         // Clip to the sub-query's region so that (a) covering regions
         // never overlap and (b) replica rows are only returned by the node
-        // that took the region over.
-        let region = ver.cuts.rect_for_code(code);
+        // that took the region over. Sub-queries overwhelmingly address
+        // whole leaves, which the cut tree memoizes — only interior codes
+        // pay for a rect reconstruction.
+        let interior;
+        let region = match ver.cuts.leaf_rect(code) {
+            Some(leaf) => leaf,
+            None => {
+                interior = ver.cuts.rect_for_code(code);
+                &interior
+            }
+        };
         let Some(clip) = region.intersection(rect) else {
             return Vec::new();
         };

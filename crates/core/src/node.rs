@@ -119,6 +119,10 @@ pub struct MindNode {
     pub(crate) anti_entropy_rr: u64,
     // queries (crate::query_track)
     pub(crate) query_seq: u64,
+    /// Reused covering-code buffer for root-query splits: the flat cut
+    /// tree fills it in place, so steady-state query routing allocates
+    /// only for the outgoing plan message.
+    pub(crate) cover_scratch: Vec<BitCode>,
     /// In-flight and finished query trackers, by query id.
     pub queries: HashMap<u64, QueryTracker>,
     pub(crate) query_meta: HashMap<u64, QueryRetryMeta>,
@@ -183,6 +187,7 @@ impl MindNode {
             live_op_counters: BTreeSet::new(),
             anti_entropy_rr: 0,
             query_seq: 0,
+            cover_scratch: Vec::new(),
             queries: HashMap::new(),
             query_meta: HashMap::new(),
             handoff: None,

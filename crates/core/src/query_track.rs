@@ -269,53 +269,46 @@ impl MindNode {
         origin: NodeId,
         out: &mut Out,
     ) {
-        let Some(state) = self.indexes.get(index) else {
-            // Index unknown here (flood race): report an empty plan so the
-            // originator is not left hanging.
-            out.send(
-                origin,
-                OverlayMsg::Direct {
-                    payload: MindPayload::QueryPlan {
-                        query_id,
-                        version,
-                        codes: vec![],
-                        replaces: None,
+        // Take the scratch buffer up front: the index lookup below borrows
+        // `self` for the rest of the split.
+        let mut codes = std::mem::take(&mut self.cover_scratch);
+        let ver = match self.indexes.get(index).and_then(|s| s.version(version)) {
+            Some(ver) => ver,
+            None => {
+                // Index or version unknown here (flood race): report an
+                // empty plan so the originator is not left hanging.
+                self.cover_scratch = codes;
+                out.send(
+                    origin,
+                    OverlayMsg::Direct {
+                        payload: MindPayload::QueryPlan {
+                            query_id,
+                            version,
+                            codes: vec![],
+                            replaces: None,
+                        },
                     },
-                },
-            );
-            return;
-        };
-        let Some(ver) = state.version(version) else {
-            out.send(
-                origin,
-                OverlayMsg::Direct {
-                    payload: MindPayload::QueryPlan {
-                        query_id,
-                        version,
-                        codes: vec![],
-                        replaces: None,
-                    },
-                },
-            );
-            return;
+                );
+                return;
+            }
         };
         // Split down to at least this node's code length so that, on a
         // balanced overlay, every sub-query maps to one node. Deeper nodes
         // refine further on arrival (see `on_subquery`).
         let min_len = self.overlay.code().map(|c| c.len()).unwrap_or(0);
-        let codes = ver.cuts.covering_codes_at_least(&rect, min_len);
+        ver.cuts.covering_codes_into(&rect, min_len, &mut codes);
         out.send(
             origin,
             OverlayMsg::Direct {
                 payload: MindPayload::QueryPlan {
                     query_id,
                     version,
-                    codes: codes.clone(),
+                    codes: codes.to_vec(),
                     replaces: None,
                 },
             },
         );
-        for code in codes {
+        for &code in &codes {
             self.dispatch_subquery(
                 now,
                 query_id,
@@ -328,6 +321,7 @@ impl MindNode {
                 out,
             );
         }
+        self.cover_scratch = codes;
     }
 
     /// Routes a sub-query to its region owner, or processes it here when

@@ -1,8 +1,9 @@
-//! Recursive data-space cut trees (Sections 3.4 and 3.7).
+//! Recursive data-space cut trees (Sections 3.4 and 3.7) — the boxed
+//! reference implementation.
 //!
-//! A [`CutTree`] records the sequence of hyper-plane cuts MIND applies to an
-//! index's bounding hyper-rectangle. Each cut splits one axis of a region
-//! into a *low* half (code bit `0`) and a *high* half (code bit `1`);
+//! A [`NaiveCutTree`] records the sequence of hyper-plane cuts MIND applies
+//! to an index's bounding hyper-rectangle. Each cut splits one axis of a
+//! region into a *low* half (code bit `0`) and a *high* half (code bit `1`);
 //! repeating the cuts to depth `L` yields up to `2^L` leaf hyper-rectangles,
 //! each named by an `L`-bit [`BitCode`]. Records are stored at the overlay
 //! node whose (shorter) code is a prefix of the record's leaf code, which is
@@ -20,6 +21,13 @@
 //!
 //! The tree is independent of the overlay: `k` (data dimensions) and the
 //! hypercube dimensionality are decoupled, exactly as Section 3.4 requires.
+//!
+//! The `Box`-per-node layout here is the *oracle*: obviously correct,
+//! pointer-chasing, and allocating on every traversal. The hot routing
+//! paths use the flat arena [`CutTree`](crate::CutTree) instead (see
+//! [`crate::flat`]), which is built by flattening this tree and therefore
+//! emits bit-identical codes; `tests/flat_prop.rs` pins the agreement,
+//! mirroring the store's `NaiveKdTree` pattern.
 
 use crate::grid::GridHistogram;
 use mind_types::{BitCode, HyperRect, Value};
@@ -36,7 +44,7 @@ pub enum CutStrategy {
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-enum Node {
+pub(crate) enum Node {
     Leaf,
     Split {
         dim: usize,
@@ -47,18 +55,22 @@ enum Node {
     },
 }
 
-/// A complete set of recursive data-space cuts for one index version.
+/// A complete set of recursive data-space cuts for one index version —
+/// boxed reference layout.
 ///
-/// Cut trees are value types: they serialize compactly and are shipped to
-/// every node when a new index version is created, so all nodes embed
-/// records identically without coordination.
+/// This is the traversal *oracle* behind the flat arena
+/// [`CutTree`](crate::CutTree): every builder of the flat tree delegates to
+/// the recursive builders here and flattens the result, so the two emit
+/// bit-identical codes by construction. Keep using [`crate::CutTree`] on
+/// production paths; this type remains for property-test oracles and as
+/// the `bench_route` baseline.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct CutTree {
+pub struct NaiveCutTree {
     bounds: HyperRect,
     root: Node,
 }
 
-impl CutTree {
+impl NaiveCutTree {
     /// Builds an even (midpoint) cut tree of the given depth.
     ///
     /// Axes are cut round-robin; axes that can no longer be split (single
@@ -67,7 +79,7 @@ impl CutTree {
     pub fn even(bounds: HyperRect, depth: u8) -> Self {
         assert!(depth as usize <= mind_types::code::MAX_CODE_LEN as usize);
         let root = build_even(&bounds, 0, depth);
-        CutTree { bounds, root }
+        NaiveCutTree { bounds, root }
     }
 
     /// Builds a balanced cut tree of the given depth from raw data points.
@@ -88,7 +100,7 @@ impl CutTree {
             })
             .collect();
         let root = build_balanced_points(&bounds, 0, depth, &mut owned);
-        CutTree { bounds, root }
+        NaiveCutTree { bounds, root }
     }
 
     /// Builds a balanced cut tree from an aggregated [`GridHistogram`] — the
@@ -106,12 +118,17 @@ impl CutTree {
         assert_eq!(hist.bounds(), &bounds, "histogram bounds mismatch");
         let bins: Vec<(Vec<u64>, u64)> = hist.raw_bins().collect();
         let root = build_balanced_hist(&bounds, 0, depth, &bins, hist);
-        CutTree { bounds, root }
+        NaiveCutTree { bounds, root }
     }
 
     /// The bounding hyper-rectangle of the indexed data space.
     pub fn bounds(&self) -> &HyperRect {
         &self.bounds
+    }
+
+    /// The root node, for the flattening pass in [`crate::flat`].
+    pub(crate) fn root(&self) -> &Node {
+        &self.root
     }
 
     /// The code of the leaf region containing `point` (clamped to bounds).
@@ -547,7 +564,7 @@ mod tests {
 
     #[test]
     fn even_tree_shape() {
-        let t = CutTree::even(bounds2(), 4);
+        let t = NaiveCutTree::even(bounds2(), 4);
         assert_eq!(t.depth(), 4);
         assert_eq!(t.leaf_count(), 16);
         let leaves = t.leaves();
@@ -559,7 +576,7 @@ mod tests {
 
     #[test]
     fn code_for_point_descends_correctly() {
-        let t = CutTree::even(bounds2(), 2);
+        let t = NaiveCutTree::even(bounds2(), 2);
         // depth 2: first cut dim 0 at 511, then dim 1 at 511.
         assert_eq!(t.code_for_point(&[0, 0]).to_string(), "00");
         assert_eq!(t.code_for_point(&[0, 1023]).to_string(), "01");
@@ -569,7 +586,7 @@ mod tests {
 
     #[test]
     fn rect_for_code_ignores_extra_bits() {
-        let t = CutTree::even(bounds2(), 2);
+        let t = NaiveCutTree::even(bounds2(), 2);
         let full = t.rect_for_code(&BitCode::parse("00").unwrap());
         let extra = t.rect_for_code(&BitCode::parse("0010").unwrap());
         assert_eq!(full, extra);
@@ -577,7 +594,7 @@ mod tests {
 
     #[test]
     fn single_point_domain_becomes_leaf() {
-        let t = CutTree::even(HyperRect::new(vec![5, 5], vec![5, 5]), 8);
+        let t = NaiveCutTree::even(HyperRect::new(vec![5, 5], vec![5, 5]), 8);
         assert_eq!(t.depth(), 0);
         assert_eq!(t.leaf_count(), 1);
     }
@@ -585,7 +602,7 @@ mod tests {
     #[test]
     fn narrow_axis_skipped() {
         // Axis 0 has a single value; all cuts must go to axis 1.
-        let t = CutTree::even(HyperRect::new(vec![7, 0], vec![7, 1023]), 3);
+        let t = NaiveCutTree::even(HyperRect::new(vec![7, 0], vec![7, 1023]), 3);
         assert_eq!(t.leaf_count(), 8);
         for (_, r) in t.leaves() {
             assert_eq!(r.lo(0), 7);
@@ -605,8 +622,8 @@ mod tests {
             pts.push(vec![100 + i * 9, 500 + (i * 37) % 500]);
         }
         let refs: Vec<&[Value]> = pts.iter().map(|p| p.as_slice()).collect();
-        let bal = CutTree::balanced_from_points(bounds2(), 3, &refs);
-        let even = CutTree::even(bounds2(), 3);
+        let bal = NaiveCutTree::balanced_from_points(bounds2(), 3, &refs);
+        let even = NaiveCutTree::even(bounds2(), 3);
         let bal_max = *bal
             .leaf_occupancy(pts.iter().cloned())
             .iter()
@@ -637,7 +654,7 @@ mod tests {
         for p in &pts {
             hist.add(p);
         }
-        let tree = CutTree::balanced_from_histogram(bounds2(), 4, &hist);
+        let tree = NaiveCutTree::balanced_from_histogram(bounds2(), 4, &hist);
         let occ = tree.leaf_occupancy(pts.iter().cloned());
         let max = *occ.iter().max().unwrap();
         // Perfect balance would be 1000/16 ≈ 63; histogram granularity
@@ -647,7 +664,7 @@ mod tests {
 
     #[test]
     fn covering_codes_small_and_large_queries() {
-        let t = CutTree::even(bounds2(), 4);
+        let t = NaiveCutTree::even(bounds2(), 4);
         // Tiny query inside one leaf -> exactly one 4-bit code.
         let tiny = HyperRect::new(vec![10, 10], vec![20, 20]);
         let codes = t.covering_codes(&tiny);
@@ -663,7 +680,7 @@ mod tests {
 
     #[test]
     fn query_prefix_contains_query() {
-        let t = CutTree::even(bounds2(), 6);
+        let t = NaiveCutTree::even(bounds2(), 6);
         let q = HyperRect::new(vec![100, 200], vec![150, 260]);
         let p = t.query_prefix(&q).unwrap();
         assert!(t.rect_for_code(&p).contains_rect(&q));
@@ -681,7 +698,7 @@ mod tests {
         // serialized form must round-trip exactly.
         let pts: Vec<Vec<Value>> = (0..100).map(|i| vec![i * 10, i * 7 % 1000]).collect();
         let refs: Vec<&[Value]> = pts.iter().map(|p| p.as_slice()).collect();
-        let t = CutTree::balanced_from_points(bounds2(), 5, &refs);
+        let t = NaiveCutTree::balanced_from_points(bounds2(), 5, &refs);
         let json = serde_json_like(&t);
         assert!(!json.is_empty());
     }
@@ -690,7 +707,7 @@ mod tests {
     /// `serde` `Serialize` impl through a counting serializer is overkill —
     /// just verify `Clone`/`PartialEq` and a bincode-ish manual walk by
     /// comparing debug strings.
-    fn serde_json_like(t: &CutTree) -> String {
+    fn serde_json_like(t: &NaiveCutTree) -> String {
         format!("{t:?}")
     }
 
@@ -702,7 +719,7 @@ mod tests {
         #[test]
         fn prop_leaves_partition_domain(depth in 0u8..7, pts in arb_points()) {
             let refs: Vec<&[Value]> = pts.iter().map(|p| p.as_slice()).collect();
-            let t = CutTree::balanced_from_points(bounds2(), depth, &refs);
+            let t = NaiveCutTree::balanced_from_points(bounds2(), depth, &refs);
             let leaves = t.leaves();
             // Disjoint...
             for i in 0..leaves.len() {
@@ -721,7 +738,7 @@ mod tests {
         #[test]
         fn prop_point_code_consistent(pts in arb_points(), x in 0u64..=1023, y in 0u64..=1023) {
             let refs: Vec<&[Value]> = pts.iter().map(|p| p.as_slice()).collect();
-            let t = CutTree::balanced_from_points(bounds2(), 5, &refs);
+            let t = NaiveCutTree::balanced_from_points(bounds2(), 5, &refs);
             let code = t.code_for_point(&[x, y]);
             prop_assert!(t.rect_for_code(&code).contains_point(&[x, y]));
         }
@@ -733,7 +750,7 @@ mod tests {
             w in 0u64..512, h in 0u64..512,
         ) {
             let refs: Vec<&[Value]> = pts.iter().map(|p| p.as_slice()).collect();
-            let t = CutTree::balanced_from_points(bounds2(), 6, &refs);
+            let t = NaiveCutTree::balanced_from_points(bounds2(), 6, &refs);
             let q = HyperRect::new(
                 vec![qx, qy],
                 vec![(qx + w).min(1023), (qy + h).min(1023)],
@@ -768,7 +785,7 @@ mod tests {
             qx in 0u64..=1000, qy in 0u64..=1000,
         ) {
             let refs: Vec<&[Value]> = pts.iter().map(|p| p.as_slice()).collect();
-            let t = CutTree::balanced_from_points(bounds2(), 5, &refs);
+            let t = NaiveCutTree::balanced_from_points(bounds2(), 5, &refs);
             let q = HyperRect::new(vec![qx, qy], vec![(qx + 23).min(1023), (qy + 23).min(1023)]);
             let prefix = t.query_prefix(&q).unwrap();
             for c in t.covering_codes(&q) {

@@ -16,13 +16,19 @@
 //!   (Figure 5, top left); *balanced* cuts split at the weighted median of
 //!   the observed distribution so every leaf holds roughly the same number
 //!   of records (Figure 5, bottom right).
+//!
+//! [`CutTree`] is the flat-arena layout traversed on the routing hot paths
+//! (see [`flat`]); the boxed [`NaiveCutTree`] it is built from remains as
+//! the property-test oracle and bench baseline (see [`cuts`]).
 
 #![warn(missing_docs)]
 
 pub mod cuts;
+pub mod flat;
 pub mod grid;
 pub mod mismatch;
 
-pub use cuts::{CutStrategy, CutTree};
+pub use cuts::{CutStrategy, NaiveCutTree};
+pub use flat::CutTree;
 pub use grid::GridHistogram;
 pub use mismatch::{mismatch, mismatch_fraction};

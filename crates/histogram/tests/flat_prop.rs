@@ -1,0 +1,182 @@
+//! Property suite: the flat arena [`CutTree`] must be observationally
+//! identical to the boxed [`NaiveCutTree`] oracle it flattens.
+//!
+//! The flat tree is the routing hot path — codes it emits become overlay
+//! addresses, so a single differing bit silently misroutes records. Every
+//! query surface (`code_for_point`, `rect_for_code`, `covering_codes`,
+//! `covering_codes_at_least`, `query_prefix`) is therefore checked
+//! bit-for-bit against the oracle across all three builders (even cuts,
+//! point-balanced, histogram-balanced), with the awkward inputs the unit
+//! tests skip: duplicate-heavy point sets, out-of-bounds probes, codes
+//! deeper than the tree, degenerate one-leaf domains, and requested
+//! depths far beyond what a tiny domain can realize.
+
+use mind_histogram::{CutTree, GridHistogram, NaiveCutTree};
+use mind_types::{BitCode, HyperRect, Value};
+use proptest::prelude::*;
+
+fn bounds2() -> HyperRect {
+    HyperRect::new(vec![0, 0], vec![1023, 1023])
+}
+
+/// One (oracle, flat) pair per builder, all over the same inputs.
+fn tree_pairs(depth: u8, pts: &[Vec<Value>]) -> Vec<(NaiveCutTree, CutTree)> {
+    let refs: Vec<&[Value]> = pts.iter().map(|p| p.as_slice()).collect();
+    let mut hist = GridHistogram::new(bounds2(), 32);
+    for p in pts {
+        hist.add(p);
+    }
+    [
+        NaiveCutTree::even(bounds2(), depth),
+        NaiveCutTree::balanced_from_points(bounds2(), depth, &refs),
+        NaiveCutTree::balanced_from_histogram(bounds2(), depth, &hist),
+    ]
+    .into_iter()
+    .map(|naive| {
+        let flat = CutTree::from_naive(&naive);
+        (naive, flat)
+    })
+    .collect()
+}
+
+fn arb_points() -> impl Strategy<Value = Vec<Vec<Value>>> {
+    prop::collection::vec(prop::collection::vec(0u64..=1023, 2), 1..150)
+}
+
+/// Duplicate-heavy point sets: coordinates drawn from eight values, so
+/// balanced builders see long runs of equal points and repeated
+/// thresholds.
+fn arb_clumped_points() -> impl Strategy<Value = Vec<Vec<Value>>> {
+    prop::collection::vec(prop::collection::vec(0u64..=7, 2), 1..150)
+}
+
+fn arb_query() -> impl Strategy<Value = HyperRect> {
+    (0u64..=1200, 0u64..=1200, 0u64..600, 0u64..600).prop_map(|(x, y, w, h)| {
+        // Deliberately allowed to hang past the domain edge (and to miss
+        // the domain entirely): clipping is part of the contract.
+        HyperRect::new(vec![x, y], vec![x + w, y + h])
+    })
+}
+
+proptest! {
+    #[test]
+    fn prop_codes_bit_identical(
+        depth in 0u8..8,
+        pts in arb_points(),
+        px in 0u64..=4000,
+        py in 0u64..=4000,
+    ) {
+        for (naive, flat) in tree_pairs(depth, &pts) {
+            // Every build point, plus an arbitrary (possibly out-of-bounds)
+            // probe: the flat descent skips the oracle's clamp, so the
+            // out-of-range cases are exactly where they could diverge.
+            let probe = vec![px, py];
+            for p in pts.iter().chain(std::iter::once(&probe)) {
+                prop_assert_eq!(flat.code_for_point(p), naive.code_for_point(p));
+            }
+        }
+    }
+
+    #[test]
+    fn prop_rect_for_code_matches_even_past_the_leaves(
+        depth in 0u8..7,
+        pts in arb_points(),
+        extra in prop::collection::vec(any::<bool>(), 0..4),
+    ) {
+        for (naive, flat) in tree_pairs(depth, &pts) {
+            prop_assert_eq!(flat.leaves(), naive.leaves());
+            for (code, rect) in naive.leaves() {
+                prop_assert_eq!(flat.rect_for_code(&code), rect.clone());
+                prop_assert_eq!(flat.leaf_rect(&code), Some(&rect));
+                // Trailing bits past a leaf are ignored by both trees.
+                let mut deep = code;
+                for &b in &extra {
+                    deep = deep.child(b);
+                }
+                prop_assert_eq!(flat.rect_for_code(&deep), naive.rect_for_code(&deep));
+            }
+        }
+    }
+
+    #[test]
+    fn prop_covering_codes_match(
+        depth in 0u8..7,
+        pts in arb_points(),
+        q in arb_query(),
+        min_len in 0u8..8,
+    ) {
+        for (naive, flat) in tree_pairs(depth, &pts) {
+            prop_assert_eq!(flat.covering_codes(&q), naive.covering_codes(&q));
+            prop_assert_eq!(
+                flat.covering_codes_at_least(&q, min_len),
+                naive.covering_codes_at_least(&q, min_len)
+            );
+        }
+    }
+
+    #[test]
+    fn prop_query_prefix_matches(depth in 0u8..7, pts in arb_points(), q in arb_query()) {
+        for (naive, flat) in tree_pairs(depth, &pts) {
+            prop_assert_eq!(flat.query_prefix(&q), naive.query_prefix(&q));
+        }
+    }
+
+    #[test]
+    fn prop_duplicate_heavy_builds_agree(depth in 0u8..8, pts in arb_clumped_points()) {
+        for (naive, flat) in tree_pairs(depth, &pts) {
+            for p in &pts {
+                prop_assert_eq!(
+                    flat.code_for_point(p),
+                    naive.code_for_point(p)
+                );
+            }
+            prop_assert_eq!(flat.leaves(), naive.leaves());
+        }
+    }
+
+    #[test]
+    fn prop_single_point_domain_is_one_leaf(v in 0u64..=1023, depth in 0u8..64) {
+        // A zero-width domain can never split, no matter the requested
+        // depth: both trees must collapse to the root leaf.
+        let dom = HyperRect::new(vec![v, v], vec![v, v]);
+        let naive = NaiveCutTree::even(dom.clone(), depth);
+        let flat = CutTree::from_naive(&naive);
+        prop_assert_eq!(flat.depth(), 0);
+        prop_assert_eq!(flat.leaf_count(), 1);
+        prop_assert_eq!(flat.code_for_point(&[v, v]), BitCode::ROOT);
+        prop_assert_eq!(flat.leaf_rect(&BitCode::ROOT), Some(&dom));
+        prop_assert_eq!(flat.query_prefix(&dom), Some(BitCode::ROOT));
+    }
+
+    #[test]
+    fn prop_tiny_domain_at_huge_requested_depth(
+        w in 0u64..=3,
+        h in 0u64..=3,
+        depth in 8u8..64,
+        px in 0u64..=3,
+        py in 0u64..=3,
+    ) {
+        // The requested depth dwarfs what a <=4x4 domain can realize; the
+        // builders must bottom out on unit-width axes, and the flat tree
+        // must mirror wherever the oracle stopped.
+        let dom = HyperRect::new(vec![0, 0], vec![w, h]);
+        let naive = NaiveCutTree::even(dom, depth);
+        let flat = CutTree::from_naive(&naive);
+        prop_assert_eq!(flat.depth(), naive.depth());
+        prop_assert_eq!(flat.leaves(), naive.leaves());
+        prop_assert_eq!(
+            flat.code_for_point(&[px, py]),
+            naive.code_for_point(&[px, py])
+        );
+    }
+
+    #[test]
+    fn prop_occupancy_matches(depth in 0u8..6, pts in arb_points()) {
+        for (naive, flat) in tree_pairs(depth, &pts) {
+            prop_assert_eq!(
+                flat.leaf_occupancy(pts.iter().cloned()),
+                naive.leaf_occupancy(pts.iter().cloned())
+            );
+        }
+    }
+}

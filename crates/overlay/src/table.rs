@@ -225,11 +225,17 @@ impl NeighborTable {
     pub fn next_hop(&self, my_code: &BitCode, target: &BitCode) -> Option<&NeighborEntry> {
         let my_cpl = my_code.common_prefix_len(target);
         // Prefer the contact (representative or extra) with the longest
-        // live progress toward the target.
-        self.alive()
-            .chain(self.extras.iter().filter(|e| e.alive))
-            .filter(|e| e.code.common_prefix_len(target) > my_cpl)
-            .max_by_key(|e| e.code.common_prefix_len(target))
+        // live progress toward the target. One prefix computation per
+        // candidate; `>=` keeps the last maximum, matching what
+        // `max_by_key` over the same chain used to pick.
+        let mut best: Option<(&NeighborEntry, u8)> = None;
+        for e in self.alive().chain(self.extras.iter().filter(|e| e.alive)) {
+            let cpl = e.code.common_prefix_len(target);
+            if cpl > my_cpl && best.is_none_or(|(_, b)| cpl >= b) {
+                best = Some((e, cpl));
+            }
+        }
+        best.map(|(e, _)| e)
     }
 }
 

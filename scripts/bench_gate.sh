@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
-# Store perf gate: measure the columnar-vs-naive ratios and diff them
-# against the committed baseline (BENCH_store.json).
+# Perf gates: measure the flat-vs-naive ratios for the store and route
+# planes and diff them against the committed baselines (BENCH_store.json,
+# BENCH_route.json).
 #
-# The gate fails when the range/count speedup drops below the hard 2x
-# floor or regresses more than 20 % against the baseline, or when the
-# columnar build drifts past ~1.2x the naive build. Ratios — not absolute
-# nanoseconds — are compared, so the gate is portable across machines.
+# Each gate fails when a gated speedup drops below its hard 2x floor or
+# regresses more than 20 % against its baseline, or when a build-cost
+# ratio drifts past its ceiling. Ratios — not absolute nanoseconds — are
+# compared, so the gates are portable across machines.
 #
-# Refresh the baseline after an intentional perf change with:
+# Refresh a baseline after an intentional perf change with:
 #   cargo run --release -p mind-bench --bin bench_store -- --write BENCH_store.json
+#   cargo run --release -p mind-bench --bin bench_route -- --write BENCH_route.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p mind-bench --bin bench_store
-exec ./target/release/bench_store --check BENCH_store.json
+cargo build --release -p mind-bench --bin bench_store --bin bench_route
+
+status=0
+./target/release/bench_store --check BENCH_store.json || status=1
+./target/release/bench_route --check BENCH_route.json || status=1
+exit "$status"
