@@ -1,0 +1,84 @@
+//! Workspace driver for the determinism analyzer.
+//!
+//! Usage: `cargo run -p mind-analysis --bin analyze -- [root]`
+//!
+//! Walks every `.rs` file under `root` (default `.`), skipping build
+//! output, vendored stand-ins, the fuzz harness, and the analyzer's own
+//! deliberately-bad fixture corpus, then runs the rule engine and prints
+//! one diagnostic per finding. Exit status 1 when anything is found.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "fuzz"];
+
+fn main() -> ExitCode {
+    let root_arg = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
+    let root = PathBuf::from(&root_arg);
+    if !root.is_dir() {
+        eprintln!("analyze: {} is not a directory", root.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut files: Vec<(String, String)> = Vec::new();
+    if let Err(e) = collect(&root, &root, &mut files) {
+        eprintln!("analyze: {}", e);
+        return ExitCode::FAILURE;
+    }
+    files.sort();
+
+    let diags = mind_analysis::analyze_sources(&files);
+    for d in &diags {
+        println!("{}", d);
+    }
+    if diags.is_empty() {
+        println!("analyze: OK — {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "analyze: {} finding(s) in {} files scanned",
+            diags.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Recursively gathers workspace `.rs` files as `(rel_path, source)`,
+/// in sorted order for deterministic output.
+fn collect(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("read_dir {}: {}", dir.display(), e))?
+        .filter_map(|r| r.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| e.to_string())?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            // The fixture corpus is deliberately full of violations.
+            if rel.contains("/tests/fixtures/") {
+                continue;
+            }
+            let src =
+                fs::read_to_string(&path).map_err(|e| format!("read {}: {}", path.display(), e))?;
+            out.push((rel, src));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Analyzer diagnostics.
+
+use std::fmt;
+
+/// One analyzer finding, pinned to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative, `/`-separated path.
+    pub rel_path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name.
+    pub rule: &'static str,
+    /// Rationale (rule `why`, possibly with hit-specific detail appended).
+    pub why: String,
+    /// Trimmed source line (context for the reader).
+    pub text: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.rel_path, self.line, self.rule, self.why, self.text
+        )
+    }
+}

@@ -1,0 +1,170 @@
+//! `hashiter`: iteration over `std::collections::HashMap`/`HashSet` in
+//! sim-driven crates.
+//!
+//! `RandomState` hashing makes iteration order differ per process and per
+//! instance, so any hash-collection iteration whose order can reach wire
+//! messages, stored state, or emitted series silently breaks same-seed
+//! byte-identical replay. The rule is deliberately coarse: in the scoped
+//! crates, *any* iteration over a binding whose declared type is
+//! `HashMap`/`HashSet` is flagged — keyed lookups stay free, ordered
+//! traversal must use `BTreeMap`/`BTreeSet` or sorted keys.
+//!
+//! Detection is two-pass over a file's tokens:
+//! 1. collect names bound to hash types, from `name: HashMap<…>` type
+//!    ascriptions (fields, lets, params, struct literals) and
+//!    `let name = HashMap::new()` initialisers;
+//! 2. flag `recv.iter()`-family calls whose receiver is a collected name,
+//!    and `for … in … name {` loops whose iterated expression ends in one.
+
+use super::{is_ident, is_punct, method_call_at, FileRule, Meta};
+use crate::lex::Delim;
+use crate::lex::TokKind;
+use crate::stream::{SourceFile, Tok};
+use std::collections::BTreeSet;
+
+pub static META: Meta = Meta {
+    name: "hashiter",
+    why: "HashMap/HashSet iteration order is randomized per instance and \
+          breaks same-seed replay; use BTreeMap/BTreeSet or sort the keys",
+    applies_in_tests: false,
+    only_prefixes: &[
+        "crates/netsim/src/",
+        "crates/core/src/",
+        "crates/overlay/src/",
+        "crates/store/src/",
+        "crates/histogram/src/",
+    ],
+    exempt_prefixes: &[],
+};
+
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Order-observing methods. `get`/`contains`/`insert`/`remove`/`len` are
+/// deliberately absent — keyed access is order-free.
+const ITER_METHODS: [&str; 11] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+    "extract_if",
+];
+
+pub struct HashIterRule;
+
+impl FileRule for HashIterRule {
+    fn meta(&self) -> &'static Meta {
+        &META
+    }
+
+    fn check(&self, sf: &SourceFile, out: &mut Vec<(u32, String)>) {
+        let toks = &sf.toks;
+        let names = collect_hash_bindings(toks);
+        if names.is_empty() {
+            return;
+        }
+        for i in 0..toks.len() {
+            if toks[i].in_test {
+                continue;
+            }
+            // `recv.iter()` family: receiver is the identifier right
+            // before the dot.
+            if let Some(m) = method_call_at(toks, i) {
+                if ITER_METHODS.contains(&toks[m].text.as_str())
+                    && i > 0
+                    && toks[i - 1].kind == TokKind::Ident
+                    && names.contains(toks[i - 1].text.as_str())
+                {
+                    out.push((toks[m].line, format!("(`{}`)", toks[i - 1].text)));
+                }
+            }
+            // `for pat in expr {`: flag when the token right before the
+            // loop-body brace is a collected name (`for x in &self.bins {`).
+            // Method-call tails (`.values() {`) are covered above.
+            if is_ident(&toks[i], "for") {
+                if let Some(body) = for_loop_body(toks, i) {
+                    let prev = &toks[body - 1];
+                    if prev.kind == TokKind::Ident && names.contains(prev.text.as_str()) {
+                        out.push((prev.line, format!("(`{}`)", prev.text)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Names bound to `HashMap`/`HashSet` anywhere in the file.
+fn collect_hash_bindings(toks: &[Tok]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        record_binding(toks, i, &mut names);
+    }
+    names
+}
+
+/// If `toks[i]` mentions a hash type, looks backward for the bound name.
+fn record_binding(toks: &[Tok], i: usize, names: &mut BTreeSet<String>) {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident || !HASH_TYPES.contains(&t.text.as_str()) {
+        return;
+    }
+    // Walk back over path/type noise to the `name :` or `name =` binding.
+    let mut j = i;
+    for _ in 0..12 {
+        if j == 0 {
+            return;
+        }
+        j -= 1;
+        let p = &toks[j];
+        let skip = is_punct(p, "::")
+            || is_punct(p, "<")
+            || is_punct(p, "&")
+            || is_ident(p, "mut")
+            || is_ident(p, "std")
+            || is_ident(p, "collections")
+            || is_ident(p, "Option")
+            || is_ident(p, "Vec")
+            || is_ident(p, "Box")
+            || is_ident(p, "Arc")
+            || is_ident(p, "Rc");
+        if skip {
+            continue;
+        }
+        if (is_punct(p, ":") || is_punct(p, "=")) && j > 0 && toks[j - 1].kind == TokKind::Ident {
+            names.insert(toks[j - 1].text.clone());
+        }
+        return;
+    }
+}
+
+/// For a `for` keyword at `i`, returns the index of the loop-body `{`
+/// (`None` when this is `impl … for …`, a HRTB `for<'a>`, or malformed).
+fn for_loop_body(toks: &[Tok], i: usize) -> Option<usize> {
+    let depth = toks[i].depth;
+    // Find the `in` at the same depth before any same-depth `{` or `;`.
+    let mut j = i + 1;
+    let mut saw_in = false;
+    while j < toks.len() && j < i + 400 {
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Open(Delim::Brace) if t.depth == depth => {
+                return if saw_in { Some(j) } else { None };
+            }
+            TokKind::Open(_) => {
+                j = t.mate;
+            }
+            TokKind::Ident if t.text == "in" && t.depth == depth && !saw_in => {
+                saw_in = true;
+            }
+            TokKind::Punct if t.text == ";" && t.depth == depth => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}

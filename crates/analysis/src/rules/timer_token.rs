@@ -1,0 +1,263 @@
+//! `timer-token`: the per-crate timer token spaces must be provably
+//! disjoint at build time.
+//!
+//! PR 4 asserts at runtime that core and overlay timer tokens never
+//! collide; this rule promotes the check to static analysis. It collects
+//! every `const TOKEN_TAG: u64 = …;` and `const KIND_*: u64 = …;` in
+//! `crates/core/src/` and `crates/overlay/src/`, evaluates the constant
+//! expressions (integer literals and `lit << lit` shifts), and verifies:
+//!
+//! * every kind fits the token layout (`kind < 256`, packed at bits 48..56);
+//! * kind values are unique within a crate;
+//! * `TOKEN_TAG` values are unique across crates (and present wherever
+//!   kinds are defined);
+//! * the composed `tag | kind << 48` spaces are globally disjoint.
+
+use super::{is_ident, is_punct, GlobalRule, Meta};
+use crate::diag::Diagnostic;
+use crate::lex::TokKind;
+use crate::stream::{SourceFile, Tok};
+use std::collections::BTreeMap;
+
+pub static META: Meta = Meta {
+    name: "timer-token",
+    why: "timer token spaces must be statically disjoint across crates",
+    applies_in_tests: false,
+    only_prefixes: &["crates/core/src/", "crates/overlay/src/"],
+    exempt_prefixes: &[],
+};
+
+/// One collected `const` of interest.
+struct TimerConst {
+    crate_name: String,
+    name: String,
+    value: Option<u64>,
+    rel_path: String,
+    line: u32,
+    text: String,
+}
+
+#[derive(Default)]
+pub struct TimerTokenRule {
+    consts: Vec<TimerConst>,
+}
+
+impl GlobalRule for TimerTokenRule {
+    fn meta(&self) -> &'static Meta {
+        &META
+    }
+
+    fn scan_file(&mut self, sf: &SourceFile) {
+        if !META.in_scope(&sf.rel_path) {
+            return;
+        }
+        let crate_name = sf
+            .rel_path
+            .split('/')
+            .nth(1)
+            .unwrap_or("<unknown>")
+            .to_owned();
+        let toks = &sf.toks;
+        for i in 0..toks.len() {
+            if toks[i].in_test || !is_ident(&toks[i], "const") {
+                continue;
+            }
+            let Some(name_tok) = toks.get(i + 1) else {
+                continue;
+            };
+            if name_tok.kind != TokKind::Ident {
+                continue;
+            }
+            let name = name_tok.text.clone();
+            if name != "TOKEN_TAG" && !name.starts_with("KIND_") {
+                continue;
+            }
+            // Expect `: u64 = <expr> ;`.
+            if !(toks.get(i + 2).is_some_and(|t| is_punct(t, ":"))
+                && toks.get(i + 3).is_some_and(|t| is_ident(t, "u64"))
+                && toks.get(i + 4).is_some_and(|t| is_punct(t, "=")))
+            {
+                continue;
+            }
+            let expr_start = i + 5;
+            let expr_end = (expr_start..toks.len())
+                .find(|&k| is_punct(&toks[k], ";"))
+                .unwrap_or(toks.len());
+            self.consts.push(TimerConst {
+                crate_name: crate_name.clone(),
+                name,
+                value: eval(&toks[expr_start..expr_end]),
+                rel_path: sf.rel_path.clone(),
+                line: name_tok.line,
+                text: sf.line_text(name_tok.line).to_owned(),
+            });
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<Diagnostic>) {
+        let mut diag = |c: &TimerConst, why: String| {
+            out.push(Diagnostic {
+                rel_path: c.rel_path.clone(),
+                line: c.line,
+                rule: META.name,
+                why,
+                text: c.text.clone(),
+            });
+        };
+
+        // Unevaluable consts are themselves findings: the proof must be total.
+        for c in &self.consts {
+            if c.value.is_none() {
+                diag(
+                    c,
+                    format!(
+                        "cannot statically evaluate `{}`; use an integer \
+                         literal or `lit << lit`",
+                        c.name
+                    ),
+                );
+            }
+        }
+
+        // Per-crate: tag presence/uniqueness, kind range and uniqueness.
+        let mut tags: BTreeMap<&str, (&TimerConst, u64)> = BTreeMap::new();
+        for c in &self.consts {
+            let Some(v) = c.value else { continue };
+            if c.name != "TOKEN_TAG" {
+                continue;
+            }
+            if let Some((first, fv)) = tags.get(c.crate_name.as_str()) {
+                diag(
+                    c,
+                    format!(
+                        "duplicate TOKEN_TAG in crate `{}` (also {}:{}, {:#x} vs {:#x})",
+                        c.crate_name, first.rel_path, first.line, fv, v
+                    ),
+                );
+            } else {
+                tags.insert(&c.crate_name, (c, v));
+            }
+        }
+        let mut kinds_seen: BTreeMap<(&str, u64), &TimerConst> = BTreeMap::new();
+        for c in &self.consts {
+            let Some(v) = c.value else { continue };
+            if !c.name.starts_with("KIND_") {
+                continue;
+            }
+            if v >= 256 {
+                diag(
+                    c,
+                    format!("{} = {} does not fit the 8-bit kind field", c.name, v),
+                );
+                continue;
+            }
+            if !tags.contains_key(c.crate_name.as_str()) {
+                diag(
+                    c,
+                    format!(
+                        "crate `{}` defines timer kinds but no TOKEN_TAG",
+                        c.crate_name
+                    ),
+                );
+            }
+            if let Some(first) = kinds_seen.get(&(c.crate_name.as_str(), v)) {
+                if first.name != c.name {
+                    diag(
+                        c,
+                        format!(
+                            "kind value {} collides with {} ({}:{}) in crate `{}`",
+                            v, first.name, first.rel_path, first.line, c.crate_name
+                        ),
+                    );
+                }
+            } else {
+                kinds_seen.insert((&c.crate_name, v), c);
+            }
+        }
+
+        // Cross-crate: tags distinct, composed token spaces disjoint.
+        let mut by_tag: BTreeMap<u64, &str> = BTreeMap::new();
+        for (krate, (c, v)) in &tags {
+            if let Some(first) = by_tag.get(v) {
+                diag(
+                    c,
+                    format!(
+                        "TOKEN_TAG {:#x} of crate `{}` collides with crate `{}`",
+                        v, krate, first
+                    ),
+                );
+            } else {
+                by_tag.insert(*v, krate);
+            }
+        }
+        let mut tokens: BTreeMap<u64, &TimerConst> = BTreeMap::new();
+        for c in &self.consts {
+            let Some(v) = c.value else { continue };
+            if !c.name.starts_with("KIND_") || v >= 256 {
+                continue;
+            }
+            let Some((_, tag)) = tags.get(c.crate_name.as_str()) else {
+                continue;
+            };
+            let token = tag | (v << 48);
+            if let Some(first) = tokens.get(&token) {
+                if first.crate_name != c.crate_name || first.name != c.name {
+                    diag(
+                        c,
+                        format!(
+                            "composed timer token {:#x} collides with {} ({}:{})",
+                            token, first.name, first.rel_path, first.line
+                        ),
+                    );
+                }
+            } else {
+                tokens.insert(token, c);
+            }
+        }
+    }
+}
+
+/// Evaluates `lit` or `lit << lit` (the only shapes the token consts use).
+fn eval(expr: &[Tok]) -> Option<u64> {
+    match expr {
+        [a] => int(a),
+        [a, sh1, sh2, b] if is_punct(sh1, "<") && is_punct(sh2, "<") => {
+            let (a, b) = (int(a)?, int(b)?);
+            if b >= 64 {
+                return None;
+            }
+            Some(a << b)
+        }
+        _ => None,
+    }
+}
+
+/// Parses an integer literal token (decimal / hex / octal / binary,
+/// `_` separators, optional type suffix).
+fn int(t: &Tok) -> Option<u64> {
+    if t.kind != TokKind::Num {
+        return None;
+    }
+    let s: String = t.text.chars().filter(|&c| c != '_').collect();
+    let (radix, digits) = match s.as_bytes() {
+        [b'0', b'x' | b'X', ..] => (16, &s[2..]),
+        [b'0', b'o' | b'O', ..] => (8, &s[2..]),
+        [b'0', b'b' | b'B', ..] => (2, &s[2..]),
+        _ => (10, s.as_str()),
+    };
+    // Split off a type suffix (`u64`, `usize`, …).
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    let (num, suffix) = digits.split_at(end);
+    if num.is_empty() {
+        return None;
+    }
+    const SUFFIXES: [&str; 12] = [
+        "", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "isize",
+    ];
+    if !SUFFIXES.contains(&suffix) {
+        return None;
+    }
+    u64::from_str_radix(num, radix).ok()
+}

@@ -1,0 +1,123 @@
+//! `handler-wildcard`: no `_ =>` arms in dispatch matches over the wire
+//! message enums.
+//!
+//! A wildcard arm in a protocol dispatch match means a newly added wire
+//! variant compiles silently and is dropped at runtime — the compiler's
+//! exhaustiveness check is exactly the safety net the match should keep.
+//! The rule flags any top-level `_ =>` arm inside a production `match`
+//! whose arms name one of the wire enums.
+
+use super::{is_ident, is_punct, FileRule, Meta};
+use crate::lex::Delim;
+use crate::lex::TokKind;
+use crate::stream::SourceFile;
+
+pub static META: Meta = Meta {
+    name: "handler-wildcard",
+    why: "wildcard arm in a wire-message dispatch: new protocol variants \
+          would be silently dropped; enumerate the remaining variants",
+    applies_in_tests: false,
+    only_prefixes: &[],
+    exempt_prefixes: &[],
+};
+
+/// Enums carried on the wire whose dispatch must stay exhaustive.
+const DISPATCH_ENUMS: [&str; 3] = ["MindPayload", "OverlayMsg", "BaselineMsg"];
+
+pub struct HandlerWildcardRule;
+
+impl FileRule for HandlerWildcardRule {
+    fn meta(&self) -> &'static Meta {
+        &META
+    }
+
+    fn check(&self, sf: &SourceFile, out: &mut Vec<(u32, String)>) {
+        let toks = &sf.toks;
+        for i in 0..toks.len() {
+            if toks[i].in_test || !is_ident(&toks[i], "match") {
+                continue;
+            }
+            let Some(open) = match_body(toks, i) else {
+                continue;
+            };
+            let arms = arm_patterns(toks, open);
+            // The match is a wire dispatch if any arm *pattern* names a
+            // wire enum (`MindPayload::Insert { .. } => …`). Enum paths
+            // in arm bodies don't count — a timer-kind match that happens
+            // to send an OverlayMsg is not a dispatch.
+            let dispatches = arms.iter().any(|&(p, arrow)| {
+                (p..arrow).any(|k| {
+                    toks[k].kind == TokKind::Ident
+                        && DISPATCH_ENUMS.contains(&toks[k].text.as_str())
+                        && toks.get(k + 1).is_some_and(|t| is_punct(t, "::"))
+                })
+            });
+            if !dispatches {
+                continue;
+            }
+            for &(p, arrow) in &arms {
+                // `_ =>` and `_ if guard =>` are both wildcards.
+                if is_ident(&toks[p], "_") && (p + 1 == arrow || is_ident(&toks[p + 1], "if")) {
+                    out.push((toks[p].line, String::new()));
+                }
+            }
+        }
+    }
+}
+
+/// Splits a match body (brace group at `open`) into arms, returning
+/// `(pattern_start, arrow)` index pairs; the span covers the pattern and
+/// any guard. Arm bodies are hopped over (block bodies via their mate,
+/// expression bodies to the next same-depth `,`).
+fn arm_patterns(toks: &[crate::stream::Tok], open: usize) -> Vec<(usize, usize)> {
+    let close = toks[open].mate;
+    let arm_depth = toks[open].depth + 1;
+    let mut arms = Vec::new();
+    let mut p = open + 1;
+    while p < close {
+        let Some(arrow) =
+            (p..close).find(|&k| toks[k].depth == arm_depth && is_punct(&toks[k], "=>"))
+        else {
+            break;
+        };
+        arms.push((p, arrow));
+        // Advance past the body to the next pattern start.
+        let mut b = arrow + 1;
+        if b < close && toks[b].kind == TokKind::Open(Delim::Brace) && toks[b].depth == arm_depth {
+            b = toks[b].mate + 1;
+        } else {
+            while b < close && !(toks[b].depth == arm_depth && is_punct(&toks[b], ",")) {
+                if let TokKind::Open(_) = toks[b].kind {
+                    b = toks[b].mate;
+                }
+                b += 1;
+            }
+        }
+        if b < close && is_punct(&toks[b], ",") {
+            b += 1;
+        }
+        p = b;
+    }
+    arms
+}
+
+/// For a `match` keyword at `i`, the index of the body `{`.
+///
+/// Struct literals are illegal in scrutinee position, so the first brace
+/// at the keyword's depth is the body. Scrutinee sub-expressions in
+/// parens/brackets are hopped over via their mates.
+fn match_body(toks: &[crate::stream::Tok], i: usize) -> Option<usize> {
+    let depth = toks[i].depth;
+    let mut j = i + 1;
+    while j < toks.len() && j < i + 400 {
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Open(Delim::Brace) if t.depth == depth => return Some(j),
+            TokKind::Open(_) => j = t.mate,
+            TokKind::Punct if t.text == ";" && t.depth == depth => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}

@@ -1,0 +1,26 @@
+// analyze-as: crates/core/src/hashiter_bad.rs
+use std::collections::{HashMap, HashSet};
+pub struct S {
+    bins: HashMap<u64, u64>,
+    seen: HashSet<u64>,
+}
+impl S {
+    pub fn dump(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for (k, v) in &self.bins { //~ hashiter
+            out.push((*k, *v));
+        }
+        out
+    }
+    pub fn total(&self) -> u64 {
+        self.bins.values().sum() //~ hashiter
+    }
+    pub fn gc(&mut self, horizon: u64) {
+        self.seen.retain(|&c| c > horizon); //~ hashiter
+    }
+    pub fn local(n: u64) -> Vec<u64> {
+        let mut tmp = HashMap::new();
+        tmp.insert(n, n);
+        tmp.into_keys().collect() //~ hashiter
+    }
+}

@@ -1,0 +1,27 @@
+// analyze-as: crates/core/src/hashiter_good.rs
+use std::collections::{BTreeMap, HashMap};
+pub struct S {
+    bins: BTreeMap<u64, u64>,
+    lookaside: HashMap<u64, u64>,
+}
+impl S {
+    pub fn dump(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for (k, v) in &self.bins {
+            out.push((*k, *v));
+        }
+        out
+    }
+    pub fn hit(&self, k: u64) -> Option<u64> {
+        self.lookaside.get(&k).copied()
+    }
+    pub fn put(&mut self, k: u64, v: u64) {
+        self.lookaside.insert(k, v);
+    }
+}
+#[cfg(test)]
+mod tests {
+    fn order_free_assert(s: &super::S) -> u64 {
+        s.lookaside.values().sum()
+    }
+}

@@ -1,0 +1,4 @@
+// analyze-as: crates/store/src/mem.rs
+pub fn scan(records: &[Record]) -> Vec<Record> {
+    records.iter().map(|r| r.clone()).collect() //~ recclone
+}

@@ -1,0 +1,4 @@
+// analyze-as: crates/store/src/dac.rs
+pub fn scan(records: &[Arc<Record>]) -> Vec<Arc<Record>> {
+    records.iter().map(Arc::clone).collect()
+}

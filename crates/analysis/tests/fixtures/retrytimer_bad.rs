@@ -1,0 +1,10 @@
+// analyze-as: crates/core/src/retrytimer_bad.rs
+pub fn arm(out: &mut Out, id: u64) {
+    out.set_timer(10, token(KIND_OP_RETRY, id)); //~ retrytimer
+}
+#[cfg(test)]
+mod tests {
+    fn t(out: &mut Out) {
+        out.set_timer(0, token(KIND_ANTI_ENTROPY, 0)); //~ retrytimer
+    }
+}

@@ -1,0 +1,4 @@
+// analyze-as: crates/core/src/reliability.rs
+pub fn arm(out: &mut Out, id: u64) {
+    out.set_timer(10, token(KIND_OP_RETRY, id));
+}

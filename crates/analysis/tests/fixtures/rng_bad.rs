@@ -1,0 +1,11 @@
+// analyze-as: crates/core/src/rng_bad.rs
+pub fn f() -> u64 {
+    let mut r = thread_rng(); //~ rng
+    rand::random() //~ rng
+}
+#[cfg(test)]
+mod tests {
+    fn t() -> SmallRng {
+        SmallRng::from_entropy() //~ rng
+    }
+}

@@ -1,0 +1,4 @@
+// analyze-as: crates/core/src/rng_good.rs
+pub fn f(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,8 @@
+// analyze-as: crates/histogram/src/flat.rs
+pub fn descend(codes: &[u8]) -> Vec<u8> {
+    let mut stack = Vec::new(); //~ routealloc
+    let copy = codes.to_vec(); //~ routealloc
+    let again = copy.clone(); //~ routealloc
+    stack.extend_from_slice(&again);
+    stack
+}

@@ -1,0 +1,7 @@
+// analyze-as: crates/histogram/src/flat.rs
+pub fn descend(codes: &[u8], scratch: &mut Vec<u8>) {
+    scratch.clear();
+    scratch.extend_from_slice(codes);
+    let mut fixed = Vec::with_capacity(codes.len());
+    fixed.extend_from_slice(codes);
+}

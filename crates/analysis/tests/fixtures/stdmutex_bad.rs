@@ -1,0 +1,6 @@
+// analyze-as: crates/core/src/stdmutex_bad.rs
+use std::sync::Mutex; //~ stdmutex
+use std::sync::{Arc, RwLock}; //~ stdmutex
+pub struct S {
+    m: std::sync::Mutex<u32>, //~ stdmutex
+}

@@ -1,0 +1,8 @@
+// analyze-as: crates/core/src/stdmutex_good.rs
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+pub struct S {
+    m: Mutex<u32>,
+    r: RwLock<u32>,
+    a: Arc<u32>,
+}

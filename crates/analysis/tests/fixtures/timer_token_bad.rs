@@ -1,0 +1,5 @@
+// analyze-as: crates/core/src/timer_token_bad.rs
+pub const TOKEN_TAG: u64 = 0xB6 << 56;
+pub const KIND_A: u64 = 1;
+pub const KIND_B: u64 = 1; //~ timer-token
+pub const KIND_BIG: u64 = 300; //~ timer-token

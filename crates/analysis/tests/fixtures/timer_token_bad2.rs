@@ -1,0 +1,3 @@
+// analyze-as: crates/overlay/src/timer_token_bad2.rs
+pub const TOKEN_TAG: u64 = 0xB6 << 56; //~ timer-token
+pub const KIND_C: u64 = 2;

@@ -1,0 +1,4 @@
+// analyze-as: crates/core/src/timer_token_good.rs
+pub const TOKEN_TAG: u64 = 0xB6 << 56;
+pub const KIND_A: u64 = 0;
+pub const KIND_B: u64 = 1;

@@ -1,0 +1,4 @@
+// analyze-as: crates/overlay/src/timer_token_good2.rs
+pub const TOKEN_TAG: u64 = 0xA5 << 56;
+pub const KIND_HEARTBEAT: u64 = 0;
+pub const KIND_RING: u64 = 2;

@@ -1,0 +1,13 @@
+// analyze-as: crates/core/src/unwrap_good.rs
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+pub fn s() -> &'static str {
+    ".unwrap() inside a string literal is not a call"
+}
+#[cfg(test)]
+mod tests {
+    fn t(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}

@@ -1,0 +1,8 @@
+// analyze-as: crates/core/src/waiver_bad.rs
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap() // lint:allow(unwrap) //~ waiver-justified
+}
+pub fn g(x: Option<u32>) -> u32 {
+    // lint:allow(nosuchrule) the rule name is a typo //~ waiver-justified
+    x.unwrap_or_default()
+}

@@ -1,0 +1,8 @@
+// analyze-as: crates/core/src/waiver_good.rs
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap() // lint:allow(unwrap) fixture: caller guarantees Some
+}
+pub fn g(x: Option<u32>) -> u32 {
+    // lint:allow(unwrap) fixture: waiver on the line above also counts
+    x.unwrap()
+}

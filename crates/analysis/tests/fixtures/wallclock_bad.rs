@@ -1,0 +1,10 @@
+// analyze-as: crates/core/src/wallclock_bad.rs
+pub fn f() -> Instant {
+    Instant::now() //~ wallclock
+}
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let _ = std::time::SystemTime::now(); //~ wallclock
+    }
+}

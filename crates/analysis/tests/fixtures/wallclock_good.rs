@@ -1,0 +1,4 @@
+// analyze-as: crates/net/src/wallclock_good.rs
+pub fn f() -> Instant {
+    Instant::now()
+}

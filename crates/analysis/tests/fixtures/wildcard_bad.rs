@@ -1,0 +1,13 @@
+// analyze-as: crates/core/src/wildcard_bad.rs
+pub fn dispatch(m: MindPayload) {
+    match m {
+        MindPayload::CatalogRequest => {}
+        _ => {} //~ handler-wildcard
+    }
+}
+pub fn sizes(m: &OverlayMsg) -> usize {
+    match m {
+        OverlayMsg::JoinRequest => 8,
+        _ => 32, //~ handler-wildcard
+    }
+}

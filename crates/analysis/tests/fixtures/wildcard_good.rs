@@ -1,0 +1,31 @@
+// analyze-as: crates/core/src/wildcard_good.rs
+pub fn dispatch(m: MindPayload) -> u32 {
+    match m {
+        MindPayload::CatalogRequest => 1,
+        MindPayload::Insert { .. } => 2,
+    }
+}
+pub fn integer_kinds(k: u64) -> u32 {
+    match k {
+        0 => 1,
+        _ => 0,
+    }
+}
+pub fn enum_in_body_is_not_a_dispatch(k: u64, out: &mut Out) -> u32 {
+    match k {
+        1 => {
+            out.send(MindPayload::CatalogRequest);
+            1
+        }
+        _ => 0,
+    }
+}
+#[cfg(test)]
+mod tests {
+    fn t(m: MindPayload) -> u32 {
+        match m {
+            MindPayload::CatalogRequest => 1,
+            _ => 0,
+        }
+    }
+}

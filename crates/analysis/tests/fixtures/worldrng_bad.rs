@@ -1,0 +1,4 @@
+// analyze-as: crates/netsim/src/worldrng_bad.rs
+pub fn second_rng() -> StdRng {
+    StdRng::seed_from_u64(42) //~ worldrng
+}

@@ -1,0 +1,5 @@
+// analyze-as: crates/netsim/src/worldrng_good.rs
+pub fn world_rng(seed: u64) -> StdRng {
+    // lint:allow(worldrng) fixture: this IS the world RNG, seeded from config
+    StdRng::seed_from_u64(seed)
+}

@@ -26,7 +26,7 @@ use mind_overlay::{Overlay, OverlayConfig, OverlayEvent, OverlayMsg};
 use mind_store::DacCostModel;
 use mind_types::node::{NodeLogic, Outbox, SimTime, SECONDS};
 use mind_types::{BitCode, HyperRect, MindError, NodeId, Record};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// The outbox type every MIND handler writes into.
@@ -103,7 +103,7 @@ pub struct MindNode {
     id: NodeId,
     pub(crate) cfg: MindConfig,
     pub(crate) overlay: Overlay<MindPayload>,
-    pub(crate) indexes: HashMap<String, IndexState>,
+    pub(crate) indexes: BTreeMap<String, IndexState>,
     // DAC (crate::dac_drive)
     pub(crate) dac_queue: VecDeque<DacJob>,
     pub(crate) dac_busy: bool,
@@ -176,7 +176,7 @@ impl MindNode {
             id,
             cfg,
             overlay,
-            indexes: HashMap::new(),
+            indexes: BTreeMap::new(),
             dac_queue: VecDeque::new(),
             dac_busy: false,
             batch_seq: 0,
@@ -476,7 +476,22 @@ impl MindNode {
             MindPayload::DropTrigger { trigger_id } => {
                 self.triggers.remove(trigger_id);
             }
-            _ => {}
+            // Routed/direct-only payloads never arrive by flood; listing
+            // them keeps this dispatch exhaustive, so a new wire variant
+            // must explicitly choose its delivery path here.
+            MindPayload::Insert { .. }
+            | MindPayload::Replica { .. }
+            | MindPayload::Ack { .. }
+            | MindPayload::RootQuery { .. }
+            | MindPayload::SubQuery { .. }
+            | MindPayload::QueryPlan { .. }
+            | MindPayload::QueryResponse { .. }
+            | MindPayload::TriggerFired { .. }
+            | MindPayload::CatalogRequest
+            | MindPayload::CatalogResponse { .. }
+            | MindPayload::HandoffScan { .. }
+            | MindPayload::HandoffRecords { .. }
+            | MindPayload::HistReport { .. } => {}
         }
     }
 

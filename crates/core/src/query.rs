@@ -8,7 +8,7 @@
 
 use mind_types::node::SimTime;
 use mind_types::{BitCode, NodeId, Record};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// The in-flight state of one query at its originator.
@@ -19,13 +19,13 @@ pub struct QueryTracker {
     /// When the query was issued.
     pub issued_at: SimTime,
     /// Versions whose plan has not arrived yet.
-    pub plans_pending: HashSet<u32>,
+    pub plans_pending: BTreeSet<u32>,
     /// `(version, code)` sub-queries announced by plans.
-    pub expected: HashSet<(u32, BitCode)>,
+    pub expected: BTreeSet<(u32, BitCode)>,
     /// `(version, code)` sub-queries answered so far.
-    pub answered: HashSet<(u32, BitCode)>,
+    pub answered: BTreeSet<(u32, BitCode)>,
     /// Distinct responding nodes (the paper's *query cost*).
-    pub responders: HashSet<NodeId>,
+    pub responders: BTreeSet<NodeId>,
     /// Records accumulated, as shared handles: responses answered from the
     /// local store arrive without ever copying payloads (wire responses
     /// are wrapped on receipt). Materialized once, in [`Self::outcome`].
@@ -43,9 +43,9 @@ impl QueryTracker {
             index,
             issued_at,
             plans_pending: versions.iter().copied().collect(),
-            expected: HashSet::new(),
-            answered: HashSet::new(),
-            responders: HashSet::new(),
+            expected: BTreeSet::new(),
+            answered: BTreeSet::new(),
+            responders: BTreeSet::new(),
             records: Vec::new(),
             completed_at: None,
             timed_out: false,

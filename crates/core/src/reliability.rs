@@ -20,7 +20,7 @@ use crate::node::{token, MindNode, Out};
 use mind_overlay::OverlayMsg;
 use mind_types::node::{SimTime, TimerId};
 use mind_types::{BitCode, NodeId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 pub(crate) const KIND_OP_RETRY: u64 = 4;
 pub(crate) const KIND_ANTI_ENTROPY: u64 = 6;
@@ -60,13 +60,13 @@ pub(crate) struct PendingOp {
 #[derive(Debug, Default)]
 struct OriginSeen {
     horizon: u64,
-    recent: HashSet<u64>,
+    recent: BTreeSet<u64>,
 }
 
 /// The receiver side of op dedup, bounded via the horizon protocol.
 #[derive(Debug, Default)]
 pub(crate) struct SeenOps {
-    by_origin: HashMap<u64, OriginSeen>,
+    by_origin: BTreeMap<u64, OriginSeen>,
 }
 
 impl SeenOps {

@@ -16,7 +16,7 @@
 use crate::messages::CarriedFilter;
 use mind_types::{HyperRect, NodeId, Record};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One standing query.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -44,7 +44,7 @@ impl Trigger {
 /// The per-node registry of installed triggers.
 #[derive(Debug, Default)]
 pub struct TriggerSet {
-    by_index: HashMap<String, Vec<Trigger>>,
+    by_index: BTreeMap<String, Vec<Trigger>>,
 }
 
 impl TriggerSet {

@@ -10,7 +10,7 @@
 
 use mind_types::{HyperRect, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Maximum number of dimensions a histogram supports (bin coordinates are
 /// packed 8 bits per dimension into a `u64`).
@@ -25,7 +25,7 @@ pub struct GridHistogram {
     bounds: HyperRect,
     granularity: u32,
     /// Non-empty bins: packed bin coordinates → tuple count.
-    bins: HashMap<u64, u64>,
+    bins: BTreeMap<u64, u64>,
     total: u64,
 }
 
@@ -49,7 +49,7 @@ impl GridHistogram {
         GridHistogram {
             bounds,
             granularity,
-            bins: HashMap::new(),
+            bins: BTreeMap::new(),
             total: 0,
         }
     }
@@ -217,6 +217,36 @@ mod tests {
         h.add(&[0]);
         assert_eq!(h.bin_count(&[1]), 1);
         assert_eq!(h.bin_count(&[0]), 1);
+    }
+
+    #[test]
+    fn iteration_is_insertion_order_independent() {
+        // Same-seed replay regression for the HashMap→BTreeMap bin-store
+        // conversion: `iter()` feeds both the wire encoding (HistReport)
+        // and the cut builder, so its order must be a function of the
+        // histogram's *contents*, never of arrival order. Under the old
+        // HashMap bins this failed: two maps with identical contents but
+        // separate RandomStates iterate in unrelated orders.
+        let mut fwd = GridHistogram::new(bounds2(), 16);
+        let mut rev = GridHistogram::new(bounds2(), 16);
+        let points: Vec<[Value; 2]> = (0..1024)
+            .step_by(13)
+            .flat_map(|x| (0..1024).step_by(37).map(move |y| [x, y]))
+            .collect();
+        for p in &points {
+            fwd.add(p);
+        }
+        for p in points.iter().rev() {
+            rev.add(p);
+        }
+        let a: Vec<(Vec<u64>, u64)> = fwd.iter().collect();
+        let b: Vec<(Vec<u64>, u64)> = rev.iter().collect();
+        assert!(
+            a.len() > 100,
+            "need enough bins to make order collisions impossible"
+        );
+        assert_eq!(a, b, "bin iteration must not depend on insertion order");
+        assert_eq!(fwd.occupancy_series(), rev.occupancy_series());
     }
 
     #[test]

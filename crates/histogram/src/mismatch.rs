@@ -15,7 +15,7 @@
 //! recomputes cuts daily rather than continuously (Figure 3).
 
 use crate::grid::GridHistogram;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The raw mismatch `Σ_x |a_x − b_x| / 2` in tuples.
 ///
@@ -28,7 +28,7 @@ pub fn mismatch(a: &GridHistogram, b: &GridHistogram) -> u64 {
         b.granularity(),
         "histogram granularity mismatch"
     );
-    let mut keys: HashSet<Vec<u64>> = HashSet::new();
+    let mut keys: BTreeSet<Vec<u64>> = BTreeSet::new();
     for (coords, _) in a.iter() {
         keys.insert(coords);
     }

@@ -43,6 +43,42 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
+/// Fuzz entry point: decodes `data` as a frame stream, then re-encodes
+/// every recovered frame and checks the round trip is lossless.
+///
+/// Pure and deterministic — the in-tree fuzz target
+/// (`fuzz/fuzz_targets/frame_decode.rs`) and the CI smoke run both drive
+/// this function; keeping it in the library means corpus crashes replay
+/// as ordinary unit-test calls. Panics only on an invariant violation,
+/// never on malformed input.
+pub fn fuzz_frame_decode(data: &[u8]) {
+    let mut r = io::Cursor::new(data);
+    let mut frames = Vec::new();
+    // Clean EOF or malformed input both end the stream; malformed input
+    // must be an error, never a panic.
+    while let Ok(Some(payload)) = read_frame(&mut r) {
+        assert!(payload.len() <= MAX_FRAME, "decoded frame exceeds cap");
+        frames.push(payload);
+    }
+    let mut buf = Vec::new();
+    for payload in &frames {
+        if write_frame(&mut buf, payload).is_err() {
+            unreachable!("a decoded frame is always re-encodable");
+        }
+    }
+    let mut r2 = io::Cursor::new(&buf[..]);
+    for payload in &frames {
+        match read_frame(&mut r2) {
+            Ok(Some(back)) => assert_eq!(&back, payload, "round trip altered a frame"),
+            other => panic!("round trip lost a frame: {other:?}"),
+        }
+    }
+    assert!(
+        matches!(read_frame(&mut r2), Ok(None)),
+        "round trip appended trailing bytes"
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +112,24 @@ mod tests {
         buf.truncate(buf.len() - 2);
         let mut r = Cursor::new(buf);
         assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn fuzz_entry_survives_adversarial_streams() {
+        // Valid stream, empty input, bare length prefix, truncated payload,
+        // oversized prefix, and garbage — none of these may panic.
+        let mut valid = Vec::new();
+        write_frame(&mut valid, b"hello").unwrap();
+        write_frame(&mut valid, b"").unwrap();
+        fuzz_frame_decode(&valid);
+        fuzz_frame_decode(&[]);
+        fuzz_frame_decode(&5u32.to_le_bytes());
+        fuzz_frame_decode(&[5, 0, 0, 0, b'x']);
+        fuzz_frame_decode(&u32::MAX.to_le_bytes());
+        fuzz_frame_decode(&[0xFF; 37]);
+        // Valid frames followed by trailing garbage still round-trip the
+        // decoded prefix.
+        valid.extend_from_slice(&[9, 9, 9]);
+        fuzz_frame_decode(&valid);
     }
 }

@@ -2,7 +2,7 @@
 
 use mind_types::node::SimTime;
 use mind_types::NodeId;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-directed-link counters.
 #[derive(Debug, Clone, Default)]
@@ -52,11 +52,11 @@ pub struct SimStats {
     /// backlogs) — bounded-memory evidence for long chaos runs.
     pub pending_events_peak: u64,
     /// Counters per directed link `(from, to)`.
-    pub per_link: HashMap<(NodeId, NodeId), LinkStats>,
+    pub per_link: BTreeMap<(NodeId, NodeId), LinkStats>,
     /// Links for which full delay traces are recorded.
-    pub traced_links: HashSet<(NodeId, NodeId)>,
+    pub traced_links: BTreeSet<(NodeId, NodeId)>,
     /// `(send time, total delay)` samples for traced links.
-    pub traces: HashMap<(NodeId, NodeId), Vec<(SimTime, SimTime)>>,
+    pub traces: BTreeMap<(NodeId, NodeId), Vec<(SimTime, SimTime)>>,
 }
 
 /// Network-level statistics including the fault-plane counters — the name

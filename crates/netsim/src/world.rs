@@ -9,7 +9,7 @@ use mind_types::node::{NodeLogic, Outbox, SimTime, TimerId, MILLIS};
 use mind_types::{NodeId, WireSize};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 
 /// Global simulation parameters.
@@ -104,7 +104,7 @@ struct Host<L: NodeLogic> {
     timer_seq: u64,
     /// Pending timers by raw [`TimerId`]: the cancellation slot map.
     /// Entries are removed on fire, on cancel, and wholesale on crash.
-    timers: HashMap<u64, EventRef>,
+    timers: BTreeMap<u64, EventRef>,
     /// Events that arrived while the CPU was busy, in arrival order.
     backlog: VecDeque<Waiting<L::Msg>>,
     /// Whether a `Resume` event is already scheduled for this host.
@@ -178,7 +178,7 @@ where
             incarnation: 0,
             busy_until: self.now,
             timer_seq: 1,
-            timers: HashMap::new(),
+            timers: BTreeMap::new(),
             backlog: VecDeque::new(),
             resume_armed: false,
         });

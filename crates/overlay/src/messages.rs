@@ -156,7 +156,21 @@ impl<P: WireSize> WireSize for OverlayMsg<P> {
             OverlayMsg::Flood { payload, .. } => 16 + payload.wire_size(),
             OverlayMsg::Direct { payload } => 8 + payload.wire_size(),
             OverlayMsg::JoinCommit { neighbors, .. } => 16 + neighbors.len() * 16,
-            _ => 32,
+            // Fixed-size control messages, enumerated so the compiler
+            // flags this site when a new wire variant is added.
+            OverlayMsg::LookupJoinTarget { .. }
+            | OverlayMsg::JoinCandidate { .. }
+            | OverlayMsg::JoinRequest
+            | OverlayMsg::SplitAsk { .. }
+            | OverlayMsg::SplitAck { .. }
+            | OverlayMsg::SplitCommit { .. }
+            | OverlayMsg::JoinReject
+            | OverlayMsg::Heartbeat { .. }
+            | OverlayMsg::HeartbeatAck { .. }
+            | OverlayMsg::CodeChanged { .. }
+            | OverlayMsg::TakeoverAnnounce { .. }
+            | OverlayMsg::RingProbe { .. }
+            | OverlayMsg::RingHit { .. } => 32,
         }
     }
 }

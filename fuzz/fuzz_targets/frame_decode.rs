@@ -1,0 +1,10 @@
+//! Fuzz target: the TCP frame codec (`crates/net/src/frame.rs`).
+//!
+//! Decodes arbitrary bytes as a frame stream, re-encodes every recovered
+//! frame, and checks the round trip is lossless. The whole invariant
+//! lives in [`mind_net::frame::fuzz_frame_decode`] so corpus crashes
+//! replay as plain unit-test calls.
+
+libfuzzer_sys::fuzz_target!(|data: &[u8]| {
+    mind_net::frame::fuzz_frame_decode(data);
+});

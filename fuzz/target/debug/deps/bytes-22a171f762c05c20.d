@@ -1,0 +1,5 @@
+/root/repo/fuzz/target/debug/deps/bytes-22a171f762c05c20.d: /root/repo/vendor/bytes/src/lib.rs
+
+/root/repo/fuzz/target/debug/deps/libbytes-22a171f762c05c20.rmeta: /root/repo/vendor/bytes/src/lib.rs
+
+/root/repo/vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/fuzz/target/debug/deps/crossbeam-2b003ca8ddac3f06.d: /root/repo/vendor/crossbeam/src/lib.rs
+
+/root/repo/fuzz/target/debug/deps/libcrossbeam-2b003ca8ddac3f06.rmeta: /root/repo/vendor/crossbeam/src/lib.rs
+
+/root/repo/vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/fuzz/target/debug/deps/frame_decode-e66cc3f29c8e5a14.d: fuzz_targets/frame_decode.rs Cargo.toml
+
+/root/repo/fuzz/target/debug/deps/libframe_decode-e66cc3f29c8e5a14.rmeta: fuzz_targets/frame_decode.rs Cargo.toml
+
+fuzz_targets/frame_decode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

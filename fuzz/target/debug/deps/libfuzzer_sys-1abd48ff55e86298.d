@@ -1,0 +1,5 @@
+/root/repo/fuzz/target/debug/deps/libfuzzer_sys-1abd48ff55e86298.d: /root/repo/vendor/libfuzzer-sys/src/lib.rs
+
+/root/repo/fuzz/target/debug/deps/liblibfuzzer_sys-1abd48ff55e86298.rmeta: /root/repo/vendor/libfuzzer-sys/src/lib.rs
+
+/root/repo/vendor/libfuzzer-sys/src/lib.rs:

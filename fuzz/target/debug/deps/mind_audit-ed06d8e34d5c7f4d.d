@@ -1,0 +1,7 @@
+/root/repo/fuzz/target/debug/deps/mind_audit-ed06d8e34d5c7f4d.d: /root/repo/crates/audit/src/lib.rs /root/repo/crates/audit/src/auditor.rs /root/repo/crates/audit/src/snapshot.rs
+
+/root/repo/fuzz/target/debug/deps/libmind_audit-ed06d8e34d5c7f4d.rmeta: /root/repo/crates/audit/src/lib.rs /root/repo/crates/audit/src/auditor.rs /root/repo/crates/audit/src/snapshot.rs
+
+/root/repo/crates/audit/src/lib.rs:
+/root/repo/crates/audit/src/auditor.rs:
+/root/repo/crates/audit/src/snapshot.rs:

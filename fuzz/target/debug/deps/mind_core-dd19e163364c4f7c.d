@@ -1,0 +1,17 @@
+/root/repo/fuzz/target/debug/deps/mind_core-dd19e163364c4f7c.d: /root/repo/crates/core/src/lib.rs /root/repo/crates/core/src/audit.rs /root/repo/crates/core/src/cluster.rs /root/repo/crates/core/src/dac_drive.rs /root/repo/crates/core/src/index.rs /root/repo/crates/core/src/messages.rs /root/repo/crates/core/src/metrics.rs /root/repo/crates/core/src/node.rs /root/repo/crates/core/src/query.rs /root/repo/crates/core/src/query_track.rs /root/repo/crates/core/src/reliability.rs /root/repo/crates/core/src/rollover.rs /root/repo/crates/core/src/trigger.rs
+
+/root/repo/fuzz/target/debug/deps/libmind_core-dd19e163364c4f7c.rmeta: /root/repo/crates/core/src/lib.rs /root/repo/crates/core/src/audit.rs /root/repo/crates/core/src/cluster.rs /root/repo/crates/core/src/dac_drive.rs /root/repo/crates/core/src/index.rs /root/repo/crates/core/src/messages.rs /root/repo/crates/core/src/metrics.rs /root/repo/crates/core/src/node.rs /root/repo/crates/core/src/query.rs /root/repo/crates/core/src/query_track.rs /root/repo/crates/core/src/reliability.rs /root/repo/crates/core/src/rollover.rs /root/repo/crates/core/src/trigger.rs
+
+/root/repo/crates/core/src/lib.rs:
+/root/repo/crates/core/src/audit.rs:
+/root/repo/crates/core/src/cluster.rs:
+/root/repo/crates/core/src/dac_drive.rs:
+/root/repo/crates/core/src/index.rs:
+/root/repo/crates/core/src/messages.rs:
+/root/repo/crates/core/src/metrics.rs:
+/root/repo/crates/core/src/node.rs:
+/root/repo/crates/core/src/query.rs:
+/root/repo/crates/core/src/query_track.rs:
+/root/repo/crates/core/src/reliability.rs:
+/root/repo/crates/core/src/rollover.rs:
+/root/repo/crates/core/src/trigger.rs:

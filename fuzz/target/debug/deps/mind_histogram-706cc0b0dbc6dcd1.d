@@ -1,0 +1,9 @@
+/root/repo/fuzz/target/debug/deps/mind_histogram-706cc0b0dbc6dcd1.d: /root/repo/crates/histogram/src/lib.rs /root/repo/crates/histogram/src/cuts.rs /root/repo/crates/histogram/src/flat.rs /root/repo/crates/histogram/src/grid.rs /root/repo/crates/histogram/src/mismatch.rs
+
+/root/repo/fuzz/target/debug/deps/libmind_histogram-706cc0b0dbc6dcd1.rmeta: /root/repo/crates/histogram/src/lib.rs /root/repo/crates/histogram/src/cuts.rs /root/repo/crates/histogram/src/flat.rs /root/repo/crates/histogram/src/grid.rs /root/repo/crates/histogram/src/mismatch.rs
+
+/root/repo/crates/histogram/src/lib.rs:
+/root/repo/crates/histogram/src/cuts.rs:
+/root/repo/crates/histogram/src/flat.rs:
+/root/repo/crates/histogram/src/grid.rs:
+/root/repo/crates/histogram/src/mismatch.rs:

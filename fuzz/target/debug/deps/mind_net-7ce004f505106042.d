@@ -1,0 +1,8 @@
+/root/repo/fuzz/target/debug/deps/mind_net-7ce004f505106042.d: /root/repo/crates/net/src/lib.rs /root/repo/crates/net/src/frame.rs /root/repo/crates/net/src/host.rs /root/repo/crates/net/src/wire.rs
+
+/root/repo/fuzz/target/debug/deps/libmind_net-7ce004f505106042.rmeta: /root/repo/crates/net/src/lib.rs /root/repo/crates/net/src/frame.rs /root/repo/crates/net/src/host.rs /root/repo/crates/net/src/wire.rs
+
+/root/repo/crates/net/src/lib.rs:
+/root/repo/crates/net/src/frame.rs:
+/root/repo/crates/net/src/host.rs:
+/root/repo/crates/net/src/wire.rs:

@@ -1,0 +1,11 @@
+/root/repo/fuzz/target/debug/deps/mind_netsim-cdb147118ab227a1.d: /root/repo/crates/netsim/src/lib.rs /root/repo/crates/netsim/src/fault.rs /root/repo/crates/netsim/src/latency.rs /root/repo/crates/netsim/src/scheduler.rs /root/repo/crates/netsim/src/stats.rs /root/repo/crates/netsim/src/topology.rs /root/repo/crates/netsim/src/world.rs
+
+/root/repo/fuzz/target/debug/deps/libmind_netsim-cdb147118ab227a1.rmeta: /root/repo/crates/netsim/src/lib.rs /root/repo/crates/netsim/src/fault.rs /root/repo/crates/netsim/src/latency.rs /root/repo/crates/netsim/src/scheduler.rs /root/repo/crates/netsim/src/stats.rs /root/repo/crates/netsim/src/topology.rs /root/repo/crates/netsim/src/world.rs
+
+/root/repo/crates/netsim/src/lib.rs:
+/root/repo/crates/netsim/src/fault.rs:
+/root/repo/crates/netsim/src/latency.rs:
+/root/repo/crates/netsim/src/scheduler.rs:
+/root/repo/crates/netsim/src/stats.rs:
+/root/repo/crates/netsim/src/topology.rs:
+/root/repo/crates/netsim/src/world.rs:

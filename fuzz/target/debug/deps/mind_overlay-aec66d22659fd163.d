@@ -1,0 +1,9 @@
+/root/repo/fuzz/target/debug/deps/mind_overlay-aec66d22659fd163.d: /root/repo/crates/overlay/src/lib.rs /root/repo/crates/overlay/src/builder.rs /root/repo/crates/overlay/src/messages.rs /root/repo/crates/overlay/src/overlay.rs /root/repo/crates/overlay/src/table.rs
+
+/root/repo/fuzz/target/debug/deps/libmind_overlay-aec66d22659fd163.rmeta: /root/repo/crates/overlay/src/lib.rs /root/repo/crates/overlay/src/builder.rs /root/repo/crates/overlay/src/messages.rs /root/repo/crates/overlay/src/overlay.rs /root/repo/crates/overlay/src/table.rs
+
+/root/repo/crates/overlay/src/lib.rs:
+/root/repo/crates/overlay/src/builder.rs:
+/root/repo/crates/overlay/src/messages.rs:
+/root/repo/crates/overlay/src/overlay.rs:
+/root/repo/crates/overlay/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/fuzz/target/debug/deps/mind_store-1722aaa3a993dc7f.d: /root/repo/crates/store/src/lib.rs /root/repo/crates/store/src/dac.rs /root/repo/crates/store/src/kdtree.rs /root/repo/crates/store/src/mem.rs /root/repo/crates/store/src/naive.rs
+
+/root/repo/fuzz/target/debug/deps/libmind_store-1722aaa3a993dc7f.rmeta: /root/repo/crates/store/src/lib.rs /root/repo/crates/store/src/dac.rs /root/repo/crates/store/src/kdtree.rs /root/repo/crates/store/src/mem.rs /root/repo/crates/store/src/naive.rs
+
+/root/repo/crates/store/src/lib.rs:
+/root/repo/crates/store/src/dac.rs:
+/root/repo/crates/store/src/kdtree.rs:
+/root/repo/crates/store/src/mem.rs:
+/root/repo/crates/store/src/naive.rs:

@@ -1,0 +1,11 @@
+/root/repo/fuzz/target/debug/deps/mind_types-e0e0ab68f26a1144.d: /root/repo/crates/types/src/lib.rs /root/repo/crates/types/src/code.rs /root/repo/crates/types/src/error.rs /root/repo/crates/types/src/node.rs /root/repo/crates/types/src/record.rs /root/repo/crates/types/src/rect.rs /root/repo/crates/types/src/schema.rs
+
+/root/repo/fuzz/target/debug/deps/libmind_types-e0e0ab68f26a1144.rmeta: /root/repo/crates/types/src/lib.rs /root/repo/crates/types/src/code.rs /root/repo/crates/types/src/error.rs /root/repo/crates/types/src/node.rs /root/repo/crates/types/src/record.rs /root/repo/crates/types/src/rect.rs /root/repo/crates/types/src/schema.rs
+
+/root/repo/crates/types/src/lib.rs:
+/root/repo/crates/types/src/code.rs:
+/root/repo/crates/types/src/error.rs:
+/root/repo/crates/types/src/node.rs:
+/root/repo/crates/types/src/record.rs:
+/root/repo/crates/types/src/rect.rs:
+/root/repo/crates/types/src/schema.rs:

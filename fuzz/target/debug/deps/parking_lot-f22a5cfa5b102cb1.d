@@ -1,0 +1,5 @@
+/root/repo/fuzz/target/debug/deps/parking_lot-f22a5cfa5b102cb1.d: /root/repo/vendor/parking_lot/src/lib.rs
+
+/root/repo/fuzz/target/debug/deps/libparking_lot-f22a5cfa5b102cb1.rmeta: /root/repo/vendor/parking_lot/src/lib.rs
+
+/root/repo/vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/fuzz/target/debug/deps/rand-d04ea5e41347442a.d: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/fuzz/target/debug/deps/librand-d04ea5e41347442a.rmeta: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/vendor/rand/src/lib.rs:

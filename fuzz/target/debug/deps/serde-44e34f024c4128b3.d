@@ -1,0 +1,7 @@
+/root/repo/fuzz/target/debug/deps/serde-44e34f024c4128b3.d: /root/repo/vendor/serde/src/lib.rs /root/repo/vendor/serde/src/de.rs /root/repo/vendor/serde/src/ser.rs
+
+/root/repo/fuzz/target/debug/deps/libserde-44e34f024c4128b3.rmeta: /root/repo/vendor/serde/src/lib.rs /root/repo/vendor/serde/src/de.rs /root/repo/vendor/serde/src/ser.rs
+
+/root/repo/vendor/serde/src/lib.rs:
+/root/repo/vendor/serde/src/de.rs:
+/root/repo/vendor/serde/src/ser.rs:

@@ -1,0 +1,5 @@
+/root/repo/fuzz/target/debug/deps/serde_derive-e233acddb4843f28.d: /root/repo/vendor/serde_derive/src/lib.rs
+
+/root/repo/fuzz/target/debug/deps/libserde_derive-e233acddb4843f28.so: /root/repo/vendor/serde_derive/src/lib.rs
+
+/root/repo/vendor/serde_derive/src/lib.rs:

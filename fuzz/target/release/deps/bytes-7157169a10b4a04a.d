@@ -1,0 +1,7 @@
+/root/repo/fuzz/target/release/deps/bytes-7157169a10b4a04a.d: /root/repo/vendor/bytes/src/lib.rs
+
+/root/repo/fuzz/target/release/deps/libbytes-7157169a10b4a04a.rlib: /root/repo/vendor/bytes/src/lib.rs
+
+/root/repo/fuzz/target/release/deps/libbytes-7157169a10b4a04a.rmeta: /root/repo/vendor/bytes/src/lib.rs
+
+/root/repo/vendor/bytes/src/lib.rs:

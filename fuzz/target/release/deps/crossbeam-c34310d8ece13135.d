@@ -1,0 +1,7 @@
+/root/repo/fuzz/target/release/deps/crossbeam-c34310d8ece13135.d: /root/repo/vendor/crossbeam/src/lib.rs
+
+/root/repo/fuzz/target/release/deps/libcrossbeam-c34310d8ece13135.rlib: /root/repo/vendor/crossbeam/src/lib.rs
+
+/root/repo/fuzz/target/release/deps/libcrossbeam-c34310d8ece13135.rmeta: /root/repo/vendor/crossbeam/src/lib.rs
+
+/root/repo/vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/fuzz/target/release/deps/frame_decode-0cf2a72ea7e8e766.d: fuzz_targets/frame_decode.rs
+
+/root/repo/fuzz/target/release/deps/frame_decode-0cf2a72ea7e8e766: fuzz_targets/frame_decode.rs
+
+fuzz_targets/frame_decode.rs:

@@ -1,0 +1,7 @@
+/root/repo/fuzz/target/release/deps/libfuzzer_sys-fb5d42bb03d8e405.d: /root/repo/vendor/libfuzzer-sys/src/lib.rs
+
+/root/repo/fuzz/target/release/deps/liblibfuzzer_sys-fb5d42bb03d8e405.rlib: /root/repo/vendor/libfuzzer-sys/src/lib.rs
+
+/root/repo/fuzz/target/release/deps/liblibfuzzer_sys-fb5d42bb03d8e405.rmeta: /root/repo/vendor/libfuzzer-sys/src/lib.rs
+
+/root/repo/vendor/libfuzzer-sys/src/lib.rs:

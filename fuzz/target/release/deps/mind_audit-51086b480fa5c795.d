@@ -1,0 +1,9 @@
+/root/repo/fuzz/target/release/deps/mind_audit-51086b480fa5c795.d: /root/repo/crates/audit/src/lib.rs /root/repo/crates/audit/src/auditor.rs /root/repo/crates/audit/src/snapshot.rs
+
+/root/repo/fuzz/target/release/deps/libmind_audit-51086b480fa5c795.rlib: /root/repo/crates/audit/src/lib.rs /root/repo/crates/audit/src/auditor.rs /root/repo/crates/audit/src/snapshot.rs
+
+/root/repo/fuzz/target/release/deps/libmind_audit-51086b480fa5c795.rmeta: /root/repo/crates/audit/src/lib.rs /root/repo/crates/audit/src/auditor.rs /root/repo/crates/audit/src/snapshot.rs
+
+/root/repo/crates/audit/src/lib.rs:
+/root/repo/crates/audit/src/auditor.rs:
+/root/repo/crates/audit/src/snapshot.rs:

@@ -1,0 +1,19 @@
+/root/repo/fuzz/target/release/deps/mind_core-9cbd25c8dbac3a33.d: /root/repo/crates/core/src/lib.rs /root/repo/crates/core/src/audit.rs /root/repo/crates/core/src/cluster.rs /root/repo/crates/core/src/dac_drive.rs /root/repo/crates/core/src/index.rs /root/repo/crates/core/src/messages.rs /root/repo/crates/core/src/metrics.rs /root/repo/crates/core/src/node.rs /root/repo/crates/core/src/query.rs /root/repo/crates/core/src/query_track.rs /root/repo/crates/core/src/reliability.rs /root/repo/crates/core/src/rollover.rs /root/repo/crates/core/src/trigger.rs
+
+/root/repo/fuzz/target/release/deps/libmind_core-9cbd25c8dbac3a33.rlib: /root/repo/crates/core/src/lib.rs /root/repo/crates/core/src/audit.rs /root/repo/crates/core/src/cluster.rs /root/repo/crates/core/src/dac_drive.rs /root/repo/crates/core/src/index.rs /root/repo/crates/core/src/messages.rs /root/repo/crates/core/src/metrics.rs /root/repo/crates/core/src/node.rs /root/repo/crates/core/src/query.rs /root/repo/crates/core/src/query_track.rs /root/repo/crates/core/src/reliability.rs /root/repo/crates/core/src/rollover.rs /root/repo/crates/core/src/trigger.rs
+
+/root/repo/fuzz/target/release/deps/libmind_core-9cbd25c8dbac3a33.rmeta: /root/repo/crates/core/src/lib.rs /root/repo/crates/core/src/audit.rs /root/repo/crates/core/src/cluster.rs /root/repo/crates/core/src/dac_drive.rs /root/repo/crates/core/src/index.rs /root/repo/crates/core/src/messages.rs /root/repo/crates/core/src/metrics.rs /root/repo/crates/core/src/node.rs /root/repo/crates/core/src/query.rs /root/repo/crates/core/src/query_track.rs /root/repo/crates/core/src/reliability.rs /root/repo/crates/core/src/rollover.rs /root/repo/crates/core/src/trigger.rs
+
+/root/repo/crates/core/src/lib.rs:
+/root/repo/crates/core/src/audit.rs:
+/root/repo/crates/core/src/cluster.rs:
+/root/repo/crates/core/src/dac_drive.rs:
+/root/repo/crates/core/src/index.rs:
+/root/repo/crates/core/src/messages.rs:
+/root/repo/crates/core/src/metrics.rs:
+/root/repo/crates/core/src/node.rs:
+/root/repo/crates/core/src/query.rs:
+/root/repo/crates/core/src/query_track.rs:
+/root/repo/crates/core/src/reliability.rs:
+/root/repo/crates/core/src/rollover.rs:
+/root/repo/crates/core/src/trigger.rs:

@@ -1,0 +1,11 @@
+/root/repo/fuzz/target/release/deps/mind_histogram-9f0e289ac51a36c2.d: /root/repo/crates/histogram/src/lib.rs /root/repo/crates/histogram/src/cuts.rs /root/repo/crates/histogram/src/flat.rs /root/repo/crates/histogram/src/grid.rs /root/repo/crates/histogram/src/mismatch.rs
+
+/root/repo/fuzz/target/release/deps/libmind_histogram-9f0e289ac51a36c2.rlib: /root/repo/crates/histogram/src/lib.rs /root/repo/crates/histogram/src/cuts.rs /root/repo/crates/histogram/src/flat.rs /root/repo/crates/histogram/src/grid.rs /root/repo/crates/histogram/src/mismatch.rs
+
+/root/repo/fuzz/target/release/deps/libmind_histogram-9f0e289ac51a36c2.rmeta: /root/repo/crates/histogram/src/lib.rs /root/repo/crates/histogram/src/cuts.rs /root/repo/crates/histogram/src/flat.rs /root/repo/crates/histogram/src/grid.rs /root/repo/crates/histogram/src/mismatch.rs
+
+/root/repo/crates/histogram/src/lib.rs:
+/root/repo/crates/histogram/src/cuts.rs:
+/root/repo/crates/histogram/src/flat.rs:
+/root/repo/crates/histogram/src/grid.rs:
+/root/repo/crates/histogram/src/mismatch.rs:

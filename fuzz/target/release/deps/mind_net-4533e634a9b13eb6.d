@@ -1,0 +1,10 @@
+/root/repo/fuzz/target/release/deps/mind_net-4533e634a9b13eb6.d: /root/repo/crates/net/src/lib.rs /root/repo/crates/net/src/frame.rs /root/repo/crates/net/src/host.rs /root/repo/crates/net/src/wire.rs
+
+/root/repo/fuzz/target/release/deps/libmind_net-4533e634a9b13eb6.rlib: /root/repo/crates/net/src/lib.rs /root/repo/crates/net/src/frame.rs /root/repo/crates/net/src/host.rs /root/repo/crates/net/src/wire.rs
+
+/root/repo/fuzz/target/release/deps/libmind_net-4533e634a9b13eb6.rmeta: /root/repo/crates/net/src/lib.rs /root/repo/crates/net/src/frame.rs /root/repo/crates/net/src/host.rs /root/repo/crates/net/src/wire.rs
+
+/root/repo/crates/net/src/lib.rs:
+/root/repo/crates/net/src/frame.rs:
+/root/repo/crates/net/src/host.rs:
+/root/repo/crates/net/src/wire.rs:

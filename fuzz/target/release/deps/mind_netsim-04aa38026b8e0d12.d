@@ -1,0 +1,13 @@
+/root/repo/fuzz/target/release/deps/mind_netsim-04aa38026b8e0d12.d: /root/repo/crates/netsim/src/lib.rs /root/repo/crates/netsim/src/fault.rs /root/repo/crates/netsim/src/latency.rs /root/repo/crates/netsim/src/scheduler.rs /root/repo/crates/netsim/src/stats.rs /root/repo/crates/netsim/src/topology.rs /root/repo/crates/netsim/src/world.rs
+
+/root/repo/fuzz/target/release/deps/libmind_netsim-04aa38026b8e0d12.rlib: /root/repo/crates/netsim/src/lib.rs /root/repo/crates/netsim/src/fault.rs /root/repo/crates/netsim/src/latency.rs /root/repo/crates/netsim/src/scheduler.rs /root/repo/crates/netsim/src/stats.rs /root/repo/crates/netsim/src/topology.rs /root/repo/crates/netsim/src/world.rs
+
+/root/repo/fuzz/target/release/deps/libmind_netsim-04aa38026b8e0d12.rmeta: /root/repo/crates/netsim/src/lib.rs /root/repo/crates/netsim/src/fault.rs /root/repo/crates/netsim/src/latency.rs /root/repo/crates/netsim/src/scheduler.rs /root/repo/crates/netsim/src/stats.rs /root/repo/crates/netsim/src/topology.rs /root/repo/crates/netsim/src/world.rs
+
+/root/repo/crates/netsim/src/lib.rs:
+/root/repo/crates/netsim/src/fault.rs:
+/root/repo/crates/netsim/src/latency.rs:
+/root/repo/crates/netsim/src/scheduler.rs:
+/root/repo/crates/netsim/src/stats.rs:
+/root/repo/crates/netsim/src/topology.rs:
+/root/repo/crates/netsim/src/world.rs:

@@ -1,0 +1,11 @@
+/root/repo/fuzz/target/release/deps/mind_overlay-73e3f03bd20edf59.d: /root/repo/crates/overlay/src/lib.rs /root/repo/crates/overlay/src/builder.rs /root/repo/crates/overlay/src/messages.rs /root/repo/crates/overlay/src/overlay.rs /root/repo/crates/overlay/src/table.rs
+
+/root/repo/fuzz/target/release/deps/libmind_overlay-73e3f03bd20edf59.rlib: /root/repo/crates/overlay/src/lib.rs /root/repo/crates/overlay/src/builder.rs /root/repo/crates/overlay/src/messages.rs /root/repo/crates/overlay/src/overlay.rs /root/repo/crates/overlay/src/table.rs
+
+/root/repo/fuzz/target/release/deps/libmind_overlay-73e3f03bd20edf59.rmeta: /root/repo/crates/overlay/src/lib.rs /root/repo/crates/overlay/src/builder.rs /root/repo/crates/overlay/src/messages.rs /root/repo/crates/overlay/src/overlay.rs /root/repo/crates/overlay/src/table.rs
+
+/root/repo/crates/overlay/src/lib.rs:
+/root/repo/crates/overlay/src/builder.rs:
+/root/repo/crates/overlay/src/messages.rs:
+/root/repo/crates/overlay/src/overlay.rs:
+/root/repo/crates/overlay/src/table.rs:

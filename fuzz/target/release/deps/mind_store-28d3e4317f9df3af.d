@@ -1,0 +1,11 @@
+/root/repo/fuzz/target/release/deps/mind_store-28d3e4317f9df3af.d: /root/repo/crates/store/src/lib.rs /root/repo/crates/store/src/dac.rs /root/repo/crates/store/src/kdtree.rs /root/repo/crates/store/src/mem.rs /root/repo/crates/store/src/naive.rs
+
+/root/repo/fuzz/target/release/deps/libmind_store-28d3e4317f9df3af.rlib: /root/repo/crates/store/src/lib.rs /root/repo/crates/store/src/dac.rs /root/repo/crates/store/src/kdtree.rs /root/repo/crates/store/src/mem.rs /root/repo/crates/store/src/naive.rs
+
+/root/repo/fuzz/target/release/deps/libmind_store-28d3e4317f9df3af.rmeta: /root/repo/crates/store/src/lib.rs /root/repo/crates/store/src/dac.rs /root/repo/crates/store/src/kdtree.rs /root/repo/crates/store/src/mem.rs /root/repo/crates/store/src/naive.rs
+
+/root/repo/crates/store/src/lib.rs:
+/root/repo/crates/store/src/dac.rs:
+/root/repo/crates/store/src/kdtree.rs:
+/root/repo/crates/store/src/mem.rs:
+/root/repo/crates/store/src/naive.rs:

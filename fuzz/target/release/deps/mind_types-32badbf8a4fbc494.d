@@ -1,0 +1,13 @@
+/root/repo/fuzz/target/release/deps/mind_types-32badbf8a4fbc494.d: /root/repo/crates/types/src/lib.rs /root/repo/crates/types/src/code.rs /root/repo/crates/types/src/error.rs /root/repo/crates/types/src/node.rs /root/repo/crates/types/src/record.rs /root/repo/crates/types/src/rect.rs /root/repo/crates/types/src/schema.rs
+
+/root/repo/fuzz/target/release/deps/libmind_types-32badbf8a4fbc494.rlib: /root/repo/crates/types/src/lib.rs /root/repo/crates/types/src/code.rs /root/repo/crates/types/src/error.rs /root/repo/crates/types/src/node.rs /root/repo/crates/types/src/record.rs /root/repo/crates/types/src/rect.rs /root/repo/crates/types/src/schema.rs
+
+/root/repo/fuzz/target/release/deps/libmind_types-32badbf8a4fbc494.rmeta: /root/repo/crates/types/src/lib.rs /root/repo/crates/types/src/code.rs /root/repo/crates/types/src/error.rs /root/repo/crates/types/src/node.rs /root/repo/crates/types/src/record.rs /root/repo/crates/types/src/rect.rs /root/repo/crates/types/src/schema.rs
+
+/root/repo/crates/types/src/lib.rs:
+/root/repo/crates/types/src/code.rs:
+/root/repo/crates/types/src/error.rs:
+/root/repo/crates/types/src/node.rs:
+/root/repo/crates/types/src/record.rs:
+/root/repo/crates/types/src/rect.rs:
+/root/repo/crates/types/src/schema.rs:

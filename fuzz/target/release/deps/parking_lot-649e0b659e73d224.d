@@ -1,0 +1,7 @@
+/root/repo/fuzz/target/release/deps/parking_lot-649e0b659e73d224.d: /root/repo/vendor/parking_lot/src/lib.rs
+
+/root/repo/fuzz/target/release/deps/libparking_lot-649e0b659e73d224.rlib: /root/repo/vendor/parking_lot/src/lib.rs
+
+/root/repo/fuzz/target/release/deps/libparking_lot-649e0b659e73d224.rmeta: /root/repo/vendor/parking_lot/src/lib.rs
+
+/root/repo/vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/fuzz/target/release/deps/rand-ef71c4a8b6b776b9.d: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/fuzz/target/release/deps/librand-ef71c4a8b6b776b9.rlib: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/fuzz/target/release/deps/librand-ef71c4a8b6b776b9.rmeta: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/vendor/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/fuzz/target/release/deps/serde-109ba3eb98816db6.d: /root/repo/vendor/serde/src/lib.rs /root/repo/vendor/serde/src/de.rs /root/repo/vendor/serde/src/ser.rs
+
+/root/repo/fuzz/target/release/deps/libserde-109ba3eb98816db6.rlib: /root/repo/vendor/serde/src/lib.rs /root/repo/vendor/serde/src/de.rs /root/repo/vendor/serde/src/ser.rs
+
+/root/repo/fuzz/target/release/deps/libserde-109ba3eb98816db6.rmeta: /root/repo/vendor/serde/src/lib.rs /root/repo/vendor/serde/src/de.rs /root/repo/vendor/serde/src/ser.rs
+
+/root/repo/vendor/serde/src/lib.rs:
+/root/repo/vendor/serde/src/de.rs:
+/root/repo/vendor/serde/src/ser.rs:

@@ -1,0 +1,5 @@
+/root/repo/fuzz/target/release/deps/serde_derive-9f4a6450a56e04f7.d: /root/repo/vendor/serde_derive/src/lib.rs
+
+/root/repo/fuzz/target/release/deps/libserde_derive-9f4a6450a56e04f7.so: /root/repo/vendor/serde_derive/src/lib.rs
+
+/root/repo/vendor/serde_derive/src/lib.rs:

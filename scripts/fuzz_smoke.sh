@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Fuzz smoke gate: replay the committed corpus, then run the deterministic
+# generation loop (vendor/libfuzzer-sys stand-in, seeded xorshift64*) under
+# a hard 60-second timeout. Same iteration count + seed on every run, so a
+# failure is always reproducible with the printed command line.
+#
+# A machine with the real cargo-fuzz toolchain runs the same target with
+#   cargo fuzz run frame_decode
+# after swapping fuzz/Cargo.toml's libfuzzer-sys path dep for the registry
+# crate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ITERS="${FUZZ_SMOKE_ITERS:-200000}"
+SEED="${FUZZ_SMOKE_SEED:-20260807}"
+TIMEOUT_S="${FUZZ_SMOKE_TIMEOUT:-60}"
+
+cargo build --quiet --release --manifest-path fuzz/Cargo.toml
+BIN=fuzz/target/release/frame_decode
+
+echo "fuzz-smoke: replaying committed corpus"
+"$BIN" fuzz/corpus/frame_decode/*
+
+echo "fuzz-smoke: $ITERS generated inputs, seed $SEED, ${TIMEOUT_S}s cap"
+timeout "$TIMEOUT_S" "$BIN" --smoke "$ITERS" "$SEED"

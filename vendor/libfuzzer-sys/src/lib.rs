@@ -1,0 +1,113 @@
+//! Offline stand-in for the `libfuzzer-sys` crate.
+//!
+//! The real crate links the libFuzzer runtime and drives the target with
+//! coverage-guided mutation; this build environment has no registry or
+//! network access, so [`fuzz_target!`] instead expands to a plain
+//! `main()` with two modes:
+//!
+//! * `frame_decode <file>...` — replay corpus files through the target
+//!   (same contract as `cargo fuzz run <target> <file>`), and
+//! * `frame_decode --smoke <iters> <seed>` — a deterministic
+//!   xorshift64*-driven generation loop, used by `scripts/fuzz_smoke.sh`
+//!   as the CI smoke gate.
+//!
+//! A machine with the real `cargo-fuzz` toolchain swaps the `fuzz/`
+//! path dependency for the registry crate (and adds `#![no_main]` to the
+//! targets); the target bodies themselves are identical.
+
+/// Defines the fuzz entry point plus the replay/smoke `main()`.
+#[macro_export]
+macro_rules! fuzz_target {
+    (|$data:ident: &[u8]| $body:block) => {
+        fn fuzz_one($data: &[u8]) $body
+
+        fn main() -> std::process::ExitCode {
+            let args: Vec<String> = std::env::args().skip(1).collect();
+            if args.first().map(String::as_str) == Some("--smoke") {
+                let iters: u64 = args
+                    .get(1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(20_000);
+                let seed: u64 = args
+                    .get(2)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0x4D49_4E44); // "MIND"
+                $crate::smoke(iters, seed, fuzz_one);
+                return std::process::ExitCode::SUCCESS;
+            }
+            let mut replayed = 0usize;
+            for path in &args {
+                match std::fs::read(path) {
+                    Ok(data) => {
+                        fuzz_one(&data);
+                        replayed += 1;
+                    }
+                    Err(e) => {
+                        eprintln!("fuzz: cannot read {path}: {e}");
+                        return std::process::ExitCode::FAILURE;
+                    }
+                }
+            }
+            println!("fuzz: replayed {replayed} corpus file(s)");
+            std::process::ExitCode::SUCCESS
+        }
+    };
+}
+
+/// Deterministic smoke loop: feeds `iters` generated inputs to `target`.
+///
+/// Inputs are built from an xorshift64* stream as short sequences of
+/// chunks biased toward the frame codec's interesting shapes (valid
+/// frames, bare/oversized length prefixes, truncated payloads, raw
+/// garbage) so the loop exercises every decode branch, not just the
+/// "garbage prefix" one. Same `(iters, seed)` ⇒ same byte streams.
+pub fn smoke(iters: u64, seed: u64, target: fn(&[u8])) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64* — tiny, seedable, good enough for input shaping.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut buf = Vec::with_capacity(1024);
+    for _ in 0..iters {
+        buf.clear();
+        let chunks = 1 + next() % 4;
+        for _ in 0..chunks {
+            match next() % 8 {
+                // Valid frame: correct length prefix + payload.
+                0..=3 => {
+                    let len = (next() % 200) as usize;
+                    buf.extend_from_slice(&(len as u32).to_le_bytes());
+                    for _ in 0..len {
+                        buf.push(next() as u8);
+                    }
+                }
+                // Length prefix with a truncated (or absent) payload.
+                4 => {
+                    let claim = (next() % 256) as u32;
+                    buf.extend_from_slice(&claim.to_le_bytes());
+                    let short = (next() % (u64::from(claim) + 1)) as usize;
+                    for _ in 0..short.saturating_sub(1) {
+                        buf.push(next() as u8);
+                    }
+                }
+                // Oversized length prefix (beyond the 64 MiB cap).
+                5 => {
+                    let huge = 0x0400_0001_u32 | (next() as u32 & 0xF000_0000);
+                    buf.extend_from_slice(&huge.to_le_bytes());
+                }
+                // Raw garbage, including partial prefixes.
+                _ => {
+                    let len = (next() % 16) as usize;
+                    for _ in 0..len {
+                        buf.push(next() as u8);
+                    }
+                }
+            }
+        }
+        target(&buf);
+    }
+    println!("fuzz: smoke ok — {iters} generated inputs, seed {seed:#x}");
+}
