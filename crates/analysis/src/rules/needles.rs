@@ -1,7 +1,8 @@
-//! The eight legacy substring rules, re-expressed as token patterns:
-//! method calls, `::` paths, and bare identifiers instead of raw
-//! substrings. Strings and comments can no longer produce hits, and
-//! multi-line call chains can no longer hide them.
+//! The legacy substring rules, re-expressed as token patterns: method
+//! calls, `::` paths, and bare identifiers instead of raw substrings.
+//! Strings and comments can no longer produce hits, and multi-line call
+//! chains can no longer hide them. The eight ported rules are joined by
+//! `storealloc`, born token-level alongside the bitmap store backend.
 
 use super::{is_ident, is_punct, method_call_at, path_at, FileRule, Meta};
 use crate::lex::Delim;
@@ -149,6 +150,18 @@ static ROUTEALLOC: Meta = Meta {
     exempt_prefixes: &[],
 };
 
+static STOREALLOC: Meta = Meta {
+    name: "storealloc",
+    why: "the bit-sliced store shares records by Arc handle and sizes \
+          every buffer up front (count_range is popcount-only and \
+          allocates nothing); Vec::new grow-by-push, to_vec, or a deep \
+          clone here quietly re-introduces the per-record copying and \
+          realloc churn the slice layout exists to avoid",
+    applies_in_tests: false,
+    only_prefixes: &["crates/store/src/bitmap.rs"],
+    exempt_prefixes: &[],
+};
+
 static RETRYTIMER: Meta = Meta {
     name: "retrytimer",
     why: "reliable-delivery timers are owned by core's reliability module; \
@@ -168,7 +181,8 @@ static WORLDRNG: Meta = Meta {
     exempt_prefixes: &[],
 };
 
-/// The eight ported legacy rules.
+/// The eight ported legacy rules, plus `storealloc` (added with the
+/// bitmap store backend; mirrored into the legacy wall for parity).
 pub fn rules() -> Vec<Box<dyn FileRule>> {
     vec![
         Box::new(PatternRule {
@@ -206,6 +220,13 @@ pub fn rules() -> Vec<Box<dyn FileRule>> {
         }),
         Box::new(PatternRule {
             meta: &ROUTEALLOC,
+            pats: &[
+                Pat::Path(&["Vec", "new"]),
+                Pat::Method(&["to_vec", "clone"]),
+            ],
+        }),
+        Box::new(PatternRule {
+            meta: &STOREALLOC,
             pats: &[
                 Pat::Path(&["Vec", "new"]),
                 Pat::Method(&["to_vec", "clone"]),

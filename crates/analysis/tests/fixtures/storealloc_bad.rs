@@ -1,0 +1,21 @@
+// analyze-as: crates/store/src/bitmap.rs
+pub fn decode(words: &[u64]) -> Vec<u64> {
+    let mut ids = Vec::new(); //~ storealloc
+    let copy = words.to_vec(); //~ storealloc
+    for (w, &word) in copy.iter().enumerate() {
+        let again = word.clone(); //~ storealloc
+        ids.push((w as u64) << 6 | again.trailing_zeros() as u64);
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code allocates freely — the rule is production-only.
+    #[test]
+    fn scratch_vectors_are_fine_here() {
+        let mut ids = Vec::new();
+        ids.push(super::decode(&[1u64].to_vec()).clone());
+        assert_eq!(ids.len(), 1);
+    }
+}

@@ -1,0 +1,21 @@
+// analyze-as: crates/store/src/bitmap.rs
+use std::sync::Arc;
+
+pub fn decode(words: &[u64], records: &[Arc<Vec<u64>>]) -> Vec<Arc<Vec<u64>>> {
+    // Pre-sized buffers and Arc::clone handle bumps are the endorsed
+    // spellings; a `.clone()` in a comment is not a hit either.
+    let mut out = Vec::with_capacity(64);
+    for (w, &word) in words.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            out.push(Arc::clone(&records[(w << 6) | b]));
+            bits &= bits - 1;
+        }
+    }
+    out
+}
+
+pub fn count(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}

@@ -28,6 +28,11 @@
 //!   tree (`crates/histogram/src/flat.rs`). Descent, covering-code and
 //!   rect lookups there are allocation-free by design; pre-sized
 //!   `with_capacity` buffers in the builders are the endorsed spelling.
+//! * `storealloc` — the same allocation needles in the bit-sliced store
+//!   backend (`crates/store/src/bitmap.rs`): records are shared by `Arc`
+//!   handle, buffers are sized up front, and `count_range` is
+//!   popcount-only — grow-by-push or a deep copy there re-introduces the
+//!   churn the slice layout exists to avoid.
 //!
 //! Test code is exempt from `unwrap`: files under `tests/`, `benches/` or
 //! `examples/`, and `#[cfg(test)]` modules (tracked by brace depth).
@@ -136,6 +141,25 @@ fn rules() -> Vec<Rule> {
             // freely; builders and (de)serialization in flat.rs size their
             // buffers up front with with_capacity, which the needles miss.
             only_prefixes: &["crates/histogram/src/flat.rs"],
+        },
+        Rule {
+            name: "storealloc",
+            needles: &[
+                concat!("Vec::", "new"),
+                concat!(".to_", "vec("),
+                concat!(".clo", "ne()"),
+            ],
+            why: "the bit-sliced store shares records by Arc handle and \
+                  sizes every buffer up front (count_range is \
+                  popcount-only and allocates nothing); grow-by-push or a \
+                  deep clone here quietly re-introduces the copying and \
+                  realloc churn the slice layout exists to avoid",
+            applies_in_tests: false,
+            exempt_prefixes: &[],
+            // Scoped to the bitmap backend module; mem.rs/dac.rs keep
+            // their narrower recclone rule, and Arc::clone(&x) is again
+            // the endorsed spelling the .clone() needle misses.
+            only_prefixes: &["crates/store/src/bitmap.rs"],
         },
         Rule {
             name: "retrytimer",
@@ -640,6 +664,29 @@ mod tests {
         // Pre-sized buffers are the endorsed spelling and do not match.
         let src = "let mut stack = Vec::with_capacity(n);\n";
         assert!(hits_in(src, "crates/histogram/src/flat.rs", false).is_empty());
+    }
+
+    #[test]
+    fn storealloc_scoped_to_the_bitmap_module() {
+        let src = concat!("let mut ids = Vec::", "new();\n");
+        assert_eq!(
+            hits_in(src, "crates/store/src/bitmap.rs", false),
+            vec![(1, "storealloc")]
+        );
+        // mem.rs keeps the narrower recclone rule; Vec::new is fine there.
+        assert!(hits_in(src, "crates/store/src/mem.rs", false).is_empty());
+        // Test code in the module and the differential suite are exempt.
+        assert!(hits_in(src, "crates/store/src/bitmap.rs", true).is_empty());
+        assert!(hits_in(src, "crates/store/tests/backend_prop.rs", true).is_empty());
+        // Pre-sized buffers and Arc::clone are the endorsed spellings.
+        let src = "let mut ids = Vec::with_capacity(64);\nlet r = Arc::clone(&self.records[i]);\n";
+        assert!(hits_in(src, "crates/store/src/bitmap.rs", false).is_empty());
+
+        let src = concat!("let copy = block.to_", "vec();\n");
+        assert_eq!(
+            hits_in(src, "crates/store/src/bitmap.rs", false),
+            vec![(1, "storealloc")]
+        );
     }
 
     #[test]

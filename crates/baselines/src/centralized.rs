@@ -1,6 +1,7 @@
 //! The centralized baseline: every record moves to one collector.
 
 use crate::messages::BaselineMsg;
+use mind_store::{Store, StoreKind};
 use mind_types::node::{NodeLogic, Outbox, SimTime};
 use mind_types::{HyperRect, NodeId, Record};
 use std::collections::HashMap;
@@ -28,7 +29,7 @@ pub struct CentralQuery {
 pub struct CentralizedNode {
     id: NodeId,
     hub: NodeId,
-    store: mind_store::MemStore,
+    store: Box<dyn Store>,
     query_seq: u64,
     /// Queries this node originated.
     pub queries: HashMap<u64, CentralQuery>,
@@ -39,12 +40,14 @@ pub struct CentralizedNode {
 }
 
 impl CentralizedNode {
-    /// Creates a node; `hub` is where all data lives.
-    pub fn new(id: NodeId, hub: NodeId, dims: usize) -> Self {
+    /// Creates a node; `hub` is where all data lives. The store backend —
+    /// only materially exercised at the hub — follows the same
+    /// `MIND_STORE` selection as a MIND deployment.
+    pub fn new(id: NodeId, hub: NodeId, dims: usize, kind: StoreKind) -> Self {
         CentralizedNode {
             id,
             hub,
-            store: mind_store::MemStore::new(dims),
+            store: kind.new_store(dims),
             query_seq: 0,
             queries: HashMap::new(),
             hub_stored: 0,
@@ -177,10 +180,14 @@ mod tests {
     use mind_types::node::SECONDS;
 
     fn build(n: usize) -> World<CentralizedNode> {
+        build_kind(n, StoreKind::KdTree)
+    }
+
+    fn build_kind(n: usize, kind: StoreKind) -> World<CentralizedNode> {
         let mut w = World::new(lan_config(2));
         for k in 0..n {
             w.add_node(
-                CentralizedNode::new(NodeId(k as u32), NodeId(0), 2),
+                CentralizedNode::new(NodeId(k as u32), NodeId(0), 2, kind),
                 Site::new(format!("s{k}"), 0.0, k as f64 * 0.1),
             );
         }
@@ -189,7 +196,15 @@ mod tests {
 
     #[test]
     fn all_data_lands_on_hub_and_queries_resolve() {
-        let mut w = build(8);
+        // Backend-parameterized: the hub's answers must not depend on
+        // which store backend sits behind the trait.
+        for kind in [StoreKind::KdTree, StoreKind::Bitmap] {
+            all_data_lands_on_hub_and_queries_resolve_with(kind);
+        }
+    }
+
+    fn all_data_lands_on_hub_and_queries_resolve_with(kind: StoreKind) {
+        let mut w = build_kind(8, kind);
         for k in 0..8u32 {
             w.with_node(NodeId(k), |n, now, out| {
                 n.insert(now, Record::new(vec![k as u64, 1]), out);

@@ -1,6 +1,7 @@
 //! The query-flooding baseline: data stays local, queries go everywhere.
 
 use crate::messages::BaselineMsg;
+use mind_store::{Store, StoreKind};
 use mind_types::node::{NodeLogic, Outbox, SimTime};
 use mind_types::{HyperRect, NodeId, Record};
 use std::collections::{HashMap, HashSet};
@@ -29,7 +30,7 @@ pub struct FloodingNode {
     id: NodeId,
     /// All nodes in the deployment (including self).
     peers: Vec<NodeId>,
-    store: mind_store::MemStore,
+    store: Box<dyn Store>,
     query_seq: u64,
     /// In-flight and finished queries by id.
     pub queries: HashMap<u64, FloodQuery>,
@@ -38,12 +39,13 @@ pub struct FloodingNode {
 }
 
 impl FloodingNode {
-    /// Creates a node that knows the full peer list.
-    pub fn new(id: NodeId, peers: Vec<NodeId>, dims: usize) -> Self {
+    /// Creates a node that knows the full peer list. Every node evaluates
+    /// every query locally, so the backend choice shows up deployment-wide.
+    pub fn new(id: NodeId, peers: Vec<NodeId>, dims: usize, kind: StoreKind) -> Self {
         FloodingNode {
             id,
             peers,
-            store: mind_store::MemStore::new(dims),
+            store: kind.new_store(dims),
             query_seq: 0,
             queries: HashMap::new(),
             evaluations: 0,
@@ -169,11 +171,15 @@ mod tests {
     use mind_types::node::SECONDS;
 
     fn build(n: usize) -> World<FloodingNode> {
+        build_kind(n, StoreKind::KdTree)
+    }
+
+    fn build_kind(n: usize, kind: StoreKind) -> World<FloodingNode> {
         let peers: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
         let mut w = World::new(lan_config(1));
         for k in 0..n {
             w.add_node(
-                FloodingNode::new(NodeId(k as u32), peers.clone(), 2),
+                FloodingNode::new(NodeId(k as u32), peers.clone(), 2, kind),
                 Site::new(format!("s{k}"), 0.0, k as f64 * 0.1),
             );
         }
@@ -182,7 +188,13 @@ mod tests {
 
     #[test]
     fn query_gathers_all_local_shares() {
-        let mut w = build(8);
+        for kind in [StoreKind::KdTree, StoreKind::Bitmap] {
+            query_gathers_all_local_shares_with(kind);
+        }
+    }
+
+    fn query_gathers_all_local_shares_with(kind: StoreKind) {
+        let mut w = build_kind(8, kind);
         // Each node stores one record at x = its id.
         for k in 0..8u64 {
             w.with_node(NodeId(k as u32), |n, _now, _out| {

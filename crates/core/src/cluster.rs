@@ -40,7 +40,10 @@ impl ClusterConfig {
                 ..SimConfig::default()
             },
             overlay: OverlayConfig::default(),
-            mind: MindConfig::default(),
+            mind: MindConfig {
+                store_kind: mind_store::StoreKind::from_env(),
+                ..MindConfig::default()
+            },
             sites: mind_netsim::topology::baseline_sites(),
         }
     }
@@ -53,7 +56,10 @@ impl ClusterConfig {
                 ..SimConfig::default()
             },
             overlay: OverlayConfig::default(),
-            mind: MindConfig::default(),
+            mind: MindConfig {
+                store_kind: mind_store::StoreKind::from_env(),
+                ..MindConfig::default()
+            },
             sites: mind_netsim::planetlab_sites(n, seed),
         }
     }

@@ -2,7 +2,7 @@
 
 use crate::messages::Replication;
 use mind_histogram::{CutTree, GridHistogram};
-use mind_store::MemStore;
+use mind_store::{Store, StoreKind};
 use mind_types::{IndexSchema, MindError, Record};
 
 /// One version of an index: its cuts and the local share of its data.
@@ -17,8 +17,10 @@ pub struct IndexVersion {
     pub from_ts: u64,
     /// The data-space cuts of this version.
     pub cuts: CutTree,
-    /// Rows this node owns as the region's primary.
-    pub primary: MemStore,
+    /// Rows this node owns as the region's primary. The backend behind
+    /// the `dyn Store` is uniform across a node's versions and chosen by
+    /// [`StoreKind`] in the node config (`MIND_STORE`).
+    pub primary: Box<dyn Store>,
     /// Replica copies pushed by prefix neighbors. Kept separate from the
     /// primaries so that (a) join-time handoff scans return only the
     /// acceptor's own historical data (never echoes of rows the joiner
@@ -26,7 +28,7 @@ pub struct IndexVersion {
     /// sub-queries scan both stores; region clipping keeps replica rows
     /// from double-counting because they only match sub-queries for
     /// regions this node has taken over.
-    pub replicas: MemStore,
+    pub replicas: Box<dyn Store>,
     /// Primary rows stored (for storage-balance metrics).
     pub primary_rows: u64,
     /// Replica rows stored.
@@ -45,6 +47,9 @@ pub struct IndexState {
     /// This node's observed data distribution for the current day,
     /// shipped to the collector at each day boundary.
     pub day_histogram: GridHistogram,
+    /// Store backend used for every version's primary/replica stores
+    /// (needed again at version install, crash reset, and GC time).
+    pub store_kind: StoreKind,
 }
 
 impl IndexState {
@@ -54,6 +59,7 @@ impl IndexState {
         cuts: CutTree,
         replication: Replication,
         hist_granularity: u32,
+        store_kind: StoreKind,
     ) -> Self {
         let dims = schema.indexed_dims;
         let bounds = schema.bounds();
@@ -63,12 +69,13 @@ impl IndexState {
             versions: vec![IndexVersion {
                 from_ts: 0,
                 cuts,
-                primary: MemStore::new(dims),
-                replicas: MemStore::new(dims),
+                primary: store_kind.new_store(dims),
+                replicas: store_kind.new_store(dims),
                 primary_rows: 0,
                 replica_rows: 0,
             }],
             day_histogram: GridHistogram::new(bounds, hist_granularity),
+            store_kind,
         }
     }
 
@@ -95,8 +102,8 @@ impl IndexState {
         self.versions.push(IndexVersion {
             from_ts,
             cuts,
-            primary: MemStore::new(self.schema.indexed_dims),
-            replicas: MemStore::new(self.schema.indexed_dims),
+            primary: self.store_kind.new_store(self.schema.indexed_dims),
+            replicas: self.store_kind.new_store(self.schema.indexed_dims),
             primary_rows: 0,
             replica_rows: 0,
         });
@@ -185,9 +192,10 @@ impl IndexState {
     /// intact. Used when a node restarts after a crash.
     pub fn reset_stores(&mut self) {
         let dims = self.schema.indexed_dims;
+        let kind = self.store_kind;
         for v in &mut self.versions {
-            v.primary = MemStore::new(dims);
-            v.replicas = MemStore::new(dims);
+            v.primary = kind.new_store(dims);
+            v.replicas = kind.new_store(dims);
             v.primary_rows = 0;
             v.replica_rows = 0;
         }
@@ -200,6 +208,7 @@ impl IndexState {
     /// collected stores with empty tombstones rather than renumbering.
     pub fn gc_before(&mut self, before_ts: u64) -> usize {
         let dims = self.schema.indexed_dims;
+        let kind = self.store_kind;
         let mut collected = 0;
         let n = self.versions.len();
         for i in 0..n {
@@ -215,8 +224,8 @@ impl IndexState {
                     || !v.primary.is_empty()
                     || !v.replicas.is_empty())
             {
-                v.primary = MemStore::new(dims);
-                v.replicas = MemStore::new(dims);
+                v.primary = kind.new_store(dims);
+                v.replicas = kind.new_store(dims);
                 v.primary_rows = 0;
                 v.replica_rows = 0;
                 collected += 1;
@@ -246,7 +255,7 @@ mod tests {
     fn state() -> IndexState {
         let s = schema();
         let cuts = CutTree::even(s.bounds(), 4);
-        IndexState::new(s, cuts, Replication::Level(1), 16)
+        IndexState::new(s, cuts, Replication::Level(1), 16, StoreKind::KdTree)
     }
 
     #[test]

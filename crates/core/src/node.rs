@@ -23,7 +23,7 @@ use crate::reliability::{PendingOp, SeenOps};
 use crate::trigger::{Trigger, TriggerSet};
 use mind_histogram::{CutTree, GridHistogram};
 use mind_overlay::{Overlay, OverlayConfig, OverlayEvent, OverlayMsg};
-use mind_store::DacCostModel;
+use mind_store::{DacCostModel, StoreKind};
 use mind_types::node::{NodeLogic, Outbox, SimTime, SECONDS};
 use mind_types::{BitCode, HyperRect, MindError, NodeId, Record};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
@@ -47,6 +47,9 @@ pub(crate) fn token(kind: u64, arg: u64) -> u64 {
 pub struct MindConfig {
     /// Storage processing costs (models the prototype's MySQL + JDBC).
     pub dac_cost: DacCostModel,
+    /// Store backend for every per-version record store on this node
+    /// (`MIND_STORE=kdtree|bitmap`; see [`StoreKind::from_env`]).
+    pub store_kind: StoreKind,
     /// Requests processed per DAC batch.
     pub dac_batch_size: usize,
     /// Queries time out (and count as failed) after this long.
@@ -82,6 +85,7 @@ impl Default for MindConfig {
     fn default() -> Self {
         MindConfig {
             dac_cost: DacCostModel::default(),
+            store_kind: StoreKind::KdTree,
             dac_batch_size: 64,
             query_deadline: 60 * SECONDS,
             hist_granularity: 64,
@@ -453,7 +457,13 @@ impl MindNode {
             } => {
                 let tag = schema.tag.clone();
                 self.indexes.entry(tag).or_insert_with(|| {
-                    IndexState::new(schema, cuts, replication, self.cfg.hist_granularity)
+                    IndexState::new(
+                        schema,
+                        cuts,
+                        replication,
+                        self.cfg.hist_granularity,
+                        self.cfg.store_kind,
+                    )
                 });
             }
             MindPayload::NewVersion {
@@ -650,6 +660,7 @@ impl MindNode {
                             first_cuts,
                             def.replication,
                             self.cfg.hist_granularity,
+                            self.cfg.store_kind,
                         )
                     });
                     for (v, (from_ts, cuts)) in def.versions.into_iter().enumerate() {

@@ -1,0 +1,452 @@
+//! The bit-sliced bitmap store: MIND's second [`crate::Store`] backend.
+//!
+//! Per dimension, one bitmap per *bit position* of the u64 coordinate
+//! (O'Neil/Quass bit-sliced indexing): bitmap `b` of dimension `d` has bit
+//! `i` set iff bit `b` of record `i`'s coordinate `d` is set. A range
+//! predicate `lo <= x_d <= hi` is then evaluated for 64 records at a time
+//! by combining slice words MSB-first:
+//!
+//! * `GE(lo)`: walking bits high→low with `eq` = "prefix equal so far" and
+//!   `gt` = "already strictly greater": a 1-bit of `lo` narrows `eq` to
+//!   rows with that bit set; a 0-bit moves `eq ∧ slice` rows into `gt`.
+//! * `LE(hi)`: symmetric with `lt` = "already strictly less".
+//!
+//! The result word is `(gt | eq_lo) & (lt | eq_hi)`, ANDed across the
+//! query's active dimensions. `count_range` popcounts these words directly
+//! — no ids are ever materialized, and the path performs **zero heap
+//! allocations** (enforced by the `storealloc` analyzer rule scoped to
+//! this file). Cost is proportional to `rows × active bit-widths / 64`
+//! regardless of selectivity — the opposite trade to the k-d tree, whose
+//! pruning wins on selective queries but degrades as rectangles widen.
+//!
+//! The slice blocks are word-packed `Vec<u64>`s grown lazily: a slice's
+//! vector only extends when a record actually sets that bit, so trailing
+//! zeros are implicit and sparse high bits cost nothing (the hierarchical
+//! packing). Inserts touch only the `popcount(coordinate)` slices of each
+//! dimension, so there is no insert buffer and [`BitmapStore::rebuild`] is
+//! a no-op — buffered-vs-rebuilt differential tests hold trivially.
+
+use mind_types::{HyperRect, Record, RecordId, Value};
+use std::sync::Arc;
+
+/// Dimension cap shared with the k-d tree's active-dimension mask.
+const MAX_DIMS: usize = 32;
+
+/// An append-only record store indexed by per-dimension bit slices.
+#[derive(Debug, Clone)]
+pub struct BitmapStore {
+    dims: usize,
+    records: Vec<Arc<Record>>,
+    /// Slice blocks, flattened: `slices[(d << 6) | b]` holds the packed
+    /// words of bit `b` of dimension `d`. Words past a block's length are
+    /// implicitly zero.
+    slices: Vec<Vec<u64>>,
+    /// Observed per-dimension coordinate minima (`Value::MAX` when empty):
+    /// lets wildcarded dimensions skip slice evaluation entirely.
+    dim_lo: Vec<Value>,
+    /// Observed per-dimension maxima (`0` when empty); also bounds the bit
+    /// width walked per dimension.
+    dim_hi: Vec<Value>,
+    /// Total words currently allocated across all slice blocks.
+    slice_words: usize,
+    /// Incrementally maintained record-heap bytes (see
+    /// [`Self::approx_bytes`]).
+    record_bytes: usize,
+}
+
+impl BitmapStore {
+    /// Creates an empty store whose records have `dims` indexed dimensions.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "zero-dimensional store");
+        assert!(dims <= MAX_DIMS, "more than {MAX_DIMS} indexed dimensions");
+        BitmapStore {
+            dims,
+            records: Vec::with_capacity(0),
+            slices: (0..dims << 6).map(|_| Vec::with_capacity(0)).collect(),
+            dim_lo: vec![Value::MAX; dims],
+            dim_hi: vec![0; dims],
+            slice_words: 0,
+            record_bytes: 0,
+        }
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Indexed dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Appends a record and indexes its first `dims` values.
+    ///
+    /// Sets one bit in `popcount(coordinate)` slice blocks per dimension;
+    /// blocks extend only when a set bit lands past their current length,
+    /// so all-zero tails are never stored.
+    ///
+    /// # Panics
+    /// Panics if the record has fewer values than the store's
+    /// dimensionality (callers validate against the schema first).
+    pub fn insert(&mut self, record: Record) -> RecordId {
+        assert!(
+            record.values().len() >= self.dims,
+            "record arity {} below store dimensionality {}",
+            record.values().len(),
+            self.dims
+        );
+        let i = self.records.len();
+        let (word, bit) = (i >> 6, 1u64 << (i & 63));
+        for d in 0..self.dims {
+            let v = record.value(d);
+            self.dim_lo[d] = self.dim_lo[d].min(v);
+            self.dim_hi[d] = self.dim_hi[d].max(v);
+            let mut rem = v;
+            while rem != 0 {
+                let b = rem.trailing_zeros() as usize;
+                rem &= rem - 1;
+                let block = &mut self.slices[(d << 6) | b];
+                if block.len() <= word {
+                    self.slice_words += word + 1 - block.len();
+                    block.resize(word + 1, 0);
+                }
+                block[word] |= bit;
+            }
+        }
+        self.record_bytes += record.values().len() * 8 + 24;
+        self.records.push(Arc::new(record));
+        RecordId(i as u64)
+    }
+
+    /// No-op: inserts index directly into the slices, there is nothing
+    /// buffered to fold in.
+    pub fn rebuild(&mut self) {}
+
+    /// Word `w` of slice `b` of dimension `d` (implicit zero past the
+    /// block's stored length).
+    #[inline]
+    fn word(&self, d: usize, b: usize, w: usize) -> u64 {
+        let block = &self.slices[(d << 6) | b];
+        if w < block.len() {
+            block[w]
+        } else {
+            0
+        }
+    }
+
+    /// The 64-record predicate word for `lo <= x_d <= hi` at word index
+    /// `w`, via the MSB-first slice recurrences. `need_lo` / `need_hi`
+    /// skip the half of the comparison the caller proved vacuous against
+    /// the observed coordinate range.
+    #[inline]
+    fn dim_word(
+        &self,
+        d: usize,
+        w: usize,
+        lo: Value,
+        hi: Value,
+        need_lo: bool,
+        need_hi: bool,
+    ) -> u64 {
+        // Bits at or above the dimension's observed width are zero in
+        // every stored coordinate; the caller clamps lo/hi below 2^width,
+        // so those bit positions compare equal and the walk skips them.
+        let width = 64 - self.dim_hi[d].leading_zeros() as usize;
+        let mut eq_lo = !0u64;
+        let mut gt = 0u64;
+        let mut eq_hi = !0u64;
+        let mut lt = 0u64;
+        for b in (0..width).rev() {
+            let s = self.word(d, b, w);
+            if need_lo {
+                if lo >> b & 1 == 1 {
+                    eq_lo &= s;
+                } else {
+                    gt |= eq_lo & s;
+                    eq_lo &= !s;
+                }
+            }
+            if need_hi {
+                if hi >> b & 1 == 1 {
+                    lt |= eq_hi & !s;
+                    eq_hi &= s;
+                } else {
+                    eq_hi &= !s;
+                }
+            }
+        }
+        let ge = if need_lo { gt | eq_lo } else { !0 };
+        let le = if need_hi { lt | eq_hi } else { !0 };
+        ge & le
+    }
+
+    /// The query plan against the observed per-dimension ranges: `None`
+    /// when some dimension is disjoint from `rect` (empty result), else a
+    /// bitmask of dimensions that actually constrain the result (fully
+    /// covered — wildcarded — dimensions are skipped).
+    #[inline]
+    fn active_dims(&self, rect: &HyperRect) -> Option<u32> {
+        let mut active = 0u32;
+        for d in 0..self.dims {
+            if rect.lo(d) > self.dim_hi[d] || rect.hi(d) < self.dim_lo[d] {
+                return None;
+            }
+            if rect.lo(d) > self.dim_lo[d] || rect.hi(d) < self.dim_hi[d] {
+                active |= 1 << d;
+            }
+        }
+        Some(active)
+    }
+
+    /// Evaluates the rect over every word, feeding each nonzero result
+    /// word to `emit(word_index, matches)`.
+    #[inline]
+    fn scan(&self, rect: &HyperRect, mut emit: impl FnMut(usize, u64)) {
+        assert_eq!(rect.dims(), self.dims, "rect dimensionality mismatch");
+        let n = self.records.len();
+        if n == 0 {
+            return;
+        }
+        let Some(active) = self.active_dims(rect) else {
+            return;
+        };
+        let words = n.div_ceil(64);
+        for w in 0..words {
+            // Rows past `len` don't exist; mask them off the last word.
+            let mut acc = if w == words - 1 && n & 63 != 0 {
+                (1u64 << (n & 63)) - 1
+            } else {
+                !0u64
+            };
+            let mut rest = active;
+            while rest != 0 && acc != 0 {
+                let d = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                // Clamp the probe below 2^width; disjointness was already
+                // ruled out, so lo <= dim_hi and the clamp only trims hi.
+                let lo = rect.lo(d);
+                let hi = rect.hi(d).min(self.dim_hi[d]);
+                let need_lo = lo > self.dim_lo[d];
+                let need_hi = rect.hi(d) < self.dim_hi[d];
+                acc &= self.dim_word(d, w, lo, hi, need_lo, need_hi);
+            }
+            if acc != 0 {
+                emit(w, acc);
+            }
+        }
+    }
+
+    /// Ids of all records whose indexed point lies inside `rect`
+    /// (ascending).
+    pub fn range_ids(&self, rect: &HyperRect) -> Vec<RecordId> {
+        let mut out = Vec::with_capacity(64);
+        self.scan(rect, |w, mut acc| {
+            while acc != 0 {
+                let b = acc.trailing_zeros() as usize;
+                acc &= acc - 1;
+                out.push(RecordId(((w << 6) | b) as u64));
+            }
+        });
+        out
+    }
+
+    /// Records matching `rect`, as shared handles — same zero-copy
+    /// contract as the k-d backend.
+    pub fn range_records(&self, rect: &HyperRect) -> Vec<Arc<Record>> {
+        let mut out = Vec::with_capacity(64);
+        self.scan(rect, |w, mut acc| {
+            while acc != 0 {
+                let b = acc.trailing_zeros() as usize;
+                acc &= acc - 1;
+                out.push(Arc::clone(&self.records[(w << 6) | b]));
+            }
+        });
+        out
+    }
+
+    /// Counts records inside `rect` by popcounting predicate words —
+    /// never materializes ids and never allocates.
+    pub fn count_range(&self, rect: &HyperRect) -> usize {
+        let mut total = 0usize;
+        self.scan(rect, |_, acc| total += acc.count_ones() as usize);
+        total
+    }
+
+    /// Approximate heap footprint: the record heap (incremental counter)
+    /// plus the allocated slice words and block headers.
+    pub fn approx_bytes(&self) -> usize {
+        self.record_bytes + self.records.len() * 8 + self.slice_words * 8 + self.slices.len() * 24
+    }
+}
+
+impl crate::Store for BitmapStore {
+    fn insert(&mut self, record: Record) -> RecordId {
+        BitmapStore::insert(self, record)
+    }
+    fn rebuild(&mut self) {
+        BitmapStore::rebuild(self);
+    }
+    fn range_ids(&self, rect: &HyperRect) -> Vec<RecordId> {
+        BitmapStore::range_ids(self, rect)
+    }
+    fn range_records(&self, rect: &HyperRect) -> Vec<Arc<Record>> {
+        BitmapStore::range_records(self, rect)
+    }
+    fn count_range(&self, rect: &HyperRect) -> usize {
+        BitmapStore::count_range(self, rect)
+    }
+    fn approx_bytes(&self) -> usize {
+        BitmapStore::approx_bytes(self)
+    }
+    fn len(&self) -> usize {
+        BitmapStore::len(self)
+    }
+    fn dims(&self) -> usize {
+        BitmapStore::dims(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(vals: &[u64]) -> Record {
+        Record::new(vals.to_vec())
+    }
+
+    #[test]
+    fn insert_and_range() {
+        let mut s = BitmapStore::new(2);
+        s.insert(rec(&[1, 1, 99]));
+        s.insert(rec(&[5, 5, 98]));
+        s.insert(rec(&[9, 9, 97]));
+        let rect = HyperRect::new(vec![0, 0], vec![5, 5]);
+        assert_eq!(s.count_range(&rect), 2);
+        let hits = s.range_records(&rect);
+        assert!(hits.iter().any(|r| r.value(2) == 99));
+        assert!(hits.iter().any(|r| r.value(2) == 98));
+        assert_eq!(
+            s.range_ids(&rect),
+            vec![RecordId(0), RecordId(1)],
+            "ids come back ascending"
+        );
+    }
+
+    #[test]
+    fn range_records_shares_not_copies() {
+        let mut s = BitmapStore::new(1);
+        s.insert(rec(&[3, 77]));
+        let hits = s.range_records(&HyperRect::new(vec![0], vec![10]));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(Arc::strong_count(&hits[0]), 2);
+        assert_eq!(hits[0].value(1), 77);
+    }
+
+    #[test]
+    fn empty_and_disjoint_queries() {
+        let s = BitmapStore::new(2);
+        let rect = HyperRect::full(2);
+        assert_eq!(s.count_range(&rect), 0);
+        assert!(s.range_ids(&rect).is_empty());
+
+        let mut s = BitmapStore::new(1);
+        s.insert(rec(&[100]));
+        // Entirely below / above the observed range: pruned before any
+        // slice word is touched.
+        assert_eq!(s.count_range(&HyperRect::new(vec![0], vec![99])), 0);
+        assert_eq!(s.count_range(&HyperRect::new(vec![101], vec![u64::MAX])), 0);
+    }
+
+    #[test]
+    fn max_coordinate_boundary() {
+        let mut s = BitmapStore::new(2);
+        s.insert(rec(&[u64::MAX, 0]));
+        s.insert(rec(&[u64::MAX - 1, u64::MAX]));
+        s.insert(rec(&[0, 5]));
+        assert_eq!(s.count_range(&HyperRect::full(2)), 3);
+        let top = HyperRect::new(vec![u64::MAX, 0], vec![u64::MAX, u64::MAX]);
+        assert_eq!(s.range_ids(&top), vec![RecordId(0)]);
+        let second = HyperRect::new(vec![0, u64::MAX], vec![u64::MAX, u64::MAX]);
+        assert_eq!(s.range_ids(&second), vec![RecordId(1)]);
+    }
+
+    #[test]
+    fn duplicates_counted_per_record() {
+        let mut s = BitmapStore::new(2);
+        for _ in 0..130 {
+            s.insert(rec(&[7, 7]));
+        }
+        let rect = HyperRect::new(vec![7, 7], vec![7, 7]);
+        assert_eq!(s.count_range(&rect), 130);
+        assert_eq!(s.range_ids(&rect).len(), 130);
+        assert_eq!(s.count_range(&HyperRect::new(vec![8, 0], vec![9, 9])), 0);
+    }
+
+    #[test]
+    fn word_boundary_population() {
+        // Straddle the 64-record word boundary: ids 0..=63 in word 0,
+        // 64.. in word 1, with the last word partially live.
+        let mut s = BitmapStore::new(1);
+        for i in 0..130u64 {
+            s.insert(rec(&[i]));
+        }
+        assert_eq!(s.count_range(&HyperRect::new(vec![0], vec![129])), 130);
+        assert_eq!(s.count_range(&HyperRect::new(vec![60], vec![70])), 11);
+        assert_eq!(
+            s.range_ids(&HyperRect::new(vec![63], vec![64])),
+            vec![RecordId(63), RecordId(64)]
+        );
+    }
+
+    #[test]
+    fn matches_brute_force_on_mixed_magnitudes() {
+        // Coordinates spanning many bit widths, so slice blocks have very
+        // different lengths and the implicit-zero tails matter.
+        let pts: Vec<[u64; 2]> = (0..200u64)
+            .map(|i| [i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (i % 60), i % 17])
+            .collect();
+        let mut s = BitmapStore::new(2);
+        for p in &pts {
+            s.insert(rec(p));
+        }
+        for (lo, hi) in [
+            (0u64, u64::MAX),
+            (1 << 10, 1 << 40),
+            (0, 0),
+            (u64::MAX / 2, u64::MAX),
+        ] {
+            for (tlo, thi) in [(0u64, 16u64), (3, 9), (5, 5)] {
+                let rect = HyperRect::new(vec![lo, tlo], vec![hi, thi]);
+                let expect: Vec<RecordId> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| rect.contains_point(&p[..]))
+                    .map(|(i, _)| RecordId(i as u64))
+                    .collect();
+                assert_eq!(s.range_ids(&rect), expect, "rect {rect:?}");
+                assert_eq!(s.count_range(&rect), expect.len());
+            }
+        }
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_slices() {
+        let mut s = BitmapStore::new(2);
+        let empty = s.approx_bytes();
+        s.insert(rec(&[u64::MAX, 1]));
+        // 64 one-word blocks for dim 0, one for dim 1, plus the record.
+        assert!(s.approx_bytes() >= empty + 65 * 8 + 2 * 8 + 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "below store dimensionality")]
+    fn short_record_rejected() {
+        BitmapStore::new(3).insert(rec(&[1, 2]));
+    }
+}

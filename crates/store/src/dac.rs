@@ -12,7 +12,7 @@
 //! queue ("one of these queries was queued behind the other... query
 //! database access is not interleaved with network transmission").
 
-use crate::mem::MemStore;
+use crate::store::{Store, StoreKind};
 use mind_types::node::SimTime;
 use mind_types::{HyperRect, Record};
 use std::collections::VecDeque;
@@ -72,10 +72,10 @@ impl Default for DacCostModel {
     }
 }
 
-/// The DAC: a request queue in front of a [`MemStore`].
+/// The DAC: a request queue in front of any [`Store`] backend.
 #[derive(Debug)]
 pub struct Dac {
-    store: MemStore,
+    store: Box<dyn Store>,
     queue: VecDeque<DacRequest>,
     cost: DacCostModel,
     /// Maximum requests drained per processing round.
@@ -83,11 +83,17 @@ pub struct Dac {
 }
 
 impl Dac {
-    /// Creates a DAC over a fresh store of the given dimensionality.
+    /// Creates a DAC over a fresh default-backend ([`StoreKind::KdTree`])
+    /// store of the given dimensionality.
     pub fn new(dims: usize, cost: DacCostModel, batch_size: usize) -> Self {
+        Self::with_kind(StoreKind::KdTree, dims, cost, batch_size)
+    }
+
+    /// Creates a DAC over a fresh store of the given backend kind.
+    pub fn with_kind(kind: StoreKind, dims: usize, cost: DacCostModel, batch_size: usize) -> Self {
         assert!(batch_size > 0, "zero batch size");
         Dac {
-            store: MemStore::new(dims),
+            store: kind.new_store(dims),
             queue: VecDeque::new(),
             cost,
             batch_size,
@@ -105,8 +111,8 @@ impl Dac {
     }
 
     /// Read access to the underlying store (histogram collection, metrics).
-    pub fn store(&self) -> &MemStore {
-        &self.store
+    pub fn store(&self) -> &dyn Store {
+        self.store.as_ref()
     }
 
     /// Drains up to one batch of requests, returning the query responses

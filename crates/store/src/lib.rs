@@ -18,15 +18,26 @@
 //!   cost model, which is what gives the simulator realistic per-node
 //!   processing delays (the paper attributes its latency tails partly to
 //!   DAC queuing).
+//!
+//! All of the above sit behind the dyn-safe [`Store`] trait: `mind-core`,
+//! the DAC, and the baselines hold `Box<dyn Store>`, and the backend —
+//! [`MemStore`] (columnar k-d) or [`BitmapStore`] (bit-sliced bitmaps) —
+//! is picked per deployment via [`StoreKind`] (`MIND_STORE=kdtree|bitmap`).
+//! The two backends are raced differentially: proptests, the `store_range`
+//! fuzz target, and the chaos suite all assert they agree exactly.
 
 #![warn(missing_docs)]
 
+pub mod bitmap;
 pub mod dac;
 pub mod kdtree;
 pub mod mem;
 pub mod naive;
+pub mod store;
 
+pub use bitmap::BitmapStore;
 pub use dac::{Dac, DacCostModel, DacRequest, DacResponse};
 pub use kdtree::KdTree;
 pub use mem::MemStore;
 pub use naive::NaiveKdTree;
+pub use store::{fuzz_store_range, Store, StoreKind};

@@ -143,22 +143,44 @@ impl MemStore {
                 .count()
     }
 
-    /// Fetches a record by id.
-    pub fn get(&self, id: RecordId) -> Option<&Record> {
-        self.records.get(id.0 as usize).map(|r| r.as_ref())
-    }
-
-    /// Iterates over all records (used for histogram collection).
-    pub fn iter(&self) -> impl Iterator<Item = &Record> {
-        self.records.iter().map(|r| r.as_ref())
-    }
-
     /// Approximate heap footprint in bytes (storage-balance metrics).
     ///
     /// Maintained incrementally on insert — sampling storage balance across
     /// hundreds of simulated nodes no longer walks every record heap.
     pub fn approx_bytes(&self) -> usize {
         self.bytes
+    }
+}
+
+// `iter()` and `get()` used to live here; they are not expressible through
+// a dyn-safe trait (`impl Iterator` return, borrowed records keyed by an
+// id the trait makes opaque), so the last callers were restructured onto
+// `range_records` over the full domain and the methods removed — MemStore's
+// whole surface now flows through [`crate::Store`].
+impl crate::Store for MemStore {
+    fn insert(&mut self, record: Record) -> RecordId {
+        MemStore::insert(self, record)
+    }
+    fn rebuild(&mut self) {
+        MemStore::rebuild(self);
+    }
+    fn range_ids(&self, rect: &HyperRect) -> Vec<RecordId> {
+        MemStore::range_ids(self, rect)
+    }
+    fn range_records(&self, rect: &HyperRect) -> Vec<Arc<Record>> {
+        MemStore::range_records(self, rect)
+    }
+    fn count_range(&self, rect: &HyperRect) -> usize {
+        MemStore::count_range(self, rect)
+    }
+    fn approx_bytes(&self) -> usize {
+        MemStore::approx_bytes(self)
+    }
+    fn len(&self) -> usize {
+        MemStore::len(self)
+    }
+    fn dims(&self) -> usize {
+        MemStore::dims(self)
     }
 }
 
@@ -216,8 +238,11 @@ mod tests {
             s.insert(rec(&[i, i * 2, i * 3]));
         }
         // The incremental counter equals the old O(n) recompute, across
-        // buffered and rebuilt states alike.
-        let recomputed = s.iter().map(|r| r.values().len() * 8 + 24).sum::<usize>()
+        // buffered and rebuilt states alike. (Records are walked via a
+        // full-domain scan — `iter()` left with the dyn-safe trait cut.)
+        let all = s.range_records(&HyperRect::full(2));
+        assert_eq!(all.len(), 1000);
+        let recomputed = all.iter().map(|r| r.values().len() * 8 + 24).sum::<usize>()
             + s.len() * (s.dims() * 8 + 32);
         assert_eq!(s.approx_bytes(), recomputed);
         s.rebuild();
@@ -225,11 +250,14 @@ mod tests {
     }
 
     #[test]
-    fn get_by_id() {
+    fn ids_are_dense_and_full_domain_scan_returns_all() {
         let mut s = MemStore::new(1);
         let id = s.insert(rec(&[7, 42]));
-        assert_eq!(s.get(id).unwrap().value(1), 42);
-        assert!(s.get(RecordId(99)).is_none());
+        assert_eq!(id, RecordId(0));
+        assert_eq!(s.insert(rec(&[9, 43])), RecordId(1));
+        let all = s.range_records(&HyperRect::full(1));
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().any(|r| r.value(1) == 42));
     }
 
     #[test]

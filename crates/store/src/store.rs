@@ -1,0 +1,247 @@
+//! The pluggable store interface and backend selection.
+//!
+//! [`Store`] is the seam the rest of the system sees: `mind-core`'s
+//! per-version stores, the DAC queue, and the baseline architectures all
+//! hold `Box<dyn Store>` and never name a concrete backend. Two
+//! implementations exist today — the columnar k-d tree ([`crate::MemStore`])
+//! and the bit-sliced bitmap index ([`crate::BitmapStore`]) — and the trait
+//! is deliberately dyn-safe so a future disk-resident backend slots in
+//! behind the same eight methods.
+//!
+//! Backend choice is configuration, not code: [`StoreKind`] parses the
+//! `MIND_STORE` environment variable (`kdtree` | `bitmap`) the same way the
+//! bench harness's `ExperimentScale` parses `MIND_SCALE` — a set-but-
+//! malformed value falls back to the default *with a warning on stderr*,
+//! because silently ignoring a typo would make a "bitmap" run measure the
+//! k-d tree.
+
+use crate::bitmap::BitmapStore;
+use crate::mem::MemStore;
+use mind_types::{HyperRect, Record, RecordId};
+use std::sync::Arc;
+
+/// The per-(index, version) record store interface.
+///
+/// Object-safe by construction: every consumer holds `Box<dyn Store>`.
+/// Records are append-only (the paper ages out whole index *versions*,
+/// never individual records), so there is no delete method; `rebuild` is a
+/// hint that buffered inserts should be folded into the main structure —
+/// backends with no insert buffer treat it as a no-op.
+pub trait Store: std::fmt::Debug + Send {
+    /// Appends a record and indexes its first `dims()` values, returning
+    /// the id it was stored under (dense, insertion-ordered).
+    fn insert(&mut self, record: Record) -> RecordId;
+
+    /// Folds any buffered inserts into the main index structure.
+    fn rebuild(&mut self);
+
+    /// Ids of all records whose indexed point lies inside `rect`.
+    fn range_ids(&self, rect: &HyperRect) -> Vec<RecordId>;
+
+    /// Records matching `rect`, as shared handles — the zero-copy local
+    /// scan path. Callers that put records on the wire materialize them at
+    /// the send boundary.
+    fn range_records(&self, rect: &HyperRect) -> Vec<Arc<Record>>;
+
+    /// Counts records inside `rect` without materializing ids.
+    fn count_range(&self, rect: &HyperRect) -> usize;
+
+    /// Approximate heap footprint in bytes (storage-balance metrics).
+    /// Must be maintained incrementally — metric sampling across hundreds
+    /// of simulated nodes calls this hot.
+    fn approx_bytes(&self) -> usize;
+
+    /// Number of stored records.
+    fn len(&self) -> usize;
+
+    /// Indexed dimensionality.
+    fn dims(&self) -> usize;
+
+    /// `true` when the store holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Which [`Store`] backend a node uses, selected via `MIND_STORE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreKind {
+    /// The columnar k-d tree (`MemStore`): best at selective queries the
+    /// tree can prune, and the default.
+    #[default]
+    KdTree,
+    /// The bit-sliced bitmap index (`BitmapStore`): selectivity-
+    /// independent scans, popcount-only counting.
+    Bitmap,
+}
+
+impl StoreKind {
+    /// Reads `MIND_STORE` (`kdtree` | `bitmap`) from the environment,
+    /// defaulting to [`StoreKind::KdTree`]. A set-but-unknown value falls
+    /// back to the default with a warning on stderr (mirroring the bench
+    /// harness's `ExperimentScale::from_env`).
+    pub fn from_env() -> Self {
+        Self::from_lookup(|name| std::env::var(name).ok())
+    }
+
+    /// [`Self::from_env`] with an injectable variable lookup, so the
+    /// malformed-input paths are testable without mutating the process
+    /// environment (env vars are global state across test threads).
+    fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Self {
+        match lookup("MIND_STORE") {
+            None => StoreKind::default(),
+            Some(s) => match s.as_str() {
+                "kdtree" => StoreKind::KdTree,
+                "bitmap" => StoreKind::Bitmap,
+                _ => {
+                    let default = StoreKind::default();
+                    eprintln!(
+                        "warning: ignoring malformed MIND_STORE={s:?}; using {}",
+                        default.name()
+                    );
+                    default
+                }
+            },
+        }
+    }
+
+    /// The `MIND_STORE` spelling of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreKind::KdTree => "kdtree",
+            StoreKind::Bitmap => "bitmap",
+        }
+    }
+
+    /// Creates an empty store of this kind with `dims` indexed dimensions.
+    pub fn new_store(self, dims: usize) -> Box<dyn Store> {
+        match self {
+            StoreKind::KdTree => Box::new(MemStore::new(dims)),
+            StoreKind::Bitmap => Box::new(BitmapStore::new(dims)),
+        }
+    }
+}
+
+/// Differential fuzz driver shared by the `store_range` fuzz target and its
+/// unit tests: parses arbitrary bytes into a record set plus a query
+/// rectangle, drives both backends through the [`Store`] trait, and asserts
+/// they agree exactly with each other and with a brute-force scan.
+///
+/// Input layout: `data[0]` packs the dimensionality (`1 + data[0] % 3`) and
+/// a rebuild-control bit (`data[0] & 0x80`); the remaining bytes are read
+/// as little-endian u64s — first `2 * dims` become the rect bounds
+/// (normalized so `lo <= hi` per axis), the rest become points.
+pub fn fuzz_store_range(data: &[u8]) {
+    let Some((&ctl, rest)) = data.split_first() else {
+        return;
+    };
+    let dims = 1 + (ctl % 3) as usize;
+    let rebuild_midway = ctl & 0x80 != 0;
+    let mut nums = rest.chunks_exact(8).map(|c| {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(c);
+        u64::from_le_bytes(b)
+    });
+
+    let mut lo = Vec::with_capacity(dims);
+    let mut hi = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        let (a, b) = (nums.next().unwrap_or(0), nums.next().unwrap_or(u64::MAX));
+        lo.push(a.min(b));
+        hi.push(a.max(b));
+    }
+    let rect = HyperRect::new(lo, hi);
+
+    // Cap the record count so a pathological input length stays fast.
+    let points: Vec<Vec<u64>> = {
+        let mut pts = Vec::with_capacity(64);
+        let mut point = Vec::with_capacity(dims);
+        for v in nums.take(512 * dims) {
+            point.push(v);
+            if point.len() == dims {
+                pts.push(std::mem::take(&mut point));
+                point = Vec::with_capacity(dims);
+            }
+        }
+        pts
+    };
+
+    let mut kd: Box<dyn Store> = StoreKind::KdTree.new_store(dims);
+    let mut bm: Box<dyn Store> = StoreKind::Bitmap.new_store(dims);
+    for (i, p) in points.iter().enumerate() {
+        kd.insert(Record::new(p.to_vec()));
+        bm.insert(Record::new(p.to_vec()));
+        if rebuild_midway && i == points.len() / 2 {
+            kd.rebuild();
+            bm.rebuild();
+        }
+    }
+
+    let brute: Vec<RecordId> = points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| rect.contains_point(p))
+        .map(|(i, _)| RecordId(i as u64))
+        .collect();
+    let mut kd_ids = kd.range_ids(&rect);
+    kd_ids.sort();
+    let mut bm_ids = bm.range_ids(&rect);
+    bm_ids.sort();
+    assert_eq!(kd_ids, brute, "kdtree ids diverge from brute force");
+    assert_eq!(bm_ids, brute, "bitmap ids diverge from brute force");
+    assert_eq!(kd.count_range(&rect), brute.len(), "kdtree count diverges");
+    assert_eq!(bm.count_range(&rect), brute.len(), "bitmap count diverges");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_from_lookup_parses_warns_and_defaults() {
+        assert_eq!(StoreKind::from_lookup(|_| None), StoreKind::KdTree);
+        assert_eq!(
+            StoreKind::from_lookup(|_| Some("bitmap".into())),
+            StoreKind::Bitmap
+        );
+        assert_eq!(
+            StoreKind::from_lookup(|_| Some("kdtree".into())),
+            StoreKind::KdTree
+        );
+        // Malformed: falls back to the default (after warning on stderr)
+        // instead of being silently swallowed or panicking.
+        assert_eq!(
+            StoreKind::from_lookup(|_| Some("BitMap".into())),
+            StoreKind::KdTree
+        );
+    }
+
+    #[test]
+    fn kinds_build_working_stores() {
+        for kind in [StoreKind::KdTree, StoreKind::Bitmap] {
+            let mut s = kind.new_store(2);
+            assert!(s.is_empty(), "{}", kind.name());
+            s.insert(Record::new(vec![3, 4, 99]));
+            s.rebuild();
+            let rect = HyperRect::new(vec![0, 0], vec![10, 10]);
+            assert_eq!(s.len(), 1);
+            assert_eq!(s.dims(), 2);
+            assert_eq!(s.count_range(&rect), 1);
+            assert_eq!(s.range_ids(&rect), vec![RecordId(0)]);
+            assert_eq!(s.range_records(&rect)[0].value(2), 99);
+            assert!(s.approx_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn fuzz_driver_accepts_arbitrary_inputs() {
+        fuzz_store_range(&[]);
+        fuzz_store_range(&[0x81]);
+        fuzz_store_range(&[2, 1, 2, 3]); // short tail: no full u64s
+        let mut data = vec![0x82u8]; // 3 dims, rebuild midway
+        for v in [0u64, u64::MAX, 5, 40, 7, 1, 2, 3, 6, 41, 8, 99, 99, 99] {
+            data.extend_from_slice(&v.to_le_bytes());
+        }
+        fuzz_store_range(&data);
+    }
+}

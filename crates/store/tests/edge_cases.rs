@@ -29,7 +29,7 @@ fn empty_stores_answer_ranges_negatively() {
         store.count_range(&HyperRect::new(vec![0, 0], vec![0, 0])),
         0
     );
-    assert!(store.get(RecordId(0)).is_none());
+    assert_eq!(store.range_ids(&HyperRect::full(2)), Vec::<RecordId>::new());
 
     // DAC: a query against an empty store still yields a (negative)
     // response — the paper reports empty regions to the originator.

@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Fuzz smoke gate: replay the committed corpus, then run the deterministic
-# generation loop (vendor/libfuzzer-sys stand-in, seeded xorshift64*) under
-# a hard 60-second timeout. Same iteration count + seed on every run, so a
-# failure is always reproducible with the printed command line.
+# Fuzz smoke gate: for each target, replay the committed corpus, then run
+# the deterministic generation loop (vendor/libfuzzer-sys stand-in, seeded
+# xorshift64*) under a hard per-target timeout. Same iteration count +
+# seed on every run, so a failure is always reproducible with the printed
+# command line.
 #
-# A machine with the real cargo-fuzz toolchain runs the same target with
-#   cargo fuzz run frame_decode
+# Targets:
+#   frame_decode — TCP frame codec round-trip invariant
+#   store_range  — differential store backends (columnar k-d vs bit-sliced
+#                  bitmap vs brute force) on arbitrary records + rects
+#
+# A machine with the real cargo-fuzz toolchain runs the same targets with
+#   cargo fuzz run <target>
 # after swapping fuzz/Cargo.toml's libfuzzer-sys path dep for the registry
 # crate.
 set -euo pipefail
@@ -16,10 +22,13 @@ SEED="${FUZZ_SMOKE_SEED:-20260807}"
 TIMEOUT_S="${FUZZ_SMOKE_TIMEOUT:-60}"
 
 cargo build --quiet --release --manifest-path fuzz/Cargo.toml
-BIN=fuzz/target/release/frame_decode
 
-echo "fuzz-smoke: replaying committed corpus"
-"$BIN" fuzz/corpus/frame_decode/*
+for TARGET in frame_decode store_range; do
+    BIN="fuzz/target/release/$TARGET"
 
-echo "fuzz-smoke: $ITERS generated inputs, seed $SEED, ${TIMEOUT_S}s cap"
-timeout "$TIMEOUT_S" "$BIN" --smoke "$ITERS" "$SEED"
+    echo "fuzz-smoke[$TARGET]: replaying committed corpus"
+    "$BIN" fuzz/corpus/"$TARGET"/*
+
+    echo "fuzz-smoke[$TARGET]: $ITERS generated inputs, seed $SEED, ${TIMEOUT_S}s cap"
+    timeout "$TIMEOUT_S" "$BIN" --smoke "$ITERS" "$SEED"
+done

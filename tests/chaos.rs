@@ -9,6 +9,7 @@
 use mind::core::{ClusterConfig, MindCluster, Replication};
 use mind::histogram::CutTree;
 use mind::netsim::FaultPlan;
+use mind::store::StoreKind;
 use mind::types::node::{SimTime, SECONDS};
 use mind::types::{AttrDef, AttrKind, HyperRect, IndexSchema, NodeId, Record};
 use rand::rngs::StdRng;
@@ -32,7 +33,22 @@ fn schema() -> IndexSchema {
 /// miss threshold is raised so a partition shorter than the failure
 /// horizon is ridden out instead of being misdiagnosed as node death.
 fn build(n: usize, seed: u64, fault: FaultPlan, replication: Replication) -> MindCluster {
+    // `planetlab` reads `MIND_STORE` itself, so the whole suite can run
+    // under either backend from the environment.
+    build_with_kind(n, seed, fault, replication, StoreKind::from_env())
+}
+
+/// [`build`] with the store backend pinned explicitly, for the scenarios
+/// that race both backends inside one test.
+fn build_with_kind(
+    n: usize,
+    seed: u64,
+    fault: FaultPlan,
+    replication: Replication,
+    kind: StoreKind,
+) -> MindCluster {
     let mut cfg = ClusterConfig::planetlab(n, seed);
+    cfg.mind.store_kind = kind;
     cfg.sim.fault = fault;
     cfg.overlay.hb_miss_threshold = 25; // horizon: 25 × 2s = 50s
     let mut cluster = MindCluster::new(cfg);
@@ -301,36 +317,79 @@ fn sustained_churn_keeps_pending_events_and_seen_ops_bounded() {
     eprintln!("churn peaks: pending={pending_peak} seen_ops={seen_peak}");
 }
 
+/// Every externally observable output of one seeded replay run: the full
+/// NetStats counter tuple, the sorted query answer, and the retry volume.
+type ReplayObservables = (
+    (u64, u64, u64, u64, u64, u64, u64, u64, u64, u64),
+    Vec<Vec<u64>>,
+    u64,
+);
+
+/// One seeded lossy/duplicating run with the store backend pinned,
+/// audited clean before returning its observables. Shared by the replay
+/// determinism test (same kind twice) and the backend-invisibility test
+/// (both kinds against each other).
+fn replay_run(seed: u64, kind: StoreKind) -> ReplayObservables {
+    let n = 8;
+    let fault = FaultPlan::lossy(0.05).with_duplication(0.02);
+    let mut cluster = build_with_kind(n, seed, fault, Replication::None, kind);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let mut oracle = Vec::new();
+    spray(&mut cluster, &mut rng, n, 100, 0, &mut oracle);
+    cluster.run_for(120 * SECONDS);
+    let q = HyperRect::new(vec![0, 0, 0], vec![1 << 20, 86_400 * 7, 1 << 20]);
+    let outcome = cluster
+        .query_and_wait(NodeId(4), "chaos", q, vec![])
+        .unwrap();
+    assert!(outcome.complete);
+    let retries = metric_sum(&cluster, |m| m.retries_sent);
+    cluster
+        .audit_settled()
+        .assert_clean(&format!("seed {seed} replay on {}", kind.name()));
+    (
+        cluster.world().stats.counters(),
+        sorted_values(&outcome.records),
+        retries,
+    )
+}
+
 #[test]
 fn same_seed_and_plan_replay_identically() {
     // Two runs of the same seeded scenario must agree on every fault
-    // counter and every query answer, byte for byte.
-    type Counters = (u64, u64, u64, u64, u64, u64, u64, u64, u64, u64);
-    fn run(seed: u64) -> (Counters, Vec<Vec<u64>>, u64) {
-        let n = 8;
-        let fault = FaultPlan::lossy(0.05).with_duplication(0.02);
-        let mut cluster = build(n, seed, fault, Replication::None);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
-        let mut oracle = Vec::new();
-        spray(&mut cluster, &mut rng, n, 100, 0, &mut oracle);
-        cluster.run_for(120 * SECONDS);
-        let q = HyperRect::new(vec![0, 0, 0], vec![1 << 20, 86_400 * 7, 1 << 20]);
-        let outcome = cluster
-            .query_and_wait(NodeId(4), "chaos", q, vec![])
-            .unwrap();
-        assert!(outcome.complete);
-        let retries = metric_sum(&cluster, |m| m.retries_sent);
-        (
-            cluster.world().stats.counters(),
-            sorted_values(&outcome.records),
-            retries,
-        )
-    }
+    // counter and every query answer, byte for byte. The backend follows
+    // `MIND_STORE` like the rest of the suite.
+    let kind = StoreKind::from_env();
     for seed in SEEDS {
-        let a = run(seed);
-        let b = run(seed);
+        let a = replay_run(seed, kind);
+        let b = replay_run(seed, kind);
         assert_eq!(a.0, b.0, "seed {seed}: NetStats counters diverged");
         assert_eq!(a.1, b.1, "seed {seed}: query answers diverged");
         assert_eq!(a.2, b.2, "seed {seed}: retry volume diverged");
+    }
+}
+
+#[test]
+fn store_backend_choice_is_protocol_invisible() {
+    // The store backend is a node-local detail: swapping the columnar
+    // k-d tree for the bit-sliced bitmap must not change a single wire
+    // counter, answer byte, or retry — message volume is a sum over
+    // record *sets* and DAC timing charges per record, both of which are
+    // independent of the order a backend materializes results in. The
+    // bitmap runs twice to pin its own byte-identical replay (the kdtree
+    // pair is covered by `same_seed_and_plan_replay_identically`).
+    for seed in SEEDS {
+        let kd = replay_run(seed, StoreKind::KdTree);
+        let bm_a = replay_run(seed, StoreKind::Bitmap);
+        let bm_b = replay_run(seed, StoreKind::Bitmap);
+        assert_eq!(bm_a, bm_b, "seed {seed}: bitmap replay diverged");
+        assert_eq!(
+            kd.0, bm_a.0,
+            "seed {seed}: backend choice leaked into NetStats counters"
+        );
+        assert_eq!(
+            kd.1, bm_a.1,
+            "seed {seed}: backend choice changed query answers"
+        );
+        assert_eq!(kd.2, bm_a.2, "seed {seed}: backend choice changed retries");
     }
 }
