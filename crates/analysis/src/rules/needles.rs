@@ -152,13 +152,15 @@ static ROUTEALLOC: Meta = Meta {
 
 static STOREALLOC: Meta = Meta {
     name: "storealloc",
-    why: "the bit-sliced store shares records by Arc handle and sizes \
-          every buffer up front (count_range is popcount-only and \
-          allocates nothing); Vec::new grow-by-push, to_vec, or a deep \
+    why: "the bit-sliced store and the sharded scatter/gather scan path \
+          share records by Arc handle and size every buffer up front \
+          (count_range is popcount-only and allocates nothing; per-shard \
+          gathers remap ids in place in the vector the subtree scan \
+          already returned); Vec::new grow-by-push, to_vec, or a deep \
           clone here quietly re-introduces the per-record copying and \
-          realloc churn the slice layout exists to avoid",
+          realloc churn those layouts exist to avoid",
     applies_in_tests: false,
-    only_prefixes: &["crates/store/src/bitmap.rs"],
+    only_prefixes: &["crates/store/src/bitmap.rs", "crates/store/src/sharded.rs"],
     exempt_prefixes: &[],
 };
 

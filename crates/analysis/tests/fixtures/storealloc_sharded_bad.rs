@@ -1,0 +1,22 @@
+// analyze-as: crates/store/src/sharded.rs
+pub fn gather_ids(per_shard: &[Vec<u64>], global: &[Vec<u64>]) -> Vec<u64> {
+    let mut out = Vec::new(); //~ storealloc
+    for (shard, ids) in per_shard.iter().enumerate() {
+        let local = ids.to_vec(); //~ storealloc
+        for id in local {
+            out.push(global[shard][id as usize].clone()); //~ storealloc
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code allocates freely — the rule is production-only.
+    #[test]
+    fn scratch_vectors_are_fine_here() {
+        let shards = [[7u64].to_vec()].to_vec();
+        let ids = super::gather_ids(&shards, &shards.clone());
+        assert_eq!(ids.len(), 1);
+    }
+}

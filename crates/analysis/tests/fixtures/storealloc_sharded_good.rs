@@ -1,0 +1,25 @@
+// analyze-as: crates/store/src/sharded.rs
+use std::sync::Arc;
+
+/// The endorsed sharded-gather spellings: per-shard results land in the
+/// vector the subtree scan already allocated, ids are remapped in place,
+/// and record handles move by `Arc::clone` refcount bump.
+pub fn gather_ids(mut per_shard: Vec<Vec<u64>>, global: &[Vec<u64>]) -> Vec<u64> {
+    let total: usize = per_shard.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for (shard, ids) in per_shard.iter_mut().enumerate() {
+        for id in ids.iter_mut() {
+            *id = global[shard][*id as usize];
+        }
+        out.append(ids);
+    }
+    out
+}
+
+pub fn gather_records(found: &[Arc<Vec<u64>>]) -> Vec<Arc<Vec<u64>>> {
+    let mut out = Vec::with_capacity(found.len());
+    for record in found {
+        out.push(Arc::clone(record));
+    }
+    out
+}

@@ -29,10 +29,11 @@
 //!   rect lookups there are allocation-free by design; pre-sized
 //!   `with_capacity` buffers in the builders are the endorsed spelling.
 //! * `storealloc` — the same allocation needles in the bit-sliced store
-//!   backend (`crates/store/src/bitmap.rs`): records are shared by `Arc`
-//!   handle, buffers are sized up front, and `count_range` is
-//!   popcount-only — grow-by-push or a deep copy there re-introduces the
-//!   churn the slice layout exists to avoid.
+//!   backend (`crates/store/src/bitmap.rs`) and the sharded
+//!   scatter/gather scan path (`crates/store/src/sharded.rs`): records
+//!   are shared by `Arc` handle, buffers are sized up front, and
+//!   `count_range` is popcount-only — grow-by-push or a deep copy there
+//!   re-introduces the churn those layouts exist to avoid.
 //!
 //! Test code is exempt from `unwrap`: files under `tests/`, `benches/` or
 //! `examples/`, and `#[cfg(test)]` modules (tracked by brace depth).
@@ -149,17 +150,20 @@ fn rules() -> Vec<Rule> {
                 concat!(".to_", "vec("),
                 concat!(".clo", "ne()"),
             ],
-            why: "the bit-sliced store shares records by Arc handle and \
-                  sizes every buffer up front (count_range is \
-                  popcount-only and allocates nothing); grow-by-push or a \
-                  deep clone here quietly re-introduces the copying and \
-                  realloc churn the slice layout exists to avoid",
+            why: "the bit-sliced store and the sharded scatter/gather \
+                  scan path share records by Arc handle and size every \
+                  buffer up front (count_range is popcount-only and \
+                  allocates nothing; per-shard gathers remap ids in \
+                  place); grow-by-push or a deep clone here quietly \
+                  re-introduces the copying and realloc churn those \
+                  layouts exist to avoid",
             applies_in_tests: false,
             exempt_prefixes: &[],
-            // Scoped to the bitmap backend module; mem.rs/dac.rs keep
-            // their narrower recclone rule, and Arc::clone(&x) is again
-            // the endorsed spelling the .clone() needle misses.
-            only_prefixes: &["crates/store/src/bitmap.rs"],
+            // Scoped to the bitmap backend and sharded scan modules;
+            // mem.rs/dac.rs keep their narrower recclone rule, and
+            // Arc::clone(&x) is again the endorsed spelling the .clone()
+            // needle misses.
+            only_prefixes: &["crates/store/src/bitmap.rs", "crates/store/src/sharded.rs"],
         },
         Rule {
             name: "retrytimer",
@@ -687,6 +691,12 @@ mod tests {
             hits_in(src, "crates/store/src/bitmap.rs", false),
             vec![(1, "storealloc")]
         );
+        // The sharded scatter/gather scan path is under the same wall.
+        assert_eq!(
+            hits_in(src, "crates/store/src/sharded.rs", false),
+            vec![(1, "storealloc")]
+        );
+        assert!(hits_in(src, "crates/store/src/sharded.rs", true).is_empty());
     }
 
     #[test]

@@ -33,6 +33,18 @@ pub(crate) enum DacJob {
         /// Idempotency key (0 = legacy/unacked operation).
         op_id: u64,
     },
+    /// A whole wire batch applied under one op id: all records store (and
+    /// ack) together or not at all, so a retried batch can never be half
+    /// deduped.
+    InsertBatch {
+        index: String,
+        version: u32,
+        records: Vec<Record>,
+        sent_at: SimTime,
+        is_replica: bool,
+        acker: NodeId,
+        op_id: u64,
+    },
     Scan {
         query_id: u64,
         index: String,
@@ -151,6 +163,36 @@ impl MindNode {
                     );
                     if applied && !is_replica {
                         result.insert_sent_ats.push(sent_at);
+                    }
+                }
+                DacJob::InsertBatch {
+                    index,
+                    version,
+                    records,
+                    sent_at,
+                    is_replica,
+                    acker,
+                    op_id,
+                } => {
+                    // The wire frame was amortized; the storage work was
+                    // not — every record still costs a row write.
+                    cost += cost_model.per_insert * records.len() as SimTime;
+                    let applied = self.apply_insert_batch(
+                        &index,
+                        version,
+                        records,
+                        is_replica,
+                        acker,
+                        op_id,
+                        &mut result,
+                    );
+                    if !is_replica {
+                        // One latency sample per record: they all left the
+                        // origin in one frame stamped with the oldest
+                        // record's enqueue time.
+                        for _ in 0..applied {
+                            result.insert_sent_ats.push(sent_at);
+                        }
                     }
                 }
                 DacJob::Scan {
@@ -304,6 +346,96 @@ impl MindNode {
         true
     }
 
+    /// Applies a whole wire batch under one op id (primary or replica
+    /// side). Returns the number of records stored — `0` when the batch
+    /// was a duplicate or cannot apply yet (unknown index/version: it
+    /// stays unacked so the origin's retry lands once the catalog heals).
+    /// Mirrors [`MindNode::apply_insert`] record-for-record: histogram and
+    /// trigger effects fire per record, but dedup, ack, and the replica
+    /// pushes happen once per batch.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_insert_batch(
+        &mut self,
+        index: &str,
+        version: u32,
+        records: Vec<Record>,
+        is_replica: bool,
+        acker: NodeId,
+        op_id: u64,
+        result: &mut BatchResult,
+    ) -> usize {
+        if op_id != 0 && self.seen_ops.contains(op_id) {
+            self.metrics.dup_ops_ignored += 1;
+            result.sends.push((acker, MindPayload::Ack { op_id }));
+            return 0;
+        }
+        let Some(state) = self.indexes.get_mut(index) else {
+            return 0;
+        };
+        let dims = state.schema.indexed_dims;
+        let replication = state.replication;
+        if state.version_mut(version).is_none() {
+            return 0;
+        }
+        if !is_replica {
+            for record in &records {
+                state.day_histogram.add(record.point(dims));
+            }
+            // Standing queries fire per record, the moment the primary
+            // copies land.
+            for record in &records {
+                for (trigger_id, origin) in self.triggers.fired(index, record, dims) {
+                    result.sends.push((
+                        origin,
+                        MindPayload::TriggerFired {
+                            trigger_id,
+                            at: self.id(),
+                            record: record.clone(),
+                        },
+                    ));
+                }
+            }
+        }
+        if op_id != 0 {
+            self.seen_ops.insert(op_id);
+            result.sends.push((acker, MindPayload::Ack { op_id }));
+        }
+        // Replicate the whole applied batch in one push per target —
+        // the same frame/op/ack amortization the primary leg got.
+        if !is_replica && !records.is_empty() {
+            let targets = match replication {
+                Replication::None => Vec::new(),
+                Replication::Level(m) => self.overlay.replica_targets(m as usize),
+                Replication::Full => self.overlay.all_neighbor_targets(),
+            };
+            for t in targets {
+                let rep_op = self.next_op_id();
+                let horizon = self.op_horizon();
+                result.sends.push((
+                    t,
+                    MindPayload::ReplicaBatch {
+                        index: index.to_string(),
+                        version,
+                        records: records.clone(),
+                        op_id: rep_op,
+                        horizon,
+                    },
+                ));
+            }
+        }
+        let n = records.len();
+        let state = self.indexes.get_mut(index).expect("checked above"); // lint:allow(unwrap) presence checked above
+        let ver = state.version_mut(version).expect("checked above"); // lint:allow(unwrap) presence checked above
+        if is_replica {
+            ver.replica_rows += n as u64;
+            ver.replicas.insert_batch(records);
+        } else {
+            ver.primary_rows += n as u64;
+            ver.primary.insert_batch(records);
+        }
+        n
+    }
+
     /// Answers a sub-query from the local store. Zero-copy: the returned
     /// records are shared handles into the store's record heap — nothing
     /// is materialized until (unless) the response crosses the wire.
@@ -409,7 +541,9 @@ impl MindNode {
                 } else {
                     // Replica pushes leave through here exactly once — arm
                     // their ack/retry tracking at actual transmission time.
-                    if let MindPayload::Replica { op_id, .. } = &payload {
+                    if let MindPayload::Replica { op_id, .. }
+                    | MindPayload::ReplicaBatch { op_id, .. } = &payload
+                    {
                         if *op_id != 0 {
                             self.track_op(*op_id, OpTarget::Direct(dest), payload.clone(), out);
                         }

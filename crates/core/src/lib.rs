@@ -41,6 +41,7 @@ mod query_track;
 mod reliability;
 mod rollover;
 pub mod trigger;
+pub mod wire_len;
 
 pub use cluster::{ClusterConfig, MindCluster};
 pub use messages::{CarriedFilter, MindPayload, Replication};

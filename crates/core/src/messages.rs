@@ -102,6 +102,31 @@ pub enum MindPayload {
         /// (DESIGN.md §10). `0` claims nothing.
         horizon: u64,
     },
+    /// Routed to the region owner shared by every carried record: store
+    /// many records under **one** frame, one op id, one ack, and one
+    /// horizon update — the batched ingest fast path. The origin's
+    /// batcher (`reliability.rs`) only coalesces records that conformed
+    /// to the same index, version, and routing code, so a batch routes
+    /// exactly like each of its records would have alone.
+    InsertBatch {
+        /// Index tag.
+        index: String,
+        /// Version whose cuts mapped every record in the batch.
+        version: u32,
+        /// The (already schema-conformed) records, in origin insert order.
+        records: Vec<Record>,
+        /// The inserting node (for the per-monitor metrics of Figure 12).
+        origin: NodeId,
+        /// When the batch left the origin — the *oldest* record's
+        /// enqueue time, so batching shows up honestly in insert latency.
+        sent_at: SimTime,
+        /// One idempotency key for the whole batch: the storing node
+        /// applies all records or none, dedups retries, and acks once.
+        op_id: u64,
+        /// The origin's settled-op horizon (see
+        /// [`MindPayload::Insert::horizon`]).
+        horizon: u64,
+    },
     /// Direct to a prefix neighbor: store a replica copy.
     Replica {
         /// Index tag.
@@ -116,9 +141,27 @@ pub enum MindPayload {
         /// [`MindPayload::Insert::horizon`]).
         horizon: u64,
     },
-    /// Direct to the sender of an `Insert`/`Replica`: the record is
-    /// durably applied (or was already — acks are re-sent for deduped
-    /// retries, since the first ack may itself have been lost).
+    /// Direct to a prefix neighbor: store replica copies of a whole
+    /// applied batch — one push, one op id, one ack per replica target,
+    /// however many records the primary just applied for it.
+    ReplicaBatch {
+        /// Index tag.
+        index: String,
+        /// Version the records belong to.
+        version: u32,
+        /// The records, in the order the primary applied them.
+        records: Vec<Record>,
+        /// Idempotency key, unique per pushing primary; acked back to it.
+        op_id: u64,
+        /// The pushing primary's settled-op horizon (see
+        /// [`MindPayload::Insert::horizon`]).
+        horizon: u64,
+    },
+    /// Direct to the sender of an `Insert`/`InsertBatch`/`Replica`/
+    /// `ReplicaBatch`: the record(s) are durably applied (or were
+    /// already — acks are re-sent for deduped retries, since the first
+    /// ack may itself have been lost). A batch is acked by its single
+    /// batch op id.
     Ack {
         /// The acknowledged operation.
         op_id: u64,
@@ -261,41 +304,56 @@ pub enum MindPayload {
     },
 }
 
+/// Exact encoded size of the header an `Insert` and an `InsertBatch`
+/// share under the `mind-net` codec: enum variant tag (4), length-
+/// prefixed index tag (4 + bytes), `version` (4), `origin` (4),
+/// `sent_at` (8), `op_id` (8), `horizon` (8). Computed once here so the
+/// single and batched paths can never disagree on what a header costs —
+/// the whole point of batching is amortizing exactly these bytes.
+fn insert_header_size(index: &str) -> usize {
+    4 + (4 + index.len()) + 4 + 4 + 8 + 8 + 8
+}
+
+/// Exact encoded size of the header a `Replica` and a `ReplicaBatch`
+/// share: variant tag (4), length-prefixed index tag (4 + bytes),
+/// `version` (4), `op_id` (8), `horizon` (8).
+fn replica_header_size(index: &str) -> usize {
+    4 + (4 + index.len()) + 4 + 8 + 8
+}
+
+/// Exact encoded size of a record sequence: `u32` count + each record's
+/// own exact encoding ([`Record::wire_size`] is exact under the codec).
+fn records_size(records: &[Record]) -> usize {
+    4 + records.iter().map(Record::wire_size).sum::<usize>()
+}
+
 impl WireSize for MindPayload {
+    /// Exact `mind_net::wire` encoded size of this payload.
+    ///
+    /// The insert plane (the per-record hot path, where batching amortizes
+    /// framing) is O(1)-per-record arithmetic over the shared header
+    /// helpers above; every other variant is counted by the
+    /// [`crate::wire_len`] mirror of the codec. Both routes are pinned
+    /// against the real encoder, for every variant, by `mind-net`'s
+    /// `wire_size_is_exact_for_every_payload_kind` test — this used to be
+    /// a wall of per-variant estimates (`Insert` charged a flat `64 +`),
+    /// which skewed the simulator's bandwidth model against exactly the
+    /// messages the ingest path cares about.
     fn wire_size(&self) -> usize {
         match self {
-            MindPayload::CreateIndex { schema, .. } => 512 + schema.arity() * 32,
-            MindPayload::NewVersion { .. } => 1024, // serialized cut tree
-            MindPayload::DropIndex { .. } => 48,
-            MindPayload::Insert { record, .. } => 64 + record.wire_size(),
-            MindPayload::Replica { record, .. } => 56 + record.wire_size(),
-            MindPayload::Ack { .. } => 16,
-            MindPayload::RootQuery { rect, filters, .. } => {
-                48 + rect.dims() * 16 + filters.len() * 20
+            MindPayload::Insert { index, record, .. } => {
+                insert_header_size(index) + record.wire_size()
             }
-            MindPayload::SubQuery { rect, filters, .. } => {
-                56 + rect.dims() * 16 + filters.len() * 20
+            MindPayload::InsertBatch { index, records, .. } => {
+                insert_header_size(index) + records_size(records)
             }
-            MindPayload::QueryPlan { codes, .. } => 24 + codes.len() * 9,
-            MindPayload::QueryResponse { records, .. } => {
-                32 + records.iter().map(Record::wire_size).sum::<usize>()
+            MindPayload::Replica { index, record, .. } => {
+                replica_header_size(index) + record.wire_size()
             }
-            MindPayload::CreateTrigger { trigger } => {
-                64 + trigger.rect.dims() * 16 + trigger.filters.len() * 20
+            MindPayload::ReplicaBatch { index, records, .. } => {
+                replica_header_size(index) + records_size(records)
             }
-            MindPayload::DropTrigger { .. } => 16,
-            MindPayload::TriggerFired { record, .. } => 24 + record.wire_size(),
-            MindPayload::CatalogRequest => 8,
-            MindPayload::CatalogResponse { indexes, .. } => {
-                64 + indexes.len() * 1200 // schemas + serialized cut trees
-            }
-            MindPayload::HandoffScan { rect, filters, .. } => {
-                56 + rect.dims() * 16 + filters.len() * 20
-            }
-            MindPayload::HandoffRecords { records, .. } => {
-                16 + records.iter().map(Record::wire_size).sum::<usize>()
-            }
-            MindPayload::HistReport { hist, .. } => 64 + hist.occupied_bins() * 16,
+            other => crate::wire_len::serialized_len(other),
         }
     }
 }

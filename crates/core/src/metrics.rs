@@ -16,6 +16,10 @@ pub struct NodeMetrics {
     pub undeliverable_targets: Vec<mind_types::BitCode>,
     /// Inserts this node originated (per-monitor volume, Figure 12).
     pub inserts_originated: u64,
+    /// Multi-record `InsertBatch` frames this node shipped (the ingest
+    /// fast path; one-record stragglers leave as plain `Insert`s and are
+    /// not counted here).
+    pub insert_batches_sent: u64,
     /// Sub-queries this node answered.
     pub subqueries_answered: u64,
     /// Records this node's scans returned (zero-copy handles on the local

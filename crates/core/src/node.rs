@@ -79,6 +79,17 @@ pub struct MindConfig {
     /// Interval between anti-entropy catalog exchanges with a round-robin
     /// neighbor (heals lost index/version/trigger floods). `0` disables.
     pub anti_entropy_interval: SimTime,
+    /// Ingest fast path: records bound for the same index, version, and
+    /// region code are coalesced at the origin into one `InsertBatch`
+    /// frame of up to this many records (one frame, one op id, one ack).
+    /// `1` (the default) disables batching — every insert leaves
+    /// immediately as a plain `Insert`, exactly the pre-batching wire
+    /// behavior.
+    pub insert_batch_max: usize,
+    /// How long a partially filled wire batch may age before it is
+    /// flushed anyway (the size/age batcher in `crate::reliability`).
+    /// Ignored while `insert_batch_max <= 1`.
+    pub insert_batch_age: SimTime,
 }
 
 impl Default for MindConfig {
@@ -98,6 +109,8 @@ impl Default for MindConfig {
             max_retries: 6,
             query_retry_interval: 8 * SECONDS,
             anti_entropy_interval: 45 * SECONDS,
+            insert_batch_max: 1,
+            insert_batch_age: SECONDS / 20,
         }
     }
 }
@@ -113,6 +126,14 @@ pub struct MindNode {
     pub(crate) dac_busy: bool,
     pub(crate) batch_seq: u64,
     pub(crate) pending_batches: HashMap<u64, BatchResult>,
+    // origin-side wire batching (crate::reliability)
+    /// Open wire batches by `(index, version, code.len, code.as_index)` —
+    /// a `BTreeMap` so a bulk drain walks them in a replay-stable order.
+    pub(crate) wire_batches: BTreeMap<(String, u32, u8, u64), crate::reliability::WireBatch>,
+    /// Flush-timer argument → open-batch key (the 48-bit timer budget
+    /// cannot carry the key itself).
+    pub(crate) wire_batch_keys: HashMap<u64, (String, u32, u8, u64)>,
+    pub(crate) wire_batch_seq: u64,
     // reliable delivery + bounded dedup (crate::reliability)
     pub(crate) op_seq: u64,
     pub(crate) pending_ops: HashMap<u64, PendingOp>,
@@ -185,6 +206,9 @@ impl MindNode {
             dac_busy: false,
             batch_seq: 0,
             pending_batches: HashMap::new(),
+            wire_batches: BTreeMap::new(),
+            wire_batch_keys: HashMap::new(),
+            wire_batch_seq: 0,
             op_seq: 0,
             pending_ops: HashMap::new(),
             seen_ops: SeenOps::default(),
@@ -217,6 +241,11 @@ impl MindNode {
         self.dac_queue.clear();
         self.dac_busy = false;
         self.pending_batches.clear();
+        // Buffered-but-unsent wire batches die with the crash (their op
+        // ids were never reserved, so nothing retries them) — same loss
+        // semantics as records sitting in the DAC queue.
+        self.wire_batches.clear();
+        self.wire_batch_keys.clear();
         self.pending_ops.clear();
         // The crash abandoned every in-flight op (their retry timers died
         // with the old incarnation): settle them all, so the horizon
@@ -318,6 +347,12 @@ impl MindNode {
         let cuts = &state.version(version).expect("version exists").cuts; // lint:allow(unwrap) version_for_ts returns an installed version
         let code = cuts.code_for_point(record.point(state.schema.indexed_dims));
         self.metrics.inserts_originated += 1;
+        if self.cfg.insert_batch_max > 1 {
+            // Ingest fast path: coalesce into the per-(index, version,
+            // code) wire batch; it leaves when full or aged out.
+            self.buffer_wire_insert(now, index.to_string(), version, code, record, out);
+            return Ok(());
+        }
         let op_id = self.next_op_id();
         // Horizon read *after* reserving the op's counter, so the payload
         // never claims its own op as settled.
@@ -490,7 +525,9 @@ impl MindNode {
             // them keeps this dispatch exhaustive, so a new wire variant
             // must explicitly choose its delivery path here.
             MindPayload::Insert { .. }
+            | MindPayload::InsertBatch { .. }
             | MindPayload::Replica { .. }
+            | MindPayload::ReplicaBatch { .. }
             | MindPayload::Ack { .. }
             | MindPayload::RootQuery { .. }
             | MindPayload::SubQuery { .. }
@@ -533,6 +570,41 @@ impl MindNode {
                         index,
                         version,
                         record,
+                        sent_at,
+                        is_replica: false,
+                        acker: origin,
+                        op_id,
+                    },
+                    out,
+                );
+            }
+            MindPayload::InsertBatch {
+                index,
+                version,
+                records,
+                origin,
+                sent_at,
+                op_id,
+                horizon,
+            } => {
+                if op_id != 0 {
+                    self.seen_ops.observe_horizon(op_id, horizon);
+                    // The whole batch was applied atomically under one op
+                    // id, so one dedup check covers every record.
+                    if self.seen_ops.contains(op_id) {
+                        self.metrics.dup_ops_ignored += 1;
+                        self.send_ack(origin, op_id, out);
+                        return;
+                    }
+                }
+                // One frame traveled once: one hop sample per batch.
+                self.metrics.insert_hops.push(hops);
+                self.enqueue(
+                    now,
+                    DacJob::InsertBatch {
+                        index,
+                        version,
+                        records,
                         sent_at,
                         is_replica: false,
                         acker: origin,
@@ -609,6 +681,35 @@ impl MindNode {
                         index,
                         version,
                         record,
+                        sent_at: now,
+                        is_replica: true,
+                        acker: from,
+                        op_id,
+                    },
+                    out,
+                );
+            }
+            MindPayload::ReplicaBatch {
+                index,
+                version,
+                records,
+                op_id,
+                horizon,
+            } => {
+                if op_id != 0 {
+                    self.seen_ops.observe_horizon(op_id, horizon);
+                    if self.seen_ops.contains(op_id) {
+                        self.metrics.dup_ops_ignored += 1;
+                        self.send_ack(from, op_id, out);
+                        return;
+                    }
+                }
+                self.enqueue(
+                    now,
+                    DacJob::InsertBatch {
+                        index,
+                        version,
+                        records,
                         sent_at: now,
                         is_replica: true,
                         acker: from,
@@ -820,6 +921,7 @@ mod tests {
             crate::rollover::KIND_COLLECT,
             crate::reliability::KIND_OP_RETRY, // lint:allow(retrytimer) disjointness check, not a use
             crate::reliability::KIND_ANTI_ENTROPY, // lint:allow(retrytimer) disjointness check, not a use
+            crate::reliability::KIND_BATCH_FLUSH,
         ];
         for (i, a) in kinds.iter().enumerate() {
             for b in kinds.iter().skip(i + 1) {

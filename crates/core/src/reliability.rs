@@ -19,11 +19,13 @@ use crate::messages::MindPayload;
 use crate::node::{token, MindNode, Out};
 use mind_overlay::OverlayMsg;
 use mind_types::node::{SimTime, TimerId};
-use mind_types::{BitCode, NodeId};
+use mind_types::{BitCode, NodeId, Record};
 use std::collections::{BTreeMap, BTreeSet};
 
 pub(crate) const KIND_OP_RETRY: u64 = 4;
 pub(crate) const KIND_ANTI_ENTROPY: u64 = 6;
+/// Age-flush timer for a partially filled wire insert batch.
+pub(crate) const KIND_BATCH_FLUSH: u64 = 7;
 
 /// Op-id counters occupy the low 24 bits; the origin node id sits above.
 const OP_COUNTER_MASK: u64 = 0xFF_FFFF;
@@ -43,6 +45,25 @@ pub(crate) enum OpTarget {
     Routed(BitCode),
     /// Re-send directly to a node (replica pushes).
     Direct(NodeId),
+}
+
+/// An open origin-side wire batch: records bound for one `(index,
+/// version, code)` destination, waiting to fill up or age out (the
+/// ingest fast path, DESIGN.md §14). Keyed in `MindNode::wire_batches`
+/// by `(index, version, code.len(), code.as_index())`.
+#[derive(Debug)]
+pub(crate) struct WireBatch {
+    /// The routing code every buffered record conformed to.
+    code: BitCode,
+    /// Buffered records, in origin insert order.
+    records: Vec<Record>,
+    /// When the *oldest* buffered record was enqueued — becomes the
+    /// batch's `sent_at`, so batching delay shows up in insert latency.
+    oldest: SimTime,
+    /// The armed age-flush timer and its token argument; cancelled (and
+    /// the argument's key mapping dropped) when a size flush wins.
+    timer: TimerId,
+    flush_arg: u64,
 }
 
 /// An insert/replica awaiting its ack.
@@ -141,8 +162,10 @@ impl MindNode {
 
     /// Re-stamps the horizon carried by an op about to be (re)sent.
     pub(crate) fn stamp_horizon(payload: &mut MindPayload, horizon: u64) {
-        if let MindPayload::Insert { horizon: h, .. } | MindPayload::Replica { horizon: h, .. } =
-            payload
+        if let MindPayload::Insert { horizon: h, .. }
+        | MindPayload::InsertBatch { horizon: h, .. }
+        | MindPayload::Replica { horizon: h, .. }
+        | MindPayload::ReplicaBatch { horizon: h, .. } = payload
         {
             *h = horizon;
         }
@@ -152,6 +175,139 @@ impl MindNode {
     /// advance past it.
     fn settle_op(&mut self, op_id: u64) {
         self.live_op_counters.remove(&op_counter(op_id));
+    }
+
+    // ---- origin-side wire batching (the ingest fast path, DESIGN.md §14) ----
+
+    /// Buffers one conformed record into the wire batch for its `(index,
+    /// version, code)` destination; ships the batch when it reaches
+    /// `insert_batch_max` records (the first record also arms an age
+    /// flush, so stragglers never wait forever). Only called when
+    /// batching is enabled (`insert_batch_max > 1`).
+    pub(crate) fn buffer_wire_insert(
+        &mut self,
+        now: SimTime,
+        index: String,
+        version: u32,
+        code: BitCode,
+        record: Record,
+        out: &mut Out,
+    ) {
+        let key = (index, version, code.len(), code.as_index());
+        let max = self.cfg.insert_batch_max;
+        let full = if let Some(open) = self.wire_batches.get_mut(&key) {
+            open.records.push(record);
+            open.records.len() >= max
+        } else {
+            let flush_arg = self.wire_batch_seq & 0xFFFF_FFFF_FFFF;
+            self.wire_batch_seq += 1;
+            let timer = out.set_timer(
+                self.cfg.insert_batch_age,
+                token(KIND_BATCH_FLUSH, flush_arg),
+            );
+            self.wire_batch_keys.insert(flush_arg, key.clone());
+            let mut records = Vec::with_capacity(max);
+            records.push(record);
+            self.wire_batches.insert(
+                key.clone(),
+                WireBatch {
+                    code,
+                    records,
+                    oldest: now,
+                    timer,
+                    flush_arg,
+                },
+            );
+            // `max > 1` whenever the batcher is active, so a fresh
+            // single-record batch is never already full.
+            false
+        };
+        if full {
+            if let Some(batch) = self.wire_batches.remove(&key) {
+                self.wire_batch_keys.remove(&batch.flush_arg);
+                out.cancel_timer(batch.timer);
+                self.ship_wire_batch(now, key.0, key.1, batch, out);
+            }
+        }
+    }
+
+    /// Sends one closed wire batch toward its region owner under a single
+    /// fresh op id: a one-record straggler degenerates to a plain
+    /// `Insert` (no batch framing overhead), anything larger leaves as an
+    /// `InsertBatch`.
+    fn ship_wire_batch(
+        &mut self,
+        now: SimTime,
+        index: String,
+        version: u32,
+        batch: WireBatch,
+        out: &mut Out,
+    ) {
+        let WireBatch {
+            code,
+            mut records,
+            oldest,
+            ..
+        } = batch;
+        let op_id = self.next_op_id();
+        // Horizon read *after* reserving the op's counter, so the payload
+        // never claims its own op as settled.
+        let horizon = self.op_horizon();
+        let payload = if records.len() > 1 {
+            self.metrics.insert_batches_sent += 1;
+            MindPayload::InsertBatch {
+                index,
+                version,
+                records,
+                origin: self.id(),
+                sent_at: oldest,
+                op_id,
+                horizon,
+            }
+        } else if let Some(record) = records.pop() {
+            MindPayload::Insert {
+                index,
+                version,
+                record,
+                origin: self.id(),
+                sent_at: oldest,
+                op_id,
+                horizon,
+            }
+        } else {
+            // Batches are created non-empty; nothing to ship.
+            self.settle_op(op_id);
+            return;
+        };
+        self.track_op(op_id, OpTarget::Routed(code), payload.clone(), out);
+        let events = self.overlay.route(now, code, payload, out);
+        self.process_events(now, events, out);
+    }
+
+    /// Age-flush timer fired: ship the batch the argument maps to, if a
+    /// size flush has not already claimed it.
+    fn flush_wire_batch(&mut self, now: SimTime, flush_arg: u64, out: &mut Out) {
+        if let Some(key) = self.wire_batch_keys.remove(&flush_arg) {
+            if let Some(batch) = self.wire_batches.remove(&key) {
+                self.ship_wire_batch(now, key.0, key.1, batch, out);
+            }
+        }
+    }
+
+    /// Force-ships every open wire batch immediately (deterministic key
+    /// order). Lets drivers drain buffered inserts without waiting out
+    /// the age timers — a no-op when batching is off.
+    pub fn flush_inserts(&mut self, now: SimTime, out: &mut Out) {
+        while let Some((key, batch)) = self.wire_batches.pop_first() {
+            self.wire_batch_keys.remove(&batch.flush_arg);
+            out.cancel_timer(batch.timer);
+            self.ship_wire_batch(now, key.0, key.1, batch, out);
+        }
+    }
+
+    /// Records currently buffered in open wire batches (not yet sent).
+    pub fn buffered_inserts(&self) -> usize {
+        self.wire_batches.values().map(|b| b.records.len()).sum()
     }
 
     /// Registers an operation for ack tracking and arms its retry timer.
@@ -286,6 +442,7 @@ impl MindNode {
         match kind {
             KIND_OP_RETRY => self.retry_op(now, arg, out),
             KIND_ANTI_ENTROPY => self.anti_entropy_tick(out),
+            KIND_BATCH_FLUSH => self.flush_wire_batch(now, arg, out),
             _ => return false,
         }
         true

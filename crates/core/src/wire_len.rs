@@ -1,0 +1,331 @@
+//! Exact serialized-size accounting for wire payloads.
+//!
+//! The simulator charges bandwidth per message via
+//! [`WireSize`](mind_types::WireSize); historically those numbers were
+//! flat per-variant estimates (`64 + record bytes`), which drifts from
+//! what `mind_net::wire` actually puts on a real socket — and a batched
+//! insert's whole point is amortizing *real* framing bytes, so its
+//! accounting has to be real too.
+//!
+//! [`serialized_len`] is a counting-only `serde::Serializer` that mirrors
+//! the `mind-net` codec's layout rules byte for byte without materializing
+//! a buffer:
+//!
+//! * fixed-width primitives as-is; `bool` as one byte,
+//! * `str` / `bytes`: `u32` length + raw bytes,
+//! * `Option`: 1-byte tag,
+//! * sequences and maps: `u32` length + elements,
+//! * structs and tuples: fields in declaration order, no framing,
+//! * enums: `u32` variant index + variant content.
+//!
+//! `mind-core` cannot depend on `mind-net` (the dependency points the
+//! other way), so the mirror lives here; the `wire_size_is_exact` test in
+//! `mind-net` pins the two implementations against each other for every
+//! `MindPayload` kind, so any layout change in either file fails CI
+//! instead of silently skewing the bandwidth model.
+
+use serde::ser::{
+    SerializeMap, SerializeSeq, SerializeStruct, SerializeStructVariant, SerializeTuple,
+    SerializeTupleStruct, SerializeTupleVariant,
+};
+use serde::Serialize;
+use std::fmt;
+
+/// Exact number of bytes `mind_net::wire::to_bytes(v)` would produce.
+///
+/// The only failure modes of the codec are unknown-length sequences and
+/// lengths above `u32::MAX`, neither of which any MIND payload produces;
+/// should one ever appear, this debug-asserts and returns the bytes
+/// counted up to the error (an under-estimate, never a panic in release).
+pub fn serialized_len<T: Serialize + ?Sized>(v: &T) -> usize {
+    let mut counter = Counter { n: 0 };
+    let r = v.serialize(&mut counter);
+    debug_assert!(r.is_ok(), "uncountable wire payload: {r:?}");
+    counter.n
+}
+
+/// Counting failed — mirrors the codec's error cases.
+#[derive(Debug)]
+pub struct LenError(String);
+
+impl fmt::Display for LenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire length error: {}", self.0)
+    }
+}
+
+impl std::error::Error for LenError {}
+
+impl serde::ser::Error for LenError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        LenError(msg.to_string())
+    }
+}
+
+struct Counter {
+    n: usize,
+}
+
+impl serde::Serializer for &mut Counter {
+    type Ok = ();
+    type Error = LenError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, _v: bool) -> Result<(), LenError> {
+        self.n += 1;
+        Ok(())
+    }
+    fn serialize_i8(self, _v: i8) -> Result<(), LenError> {
+        self.n += 1;
+        Ok(())
+    }
+    fn serialize_i16(self, _v: i16) -> Result<(), LenError> {
+        self.n += 2;
+        Ok(())
+    }
+    fn serialize_i32(self, _v: i32) -> Result<(), LenError> {
+        self.n += 4;
+        Ok(())
+    }
+    fn serialize_i64(self, _v: i64) -> Result<(), LenError> {
+        self.n += 8;
+        Ok(())
+    }
+    fn serialize_u8(self, _v: u8) -> Result<(), LenError> {
+        self.n += 1;
+        Ok(())
+    }
+    fn serialize_u16(self, _v: u16) -> Result<(), LenError> {
+        self.n += 2;
+        Ok(())
+    }
+    fn serialize_u32(self, _v: u32) -> Result<(), LenError> {
+        self.n += 4;
+        Ok(())
+    }
+    fn serialize_u64(self, _v: u64) -> Result<(), LenError> {
+        self.n += 8;
+        Ok(())
+    }
+    fn serialize_f32(self, _v: f32) -> Result<(), LenError> {
+        self.n += 4;
+        Ok(())
+    }
+    fn serialize_f64(self, _v: f64) -> Result<(), LenError> {
+        self.n += 8;
+        Ok(())
+    }
+    fn serialize_char(self, _v: char) -> Result<(), LenError> {
+        self.n += 4;
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), LenError> {
+        self.serialize_bytes(v.as_bytes())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), LenError> {
+        u32::try_from(v.len()).map_err(|_| LenError("bytes too long".into()))?;
+        self.n += 4 + v.len();
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), LenError> {
+        self.n += 1;
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), LenError> {
+        self.n += 1;
+        v.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), LenError> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), LenError> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), LenError> {
+        self.n += 4;
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        v: &T,
+    ) -> Result<(), LenError> {
+        v.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        v: &T,
+    ) -> Result<(), LenError> {
+        self.n += 4;
+        v.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, LenError> {
+        let len = len.ok_or_else(|| LenError("sequences must know their length".into()))?;
+        u32::try_from(len).map_err(|_| LenError("sequence too long".into()))?;
+        self.n += 4;
+        Ok(self)
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self, LenError> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, LenError> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, LenError> {
+        self.n += 4;
+        Ok(self)
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, LenError> {
+        let len = len.ok_or_else(|| LenError("maps must know their length".into()))?;
+        u32::try_from(len).map_err(|_| LenError("map too long".into()))?;
+        self.n += 4;
+        Ok(self)
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, LenError> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, LenError> {
+        self.n += 4;
+        Ok(self)
+    }
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+macro_rules! count_compound {
+    ($trait_:ident, $method:ident) => {
+        impl $trait_ for &mut Counter {
+            type Ok = ();
+            type Error = LenError;
+            fn $method<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), LenError> {
+                v.serialize(&mut **self)
+            }
+            fn end(self) -> Result<(), LenError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+count_compound!(SerializeSeq, serialize_element);
+count_compound!(SerializeTuple, serialize_element);
+count_compound!(SerializeTupleStruct, serialize_field);
+count_compound!(SerializeTupleVariant, serialize_field);
+
+impl SerializeMap for &mut Counter {
+    type Ok = ();
+    type Error = LenError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), LenError> {
+        key.serialize(&mut **self)
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), LenError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), LenError> {
+        Ok(())
+    }
+}
+
+impl SerializeStruct for &mut Counter {
+    type Ok = ();
+    type Error = LenError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        v: &T,
+    ) -> Result<(), LenError> {
+        v.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), LenError> {
+        Ok(())
+    }
+}
+
+impl SerializeStructVariant for &mut Counter {
+    type Ok = ();
+    type Error = LenError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        v: &T,
+    ) -> Result<(), LenError> {
+        v.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), LenError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize)]
+    enum Sample {
+        Unit,
+        New(u64),
+        Tuple(u8, String),
+        Struct {
+            a: Vec<u32>,
+            b: Option<bool>,
+            c: BTreeMap<u64, u64>,
+        },
+    }
+
+    #[test]
+    fn counts_match_layout_rules() {
+        assert_eq!(serialized_len(&true), 1);
+        assert_eq!(serialized_len(&7u32), 4);
+        assert_eq!(serialized_len(&7u64), 8);
+        assert_eq!(serialized_len(&-1i16), 2);
+        assert_eq!(serialized_len(&3.5f64), 8);
+        assert_eq!(serialized_len("héllo"), 4 + 6); // 2-byte é
+        assert_eq!(serialized_len(&Option::<u32>::None), 1);
+        assert_eq!(serialized_len(&Some(42u32)), 1 + 4);
+        assert_eq!(serialized_len(&vec![1u64, 2, 3]), 4 + 24);
+        assert_eq!(serialized_len(&(1u8, 2u16)), 3);
+        assert_eq!(serialized_len(&Sample::Unit), 4);
+        assert_eq!(serialized_len(&Sample::New(9)), 4 + 8);
+        assert_eq!(
+            serialized_len(&Sample::Tuple(1, "ab".into())),
+            4 + 1 + 4 + 2
+        );
+        let mut m = BTreeMap::new();
+        m.insert(1u64, 2u64);
+        let s = Sample::Struct {
+            a: vec![5, 6],
+            b: Some(false),
+            c: m,
+        };
+        assert_eq!(serialized_len(&s), 4 + (4 + 8) + (1 + 1) + (4 + 16));
+    }
+}

@@ -1,0 +1,74 @@
+//! Regenerates the committed seed corpus for the `batch_decode` fuzz
+//! target (`fuzz/corpus/batch_decode/`):
+//!
+//! ```sh
+//! cargo run -p mind-net --example gen_batch_corpus
+//! ```
+//!
+//! Seeds cover the payloads the ingest fast path puts on the wire — a
+//! plain `Insert`, a multi-record `InsertBatch`, a `ReplicaBatch` — plus
+//! a truncated batch frame and an out-of-range variant tag, so the smoke
+//! run always replays both the accept and the reject paths.
+
+use mind_core::MindPayload;
+use mind_net::wire;
+use mind_types::{NodeId, Record};
+use std::fs;
+use std::path::Path;
+
+fn records(n: u64) -> Vec<Record> {
+    (0..n)
+        .map(|i| Record::new(vec![i, i * 7, i * 13]))
+        .collect()
+}
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus/batch_decode");
+    fs::create_dir_all(&dir).expect("create corpus dir");
+
+    let single = wire::to_bytes(&MindPayload::Insert {
+        index: "ingest".into(),
+        version: 1,
+        record: Record::new(vec![1, 2, 3]),
+        origin: NodeId(5),
+        sent_at: 42,
+        op_id: (5 << 24) | 1,
+        horizon: 0,
+    })
+    .expect("encode");
+
+    let batch = wire::to_bytes(&MindPayload::InsertBatch {
+        index: "ingest".into(),
+        version: 1,
+        records: records(8),
+        origin: NodeId(5),
+        sent_at: 42,
+        op_id: (5 << 24) | 2,
+        horizon: 1,
+    })
+    .expect("encode");
+
+    let replica_batch = wire::to_bytes(&MindPayload::ReplicaBatch {
+        index: "ingest".into(),
+        version: 1,
+        records: records(3),
+        op_id: (5 << 24) | 3,
+        horizon: 1,
+    })
+    .expect("encode");
+
+    let truncated = batch[..batch.len() - 5].to_vec();
+    // Variant index far past the enum's arm count: must reject cleanly.
+    let bad_tag = 0xFFFF_FFF0u32.to_le_bytes().to_vec();
+
+    for (name, bytes) in [
+        ("insert.bin", &single),
+        ("insert_batch.bin", &batch),
+        ("replica_batch.bin", &replica_batch),
+        ("truncated_batch.bin", &truncated),
+        ("bad_variant_tag.bin", &bad_tag),
+    ] {
+        fs::write(dir.join(name), bytes).expect("write seed");
+        println!("wrote {name}: {} bytes", bytes.len());
+    }
+}

@@ -64,6 +64,43 @@ pub fn from_bytes<T: DeserializeOwned>(buf: &[u8]) -> Result<T, WireError> {
     Ok(v)
 }
 
+/// Fuzz entry point: arbitrary bytes either fail to decode as a
+/// [`mind_core::MindPayload`] with a clean error, or decode to a payload
+/// whose re-encoding is a canonical fixed point (encode ∘ decode ∘
+/// encode = encode — the decoder is strict on scalars and tags, but map
+/// entries may arrive unsorted and re-encode canonically) and whose
+/// advertised [`WireSize`](mind_types::WireSize) equals its real encoded
+/// length — the simulator's bandwidth-model invariant, checked here on
+/// every structurally valid payload the decoder accepts, batched insert
+/// frames included (the committed corpus seeds them).
+///
+/// Pure and deterministic — the in-tree fuzz target
+/// (`fuzz/fuzz_targets/batch_decode.rs`) and the CI smoke run both drive
+/// this function; corpus crashes replay as ordinary unit-test calls.
+/// Panics only on an invariant violation, never on malformed input.
+pub fn fuzz_batch_decode(data: &[u8]) {
+    use mind_types::WireSize;
+
+    let Ok(payload) = from_bytes::<mind_core::MindPayload>(data) else {
+        return;
+    };
+    let Ok(encoded) = to_bytes(&payload) else {
+        unreachable!("a decoded payload is always re-encodable");
+    };
+    let Ok(back) = from_bytes::<mind_core::MindPayload>(&encoded) else {
+        panic!("canonical re-encoding failed to decode");
+    };
+    let Ok(again) = to_bytes(&back) else {
+        unreachable!("a decoded payload is always re-encodable");
+    };
+    assert_eq!(encoded, again, "canonical encoding is not a fixed point");
+    assert_eq!(
+        payload.wire_size(),
+        encoded.len(),
+        "wire_size diverges from the encoder"
+    );
+}
+
 // ---------------------------------------------------------------- encoder
 
 struct Ser<'a> {

@@ -14,6 +14,9 @@
 //!   record heap plus a k-d index with an insert buffer and periodic
 //!   rebuild (versions are dropped wholesale when they age out, so there is
 //!   no per-record delete path),
+//! * [`ShardedStore`] — N per-core `MemStore` subtrees behind one store:
+//!   records scatter by id hash, scans gather in parallel with a
+//!   deterministic shard-order merge (`MIND_SHARDS`),
 //! * [`Dac`] — the request queue with batched processing and an explicit
 //!   cost model, which is what gives the simulator realistic per-node
 //!   processing delays (the paper attributes its latency tails partly to
@@ -33,6 +36,7 @@ pub mod dac;
 pub mod kdtree;
 pub mod mem;
 pub mod naive;
+pub mod sharded;
 pub mod store;
 
 pub use bitmap::BitmapStore;
@@ -40,4 +44,5 @@ pub use dac::{Dac, DacCostModel, DacRequest, DacResponse};
 pub use kdtree::KdTree;
 pub use mem::MemStore;
 pub use naive::NaiveKdTree;
+pub use sharded::ShardedStore;
 pub use store::{fuzz_store_range, Store, StoreKind};

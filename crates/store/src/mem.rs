@@ -67,13 +67,11 @@ impl MemStore {
         self.dims
     }
 
-    /// Appends a record and indexes its first `dims` values.
-    ///
-    /// # Panics
-    /// Panics if the record has fewer values than the store's
-    /// dimensionality (the caller — `mind-core` — validates records against
-    /// the schema before they reach storage).
-    pub fn insert(&mut self, record: Record) -> RecordId {
+    /// Appends a record to the columnar buffer *without* the rebuild
+    /// check — the shared tail of [`MemStore::insert`] and
+    /// [`MemStore::insert_batch`], which differ only in how often they
+    /// consider folding the buffer into the tree.
+    fn push_record(&mut self, record: Record) -> RecordId {
         assert!(
             record.values().len() >= self.dims,
             "record arity {} below store dimensionality {}",
@@ -88,10 +86,40 @@ impl MemStore {
         self.buf_ids.push(id);
         self.bytes += record.values().len() * 8 + 24 + self.dims * 8 + 32;
         self.records.push(Arc::new(record));
-        if self.buf_ids.len() > REBUILD_FLOOR.max(self.tree.len() / REBUILD_FRACTION) {
+        id
+    }
+
+    /// `true` when the insert buffer has outgrown the rebuild threshold.
+    fn buffer_over_threshold(&self) -> bool {
+        self.buf_ids.len() > REBUILD_FLOOR.max(self.tree.len() / REBUILD_FRACTION)
+    }
+
+    /// Appends a record and indexes its first `dims` values.
+    ///
+    /// # Panics
+    /// Panics if the record has fewer values than the store's
+    /// dimensionality (the caller — `mind-core` — validates records against
+    /// the schema before they reach storage).
+    pub fn insert(&mut self, record: Record) -> RecordId {
+        let id = self.push_record(record);
+        if self.buffer_over_threshold() {
             self.rebuild();
         }
         id
+    }
+
+    /// Bulk append: buffers the whole batch, then runs the rebuild check
+    /// *once*. A batch that trips the threshold mid-stream under
+    /// [`MemStore::insert`] would pay a tree rebuild per
+    /// `REBUILD_FLOOR`-sized slice; here the rebuild cost is amortized over
+    /// the entire batch.
+    pub fn insert_batch(&mut self, records: Vec<Record>) {
+        for record in records {
+            self.push_record(record);
+        }
+        if self.buffer_over_threshold() {
+            self.rebuild();
+        }
     }
 
     /// Folds the insert buffer into the k-d tree (in place — the tree's
@@ -160,6 +188,9 @@ impl MemStore {
 impl crate::Store for MemStore {
     fn insert(&mut self, record: Record) -> RecordId {
         MemStore::insert(self, record)
+    }
+    fn insert_batch(&mut self, records: Vec<Record>) {
+        MemStore::insert_batch(self, records);
     }
     fn rebuild(&mut self) {
         MemStore::rebuild(self);
@@ -272,6 +303,28 @@ mod tests {
     #[should_panic(expected = "below store dimensionality")]
     fn short_record_rejected() {
         MemStore::new(3).insert(rec(&[1, 2]));
+    }
+
+    #[test]
+    fn insert_batch_matches_singles_and_rebuilds_once() {
+        // A batch far above REBUILD_FLOOR: the single-insert path rebuilds
+        // several times mid-stream, the batch path once at the end — the
+        // observable state (ids, answers, bytes) must be identical.
+        let mut singles = MemStore::new(2);
+        let mut batched = MemStore::new(2);
+        let records: Vec<Record> = (0..2000u64).map(|i| rec(&[i, i * 3, i * 7])).collect();
+        for r in &records {
+            singles.insert(r.clone());
+        }
+        batched.insert_batch(records);
+        assert_eq!(batched.len(), singles.len());
+        assert_eq!(batched.approx_bytes(), singles.approx_bytes());
+        let rect = HyperRect::new(vec![100, 0], vec![900, u64::MAX]);
+        let (mut a, mut b) = (singles.range_ids(&rect), batched.range_ids(&rect));
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(batched.count_range(&rect), singles.count_range(&rect));
     }
 
     proptest! {

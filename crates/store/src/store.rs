@@ -2,21 +2,23 @@
 //!
 //! [`Store`] is the seam the rest of the system sees: `mind-core`'s
 //! per-version stores, the DAC queue, and the baseline architectures all
-//! hold `Box<dyn Store>` and never name a concrete backend. Two
-//! implementations exist today — the columnar k-d tree ([`crate::MemStore`])
-//! and the bit-sliced bitmap index ([`crate::BitmapStore`]) — and the trait
-//! is deliberately dyn-safe so a future disk-resident backend slots in
-//! behind the same eight methods.
+//! hold `Box<dyn Store>` and never name a concrete backend. Three
+//! implementations exist today — the columnar k-d tree
+//! ([`crate::MemStore`]), the bit-sliced bitmap index
+//! ([`crate::BitmapStore`]), and the per-core sharded store
+//! ([`crate::ShardedStore`]) — and the trait is deliberately dyn-safe so a
+//! future disk-resident backend slots in behind the same methods.
 //!
 //! Backend choice is configuration, not code: [`StoreKind`] parses the
-//! `MIND_STORE` environment variable (`kdtree` | `bitmap`) the same way the
-//! bench harness's `ExperimentScale` parses `MIND_SCALE` — a set-but-
-//! malformed value falls back to the default *with a warning on stderr*,
-//! because silently ignoring a typo would make a "bitmap" run measure the
-//! k-d tree.
+//! `MIND_STORE` (`kdtree` | `bitmap` | `sharded`) and `MIND_SHARDS`
+//! environment variables the same way the bench harness's
+//! `ExperimentScale` parses `MIND_SCALE` — a set-but-malformed value falls
+//! back to the default *with a warning on stderr*, because silently
+//! ignoring a typo would make a "bitmap" run measure the k-d tree.
 
 use crate::bitmap::BitmapStore;
 use crate::mem::MemStore;
+use crate::sharded::ShardedStore;
 use mind_types::{HyperRect, Record, RecordId};
 use std::sync::Arc;
 
@@ -31,6 +33,20 @@ pub trait Store: std::fmt::Debug + Send {
     /// Appends a record and indexes its first `dims()` values, returning
     /// the id it was stored under (dense, insertion-ordered).
     fn insert(&mut self, record: Record) -> RecordId;
+
+    /// Appends a whole batch of records, in order. Equivalent to calling
+    /// [`Store::insert`] once per record — ids stay dense and
+    /// insertion-ordered — but backends override it to amortize per-insert
+    /// bookkeeping over the batch (the k-d backends run their rebuild
+    /// check once instead of per record; the sharded backend scatters the
+    /// batch across subtrees in one pass). The ingest fast path hands the
+    /// DAC whole `InsertBatch` payloads, so this is the hot entry point
+    /// under batched wire traffic.
+    fn insert_batch(&mut self, records: Vec<Record>) {
+        for record in records {
+            self.insert(record);
+        }
+    }
 
     /// Folds any buffered inserts into the main index structure.
     fn rebuild(&mut self);
@@ -63,7 +79,8 @@ pub trait Store: std::fmt::Debug + Send {
     }
 }
 
-/// Which [`Store`] backend a node uses, selected via `MIND_STORE`.
+/// Which [`Store`] backend a node uses, selected via `MIND_STORE` (and,
+/// for the sharded backend, `MIND_SHARDS`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StoreKind {
     /// The columnar k-d tree (`MemStore`): best at selective queries the
@@ -73,13 +90,26 @@ pub enum StoreKind {
     /// The bit-sliced bitmap index (`BitmapStore`): selectivity-
     /// independent scans, popcount-only counting.
     Bitmap,
+    /// The per-core sharded store (`ShardedStore`): `n` columnar k-d
+    /// subtrees scattered by record-id hash, scanned scatter/gather in
+    /// parallel.
+    Sharded(u32),
 }
 
+/// Shard count used when `MIND_STORE=sharded` is requested without an
+/// explicit `MIND_SHARDS` — fixed (not derived from the host's core
+/// count) so the same configuration means the same data layout on every
+/// machine.
+const DEFAULT_SHARDS: u32 = 4;
+
 impl StoreKind {
-    /// Reads `MIND_STORE` (`kdtree` | `bitmap`) from the environment,
-    /// defaulting to [`StoreKind::KdTree`]. A set-but-unknown value falls
-    /// back to the default with a warning on stderr (mirroring the bench
-    /// harness's `ExperimentScale::from_env`).
+    /// Reads `MIND_STORE` (`kdtree` | `bitmap` | `sharded`) and
+    /// `MIND_SHARDS` (a positive shard count) from the environment,
+    /// defaulting to [`StoreKind::KdTree`]. Setting `MIND_SHARDS` alone
+    /// selects the sharded backend — the shards *are* k-d subtrees, so a
+    /// shard count is a complete backend choice on its own. Set-but-
+    /// malformed values fall back with a warning on stderr (mirroring the
+    /// bench harness's `ExperimentScale::from_env`).
     pub fn from_env() -> Self {
         Self::from_lookup(|name| std::env::var(name).ok())
     }
@@ -88,11 +118,43 @@ impl StoreKind {
     /// malformed-input paths are testable without mutating the process
     /// environment (env vars are global state across test threads).
     fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Self {
+        let shards = match lookup("MIND_SHARDS") {
+            None => None,
+            Some(s) => match s.parse::<u32>() {
+                Ok(n) if n >= 1 => Some(n),
+                _ => {
+                    eprintln!(
+                        "warning: ignoring malformed MIND_SHARDS={s:?}; \
+                         expected a positive shard count"
+                    );
+                    None
+                }
+            },
+        };
         match lookup("MIND_STORE") {
-            None => StoreKind::default(),
+            // No explicit backend: a shard count alone means "sharded".
+            None => match shards {
+                Some(n) => StoreKind::Sharded(n),
+                None => StoreKind::default(),
+            },
             Some(s) => match s.as_str() {
-                "kdtree" => StoreKind::KdTree,
-                "bitmap" => StoreKind::Bitmap,
+                // An explicit `kdtree` with a shard count still shards —
+                // the shards are k-d trees, and `MIND_SHARDS=1` is the
+                // degenerate single-subtree layout, not a different index.
+                "kdtree" => match shards {
+                    Some(n) => StoreKind::Sharded(n),
+                    None => StoreKind::KdTree,
+                },
+                "bitmap" => {
+                    if shards.is_some() {
+                        eprintln!(
+                            "warning: MIND_SHARDS is ignored when MIND_STORE=bitmap \
+                             (the bitmap backend is unsharded)"
+                        );
+                    }
+                    StoreKind::Bitmap
+                }
+                "sharded" => StoreKind::Sharded(shards.unwrap_or(DEFAULT_SHARDS)),
                 _ => {
                     let default = StoreKind::default();
                     eprintln!(
@@ -110,6 +172,7 @@ impl StoreKind {
         match self {
             StoreKind::KdTree => "kdtree",
             StoreKind::Bitmap => "bitmap",
+            StoreKind::Sharded(_) => "sharded",
         }
     }
 
@@ -118,6 +181,7 @@ impl StoreKind {
         match self {
             StoreKind::KdTree => Box::new(MemStore::new(dims)),
             StoreKind::Bitmap => Box::new(BitmapStore::new(dims)),
+            StoreKind::Sharded(n) => Box::new(ShardedStore::new(dims, n as usize)),
         }
     }
 }
@@ -127,9 +191,10 @@ impl StoreKind {
 /// rectangle, drives both backends through the [`Store`] trait, and asserts
 /// they agree exactly with each other and with a brute-force scan.
 ///
-/// Input layout: `data[0]` packs the dimensionality (`1 + data[0] % 3`) and
-/// a rebuild-control bit (`data[0] & 0x80`); the remaining bytes are read
-/// as little-endian u64s — first `2 * dims` become the rect bounds
+/// Input layout: `data[0]` packs the dimensionality (`1 + data[0] % 3`), a
+/// rebuild-control bit (`data[0] & 0x80`), and a shard count for the
+/// sharded backend (`1 + (data[0] >> 2) % 8`); the remaining bytes are
+/// read as little-endian u64s — first `2 * dims` become the rect bounds
 /// (normalized so `lo <= hi` per axis), the rest become points.
 pub fn fuzz_store_range(data: &[u8]) {
     let Some((&ctl, rest)) = data.split_first() else {
@@ -166,16 +231,24 @@ pub fn fuzz_store_range(data: &[u8]) {
         pts
     };
 
+    let shard_count = 1 + ((ctl >> 2) % 8) as u32;
     let mut kd: Box<dyn Store> = StoreKind::KdTree.new_store(dims);
     let mut bm: Box<dyn Store> = StoreKind::Bitmap.new_store(dims);
+    let mut sh: Box<dyn Store> = StoreKind::Sharded(shard_count).new_store(dims);
     for (i, p) in points.iter().enumerate() {
         kd.insert(Record::new(p.to_vec()));
         bm.insert(Record::new(p.to_vec()));
+        sh.insert(Record::new(p.to_vec()));
         if rebuild_midway && i == points.len() / 2 {
             kd.rebuild();
             bm.rebuild();
+            sh.rebuild();
         }
     }
+    // The batched entry point must land records under the same ids as the
+    // one-at-a-time path, whatever the scatter layout.
+    let mut sh_batched: Box<dyn Store> = StoreKind::Sharded(shard_count).new_store(dims);
+    sh_batched.insert_batch(points.iter().map(|p| Record::new(p.to_vec())).collect());
 
     let brute: Vec<RecordId> = points
         .iter()
@@ -187,38 +260,101 @@ pub fn fuzz_store_range(data: &[u8]) {
     kd_ids.sort();
     let mut bm_ids = bm.range_ids(&rect);
     bm_ids.sort();
+    let mut sh_ids = sh.range_ids(&rect);
+    sh_ids.sort();
+    let mut shb_ids = sh_batched.range_ids(&rect);
+    shb_ids.sort();
     assert_eq!(kd_ids, brute, "kdtree ids diverge from brute force");
     assert_eq!(bm_ids, brute, "bitmap ids diverge from brute force");
+    assert_eq!(sh_ids, brute, "sharded ids diverge from brute force");
+    assert_eq!(
+        shb_ids, brute,
+        "batched sharded ids diverge from brute force"
+    );
     assert_eq!(kd.count_range(&rect), brute.len(), "kdtree count diverges");
     assert_eq!(bm.count_range(&rect), brute.len(), "bitmap count diverges");
+    assert_eq!(sh.count_range(&rect), brute.len(), "sharded count diverges");
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// A lookup closure over explicit (var, value) pairs — `from_lookup`
+    /// now consults two variables, so the tests need per-name answers.
+    fn env(pairs: &'static [(&'static str, &'static str)]) -> impl Fn(&str) -> Option<String> {
+        move |name| {
+            pairs
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| (*v).to_string())
+        }
+    }
+
     #[test]
     fn kind_from_lookup_parses_warns_and_defaults() {
         assert_eq!(StoreKind::from_lookup(|_| None), StoreKind::KdTree);
         assert_eq!(
-            StoreKind::from_lookup(|_| Some("bitmap".into())),
+            StoreKind::from_lookup(env(&[("MIND_STORE", "bitmap")])),
             StoreKind::Bitmap
         );
         assert_eq!(
-            StoreKind::from_lookup(|_| Some("kdtree".into())),
+            StoreKind::from_lookup(env(&[("MIND_STORE", "kdtree")])),
             StoreKind::KdTree
         );
         // Malformed: falls back to the default (after warning on stderr)
         // instead of being silently swallowed or panicking.
         assert_eq!(
-            StoreKind::from_lookup(|_| Some("BitMap".into())),
+            StoreKind::from_lookup(env(&[("MIND_STORE", "BitMap")])),
             StoreKind::KdTree
         );
     }
 
     #[test]
+    fn kind_from_lookup_parses_shard_counts() {
+        // A shard count alone selects the sharded backend.
+        assert_eq!(
+            StoreKind::from_lookup(env(&[("MIND_SHARDS", "7")])),
+            StoreKind::Sharded(7)
+        );
+        // `sharded` without a count gets the fixed default.
+        assert_eq!(
+            StoreKind::from_lookup(env(&[("MIND_STORE", "sharded")])),
+            StoreKind::Sharded(DEFAULT_SHARDS)
+        );
+        assert_eq!(
+            StoreKind::from_lookup(env(&[("MIND_STORE", "sharded"), ("MIND_SHARDS", "2")])),
+            StoreKind::Sharded(2)
+        );
+        // Shards compose with an explicit kdtree (the shards are k-d
+        // subtrees), including the degenerate single-shard layout.
+        assert_eq!(
+            StoreKind::from_lookup(env(&[("MIND_STORE", "kdtree"), ("MIND_SHARDS", "1")])),
+            StoreKind::Sharded(1)
+        );
+        // ... but not with the bitmap, which stays unsharded (warns).
+        assert_eq!(
+            StoreKind::from_lookup(env(&[("MIND_STORE", "bitmap"), ("MIND_SHARDS", "4")])),
+            StoreKind::Bitmap
+        );
+        // Malformed counts warn and are treated as unset.
+        assert_eq!(
+            StoreKind::from_lookup(env(&[("MIND_SHARDS", "0")])),
+            StoreKind::KdTree
+        );
+        assert_eq!(
+            StoreKind::from_lookup(env(&[("MIND_SHARDS", "four")])),
+            StoreKind::KdTree
+        );
+        assert_eq!(
+            StoreKind::from_lookup(env(&[("MIND_STORE", "sharded"), ("MIND_SHARDS", "-2")])),
+            StoreKind::Sharded(DEFAULT_SHARDS)
+        );
+    }
+
+    #[test]
     fn kinds_build_working_stores() {
-        for kind in [StoreKind::KdTree, StoreKind::Bitmap] {
+        for kind in [StoreKind::KdTree, StoreKind::Bitmap, StoreKind::Sharded(3)] {
             let mut s = kind.new_store(2);
             assert!(s.is_empty(), "{}", kind.name());
             s.insert(Record::new(vec![3, 4, 99]));

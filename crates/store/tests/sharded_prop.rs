@@ -1,0 +1,219 @@
+//! Sharded-backend differential suite: [`ShardedStore`] at several shard
+//! counts — built through both `insert` and the bulk `insert_batch` entry
+//! point — must agree *exactly* with the unsharded [`MemStore`] and a
+//! brute-force scan on `range_ids` / `count_range` (mirrors
+//! `backend_prop.rs`, which races the bitmap the same way).
+//!
+//! Coverage the strategies force: duplicate-heavy inputs (tiny coordinate
+//! domains — many records hash into the same shard cell), `u64::MAX`-
+//! boundary coordinates, empty and singleton stores, mid-stream rebuilds
+//! (each subtree's tree/buffer split shifts independently), and batch
+//! splits at arbitrary points so batches land on already-populated shards.
+
+use mind_store::{MemStore, ShardedStore, Store, StoreKind};
+use mind_types::{HyperRect, Record, RecordId};
+use proptest::prelude::*;
+
+/// The shard counts the suite races: degenerate (1), even (2), and a
+/// prime (7) that exercises uneven scatter.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Brute-force oracle: ids of the points inside `rect`, in id order.
+fn brute(points: &[Vec<u64>], rect: &HyperRect) -> Vec<RecordId> {
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| rect.contains_point(p))
+        .map(|(i, _)| RecordId(i as u64))
+        .collect()
+}
+
+fn sorted(mut ids: Vec<RecordId>) -> Vec<RecordId> {
+    ids.sort();
+    ids
+}
+
+/// Builds a sharded store via single inserts, rebuilding every subtree
+/// mid-stream when asked (`rebuild_at` = index after which to rebuild).
+fn build_singles(points: &[Vec<u64>], shards: usize, rebuild_at: Option<usize>) -> ShardedStore {
+    let mut s = ShardedStore::new(3, shards);
+    for (i, p) in points.iter().enumerate() {
+        s.insert(Record::new(p.clone()));
+        if rebuild_at == Some(i) {
+            s.rebuild();
+        }
+    }
+    s
+}
+
+/// Builds a sharded store via `insert_batch`, split into two batches at
+/// `split` so the second batch lands on non-empty shards.
+fn build_batched(points: &[Vec<u64>], shards: usize, split: usize) -> ShardedStore {
+    let mut s = ShardedStore::new(3, shards);
+    let cut = split.min(points.len());
+    s.insert_batch(
+        points[..cut]
+            .iter()
+            .map(|p| Record::new(p.clone()))
+            .collect(),
+    );
+    s.insert_batch(
+        points[cut..]
+            .iter()
+            .map(|p| Record::new(p.clone()))
+            .collect(),
+    );
+    s
+}
+
+/// Asserts one store agrees with the brute-force oracle on `rect`.
+fn assert_matches_oracle(store: &dyn Store, oracle: &[RecordId], rect: &HyperRect, tag: &str) {
+    assert_eq!(sorted(store.range_ids(rect)), oracle, "{tag}: ids");
+    assert_eq!(store.count_range(rect), oracle.len(), "{tag}: count");
+    assert_eq!(
+        store.range_records(rect).len(),
+        oracle.len(),
+        "{tag}: records"
+    );
+}
+
+/// Duplicate-heavy 3-d points: a tiny domain guarantees collisions.
+fn dup_points(max: u64, len: usize) -> impl Strategy<Value = Vec<Vec<u64>>> {
+    prop::collection::vec(prop::collection::vec(0..=max, 3), 0..len)
+}
+
+/// Coordinates biased to the edges of the u64 domain: small values,
+/// `u64::MAX`-adjacent values, and arbitrary bit patterns.
+fn edge_coord() -> impl Strategy<Value = u64> {
+    // (The vendored proptest's `prop_oneof!` is unweighted; arms are
+    // repeated to bias toward the domain edges.)
+    prop_oneof![
+        0u64..16,
+        0u64..16,
+        (u64::MAX - 15)..=u64::MAX,
+        (u64::MAX - 15)..=u64::MAX,
+        any::<u64>(),
+    ]
+}
+
+fn edge_points(len: usize) -> impl Strategy<Value = Vec<Vec<u64>>> {
+    prop::collection::vec(prop::collection::vec(edge_coord(), 3), 0..len)
+}
+
+/// A rect from two corner draws (normalized per-axis so `lo <= hi`).
+fn rect_from(a: Vec<u64>, b: Vec<u64>) -> HyperRect {
+    let lo = a.iter().zip(&b).map(|(&x, &y)| x.min(y)).collect();
+    let hi = a.iter().zip(&b).map(|(&x, &y)| x.max(y)).collect();
+    HyperRect::new(lo, hi)
+}
+
+proptest! {
+    /// Duplicate-heavy small domains, with a mid-stream rebuild and an
+    /// arbitrary batch split: every shard count agrees with the flat
+    /// store and brute force.
+    #[test]
+    fn sharded_agrees_on_duplicate_heavy_inputs(
+        points in dup_points(6, 300),
+        a in prop::collection::vec(0u64..=7, 3),
+        b in prop::collection::vec(0u64..=7, 3),
+        split in 0usize..300,
+    ) {
+        let rect = rect_from(a, b);
+        let oracle = brute(&points, &rect);
+        let mut flat = MemStore::new(3);
+        for p in &points {
+            flat.insert(Record::new(p.clone()));
+        }
+        assert_matches_oracle(&flat, &oracle, &rect, "flat");
+        let rebuild_at = (!points.is_empty()).then_some(points.len() / 2);
+        for shards in SHARD_COUNTS {
+            let singles = build_singles(&points, shards, rebuild_at);
+            let batched = build_batched(&points, shards, split);
+            assert_matches_oracle(&singles, &oracle, &rect, &format!("singles/{shards}"));
+            assert_matches_oracle(&batched, &oracle, &rect, &format!("batched/{shards}"));
+            prop_assert_eq!(singles.approx_bytes(), batched.approx_bytes());
+        }
+    }
+
+    /// u64-domain edges: max coordinates, arbitrary bit patterns, and
+    /// rects whose corners sit at the boundaries.
+    #[test]
+    fn sharded_agrees_at_u64_boundaries(
+        points in edge_points(64),
+        a in prop::collection::vec(edge_coord(), 3),
+        b in prop::collection::vec(edge_coord(), 3),
+        split in 0usize..64,
+    ) {
+        let rect = rect_from(a, b);
+        let oracle = brute(&points, &rect);
+        for shards in SHARD_COUNTS {
+            let singles = build_singles(&points, shards, None);
+            let batched = build_batched(&points, shards, split);
+            assert_matches_oracle(&singles, &oracle, &rect, &format!("singles/{shards}"));
+            assert_matches_oracle(&batched, &oracle, &rect, &format!("batched/{shards}"));
+        }
+    }
+
+    /// The full-domain wildcard returns every id exactly once from every
+    /// shard layout — the scatter never loses or duplicates a record.
+    #[test]
+    fn full_domain_wildcard_returns_each_id_once(points in edge_points(128)) {
+        let rect = HyperRect::full(3);
+        let oracle = brute(&points, &rect);
+        prop_assert_eq!(oracle.len(), points.len());
+        for shards in SHARD_COUNTS {
+            let s = build_batched(&points, shards, points.len() / 2);
+            assert_matches_oracle(&s, &oracle, &rect, &format!("wildcard/{shards}"));
+        }
+    }
+
+    /// `StoreKind::Sharded` through the trait object, mixing `insert` and
+    /// `insert_batch` in one store: answers must not depend on which
+    /// entry point buffered which record, nor on a trailing rebuild.
+    #[test]
+    fn mixed_entry_points_are_observationally_identical(
+        points in dup_points(40, 400),
+        a in prop::collection::vec(0u64..=50, 3),
+        b in prop::collection::vec(0u64..=50, 3),
+    ) {
+        let rect = rect_from(a, b);
+        let oracle = brute(&points, &rect);
+        for shards in [2u32, 7] {
+            let mut s = StoreKind::Sharded(shards).new_store(3);
+            let cut = points.len() / 2;
+            for p in &points[..cut] {
+                s.insert(Record::new(p.clone()));
+            }
+            s.insert_batch(points[cut..].iter().map(|p| Record::new(p.clone())).collect());
+            prop_assert_eq!(&sorted(s.range_ids(&rect)), &oracle, "{} buffered", shards);
+            prop_assert_eq!(s.count_range(&rect), oracle.len());
+            s.rebuild();
+            prop_assert_eq!(&sorted(s.range_ids(&rect)), &oracle, "{} rebuilt", shards);
+            prop_assert_eq!(s.count_range(&rect), oracle.len());
+        }
+    }
+}
+
+#[test]
+fn empty_and_singleton_stores_agree() {
+    for shards in SHARD_COUNTS {
+        let empty = build_batched(&[], shards, 0);
+        for rect in [
+            HyperRect::full(3),
+            HyperRect::new(vec![0, 0, 0], vec![0, 0, 0]),
+            HyperRect::new(vec![u64::MAX; 3], vec![u64::MAX; 3]),
+        ] {
+            assert_matches_oracle(&empty, &[], &rect, "empty");
+        }
+
+        let points = vec![vec![5, u64::MAX, 0]];
+        let single = build_singles(&points, shards, Some(0));
+        for rect in [
+            HyperRect::full(3),
+            HyperRect::new(vec![5, u64::MAX, 0], vec![5, u64::MAX, 0]),
+            HyperRect::new(vec![6, 0, 0], vec![u64::MAX, u64::MAX, u64::MAX]),
+        ] {
+            assert_matches_oracle(&single, &brute(&points, &rect), &rect, "singleton");
+        }
+    }
+}

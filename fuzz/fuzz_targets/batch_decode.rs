@@ -1,0 +1,12 @@
+//! Fuzz target: the `MindPayload` wire codec, batched insert frames
+//! included (`crates/net/src/wire.rs`).
+//!
+//! Arbitrary bytes must either fail to decode with a clean error or
+//! yield a payload whose re-encoding is a canonical fixed point and
+//! whose advertised `wire_size` equals its real encoded length. The
+//! whole invariant lives in [`mind_net::wire::fuzz_batch_decode`] so
+//! corpus crashes replay as plain unit-test calls.
+
+libfuzzer_sys::fuzz_target!(|data: &[u8]| {
+    mind_net::wire::fuzz_batch_decode(data);
+});

@@ -1,22 +1,27 @@
 #!/usr/bin/env bash
 # Perf gates: measure the flat-vs-naive ratios for the store and route
-# planes and diff them against the committed baselines (BENCH_store.json,
-# BENCH_route.json).
+# planes plus the ingest fast path, and diff them against the committed
+# baselines (BENCH_store.json, BENCH_route.json, BENCH_ingest.json).
 #
-# Each gate fails when a gated speedup drops below its hard 2x floor or
-# regresses more than 20 % against its baseline, or when a build-cost
-# ratio drifts past its ceiling. Ratios — not absolute nanoseconds — are
-# compared, so the gates are portable across machines.
+# Each gate fails when a gated speedup drops below its hard floor (2x on
+# the store/route planes, 3x on batched-vs-single ingest) or regresses
+# more than its tolerance against its baseline, or when a cost ratio
+# drifts past its ceiling. Ratios — not absolute nanoseconds — are
+# compared, so the gates are portable across machines. (The sharded-scan
+# strict-improvement floor additionally requires >1 core; see
+# bench_ingest's module docs.)
 #
 # Refresh a baseline after an intentional perf change with:
 #   cargo run --release -p mind-bench --bin bench_store -- --write BENCH_store.json
 #   cargo run --release -p mind-bench --bin bench_route -- --write BENCH_route.json
+#   cargo run --release -p mind-bench --bin bench_ingest -- --write BENCH_ingest.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p mind-bench --bin bench_store --bin bench_route
+cargo build --release -p mind-bench --bin bench_store --bin bench_route --bin bench_ingest
 
 status=0
 ./target/release/bench_store --check BENCH_store.json || status=1
 ./target/release/bench_route --check BENCH_route.json || status=1
+./target/release/bench_ingest --check BENCH_ingest.json || status=1
 exit "$status"

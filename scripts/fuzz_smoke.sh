@@ -8,7 +8,12 @@
 # Targets:
 #   frame_decode — TCP frame codec round-trip invariant
 #   store_range  — differential store backends (columnar k-d vs bit-sliced
-#                  bitmap vs brute force) on arbitrary records + rects
+#                  bitmap vs sharded subtrees vs brute force) on arbitrary
+#                  records + rects
+#   batch_decode — MindPayload codec: arbitrary bytes reject cleanly or
+#                  decode to a payload whose re-encoding is a canonical
+#                  fixed point with an exact wire_size (batched insert
+#                  frames seeded in the corpus)
 #
 # A machine with the real cargo-fuzz toolchain runs the same targets with
 #   cargo fuzz run <target>
@@ -23,7 +28,7 @@ TIMEOUT_S="${FUZZ_SMOKE_TIMEOUT:-60}"
 
 cargo build --quiet --release --manifest-path fuzz/Cargo.toml
 
-for TARGET in frame_decode store_range; do
+for TARGET in frame_decode store_range batch_decode; do
     BIN="fuzz/target/release/$TARGET"
 
     echo "fuzz-smoke[$TARGET]: replaying committed corpus"

@@ -47,8 +47,23 @@ fn build_with_kind(
     replication: Replication,
     kind: StoreKind,
 ) -> MindCluster {
+    build_batching(n, seed, fault, replication, kind, 1)
+}
+
+/// [`build_with_kind`] with the ingest fast path enabled: origin nodes
+/// coalesce same-destination inserts into `InsertBatch` frames of up to
+/// `batch_max` records (`1` = batching off, the default wire behavior).
+fn build_batching(
+    n: usize,
+    seed: u64,
+    fault: FaultPlan,
+    replication: Replication,
+    kind: StoreKind,
+    batch_max: usize,
+) -> MindCluster {
     let mut cfg = ClusterConfig::planetlab(n, seed);
     cfg.mind.store_kind = kind;
+    cfg.mind.insert_batch_max = batch_max;
     cfg.sim.fault = fault;
     cfg.overlay.hb_miss_threshold = 25; // horizon: 25 × 2s = 50s
     let mut cluster = MindCluster::new(cfg);
@@ -351,6 +366,110 @@ fn replay_run(seed: u64, kind: StoreKind) -> ReplayObservables {
         sorted_values(&outcome.records),
         retries,
     )
+}
+
+/// One seeded run with the ingest fast path on (batches of up to 8
+/// records) under loss, duplication, *and* a 15-second two-node
+/// partition, with the store backend pinned. A hot-spot burst of
+/// same-coordinate records guarantees multi-record frames actually form
+/// (random records spread across region codes mostly age out as
+/// singletons). Oracle-checked and audited clean before returning the
+/// observables plus the cluster-wide `InsertBatch` frame count.
+fn batched_replay_run(seed: u64, kind: StoreKind) -> (ReplayObservables, u64) {
+    let n = 8;
+    let cut_at: SimTime = 60 * SECONDS;
+    let heal_at: SimTime = 75 * SECONDS;
+    let fault = FaultPlan::lossy(0.05)
+        .with_duplication(0.02)
+        .with_partition(vec![NodeId(0), NodeId(1)], cut_at, heal_at);
+    let mut cluster = build_batching(n, seed, fault, Replication::None, kind, 8);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C);
+    let mut oracle = Vec::new();
+    spray(&mut cluster, &mut rng, n, 80, 0, &mut oracle);
+    // Hot-spot burst: identical coordinates share one region code, so
+    // node 2's batcher must coalesce them into full frames.
+    for _ in 0..30 {
+        let r = Record::new(vec![7, 1_234, 9]);
+        oracle.push(r.clone());
+        cluster.insert(NodeId(2), "chaos", r).unwrap();
+    }
+    // Keep inserting across the partition window, from both sides of the
+    // cut: batches stranded on the island must survive via whole-frame
+    // retries once the partition heals.
+    cluster.run_until(cut_at + SECONDS);
+    for i in 0..20u32 {
+        let origin = if i % 2 == 0 { 0 } else { 2 + (i % 6) };
+        let r = random_record(&mut rng, 0);
+        oracle.push(r.clone());
+        cluster.insert(NodeId(origin), "chaos", r).unwrap();
+        if i % 10 == 0 {
+            cluster.run_for(SECONDS);
+        }
+    }
+    cluster.run_until(heal_at + 150 * SECONDS);
+
+    assert_matches_oracle(
+        &mut cluster,
+        NodeId(3),
+        &oracle,
+        &format!("seed {seed} batched on {}", kind.name()),
+    );
+    let exhausted = metric_sum(&cluster, |m| m.retries_exhausted);
+    assert_eq!(exhausted, 0, "seed {seed}: a batch op ran out of budget");
+    let batches = metric_sum(&cluster, |m| m.insert_batches_sent);
+    assert!(batches > 0, "seed {seed}: batching never engaged");
+    let s = cluster.world().stats.clone();
+    assert!(
+        s.partitioned > 0,
+        "seed {seed}: partition never severed a send"
+    );
+
+    let q = HyperRect::new(vec![0, 0, 0], vec![1 << 20, 86_400 * 7, 1 << 20]);
+    let outcome = cluster
+        .query_and_wait(NodeId(4), "chaos", q, vec![])
+        .unwrap();
+    assert!(outcome.complete);
+    let retries = metric_sum(&cluster, |m| m.retries_sent);
+    cluster
+        .audit_settled()
+        .assert_clean(&format!("seed {seed} batched replay on {}", kind.name()));
+    (
+        (
+            cluster.world().stats.counters(),
+            sorted_values(&outcome.records),
+            retries,
+        ),
+        batches,
+    )
+}
+
+#[test]
+fn batched_ingest_survives_chaos_and_replays_identically() {
+    // The ingest fast path under loss + duplication + partition, on the
+    // sharded backend: answers equal the fault-free oracle, the auditor
+    // is clean, and two same-seed runs agree on every counter, answer
+    // byte, retry, and batch count.
+    for seed in SEEDS {
+        let a = batched_replay_run(seed, StoreKind::Sharded(3));
+        let b = batched_replay_run(seed, StoreKind::Sharded(3));
+        assert_eq!(a, b, "seed {seed}: batched sharded replay diverged");
+    }
+}
+
+#[test]
+fn sharded_store_is_protocol_invisible_under_batching() {
+    // Sharding is a node-local detail even on the batched path: swapping
+    // the flat k-d tree for per-core subtrees must not change a single
+    // wire counter, answer byte, retry, or shipped frame. (Batching
+    // itself IS wire-visible, so both sides run with it on.)
+    for seed in SEEDS {
+        let kd = batched_replay_run(seed, StoreKind::KdTree);
+        let sh = batched_replay_run(seed, StoreKind::Sharded(4));
+        assert_eq!(
+            kd, sh,
+            "seed {seed}: shard count leaked into the wire protocol"
+        );
+    }
 }
 
 #[test]
