@@ -102,7 +102,7 @@ static UNWRAP: Meta = Meta {
     applies_in_tests: false,
     only_prefixes: &[],
     // Figure-generation binaries: panic-on-error IS their error handling.
-    exempt_prefixes: &["crates/bench/src/bin/"],
+    exempt_prefixes: &["crates/bench/src/bin/", "crates/runtime/src/bin/"],
 };
 
 static RNG: Meta = Meta {
@@ -119,7 +119,7 @@ static WALLCLOCK: Meta = Meta {
     applies_in_tests: true,
     only_prefixes: &[],
     // The real-TCP host driver and its demo run on actual wall time.
-    exempt_prefixes: &["crates/net/", "examples/realtime_tcp"],
+    exempt_prefixes: &["crates/net/", "crates/runtime/", "examples/realtime_tcp"],
 };
 
 static STDMUTEX: Meta = Meta {

@@ -74,7 +74,7 @@ fn rules() -> Vec<Rule> {
             applies_in_tests: false,
             // Figure-generation binaries: panic-on-error IS their error
             // handling — a bad experiment run must die loudly, not limp on.
-            exempt_prefixes: &["crates/bench/src/bin/"],
+            exempt_prefixes: &["crates/bench/src/bin/", "crates/runtime/src/bin/"],
             only_prefixes: &[],
         },
         Rule {
@@ -96,7 +96,7 @@ fn rules() -> Vec<Rule> {
             why: "simulator-driven code must take time from the event clock",
             applies_in_tests: true,
             // The real-TCP host driver and its demo run on actual wall time.
-            exempt_prefixes: &["crates/net/", "examples/realtime_tcp"],
+            exempt_prefixes: &["crates/net/", "crates/runtime/", "examples/realtime_tcp"],
             only_prefixes: &[],
         },
         Rule {

@@ -9,10 +9,12 @@
 
 use std::collections::BTreeMap;
 
+use serde::{Deserialize, Serialize};
+
 use mind_types::{BitCode, HyperRect, NodeId};
 
 /// One captured state of the whole cluster at a simulated instant.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Snapshot {
     /// Simulated time (microseconds) of the capture.
     pub now: u64,
@@ -21,7 +23,7 @@ pub struct Snapshot {
 }
 
 /// One node's audited state.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NodeSnapshot {
     /// The node's stable identity.
     pub id: NodeId,
@@ -59,7 +61,7 @@ impl NodeSnapshot {
 }
 
 /// One neighbor-table entry as seen by the owning node.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NeighborSnapshot {
     /// Table dimension (position): the entry represents the
     /// `code.flip_prefix(dim)` subtree.
@@ -74,7 +76,7 @@ pub struct NeighborSnapshot {
 
 /// Mirror of `mind-core`'s replication policy, kept here so the auditor does
 /// not depend on the core crate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum ReplicationSnapshot {
     /// Primary copy only.
     #[default]
@@ -86,7 +88,7 @@ pub enum ReplicationSnapshot {
 }
 
 /// One index as held by one node.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct IndexSnapshot {
     /// The index's replication policy.
     pub replication: ReplicationSnapshot,
@@ -98,7 +100,7 @@ pub struct IndexSnapshot {
 }
 
 /// One index version as held by one node.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VersionSnapshot {
     /// First record timestamp governed by this version.
     pub from_ts: u64,

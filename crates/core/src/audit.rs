@@ -17,7 +17,7 @@ use mind_audit::{
     AuditReport, Auditor, IndexSnapshot, NeighborSnapshot, NodeSnapshot, ReplicationSnapshot,
     Snapshot, VersionSnapshot,
 };
-use mind_types::NodeId;
+use mind_types::{ClusterDriver, NodeId};
 
 use mind_netsim::World;
 
@@ -43,10 +43,19 @@ pub fn snapshot_world(world: &World<MindNode>) -> Snapshot {
     }
 }
 
-impl MindCluster {
+impl<D: ClusterDriver<MindNode>> MindCluster<D> {
     /// Captures the audited state of every node, dead or alive.
     pub fn audit_snapshot(&self) -> Snapshot {
-        snapshot_world(self.world())
+        let mut nodes = Vec::with_capacity(self.len());
+        for k in 0..self.len() {
+            let id = NodeId(k as u32);
+            let alive = self.is_alive(id);
+            nodes.push(self.read_node(id, move |n| snapshot_node(id, alive, n)));
+        }
+        Snapshot {
+            now: self.now(),
+            nodes,
+        }
     }
 
     /// Runs the full invariant catalog; the cluster must be quiescent
@@ -70,7 +79,10 @@ impl MindCluster {
 }
 
 /// Extracts one node's audited state.
-fn snapshot_node(id: NodeId, alive: bool, node: &MindNode) -> NodeSnapshot {
+///
+/// Public so the real-transport runtime's control server can assemble a
+/// fleet-wide [`Snapshot`] from per-process node snapshots.
+pub fn snapshot_node(id: NodeId, alive: bool, node: &MindNode) -> NodeSnapshot {
     let overlay = node.overlay();
     let mut snap = NodeSnapshot::new(id);
     snap.alive = alive;

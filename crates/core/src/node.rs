@@ -90,6 +90,15 @@ pub struct MindConfig {
     /// flushed anyway (the size/age batcher in `crate::reliability`).
     /// Ignored while `insert_batch_max <= 1`.
     pub insert_batch_age: SimTime,
+    /// This node's boot epoch, carried in the high 40 bits of the wire
+    /// horizon field. A process runtime sets it to something strictly
+    /// increasing across restarts of the same node id (e.g. wall-clock
+    /// milliseconds at startup), so peers can tell a restarted origin
+    /// that counts ops from zero again apart from a stale duplicate of
+    /// the old incarnation (see `crate::reliability`). Simulated nodes
+    /// keep the default `0` — a crash/revive there resumes the same
+    /// logic object, whose op counter never regresses.
+    pub boot_id: u64,
 }
 
 impl Default for MindConfig {
@@ -111,6 +120,7 @@ impl Default for MindConfig {
             anti_entropy_interval: 45 * SECONDS,
             insert_batch_max: 1,
             insert_batch_age: SECONDS / 20,
+            boot_id: 0,
         }
     }
 }
@@ -554,10 +564,10 @@ impl MindNode {
                 horizon,
             } => {
                 if op_id != 0 {
-                    self.seen_ops.observe_horizon(op_id, horizon);
-                    // Already applied (this is a retry whose ack was lost,
-                    // or a network duplicate): re-ack, don't touch the DAC.
-                    if self.seen_ops.contains(op_id) {
+                    // Already applied (a retry whose ack was lost, a
+                    // network duplicate, or a dead incarnation's
+                    // straggler): re-ack, don't touch the DAC.
+                    if self.seen_ops.observe(op_id, horizon) {
                         self.metrics.dup_ops_ignored += 1;
                         self.send_ack(origin, op_id, out);
                         return;
@@ -588,10 +598,9 @@ impl MindNode {
                 horizon,
             } => {
                 if op_id != 0 {
-                    self.seen_ops.observe_horizon(op_id, horizon);
                     // The whole batch was applied atomically under one op
                     // id, so one dedup check covers every record.
-                    if self.seen_ops.contains(op_id) {
+                    if self.seen_ops.observe(op_id, horizon) {
                         self.metrics.dup_ops_ignored += 1;
                         self.send_ack(origin, op_id, out);
                         return;
@@ -665,13 +674,10 @@ impl MindNode {
                 op_id,
                 horizon,
             } => {
-                if op_id != 0 {
-                    self.seen_ops.observe_horizon(op_id, horizon);
-                    if self.seen_ops.contains(op_id) {
-                        self.metrics.dup_ops_ignored += 1;
-                        self.send_ack(from, op_id, out);
-                        return;
-                    }
+                if op_id != 0 && self.seen_ops.observe(op_id, horizon) {
+                    self.metrics.dup_ops_ignored += 1;
+                    self.send_ack(from, op_id, out);
+                    return;
                 }
                 // Replica writes skip latency metrics and histogram
                 // accounting but share the DAC (they cost real work).
@@ -696,13 +702,10 @@ impl MindNode {
                 op_id,
                 horizon,
             } => {
-                if op_id != 0 {
-                    self.seen_ops.observe_horizon(op_id, horizon);
-                    if self.seen_ops.contains(op_id) {
-                        self.metrics.dup_ops_ignored += 1;
-                        self.send_ack(from, op_id, out);
-                        return;
-                    }
+                if op_id != 0 && self.seen_ops.observe(op_id, horizon) {
+                    self.metrics.dup_ops_ignored += 1;
+                    self.send_ack(from, op_id, out);
+                    return;
                 }
                 self.enqueue(
                     now,

@@ -8,6 +8,7 @@
 
 use mind_types::node::SimTime;
 use mind_types::{BitCode, NodeId, Record};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -131,7 +132,7 @@ impl QueryTracker {
 }
 
 /// The result of a finished (or failed) query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QueryOutcome {
     /// `true` when every planned region answered before the deadline.
     pub complete: bool,

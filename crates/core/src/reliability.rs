@@ -11,6 +11,16 @@
 //! origin, only the horizon and the applied counters above it, so its
 //! dedup memory is O(origin's in-flight ops), not O(ops ever applied).
 //!
+//! The horizon's assumption — an origin's counters are monotone — breaks
+//! when an origin *process* restarts and counts from zero again: its
+//! fresh ops would sit below the remembered horizon and be re-acked as
+//! duplicates without ever being applied (silent row loss). The high 40
+//! bits of the wire horizon field therefore carry the origin's *boot
+//! epoch* ([`crate::node::MindConfig::boot_id`]): a receiver that sees a
+//! newer boot resets that origin's dedup memory, and ops from an older
+//! boot are stale-incarnation duplicates by definition. Simulated nodes
+//! keep the default boot id 0, so sim wire bytes are unchanged.
+//!
 //! This module owns the retry-class timers: `set_timer` with
 //! `KIND_OP_RETRY` must not appear anywhere else in `mind-core` (enforced
 //! by the workspace lint wall).
@@ -36,6 +46,11 @@ fn op_origin(op_id: u64) -> u64 {
 
 fn op_counter(op_id: u64) -> u64 {
     op_id & OP_COUNTER_MASK
+}
+
+/// Splits a wire horizon field into (boot epoch, settled counter).
+fn split_horizon(field: u64) -> (u64, u64) {
+    (field >> 24, field & OP_COUNTER_MASK)
 }
 
 /// Where an unacked operation goes when re-sent.
@@ -76,10 +91,11 @@ pub(crate) struct PendingOp {
     timer: TimerId,
 }
 
-/// Applied-op memory of one origin: a settled horizon plus the applied
-/// counters above it.
+/// Applied-op memory of one origin: the origin's boot epoch, a settled
+/// horizon within that boot, and the applied counters above it.
 #[derive(Debug, Default)]
 struct OriginSeen {
+    boot: u64,
     horizon: u64,
     recent: BTreeSet<u64>,
 }
@@ -91,20 +107,36 @@ pub(crate) struct SeenOps {
 }
 
 impl SeenOps {
-    /// Advances an origin's settled horizon (monotonic) and drops the
-    /// applied counters it now covers.
-    pub(crate) fn observe_horizon(&mut self, op_id: u64, horizon: u64) {
+    /// The single receive-path entry point: folds the op's carried
+    /// boot/horizon into this origin's memory, then reports whether the
+    /// op was already applied here. `true` means re-ack, don't apply —
+    /// either the op is remembered directly, settled at its origin (at or
+    /// below the horizon: its origin stopped retrying it, so a fresh copy
+    /// can only be a stale duplicate still in flight), or it was sent by
+    /// a dead incarnation of the origin (older boot epoch: that process
+    /// is gone, nothing retries its ops, so in-flight copies are safe to
+    /// drop). A *newer* boot epoch resets the origin's memory — the
+    /// restarted process counts from zero again, and its fresh low
+    /// counters must not be mistaken for settled old ones.
+    pub(crate) fn observe(&mut self, op_id: u64, horizon_field: u64) -> bool {
+        let (boot, horizon) = split_horizon(horizon_field);
         let o = self.by_origin.entry(op_origin(op_id)).or_default();
+        if boot > o.boot {
+            o.boot = boot;
+            o.horizon = 0;
+            o.recent.clear();
+        } else if boot < o.boot {
+            return true;
+        }
         if horizon > o.horizon {
             o.horizon = horizon;
             o.recent.retain(|&c| c > horizon);
         }
+        op_counter(op_id) <= o.horizon || o.recent.contains(&op_counter(op_id))
     }
 
-    /// `true` if this op was already applied here — either remembered
-    /// directly, or settled at its origin (at or below the horizon: its
-    /// origin stopped retrying it, so a fresh copy can only be a stale
-    /// duplicate still in flight).
+    /// Re-check under the currently remembered state (the DAC apply-time
+    /// guard; the boot/horizon folding already happened on receive).
     pub(crate) fn contains(&self, op_id: u64) -> bool {
         self.by_origin.get(&op_origin(op_id)).is_some_and(|o| {
             op_counter(op_id) <= o.horizon || o.recent.contains(&op_counter(op_id))
@@ -147,17 +179,20 @@ impl MindNode {
         id
     }
 
-    /// This node's settled-op horizon, stamped into outgoing ops: every
-    /// counter at or below it is acked or abandoned. With retries off no
-    /// op ever settles, so nothing is claimed.
+    /// This node's wire horizon field: the boot epoch in the high bits,
+    /// and below it the settled-op horizon — every counter at or below it
+    /// is acked or abandoned. With retries off no op ever settles, so no
+    /// counter is claimed (the boot epoch still travels).
     pub(crate) fn op_horizon(&self) -> u64 {
+        let boot = (self.cfg.boot_id & 0xFF_FFFF_FFFF) << 24;
         if self.cfg.retry_timeout == 0 {
-            return 0;
+            return boot;
         }
-        match self.live_op_counters.first() {
+        let settled = match self.live_op_counters.first() {
             Some(&min) => min - 1,
             None => self.op_seq & OP_COUNTER_MASK,
-        }
+        };
+        boot | (settled & OP_COUNTER_MASK)
     }
 
     /// Re-stamps the horizon carried by an op about to be (re)sent.
@@ -457,43 +492,62 @@ mod tests {
         (origin << 24) | counter
     }
 
+    fn hz(boot: u64, settled: u64) -> u64 {
+        (boot << 24) | settled
+    }
+
     #[test]
     fn seen_ops_dedups_and_bounds() {
         let mut s = SeenOps::default();
-        s.observe_horizon(id(7, 3), 0);
-        assert!(!s.contains(id(7, 3)));
+        assert!(!s.observe(id(7, 3), hz(0, 0)));
         s.insert(id(7, 3));
         s.insert(id(7, 4));
-        assert!(s.contains(id(7, 3)));
+        assert!(s.observe(id(7, 3), hz(0, 0)));
         assert_eq!(s.len(), 2);
         // Horizon 4 settles both; the memory is reclaimed but the ops
         // still read as seen.
-        s.observe_horizon(id(7, 5), 4);
+        assert!(!s.observe(id(7, 5), hz(0, 4)));
         assert_eq!(s.len(), 0);
-        assert!(s.contains(id(7, 3)));
-        assert!(s.contains(id(7, 4)));
-        assert!(!s.contains(id(7, 5)));
+        assert!(s.observe(id(7, 3), hz(0, 4)));
+        assert!(s.observe(id(7, 4), hz(0, 4)));
+        assert!(!s.observe(id(7, 5), hz(0, 4)));
     }
 
     #[test]
     fn horizons_are_per_origin_and_monotonic() {
         let mut s = SeenOps::default();
-        s.observe_horizon(id(1, 9), 8);
-        s.observe_horizon(id(2, 1), 0);
-        assert!(s.contains(id(1, 5)));
-        assert!(!s.contains(id(2, 5)));
+        assert!(s.observe(id(1, 5), hz(0, 8)));
+        assert!(!s.observe(id(2, 5), hz(0, 0)));
         // A stale (lower) horizon never regresses.
-        s.observe_horizon(id(1, 9), 3);
-        assert!(s.contains(id(1, 8)));
+        assert!(s.observe(id(1, 8), hz(0, 3)));
         // Counters above the horizon are only seen if remembered.
         s.insert(id(1, 12));
-        assert!(s.contains(id(1, 12)));
-        assert!(!s.contains(id(1, 11)));
+        assert!(s.observe(id(1, 12), hz(0, 8)));
+        assert!(!s.observe(id(1, 11), hz(0, 8)));
     }
 
     #[test]
     fn unknown_origin_is_never_seen() {
         let s = SeenOps::default();
         assert!(!s.contains(id(42, 1)));
+    }
+
+    #[test]
+    fn newer_boot_resets_origin_memory() {
+        let mut s = SeenOps::default();
+        // Boot 100: counters up to 50 settled, 60 applied and remembered.
+        assert!(!s.observe(id(3, 60), hz(100, 50)));
+        s.insert(id(3, 60));
+        assert!(s.observe(id(3, 42), hz(100, 50)));
+        assert!(s.observe(id(3, 60), hz(100, 50)));
+        // The origin restarts (boot 101) and counts from zero again: its
+        // low fresh counters must NOT read as settled old ones.
+        assert!(!s.observe(id(3, 1), hz(101, 0)));
+        s.insert(id(3, 1));
+        assert_eq!(s.len(), 1);
+        // Its own retries still dedup within the new boot.
+        assert!(s.observe(id(3, 1), hz(101, 0)));
+        // A straggler from the dead incarnation is a stale duplicate.
+        assert!(s.observe(id(3, 61), hz(100, 50)));
     }
 }

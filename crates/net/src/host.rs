@@ -11,21 +11,30 @@
 //! * applications call [`TcpHost::invoke`] to run a closure against the
 //!   logic (the `with_node` of the real world).
 //!
-//! Clock: microseconds since the driver started, satisfying the
-//! [`SimTime`] contract.
+//! Hardening (PR 9): sends to a live-but-disconnected peer attempt one
+//! reconnect before counting a drop; repeated dial failures back off with
+//! a capped exponential delay so a dead peer cannot stall the driver;
+//! every drop/reconnect/throttle is counted in [`HostStats`]; inbound
+//! readers throttle when the driver's queue backs up; shutdown drains
+//! pending work and flushes outbound buffers.
+//!
+//! Clock: microseconds since the driver's epoch, satisfying the
+//! [`SimTime`] contract. A fleet that crashes and revives hosts passes a
+//! shared epoch through [`HostOptions`] so the clock stays monotone
+//! across incarnations.
 
 use crate::frame::{read_frame, write_frame};
 use crate::wire::{from_bytes, to_bytes};
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use mind_types::node::{NodeLogic, Outbox, SimTime};
 use mind_types::NodeId;
 use parking_lot::Mutex;
 use serde::de::DeserializeOwned;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::{BinaryHeap, HashMap, HashSet};
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -39,13 +48,126 @@ enum Cmd<L: NodeLogic> {
     Shutdown,
 }
 
+/// Inbound frames the driver may have queued before readers throttle.
+///
+/// A slow driver (long invoke, GC pause) makes readers sleep instead of
+/// buffering without bound; the TCP windows upstream push back from there.
+const INBOUND_HIGH_WATER: usize = 8192;
+
+/// Shared counters for one host's transport activity.
+///
+/// All counters are monotone over the host's lifetime; read them as a
+/// coherent-enough snapshot via [`TcpHost::stats`].
+#[derive(Default)]
+pub struct HostStats {
+    msgs_sent: AtomicU64,
+    msgs_received: AtomicU64,
+    sends_dropped: AtomicU64,
+    reconnects: AtomicU64,
+    inbound_pending: AtomicUsize,
+    inbound_throttled: AtomicU64,
+}
+
+impl HostStats {
+    fn snapshot(&self) -> HostStatsSnapshot {
+        HostStatsSnapshot {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            msgs_received: self.msgs_received.load(Ordering::Relaxed),
+            sends_dropped: self.sends_dropped.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            inbound_throttled: self.inbound_throttled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a host's [`HostStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostStatsSnapshot {
+    /// Frames written to a peer connection successfully.
+    pub msgs_sent: u64,
+    /// Frames decoded from inbound connections.
+    pub msgs_received: u64,
+    /// Sends dropped after the reconnect attempt (or while a dead peer's
+    /// dial backoff is in effect). Never silent: every drop lands here.
+    pub sends_dropped: u64,
+    /// Successful re-dials of a peer whose cached connection had failed.
+    pub reconnects: u64,
+    /// Times an inbound reader slept because the driver's queue was over
+    /// the high-water mark.
+    pub inbound_throttled: u64,
+}
+
+/// Spawn-time knobs for [`TcpHost::spawn_with`].
+///
+/// The defaults reproduce [`TcpHost::spawn`]; a fleet reviving a crashed
+/// node passes the previous incarnation's `timer_seq` (so timer ids never
+/// collide across restarts) and the fleet-wide `epoch` (so `now` stays
+/// monotone).
+#[derive(Debug, Clone, Copy)]
+pub struct HostOptions {
+    /// First timer id the new incarnation may allocate.
+    pub timer_seq: u64,
+    /// Clock epoch; `None` means "this host's spawn instant".
+    pub epoch: Option<Instant>,
+}
+
+impl Default for HostOptions {
+    fn default() -> Self {
+        HostOptions {
+            timer_seq: 1,
+            epoch: None,
+        }
+    }
+}
+
 /// A MIND node (or any [`NodeLogic`]) running over real TCP.
 pub struct TcpHost<L: NodeLogic> {
     id: NodeId,
     cmd_tx: Sender<Cmd<L>>,
-    driver: Option<JoinHandle<L>>,
+    driver: Option<JoinHandle<(L, u64)>>,
+    listener_thread: Option<JoinHandle<()>>,
     listen_addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    stats: Arc<HostStats>,
+}
+
+/// A cloneable handle for invoking a [`TcpHost`] from other threads
+/// (e.g. a control-protocol server living next to the host).
+pub struct HostHandle<L: NodeLogic> {
+    cmd_tx: Sender<Cmd<L>>,
+    stats: Arc<HostStats>,
+}
+
+impl<L: NodeLogic> Clone for HostHandle<L> {
+    fn clone(&self) -> Self {
+        HostHandle {
+            cmd_tx: self.cmd_tx.clone(),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+}
+
+impl<L: NodeLogic> HostHandle<L> {
+    /// Runs `f` against the node logic on the driver thread; `None` if
+    /// the host has shut down.
+    pub fn invoke<R, F>(&self, f: F) -> Option<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut L, SimTime, &mut Outbox<L::Msg>) -> R + Send + 'static,
+    {
+        let (tx, rx) = bounded(1);
+        self.cmd_tx
+            .send(Cmd::Invoke(Box::new(move |logic, now, out| {
+                let _ = tx.send(f(logic, now, out));
+            })))
+            .ok()?;
+        rx.recv().ok()
+    }
+
+    /// A snapshot of the host's transport counters.
+    pub fn stats(&self) -> HostStatsSnapshot {
+        self.stats.snapshot()
+    }
 }
 
 impl<L> TcpHost<L>
@@ -61,14 +183,31 @@ where
         peers: HashMap<NodeId, SocketAddr>,
         logic: L,
     ) -> io::Result<Self> {
+        Self::spawn_with(id, listener, peers, logic, HostOptions::default())
+    }
+
+    /// [`TcpHost::spawn`] with explicit clock epoch and timer-id seed —
+    /// the revive path for fleets that restart crashed hosts.
+    pub fn spawn_with(
+        id: NodeId,
+        listener: TcpListener,
+        peers: HashMap<NodeId, SocketAddr>,
+        logic: L,
+        options: HostOptions,
+    ) -> io::Result<Self> {
         let listen_addr = listener.local_addr()?;
         let (cmd_tx, cmd_rx) = unbounded::<Cmd<L>>();
         let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(HostStats::default());
 
-        // Listener thread: accept → per-connection reader thread.
-        {
+        // Listener thread: accept → per-connection reader thread. The
+        // handle is kept so `halt` can join it — the listener socket must
+        // be provably closed before `halt` returns, or a same-address
+        // rebind (crash/revive) races the accept loop's exit.
+        let listener_thread = {
             let cmd_tx = cmd_tx.clone();
             let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
             std::thread::Builder::new()
                 .name(format!("mind-listen-{}", id.0))
                 .spawn(move || {
@@ -79,6 +218,7 @@ where
                         let Ok(stream) = conn else { continue };
                         let cmd_tx = cmd_tx.clone();
                         let stop = Arc::clone(&stop);
+                        let stats = Arc::clone(&stats);
                         std::thread::Builder::new()
                             .name(format!("mind-read-{}", id.0))
                             .spawn(move || {
@@ -88,6 +228,29 @@ where
                                         Ok(Some(bytes)) => {
                                             match from_bytes::<(NodeId, L::Msg)>(&bytes) {
                                                 Ok((from, msg)) => {
+                                                    // Backpressure: sleep while the
+                                                    // driver's queue is over the high
+                                                    // water mark instead of buffering
+                                                    // without bound.
+                                                    while stats
+                                                        .inbound_pending
+                                                        .load(Ordering::Relaxed)
+                                                        > INBOUND_HIGH_WATER
+                                                        && !stop.load(Ordering::Relaxed)
+                                                    {
+                                                        stats
+                                                            .inbound_throttled
+                                                            .fetch_add(1, Ordering::Relaxed);
+                                                        std::thread::sleep(Duration::from_millis(
+                                                            1,
+                                                        ));
+                                                    }
+                                                    stats
+                                                        .inbound_pending
+                                                        .fetch_add(1, Ordering::Relaxed);
+                                                    stats
+                                                        .msgs_received
+                                                        .fetch_add(1, Ordering::Relaxed);
                                                     if cmd_tx.send(Cmd::Inbound(from, msg)).is_err()
                                                     {
                                                         break;
@@ -103,15 +266,16 @@ where
                             .expect("spawn reader"); // lint:allow(unwrap) thread-spawn failure is fatal for the host
                     }
                 })
-                .expect("spawn listener"); // lint:allow(unwrap) thread-spawn failure is fatal for the host
-        }
+                .expect("spawn listener") // lint:allow(unwrap) thread-spawn failure is fatal for the host
+        };
 
         // Driver thread.
         let driver = {
             let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
             std::thread::Builder::new()
                 .name(format!("mind-drive-{}", id.0))
-                .spawn(move || driver_loop(id, logic, cmd_rx, peers, stop))
+                .spawn(move || driver_loop(id, logic, cmd_rx, peers, stop, stats, options))
                 .expect("spawn driver") // lint:allow(unwrap) thread-spawn failure is fatal for the host
         };
 
@@ -119,8 +283,10 @@ where
             id,
             cmd_tx,
             driver: Some(driver),
+            listener_thread: Some(listener_thread),
             listen_addr,
             stop,
+            stats,
         })
     }
 
@@ -132,6 +298,19 @@ where
     /// The address peers dial.
     pub fn listen_addr(&self) -> SocketAddr {
         self.listen_addr
+    }
+
+    /// A snapshot of the host's transport counters.
+    pub fn stats(&self) -> HostStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// A cloneable invoke handle (for control servers and harvesters).
+    pub fn handle(&self) -> HostHandle<L> {
+        HostHandle {
+            cmd_tx: self.cmd_tx.clone(),
+            stats: Arc::clone(&self.stats),
+        }
     }
 
     /// Runs `f` against the node logic on the driver thread and returns
@@ -151,12 +330,23 @@ where
     }
 
     /// Stops the driver and returns the final logic state.
-    pub fn shutdown(mut self) -> L {
+    pub fn shutdown(self) -> L {
+        self.halt().0
+    }
+
+    /// Stops the driver and returns the final logic state plus the next
+    /// free timer id — everything a fleet needs to revive this node
+    /// without timer-id collisions.
+    pub fn halt(mut self) -> (L, u64) {
         self.stop.store(true, Ordering::Relaxed);
         let _ = self.cmd_tx.send(Cmd::Shutdown);
-        // Unblock the accept loop.
+        // Unblock the accept loop, then join it: once `halt` returns the
+        // listen address is free to rebind (crash/revive relies on this).
         let _ = TcpStream::connect(self.listen_addr);
-        // lint:allow(unwrap) shutdown consumes self; only callable once
+        if let Some(l) = self.listener_thread.take() {
+            let _ = l.join();
+        }
+        // lint:allow(unwrap) halt consumes self; only callable once
         let driver = self.driver.take().expect("not yet joined");
         // lint:allow(unwrap) surfacing a driver panic is correct
         driver.join().expect("driver panicked")
@@ -168,6 +358,9 @@ impl<L: NodeLogic> Drop for TcpHost<L> {
         self.stop.store(true, Ordering::Relaxed);
         let _ = self.cmd_tx.send(Cmd::Shutdown);
         let _ = TcpStream::connect(self.listen_addr);
+        if let Some(l) = self.listener_thread.take() {
+            let _ = l.join();
+        }
         if let Some(h) = self.driver.take() {
             let _ = h.join();
         }
@@ -195,69 +388,132 @@ impl PartialOrd for TimerEntry {
     }
 }
 
+/// Dial backoff bounds for peers whose connections keep failing.
+const DIAL_BACKOFF_FLOOR: Duration = Duration::from_millis(50);
+const DIAL_BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+struct PeerConn {
+    writer: Option<BufWriter<TcpStream>>,
+    /// Consecutive dial failures; drives the backoff exponent.
+    dial_failures: u32,
+    /// No redial before this instant.
+    next_dial: Instant,
+}
+
+impl PeerConn {
+    fn fresh() -> Self {
+        PeerConn {
+            writer: None,
+            dial_failures: 0,
+            next_dial: Instant::now(),
+        }
+    }
+}
+
 struct Conns {
     peers: HashMap<NodeId, SocketAddr>,
-    streams: Mutex<HashMap<NodeId, BufWriter<TcpStream>>>,
+    streams: Mutex<HashMap<NodeId, PeerConn>>,
+    stats: Arc<HostStats>,
 }
 
 impl Conns {
-    /// Sends one encoded frame, dialing (or re-dialing once) on demand.
-    /// Failures drop the message — exactly TCP's best effort from the
-    /// application's view; the overlay's heartbeats handle the rest.
+    /// Sends one encoded frame, dialing on demand. A send over a cached
+    /// connection that fails gets exactly one reconnect attempt before
+    /// the message counts as dropped; a peer whose dials keep failing
+    /// enters a capped exponential backoff so the driver never stalls on
+    /// it. Every dropped message is counted in [`HostStats`]; the
+    /// overlay's heartbeats and retries recover the rest.
     fn send(&self, to: NodeId, frame: &[u8]) {
         let mut streams = self.streams.lock();
-        for attempt in 0..2 {
-            if let std::collections::hash_map::Entry::Vacant(slot) = streams.entry(to) {
-                let Some(addr) = self.peers.get(&to) else {
-                    return;
-                };
-                match TcpStream::connect_timeout(addr, Duration::from_millis(500)) {
-                    Ok(s) => {
-                        let _ = s.set_nodelay(true);
-                        slot.insert(BufWriter::new(s));
-                    }
-                    Err(_) => return,
+        let conn = streams.entry(to).or_insert_with(PeerConn::fresh);
+
+        // Fast path: write over the cached connection.
+        if let Some(w) = conn.writer.as_mut() {
+            if write_frame(w, frame).is_ok() {
+                self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            // The cached connection went bad: drop it and fall through to
+            // the single reconnect attempt below.
+            conn.writer = None;
+        }
+
+        // Dial path (first contact, or the one reconnect after a failed
+        // write). Honor the backoff window of a peer that keeps refusing.
+        if Instant::now() < conn.next_dial {
+            self.stats.sends_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let Some(addr) = self.peers.get(&to) else {
+            self.stats.sends_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        match TcpStream::connect_timeout(addr, Duration::from_millis(500)) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                if conn.dial_failures > 0 || conn.writer.is_none() {
+                    self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                conn.dial_failures = 0;
+                let mut w = BufWriter::new(s);
+                if write_frame(&mut w, frame).is_ok() {
+                    self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+                    conn.writer = Some(w);
+                } else {
+                    self.stats.sends_dropped.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            let ok = streams
-                .get_mut(&to)
-                .map(|w| write_frame(w, frame).is_ok())
-                .unwrap_or(false);
-            if ok {
-                return;
+            Err(_) => {
+                conn.dial_failures = conn.dial_failures.saturating_add(1);
+                let backoff = DIAL_BACKOFF_FLOOR
+                    .saturating_mul(1u32 << conn.dial_failures.min(5))
+                    .min(DIAL_BACKOFF_CAP);
+                conn.next_dial = Instant::now() + backoff;
+                self.stats.sends_dropped.fetch_add(1, Ordering::Relaxed);
             }
-            streams.remove(&to);
-            if attempt == 1 {
-                return;
+        }
+    }
+
+    /// Flushes every cached outbound connection (shutdown drain).
+    fn flush_all(&self) {
+        let mut streams = self.streams.lock();
+        for conn in streams.values_mut() {
+            if let Some(w) = conn.writer.as_mut() {
+                let _ = w.flush();
             }
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn driver_loop<L>(
     id: NodeId,
     mut logic: L,
     cmd_rx: Receiver<Cmd<L>>,
     peers: HashMap<NodeId, SocketAddr>,
     stop: Arc<AtomicBool>,
-) -> L
+    stats: Arc<HostStats>,
+    options: HostOptions,
+) -> (L, u64)
 where
     L: NodeLogic,
     L::Msg: Serialize + DeserializeOwned,
 {
-    let epoch = Instant::now();
+    let epoch = options.epoch.unwrap_or_else(Instant::now);
     let now = || epoch.elapsed().as_micros() as SimTime;
     let conns = Conns {
         peers,
         streams: Mutex::new(HashMap::new()),
+        stats: Arc::clone(&stats),
     };
     let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
     // Pending (un-cancelled) timer ids. Cancellation removes the id here;
     // the heap entry is discarded lazily when its deadline comes up.
     let mut live: HashSet<u64> = HashSet::new();
     // Timer-id counter, threaded through every outbox so ids stay unique
-    // for the lifetime of the host.
-    let mut timer_seq = 1u64;
+    // for the lifetime of the host (and, via HostOptions, across
+    // incarnations of a revived node).
+    let mut timer_seq = options.timer_seq;
 
     let flush = |out: &mut Outbox<L::Msg>,
                  timers: &mut BinaryHeap<TimerEntry>,
@@ -311,6 +567,7 @@ where
             .unwrap_or(Duration::from_millis(100));
         match cmd_rx.recv_timeout(wait.min(Duration::from_millis(250))) {
             Ok(Cmd::Inbound(from, msg)) => {
+                stats.inbound_pending.fetch_sub(1, Ordering::Relaxed);
                 let mut out = Outbox::with_timer_seq(timer_seq);
                 logic.on_message(now(), from, msg, &mut out);
                 flush(&mut out, &mut timers, &mut live, &mut timer_seq, now());
@@ -325,7 +582,25 @@ where
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
-    logic
+
+    // Graceful drain: answer any invokes already queued (their callers
+    // are blocked on the reply), count off queued inbounds, and flush
+    // outbound buffers so acks written just before shutdown reach peers.
+    loop {
+        match cmd_rx.try_recv() {
+            Ok(Cmd::Invoke(f)) => {
+                let mut out = Outbox::with_timer_seq(timer_seq);
+                f(&mut logic, now(), &mut out);
+                flush(&mut out, &mut timers, &mut live, &mut timer_seq, now());
+            }
+            Ok(Cmd::Inbound(..)) => {
+                stats.inbound_pending.fetch_sub(1, Ordering::Relaxed);
+            }
+            Ok(Cmd::Shutdown) | Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+        }
+    }
+    conns.flush_all();
+    (logic, timer_seq)
 }
 
 #[cfg(test)]
@@ -406,6 +681,9 @@ mod tests {
             assert!(Instant::now() < deadline, "timed out; b saw {done:?}");
             std::thread::sleep(Duration::from_millis(20));
         }
+        let a_stats = a.stats();
+        assert!(a_stats.msgs_sent >= 1);
+        assert!(a_stats.msgs_received >= 1);
         let a_logic = a.shutdown();
         assert_eq!(
             a_logic.got.iter().map(|&(_, v)| v).collect::<Vec<_>>(),
@@ -416,7 +694,7 @@ mod tests {
     }
 
     #[test]
-    fn send_to_unreachable_peer_is_best_effort() {
+    fn send_to_unreachable_peer_counts_drops() {
         let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
         let mut peers: HashMap<NodeId, SocketAddr> = HashMap::new();
         peers.insert(NodeId(0), l0.local_addr().unwrap());
@@ -433,9 +711,88 @@ mod tests {
         )
         .unwrap();
         a.invoke(|_l, _n, out| out.send(NodeId(9), Ping(1)));
-        // The driver survives; invoke still works.
+        a.invoke(|_l, _n, out| out.send(NodeId(9), Ping(2)));
+        // The driver survives; invoke still works; the drops are counted.
         let n = a.invoke(|l, _n, _o| l.got.len());
         assert_eq!(n, 0);
+        let stats = a.stats();
+        assert_eq!(stats.sends_dropped, 2, "both sends must count as drops");
         a.shutdown();
+    }
+
+    #[test]
+    fn reconnects_after_peer_restart() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr1 = l1.local_addr().unwrap();
+        let peers: HashMap<NodeId, SocketAddr> =
+            [(NodeId(0), l0.local_addr().unwrap()), (NodeId(1), addr1)].into();
+        let a = TcpHost::spawn(
+            NodeId(0),
+            l0,
+            peers.clone(),
+            Echo {
+                got: vec![],
+                timer_fired: false,
+            },
+        )
+        .unwrap();
+        let b = TcpHost::spawn(
+            NodeId(1),
+            l1,
+            peers.clone(),
+            Echo {
+                got: vec![],
+                timer_fired: false,
+            },
+        )
+        .unwrap();
+
+        // Establish a's cached connection to b.
+        a.invoke(|_l, _n, out| out.send(NodeId(1), Ping(200)));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while b.invoke(|l, _n, _o| l.got.is_empty()) {
+            assert!(Instant::now() < deadline, "first send never arrived");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // Kill b; its listener dies with it.
+        let (_b_logic, b_seq) = b.halt();
+
+        // Restart b on the same address (SO_REUSEADDR) as a new
+        // incarnation.
+        let l1b = TcpListener::bind(addr1).expect("rebind b");
+        let b2 = TcpHost::spawn_with(
+            NodeId(1),
+            l1b,
+            peers,
+            Echo {
+                got: vec![],
+                timer_fired: false,
+            },
+            HostOptions {
+                timer_seq: b_seq,
+                epoch: None,
+            },
+        )
+        .unwrap();
+
+        // a's cached connection is now dead. Sends must flow again —
+        // possibly after a few tries (the dead socket may absorb writes
+        // until TCP notices, and the reconnect backoff may defer a dial).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut i = 0u64;
+        while b2.invoke(|l, _n, _o| l.got.is_empty()) {
+            assert!(Instant::now() < deadline, "reconnect never delivered");
+            a.invoke(move |_l, _n, out| out.send(NodeId(1), Ping(201 + i)));
+            i += 1;
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert!(
+            a.stats().reconnects >= 1,
+            "the re-dial must be counted as a reconnect"
+        );
+        a.shutdown();
+        b2.shutdown();
     }
 }

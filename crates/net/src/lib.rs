@@ -18,9 +18,11 @@
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod frame;
 pub mod host;
 pub mod wire;
 
-pub use host::TcpHost;
+pub use fleet::TcpFleet;
+pub use host::{HostHandle, HostOptions, HostStatsSnapshot, TcpHost};
 pub use wire::{from_bytes, to_bytes, WireError};

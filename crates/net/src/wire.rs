@@ -101,6 +101,57 @@ pub fn fuzz_batch_decode(data: &[u8]) {
     );
 }
 
+/// Fuzz entry point for the **full transport envelope**: arbitrary bytes
+/// either fail to decode as the `(sender, OverlayMsg<MindPayload>)` pair
+/// every [`crate::TcpHost`] frame carries, or decode to an envelope whose
+/// re-encoding is a canonical fixed point (encode ∘ decode ∘ encode =
+/// encode). For envelopes that carry an application payload, the payload's
+/// advertised [`WireSize`](mind_types::WireSize) must equal its real
+/// encoded length — the envelope's own `wire_size` is a deliberate
+/// bandwidth-model approximation (flat per-variant overhead), so only the
+/// inner payload is held to exactness.
+///
+/// Pure and deterministic — the in-tree fuzz target
+/// (`fuzz/fuzz_targets/wire_decode.rs`) and the CI smoke run both drive
+/// this function; corpus crashes replay as ordinary unit-test calls.
+/// Panics only on an invariant violation, never on malformed input.
+pub fn fuzz_wire_decode(data: &[u8]) {
+    use mind_types::WireSize;
+    type Envelope = (
+        mind_types::NodeId,
+        mind_overlay::OverlayMsg<mind_core::MindPayload>,
+    );
+
+    let Ok(envelope) = from_bytes::<Envelope>(data) else {
+        return;
+    };
+    let Ok(encoded) = to_bytes(&envelope) else {
+        unreachable!("a decoded envelope is always re-encodable");
+    };
+    let Ok(back) = from_bytes::<Envelope>(&encoded) else {
+        panic!("canonical re-encoding failed to decode");
+    };
+    let Ok(again) = to_bytes(&back) else {
+        unreachable!("a decoded envelope is always re-encodable");
+    };
+    assert_eq!(encoded, again, "canonical encoding is not a fixed point");
+
+    use mind_overlay::OverlayMsg;
+    if let OverlayMsg::Route { payload, .. }
+    | OverlayMsg::Flood { payload, .. }
+    | OverlayMsg::Direct { payload } = &envelope.1
+    {
+        let Ok(inner) = to_bytes(payload) else {
+            unreachable!("a decoded payload is always re-encodable");
+        };
+        assert_eq!(
+            payload.wire_size(),
+            inner.len(),
+            "payload wire_size diverges from the encoder"
+        );
+    }
+}
+
 // ---------------------------------------------------------------- encoder
 
 struct Ser<'a> {

@@ -646,6 +646,63 @@ where
     }
 }
 
+/// The simulator as a [`ClusterDriver`]: the deterministic substrate of
+/// the `MindCluster` experiment API. `run_for` *is* the event loop, the
+/// clock is simulated time, and same seed + same call sequence replays
+/// byte-identically. The `Send + 'static` closure bounds the seam
+/// requires are free here — everything runs inline on the caller's
+/// thread.
+impl<L: NodeLogic> mind_types::ClusterDriver<L> for World<L>
+where
+    L::Msg: WireSize + Clone,
+{
+    fn len(&self) -> usize {
+        World::len(self)
+    }
+
+    fn now(&self) -> SimTime {
+        World::now(self)
+    }
+
+    fn is_alive(&self, id: NodeId) -> bool {
+        World::is_alive(self, id)
+    }
+
+    fn with_node<R, F>(&mut self, id: NodeId, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut L, SimTime, &mut Outbox<L::Msg>) -> R + Send + 'static,
+    {
+        World::with_node(self, id, f)
+    }
+
+    fn read<R, F>(&self, id: NodeId, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&L) -> R + Send + 'static,
+    {
+        f(self.node(id))
+    }
+
+    fn run_for(&mut self, d: SimTime) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    fn quiesce(&mut self, limit: SimTime) {
+        let t = self.now + limit;
+        self.run_until_idle(t);
+    }
+
+    fn crash(&mut self, id: NodeId) {
+        self.crash_node(id);
+    }
+
+    fn revive(&mut self, id: NodeId) {
+        self.revive_node(id);
+    }
+}
+
 /// A convenient default for tests: 1 ms everywhere, no jitter.
 pub fn lan_config(seed: u64) -> SimConfig {
     SimConfig {

@@ -1,0 +1,170 @@
+//! The cluster spec file shared by every `mind-node` process.
+//!
+//! Plain text, one node per line, `#` comments:
+//!
+//! ```text
+//! # id  node_addr          control_addr
+//! 0     127.0.0.1:7000     127.0.0.1:7100
+//! 1     127.0.0.1:7001     127.0.0.1:7101
+//! ```
+//!
+//! Node ids must be dense (`0..n`) because the static hypercube topology
+//! assigns codes by position. Every process reads the same file, so the
+//! peer map is complete before any node starts.
+
+use mind_types::NodeId;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::path::Path;
+
+/// One node's addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// The node's id (dense, `0..n`).
+    pub id: NodeId,
+    /// Where the node's overlay transport listens.
+    pub node_addr: SocketAddr,
+    /// Where the node's control server listens.
+    pub control_addr: SocketAddr,
+}
+
+/// The parsed cluster spec: every node of the deployment, in id order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// Node entries, sorted by id; ids are dense `0..n`.
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl ClusterSpec {
+    /// Parses a spec from its text form.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut nodes = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(id), Some(na), Some(ca)) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(format!(
+                    "line {}: expected `id node_addr control_addr`, got {raw:?}",
+                    lineno + 1
+                ));
+            };
+            if parts.next().is_some() {
+                return Err(format!("line {}: trailing fields in {raw:?}", lineno + 1));
+            }
+            let id: u32 = id
+                .parse()
+                .map_err(|e| format!("line {}: bad node id {id:?}: {e}", lineno + 1))?;
+            let node_addr: SocketAddr = na
+                .parse()
+                .map_err(|e| format!("line {}: bad node addr {na:?}: {e}", lineno + 1))?;
+            let control_addr: SocketAddr = ca
+                .parse()
+                .map_err(|e| format!("line {}: bad control addr {ca:?}: {e}", lineno + 1))?;
+            nodes.push(NodeSpec {
+                id: NodeId(id),
+                node_addr,
+                control_addr,
+            });
+        }
+        if nodes.is_empty() {
+            return Err("spec has no nodes".into());
+        }
+        nodes.sort_by_key(|n| n.id.0);
+        for (k, n) in nodes.iter().enumerate() {
+            if n.id.0 as usize != k {
+                return Err(format!(
+                    "node ids must be dense 0..{}; missing or duplicate id around {}",
+                    nodes.len(),
+                    n.id.0
+                ));
+            }
+        }
+        Ok(ClusterSpec { nodes })
+    }
+
+    /// Reads and parses a spec file.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+
+    /// Renders the spec back to its file form.
+    pub fn render(&self) -> String {
+        let mut s = String::from("# id node_addr control_addr\n");
+        for n in &self.nodes {
+            let _ = writeln!(s, "{} {} {}", n.id.0, n.node_addr, n.control_addr);
+        }
+        s
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the spec is empty (parse rejects this).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The entry for `id`.
+    pub fn node(&self, id: NodeId) -> Option<&NodeSpec> {
+        self.nodes.get(id.0 as usize)
+    }
+
+    /// The overlay peer map every `TcpHost` needs.
+    pub fn peer_map(&self) -> HashMap<NodeId, SocketAddr> {
+        self.nodes.iter().map(|n| (n.id, n.node_addr)).collect()
+    }
+
+    /// A localhost spec on ephemeral ports, for tests and local bursts:
+    /// binds `2n` listeners to reserve distinct ports, then releases
+    /// them. (The tiny release-to-spawn race is acceptable for tooling.)
+    pub fn localhost(n: usize) -> std::io::Result<Self> {
+        let mut nodes = Vec::with_capacity(n);
+        let mut keep = Vec::new();
+        for k in 0..n {
+            let ln = std::net::TcpListener::bind("127.0.0.1:0")?;
+            let lc = std::net::TcpListener::bind("127.0.0.1:0")?;
+            nodes.push(NodeSpec {
+                id: NodeId(k as u32),
+                node_addr: ln.local_addr()?,
+                control_addr: lc.local_addr()?,
+            });
+            keep.push((ln, lc));
+        }
+        drop(keep);
+        Ok(ClusterSpec { nodes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_and_validates() {
+        let text =
+            "# comment\n1 127.0.0.1:7001 127.0.0.1:7101\n0 127.0.0.1:7000 127.0.0.1:7100 # tail\n";
+        let spec = ClusterSpec::parse(text).unwrap();
+        assert_eq!(spec.len(), 2);
+        assert_eq!(spec.nodes[0].id, NodeId(0));
+        assert_eq!(spec.nodes[1].node_addr, "127.0.0.1:7001".parse().unwrap());
+        let again = ClusterSpec::parse(&spec.render()).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn parse_rejects_gaps_and_garbage() {
+        assert!(ClusterSpec::parse("").is_err());
+        assert!(ClusterSpec::parse("0 127.0.0.1:1\n").is_err());
+        assert!(
+            ClusterSpec::parse("0 127.0.0.1:1 127.0.0.1:2\n2 127.0.0.1:3 127.0.0.1:4\n").is_err()
+        );
+        assert!(ClusterSpec::parse("0 nonsense 127.0.0.1:2\n").is_err());
+    }
+}

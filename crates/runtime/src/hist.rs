@@ -1,0 +1,184 @@
+//! A log-bucketed latency histogram (HDR-style, fixed memory).
+//!
+//! Values (microseconds) land in buckets whose width grows with
+//! magnitude: every power of two is split into `2^SUB_BITS` linear
+//! sub-buckets, so relative error is bounded by `2^-SUB_BITS` (≈3% at
+//! 5 sub-bits) at any scale while the whole histogram stays under 2k
+//! counters. Percentile reads scan the cumulative counts, so reported
+//! percentiles are monotone by construction: p50 ≤ p99 ≤ p999 always.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear sub-buckets per power of two, as a bit count.
+const SUB_BITS: u32 = 5;
+/// Bucket count: values up to 2^63 map below this.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) << SUB_BITS;
+
+/// A fixed-size log-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a value: identity below `2^SUB_BITS`, then
+/// `SUB_BITS` mantissa bits per octave.
+fn index_of(v: u64) -> usize {
+    if v < (1 << SUB_BITS) {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let sub = ((v >> (exp - SUB_BITS)) & ((1 << SUB_BITS) - 1)) as u32;
+    (((exp - SUB_BITS + 1) << SUB_BITS) + sub) as usize
+}
+
+/// Upper bound (inclusive representative) of a bucket: the largest value
+/// mapping to it, so reported percentiles never understate.
+fn value_of(idx: usize) -> u64 {
+    if idx < (1 << SUB_BITS) {
+        return idx as u64;
+    }
+    let group = (idx >> SUB_BITS) as u32; // 1-based octave above the linear range
+    let sub = (idx & ((1 << SUB_BITS) - 1)) as u64;
+    let exp = group - 1 + SUB_BITS;
+    let base = (1u64 << exp) + (sub << (exp - SUB_BITS));
+    base + ((1u64 << (exp - SUB_BITS)) - 1)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[index_of(v)] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the smallest bucket upper
+    /// bound covering at least `q` of the samples (0 on an empty
+    /// histogram). Monotone in `q`, and never above [`Self::max`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return value_of(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// p50/p99/p999 in one call, the loadgen's reporting unit.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..32 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.count(), 32);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        for exp in 5..40u32 {
+            let v = (1u64 << exp) + (1 << (exp - 2));
+            let mut probe = LatencyHistogram::new();
+            probe.record(v);
+            let got = probe.quantile(0.5);
+            assert!(got >= v, "bucket upper bound must not understate {v}");
+            assert!(
+                (got - v) as f64 / v as f64 <= 1.0 / (1 << SUB_BITS) as f64 + 1e-9,
+                "relative error too large at {v}: got {got}"
+            );
+            h.record(v);
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        // A heavy-tailed-ish spread.
+        for i in 1..=10_000u64 {
+            h.record(i * i % 777_777);
+        }
+        let (p50, p99, p999) = h.percentiles();
+        assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        assert!(p99 <= p999, "p99 {p99} > p999 {p999}");
+        assert!(p999 <= h.max());
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut u = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * 37 % 50_000;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            u.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), u.count());
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), u.quantile(q));
+        }
+    }
+}

@@ -114,10 +114,34 @@ impl StoreKind {
         Self::from_lookup(|name| std::env::var(name).ok())
     }
 
+    /// [`Self::from_env`] for the real (non-simulated) runtime: when the
+    /// sharded backend is selected without an explicit `MIND_SHARDS`, the
+    /// default shard count is derived from the host's available
+    /// parallelism instead of the fixed simulation default — a real
+    /// `mind-node` process wants one shard per core. An explicit
+    /// `MIND_SHARDS` still wins, and the simulator keeps the fixed
+    /// [`StoreKind::from_env`] default so same-seed replay means the same
+    /// data layout on every machine.
+    pub fn from_env_runtime() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(DEFAULT_SHARDS);
+        Self::from_lookup_with_default(|name| std::env::var(name).ok(), cores)
+    }
+
     /// [`Self::from_env`] with an injectable variable lookup, so the
     /// malformed-input paths are testable without mutating the process
     /// environment (env vars are global state across test threads).
     fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Self {
+        Self::from_lookup_with_default(lookup, DEFAULT_SHARDS)
+    }
+
+    /// The shared parser behind [`Self::from_env`] (fixed sim default)
+    /// and [`Self::from_env_runtime`] (core-count default).
+    fn from_lookup_with_default(
+        lookup: impl Fn(&str) -> Option<String>,
+        default_shards: u32,
+    ) -> Self {
         let shards = match lookup("MIND_SHARDS") {
             None => None,
             Some(s) => match s.parse::<u32>() {
@@ -154,7 +178,7 @@ impl StoreKind {
                     }
                     StoreKind::Bitmap
                 }
-                "sharded" => StoreKind::Sharded(shards.unwrap_or(DEFAULT_SHARDS)),
+                "sharded" => StoreKind::Sharded(shards.unwrap_or(default_shards)),
                 _ => {
                     let default = StoreKind::default();
                     eprintln!(
@@ -308,6 +332,39 @@ mod tests {
             StoreKind::from_lookup(env(&[("MIND_STORE", "BitMap")])),
             StoreKind::KdTree
         );
+    }
+
+    #[test]
+    fn runtime_default_shards_derive_from_parallelism() {
+        // The runtime parser: `sharded` without a count takes the
+        // injected (core-count) default instead of the fixed sim one...
+        assert_eq!(
+            StoreKind::from_lookup_with_default(env(&[("MIND_STORE", "sharded")]), 12),
+            StoreKind::Sharded(12)
+        );
+        // ...but an explicit MIND_SHARDS still wins,
+        assert_eq!(
+            StoreKind::from_lookup_with_default(
+                env(&[("MIND_STORE", "sharded"), ("MIND_SHARDS", "3")]),
+                12
+            ),
+            StoreKind::Sharded(3)
+        );
+        // and backends that never shard are unaffected.
+        assert_eq!(
+            StoreKind::from_lookup_with_default(env(&[("MIND_STORE", "bitmap")]), 12),
+            StoreKind::Bitmap
+        );
+        // from_env_runtime agrees with the host's core count.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(DEFAULT_SHARDS);
+        // (only assert when the env doesn't override the backend)
+        if std::env::var("MIND_STORE").as_deref() == Ok("sharded")
+            && std::env::var("MIND_SHARDS").is_err()
+        {
+            assert_eq!(StoreKind::from_env_runtime(), StoreKind::Sharded(cores));
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod code;
+pub mod driver;
 pub mod error;
 pub mod node;
 pub mod record;
@@ -26,6 +27,7 @@ pub mod rect;
 pub mod schema;
 
 pub use code::BitCode;
+pub use driver::ClusterDriver;
 pub use error::MindError;
 pub use node::{NodeId, NodeLogic, Outbox, SimTime, TimerId, WireSize};
 pub use record::{Record, RecordId};

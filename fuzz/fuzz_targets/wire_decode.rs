@@ -1,0 +1,15 @@
+//! Fuzz target: the full transport envelope — the `(sender,
+//! OverlayMsg<MindPayload>)` pair every `TcpHost` frame carries
+//! (`crates/net/src/wire.rs`).
+//!
+//! Arbitrary bytes must either fail to decode with a clean error or
+//! yield an envelope whose re-encoding is a canonical fixed point; a
+//! carried application payload must also advertise an exact `wire_size`
+//! (the envelope's own `wire_size` is an intentional bandwidth-model
+//! approximation and is not checked). The whole invariant lives in
+//! [`mind_net::wire::fuzz_wire_decode`] so corpus crashes replay as
+//! plain unit-test calls.
+
+libfuzzer_sys::fuzz_target!(|data: &[u8]| {
+    mind_net::wire::fuzz_wire_decode(data);
+});

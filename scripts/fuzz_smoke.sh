@@ -14,6 +14,9 @@
 #                  decode to a payload whose re-encoding is a canonical
 #                  fixed point with an exact wire_size (batched insert
 #                  frames seeded in the corpus)
+#   wire_decode  — full transport envelope (sender + OverlayMsg): reject
+#                  cleanly or re-encode to a canonical fixed point, with
+#                  an exact wire_size on any carried payload
 #
 # A machine with the real cargo-fuzz toolchain runs the same targets with
 #   cargo fuzz run <target>
@@ -28,7 +31,7 @@ TIMEOUT_S="${FUZZ_SMOKE_TIMEOUT:-60}"
 
 cargo build --quiet --release --manifest-path fuzz/Cargo.toml
 
-for TARGET in frame_decode store_range batch_decode; do
+for TARGET in frame_decode store_range batch_decode wire_decode; do
     BIN="fuzz/target/release/$TARGET"
 
     echo "fuzz-smoke[$TARGET]: replaying committed corpus"
