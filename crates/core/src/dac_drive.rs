@@ -527,9 +527,11 @@ impl MindNode {
     fn release_batch(&mut self, now: SimTime, batch_id: u64, out: &mut Out) {
         if let Some(result) = self.pending_batches.remove(&batch_id) {
             for sent_at in result.insert_sent_ats {
-                self.metrics
-                    .insert_latencies
-                    .push((now, now.saturating_sub(sent_at)));
+                if self.metrics.insert_latencies.len() < self.cfg.metrics_samples_max {
+                    self.metrics
+                        .insert_latencies
+                        .push((now, now.saturating_sub(sent_at)));
+                }
             }
             for (dest, resp) in result.responses {
                 self.deliver_response(now, dest, resp, out);

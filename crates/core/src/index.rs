@@ -4,6 +4,7 @@ use crate::messages::Replication;
 use mind_histogram::{CutTree, GridHistogram};
 use mind_store::{Store, StoreKind};
 use mind_types::{IndexSchema, MindError, Record};
+use std::sync::Arc;
 
 /// One version of an index: its cuts and the local share of its data.
 ///
@@ -15,8 +16,12 @@ use mind_types::{IndexSchema, MindError, Record};
 pub struct IndexVersion {
     /// First record timestamp governed by this version.
     pub from_ts: u64,
-    /// The data-space cuts of this version.
-    pub cuts: CutTree,
+    /// The data-space cuts of this version. Shared, not owned: the tree
+    /// is immutable once computed, and at 10k nodes per-node deep copies
+    /// of a depth-10 tree were the dominant resident-memory cost
+    /// (DESIGN.md §16) — every node that installs the same version now
+    /// points at the same allocation within a process.
+    pub cuts: Arc<CutTree>,
     /// Rows this node owns as the region's primary. The backend behind
     /// the `dyn Store` is uniform across a node's versions and chosen by
     /// [`StoreKind`] in the node config (`MIND_STORE`).
@@ -56,7 +61,7 @@ impl IndexState {
     /// Creates the index with its version-0 cuts (effective from t = 0).
     pub fn new(
         schema: IndexSchema,
-        cuts: CutTree,
+        cuts: impl Into<Arc<CutTree>>,
         replication: Replication,
         hist_granularity: u32,
         store_kind: StoreKind,
@@ -68,7 +73,7 @@ impl IndexState {
             replication,
             versions: vec![IndexVersion {
                 from_ts: 0,
-                cuts,
+                cuts: cuts.into(),
                 primary: store_kind.new_store(dims),
                 replicas: store_kind.new_store(dims),
                 primary_rows: 0,
@@ -82,7 +87,7 @@ impl IndexState {
     /// Installs a new version. Versions must arrive in order with
     /// increasing `from_ts`; duplicates (flood re-delivery across
     /// restarts) are ignored.
-    pub fn install_version(&mut self, version: u32, from_ts: u64, cuts: CutTree) {
+    pub fn install_version(&mut self, version: u32, from_ts: u64, cuts: impl Into<Arc<CutTree>>) {
         if (version as usize) < self.versions.len() {
             return; // already installed
         }
@@ -101,7 +106,7 @@ impl IndexState {
         );
         self.versions.push(IndexVersion {
             from_ts,
-            cuts,
+            cuts: cuts.into(),
             primary: self.store_kind.new_store(self.schema.indexed_dims),
             replicas: self.store_kind.new_store(self.schema.indexed_dims),
             primary_rows: 0,

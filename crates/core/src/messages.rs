@@ -4,6 +4,7 @@ use mind_histogram::{CutTree, GridHistogram};
 use mind_types::node::SimTime;
 use mind_types::{BitCode, HyperRect, IndexSchema, NodeId, Record, WireSize};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// How many copies of each record an index keeps (Section 3.8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,8 +49,10 @@ pub struct IndexDef {
     pub schema: IndexSchema,
     /// Replication level.
     pub replication: Replication,
-    /// Every version: `(from_ts, cuts)`, in version order.
-    pub versions: Vec<(u64, CutTree)>,
+    /// Every version: `(from_ts, cuts)`, in version order. The trees are
+    /// `Arc`-shared with the sender's catalog (serialized transparently,
+    /// so the wire format is unchanged).
+    pub versions: Vec<(u64, Arc<CutTree>)>,
 }
 
 /// The MIND application protocol (carried opaquely by `OverlayMsg`).
@@ -59,8 +62,10 @@ pub enum MindPayload {
     CreateIndex {
         /// The index schema.
         schema: IndexSchema,
-        /// Data-space cuts for version 0.
-        cuts: CutTree,
+        /// Data-space cuts for version 0. `Arc`-shared so that in-process
+        /// deployments (the simulator's flood fan-out in particular) hold
+        /// one tree, not one per recipient.
+        cuts: Arc<CutTree>,
         /// Replication level for all inserts into this index.
         replication: Replication,
     },
@@ -73,8 +78,9 @@ pub enum MindPayload {
         version: u32,
         /// First timestamp governed by this version.
         from_ts: u64,
-        /// The balanced cuts computed from the previous day's histogram.
-        cuts: CutTree,
+        /// The balanced cuts computed from the previous day's histogram
+        /// (`Arc`-shared like `CreateIndex::cuts`).
+        cuts: Arc<CutTree>,
     },
     /// Flooded: drop all state for an index on every node.
     DropIndex {
@@ -257,7 +263,21 @@ pub enum MindPayload {
     /// nodes join the overlay, they obtain the current set of defined
     /// indices from the neighbor to which they attach").
     CatalogRequest,
-    /// Direct reply to a [`MindPayload::CatalogRequest`].
+    /// Direct to a round-robin neighbor (the periodic anti-entropy tick,
+    /// DESIGN.md §16): the sender's catalog digest. The receiver replies
+    /// with a full [`MindPayload::CatalogResponse`] only when its own
+    /// digest differs, so a converged overlay's steady-state anti-entropy
+    /// traffic is a 12-byte frame per tick instead of every schema and
+    /// every version's cut tree. Fresh joiners still send
+    /// [`MindPayload::CatalogRequest`] — they have nothing to compare.
+    CatalogDigest {
+        /// FNV-1a digest of the sender's catalog (indices, versions,
+        /// triggers) over the codec byte layout
+        /// ([`crate::wire_len::fnv1a_digest`]).
+        digest: u64,
+    },
+    /// Direct reply to a [`MindPayload::CatalogRequest`] (or to a
+    /// [`MindPayload::CatalogDigest`] that did not match).
     CatalogResponse {
         /// Every index: schema, replication, and all versions' cuts.
         indexes: Vec<IndexDef>,

@@ -35,6 +35,13 @@ pub struct NodeMetrics {
     pub retries_exhausted: u64,
     /// Query plan/sub-query re-dispatch rounds this node issued.
     pub query_retries: u64,
+    /// Anti-entropy ticks this node sent as 12-byte catalog digests (the
+    /// steady-state background cost; see DESIGN.md §16).
+    pub catalog_digests_sent: u64,
+    /// Received digests that disagreed with the local catalog — each one
+    /// cost a full `CatalogResponse` reply. In a converged overlay this
+    /// stays near zero while `catalog_digests_sent` keeps climbing.
+    pub catalog_digest_mismatches: u64,
 }
 
 /// Percentile of a *sorted* slice using nearest-rank (the convention the

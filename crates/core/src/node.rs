@@ -99,6 +99,12 @@ pub struct MindConfig {
     /// keep the default `0` — a crash/revive there resumes the same
     /// logic object, whose op counter never regresses.
     pub boot_id: u64,
+    /// Cap on the per-node insert latency/hop sample vectors
+    /// ([`NodeMetrics::insert_latencies`] / `insert_hops`). The figure
+    /// experiments keep the unlimited default; large-scale benchmarks set
+    /// a finite cap so per-node memory stays bounded as worlds grow
+    /// (samples past the cap are dropped, the scalar counters still move).
+    pub metrics_samples_max: usize,
 }
 
 impl Default for MindConfig {
@@ -121,6 +127,7 @@ impl Default for MindConfig {
             insert_batch_max: 1,
             insert_batch_age: SECONDS / 20,
             boot_id: 0,
+            metrics_samples_max: usize::MAX,
         }
     }
 }
@@ -152,6 +159,12 @@ pub struct MindNode {
     /// horizon advertised to receivers (DESIGN.md §10).
     pub(crate) live_op_counters: BTreeSet<u64>,
     pub(crate) anti_entropy_rr: u64,
+    /// Memoized catalog digest for the anti-entropy exchange; cleared by
+    /// every catalog mutation (index/version/trigger installs and drops),
+    /// recomputed lazily on the next tick or digest receipt. Catalog
+    /// changes are rare (index creation, daily rollover), so steady-state
+    /// anti-entropy never re-walks the cut trees.
+    catalog_digest_cache: Option<u64>,
     // queries (crate::query_track)
     pub(crate) query_seq: u64,
     /// Reused covering-code buffer for root-query splits: the flat cut
@@ -224,6 +237,7 @@ impl MindNode {
             seen_ops: SeenOps::default(),
             live_op_counters: BTreeSet::new(),
             anti_entropy_rr: 0,
+            catalog_digest_cache: None,
             query_seq: 0,
             cover_scratch: Vec::new(),
             queries: HashMap::new(),
@@ -297,6 +311,74 @@ impl MindNode {
         v
     }
 
+    /// Digest of this node's catalog — every index's schema, replication
+    /// and versions plus every installed trigger — streamed through the
+    /// codec-layout hash without materializing a response message. Two
+    /// nodes whose `CatalogResponse` payloads would carry the same bytes
+    /// agree on this value; flood-delivery order is normalized (indices
+    /// iterate a `BTreeMap`, triggers are digested in id order).
+    pub fn catalog_digest(&mut self) -> u64 {
+        if let Some(d) = self.catalog_digest_cache {
+            return d;
+        }
+        let d = self.compute_catalog_digest();
+        self.catalog_digest_cache = Some(d);
+        d
+    }
+
+    /// The uncached digest walk — also usable through shared references
+    /// (test inspection of a running world).
+    pub fn compute_catalog_digest(&self) -> u64 {
+        let mut dig = crate::wire_len::Digest::new();
+        dig.absorb(&(self.indexes.len() as u32));
+        for (tag, st) in &self.indexes {
+            dig.absorb(tag);
+            dig.absorb(&st.schema);
+            dig.absorb(&st.replication);
+            dig.absorb(&(st.versions.len() as u32));
+            for v in &st.versions {
+                dig.absorb(&v.from_ts);
+                dig.absorb(&v.cuts);
+            }
+        }
+        let mut triggers = self.triggers.all();
+        triggers.sort_by_key(|t| t.trigger_id);
+        dig.absorb(&(triggers.len() as u32));
+        for t in &triggers {
+            dig.absorb(t);
+        }
+        dig.finish()
+    }
+
+    /// Drops the memoized catalog digest; called by every mutation of the
+    /// index/trigger catalog.
+    fn invalidate_catalog_digest(&mut self) {
+        self.catalog_digest_cache = None;
+    }
+
+    /// The full catalog transfer: every index definition and every
+    /// standing query — sent to fresh joiners and to anti-entropy peers
+    /// whose digest disagreed with ours.
+    fn catalog_response(&self) -> MindPayload {
+        let indexes: Vec<IndexDef> = self
+            .indexes
+            .values()
+            .map(|st| IndexDef {
+                schema: st.schema.clone(),
+                replication: st.replication,
+                versions: st
+                    .versions
+                    .iter()
+                    .map(|v| (v.from_ts, v.cuts.clone()))
+                    .collect(),
+            })
+            .collect();
+        MindPayload::CatalogResponse {
+            indexes,
+            triggers: self.triggers.all(),
+        }
+    }
+
     // ---- the MIND interface (Section 3.2) ----
 
     /// `create_index`: instantiates `schema` on every overlay node with
@@ -314,7 +396,7 @@ impl MindNode {
         let events = self.overlay.flood(
             MindPayload::CreateIndex {
                 schema,
-                cuts,
+                cuts: std::sync::Arc::new(cuts),
                 replication,
             },
             out,
@@ -494,6 +576,9 @@ impl MindNode {
     }
 
     fn on_flood(&mut self, payload: MindPayload) {
+        // Every flood-delivered payload mutates the index/trigger catalog,
+        // so the memoized anti-entropy digest is dropped up front.
+        self.invalidate_catalog_digest();
         match payload {
             MindPayload::CreateIndex {
                 schema,
@@ -545,6 +630,7 @@ impl MindNode {
             | MindPayload::QueryResponse { .. }
             | MindPayload::TriggerFired { .. }
             | MindPayload::CatalogRequest
+            | MindPayload::CatalogDigest { .. }
             | MindPayload::CatalogResponse { .. }
             | MindPayload::HandoffScan { .. }
             | MindPayload::HandoffRecords { .. }
@@ -573,7 +659,9 @@ impl MindNode {
                         return;
                     }
                 }
-                self.metrics.insert_hops.push(hops);
+                if self.metrics.insert_hops.len() < self.cfg.metrics_samples_max {
+                    self.metrics.insert_hops.push(hops);
+                }
                 self.enqueue(
                     now,
                     DacJob::Insert {
@@ -607,7 +695,9 @@ impl MindNode {
                     }
                 }
                 // One frame traveled once: one hop sample per batch.
-                self.metrics.insert_hops.push(hops);
+                if self.metrics.insert_hops.len() < self.cfg.metrics_samples_max {
+                    self.metrics.insert_hops.push(hops);
+                }
                 self.enqueue(
                     now,
                     DacJob::InsertBatch {
@@ -730,30 +820,28 @@ impl MindNode {
                 self.trigger_log.push((trigger_id, at, record));
             }
             MindPayload::CatalogRequest => {
-                let indexes: Vec<IndexDef> = self
-                    .indexes
-                    .values()
-                    .map(|st| IndexDef {
-                        schema: st.schema.clone(),
-                        replication: st.replication,
-                        versions: st
-                            .versions
-                            .iter()
-                            .map(|v| (v.from_ts, v.cuts.clone()))
-                            .collect(),
-                    })
-                    .collect();
                 out.send(
                     from,
                     OverlayMsg::Direct {
-                        payload: MindPayload::CatalogResponse {
-                            indexes,
-                            triggers: self.triggers.all(),
-                        },
+                        payload: self.catalog_response(),
                     },
                 );
             }
+            MindPayload::CatalogDigest { digest } => {
+                // The anti-entropy steady state: digests agree, nothing
+                // moves. Only a disagreeing peer costs a full transfer.
+                if digest != self.catalog_digest() {
+                    self.metrics.catalog_digest_mismatches += 1;
+                    out.send(
+                        from,
+                        OverlayMsg::Direct {
+                            payload: self.catalog_response(),
+                        },
+                    );
+                }
+            }
             MindPayload::CatalogResponse { indexes, triggers } => {
+                self.invalidate_catalog_digest();
                 for def in indexes {
                     let tag = def.schema.tag.clone();
                     let state = self.indexes.entry(tag).or_insert_with(|| {

@@ -438,16 +438,23 @@ impl MindNode {
     /// Periodically reconciles the index/trigger catalog with one neighbor
     /// (round-robin): heals CreateIndex/NewVersion/CreateTrigger floods
     /// lost to the network, since CatalogResponse installation is
-    /// idempotent.
+    /// idempotent. The tick sends the local catalog *digest* (12 wire
+    /// bytes); the peer ships its full catalog back only on mismatch, so
+    /// a converged overlay pays O(1) bytes per node per tick instead of
+    /// re-cloning every schema and cut tree (DESIGN.md §16). Healing is
+    /// symmetric across two tick directions: whichever side is behind
+    /// receives the full catalog when the *other* side's digest arrives.
     fn anti_entropy_tick(&mut self, out: &mut Out) {
         let peers = self.overlay.all_neighbor_targets();
         if !peers.is_empty() {
             let pick = peers[(self.anti_entropy_rr as usize) % peers.len()];
             self.anti_entropy_rr += 1;
+            let digest = self.catalog_digest();
+            self.metrics.catalog_digests_sent += 1;
             out.send(
                 pick,
                 OverlayMsg::Direct {
-                    payload: MindPayload::CatalogRequest,
+                    payload: MindPayload::CatalogDigest { digest },
                 },
             );
         }

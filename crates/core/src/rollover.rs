@@ -103,7 +103,7 @@ impl MindNode {
                 index,
                 version,
                 from_ts,
-                cuts,
+                cuts: std::sync::Arc::new(cuts),
             },
             out,
         );

@@ -44,6 +44,52 @@ pub fn serialized_len<T: Serialize + ?Sized>(v: &T) -> usize {
     counter.n
 }
 
+/// FNV-1a digest of the exact byte stream the codec layout defines for
+/// `v` — the hashing sibling of [`serialized_len`], streaming the same
+/// bytes into the hash instead of counting them. Two nodes that would
+/// put identical bytes on the wire produce identical digests, which is
+/// what the anti-entropy catalog exchange compares (DESIGN.md §16).
+pub fn fnv1a_digest<T: Serialize + ?Sized>(v: &T) -> u64 {
+    let mut d = Digest::new();
+    d.absorb(v);
+    d.finish()
+}
+
+/// A streaming FNV-1a hash over the codec byte layout. Callers can
+/// absorb several values in sequence (the catalog digest streams every
+/// index and trigger through one `Digest` without materializing a
+/// response message).
+pub(crate) struct Digest {
+    h: u64,
+}
+
+impl Digest {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn new() -> Self {
+        Digest {
+            h: Self::FNV_OFFSET,
+        }
+    }
+
+    /// Folds `v`'s codec bytes into the hash.
+    pub(crate) fn absorb<T: Serialize + ?Sized>(&mut self, v: &T) {
+        let r = v.serialize(&mut *self);
+        debug_assert!(r.is_ok(), "undigestable wire payload: {r:?}");
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.h
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h = (self.h ^ b as u64).wrapping_mul(Self::FNV_PRIME);
+        }
+    }
+}
+
 /// Counting failed — mirrors the codec's error cases.
 #[derive(Debug)]
 pub struct LenError(String);
@@ -219,9 +265,11 @@ impl serde::Serializer for &mut Counter {
     }
 }
 
-macro_rules! count_compound {
-    ($trait_:ident, $method:ident) => {
-        impl $trait_ for &mut Counter {
+// The compound traits are pure pass-through for both the counter and
+// the digest: elements serialize through the parent serializer.
+macro_rules! passthrough_compound {
+    ($ty:ident: $trait_:ident, $method:ident) => {
+        impl $trait_ for &mut $ty {
             type Ok = ();
             type Error = LenError;
             fn $method<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), LenError> {
@@ -234,52 +282,223 @@ macro_rules! count_compound {
     };
 }
 
-count_compound!(SerializeSeq, serialize_element);
-count_compound!(SerializeTuple, serialize_element);
-count_compound!(SerializeTupleStruct, serialize_field);
-count_compound!(SerializeTupleVariant, serialize_field);
+macro_rules! passthrough_named_compound {
+    ($ty:ident) => {
+        impl SerializeStruct for &mut $ty {
+            type Ok = ();
+            type Error = LenError;
+            fn serialize_field<T: Serialize + ?Sized>(
+                &mut self,
+                _key: &'static str,
+                v: &T,
+            ) -> Result<(), LenError> {
+                v.serialize(&mut **self)
+            }
+            fn end(self) -> Result<(), LenError> {
+                Ok(())
+            }
+        }
 
-impl SerializeMap for &mut Counter {
-    type Ok = ();
-    type Error = LenError;
-    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), LenError> {
-        key.serialize(&mut **self)
-    }
-    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), LenError> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<(), LenError> {
-        Ok(())
-    }
+        impl SerializeStructVariant for &mut $ty {
+            type Ok = ();
+            type Error = LenError;
+            fn serialize_field<T: Serialize + ?Sized>(
+                &mut self,
+                _key: &'static str,
+                v: &T,
+            ) -> Result<(), LenError> {
+                v.serialize(&mut **self)
+            }
+            fn end(self) -> Result<(), LenError> {
+                Ok(())
+            }
+        }
+
+        impl SerializeMap for &mut $ty {
+            type Ok = ();
+            type Error = LenError;
+            fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), LenError> {
+                key.serialize(&mut **self)
+            }
+            fn serialize_value<T: Serialize + ?Sized>(
+                &mut self,
+                value: &T,
+            ) -> Result<(), LenError> {
+                value.serialize(&mut **self)
+            }
+            fn end(self) -> Result<(), LenError> {
+                Ok(())
+            }
+        }
+    };
 }
 
-impl SerializeStruct for &mut Counter {
-    type Ok = ();
-    type Error = LenError;
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        v: &T,
-    ) -> Result<(), LenError> {
-        v.serialize(&mut **self)
-    }
-    fn end(self) -> Result<(), LenError> {
-        Ok(())
-    }
-}
+passthrough_compound!(Counter: SerializeSeq, serialize_element);
+passthrough_compound!(Counter: SerializeTuple, serialize_element);
+passthrough_compound!(Counter: SerializeTupleStruct, serialize_field);
+passthrough_compound!(Counter: SerializeTupleVariant, serialize_field);
+passthrough_named_compound!(Counter);
 
-impl SerializeStructVariant for &mut Counter {
+passthrough_compound!(Digest: SerializeSeq, serialize_element);
+passthrough_compound!(Digest: SerializeTuple, serialize_element);
+passthrough_compound!(Digest: SerializeTupleStruct, serialize_field);
+passthrough_compound!(Digest: SerializeTupleVariant, serialize_field);
+passthrough_named_compound!(Digest);
+
+/// The digest serializer hashes exactly the bytes the codec layout
+/// defines: little-endian fixed-width primitives, `u32` length prefixes,
+/// 1-byte `Option`/`bool` tags, `u32` enum variant indices.
+impl serde::Serializer for &mut Digest {
     type Ok = ();
     type Error = LenError;
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), LenError> {
+        self.write(&[v as u8]);
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), LenError> {
+        self.write(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), LenError> {
+        self.write(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), LenError> {
+        self.write(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), LenError> {
+        self.write(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), LenError> {
+        self.write(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), LenError> {
+        self.write(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), LenError> {
+        self.write(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), LenError> {
+        self.write(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), LenError> {
+        self.write(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), LenError> {
+        self.write(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), LenError> {
+        self.write(&(v as u32).to_le_bytes());
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), LenError> {
+        self.serialize_bytes(v.as_bytes())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), LenError> {
+        let len = u32::try_from(v.len()).map_err(|_| LenError("bytes too long".into()))?;
+        self.write(&len.to_le_bytes());
+        self.write(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), LenError> {
+        self.write(&[0]);
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), LenError> {
+        self.write(&[1]);
+        v.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), LenError> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), LenError> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), LenError> {
+        self.write(&variant_index.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
         v: &T,
     ) -> Result<(), LenError> {
-        v.serialize(&mut **self)
+        v.serialize(self)
     }
-    fn end(self) -> Result<(), LenError> {
-        Ok(())
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        v: &T,
+    ) -> Result<(), LenError> {
+        self.write(&variant_index.to_le_bytes());
+        v.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, LenError> {
+        let len = len.ok_or_else(|| LenError("sequences must know their length".into()))?;
+        let len = u32::try_from(len).map_err(|_| LenError("sequence too long".into()))?;
+        self.write(&len.to_le_bytes());
+        Ok(self)
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self, LenError> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, LenError> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, LenError> {
+        self.write(&variant_index.to_le_bytes());
+        Ok(self)
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, LenError> {
+        let len = len.ok_or_else(|| LenError("maps must know their length".into()))?;
+        let len = u32::try_from(len).map_err(|_| LenError("map too long".into()))?;
+        self.write(&len.to_le_bytes());
+        Ok(self)
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, LenError> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, LenError> {
+        self.write(&variant_index.to_le_bytes());
+        Ok(self)
+    }
+    fn is_human_readable(&self) -> bool {
+        false
     }
 }
 
@@ -327,5 +546,40 @@ mod tests {
             c: m,
         };
         assert_eq!(serialized_len(&s), 4 + (4 + 8) + (1 + 1) + (4 + 16));
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_value_sensitive() {
+        let a = Sample::Struct {
+            a: vec![5, 6],
+            b: Some(false),
+            c: BTreeMap::new(),
+        };
+        assert_eq!(fnv1a_digest(&a), fnv1a_digest(&a));
+        let b = Sample::Struct {
+            a: vec![5, 7],
+            b: Some(false),
+            c: BTreeMap::new(),
+        };
+        assert_ne!(
+            fnv1a_digest(&a),
+            fnv1a_digest(&b),
+            "payload edit must move the digest"
+        );
+        assert_ne!(
+            fnv1a_digest(&Sample::Unit),
+            fnv1a_digest(&Sample::New(0)),
+            "variant index is part of the digested bytes"
+        );
+    }
+
+    #[test]
+    fn streaming_absorb_equals_one_shot_digest() {
+        // The catalog digest absorbs pieces in sequence; that must hash
+        // the same bytes as serializing the equivalent tuple directly.
+        let mut d = Digest::new();
+        d.absorb("tag");
+        d.absorb(&7u32);
+        assert_eq!(d.finish(), fnv1a_digest(&("tag", 7u32)));
     }
 }

@@ -369,3 +369,42 @@ fn balanced_cuts_beat_even_cuts_on_skewed_data() {
         "balanced cuts should reduce the hottest node: even {even_max} vs balanced {bal_max}"
     );
 }
+
+#[test]
+fn anti_entropy_digests_converge_and_skip_full_transfers() {
+    let mut cluster = cluster_with_index(16, 77, Replication::None);
+    // Several anti-entropy periods (45s each) on a fault-free network:
+    // every node ticks repeatedly against round-robin neighbors.
+    cluster.run_for(300 * SECONDS);
+
+    // The whole overlay agrees on one catalog digest.
+    let reference = cluster.world().node(NodeId(0)).compute_catalog_digest();
+    for k in 1..16 {
+        assert_eq!(
+            cluster.world().node(NodeId(k)).compute_catalog_digest(),
+            reference,
+            "node {k} disagrees on the catalog digest"
+        );
+    }
+
+    // Ticks happened, but the converged catalog never cost a full
+    // CatalogResponse: the CreateIndex flood settled (30s) before the
+    // first tick fired (45s), so every digest matched on arrival.
+    let sent: u64 = (0..16)
+        .map(|k| cluster.world().node(NodeId(k)).metrics.catalog_digests_sent)
+        .sum();
+    let mismatches: u64 = (0..16)
+        .map(|k| {
+            cluster
+                .world()
+                .node(NodeId(k))
+                .metrics
+                .catalog_digest_mismatches
+        })
+        .sum();
+    assert!(sent >= 16 * 5, "expected steady digest traffic, saw {sent}");
+    assert_eq!(
+        mismatches, 0,
+        "converged overlay must not ship full catalogs"
+    );
+}

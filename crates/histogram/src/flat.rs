@@ -49,7 +49,7 @@ use serde::ser::SerializeStruct;
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
 /// Sentinel in the `axis` column marking a leaf node.
-const LEAF_AXIS: u16 = u16::MAX;
+pub(crate) const LEAF_AXIS: u16 = u16::MAX;
 
 /// Upper bound on the covering-descent stack: one pending sibling per
 /// level plus the two children of the current node.

@@ -25,10 +25,12 @@
 
 pub mod cuts;
 pub mod flat;
+pub mod fuzz;
 pub mod grid;
 pub mod mismatch;
 
 pub use cuts::{CutStrategy, NaiveCutTree};
 pub use flat::CutTree;
+pub use fuzz::fuzz_cut_columns;
 pub use grid::GridHistogram;
 pub use mismatch::{mismatch, mismatch_fraction};

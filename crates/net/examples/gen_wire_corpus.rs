@@ -61,7 +61,7 @@ fn main() {
             flood_id: 5,
             payload: MindPayload::CreateIndex {
                 schema,
-                cuts: CutTree::even(bounds, 4),
+                cuts: std::sync::Arc::new(CutTree::even(bounds, 4)),
                 replication: Replication::Level(1),
             },
         },

@@ -102,7 +102,7 @@ fn arb_payload() -> impl Strategy<Value = MindPayload> {
             },
         );
     let create = (arb_schema(), 0u8..4).prop_map(|(schema, r)| {
-        let cuts = CutTree::even(schema.bounds(), 6);
+        let cuts = std::sync::Arc::new(CutTree::even(schema.bounds(), 6));
         MindPayload::CreateIndex {
             schema,
             cuts,

@@ -28,8 +28,8 @@ fn schema() -> IndexSchema {
     )
 }
 
-fn cuts() -> CutTree {
-    CutTree::even(schema().bounds(), 4)
+fn cuts() -> std::sync::Arc<CutTree> {
+    std::sync::Arc::new(CutTree::even(schema().bounds(), 4))
 }
 
 fn hist() -> GridHistogram {
@@ -80,6 +80,7 @@ fn variant_name(p: &MindPayload) -> &'static str {
         MindPayload::DropTrigger { .. } => "DropTrigger",
         MindPayload::TriggerFired { .. } => "TriggerFired",
         MindPayload::CatalogRequest => "CatalogRequest",
+        MindPayload::CatalogDigest { .. } => "CatalogDigest",
         MindPayload::CatalogResponse { .. } => "CatalogResponse",
         MindPayload::HandoffScan { .. } => "HandoffScan",
         MindPayload::HandoffRecords { .. } => "HandoffRecords",
@@ -181,6 +182,9 @@ fn samples() -> Vec<MindPayload> {
             record: Record::new(vec![5, 5, 100]),
         },
         MindPayload::CatalogRequest,
+        MindPayload::CatalogDigest {
+            digest: 0xDEAD_BEEF_CAFE_F00D,
+        },
         MindPayload::CatalogResponse {
             indexes: vec![IndexDef {
                 schema: schema(),
@@ -220,7 +224,7 @@ fn wire_size_is_exact_for_every_payload_kind() {
     let mut names: Vec<&str> = samples.iter().map(variant_name).collect();
     names.sort_unstable();
     names.dedup();
-    assert_eq!(names.len(), 20, "a payload kind is missing from samples()");
+    assert_eq!(names.len(), 21, "a payload kind is missing from samples()");
 
     for p in &samples {
         let encoded = wire::to_bytes(p).unwrap();

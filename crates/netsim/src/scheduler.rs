@@ -103,6 +103,17 @@ impl<T> Scheduler<T> {
         self.len
     }
 
+    /// Allocated arena slots, live and free — the scheduler's resident
+    /// footprint (the arena never shrinks; slots are reused).
+    pub(crate) fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Bytes per arena slot, for approximate-memory accounting.
+    pub(crate) fn arena_slot_bytes(&self) -> usize {
+        std::mem::size_of::<ArenaSlot<T>>()
+    }
+
     /// Schedules `value` at `time`; returns a cancellation handle.
     pub(crate) fn insert(&mut self, time: SimTime, value: T) -> EventRef {
         let seq = self.next_seq;

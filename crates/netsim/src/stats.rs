@@ -51,6 +51,19 @@ pub struct SimStats {
     /// High-water mark of pending events (scheduled + parked in busy-host
     /// backlogs) — bounded-memory evidence for long chaos runs.
     pub pending_events_peak: u64,
+    /// High-water mark of allocated event-arena slots. Slots are reused
+    /// after fire/cancel, so this is the scheduler's resident capacity —
+    /// not traffic volume — and with the per-slot size it bounds the
+    /// event plane's memory without an external profiler.
+    pub event_arena_peak: u64,
+    /// Wire bytes of messages currently in flight: scheduled deliveries
+    /// plus deliveries parked in busy-host backlogs. Maintained by the
+    /// world at push/consume instants; balances back to zero once every
+    /// message is serviced or dropped.
+    pub msg_bytes_inflight: u64,
+    /// High-water mark of [`SimStats::msg_bytes_inflight`] — the
+    /// message-arena memory peak the sim benchmark reports.
+    pub msg_bytes_inflight_peak: u64,
     /// Counters per directed link `(from, to)`.
     pub per_link: BTreeMap<(NodeId, NodeId), LinkStats>,
     /// Links for which full delay traces are recorded.

@@ -33,6 +33,12 @@ pub struct SimConfig {
     /// Seeded fault schedule (loss, duplication, delay spikes, partitions,
     /// crashes). The default plan injects nothing and draws no randomness.
     pub fault: FaultPlan,
+    /// Record per-link counters and traces ([`SimStats::per_link`]). On by
+    /// default — Figures 8 and 12 read them — but each message then pays a
+    /// `BTreeMap` upsert keyed by `(from, to)`, and at 10k hosts the map
+    /// itself grows to millions of entries. Large-world benchmarks turn
+    /// this off; the scalar counters are unaffected.
+    pub link_stats: bool,
 }
 
 impl Default for SimConfig {
@@ -44,6 +50,7 @@ impl Default for SimConfig {
             link_bytes_per_sec: 1_500_000,
             node_service: 300, // 0.3 ms
             fault: FaultPlan::default(),
+            link_stats: true,
         }
     }
 }
@@ -56,6 +63,9 @@ enum EventKind<M> {
     Deliver {
         from: NodeId,
         msg: Rc<M>,
+        /// Wire size, computed once at send time: consumed by the
+        /// in-flight byte gauge when the message is serviced or dropped.
+        bytes: u32,
     },
     Timer {
         token: u64,
@@ -76,6 +86,7 @@ enum Waiting<M> {
     Deliver {
         from: NodeId,
         msg: Rc<M>,
+        bytes: u32,
     },
     Timer {
         token: u64,
@@ -90,6 +101,12 @@ struct Link {
     outages: Vec<(SimTime, SimTime)>,
     /// When the link's transmitter is next idle (single-server queue).
     next_free: SimTime,
+    /// Memoized base propagation delay: sites never move, so the
+    /// haversine + latency-model arithmetic is a pure function of the
+    /// endpoint pair. At 10k hosts the per-message trig was a measured
+    /// slice of the event loop (DESIGN.md §16); jitter still varies per
+    /// message on top of this cached base.
+    prop: Option<SimTime>,
 }
 
 struct Host<L: NodeLogic> {
@@ -98,6 +115,9 @@ struct Host<L: NodeLogic> {
     alive: bool,
     /// Bumped on every revive; a stale incarnation's timers never fire.
     incarnation: u32,
+    /// Per-message service time: `cfg.node_service × site.load_factor`,
+    /// fixed at admission (both factors are immutable afterwards).
+    service: SimTime,
     /// The host CPU is busy until this instant (arrivals join `backlog`).
     busy_until: SimTime,
     /// Next [`TimerId`] this node's outboxes will hand out.
@@ -171,11 +191,13 @@ where
     /// time. Returns its transport address.
     pub fn add_node(&mut self, logic: L, site: Site) -> NodeId {
         let id = NodeId(self.hosts.len() as u32);
+        let service = (self.cfg.node_service as f64 * site.load_factor) as SimTime;
         self.hosts.push(Host {
             logic,
             site,
             alive: true,
             incarnation: 0,
+            service,
             busy_until: self.now,
             timer_seq: 1,
             timers: BTreeMap::new(),
@@ -294,20 +316,22 @@ where
                 self.hosts[idx].resume_armed = false;
                 self.drain_backlog(node);
             }
-            EventKind::Deliver { from, msg } => {
+            EventKind::Deliver { from, msg, bytes } => {
                 if !self.hosts[idx].alive {
                     self.stats.dropped_dead += 1;
+                    self.stats.msg_bytes_inflight -= bytes as u64;
                 } else if self.hosts[idx].busy_until > self.now {
                     // Busy host: park the delivery in the host's FIFO until
-                    // the CPU frees up.
+                    // the CPU frees up. Its bytes stay in flight.
                     self.stats.requeued_busy += 1;
                     self.hosts[idx]
                         .backlog
-                        .push_back(Waiting::Deliver { from, msg });
+                        .push_back(Waiting::Deliver { from, msg, bytes });
                     self.backlog_total += 1;
                     self.note_pending();
                     self.arm_resume(node);
                 } else {
+                    self.stats.msg_bytes_inflight -= bytes as u64;
                     self.service_message(node, from, msg);
                 }
             }
@@ -378,6 +402,39 @@ where
         if p > self.stats.pending_events_peak {
             self.stats.pending_events_peak = p;
         }
+        // The arena only grows at insert instants, so sampling it here
+        // makes the high-water mark exact.
+        let slots = self.queue.arena_len() as u64;
+        if slots > self.stats.event_arena_peak {
+            self.stats.event_arena_peak = slots;
+        }
+    }
+
+    /// Schedules a delivery and charges its bytes to the in-flight gauge.
+    fn push_deliver(
+        &mut self,
+        time: SimTime,
+        to: NodeId,
+        from: NodeId,
+        msg: Rc<L::Msg>,
+        bytes: usize,
+    ) {
+        let bytes = u32::try_from(bytes).unwrap_or(u32::MAX);
+        self.stats.msg_bytes_inflight += bytes as u64;
+        if self.stats.msg_bytes_inflight > self.stats.msg_bytes_inflight_peak {
+            self.stats.msg_bytes_inflight_peak = self.stats.msg_bytes_inflight;
+        }
+        self.push_event(time, to, EventKind::Deliver { from, msg, bytes });
+    }
+
+    /// Approximate peak resident memory of the event plane: the arena's
+    /// slot high-water times the per-slot size, plus the in-flight
+    /// message-byte peak. The two peaks need not coincide, so this is an
+    /// upper-bound estimate — cheap enough to report from a benchmark
+    /// without a profiler.
+    pub fn approx_peak_memory_bytes(&self) -> u64 {
+        self.stats.event_arena_peak * self.queue.arena_slot_bytes() as u64
+            + self.stats.msg_bytes_inflight_peak
     }
 
     fn push_event(&mut self, time: SimTime, node: NodeId, kind: EventKind<L::Msg>) -> EventRef {
@@ -407,8 +464,9 @@ where
         let backlog = std::mem::take(&mut self.hosts[idx].backlog);
         self.backlog_total -= backlog.len();
         for item in backlog {
-            if matches!(item, Waiting::Deliver { .. }) {
+            if let Waiting::Deliver { bytes, .. } = item {
                 self.stats.dropped_dead += 1;
+                self.stats.msg_bytes_inflight -= bytes as u64;
             }
         }
     }
@@ -458,7 +516,10 @@ where
             };
             self.backlog_total -= 1;
             match item {
-                Waiting::Deliver { from, msg } => self.service_message(id, from, msg),
+                Waiting::Deliver { from, msg, bytes } => {
+                    self.stats.msg_bytes_inflight -= bytes as u64;
+                    self.service_message(id, from, msg);
+                }
                 Waiting::Timer {
                     token,
                     id: timer_id,
@@ -480,7 +541,7 @@ where
     /// service time.
     fn service_message(&mut self, id: NodeId, from: NodeId, msg: Rc<L::Msg>) {
         let idx = id.0 as usize;
-        let service = (self.cfg.node_service as f64 * self.hosts[idx].site.load_factor) as SimTime;
+        let service = self.hosts[idx].service;
         self.hosts[idx].busy_until = self.now + service;
         self.stats.delivered += 1;
         // Sole-owner deliveries (the common case) move the payload out of
@@ -524,6 +585,9 @@ where
     /// probability being non-zero, so fault-free, jitter-free worlds
     /// consume no randomness here.
     fn link_arrival(&mut self, from: NodeId, to: NodeId, t_emit: SimTime, bytes: usize) -> SimTime {
+        let geo_from = self.hosts[from.0 as usize].site.geo;
+        let geo_to = self.hosts[to.0 as usize].site.geo;
+        let latency = self.cfg.latency;
         let link = self.links.entry((from, to)).or_default();
         let mut start = t_emit.max(link.next_free);
         // Skip forward over outage windows until none covers `start`
@@ -542,12 +606,11 @@ where
         }
         let serialize =
             (bytes as u128 * 1_000_000 / self.cfg.link_bytes_per_sec as u128) as SimTime;
-        link.next_free = start + serialize;
         let queue_delay = start - t_emit;
-        let prop = self.cfg.latency.propagation(
-            &self.hosts[from.0 as usize].site.geo,
-            &self.hosts[to.0 as usize].site.geo,
-        );
+        let prop = *link
+            .prop
+            .get_or_insert_with(|| latency.propagation(&geo_from, &geo_to));
+        link.next_free = start + serialize;
         let jitter = if self.cfg.jitter_frac > 0.0 {
             1.0 + self.rng.random_range(0.0..self.cfg.jitter_frac)
         } else {
@@ -562,8 +625,10 @@ where
                 .random_range(1..=self.cfg.fault.delay_spike_max.max(1));
         }
         let arrival = start + serialize + prop;
-        self.stats
-            .record_link(from, to, bytes, queue_delay, arrival - t_emit, t_emit);
+        if self.cfg.link_stats {
+            self.stats
+                .record_link(from, to, bytes, queue_delay, arrival - t_emit, t_emit);
+        }
         arrival
     }
 
@@ -583,14 +648,7 @@ where
             let bytes = msg.wire_size();
             if to == from {
                 // Loopback: negligible network cost, never faulted.
-                self.push_event(
-                    t_emit + 10,
-                    to,
-                    EventKind::Deliver {
-                        from,
-                        msg: Rc::new(msg),
-                    },
-                );
+                self.push_deliver(t_emit + 10, to, from, Rc::new(msg), bytes);
                 continue;
             }
             // Fault plane. Partition checks are schedule lookups (no
@@ -616,16 +674,9 @@ where
                 // original's arena payload instead of cloning it.
                 self.stats.duplicated += 1;
                 let dup_arrival = self.link_arrival(from, to, t_emit, bytes);
-                self.push_event(
-                    dup_arrival,
-                    to,
-                    EventKind::Deliver {
-                        from,
-                        msg: Rc::clone(&msg),
-                    },
-                );
+                self.push_deliver(dup_arrival, to, from, Rc::clone(&msg), bytes);
             }
-            self.push_event(arrival, to, EventKind::Deliver { from, msg });
+            self.push_deliver(arrival, to, from, msg, bytes);
         }
         let incarnation = self.hosts[from.0 as usize].incarnation;
         for (delay, token, id) in fx.timers {
@@ -716,6 +767,7 @@ pub fn lan_config(seed: u64) -> SimConfig {
         link_bytes_per_sec: 100_000_000,
         node_service: 10,
         fault: FaultPlan::default(),
+        link_stats: true,
     }
 }
 
@@ -991,6 +1043,93 @@ mod tests {
         // Cancelling an already-fired timer is a counted-free no-op.
         w.with_node(a, |_l, _n, out| out.cancel_timer(keep));
         assert_eq!(w.stats.timers_cancelled, 1);
+    }
+
+    #[test]
+    fn memory_high_water_counters_move_under_load() {
+        let (mut w, a, b) = two_node_world(0);
+        assert_eq!(w.stats.msg_bytes_inflight, 0);
+        w.with_node(a, |_l, _n, out| {
+            for _ in 0..8 {
+                out.send(b, Ping(1));
+            }
+        });
+        // Eight 100-byte pings scheduled at once: all in flight together.
+        assert!(
+            w.stats.msg_bytes_inflight_peak >= 800,
+            "peak {} too low",
+            w.stats.msg_bytes_inflight_peak
+        );
+        assert!(w.stats.event_arena_peak >= 8);
+        w.run_until_idle(10 * SECONDS);
+        assert_eq!(
+            w.stats.msg_bytes_inflight, 0,
+            "gauge balances to zero once all deliveries are serviced"
+        );
+        assert!(w.approx_peak_memory_bytes() >= 800);
+    }
+
+    #[test]
+    fn inflight_gauge_balances_through_crash_and_busy_paths() {
+        let mut cfg = lan_config(7);
+        cfg.node_service = 100_000;
+        let mut w: World<PingPong> = World::new(cfg);
+        let sink = NodeId(1);
+        let a = w.add_node(
+            PingPong {
+                peer: None,
+                hops_left: 0,
+                received: vec![],
+            },
+            Site::new("src", 0.0, 0.0),
+        );
+        let b = w.add_node(
+            PingPong {
+                peer: None,
+                hops_left: 0,
+                received: vec![],
+            },
+            Site::new("sink", 0.0, 0.1),
+        );
+        w.with_node(a, |_l, _n, out| {
+            for _ in 0..5 {
+                out.send(sink, Ping(1));
+            }
+        });
+        // Let some deliveries park in the busy backlog, then crash the
+        // sink so the rest die on both the dead-drop and discard paths.
+        w.run_until_idle(150 * MILLIS);
+        w.crash_node(b);
+        w.run_until_idle(10 * SECONDS);
+        assert_eq!(w.stats.msg_bytes_inflight, 0, "every path returns bytes");
+    }
+
+    #[test]
+    fn link_stats_gate_disables_per_link_accounting() {
+        let mut cfg = lan_config(8);
+        cfg.link_stats = false;
+        let mut w: World<PingPong> = World::new(cfg);
+        let b_id = NodeId(1);
+        let a = w.add_node(
+            PingPong {
+                peer: None,
+                hops_left: 0,
+                received: vec![],
+            },
+            Site::new("a", 0.0, 0.0),
+        );
+        let _b = w.add_node(
+            PingPong {
+                peer: None,
+                hops_left: 0,
+                received: vec![],
+            },
+            Site::new("b", 0.0, 1.0),
+        );
+        w.with_node(a, |_l, _n, out| out.send(b_id, Ping(1)));
+        w.run_until_idle(10 * SECONDS);
+        assert!(w.stats.per_link.is_empty(), "per-link map stays empty");
+        assert_eq!(w.stats.delivered, 1, "scalar counters unaffected");
     }
 
     #[test]

@@ -1,0 +1,11 @@
+//! Fuzzes [`mind_histogram::CutTree`]'s wire-column validation
+//! (`from_columns`): arbitrary bounds/axis/threshold columns must either
+//! decode into a tree satisfying every structural invariant or come back
+//! as a clean `Err` — never a panic, out-of-bounds index, or a tree the
+//! traversals disagree on. The invariant body lives in the library
+//! (`mind_histogram::fuzz_cut_columns`) so a crashing input replays as a
+//! plain unit test.
+
+libfuzzer_sys::fuzz_target!(|data: &[u8]| {
+    mind_histogram::fuzz_cut_columns(data);
+});

@@ -17,6 +17,10 @@
 #   wire_decode  — full transport envelope (sender + OverlayMsg): reject
 #                  cleanly or re-encode to a canonical fixed point, with
 #                  an exact wire_size on any carried payload
+#   cut_columns  — CutTree wire-column validation (from_columns):
+#                  arbitrary bounds/axis/threshold columns reject cleanly
+#                  or build a tree whose leaf memo, code walk, and point
+#                  descent all agree
 #
 # A machine with the real cargo-fuzz toolchain runs the same targets with
 #   cargo fuzz run <target>
@@ -31,7 +35,7 @@ TIMEOUT_S="${FUZZ_SMOKE_TIMEOUT:-60}"
 
 cargo build --quiet --release --manifest-path fuzz/Cargo.toml
 
-for TARGET in frame_decode store_range batch_decode wire_decode; do
+for TARGET in frame_decode store_range batch_decode wire_decode cut_columns; do
     BIN="fuzz/target/release/$TARGET"
 
     echo "fuzz-smoke[$TARGET]: replaying committed corpus"

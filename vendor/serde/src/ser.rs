@@ -299,6 +299,21 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
     }
 }
 
+// Transparent shared-pointer impls, as upstream serde's `rc` feature:
+// the pointee is serialized in place, so sharing never changes the wire
+// format (and deserializing yields an unshared copy).
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         match self {
